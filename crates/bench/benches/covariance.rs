@@ -1,0 +1,37 @@
+//! Criterion bench: covariance batch, LMFAO vs classical engine (Fig 4
+//! left / Fig 6 stages) on a small retailer instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fdb_bench::fig4_speedup::as_classical;
+use fdb_core::{covariance_batch, run_batch, EngineConfig};
+use fdb_datasets::{retailer, RetailerConfig};
+use fdb_query::{eval_agg_batch, natural_join_all};
+use std::hint::black_box;
+
+fn bench_covariance(c: &mut Criterion) {
+    let ds = retailer(RetailerConfig { locations: 12, dates: 20, items: 60, fill: 0.4, seed: 1 });
+    let rels: Vec<&str> = ds.relation_refs();
+    let cont: Vec<&str> = ds.features.continuous_with_response_refs();
+    let cat: Vec<&str> = ds.features.categorical.iter().map(String::as_str).collect();
+    let batch = covariance_batch(&cont, &cat);
+    let mut g = c.benchmark_group("covariance_batch");
+    g.sample_size(10);
+    for (name, cfg) in [
+        ("lmfao_shared", EngineConfig::default()),
+        ("lmfao_unshared", EngineConfig { share: false, ..Default::default() }),
+        ("lmfao_parallel4", EngineConfig { threads: 4, ..Default::default() }),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run_batch(&ds.db, &rels, &batch, &cfg).expect("batch")))
+        });
+    }
+    let flat = natural_join_all(&ds.db, &rels).expect("join");
+    let queries: Vec<_> = batch.aggs.iter().map(as_classical).collect();
+    g.bench_function("classical_per_aggregate", |b| {
+        b.iter(|| black_box(eval_agg_batch(&flat, &queries).expect("classical")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_covariance);
+criterion_main!(benches);

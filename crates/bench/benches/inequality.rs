@@ -1,0 +1,30 @@
+//! Criterion bench: additive-inequality aggregates, naive vs sort+prefix
+//! (§2.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdb_ineq::{sum_pairs_gt, sum_pairs_gt_naive};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_inequality(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut g = c.benchmark_group("inequality_aggregate");
+    g.sample_size(10);
+    for n in [1usize << 10, 1 << 12] {
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        let f: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y: Vec<f64> = (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        let gg: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| black_box(sum_pairs_gt_naive(&x, &f, &y, &gg, 1.5)))
+        });
+        g.bench_with_input(BenchmarkId::new("sort_prefix", n), &n, |b, _| {
+            b.iter(|| black_box(sum_pairs_gt(&x, &f, &y, &gg, 1.5)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_inequality);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench: per-update maintenance cost of the three IVM
+//! strategies on the retailer stream (Fig 4 right).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fdb_bench::fig4_ivm::{run, Strategy};
+use fdb_datasets::{retailer, RetailerConfig};
+use std::hint::black_box;
+
+fn bench_ivm(c: &mut Criterion) {
+    let ds = retailer(RetailerConfig::tiny());
+    let mut g = c.benchmark_group("ivm_stream_600");
+    g.sample_size(10);
+    for strat in [Strategy::Fivm, Strategy::HigherOrder, Strategy::FirstOrder] {
+        g.bench_function(strat.name(), |b| {
+            b.iter(|| black_box(run(&ds, strat, 600, 1)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ivm);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Regenerates Figure 3 (left): retailer dataset characteristics.
+//! Usage: `fig3_dataset [scale]` (default 1.0).
+
+use fdb_bench::{fig3, fmt_bytes, print_table};
+use fdb_datasets::{retailer, RetailerConfig};
+
+fn main() {
+    let scale = fdb_bench::datasets4::scale_from_args();
+    let ds = retailer(RetailerConfig::scaled(scale));
+    let table = fig3::dataset_table(&ds);
+    println!("\nFigure 3 (left): Retailer dataset characteristics, scale {scale}\n");
+    let rows: Vec<Vec<String>> = table
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.rows.to_string(),
+                r.attrs.to_string(),
+                fmt_bytes(r.csv_bytes),
+            ]
+        })
+        .collect();
+    print_table(&["Relation", "Cardinality", "Arity", "CSV Size"], &rows);
+    let input: usize =
+        table.iter().filter(|r| r.name != "Join").map(|r| r.csv_bytes).sum();
+    let join = table.last().expect("join row");
+    println!(
+        "\nJoin blow-up: {:.1}x the input CSV size ({} vs {}).",
+        join.csv_bytes as f64 / input as f64,
+        fmt_bytes(join.csv_bytes),
+        fmt_bytes(input)
+    );
+}

@@ -1,0 +1,29 @@
+//! Regenerates Figure 4 (right): covariance-matrix maintenance throughput
+//! under inserts — F-IVM vs higher-order vs first-order IVM.
+//! Usage: `fig4_ivm [scale] [stream_limit]`.
+
+use fdb_bench::fig4_ivm::{run, Strategy};
+use fdb_bench::print_table;
+use fdb_datasets::{retailer, RetailerConfig};
+
+fn main() {
+    let scale = fdb_bench::datasets4::scale_from_args();
+    let limit: usize =
+        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let ds = retailer(RetailerConfig::scaled(scale));
+    println!("\nFigure 4 (right): IVM throughput (tuples/sec), retailer insert stream of {limit}\n");
+    let mut rows = Vec::new();
+    for strat in [Strategy::Fivm, Strategy::HigherOrder, Strategy::FirstOrder] {
+        let series = run(&ds, strat, limit, 10);
+        for (frac, tput) in &series {
+            rows.push(vec![
+                strat.name().to_string(),
+                format!("{:.1}", frac),
+                format!("{:.0}", tput),
+            ]);
+        }
+        let avg: f64 = series.iter().map(|&(_, t)| t).sum::<f64>() / series.len() as f64;
+        rows.push(vec![strat.name().to_string(), "avg".into(), format!("{avg:.0}")]);
+    }
+    print_table(&["Strategy", "Stream fraction", "Throughput (tuples/s)"], &rows);
+}

@@ -1,0 +1,31 @@
+//! Regenerates Figure 5: number of aggregates per dataset × workload.
+//! Usage: `fig5_agg_counts [scale]`.
+
+use fdb_bench::{datasets4, fig5, print_table};
+
+fn main() {
+    let scale = datasets4::scale_from_args();
+    println!("\nFigure 5: number of aggregates per dataset and workload\n");
+    let rows: Vec<Vec<String>> = datasets4::all(scale)
+        .iter()
+        .map(|ds| {
+            let r = fig5::count_row(ds);
+            vec![
+                r.dataset.to_string(),
+                r.covariance.to_string(),
+                r.decision_node.to_string(),
+                r.mutual_info.to_string(),
+                r.kmeans.to_string(),
+            ]
+        })
+        .collect();
+    // Transposed like the paper: workloads as rows.
+    let headers = ["Workload", "Retailer", "Favorita", "Yelp", "TPC-DS"];
+    let table = vec![
+        vec!["Covar. matrix".to_string(), rows[0][1].clone(), rows[1][1].clone(), rows[2][1].clone(), rows[3][1].clone()],
+        vec!["Decision node".to_string(), rows[0][2].clone(), rows[1][2].clone(), rows[2][2].clone(), rows[3][2].clone()],
+        vec!["Mutual inf.".to_string(), rows[0][3].clone(), rows[1][3].clone(), rows[2][3].clone(), rows[3][3].clone()],
+        vec!["k-means".to_string(), rows[0][4].clone(), rows[1][4].clone(), rows[2][4].clone(), rows[3][4].clone()],
+    ];
+    print_table(&headers, &table);
+}

@@ -1,0 +1,23 @@
+//! §2.3 scaling table: additive-inequality aggregates, nested loop vs
+//! sort+prefix. Usage: `ineq_scaling [max_exponent]` (sizes 2^10..2^max).
+
+use fdb_bench::{fmt_secs, ineq_scaling, print_table};
+
+fn main() {
+    let max_exp: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(14);
+    let sizes: Vec<usize> = (10..=max_exp).map(|e| 1usize << e).collect();
+    println!("\n§2.3: additive-inequality aggregate, naive O(n²) vs sort+prefix O(n log n)\n");
+    let rows: Vec<Vec<String>> = ineq_scaling::sweep(&sizes, 42)
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                fmt_secs(r.naive_secs),
+                fmt_secs(r.fast_secs),
+                format!("{:.1}x", r.naive_secs / r.fast_secs.max(1e-12)),
+            ]
+        })
+        .collect();
+    print_table(&["n per side", "Nested loop", "Sort+prefix", "Speedup"], &rows);
+}

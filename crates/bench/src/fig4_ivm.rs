@@ -1,0 +1,144 @@
+//! Figure 4 (right): maintenance throughput of the covariance matrix under
+//! an insert stream into an initially empty retailer database — F-IVM vs
+//! first-order and higher-order IVM, reported per decile of the stream.
+
+use fdb_data::{Schema, Value};
+use fdb_datasets::Dataset;
+use fdb_ivm::{Fivm, FoIvm, HoIvm, StreamDb, TreeShape, Update};
+use std::sync::Arc;
+
+/// Which maintenance strategy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// First-order IVM (delta joins, no materialized views).
+    FirstOrder,
+    /// Higher-order IVM (one view tree per aggregate).
+    HigherOrder,
+    /// F-IVM (one covariance-ring view tree).
+    Fivm,
+}
+
+impl Strategy {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::FirstOrder => "first-order IVM",
+            Strategy::HigherOrder => "higher-order IVM",
+            Strategy::Fivm => "F-IVM",
+        }
+    }
+}
+
+/// Builds the insert stream: the dataset's tuples, round-robin across
+/// relations (so all base relations grow together, as in the paper's
+/// experiment), capped at `limit` updates.
+pub fn build_stream(ds: &Dataset, limit: usize) -> (Vec<Schema>, Vec<&str>, Vec<Update>) {
+    let names: Vec<&str> = ds.relation_refs();
+    let schemas: Vec<Schema> =
+        names.iter().map(|n| ds.db.get(n).expect("rel").schema().clone()).collect();
+    let mut cursors = vec![0usize; names.len()];
+    let mut stream = Vec::with_capacity(limit);
+    'outer: loop {
+        let mut progressed = false;
+        for (ri, name) in names.iter().enumerate() {
+            let rel = ds.db.get(name).expect("rel");
+            if cursors[ri] < rel.len() {
+                let tuple: Vec<Value> = rel.row_vec(cursors[ri]);
+                cursors[ri] += 1;
+                stream.push(Update::insert(ri, tuple));
+                progressed = true;
+                if stream.len() >= limit {
+                    break 'outer;
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    (schemas, names, stream)
+}
+
+/// Throughput (tuples/second) per decile of the stream for one strategy.
+pub fn run(
+    ds: &Dataset,
+    strategy: Strategy,
+    limit: usize,
+    deciles: usize,
+) -> Vec<(f64, f64)> {
+    let (schemas, names, stream) = build_stream(ds, limit);
+    let cont: Vec<&str> = ds.features.continuous_with_response_refs();
+    // Root the view tree at the fact relation (index 0 in our datasets).
+    let shape = Arc::new(TreeShape::build(schemas.clone(), &names, 0).expect("acyclic"));
+    let mut db = StreamDb::new(schemas);
+    shape.register_indices(&mut db);
+    FoIvm::register_indices(&shape, &mut db);
+    let mut apply: Box<dyn FnMut(&StreamDb, &Update)> = match strategy {
+        Strategy::FirstOrder => {
+            let mut fo = FoIvm::new(Arc::clone(&shape), &cont);
+            Box::new(move |db: &StreamDb, up: &Update| fo.apply(db, up))
+        }
+        Strategy::HigherOrder => {
+            let mut ho = HoIvm::new(Arc::clone(&shape), &cont);
+            Box::new(move |db: &StreamDb, up: &Update| ho.apply(db, up))
+        }
+        Strategy::Fivm => {
+            let mut fi = Fivm::new(Arc::clone(&shape), &cont).expect("features resolved");
+            Box::new(move |db: &StreamDb, up: &Update| fi.apply(db, up))
+        }
+    };
+    let chunk = (stream.len() / deciles).max(1);
+    let mut out = Vec::new();
+    let mut done = 0usize;
+    for part in stream.chunks(chunk) {
+        let t0 = std::time::Instant::now();
+        for up in part {
+            db.apply(up).expect("valid update");
+            apply(&db, up);
+        }
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        done += part.len();
+        out.push((done as f64 / stream.len() as f64, part.len() as f64 / secs));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_datasets::{retailer, RetailerConfig};
+
+    #[test]
+    fn stream_round_robins_and_caps() {
+        let ds = retailer(RetailerConfig::tiny());
+        let (schemas, names, stream) = build_stream(&ds, 50);
+        assert_eq!(stream.len(), 50);
+        assert_eq!(schemas.len(), 5);
+        assert_eq!(names.len(), 5);
+        // The first five updates hit five different relations.
+        let rels: Vec<usize> = stream[..5].iter().map(|u| u.rel).collect();
+        assert_eq!(rels, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn fivm_beats_higher_order_beats_first_order() {
+        let _guard = crate::timing_lock();
+        // The Figure 4 (right) ordering: F-IVM's single ring-valued view
+        // tree beats higher-order IVM's per-aggregate view trees, which
+        // beat first-order IVM's per-aggregate delta-query re-evaluation.
+        let ds = retailer(RetailerConfig::tiny());
+        let avg = |v: &[(f64, f64)]| {
+            v.iter().map(|&(_, t)| t).sum::<f64>() / v.len() as f64
+        };
+        // Best of 2 runs per strategy to absorb scheduler noise.
+        let best = |s: Strategy| {
+            (0..2).map(|_| avg(&run(&ds, s, 467, 2))).fold(0.0f64, f64::max)
+        };
+        let fi = best(Strategy::Fivm);
+        let ho = best(Strategy::HigherOrder);
+        let fo = best(Strategy::FirstOrder);
+        assert!(fi > 2.0 * ho, "F-IVM {fi:.0} tups/s must beat higher-order {ho:.0}");
+        assert!(ho > fo, "higher-order {ho:.0} tups/s must beat first-order {fo:.0}");
+    }
+
+}

@@ -1,0 +1,66 @@
+//! Figure 5: the number of aggregates per dataset × workload — the
+//! quantity that makes the batch-evaluation problem interesting ("much
+//! more than in a typical database query").
+
+use fdb_core::{covariance_batch, decision_node_batch, kmeans_batch, mutual_info_batch};
+use fdb_datasets::Dataset;
+
+/// One row of the Figure 5 table.
+#[derive(Debug, Clone)]
+pub struct AggCountRow {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Covariance-matrix batch size.
+    pub covariance: usize,
+    /// Decision-tree-node batch size.
+    pub decision_node: usize,
+    /// Mutual-information batch size.
+    pub mutual_info: usize,
+    /// k-means batch size.
+    pub kmeans: usize,
+}
+
+/// Computes the table row for one dataset using the same batch generators
+/// the engine runs.
+pub fn count_row(ds: &Dataset) -> AggCountRow {
+    let cont: Vec<&str> = ds.features.continuous_with_response_refs();
+    let cat: Vec<&str> = ds.features.categorical.iter().map(String::as_str).collect();
+    AggCountRow {
+        dataset: ds.name,
+        covariance: covariance_batch(&cont, &cat).len(),
+        decision_node: decision_node_batch(
+            &cont[..cont.len() - 1],
+            &cat,
+            ds.features.response.as_str(),
+            // The paper's tree learner considers ~20 thresholds per
+            // continuous and the frequent categories per categorical.
+            20,
+            10,
+            |_, j| j as f64,
+        )
+        .len(),
+        mutual_info: mutual_info_batch(&cat).len(),
+        kmeans: kmeans_batch(&cont).len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets4;
+
+    #[test]
+    fn counts_have_figure5_magnitudes_and_ordering() {
+        for ds in datasets4::all(0.01) {
+            let row = count_row(&ds);
+            // Hundreds-to-thousands for covariance and decision nodes,
+            // dozens-to-hundreds for mutual information, dozens for
+            // k-means — the figure's shape.
+            assert!(row.covariance >= 50, "{}: {}", row.dataset, row.covariance);
+            assert!(row.decision_node >= row.covariance / 2);
+            assert!(row.mutual_info < row.covariance);
+            assert!(row.kmeans < row.mutual_info + row.covariance);
+            assert!(row.kmeans >= 5);
+        }
+    }
+}

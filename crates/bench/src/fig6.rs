@@ -1,0 +1,79 @@
+//! Figure 6: the code-optimisation ablation. Baseline = unspecialized,
+//! unshared, single-threaded evaluation of the covariance batch (AC/DC-
+//! like); optimisations are added cumulatively: specialisation → sharing →
+//! parallelisation, and the speedup over the baseline is reported.
+
+use fdb_core::{covariance_batch, run_batch, EngineConfig};
+use fdb_datasets::Dataset;
+
+/// Cumulative configurations, in the figure's order.
+pub fn stages(threads: usize) -> [(&'static str, EngineConfig); 4] {
+    [
+        ("baseline", EngineConfig { specialize: false, share: false, threads: 1 }),
+        ("+specialisation", EngineConfig { specialize: true, share: false, threads: 1 }),
+        ("+sharing", EngineConfig { specialize: true, share: true, threads: 1 }),
+        ("+parallelisation", EngineConfig { specialize: true, share: true, threads }),
+    ]
+}
+
+/// One ablation row: seconds per stage for a dataset.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// `(stage name, seconds)` in cumulative order.
+    pub stage_secs: Vec<(&'static str, f64)>,
+}
+
+impl AblationRow {
+    /// Speedups relative to the first (baseline) stage.
+    pub fn speedups(&self) -> Vec<(&'static str, f64)> {
+        let base = self.stage_secs[0].1;
+        self.stage_secs.iter().map(|&(n, s)| (n, base / s.max(1e-12))).collect()
+    }
+}
+
+/// Runs the ablation on one dataset.
+pub fn measure(ds: &Dataset, threads: usize) -> AblationRow {
+    let rels: Vec<&str> = ds.relation_refs();
+    let cont: Vec<&str> = ds.features.continuous_with_response_refs();
+    let cat: Vec<&str> = ds.features.categorical.iter().map(String::as_str).collect();
+    let batch = covariance_batch(&cont, &cat);
+    let stage_secs = stages(threads)
+        .into_iter()
+        .map(|(name, cfg)| {
+            let (secs, _) =
+                crate::time(|| run_batch(&ds.db, &rels, &batch, &cfg).expect("batch"));
+            (name, secs)
+        })
+        .collect();
+    AblationRow { dataset: ds.name, stage_secs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_datasets::{retailer, RetailerConfig};
+
+    #[test]
+    fn sharing_gives_a_clear_speedup() {
+        let _guard = crate::timing_lock();
+        let ds = retailer(RetailerConfig {
+            locations: 10,
+            dates: 16,
+            items: 40,
+            ..RetailerConfig::tiny()
+        });
+        let row = measure(&ds, 2);
+        let speedups = row.speedups();
+        assert_eq!(speedups[0].1, 1.0);
+        // Sharing is the dominant effect in the figure; demand at least 2x
+        // cumulative at the sharing stage.
+        assert!(
+            speedups[2].1 > 2.0,
+            "cumulative speedup at +sharing: {:.2}x (stages {:?})",
+            speedups[2].1,
+            row.stage_secs
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! §2.3 scaling experiment: additive-inequality aggregates, nested-loop vs
+//! sort + prefix-sum, over growing input sizes — the quadratic/linearithmic
+//! gap that motivates the new theta-join algorithms.
+
+use fdb_ineq::{sum_pairs_gt, sum_pairs_gt_naive};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One measurement: per-side input size `n`, seconds for each algorithm.
+#[derive(Debug, Clone)]
+pub struct IneqRow {
+    /// Rows per side.
+    pub n: usize,
+    /// Nested-loop seconds.
+    pub naive_secs: f64,
+    /// Sort + prefix-sum seconds.
+    pub fast_secs: f64,
+}
+
+/// Runs both algorithms across a size sweep.
+pub fn sweep(sizes: &[usize], seed: u64) -> Vec<IneqRow> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    sizes
+        .iter()
+        .map(|&n| {
+            let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect();
+            let f: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let y: Vec<f64> = (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect();
+            let g: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let (naive_secs, a) = crate::time(|| sum_pairs_gt_naive(&x, &f, &y, &g, 1.5));
+            let (fast_secs, b) = crate::time(|| sum_pairs_gt(&x, &f, &y, &g, 1.5));
+            assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "algorithms disagree: {a} vs {b}");
+            IneqRow { n, naive_secs, fast_secs }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_path_wins_and_gap_grows() {
+        let _guard = crate::timing_lock();
+        // Best-of-3 per cell: the fast side runs in microseconds and is
+        // sensitive to scheduler noise when the test suite runs parallel.
+        let runs: Vec<Vec<IneqRow>> = (0..3).map(|i| sweep(&[1000, 16_000], 3 + i)).collect();
+        let best = |idx: usize| -> (f64, f64) {
+            let naive =
+                runs.iter().map(|r| r[idx].naive_secs).fold(f64::INFINITY, f64::min);
+            let fast = runs.iter().map(|r| r[idx].fast_secs).fold(f64::INFINITY, f64::min);
+            (naive, fast)
+        };
+        let (n0, f0) = best(0);
+        let (n1, f1) = best(1);
+        assert!(f1 < n1, "fast path must win at 16k: {f1} vs {n1}");
+        // Quadratic vs linearithmic: 16x the input must widen the gap
+        // clearly (theory predicts ~12x; demand 3x to absorb timer noise).
+        let (r0, r1) = (n0 / f0.max(1e-12), n1 / f1.max(1e-12));
+        assert!(r1 > 3.0 * r0, "speedup must grow: {r0:.1}x -> {r1:.1}x");
+    }
+}

@@ -1,0 +1,179 @@
+//! The aggregate-batch IR.
+//!
+//! Every aggregate the paper derives for learning tasks (§2) has the form
+//!
+//! ```text
+//! SELECT G, SUM(f1(A1) * … * fk(Ak))  FROM  Q  [WHERE cond]  GROUP BY G
+//! ```
+//!
+//! where `Q` is the feature extraction join, the `Ai` are continuous
+//! attributes with unary functions `fi` (identity or square), `G` is a set
+//! of categorical attributes (the sparse-tensor group-by encoding of §2.1),
+//! and `cond` is a per-tuple threshold/membership condition (decision-tree
+//! costs, §2.2).
+//!
+//! Each non-key attribute lives in exactly one relation of the join, which
+//! is what lets the engine decompose a batch along the join tree.
+
+/// A unary function applied to an attribute inside the product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fn1 {
+    /// `x`
+    Ident,
+    /// `x * x`
+    Square,
+}
+
+impl Fn1 {
+    /// Applies the function.
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Fn1::Ident => x,
+            Fn1::Square => x * x,
+        }
+    }
+}
+
+/// A filter condition on a single attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterOp {
+    /// `attr >= t` for continuous attributes.
+    Ge(f64),
+    /// `attr < t` for continuous attributes.
+    Lt(f64),
+    /// `attr = v` for categorical codes.
+    Eq(i64),
+    /// `attr != v` for categorical codes (split negation in trees).
+    Ne(i64),
+    /// `attr ∈ set` for categorical codes (sorted).
+    In(Vec<i64>),
+}
+
+/// One aggregate query of a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregate {
+    /// Product factors `(attribute, function)`; empty means `SUM(1)`.
+    pub factors: Vec<(String, Fn1)>,
+    /// Categorical group-by attributes.
+    pub group_by: Vec<String>,
+    /// Conjunctive filter conditions `(attribute, op)` — empty = no filter.
+    /// Conjunctions let decision-tree learners express a node's full path
+    /// condition (§2.2).
+    pub filter: Vec<(String, FilterOp)>,
+}
+
+impl Aggregate {
+    /// `SUM(1)`.
+    pub fn count() -> Self {
+        Self { factors: vec![], group_by: vec![], filter: vec![] }
+    }
+
+    /// `SUM(a)`.
+    pub fn sum(a: &str) -> Self {
+        Self { factors: vec![(a.into(), Fn1::Ident)], group_by: vec![], filter: vec![] }
+    }
+
+    /// `SUM(a * b)` (or `SUM(a²)` when `a == b`).
+    pub fn sum_prod(a: &str, b: &str) -> Self {
+        if a == b {
+            Self { factors: vec![(a.into(), Fn1::Square)], group_by: vec![], filter: vec![] }
+        } else {
+            Self {
+                factors: vec![(a.into(), Fn1::Ident), (b.into(), Fn1::Ident)],
+                group_by: vec![],
+                filter: vec![],
+            }
+        }
+    }
+
+    /// Adds group-by attributes.
+    pub fn by(mut self, groups: &[&str]) -> Self {
+        self.group_by = groups.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Adds one filter condition (conjunctive with existing ones).
+    pub fn filtered(mut self, attr: &str, op: FilterOp) -> Self {
+        self.filter.push((attr.to_string(), op));
+        self
+    }
+
+    /// All attribute names this aggregate touches.
+    pub fn attrs(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.factors.iter().map(|(a, _)| a.as_str()).collect();
+        v.extend(self.group_by.iter().map(String::as_str));
+        for (a, _) in &self.filter {
+            v.push(a);
+        }
+        v
+    }
+}
+
+/// An ordered batch of aggregates evaluated together.
+#[derive(Debug, Clone, Default)]
+pub struct AggBatch {
+    /// The aggregates, in result order.
+    pub aggs: Vec<Aggregate>,
+}
+
+impl AggBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an aggregate, returning its index in the batch.
+    pub fn push(&mut self, agg: Aggregate) -> usize {
+        self.aggs.push(agg);
+        self.aggs.len() - 1
+    }
+
+    /// Number of aggregates (the Figure 5 statistic).
+    pub fn len(&self) -> usize {
+        self.aggs.len()
+    }
+
+    /// True if the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.aggs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Aggregate::count().factors.len(), 0);
+        assert_eq!(Aggregate::sum("x").factors, vec![("x".to_string(), Fn1::Ident)]);
+        assert_eq!(
+            Aggregate::sum_prod("x", "x").factors,
+            vec![("x".to_string(), Fn1::Square)]
+        );
+        assert_eq!(Aggregate::sum_prod("x", "y").factors.len(), 2);
+        let g = Aggregate::count()
+            .by(&["c"])
+            .filtered("x", FilterOp::Ge(1.0))
+            .filtered("z", FilterOp::Eq(2));
+        assert_eq!(g.group_by, vec!["c".to_string()]);
+        assert_eq!(g.filter.len(), 2);
+        assert_eq!(g.attrs(), vec!["c", "x", "z"]);
+    }
+
+    #[test]
+    fn fn1_apply() {
+        assert_eq!(Fn1::Ident.apply(3.0), 3.0);
+        assert_eq!(Fn1::Square.apply(3.0), 9.0);
+    }
+
+    #[test]
+    fn batch_push() {
+        let mut b = AggBatch::new();
+        assert!(b.is_empty());
+        assert_eq!(b.push(Aggregate::count()), 0);
+        assert_eq!(b.push(Aggregate::sum("x")), 1);
+        assert_eq!(b.len(), 2);
+    }
+}

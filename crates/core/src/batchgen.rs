@@ -1,0 +1,169 @@
+//! Batch synthesis for the paper's learning workloads (§2, Figure 5).
+//!
+//! Each generator turns a feature set into the batch of aggregates whose
+//! results are sufficient statistics for the task. The batch sizes these
+//! produce are the quantity Figure 5 tabulates.
+
+use crate::batch::{AggBatch, Aggregate, FilterOp};
+
+/// The covariance-matrix batch (§2.1): for continuous features (including
+/// the response) `c1..cn` and categorical features `x1..xm`:
+///
+/// * `SUM(1)`
+/// * `SUM(ci)` and `SUM(ci * cj)` for `i <= j`
+/// * `SUM(ci) GROUP BY xk` (continuous–categorical interactions)
+/// * `SUM(1) GROUP BY xk` (categorical marginals)
+/// * `SUM(1) GROUP BY xk, xl` for `k < l` (categorical–categorical,
+///   the sparse tensor instead of one-hot encoding)
+pub fn covariance_batch(continuous: &[&str], categorical: &[&str]) -> AggBatch {
+    let mut b = AggBatch::new();
+    b.push(Aggregate::count());
+    for (i, ci) in continuous.iter().enumerate() {
+        b.push(Aggregate::sum(ci));
+        for cj in &continuous[i..] {
+            b.push(Aggregate::sum_prod(ci, cj));
+        }
+    }
+    for xk in categorical {
+        b.push(Aggregate::count().by(&[xk]));
+        for ci in continuous {
+            b.push(Aggregate::sum(ci).by(&[xk]));
+        }
+    }
+    for (k, xk) in categorical.iter().enumerate() {
+        for xl in &categorical[k + 1..] {
+            b.push(Aggregate::count().by(&[xk, xl]));
+        }
+    }
+    b
+}
+
+/// The regression-tree-node batch (§2.2): for every candidate split
+/// condition, the `VARIANCE(response)` components `SUM(1)`, `SUM(y)`,
+/// `SUM(y²)` under the condition's filter.
+///
+/// * continuous feature `c` with thresholds `t1..tk`: conditions `c >= tj`;
+/// * categorical feature `x` with per-category conditions `x = v` for the
+///   first `cats_per_attr` categories.
+pub fn decision_node_batch(
+    continuous: &[&str],
+    categorical: &[&str],
+    response: &str,
+    thresholds_per_attr: usize,
+    cats_per_attr: usize,
+    thresholds: impl Fn(&str, usize) -> f64,
+) -> AggBatch {
+    let mut b = AggBatch::new();
+    let push_condition = |b: &mut AggBatch, attr: &str, op: FilterOp| {
+        b.push(Aggregate::count().filtered(attr, op.clone()));
+        b.push(Aggregate::sum(response).filtered(attr, op.clone()));
+        b.push(Aggregate::sum_prod(response, response).filtered(attr, op));
+    };
+    for c in continuous {
+        for j in 0..thresholds_per_attr {
+            push_condition(&mut b, c, FilterOp::Ge(thresholds(c, j)));
+        }
+    }
+    for x in categorical {
+        for v in 0..cats_per_attr as i64 {
+            push_condition(&mut b, x, FilterOp::Eq(v));
+        }
+    }
+    b
+}
+
+/// The mutual-information batch (model selection, Chow-Liu trees): joint
+/// and marginal counts over categorical pairs.
+pub fn mutual_info_batch(categorical: &[&str]) -> AggBatch {
+    let mut b = AggBatch::new();
+    b.push(Aggregate::count());
+    for x in categorical {
+        b.push(Aggregate::count().by(&[x]));
+    }
+    for (k, xk) in categorical.iter().enumerate() {
+        for xl in &categorical[k + 1..] {
+            b.push(Aggregate::count().by(&[xk, xl]));
+        }
+    }
+    b
+}
+
+/// The k-means batch (Rk-means, §3.3): the grid-coreset construction needs
+/// per-dimension counts, sums, and sums of squares.
+pub fn kmeans_batch(continuous: &[&str]) -> AggBatch {
+    let mut b = AggBatch::new();
+    b.push(Aggregate::count());
+    for c in continuous {
+        b.push(Aggregate::sum(c));
+        b.push(Aggregate::sum_prod(c, c));
+    }
+    b
+}
+
+/// Closed forms for the batch sizes (tested against the generators; used by
+/// the Figure 5 table binary).
+pub mod counts {
+    /// Size of [`super::covariance_batch`].
+    pub fn covariance(n_cont: usize, n_cat: usize) -> usize {
+        1 + n_cont + n_cont * (n_cont + 1) / 2
+            + n_cat * (1 + n_cont)
+            + n_cat * (n_cat.saturating_sub(1)) / 2
+    }
+
+    /// Size of [`super::decision_node_batch`].
+    pub fn decision_node(n_cont: usize, n_cat: usize, thresholds: usize, cats: usize) -> usize {
+        3 * (n_cont * thresholds + n_cat * cats)
+    }
+
+    /// Size of [`super::mutual_info_batch`].
+    pub fn mutual_info(n_cat: usize) -> usize {
+        1 + n_cat + n_cat * (n_cat.saturating_sub(1)) / 2
+    }
+
+    /// Size of [`super::kmeans_batch`].
+    pub fn kmeans(n_cont: usize) -> usize {
+        1 + 2 * n_cont
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covariance_batch_size_matches_closed_form() {
+        for (nc, nk) in [(0, 0), (1, 0), (0, 1), (3, 2), (12, 7)] {
+            let cont: Vec<String> = (0..nc).map(|i| format!("c{i}")).collect();
+            let cat: Vec<String> = (0..nk).map(|i| format!("x{i}")).collect();
+            let cref: Vec<&str> = cont.iter().map(String::as_str).collect();
+            let kref: Vec<&str> = cat.iter().map(String::as_str).collect();
+            assert_eq!(
+                covariance_batch(&cref, &kref).len(),
+                counts::covariance(nc, nk),
+                "nc={nc} nk={nk}"
+            );
+        }
+    }
+
+    #[test]
+    fn decision_node_batch_size() {
+        let b = decision_node_batch(&["a", "b"], &["x"], "y", 4, 3, |_, j| j as f64);
+        assert_eq!(b.len(), counts::decision_node(2, 1, 4, 3));
+        // Every aggregate carries a filter.
+        assert!(b.aggs.iter().all(|a| !a.filter.is_empty()));
+    }
+
+    #[test]
+    fn mutual_info_and_kmeans_sizes() {
+        assert_eq!(mutual_info_batch(&["a", "b", "c"]).len(), counts::mutual_info(3));
+        assert_eq!(kmeans_batch(&["a", "b"]).len(), counts::kmeans(2));
+    }
+
+    #[test]
+    fn covariance_batch_contains_squares() {
+        let b = covariance_batch(&["u"], &[]);
+        // SUM(1), SUM(u), SUM(u²)
+        assert_eq!(b.len(), 3);
+        assert!(b.aggs.iter().any(|a| a.factors == vec![("u".to_string(), crate::Fn1::Square)]));
+    }
+}

@@ -1,0 +1,961 @@
+//! The layered aggregate-batch engine (LMFAO, §4).
+//!
+//! Evaluation proceeds bottom-up over a join tree rooted at the fact
+//! relation. Each aggregate is decomposed top-down: the restriction of the
+//! aggregate to a subtree becomes a *partial aggregate* computed at that
+//! subtree's root; a subtree containing none of the aggregate's attributes
+//! contributes its join **count** (the rule of §4 "Sharing computation").
+//! Identical partial aggregates across the batch are detected by signature
+//! and computed once; partials at a node are consolidated into *views* (one
+//! per group-by signature) and all views at a node are filled in one shared
+//! scan of the relation.
+//!
+//! Three independently toggleable optimisations reproduce the Figure 6
+//! ablation: `specialize` (typed column kernels instead of per-tuple
+//! `Value` interpretation), `share` (signature-based deduplication +
+//! view consolidation), and `threads` (domain parallelism over the fact
+//! relation plus task parallelism over independent subtrees).
+
+use crate::batch::{AggBatch, FilterOp, Fn1};
+use fdb_data::{DataError, Database, Relation};
+use fdb_factorized::hypergraph::Hypergraph;
+use std::collections::{HashMap, HashSet};
+
+/// Engine feature toggles (all on by default).
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Use typed column kernels (monomorphized access) instead of generic
+    /// per-tuple `Value` interpretation.
+    pub specialize: bool,
+    /// Deduplicate identical partial aggregates and consolidate views.
+    pub share: bool,
+    /// Worker threads for domain parallelism at the root (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self { specialize: true, share: true, threads: 1 }
+    }
+}
+
+/// Result of a batch: one grouped map per aggregate, in batch order.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Per aggregate: the group-by attributes in key order (sorted names).
+    pub groups: Vec<Vec<String>>,
+    /// Per aggregate: group key (categorical codes) → aggregate value.
+    /// Scalar aggregates use the empty key.
+    pub values: Vec<HashMap<Box<[i64]>, f64>>,
+}
+
+impl BatchResult {
+    /// The scalar value of aggregate `i` (0.0 over the empty join).
+    pub fn scalar(&self, i: usize) -> f64 {
+        let key: Box<[i64]> = Vec::new().into();
+        self.values[i].get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// The grouped map of aggregate `i`.
+    pub fn grouped(&self, i: usize) -> &HashMap<Box<[i64]>, f64> {
+        &self.values[i]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan structures
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct SlotPlan {
+    /// Local factors: (column, function).
+    factors: Vec<(usize, Fn1)>,
+    /// Local filter conditions (column, op) — all must pass.
+    filter: Vec<(usize, FilterOp)>,
+    /// Per node-child (aligned with `NodePlan::children`): the slot index
+    /// inside the child view this slot multiplies in.
+    child_slots: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct ViewPlan {
+    /// Bubbled group-by attributes, sorted by name.
+    group_attrs: Vec<String>,
+    /// Local group columns: (position in group key, column in relation).
+    local_groups: Vec<(usize, usize)>,
+    /// Per node-child: (child view index, mapping (my position, child
+    /// position) for the child's group values).
+    child_views: Vec<(usize, Vec<(usize, usize)>)>,
+    slots: Vec<SlotPlan>,
+}
+
+#[derive(Debug)]
+struct NodePlan {
+    /// Key-to-parent columns in this relation (empty at the root).
+    key_cols: Vec<usize>,
+    /// Child node (edge) ids.
+    children: Vec<usize>,
+    /// For each child: the columns *in this relation* holding the child's
+    /// key attributes.
+    child_key_cols: Vec<Vec<usize>>,
+    views: Vec<ViewPlan>,
+    /// Signature → (view, slot) registry for sharing.
+    slot_registry: HashMap<String, (usize, usize)>,
+    /// Group-signature → view registry for consolidation.
+    view_registry: HashMap<String, usize>,
+}
+
+/// `view key (join key to parent)` → `group values` → `payload per slot`.
+type ViewData = HashMap<Box<[i64]>, HashMap<Box<[i64]>, Vec<f64>>>;
+
+struct Plan<'a> {
+    rels: Vec<&'a Relation>,
+    nodes: Vec<NodePlan>,
+    /// Bottom-up processing order (children before parents).
+    order: Vec<usize>,
+    root: usize,
+    /// Attribute → (owning node, column) for non-key attributes.
+    owner: HashMap<String, (usize, usize)>,
+    /// Per node: the set of nodes in its subtree.
+    subtree: Vec<HashSet<usize>>,
+}
+
+impl<'a> Plan<'a> {
+    fn build(db: &'a Database, relations: &[&str]) -> Result<Self, DataError> {
+        let hg = Hypergraph::join_keys_plus(db, relations, &[])?;
+        let jt = hg
+            .join_tree()
+            .ok_or_else(|| DataError::Invalid("cyclic join key graph".into()))?;
+        let rels: Vec<&Relation> =
+            relations.iter().map(|r| db.get(r)).collect::<Result<_, _>>()?;
+        // Root at the largest relation (the fact table).
+        let root = (0..rels.len()).max_by_key(|&i| rels[i].len()).unwrap_or(0);
+        let jt = jt.rerooted(root);
+        let n = relations.len();
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            let key_attrs: Vec<String> = match jt.parent[i] {
+                Some(p) => hg.edges()[i]
+                    .vars
+                    .iter()
+                    .filter(|v| hg.edges()[p].vars.contains(v))
+                    .map(|&v| hg.vars()[v].clone())
+                    .collect(),
+                None => vec![],
+            };
+            let key_cols: Vec<usize> = key_attrs
+                .iter()
+                .map(|a| rels[i].schema().require(a))
+                .collect::<Result<_, _>>()?;
+            nodes.push(NodePlan {
+                key_cols,
+                children: jt.children(i),
+                child_key_cols: vec![],
+                views: vec![],
+                slot_registry: HashMap::new(),
+                view_registry: HashMap::new(),
+            });
+        }
+        // child_key_cols: resolve each child's key attrs inside this node's
+        // relation (the attr names are shared by construction).
+        for i in 0..n {
+            let children = nodes[i].children.clone();
+            let mut ckc = Vec::with_capacity(children.len());
+            for &c in &children {
+                let cols: Vec<usize> = nodes[c]
+                    .key_cols
+                    .iter()
+                    .map(|&cc| {
+                        let name = &rels[c].schema().attr(cc).name;
+                        rels[i].schema().require(name)
+                    })
+                    .collect::<Result<_, _>>()?;
+                ckc.push(cols);
+            }
+            nodes[i].child_key_cols = ckc;
+        }
+        // Bottom-up order from the GYO/reroot order (leaves first).
+        let order = jt.order.clone();
+        // Attribute ownership: non-key attributes appear in exactly one
+        // relation.
+        let mut owner: HashMap<String, (usize, usize)> = HashMap::new();
+        for (i, rel) in rels.iter().enumerate() {
+            for (ci, a) in rel.schema().attrs().iter().enumerate() {
+                if hg.var_id(&a.name).is_none() {
+                    owner.insert(a.name.clone(), (i, ci));
+                }
+            }
+        }
+        // Subtree node sets.
+        let mut subtree: Vec<HashSet<usize>> = (0..n).map(|i| HashSet::from([i])).collect();
+        for &i in &order {
+            if let Some(p) = jt.parent[i] {
+                let s = subtree[i].clone();
+                subtree[p].extend(s);
+            }
+        }
+        Ok(Plan { rels, nodes, order, root, owner, subtree })
+    }
+
+    /// Resolves an aggregate attribute, erroring on join keys / unknowns.
+    fn resolve(&self, attr: &str) -> Result<(usize, usize), DataError> {
+        self.owner.get(attr).copied().ok_or_else(|| {
+            DataError::Invalid(format!(
+                "aggregate attribute `{attr}` must be a non-join attribute of exactly one relation"
+            ))
+        })
+    }
+
+    /// Decomposes aggregate `agg_idx` at `node`, registering views/slots;
+    /// returns `(view, slot)` at this node.
+    fn decompose(
+        &mut self,
+        agg: &crate::batch::Aggregate,
+        agg_idx: usize,
+        node: usize,
+        share: bool,
+    ) -> Result<(usize, usize), DataError> {
+        // Children first.
+        let children = self.nodes[node].children.clone();
+        let mut child_results = Vec::with_capacity(children.len());
+        for &c in &children {
+            child_results.push(self.decompose(agg, agg_idx, c, share)?);
+        }
+        // Local pieces.
+        let mut local_factors: Vec<(usize, Fn1)> = Vec::new();
+        for (a, f) in &agg.factors {
+            let (n, col) = self.resolve(a)?;
+            if n == node {
+                local_factors.push((col, *f));
+            } else if !self.subtree[node].contains(&n) && !self.subtree[n].contains(&node) {
+                // owned elsewhere — fine
+            }
+        }
+        local_factors.sort_by_key(|&(c, f)| (c, f as u8));
+        let mut local_filter: Vec<(usize, FilterOp)> = Vec::new();
+        for (a, op) in &agg.filter {
+            let (n, col) = self.resolve(a)?;
+            if n == node {
+                local_filter.push((col, op.clone()));
+            }
+        }
+        local_filter.sort_by_key(|(c, _)| *c);
+        let mut local_group_attrs: Vec<String> = Vec::new();
+        let mut group_attrs: Vec<String> = Vec::new();
+        for g in &agg.group_by {
+            let (n, _col) = self.resolve(g)?;
+            if n == node {
+                local_group_attrs.push(g.clone());
+            }
+            if self.subtree[node].contains(&n) {
+                group_attrs.push(g.clone());
+            }
+        }
+        group_attrs.sort();
+        group_attrs.dedup();
+
+        // Signatures.
+        let mut sig = String::new();
+        use std::fmt::Write as _;
+        for (c, f) in &local_factors {
+            let _ = write!(sig, "f{c}.{};", *f as u8);
+        }
+        for (c, op) in &local_filter {
+            let _ = write!(sig, "w{c}.{op:?};");
+        }
+        let _ = write!(sig, "g{};", group_attrs.join(","));
+        for (v, s) in &child_results {
+            let _ = write!(sig, "c{v}.{s};");
+        }
+        let mut view_sig = format!("g:{}", group_attrs.join(","));
+        if !share {
+            // No sharing: every aggregate gets private views and slots.
+            let _ = write!(sig, "#agg{agg_idx}");
+            let _ = write!(view_sig, "#agg{agg_idx}");
+        }
+        if let Some(&hit) = self.nodes[node].slot_registry.get(&sig) {
+            return Ok(hit);
+        }
+        // Find or create the view.
+        let view_idx = match self.nodes[node].view_registry.get(&view_sig) {
+            Some(&v) => v,
+            None => {
+                let local_groups: Vec<(usize, usize)> = local_group_attrs
+                    .iter()
+                    .map(|g| {
+                        let pos = group_attrs.iter().position(|x| x == g).expect("local ⊆ all");
+                        let (_, col) = self.owner[g];
+                        (pos, col)
+                    })
+                    .collect();
+                // Child view + group mapping per child. The child view for
+                // this group signature is the view its (view,slot) result
+                // lives in — recorded in child_results.
+                let mut child_views = Vec::with_capacity(children.len());
+                for (pos, &c) in children.iter().enumerate() {
+                    let (cv, _) = child_results[pos];
+                    let mapping: Vec<(usize, usize)> = self.nodes[c].views[cv]
+                        .group_attrs
+                        .iter()
+                        .enumerate()
+                        .map(|(cpos, g)| {
+                            let mypos =
+                                group_attrs.iter().position(|x| x == g).expect("child ⊆ all");
+                            (mypos, cpos)
+                        })
+                        .collect();
+                    child_views.push((cv, mapping));
+                }
+                let v = ViewPlan {
+                    group_attrs: group_attrs.clone(),
+                    local_groups,
+                    child_views,
+                    slots: vec![],
+                };
+                self.nodes[node].views.push(v);
+                let idx = self.nodes[node].views.len() - 1;
+                self.nodes[node].view_registry.insert(view_sig, idx);
+                idx
+            }
+        };
+        // Consistency: a shared view must agree on which child views feed it.
+        debug_assert!(self.nodes[node].views[view_idx]
+            .child_views
+            .iter()
+            .zip(&child_results)
+            .all(|((cv, _), (rv, _))| cv == rv));
+        let slot = SlotPlan {
+            factors: local_factors,
+            filter: local_filter,
+            child_slots: child_results.iter().map(|&(_, s)| s).collect(),
+        };
+        self.nodes[node].views[view_idx].slots.push(slot);
+        let slot_idx = self.nodes[node].views[view_idx].slots.len() - 1;
+        self.nodes[node].slot_registry.insert(sig, (view_idx, slot_idx));
+        Ok((view_idx, slot_idx))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// Typed column accessor — the "specialisation" fast path.
+enum Col<'a> {
+    F(&'a [f64]),
+    I(&'a [i64]),
+}
+
+impl<'a> Col<'a> {
+    #[inline]
+    fn get(&self, row: usize) -> f64 {
+        match self {
+            Col::F(v) => v[row],
+            Col::I(v) => v[row] as f64,
+        }
+    }
+
+    #[inline]
+    fn get_int(&self, row: usize) -> i64 {
+        match self {
+            Col::F(v) => v[row] as i64,
+            Col::I(v) => v[row],
+        }
+    }
+}
+
+#[inline]
+fn filter_pass(op: &FilterOp, x_f: f64, x_i: i64) -> bool {
+    match op {
+        FilterOp::Ge(t) => x_f >= *t,
+        FilterOp::Lt(t) => x_f < *t,
+        FilterOp::Eq(v) => x_i == *v,
+        FilterOp::Ne(v) => x_i != *v,
+        FilterOp::In(vs) => vs.binary_search(&x_i).is_ok(),
+    }
+}
+
+fn compute_node(
+    plan: &Plan<'_>,
+    node: usize,
+    child_data: &[Option<Vec<ViewData>>],
+    cfg: &EngineConfig,
+    rows: std::ops::Range<usize>,
+) -> Vec<ViewData> {
+    let np = &plan.nodes[node];
+    let rel = plan.rels[node];
+    let cols: Vec<Col<'_>> = (0..rel.schema().arity())
+        .map(|c| {
+            if rel.schema().attr(c).ty.is_int_backed() {
+                Col::I(rel.int_col(c))
+            } else {
+                Col::F(rel.f64_col(c))
+            }
+        })
+        .collect();
+    let mut out: Vec<ViewData> = np.views.iter().map(|_| ViewData::new()).collect();
+    let nchildren = np.children.len();
+    // Distinct (child position, child view) lookups across all views: each
+    // is fetched once per row and shared by every view needing it.
+    let mut lookup_specs: Vec<(usize, usize)> = Vec::new();
+    let view_lookups: Vec<Vec<usize>> = np
+        .views
+        .iter()
+        .map(|vp| {
+            vp.child_views
+                .iter()
+                .enumerate()
+                .map(|(cpos, &(cv, _))| {
+                    match lookup_specs.iter().position(|&ls| ls == (cpos, cv)) {
+                        Some(i) => i,
+                        None => {
+                            lookup_specs.push((cpos, cv));
+                            lookup_specs.len() - 1
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    // Hash-free accumulators for scalar views (empty key, no group-bys) —
+    // the bulk of a covariance batch at the root.
+    let scalar_view: Vec<bool> = np
+        .views
+        .iter()
+        .map(|vp| np.key_cols.is_empty() && vp.group_attrs.is_empty())
+        .collect();
+    let mut scalar_payloads: Vec<Vec<f64>> = np
+        .views
+        .iter()
+        .enumerate()
+        .map(|(vi, vp)| if scalar_view[vi] { vec![0.0; vp.slots.len()] } else { vec![] })
+        .collect();
+    // Reused per-row buffers: the hot loop allocates only on first
+    // insertion of a new key.
+    let mut child_keys: Vec<Vec<i64>> = vec![Vec::new(); nchildren];
+    let mut key_buf: Vec<i64> = Vec::new();
+    let mut gkey_buf: Vec<i64> = Vec::new();
+    let mut fetched: Vec<Option<*const HashMap<Box<[i64]>, Vec<f64>>>> =
+        vec![None; lookup_specs.len()];
+    for row in rows {
+        // Generic (unspecialized) mode materializes the tuple first — the
+        // per-tuple interpretation overhead LMFAO's code generation removes.
+        let generic_row: Option<Vec<fdb_data::Value>> =
+            if cfg.specialize { None } else { Some(rel.row_vec(row)) };
+        let getf = |c: usize| -> f64 {
+            match &generic_row {
+                None => cols[c].get(row),
+                Some(r) => r[c].as_f64(),
+            }
+        };
+        let geti = |c: usize| -> i64 {
+            match &generic_row {
+                None => cols[c].get_int(row),
+                Some(r) => r[c].as_int(),
+            }
+        };
+        // Row keys, once per child and once to the parent.
+        for (cpos, buf) in child_keys.iter_mut().enumerate() {
+            buf.clear();
+            buf.extend(np.child_key_cols[cpos].iter().map(|&c| geti(c)));
+        }
+        key_buf.clear();
+        key_buf.extend(np.key_cols.iter().map(|&c| geti(c)));
+        // Fetch each distinct child view once. Raw pointers sidestep the
+        // borrow of `child_data` across the mutable `out` uses below; the
+        // maps live in `child_data`, which is untouched for this node.
+        for (li, &(cpos, cv)) in lookup_specs.iter().enumerate() {
+            let data = child_data[np.children[cpos]].as_ref().expect("child computed first");
+            fetched[li] = data[cv]
+                .get(child_keys[cpos].as_slice())
+                .map(|m| m as *const HashMap<Box<[i64]>, Vec<f64>>);
+        }
+        'views: for (vi, vp) in np.views.iter().enumerate() {
+            // Resolve this view's child entries; a missing partner kills
+            // the row's contribution to this view.
+            let mut entries: Vec<&HashMap<Box<[i64]>, Vec<f64>>> =
+                Vec::with_capacity(nchildren);
+            for &li in &view_lookups[vi] {
+                match fetched[li] {
+                    // SAFETY: points into `child_data`, alive and unaliased
+                    // by the writes to `out`/`scalar_payloads`.
+                    Some(p) => entries.push(unsafe { &*p }),
+                    None => continue 'views,
+                }
+            }
+            let group_len = vp.group_attrs.len();
+            // Fast path: every child contributes exactly one group entry
+            // (always true for scalar views) — no cross product needed.
+            if entries.iter().all(|m| m.len() == 1) {
+                gkey_buf.clear();
+                gkey_buf.resize(group_len, 0);
+                for &(pos, col) in &vp.local_groups {
+                    gkey_buf[pos] = geti(col);
+                }
+                let mut single: [&Vec<f64>; 8] = [&EMPTY_PAYLOAD; 8];
+                debug_assert!(nchildren <= 8, "widen the buffer for deeper trees");
+                for (cpos, m) in entries.iter().enumerate() {
+                    let (gvals, pay) = m.iter().next().expect("len 1");
+                    for &(mypos, cpos_g) in &vp.child_views[cpos].1 {
+                        gkey_buf[mypos] = gvals[cpos_g];
+                    }
+                    single[cpos] = pay;
+                }
+                let payload: &mut Vec<f64> = if scalar_view[vi] {
+                    &mut scalar_payloads[vi]
+                } else {
+                    lookup_payload(&mut out[vi], &key_buf, &gkey_buf, vp.slots.len())
+                };
+                'slots: for (si, slot) in vp.slots.iter().enumerate() {
+                    for (c, op) in &slot.filter {
+                        if !filter_pass(op, getf(*c), geti(*c)) {
+                            continue 'slots;
+                        }
+                    }
+                    let mut v = 1.0;
+                    for &(c, f) in &slot.factors {
+                        v *= f.apply(getf(c));
+                    }
+                    for (cpos, _) in entries.iter().enumerate() {
+                        v *= single[cpos][slot.child_slots[cpos]];
+                    }
+                    payload[si] += v;
+                }
+                continue 'views;
+            }
+            // General path: cross product of child group entries.
+            let entry_lists: Vec<Vec<(&Box<[i64]>, &Vec<f64>)>> =
+                entries.iter().map(|m| m.iter().collect()).collect();
+            let mut idx = vec![0usize; nchildren];
+            loop {
+                gkey_buf.clear();
+                gkey_buf.resize(group_len, 0);
+                for &(pos, col) in &vp.local_groups {
+                    gkey_buf[pos] = geti(col);
+                }
+                for (cpos, list) in entry_lists.iter().enumerate() {
+                    let (gvals, _) = list[idx[cpos]];
+                    for &(mypos, cpos_g) in &vp.child_views[cpos].1 {
+                        gkey_buf[mypos] = gvals[cpos_g];
+                    }
+                }
+                // Accumulate all slots for this combination.
+                let payload: &mut Vec<f64> = if scalar_view[vi] {
+                    &mut scalar_payloads[vi]
+                } else {
+                    lookup_payload(&mut out[vi], &key_buf, &gkey_buf, vp.slots.len())
+                };
+                'slots: for (si, slot) in vp.slots.iter().enumerate() {
+                    for (c, op) in &slot.filter {
+                        if !filter_pass(op, getf(*c), geti(*c)) {
+                            continue 'slots;
+                        }
+                    }
+                    let mut v = 1.0;
+                    for &(c, f) in &slot.factors {
+                        v *= f.apply(getf(c));
+                    }
+                    for (cpos, list) in entry_lists.iter().enumerate() {
+                        let (_, pay) = list[idx[cpos]];
+                        v *= pay[slot.child_slots[cpos]];
+                    }
+                    payload[si] += v;
+                }
+                // Advance the multi-index.
+                let mut d = 0;
+                loop {
+                    if d == nchildren {
+                        break;
+                    }
+                    idx[d] += 1;
+                    if idx[d] < entry_lists[d].len() {
+                        break;
+                    }
+                    idx[d] = 0;
+                    d += 1;
+                }
+                if d == nchildren {
+                    break;
+                }
+            }
+        }
+    }
+    // Fold the hash-free scalar accumulators into the map representation.
+    for (vi, payload) in scalar_payloads.into_iter().enumerate() {
+        if scalar_view[vi] {
+            let empty_key: Box<[i64]> = Vec::new().into();
+            out[vi].entry(empty_key.clone()).or_default().insert(empty_key, payload);
+        }
+    }
+    out
+}
+
+static EMPTY_PAYLOAD: Vec<f64> = Vec::new();
+
+/// Finds (or inserts zero-initialized) the payload vector for
+/// `(key, gkey)`, cloning the key buffers only on first insertion.
+#[inline]
+fn lookup_payload<'m>(
+    view: &'m mut ViewData,
+    key: &[i64],
+    gkey: &[i64],
+    slots: usize,
+) -> &'m mut Vec<f64> {
+    if !view.contains_key(key) {
+        view.insert(key.into(), HashMap::new());
+    }
+    let groups = view.get_mut(key).expect("ensured above");
+    if !groups.contains_key(gkey) {
+        groups.insert(gkey.into(), vec![0.0; slots]);
+    }
+    groups.get_mut(gkey).expect("ensured above")
+}
+
+fn merge_view_data(a: &mut Vec<ViewData>, b: Vec<ViewData>) {
+    for (va, vb) in a.iter_mut().zip(b) {
+        for (key, groups) in vb {
+            let ga = va.entry(key).or_default();
+            for (gkey, payload) in groups {
+                match ga.get_mut(&gkey) {
+                    Some(p) => {
+                        for (x, y) in p.iter_mut().zip(&payload) {
+                            *x += *y;
+                        }
+                    }
+                    None => {
+                        ga.insert(gkey, payload);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Computes all nodes of `subtree_order` sequentially (bottom-up).
+fn compute_subtree(
+    plan: &Plan<'_>,
+    order: &[usize],
+    data: &mut Vec<Option<Vec<ViewData>>>,
+    cfg: &EngineConfig,
+) {
+    for &n in order {
+        let out = compute_node(plan, n, data, cfg, 0..plan.rels[n].len());
+        data[n] = Some(out);
+    }
+}
+
+/// Runs an aggregate batch over the natural join of `relations`.
+pub fn run_batch(
+    db: &Database,
+    relations: &[&str],
+    batch: &AggBatch,
+    cfg: &EngineConfig,
+) -> Result<BatchResult, DataError> {
+    let mut plan = Plan::build(db, relations)?;
+    let root = plan.root;
+    // Decompose every aggregate from the root.
+    let mut agg_slots = Vec::with_capacity(batch.aggs.len());
+    for (i, agg) in batch.aggs.iter().enumerate() {
+        agg_slots.push(plan.decompose(agg, i, root, cfg.share)?);
+    }
+    let plan = plan; // freeze
+    let mut data: Vec<Option<Vec<ViewData>>> = plan.rels.iter().map(|_| None).collect();
+
+    // Non-root nodes bottom-up; root children subtrees are independent and
+    // can run task-parallel.
+    let non_root: Vec<usize> = plan.order.iter().copied().filter(|&n| n != root).collect();
+    if cfg.threads > 1 && plan.nodes[root].children.len() > 1 {
+        // Partition non-root order into per-root-child subtrees.
+        let children = plan.nodes[root].children.clone();
+        let mut partitions: Vec<Vec<usize>> = children
+            .iter()
+            .map(|&c| non_root.iter().copied().filter(|n| plan.subtree[c].contains(n)).collect())
+            .collect();
+        let results: Vec<Vec<(usize, Vec<ViewData>)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = partitions
+                .drain(..)
+                .map(|part| {
+                    let plan_ref = &plan;
+                    let cfg = *cfg;
+                    s.spawn(move || {
+                        let mut local: Vec<Option<Vec<ViewData>>> =
+                            plan_ref.rels.iter().map(|_| None).collect();
+                        for &n in &part {
+                            let out =
+                                compute_node(plan_ref, n, &local, &cfg, 0..plan_ref.rels[n].len());
+                            local[n] = Some(out);
+                        }
+                        part.iter().map(|&n| (n, local[n].take().expect("set"))).collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+        });
+        for part in results {
+            for (n, d) in part {
+                data[n] = Some(d);
+            }
+        }
+    } else {
+        compute_subtree(&plan, &non_root, &mut data, cfg);
+    }
+
+    // Root: domain parallelism over row chunks.
+    let root_rows = plan.rels[root].len();
+    let root_data = if cfg.threads > 1 && root_rows > 4096 {
+        let t = cfg.threads.min(root_rows);
+        let chunk = root_rows.div_ceil(t);
+        let partials: Vec<Vec<ViewData>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..t)
+                .map(|k| {
+                    let plan_ref = &plan;
+                    let data_ref = &data;
+                    let cfg = *cfg;
+                    s.spawn(move || {
+                        let lo = k * chunk;
+                        let hi = ((k + 1) * chunk).min(root_rows);
+                        compute_node(plan_ref, root, data_ref, &cfg, lo..hi)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+        });
+        let mut it = partials.into_iter();
+        let mut acc = it.next().expect("at least one chunk");
+        for p in it {
+            merge_view_data(&mut acc, p);
+        }
+        acc
+    } else {
+        compute_node(&plan, root, &data, cfg, 0..root_rows)
+    };
+
+    // Extract results.
+    let empty_key: Box<[i64]> = Vec::new().into();
+    let mut groups = Vec::with_capacity(batch.aggs.len());
+    let mut values = Vec::with_capacity(batch.aggs.len());
+    for &(vi, si) in &agg_slots {
+        let vp = &plan.nodes[root].views[vi];
+        groups.push(vp.group_attrs.clone());
+        let mut map: HashMap<Box<[i64]>, f64> = HashMap::new();
+        if let Some(entries) = root_data[vi].get(&empty_key) {
+            for (gkey, payload) in entries {
+                if payload[si] != 0.0 {
+                    map.insert(gkey.clone(), payload[si]);
+                }
+            }
+        }
+        values.push(map);
+    }
+    Ok(BatchResult { groups, values })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Aggregate;
+    use fdb_data::Value;
+    use fdb_query::{eval_agg, natural_join_all, AggQuery, Predicate, ScalarExpr};
+
+    fn tiny_retailer() -> (Database, Vec<&'static str>) {
+        let ds = fdb_datasets::retailer(fdb_datasets::RetailerConfig::tiny());
+        (ds.db, vec!["Inventory", "Location", "Census", "Item", "Weather"])
+    }
+
+    /// Translates one of our aggregates into the classical engine's form.
+    fn as_query(agg: &Aggregate) -> AggQuery {
+        let expr = if agg.factors.is_empty() {
+            ScalarExpr::One
+        } else {
+            ScalarExpr::Mul(
+                agg.factors
+                    .iter()
+                    .flat_map(|(a, f)| match f {
+                        Fn1::Ident => vec![ScalarExpr::Col(a.clone())],
+                        Fn1::Square => {
+                            vec![ScalarExpr::Col(a.clone()), ScalarExpr::Col(a.clone())]
+                        }
+                    })
+                    .collect(),
+            )
+        };
+        let mut q = AggQuery {
+            group_by: agg.group_by.clone(),
+            expr,
+            filter: None,
+        };
+        if !agg.filter.is_empty() {
+            let preds: Vec<Predicate> = agg
+                .filter
+                .iter()
+                .map(|(a, op)| match op {
+                    FilterOp::Ge(t) => Predicate::Ge(a.clone(), *t),
+                    FilterOp::Lt(t) => Predicate::Lt(a.clone(), *t),
+                    FilterOp::Eq(v) => Predicate::Eq(a.clone(), Value::Int(*v)),
+                    FilterOp::Ne(v) => Predicate::Ne(a.clone(), Value::Int(*v)),
+                    FilterOp::In(vs) => Predicate::In(a.clone(), vs.clone()),
+                })
+                .collect();
+            q.filter = Some(Predicate::And(preds));
+        }
+        q
+    }
+
+    /// Compares LMFAO against the classical engine on the materialized join.
+    fn check_batch(db: &Database, rels: &[&str], batch: &AggBatch, cfg: &EngineConfig) {
+        let got = run_batch(db, rels, batch, cfg).unwrap();
+        let flat = natural_join_all(db, rels).unwrap();
+        for (i, agg) in batch.aggs.iter().enumerate() {
+            let expect = eval_agg(&flat, &as_query(agg)).unwrap();
+            // Expected keys are in agg.group_by order; ours in sorted order.
+            let perm: Vec<usize> = got.groups[i]
+                .iter()
+                .map(|g| agg.group_by.iter().position(|x| x == g).expect("same set"))
+                .collect();
+            let mut expect_mapped: HashMap<Box<[i64]>, f64> = HashMap::new();
+            for (k, v) in &expect {
+                let mapped: Box<[i64]> =
+                    perm.iter().map(|&p| k[p].as_int()).collect();
+                if *v != 0.0 {
+                    expect_mapped.insert(mapped, *v);
+                }
+            }
+            let gotmap = got.grouped(i);
+            assert_eq!(
+                gotmap.len(),
+                expect_mapped.len(),
+                "agg {i} ({agg:?}): group count mismatch"
+            );
+            for (k, v) in gotmap {
+                let e = expect_mapped.get(k).copied().unwrap_or(f64::NAN);
+                assert!(
+                    (v - e).abs() <= 1e-6 * (1.0 + e.abs()),
+                    "agg {i} ({agg:?}) key {k:?}: got {v}, expect {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn covariance_batch_matches_classical_engine() {
+        let (db, rels) = tiny_retailer();
+        let batch = crate::batchgen::covariance_batch(
+            &["prize", "maxtemp", "population", "inventoryunits"],
+            &["rain", "category"],
+        );
+        check_batch(&db, &rels, &batch, &EngineConfig::default());
+    }
+
+    #[test]
+    fn unshared_and_unspecialized_agree() {
+        let (db, rels) = tiny_retailer();
+        let batch = crate::batchgen::covariance_batch(
+            &["prize", "inventoryunits"],
+            &["rain", "categoryCluster"],
+        );
+        for cfg in [
+            EngineConfig { specialize: false, share: false, threads: 1 },
+            EngineConfig { specialize: true, share: false, threads: 1 },
+            EngineConfig { specialize: false, share: true, threads: 1 },
+        ] {
+            check_batch(&db, &rels, &batch, &cfg);
+        }
+    }
+
+    #[test]
+    fn parallel_agrees_with_sequential() {
+        let (db, rels) = tiny_retailer();
+        let batch = crate::batchgen::covariance_batch(
+            &["prize", "maxtemp", "inventoryunits"],
+            &["rain"],
+        );
+        let seq = run_batch(&db, &rels, &batch, &EngineConfig::default()).unwrap();
+        let par = run_batch(
+            &db,
+            &rels,
+            &batch,
+            &EngineConfig { threads: 4, ..Default::default() },
+        )
+        .unwrap();
+        for i in 0..batch.len() {
+            assert_eq!(seq.groups[i], par.groups[i]);
+            for (k, v) in seq.grouped(i) {
+                let p = par.grouped(i)[k];
+                assert!((v - p).abs() <= 1e-9 * (1.0 + v.abs()), "agg {i}: {v} vs {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_decision_tree_batch_matches() {
+        let (db, rels) = tiny_retailer();
+        let batch = crate::batchgen::decision_node_batch(
+            &["prize", "maxtemp"],
+            &["rain"],
+            "inventoryunits",
+            3,
+            2,
+            |attr, j| match attr {
+                "prize" => 5.0 + 10.0 * j as f64,
+                _ => 5.0 * j as f64,
+            },
+        );
+        check_batch(&db, &rels, &batch, &EngineConfig::default());
+    }
+
+    #[test]
+    fn cross_branch_categorical_pairs() {
+        // category (Item) × rain (Weather): group attrs from different
+        // subtrees exercise the cross-product path.
+        let (db, rels) = tiny_retailer();
+        let mut batch = AggBatch::new();
+        batch.push(Aggregate::count().by(&["category", "rain"]));
+        batch.push(Aggregate::sum("inventoryunits").by(&["category", "rain"]));
+        check_batch(&db, &rels, &batch, &EngineConfig::default());
+    }
+
+    #[test]
+    fn sharing_reduces_slot_count() {
+        let (db, rels) = tiny_retailer();
+        let batch = crate::batchgen::covariance_batch(
+            &["prize", "maxtemp", "population", "inventoryunits"],
+            &["rain", "category"],
+        );
+        let count_slots = |share: bool| -> usize {
+            let mut plan = Plan::build(&db, &rels).unwrap();
+            let root = plan.root;
+            for (i, agg) in batch.aggs.iter().enumerate() {
+                plan.decompose(agg, i, root, share).unwrap();
+            }
+            plan.nodes
+                .iter()
+                .map(|n| n.views.iter().map(|v| v.slots.len()).sum::<usize>())
+                .sum()
+        };
+        let shared = count_slots(true);
+        let unshared = count_slots(false);
+        assert!(
+            shared * 2 < unshared,
+            "sharing should cut slots at least 2x: {shared} vs {unshared}"
+        );
+    }
+
+    #[test]
+    fn join_key_as_factor_is_rejected() {
+        let (db, rels) = tiny_retailer();
+        let mut batch = AggBatch::new();
+        batch.push(Aggregate::sum("locn"));
+        assert!(run_batch(&db, &rels, &batch, &EngineConfig::default()).is_err());
+    }
+
+    #[test]
+    fn empty_join_yields_zero_scalars() {
+        let (mut db, rels) = tiny_retailer();
+        let schema = db.get("Item").unwrap().schema().clone();
+        db.add("Item", Relation::new(schema));
+        let mut batch = AggBatch::new();
+        batch.push(Aggregate::count());
+        let res = run_batch(&db, &rels, &batch, &EngineConfig::default()).unwrap();
+        assert_eq!(res.scalar(0), 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # fdb-core — LMFAO
+//!
+//! A layered engine for **batches** of group-by aggregates over joins — the
+//! paper's primary contribution (§2, §4; Schleich et al., SIGMOD 2019).
+//!
+//! The workload: machine-learning tasks reduce to hundreds or thousands of
+//! very similar sum-product aggregates over one feature extraction join
+//! (Figure 5). LMFAO evaluates the whole batch in one bottom-up pass over a
+//! join tree:
+//!
+//! * [`batch`] — the aggregate IR: `SUM(Π f(attr)) WHERE cond GROUP BY cats`.
+//! * [`batchgen`] — batch synthesis for the paper's four workloads:
+//!   covariance matrix, decision-tree node, mutual information, k-means.
+//! * [`engine`] — the layered evaluator: aggregates are decomposed top-down
+//!   along the join tree into *views*; identical partial aggregates are
+//!   computed once (sharing); views at a node are consolidated and computed
+//!   in one shared scan; typed column kernels (specialisation) and
+//!   domain/task parallelism lower the constants (§4, Figure 6 ablation).
+//! * [`stats`] — `SufficientStats`: the sparse-tensor sufficient statistics
+//!   (§2.1) assembled from a batch result, consumed by `fdb-ml`.
+
+pub mod batch;
+pub mod batchgen;
+pub mod engine;
+pub mod stats;
+
+pub use batch::{AggBatch, Aggregate, FilterOp, Fn1};
+pub use batchgen::{covariance_batch, decision_node_batch, kmeans_batch, mutual_info_batch};
+pub use engine::{run_batch, BatchResult, EngineConfig};
+pub use stats::{sufficient_stats, SufficientStats};

@@ -1,0 +1,234 @@
+//! Sufficient statistics for learning: the sparse-tensor covariance
+//! structure of §2.1, assembled from a batch result.
+//!
+//! For continuous features (with the response last) the statistics are the
+//! count, sums, and second moments — the `(c, s, Q)` of the covariance
+//! ring. Categorical features are *not* one-hot encoded; their
+//! interactions are kept as group-by maps over the category codes that
+//! actually occur ("sparse tensor encoding").
+
+use crate::batch::AggBatch;
+use crate::batchgen::covariance_batch;
+use crate::engine::{run_batch, EngineConfig};
+use fdb_data::{DataError, Database};
+use fdb_factorized::EvalSpec;
+use fdb_ring::{CovRing, CovTriple, Semiring};
+use std::collections::HashMap;
+
+/// Sufficient statistics of a feature extraction query.
+#[derive(Debug, Clone)]
+pub struct SufficientStats {
+    /// Continuous attributes (response last).
+    pub cont: Vec<String>,
+    /// Categorical attributes.
+    pub cat: Vec<String>,
+    /// `SUM(1)` over the join.
+    pub count: f64,
+    /// `SUM(ci)` per continuous attribute.
+    pub sum: Vec<f64>,
+    /// `SUM(ci*cj)` lower-triangular: entry `(i, j)`, `j <= i`, at
+    /// `i*(i+1)/2 + j`.
+    pub q: Vec<f64>,
+    /// `SUM(1) GROUP BY cat_k`.
+    pub cat_counts: Vec<HashMap<i64, f64>>,
+    /// `SUM(cont_i) GROUP BY cat_k`, indexed `[k][i]`.
+    pub cat_cont_sums: Vec<Vec<HashMap<i64, f64>>>,
+    /// `SUM(1) GROUP BY cat_k, cat_l` for `k < l`, indexed by the pair
+    /// `(k, l)` with keys `(code_k, code_l)`.
+    pub cat_pair_counts: HashMap<(usize, usize), HashMap<(i64, i64), f64>>,
+}
+
+impl SufficientStats {
+    /// The second moment `SUM(ci * cj)` (symmetric).
+    pub fn moment(&self, i: usize, j: usize) -> f64 {
+        let (i, j) = if i >= j { (i, j) } else { (j, i) };
+        self.q[i * (i + 1) / 2 + j]
+    }
+
+    /// Number of continuous attributes (including the response).
+    pub fn n_cont(&self) -> usize {
+        self.cont.len()
+    }
+}
+
+/// Computes sufficient statistics with the LMFAO engine.
+///
+/// `continuous` must list the response last (as
+/// [`fdb_datasets`-style feature sets do](SufficientStats::cont)).
+pub fn sufficient_stats(
+    db: &Database,
+    relations: &[&str],
+    continuous: &[&str],
+    categorical: &[&str],
+    cfg: &EngineConfig,
+) -> Result<SufficientStats, DataError> {
+    let batch: AggBatch = covariance_batch(continuous, categorical);
+    let res = run_batch(db, relations, &batch, cfg)?;
+    let n = continuous.len();
+    let m = categorical.len();
+    let mut cursor = 0usize;
+    let mut next_scalar = |res: &crate::engine::BatchResult| {
+        let v = res.scalar(cursor);
+        cursor += 1;
+        v
+    };
+    let count = next_scalar(&res);
+    let mut sum = vec![0.0; n];
+    let mut q = vec![0.0; n * (n + 1) / 2];
+    for i in 0..n {
+        sum[i] = next_scalar(&res);
+        for j in i..n {
+            let v = next_scalar(&res);
+            let (hi, lo) = (j, i); // j >= i
+            q[hi * (hi + 1) / 2 + lo] = v;
+        }
+    }
+    let mut cat_counts = Vec::with_capacity(m);
+    let mut cat_cont_sums = Vec::with_capacity(m);
+    for _k in 0..m {
+        let mut cc: HashMap<i64, f64> = HashMap::new();
+        for (key, v) in res.grouped(cursor) {
+            cc.insert(key[0], *v);
+        }
+        cursor += 1;
+        cat_counts.push(cc);
+        let mut per_cont = Vec::with_capacity(n);
+        for _i in 0..n {
+            let mut cs: HashMap<i64, f64> = HashMap::new();
+            for (key, v) in res.grouped(cursor) {
+                cs.insert(key[0], *v);
+            }
+            cursor += 1;
+            per_cont.push(cs);
+        }
+        cat_cont_sums.push(per_cont);
+    }
+    let mut cat_pair_counts = HashMap::new();
+    for k in 0..m {
+        for l in k + 1..m {
+            // Group key order is sorted by attribute name.
+            let swap = categorical[k] > categorical[l];
+            let mut map: HashMap<(i64, i64), f64> = HashMap::new();
+            for (key, v) in res.grouped(cursor) {
+                let (a, b) = if swap { (key[1], key[0]) } else { (key[0], key[1]) };
+                map.insert((a, b), *v);
+            }
+            cursor += 1;
+            cat_pair_counts.insert((k, l), map);
+        }
+    }
+    debug_assert_eq!(cursor, batch.len());
+    Ok(SufficientStats {
+        cont: continuous.iter().map(|s| s.to_string()).collect(),
+        cat: categorical.iter().map(|s| s.to_string()).collect(),
+        count,
+        sum,
+        q,
+        cat_counts,
+        cat_cont_sums,
+        cat_pair_counts,
+    })
+}
+
+/// Computes the continuous block `(count, sums, moments)` with the
+/// *factorized covariance-ring evaluator* instead of the LMFAO view engine
+/// — one pass, one ring element (§5.2). Used to cross-check the two
+/// engines against each other and by F-IVM.
+pub fn cov_triple_factorized(
+    db: &Database,
+    relations: &[&str],
+    continuous: &[&str],
+) -> Result<CovTriple, DataError> {
+    let spec = EvalSpec::new(db, relations, &[])?;
+    let ring = CovRing::new(continuous.len());
+    // For each relation: which continuous attributes it owns, with their
+    // global indices and columns.
+    let mut owned: Vec<Vec<(usize, usize)>> = Vec::with_capacity(relations.len());
+    for (ri, _) in relations.iter().enumerate() {
+        let rel = spec.relation(ri);
+        let mut v = Vec::new();
+        for (gi, attr) in continuous.iter().enumerate() {
+            if let Ok(ci) = rel.schema().require(attr) {
+                // Attribute ownership: continuous features are non-keys,
+                // present in exactly one relation.
+                v.push((gi, ci));
+            }
+        }
+        owned.push(v);
+    }
+    let result = spec.eval(
+        &ring,
+        |_, _| ring.one(),
+        |ri, rows| {
+            let rel = spec.relation(ri);
+            let mine = &owned[ri];
+            let mut acc = ring.zero();
+            let mut idx: Vec<usize> = Vec::with_capacity(mine.len());
+            let mut vals: Vec<f64> = Vec::with_capacity(mine.len());
+            for r in rows {
+                idx.clear();
+                vals.clear();
+                for &(gi, ci) in mine {
+                    idx.push(gi);
+                    vals.push(rel.value_f64(r, ci));
+                }
+                ring.add_assign(&mut acc, &ring.lift_sparse(&idx, &vals));
+            }
+            acc
+        },
+    );
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_datasets::{retailer, RetailerConfig};
+
+    #[test]
+    fn stats_unpack_in_generation_order() {
+        let ds = retailer(RetailerConfig::tiny());
+        let rels: Vec<&str> = ds.relation_refs();
+        let stats = sufficient_stats(
+            &ds.db,
+            &rels,
+            &["prize", "maxtemp", "inventoryunits"],
+            &["rain", "category"],
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert!(stats.count > 0.0);
+        assert_eq!(stats.sum.len(), 3);
+        assert_eq!(stats.q.len(), 6);
+        assert_eq!(stats.cat_counts.len(), 2);
+        assert_eq!(stats.cat_cont_sums[0].len(), 3);
+        assert!(stats.cat_pair_counts.contains_key(&(0, 1)));
+        // Marginals must sum to the total count.
+        let rain_total: f64 = stats.cat_counts[0].values().sum();
+        assert!((rain_total - stats.count).abs() < 1e-6);
+        // Pair counts must sum to the total count too.
+        let pair_total: f64 = stats.cat_pair_counts[&(0, 1)].values().sum();
+        assert!((pair_total - stats.count).abs() < 1e-6);
+        // moment(i,j) is symmetric.
+        assert_eq!(stats.moment(0, 2), stats.moment(2, 0));
+    }
+
+    #[test]
+    fn lmfao_and_covring_engines_agree() {
+        let ds = retailer(RetailerConfig::tiny());
+        let rels: Vec<&str> = ds.relation_refs();
+        let cont = ["prize", "maxtemp", "population", "inventoryunits"];
+        let stats =
+            sufficient_stats(&ds.db, &rels, &cont, &[], &EngineConfig::default()).unwrap();
+        let triple = cov_triple_factorized(&ds.db, &rels, &cont).unwrap();
+        assert!((stats.count - triple.c).abs() < 1e-6);
+        for i in 0..cont.len() {
+            let rel_err = (stats.sum[i] - triple.s[i]).abs() / (1.0 + triple.s[i].abs());
+            assert!(rel_err < 1e-9, "sum {i}: {} vs {}", stats.sum[i], triple.s[i]);
+            for j in 0..=i {
+                let (a, b) = (stats.moment(i, j), triple.q_at(i, j));
+                assert!((a - b).abs() / (1.0 + b.abs()) < 1e-9, "q {i},{j}: {a} vs {b}");
+            }
+        }
+    }
+}

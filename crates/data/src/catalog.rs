@@ -1,0 +1,120 @@
+//! Databases: named relations plus the dictionaries of their categorical
+//! attributes, in a stable insertion order.
+
+use crate::dict::Dictionary;
+use crate::error::DataError;
+use crate::relation::Relation;
+use crate::Result;
+use std::collections::HashMap;
+
+/// A catalog of named relations.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    names: Vec<String>,
+    relations: HashMap<String, Relation>,
+    /// Dictionaries for categorical attributes, keyed by attribute name
+    /// (attribute names are global in our star/snowflake schemas).
+    dicts: HashMap<String, Dictionary>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a relation under `name`.
+    pub fn add(&mut self, name: impl Into<String>, rel: Relation) {
+        let name = name.into();
+        if !self.relations.contains_key(&name) {
+            self.names.push(name.clone());
+        }
+        self.relations.insert(name, rel);
+    }
+
+    /// Looks up a relation.
+    pub fn get(&self, name: &str) -> Result<&Relation> {
+        self.relations.get(name).ok_or_else(|| DataError::UnknownRelation(name.to_string()))
+    }
+
+    /// Looks up a relation mutably.
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        self.relations.get_mut(name).ok_or_else(|| DataError::UnknownRelation(name.to_string()))
+    }
+
+    /// Relation names in insertion order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if the database has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(name, relation)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> {
+        self.names.iter().map(move |n| (n.as_str(), &self.relations[n]))
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_rows(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Total approximate byte size across all relations.
+    pub fn total_bytes(&self) -> usize {
+        self.relations.values().map(Relation::byte_size).sum()
+    }
+
+    /// The dictionary for categorical attribute `attr`, creating it if absent.
+    pub fn dict_mut(&mut self, attr: &str) -> &mut Dictionary {
+        self.dicts.entry(attr.to_string()).or_default()
+    }
+
+    /// The dictionary for categorical attribute `attr`, if any.
+    pub fn dict(&self, attr: &str) -> Option<&Dictionary> {
+        self.dicts.get(attr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrType, Schema};
+    use crate::value::Value;
+
+    #[test]
+    fn add_get_and_order() {
+        let mut db = Database::new();
+        let r = Relation::from_rows(
+            Schema::of(&[("a", AttrType::Int)]),
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        )
+        .unwrap();
+        db.add("R", r.clone());
+        db.add("S", r.clone());
+        assert_eq!(db.names(), &["R".to_string(), "S".to_string()]);
+        assert_eq!(db.get("R").unwrap().len(), 2);
+        assert!(db.get("T").is_err());
+        assert_eq!(db.total_rows(), 4);
+        assert_eq!(db.len(), 2);
+        // Replacing keeps order and does not duplicate the name.
+        db.add("R", r);
+        assert_eq!(db.names().len(), 2);
+    }
+
+    #[test]
+    fn dictionaries_per_attribute() {
+        let mut db = Database::new();
+        let c = db.dict_mut("city").encode("zurich");
+        assert_eq!(c, 0);
+        assert_eq!(db.dict("city").unwrap().decode(0), Some("zurich"));
+        assert!(db.dict("country").is_none());
+    }
+}

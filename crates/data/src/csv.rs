@@ -1,0 +1,156 @@
+//! Minimal CSV serialization for relations.
+//!
+//! Used by the Figure 3 reproduction to simulate the structure-agnostic
+//! pipeline's *export / import* step (the paper's "data move" shortcoming):
+//! the materialized data matrix is serialized to CSV bytes and parsed back,
+//! exactly as a PostgreSQL → TensorFlow hand-off would.
+
+use crate::error::DataError;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::Result;
+use std::io::{BufWriter, Write};
+
+/// Serializes a relation to CSV (no header) into `out`.
+pub fn write_csv<W: Write>(rel: &Relation, out: W) -> Result<()> {
+    let mut w = BufWriter::new(out);
+    let arity = rel.schema().arity();
+    let mut line = String::with_capacity(arity * 12);
+    for r in 0..rel.len() {
+        line.clear();
+        for c in 0..arity {
+            if c > 0 {
+                line.push(',');
+            }
+            match rel.value(r, c) {
+                Value::Int(i) => {
+                    line.push_str(itoa_buf(i).as_str());
+                }
+                Value::F64(f) => {
+                    // `{}` prints shortest-roundtrip for f64.
+                    use std::fmt::Write as _;
+                    write!(line, "{f}").expect("write to String cannot fail");
+                }
+            }
+        }
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+fn itoa_buf(i: i64) -> String {
+    i.to_string()
+}
+
+/// Serializes a relation to an in-memory CSV byte buffer and returns it.
+pub fn relation_to_csv(rel: &Relation) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(rel.len() * rel.schema().arity() * 8);
+    write_csv(rel, &mut buf).expect("writing to Vec cannot fail");
+    buf
+}
+
+/// Parses CSV bytes into a relation with the given schema.
+pub fn read_csv(schema: Schema, bytes: &[u8]) -> Result<Relation> {
+    let mut rel = Relation::new(schema.clone());
+    let arity = schema.arity();
+    let mut row: Vec<Value> = Vec::with_capacity(arity);
+    for (lineno, line) in bytes.split(|&b| b == b'\n').enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        row.clear();
+        for (c, field) in line.split(|&b| b == b',').enumerate() {
+            if c >= arity {
+                return Err(DataError::Csv {
+                    line: lineno + 1,
+                    message: format!("too many fields (expected {arity})"),
+                });
+            }
+            let text = std::str::from_utf8(field).map_err(|_| DataError::Csv {
+                line: lineno + 1,
+                message: "non-utf8 field".to_string(),
+            })?;
+            let v = if schema.attr(c).ty.is_int_backed() {
+                Value::Int(text.parse::<i64>().map_err(|e| DataError::Csv {
+                    line: lineno + 1,
+                    message: format!("bad int `{text}`: {e}"),
+                })?)
+            } else {
+                Value::F64(text.parse::<f64>().map_err(|e| DataError::Csv {
+                    line: lineno + 1,
+                    message: format!("bad float `{text}`: {e}"),
+                })?)
+            };
+            row.push(v);
+        }
+        if row.len() != arity {
+            return Err(DataError::Csv {
+                line: lineno + 1,
+                message: format!("expected {arity} fields, got {}", row.len()),
+            });
+        }
+        rel.push_row(&row)?;
+    }
+    Ok(rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrType;
+
+    fn schema() -> Schema {
+        Schema::of(&[("k", AttrType::Int), ("x", AttrType::Double)])
+    }
+
+    fn sample() -> Relation {
+        Relation::from_rows(
+            schema(),
+            vec![
+                vec![Value::Int(1), Value::F64(1.5)],
+                vec![Value::Int(-2), Value::F64(0.25)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let rel = sample();
+        let bytes = relation_to_csv(&rel);
+        assert_eq!(String::from_utf8_lossy(&bytes), "1,1.5\n-2,0.25\n");
+        let back = read_csv(schema(), &bytes).unwrap();
+        assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn roundtrip_preserves_floats_exactly() {
+        let rel = Relation::from_rows(
+            schema(),
+            vec![vec![Value::Int(0), Value::F64(0.1 + 0.2)]],
+        )
+        .unwrap();
+        let back = read_csv(schema(), &relation_to_csv(&rel)).unwrap();
+        assert_eq!(back.f64_col(1)[0], 0.1 + 0.2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = read_csv(schema(), b"1,2.0\nx,3.0\n").unwrap_err();
+        match err {
+            DataError::Csv { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(read_csv(schema(), b"1\n").is_err());
+        assert!(read_csv(schema(), b"1,2.0,3\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_relation() {
+        let rel = read_csv(schema(), b"").unwrap();
+        assert!(rel.is_empty());
+    }
+}

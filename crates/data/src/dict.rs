@@ -1,0 +1,98 @@
+//! Dictionary encoding for categorical attributes.
+//!
+//! Categorical attributes (city names, item descriptions, zip codes…) are
+//! encoded once at load time into dense integer codes `0..n`. The sparse
+//! tensor representation of Section 2.1 of the paper ("instead of one-hot
+//! encoding them, we only represent the pairs of categories that appear in
+//! the data") then works directly over these codes.
+
+use std::collections::HashMap;
+
+/// A bidirectional mapping between strings and dense `i64` codes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dictionary {
+    terms: Vec<String>,
+    codes: HashMap<String, i64>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the code for `term`, inserting it if unseen.
+    pub fn encode(&mut self, term: &str) -> i64 {
+        if let Some(&c) = self.codes.get(term) {
+            return c;
+        }
+        let c = self.terms.len() as i64;
+        self.terms.push(term.to_string());
+        self.codes.insert(term.to_string(), c);
+        c
+    }
+
+    /// Returns the code for `term` if it has been seen.
+    pub fn code(&self, term: &str) -> Option<i64> {
+        self.codes.get(term).copied()
+    }
+
+    /// Returns the term for `code`, if in range.
+    pub fn decode(&self, code: i64) -> Option<&str> {
+        usize::try_from(code).ok().and_then(|i| self.terms.get(i)).map(String::as_str)
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if no terms have been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates over `(code, term)` pairs in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, &str)> {
+        self.terms.iter().enumerate().map(|(i, t)| (i as i64, t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_idempotent_and_dense() {
+        let mut d = Dictionary::new();
+        let a = d.encode("zurich");
+        let b = d.encode("oxford");
+        let a2 = d.encode("zurich");
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(a, a2);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let mut d = Dictionary::new();
+        for term in ["a", "b", "c"] {
+            let c = d.encode(term);
+            assert_eq!(d.decode(c), Some(term));
+            assert_eq!(d.code(term), Some(c));
+        }
+        assert_eq!(d.decode(99), None);
+        assert_eq!(d.decode(-1), None);
+        assert_eq!(d.code("missing"), None);
+    }
+
+    #[test]
+    fn iter_in_code_order() {
+        let mut d = Dictionary::new();
+        d.encode("x");
+        d.encode("y");
+        let pairs: Vec<_> = d.iter().collect();
+        assert_eq!(pairs, vec![(0, "x"), (1, "y")]);
+    }
+}

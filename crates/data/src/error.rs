@@ -1,0 +1,68 @@
+//! Error type for the data layer.
+
+use std::fmt;
+
+/// Errors raised by schema validation, relation construction, and CSV I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A schema lists the same attribute name twice.
+    DuplicateAttribute(String),
+    /// An attribute name was not found in a schema.
+    UnknownAttribute(String),
+    /// A relation name was not found in a database.
+    UnknownRelation(String),
+    /// A row had the wrong arity or a value of the wrong type for its column.
+    TypeMismatch { attribute: String, expected: &'static str, got: String },
+    /// Row arity differs from schema arity.
+    ArityMismatch { expected: usize, got: usize },
+    /// CSV parsing failed at a given line.
+    Csv { line: usize, message: String },
+    /// An I/O error, stringified (keeps the error type `Clone + Eq`).
+    Io(String),
+    /// Generic invariant violation with context.
+    Invalid(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::DuplicateAttribute(a) => write!(f, "duplicate attribute `{a}` in schema"),
+            DataError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
+            DataError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            DataError::TypeMismatch { attribute, expected, got } => {
+                write!(f, "type mismatch on `{attribute}`: expected {expected}, got {got}")
+            }
+            DataError::ArityMismatch { expected, got } => {
+                write!(f, "row arity {got} does not match schema arity {expected}")
+            }
+            DataError::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
+            DataError::Io(m) => write!(f, "io error: {m}"),
+            DataError::Invalid(m) => write!(f, "invalid: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DataError::TypeMismatch {
+            attribute: "price".into(),
+            expected: "f64",
+            got: "Int(3)".into(),
+        };
+        assert!(e.to_string().contains("price"));
+        assert!(DataError::UnknownRelation("R".into()).to_string().contains("R"));
+        assert!(DataError::Csv { line: 7, message: "bad".into() }.to_string().contains("7"));
+    }
+}

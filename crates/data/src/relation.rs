@@ -1,0 +1,449 @@
+//! In-memory columnar relations.
+//!
+//! A [`Relation`] stores one typed [`Column`] per schema attribute. Integer
+//! columns back `Int` and `Categorical` attributes; float columns back
+//! `Double` attributes. Engines ask for typed slices ([`Relation::int_col`],
+//! [`Relation::f64_col`]) in their hot loops — this is the "specialisation"
+//! half of the paper's §4 toolbox, realised through Rust monomorphization
+//! instead of C++ code generation.
+
+use crate::error::DataError;
+use crate::schema::{AttrType, Schema};
+use crate::value::Value;
+use crate::Result;
+
+/// A typed column of values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Backing store for `Int` and `Categorical` attributes.
+    Int(Vec<i64>),
+    /// Backing store for `Double` attributes.
+    F64(Vec<f64>),
+}
+
+impl Column {
+    fn with_capacity(ty: AttrType, cap: usize) -> Self {
+        if ty.is_int_backed() {
+            Column::Int(Vec::with_capacity(cap))
+        } else {
+            Column::F64(Vec::with_capacity(cap))
+        }
+    }
+
+    /// Number of values in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::F64(v) => v.len(),
+        }
+    }
+
+    /// True if the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at `row`.
+    #[inline]
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            Column::Int(v) => Value::Int(v[row]),
+            Column::F64(v) => Value::F64(v[row]),
+        }
+    }
+
+    fn push(&mut self, v: Value, attr: &str) -> Result<()> {
+        match (self, v) {
+            (Column::Int(col), Value::Int(i)) => {
+                col.push(i);
+                Ok(())
+            }
+            (Column::F64(col), Value::F64(f)) => {
+                col.push(f);
+                Ok(())
+            }
+            (Column::Int(_), got) => Err(DataError::TypeMismatch {
+                attribute: attr.to_string(),
+                expected: "Int",
+                got: format!("{got:?}"),
+            }),
+            (Column::F64(_), got) => Err(DataError::TypeMismatch {
+                attribute: attr.to_string(),
+                expected: "F64",
+                got: format!("{got:?}"),
+            }),
+        }
+    }
+
+    fn gather(&self, perm: &[usize]) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(perm.iter().map(|&i| v[i]).collect()),
+            Column::F64(v) => Column::F64(perm.iter().map(|&i| v[i]).collect()),
+        }
+    }
+
+    fn extend_from(&mut self, other: &Column) {
+        match (self, other) {
+            (Column::Int(a), Column::Int(b)) => a.extend_from_slice(b),
+            (Column::F64(a), Column::F64(b)) => a.extend_from_slice(b),
+            _ => panic!("column type mismatch in extend_from"),
+        }
+    }
+}
+
+/// A borrowed row: the relation plus a row index.
+#[derive(Clone, Copy)]
+pub struct RowRef<'a> {
+    rel: &'a Relation,
+    row: usize,
+}
+
+impl<'a> RowRef<'a> {
+    /// The value of the `col`-th attribute.
+    #[inline]
+    pub fn value(&self, col: usize) -> Value {
+        self.rel.cols[col].value(self.row)
+    }
+
+    /// All values of the row, materialized.
+    pub fn to_vec(&self) -> Vec<Value> {
+        (0..self.rel.schema.arity()).map(|c| self.value(c)).collect()
+    }
+
+    /// Index of this row within its relation.
+    pub fn index(&self) -> usize {
+        self.row
+    }
+}
+
+/// An in-memory columnar relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    schema: Schema,
+    cols: Vec<Column>,
+    nrows: usize,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Self::with_capacity(schema, 0)
+    }
+
+    /// Creates an empty relation, reserving space for `cap` rows.
+    pub fn with_capacity(schema: Schema, cap: usize) -> Self {
+        let cols = schema.attrs().iter().map(|a| Column::with_capacity(a.ty, cap)).collect();
+        Self { schema, cols, nrows: 0 }
+    }
+
+    /// Builds a relation from rows; validates arity and types.
+    pub fn from_rows(schema: Schema, rows: impl IntoIterator<Item = Vec<Value>>) -> Result<Self> {
+        let mut rel = Relation::new(schema);
+        for row in rows {
+            rel.push_row(&row)?;
+        }
+        Ok(rel)
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.nrows
+    }
+
+    /// True if the relation holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.nrows == 0
+    }
+
+    /// Appends a row, validating arity and column types.
+    pub fn push_row(&mut self, row: &[Value]) -> Result<()> {
+        if row.len() != self.schema.arity() {
+            return Err(DataError::ArityMismatch { expected: self.schema.arity(), got: row.len() });
+        }
+        for (c, &v) in row.iter().enumerate() {
+            self.cols[c].push(v, &self.schema.attr(c).name)?;
+        }
+        self.nrows += 1;
+        Ok(())
+    }
+
+    /// The column backing attribute `idx`.
+    pub fn col(&self, idx: usize) -> &Column {
+        &self.cols[idx]
+    }
+
+    /// The integer slice backing attribute `idx`. Panics if `idx` is a
+    /// `Double` attribute — engines must consult the schema first.
+    #[inline]
+    pub fn int_col(&self, idx: usize) -> &[i64] {
+        match &self.cols[idx] {
+            Column::Int(v) => v,
+            Column::F64(_) => panic!(
+                "attribute `{}` is Double, not Int-backed",
+                self.schema.attr(idx).name
+            ),
+        }
+    }
+
+    /// The float slice backing attribute `idx`. Panics if `idx` is int-backed.
+    #[inline]
+    pub fn f64_col(&self, idx: usize) -> &[f64] {
+        match &self.cols[idx] {
+            Column::F64(v) => v,
+            Column::Int(_) => panic!(
+                "attribute `{}` is Int-backed, not Double",
+                self.schema.attr(idx).name
+            ),
+        }
+    }
+
+    /// The attribute value at (`row`, `col`).
+    #[inline]
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        self.cols[col].value(row)
+    }
+
+    /// The attribute value at `row` for the column as an `f64` regardless of
+    /// backing type (integer codes convert losslessly for |v| < 2^53).
+    #[inline]
+    pub fn value_f64(&self, row: usize, col: usize) -> f64 {
+        match &self.cols[col] {
+            Column::Int(v) => v[row] as f64,
+            Column::F64(v) => v[row],
+        }
+    }
+
+    /// A borrowed view of row `row`.
+    pub fn row(&self, row: usize) -> RowRef<'_> {
+        RowRef { rel: self, row }
+    }
+
+    /// Iterates over all rows.
+    pub fn rows(&self) -> impl Iterator<Item = RowRef<'_>> {
+        (0..self.nrows).map(move |r| RowRef { rel: self, row: r })
+    }
+
+    /// Materializes row `row` as a `Vec<Value>`.
+    pub fn row_vec(&self, row: usize) -> Vec<Value> {
+        self.row(row).to_vec()
+    }
+
+    /// Returns a new relation with rows reordered by `perm`.
+    pub fn permuted(&self, perm: &[usize]) -> Relation {
+        Relation {
+            schema: self.schema.clone(),
+            cols: self.cols.iter().map(|c| c.gather(perm)).collect(),
+            nrows: perm.len(),
+        }
+    }
+
+    /// Returns this relation sorted lexicographically by the given attribute
+    /// positions (stable, so ties keep input order).
+    pub fn sorted_by(&self, attrs: &[usize]) -> Relation {
+        let mut perm: Vec<usize> = (0..self.nrows).collect();
+        perm.sort_by(|&a, &b| {
+            for &c in attrs {
+                let ord = match &self.cols[c] {
+                    Column::Int(v) => v[a].cmp(&v[b]),
+                    Column::F64(v) => v[a].total_cmp(&v[b]),
+                };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            a.cmp(&b) // stability tiebreak
+        });
+        self.permuted(&perm)
+    }
+
+    /// Projects onto the given attribute positions (duplicates preserved).
+    pub fn project(&self, indices: &[usize]) -> Relation {
+        Relation {
+            schema: self.schema.project(indices),
+            cols: indices.iter().map(|&i| self.cols[i].clone()).collect(),
+            nrows: self.nrows,
+        }
+    }
+
+    /// Projects onto attribute names.
+    pub fn project_names(&self, names: &[&str]) -> Result<Relation> {
+        let idx: Result<Vec<usize>> = names.iter().map(|n| self.schema.require(n)).collect();
+        Ok(self.project(&idx?))
+    }
+
+    /// Appends all rows of `other`; schemas must be identical.
+    pub fn append(&mut self, other: &Relation) -> Result<()> {
+        if self.schema != other.schema {
+            return Err(DataError::Invalid("append requires identical schemas".into()));
+        }
+        for (a, b) in self.cols.iter_mut().zip(&other.cols) {
+            a.extend_from(b);
+        }
+        self.nrows += other.nrows;
+        Ok(())
+    }
+
+    /// Keeps only rows for which `pred` returns true.
+    pub fn filter(&self, mut pred: impl FnMut(RowRef<'_>) -> bool) -> Relation {
+        let keep: Vec<usize> = (0..self.nrows).filter(|&r| pred(self.row(r))).collect();
+        self.permuted(&keep)
+    }
+
+    /// Approximate in-memory byte size of the column data.
+    pub fn byte_size(&self) -> usize {
+        self.nrows * self.schema.arity() * std::mem::size_of::<i64>()
+    }
+}
+
+/// Given a sorted integer column restricted to `range`, yields maximal
+/// sub-ranges of equal values. The factorized and LMFAO engines use this to
+/// walk group boundaries without hashing.
+pub fn equal_ranges(col: &[i64], range: std::ops::Range<usize>) -> EqualRanges<'_> {
+    EqualRanges { col, pos: range.start, end: range.end }
+}
+
+/// Iterator over `(value, sub_range)` groups of a sorted column slice.
+pub struct EqualRanges<'a> {
+    col: &'a [i64],
+    pos: usize,
+    end: usize,
+}
+
+impl<'a> Iterator for EqualRanges<'a> {
+    type Item = (i64, std::ops::Range<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.end {
+            return None;
+        }
+        let v = self.col[self.pos];
+        let start = self.pos;
+        let mut hi = self.pos + 1;
+        // Gallop to find the end of the run: runs are often long in
+        // fk-sorted fact tables, short in dimension tables.
+        let mut step = 1;
+        while hi < self.end && self.col[hi] == v {
+            hi += step;
+            step *= 2;
+        }
+        let hi = self.col[start..self.end.min(hi)]
+            .partition_point(|&x| x == v)
+            + start;
+        self.pos = hi;
+        Some((v, start..hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+
+    fn sample() -> Relation {
+        let schema = Schema::of(&[
+            ("k", AttrType::Int),
+            ("x", AttrType::Double),
+        ]);
+        Relation::from_rows(
+            schema,
+            vec![
+                vec![Value::Int(2), Value::F64(1.0)],
+                vec![Value::Int(1), Value::F64(2.0)],
+                vec![Value::Int(2), Value::F64(3.0)],
+                vec![Value::Int(1), Value::F64(4.0)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn push_and_access() {
+        let r = sample();
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.value(0, 0), Value::Int(2));
+        assert_eq!(r.value(3, 1), Value::F64(4.0));
+        assert_eq!(r.value_f64(0, 0), 2.0);
+        assert_eq!(r.int_col(0), &[2, 1, 2, 1]);
+        assert_eq!(r.f64_col(1), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(r.row_vec(1), vec![Value::Int(1), Value::F64(2.0)]);
+    }
+
+    #[test]
+    fn arity_and_type_errors() {
+        let mut r = sample();
+        assert!(matches!(
+            r.push_row(&[Value::Int(1)]),
+            Err(DataError::ArityMismatch { expected: 2, got: 1 })
+        ));
+        assert!(matches!(
+            r.push_row(&[Value::F64(1.0), Value::F64(1.0)]),
+            Err(DataError::TypeMismatch { .. })
+        ));
+        // A failed push on a later column must not corrupt row count.
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn sorted_by_is_stable_lexicographic() {
+        let r = sample().sorted_by(&[0]);
+        assert_eq!(r.int_col(0), &[1, 1, 2, 2]);
+        // Stability: within k=1, original order (2.0 then 4.0) preserved.
+        assert_eq!(r.f64_col(1), &[2.0, 4.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn project_and_filter() {
+        let r = sample();
+        let p = r.project_names(&["x"]).unwrap();
+        assert_eq!(p.schema().arity(), 1);
+        assert_eq!(p.f64_col(0), &[1.0, 2.0, 3.0, 4.0]);
+        let f = r.filter(|row| row.value(0) == Value::Int(1));
+        assert_eq!(f.len(), 2);
+        assert!(r.project_names(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn append_checks_schema() {
+        let mut a = sample();
+        let b = sample();
+        a.append(&b).unwrap();
+        assert_eq!(a.len(), 8);
+        let other = Relation::new(Schema::new(vec![Attribute::int("z")]).unwrap());
+        assert!(a.append(&other).is_err());
+    }
+
+    #[test]
+    fn equal_ranges_walks_runs() {
+        let col = [1i64, 1, 1, 3, 5, 5];
+        let groups: Vec<_> = equal_ranges(&col, 0..col.len()).collect();
+        assert_eq!(
+            groups,
+            vec![(1, 0..3), (3, 3..4), (5, 4..6)]
+        );
+        // Sub-range restriction.
+        let groups: Vec<_> = equal_ranges(&col, 1..5).collect();
+        assert_eq!(groups, vec![(1, 1..3), (3, 3..4), (5, 4..5)]);
+        assert_eq!(equal_ranges(&col, 2..2).count(), 0);
+    }
+
+    #[test]
+    fn empty_relation_behaviour() {
+        let r = Relation::new(Schema::of(&[("a", AttrType::Int)]));
+        assert!(r.is_empty());
+        assert_eq!(r.rows().count(), 0);
+        assert_eq!(r.sorted_by(&[0]).len(), 0);
+        assert_eq!(r.byte_size(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Double")]
+    fn int_col_panics_on_double() {
+        let r = sample();
+        let _ = r.int_col(1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Schemas: typed, named attributes.
+//!
+//! An attribute is `Int` (keys, counts), `Double` (continuous measures), or
+//! `Categorical` — stored as dictionary-encoded `i64` codes but flagged so
+//! that the ML layer knows to treat it with the sparse-tensor group-by
+//! encoding rather than as a number (paper §2.1).
+
+use crate::error::DataError;
+use crate::Result;
+use std::sync::Arc;
+
+/// The type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// 64-bit integer: join keys, dates, identifiers used as keys.
+    Int,
+    /// 64-bit float: continuous features and measures.
+    Double,
+    /// Dictionary-encoded categorical value (stored as `i64` code).
+    Categorical,
+}
+
+impl AttrType {
+    /// True if values of this type are stored in an integer column.
+    pub fn is_int_backed(self) -> bool {
+        matches!(self, AttrType::Int | AttrType::Categorical)
+    }
+}
+
+/// A named, typed attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Attribute {
+    /// Attribute name, unique within a schema.
+    pub name: String,
+    /// Attribute type.
+    pub ty: AttrType,
+}
+
+impl Attribute {
+    /// Shorthand constructor.
+    pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
+        Self { name: name.into(), ty }
+    }
+
+    /// An `Int` attribute.
+    pub fn int(name: impl Into<String>) -> Self {
+        Self::new(name, AttrType::Int)
+    }
+
+    /// A `Double` attribute.
+    pub fn double(name: impl Into<String>) -> Self {
+        Self::new(name, AttrType::Double)
+    }
+
+    /// A `Categorical` attribute.
+    pub fn categorical(name: impl Into<String>) -> Self {
+        Self::new(name, AttrType::Categorical)
+    }
+}
+
+/// An ordered list of attributes with unique names.
+///
+/// Schemas are cheap to clone (attributes live behind an `Arc`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Schema {
+    attrs: Arc<[Attribute]>,
+}
+
+impl Schema {
+    /// Builds a schema, validating name uniqueness.
+    pub fn new(attrs: Vec<Attribute>) -> Result<Self> {
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].iter().any(|b| b.name == a.name) {
+                return Err(DataError::DuplicateAttribute(a.name.clone()));
+            }
+        }
+        Ok(Self { attrs: attrs.into() })
+    }
+
+    /// Builds a schema from `(name, type)` pairs; panics on duplicates.
+    /// Intended for tests and generators with static schemas.
+    pub fn of(pairs: &[(&str, AttrType)]) -> Self {
+        Self::new(pairs.iter().map(|(n, t)| Attribute::new(*n, *t)).collect())
+            .expect("static schema must have unique names")
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The attributes in order.
+    pub fn attrs(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// The attribute at `idx`.
+    pub fn attr(&self, idx: usize) -> &Attribute {
+        &self.attrs[idx]
+    }
+
+    /// Position of the attribute named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// Position of `name`, as a `Result` with a useful error.
+    pub fn require(&self, name: &str) -> Result<usize> {
+        self.index_of(name).ok_or_else(|| DataError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Attribute names in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.attrs.iter().map(|a| a.name.as_str())
+    }
+
+    /// True if `name` is an attribute of this schema.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index_of(name).is_some()
+    }
+
+    /// The schema restricted to the given attribute positions (in that order).
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema { attrs: indices.iter().map(|&i| self.attrs[i].clone()).collect() }
+    }
+
+    /// Names shared with another schema, in this schema's order. These are the
+    /// natural-join attributes.
+    pub fn common_attrs(&self, other: &Schema) -> Vec<String> {
+        self.attrs
+            .iter()
+            .filter(|a| other.contains(&a.name))
+            .map(|a| a.name.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let err = Schema::new(vec![Attribute::int("a"), Attribute::double("a")]).unwrap_err();
+        assert_eq!(err, DataError::DuplicateAttribute("a".into()));
+    }
+
+    #[test]
+    fn lookup_and_projection() {
+        let s = Schema::of(&[
+            ("item", AttrType::Int),
+            ("price", AttrType::Double),
+            ("color", AttrType::Categorical),
+        ]);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("price"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert!(s.require("nope").is_err());
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.names().collect::<Vec<_>>(), vec!["color", "item"]);
+        assert!(s.attr(2).ty.is_int_backed());
+        assert!(!s.attr(1).ty.is_int_backed());
+    }
+
+    #[test]
+    fn common_attrs_in_left_order() {
+        let r = Schema::of(&[("a", AttrType::Int), ("b", AttrType::Int), ("x", AttrType::Double)]);
+        let s = Schema::of(&[("b", AttrType::Int), ("a", AttrType::Int), ("y", AttrType::Double)]);
+        assert_eq!(r.common_attrs(&s), vec!["a".to_string(), "b".to_string()]);
+    }
+}

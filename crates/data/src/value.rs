@@ -1,0 +1,193 @@
+//! Scalar values with a total order and stable hashing.
+//!
+//! A [`Value`] is either an integer (`Int`) — used for keys, dictionary codes
+//! of categorical attributes, and counts — or a double (`F64`) used for
+//! numeric measures and features. Doubles are ordered with
+//! [`f64::total_cmp`] and hashed by bit pattern so that values can serve as
+//! group-by keys in hash maps, something plain `f64` cannot do.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A scalar database value.
+#[derive(Clone, Copy, Debug)]
+pub enum Value {
+    /// 64-bit integer: join keys, categorical codes, counts.
+    Int(i64),
+    /// 64-bit float: numeric measures and continuous features.
+    F64(f64),
+}
+
+impl Value {
+    /// Returns the integer payload, or an error message naming the context.
+    #[inline]
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(i) => i,
+            Value::F64(f) => f as i64,
+        }
+    }
+
+    /// Returns the value as a double, converting integers losslessly for
+    /// magnitudes below 2^53.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Value::Int(i) => i as f64,
+            Value::F64(f) => f,
+        }
+    }
+
+    /// True if this is an `Int`.
+    #[inline]
+    pub fn is_int(self) -> bool {
+        matches!(self, Value::Int(_))
+    }
+
+    /// A rank used to order values of different types (Int < F64).
+    #[inline]
+    fn type_rank(self) -> u8 {
+        match self {
+            Value::Int(_) => 0,
+            Value::F64(_) => 1,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::F64(a), Value::F64(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::F64(a), Value::F64(b)) => a.total_cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Int(i) => {
+                state.write_u8(0);
+                state.write_i64(*i);
+            }
+            Value::F64(f) => {
+                state.write_u8(1);
+                state.write_u64(f.to_bits());
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::F64(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    #[inline]
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    #[inline]
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    #[inline]
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn int_ordering_and_equality() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert_eq!(Value::Int(5), Value::Int(5));
+        assert_ne!(Value::Int(5), Value::F64(5.0));
+    }
+
+    #[test]
+    fn f64_total_order_handles_nan() {
+        let nan = Value::F64(f64::NAN);
+        let one = Value::F64(1.0);
+        // total_cmp puts NaN after all normal numbers.
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert_eq!(one.cmp(&nan), Ordering::Less);
+    }
+
+    #[test]
+    fn f64_negative_zero_distinct_bits() {
+        // Bit-pattern equality distinguishes -0.0 from 0.0: keys stay stable.
+        assert_ne!(Value::F64(0.0), Value::F64(-0.0));
+        assert!(Value::F64(-0.0) < Value::F64(0.0));
+    }
+
+    #[test]
+    fn values_usable_as_hash_keys() {
+        let mut m: HashMap<Value, u32> = HashMap::new();
+        m.insert(Value::Int(3), 1);
+        m.insert(Value::F64(3.0), 2);
+        assert_eq!(m[&Value::Int(3)], 1);
+        assert_eq!(m[&Value::F64(3.0)], 2);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::Int(7).as_f64(), 7.0);
+        assert_eq!(Value::F64(7.9).as_int(), 7);
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(2.5f64), Value::F64(2.5));
+        assert!(Value::Int(1).is_int());
+        assert!(!Value::F64(1.0).is_int());
+    }
+
+    #[test]
+    fn mixed_type_rank_order() {
+        assert!(Value::Int(i64::MAX) < Value::F64(f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::F64(1.5).to_string(), "1.5");
+    }
+}

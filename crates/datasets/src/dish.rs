@@ -1,0 +1,103 @@
+//! The paper's running example (Figure 7): Orders, Dish, Items.
+//!
+//! Strings are dictionary-encoded with the codes fixed below so tests can
+//! assert the exact numbers of Figures 7–10.
+
+use fdb_data::{AttrType, Database, Relation, Schema, Value};
+
+/// Dictionary codes used by [`dish_database`].
+pub mod codes {
+    /// customer Elise
+    pub const ELISE: i64 = 0;
+    /// customer Steve
+    pub const STEVE: i64 = 1;
+    /// customer Joe
+    pub const JOE: i64 = 2;
+    /// day Monday
+    pub const MONDAY: i64 = 0;
+    /// day Friday
+    pub const FRIDAY: i64 = 1;
+    /// dish burger
+    pub const BURGER: i64 = 0;
+    /// dish hotdog
+    pub const HOTDOG: i64 = 1;
+    /// item patty
+    pub const PATTY: i64 = 0;
+    /// item onion
+    pub const ONION: i64 = 1;
+    /// item bun
+    pub const BUN: i64 = 2;
+    /// item sausage
+    pub const SAUSAGE: i64 = 3;
+}
+
+/// Builds the Figure 7 database with registered dictionaries.
+pub fn dish_database() -> Database {
+    use codes::*;
+    let mut db = Database::new();
+    for (attr, terms) in [
+        ("customer", &["Elise", "Steve", "Joe"][..]),
+        ("day", &["Monday", "Friday"][..]),
+        ("dish", &["burger", "hotdog"][..]),
+        ("item", &["patty", "onion", "bun", "sausage"][..]),
+    ] {
+        let d = db.dict_mut(attr);
+        for t in terms {
+            d.encode(t);
+        }
+    }
+    let orders = Relation::from_rows(
+        Schema::of(&[
+            ("customer", AttrType::Categorical),
+            ("day", AttrType::Categorical),
+            ("dish", AttrType::Categorical),
+        ]),
+        vec![
+            vec![Value::Int(ELISE), Value::Int(MONDAY), Value::Int(BURGER)],
+            vec![Value::Int(ELISE), Value::Int(FRIDAY), Value::Int(BURGER)],
+            vec![Value::Int(STEVE), Value::Int(FRIDAY), Value::Int(HOTDOG)],
+            vec![Value::Int(JOE), Value::Int(FRIDAY), Value::Int(HOTDOG)],
+        ],
+    )
+    .expect("static data is well-typed");
+    let dish = Relation::from_rows(
+        Schema::of(&[("dish", AttrType::Categorical), ("item", AttrType::Categorical)]),
+        vec![
+            vec![Value::Int(BURGER), Value::Int(PATTY)],
+            vec![Value::Int(BURGER), Value::Int(ONION)],
+            vec![Value::Int(BURGER), Value::Int(BUN)],
+            vec![Value::Int(HOTDOG), Value::Int(BUN)],
+            vec![Value::Int(HOTDOG), Value::Int(ONION)],
+            vec![Value::Int(HOTDOG), Value::Int(SAUSAGE)],
+        ],
+    )
+    .expect("static data is well-typed");
+    let items = Relation::from_rows(
+        Schema::of(&[("item", AttrType::Categorical), ("price", AttrType::Double)]),
+        vec![
+            vec![Value::Int(PATTY), Value::F64(6.0)],
+            vec![Value::Int(ONION), Value::F64(2.0)],
+            vec![Value::Int(BUN), Value::F64(2.0)],
+            vec![Value::Int(SAUSAGE), Value::F64(4.0)],
+        ],
+    )
+    .expect("static data is well-typed");
+    db.add("Orders", orders);
+    db.add("Dish", dish);
+    db.add("Items", items);
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinalities_match_figure7() {
+        let db = dish_database();
+        assert_eq!(db.get("Orders").unwrap().len(), 4);
+        assert_eq!(db.get("Dish").unwrap().len(), 6);
+        assert_eq!(db.get("Items").unwrap().len(), 4);
+        assert_eq!(db.dict("item").unwrap().decode(codes::SAUSAGE), Some("sausage"));
+    }
+}

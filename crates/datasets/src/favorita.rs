@@ -1,0 +1,211 @@
+//! The Favorita-style dataset: grocery sales forecasting.
+//!
+//! Six relations as in the public Kaggle dataset the paper evaluates on:
+//! Sales (fact), Stores, Items, Transactions, Oil, Holiday, joined on
+//! date / store / item.
+
+use crate::features::FeatureSet;
+use crate::util::{gauss, skewed_index, uniform};
+use crate::Dataset;
+use fdb_data::{AttrType, Database, Relation, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Scale knobs for the Favorita generator.
+#[derive(Debug, Clone, Copy)]
+pub struct FavoritaConfig {
+    /// Number of dates.
+    pub dates: usize,
+    /// Number of stores.
+    pub stores: usize,
+    /// Number of items.
+    pub items: usize,
+    /// Expected items sold per (store, date).
+    pub basket: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FavoritaConfig {
+    fn default() -> Self {
+        Self { dates: 90, stores: 30, items: 200, basket: 40, seed: 0xFAE }
+    }
+}
+
+impl FavoritaConfig {
+    /// A tiny instance for unit tests.
+    pub fn tiny() -> Self {
+        Self { dates: 10, stores: 4, items: 25, basket: 8, seed: 3 }
+    }
+}
+
+/// Generates the Favorita-style dataset.
+pub fn favorita(cfg: FavoritaConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let mut stores = Relation::new(Schema::of(&[
+        ("store", AttrType::Int),
+        ("city", AttrType::Categorical),
+        ("state", AttrType::Categorical),
+        ("stype", AttrType::Categorical),
+        ("cluster", AttrType::Categorical),
+    ]));
+    for s in 0..cfg.stores as i64 {
+        stores
+            .push_row(&[
+                Value::Int(s),
+                Value::Int(rng.gen_range(0..12)),
+                Value::Int(rng.gen_range(0..6)),
+                Value::Int(rng.gen_range(0..4)),
+                Value::Int(rng.gen_range(0..8)),
+            ])
+            .expect("well-typed");
+    }
+
+    let mut items = Relation::new(Schema::of(&[
+        ("item", AttrType::Int),
+        ("family", AttrType::Categorical),
+        ("itemclass", AttrType::Categorical),
+        ("perishable", AttrType::Categorical),
+    ]));
+    for i in 0..cfg.items as i64 {
+        items
+            .push_row(&[
+                Value::Int(i),
+                Value::Int(rng.gen_range(0..15)),
+                Value::Int(rng.gen_range(0..30)),
+                Value::Int(i64::from(rng.gen_bool(0.25))),
+            ])
+            .expect("well-typed");
+    }
+
+    let mut oil = Relation::new(Schema::of(&[
+        ("date", AttrType::Int),
+        ("oilprize", AttrType::Double),
+    ]));
+    let mut oil_prices = Vec::with_capacity(cfg.dates);
+    let mut p = 55.0;
+    for d in 0..cfg.dates as i64 {
+        p += gauss(&mut rng, 0.0, 0.8);
+        oil_prices.push(p);
+        oil.push_row(&[Value::Int(d), Value::F64(p)]).expect("well-typed");
+    }
+
+    let mut holiday = Relation::new(Schema::of(&[
+        ("date", AttrType::Int),
+        ("holidaytype", AttrType::Categorical),
+        ("transferred", AttrType::Categorical),
+    ]));
+    let mut is_holiday = vec![0i64; cfg.dates];
+    for d in 0..cfg.dates as i64 {
+        let h = i64::from(rng.gen_bool(0.1));
+        is_holiday[d as usize] = h;
+        holiday
+            .push_row(&[
+                Value::Int(d),
+                Value::Int(if h == 1 { rng.gen_range(1..4) } else { 0 }),
+                Value::Int(i64::from(rng.gen_bool(0.05))),
+            ])
+            .expect("well-typed");
+    }
+
+    let mut transactions = Relation::new(Schema::of(&[
+        ("date", AttrType::Int),
+        ("store", AttrType::Int),
+        ("txns", AttrType::Double),
+    ]));
+    let mut txn_count = vec![0.0f64; cfg.dates * cfg.stores];
+    for d in 0..cfg.dates as i64 {
+        for s in 0..cfg.stores as i64 {
+            let t = uniform(&mut rng, 500.0, 3_000.0)
+                * if is_holiday[d as usize] == 1 { 1.4 } else { 1.0 };
+            txn_count[d as usize * cfg.stores + s as usize] = t;
+            transactions
+                .push_row(&[Value::Int(d), Value::Int(s), Value::F64(t)])
+                .expect("well-typed");
+        }
+    }
+
+    let mut sales = Relation::new(Schema::of(&[
+        ("date", AttrType::Int),
+        ("store", AttrType::Int),
+        ("item", AttrType::Int),
+        ("onpromotion", AttrType::Categorical),
+        ("unitsales", AttrType::Double),
+    ]));
+    for d in 0..cfg.dates as i64 {
+        for s in 0..cfg.stores as i64 {
+            let txns = txn_count[d as usize * cfg.stores + s as usize];
+            for _ in 0..cfg.basket {
+                let item = skewed_index(&mut rng, cfg.items, 1.0);
+                let promo = i64::from(rng.gen_bool(0.15));
+                let units = 2.0
+                    + 0.002 * txns
+                    + 3.0 * promo as f64
+                    + 1.5 * is_holiday[d as usize] as f64
+                    - 0.03 * oil_prices[d as usize]
+                    + gauss(&mut rng, 0.0, 1.0);
+                sales
+                    .push_row(&[
+                        Value::Int(d),
+                        Value::Int(s),
+                        Value::Int(item),
+                        Value::Int(promo),
+                        Value::F64(units.max(0.0)),
+                    ])
+                    .expect("well-typed");
+            }
+        }
+    }
+
+    let mut db = Database::new();
+    db.add("Sales", sales);
+    db.add("Stores", stores);
+    db.add("Items", items);
+    db.add("Transactions", transactions);
+    db.add("Oil", oil);
+    db.add("Holiday", holiday);
+
+    Dataset {
+        db,
+        relations: ["Sales", "Stores", "Items", "Transactions", "Oil", "Holiday"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        features: FeatureSet::new(
+            &["txns", "oilprize"],
+            &[
+                "onpromotion",
+                "family",
+                "perishable",
+                "stype",
+                "cluster",
+                "holidaytype",
+                "transferred",
+            ],
+            "unitsales",
+        ),
+        name: "Favorita",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = favorita(FavoritaConfig::tiny());
+        assert_eq!(a.db.len(), 6);
+        assert_eq!(a.db.get("Sales").unwrap().len(), 10 * 4 * 8);
+        assert_eq!(a.db.get("Oil").unwrap().len(), 10);
+        let b = favorita(FavoritaConfig::tiny());
+        assert_eq!(a.db.get("Sales").unwrap(), b.db.get("Sales").unwrap());
+    }
+
+    #[test]
+    fn transactions_cover_all_store_dates() {
+        let ds = favorita(FavoritaConfig::tiny());
+        assert_eq!(ds.db.get("Transactions").unwrap().len(), 10 * 4);
+    }
+}

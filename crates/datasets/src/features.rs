@@ -1,0 +1,63 @@
+//! Feature-set metadata: which attributes feed the models.
+
+/// The features of a learning task over a feature extraction query.
+#[derive(Debug, Clone)]
+pub struct FeatureSet {
+    /// Continuous feature attribute names (excluding the response).
+    pub continuous: Vec<String>,
+    /// Categorical feature attribute names (dictionary-encoded `Int`s).
+    pub categorical: Vec<String>,
+    /// The response/label attribute (continuous).
+    pub response: String,
+}
+
+impl FeatureSet {
+    /// Builds a feature set from string slices.
+    pub fn new(continuous: &[&str], categorical: &[&str], response: &str) -> Self {
+        Self {
+            continuous: continuous.iter().map(|s| s.to_string()).collect(),
+            categorical: categorical.iter().map(|s| s.to_string()).collect(),
+            response: response.to_string(),
+        }
+    }
+
+    /// All continuous attributes *including* the response — the column set
+    /// of the regression covariance matrix.
+    pub fn continuous_with_response(&self) -> Vec<String> {
+        let mut v = self.continuous.clone();
+        v.push(self.response.clone());
+        v
+    }
+
+    /// Leaked-free `&str` view of [`Self::continuous_with_response`] —
+    /// engines take `&[&str]`. The returned strings borrow from `self`.
+    pub fn continuous_with_response_refs(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.continuous.iter().map(String::as_str).collect();
+        v.push(self.response.as_str());
+        v
+    }
+
+    /// Total feature count (continuous + categorical), excluding response.
+    pub fn len(&self) -> usize {
+        self.continuous.len() + self.categorical.len()
+    }
+
+    /// True if there are no features.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_counts() {
+        let f = FeatureSet::new(&["a", "b"], &["c"], "y");
+        assert_eq!(f.len(), 3);
+        assert!(!f.is_empty());
+        assert_eq!(f.continuous_with_response(), vec!["a", "b", "y"]);
+        assert_eq!(f.response, "y");
+    }
+}

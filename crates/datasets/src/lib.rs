@@ -1,0 +1,43 @@
+//! # fdb-datasets
+//!
+//! Seeded synthetic dataset generators with the schema shape of the paper's
+//! four evaluation datasets (Retailer, Favorita, Yelp, TPC-DS) plus the
+//! Figure 7 Orders/Dish/Items example. Scale factors are laptop-sized by
+//! default and configurable; the join/aggregate *structure* matches the
+//! originals, which is what the experiments exercise (see DESIGN.md §1 for
+//! the substitution rationale).
+
+pub mod dish;
+pub mod favorita;
+pub mod features;
+pub mod retailer;
+pub mod tpcds;
+pub mod util;
+pub mod yelp;
+
+pub use dish::dish_database;
+pub use features::FeatureSet;
+pub use favorita::{favorita, FavoritaConfig};
+pub use retailer::{retailer, RetailerConfig};
+pub use tpcds::{tpcds, TpcdsConfig};
+pub use yelp::{yelp, YelpConfig};
+
+/// A generated dataset: the database, the relations participating in the
+/// feature extraction query (in join order), and its feature set.
+pub struct Dataset {
+    /// The generated database.
+    pub db: fdb_data::Database,
+    /// Relation names of the feature extraction query.
+    pub relations: Vec<String>,
+    /// Features for the learning tasks.
+    pub features: FeatureSet,
+    /// Short dataset name for reports ("Retailer", …).
+    pub name: &'static str,
+}
+
+impl Dataset {
+    /// Relation names as `&str` slices (the engines take `&[&str]`).
+    pub fn relation_refs(&self) -> Vec<&str> {
+        self.relations.iter().map(String::as_str).collect()
+    }
+}

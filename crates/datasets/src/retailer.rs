@@ -1,0 +1,294 @@
+//! The Retailer dataset generator (paper Figures 2 and 3).
+//!
+//! Schema shape follows the LMFAO evaluation: a large Inventory fact table
+//! joined with Location, Census (demographics by zip), Item, and Weather.
+//! The response `inventoryunits` is a noisy linear function of price,
+//! weather, and demographics so regression models have signal to find.
+
+use crate::features::FeatureSet;
+use crate::util::{gauss, skewed_index, uniform};
+use crate::Dataset;
+use fdb_data::{AttrType, Database, Relation, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Scale knobs for the retailer generator.
+#[derive(Debug, Clone, Copy)]
+pub struct RetailerConfig {
+    /// Number of store locations.
+    pub locations: usize,
+    /// Number of dates.
+    pub dates: usize,
+    /// Number of stock-keeping numbers (items).
+    pub items: usize,
+    /// Expected fraction of items stocked per (location, date).
+    pub fill: f64,
+    /// RNG seed (generation is deterministic given the config).
+    pub seed: u64,
+}
+
+impl Default for RetailerConfig {
+    fn default() -> Self {
+        // ≈ 120k inventory rows: laptop-scale, same shape as the paper's 84M.
+        Self { locations: 40, dates: 60, items: 150, fill: 0.33, seed: 0xFDB }
+    }
+}
+
+impl RetailerConfig {
+    /// A tiny instance for unit tests.
+    pub fn tiny() -> Self {
+        Self { locations: 5, dates: 8, items: 20, fill: 0.5, seed: 7 }
+    }
+
+    /// Scales the default config by `f` (rows grow roughly linearly in `f`).
+    pub fn scaled(f: f64) -> Self {
+        let d = Self::default();
+        Self {
+            locations: ((d.locations as f64) * f.cbrt()).ceil() as usize,
+            dates: ((d.dates as f64) * f.cbrt()).ceil() as usize,
+            items: ((d.items as f64) * f.cbrt()).ceil() as usize,
+            ..d
+        }
+    }
+}
+
+/// Generates the retailer dataset.
+pub fn retailer(cfg: RetailerConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let zips = (cfg.locations / 2).max(1);
+
+    // Location(locn, zip, rgn_cd, clim_zn_nbr, avghhi, sell_area_sq_ft,
+    //          supertargetdistance, walmartdistance)
+    let mut location = Relation::new(Schema::of(&[
+        ("locn", AttrType::Int),
+        ("zip", AttrType::Int),
+        ("rgn_cd", AttrType::Categorical),
+        ("clim_zn_nbr", AttrType::Categorical),
+        ("avghhi", AttrType::Double),
+        ("sell_area_sq_ft", AttrType::Double),
+        ("supertargetdistance", AttrType::Double),
+        ("walmartdistance", AttrType::Double),
+    ]));
+    let mut loc_zip = Vec::with_capacity(cfg.locations);
+    for locn in 0..cfg.locations as i64 {
+        let zip = rng.gen_range(0..zips as i64);
+        loc_zip.push(zip);
+        location
+            .push_row(&[
+                Value::Int(locn),
+                Value::Int(zip),
+                Value::Int(rng.gen_range(0..8)),
+                Value::Int(rng.gen_range(0..5)),
+                Value::F64(gauss(&mut rng, 60_000.0, 15_000.0)),
+                Value::F64(uniform(&mut rng, 5_000.0, 50_000.0)),
+                Value::F64(uniform(&mut rng, 0.5, 30.0)),
+                Value::F64(uniform(&mut rng, 0.5, 30.0)),
+            ])
+            .expect("generator rows are well-typed");
+    }
+
+    // Census(zip, population, medianage, houseunits, families, males, females)
+    let mut census = Relation::new(Schema::of(&[
+        ("zip", AttrType::Int),
+        ("population", AttrType::Double),
+        ("medianage", AttrType::Double),
+        ("houseunits", AttrType::Double),
+        ("families", AttrType::Double),
+        ("males", AttrType::Double),
+        ("females", AttrType::Double),
+    ]));
+    let mut zip_pop = Vec::with_capacity(zips);
+    for zip in 0..zips as i64 {
+        let pop = uniform(&mut rng, 5_000.0, 120_000.0);
+        zip_pop.push(pop);
+        census
+            .push_row(&[
+                Value::Int(zip),
+                Value::F64(pop),
+                Value::F64(uniform(&mut rng, 25.0, 55.0)),
+                Value::F64(pop * uniform(&mut rng, 0.3, 0.5)),
+                Value::F64(pop * uniform(&mut rng, 0.2, 0.35)),
+                Value::F64(pop * uniform(&mut rng, 0.47, 0.52)),
+                Value::F64(pop * uniform(&mut rng, 0.47, 0.52)),
+            ])
+            .expect("generator rows are well-typed");
+    }
+
+    // Item(ksn, subcategory, category, categoryCluster, prize)
+    let mut item = Relation::new(Schema::of(&[
+        ("ksn", AttrType::Int),
+        ("subcategory", AttrType::Categorical),
+        ("category", AttrType::Categorical),
+        ("categoryCluster", AttrType::Categorical),
+        ("prize", AttrType::Double),
+    ]));
+    let mut item_prize = Vec::with_capacity(cfg.items);
+    for ksn in 0..cfg.items as i64 {
+        let prize = uniform(&mut rng, 1.0, 40.0);
+        item_prize.push(prize);
+        item.push_row(&[
+            Value::Int(ksn),
+            Value::Int(rng.gen_range(0..40)),
+            Value::Int(rng.gen_range(0..12)),
+            Value::Int(rng.gen_range(0..4)),
+            Value::F64(prize),
+        ])
+        .expect("generator rows are well-typed");
+    }
+
+    // Weather(locn, dateid, rain, snow, maxtemp, mintemp, meanwind, thunder)
+    let mut weather = Relation::new(Schema::of(&[
+        ("locn", AttrType::Int),
+        ("dateid", AttrType::Int),
+        ("rain", AttrType::Categorical),
+        ("snow", AttrType::Categorical),
+        ("maxtemp", AttrType::Double),
+        ("mintemp", AttrType::Double),
+        ("meanwind", AttrType::Double),
+        ("thunder", AttrType::Categorical),
+    ]));
+    let mut weather_info = vec![(0.0f64, 0i64); cfg.locations * cfg.dates];
+    for locn in 0..cfg.locations as i64 {
+        for dateid in 0..cfg.dates as i64 {
+            let maxtemp = gauss(&mut rng, 18.0, 9.0);
+            let rain = i64::from(rng.gen_bool(0.3));
+            weather_info[locn as usize * cfg.dates + dateid as usize] = (maxtemp, rain);
+            weather
+                .push_row(&[
+                    Value::Int(locn),
+                    Value::Int(dateid),
+                    Value::Int(rain),
+                    Value::Int(i64::from(maxtemp < 2.0)),
+                    Value::F64(maxtemp),
+                    Value::F64(maxtemp - uniform(&mut rng, 3.0, 10.0)),
+                    Value::F64(uniform(&mut rng, 0.0, 25.0)),
+                    Value::Int(i64::from(rng.gen_bool(0.05))),
+                ])
+                .expect("generator rows are well-typed");
+        }
+    }
+
+    // Inventory(locn, dateid, ksn, inventoryunits): the fact table. The
+    // response depends on price, weather, and demographics plus noise.
+    let mut inventory = Relation::new(Schema::of(&[
+        ("locn", AttrType::Int),
+        ("dateid", AttrType::Int),
+        ("ksn", AttrType::Int),
+        ("inventoryunits", AttrType::Double),
+    ]));
+    let per_cell = ((cfg.items as f64) * cfg.fill).round() as usize;
+    for locn in 0..cfg.locations as i64 {
+        let pop = zip_pop[loc_zip[locn as usize] as usize];
+        for dateid in 0..cfg.dates as i64 {
+            let (maxtemp, rain) = weather_info[locn as usize * cfg.dates + dateid as usize];
+            for _ in 0..per_cell {
+                let ksn = skewed_index(&mut rng, cfg.items, 1.2);
+                let prize = item_prize[ksn as usize];
+                let units = 25.0 - 0.45 * prize + 0.12 * maxtemp - 2.0 * rain as f64
+                    + 0.00005 * pop
+                    + gauss(&mut rng, 0.0, 1.5);
+                inventory
+                    .push_row(&[
+                        Value::Int(locn),
+                        Value::Int(dateid),
+                        Value::Int(ksn),
+                        Value::F64(units.max(0.0)),
+                    ])
+                    .expect("generator rows are well-typed");
+            }
+        }
+    }
+
+    let mut db = Database::new();
+    db.add("Inventory", inventory);
+    db.add("Location", location);
+    db.add("Census", census);
+    db.add("Item", item);
+    db.add("Weather", weather);
+
+    Dataset {
+        db,
+        relations: ["Inventory", "Location", "Census", "Item", "Weather"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        features: FeatureSet::new(
+            &[
+                "prize",
+                "maxtemp",
+                "mintemp",
+                "meanwind",
+                "population",
+                "medianage",
+                "houseunits",
+                "avghhi",
+                "sell_area_sq_ft",
+                "supertargetdistance",
+                "walmartdistance",
+            ],
+            &["rain", "snow", "thunder", "category", "categoryCluster", "rgn_cd", "clim_zn_nbr"],
+            "inventoryunits",
+        ),
+        name: "Retailer",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn tiny_instance_has_expected_shape() {
+        let ds = retailer(RetailerConfig::tiny());
+        let inv = ds.db.get("Inventory").unwrap();
+        assert!(!inv.is_empty());
+        assert_eq!(ds.db.get("Weather").unwrap().len(), 5 * 8);
+        assert_eq!(ds.db.get("Location").unwrap().len(), 5);
+        assert_eq!(ds.relations.len(), 5);
+        assert_eq!(ds.features.response, "inventoryunits");
+    }
+
+    #[test]
+    fn foreign_keys_are_closed() {
+        let ds = retailer(RetailerConfig::tiny());
+        let inv = ds.db.get("Inventory").unwrap();
+        let locs: HashSet<i64> =
+            ds.db.get("Location").unwrap().int_col(0).iter().copied().collect();
+        let items: HashSet<i64> = ds.db.get("Item").unwrap().int_col(0).iter().copied().collect();
+        let zips: HashSet<i64> = ds.db.get("Census").unwrap().int_col(0).iter().copied().collect();
+        for &l in inv.int_col(0) {
+            assert!(locs.contains(&l));
+        }
+        for &k in inv.int_col(2) {
+            assert!(items.contains(&k));
+        }
+        for &z in ds.db.get("Location").unwrap().int_col(1) {
+            assert!(zips.contains(&z));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = retailer(RetailerConfig::tiny());
+        let b = retailer(RetailerConfig::tiny());
+        assert_eq!(a.db.get("Inventory").unwrap(), b.db.get("Inventory").unwrap());
+        assert_eq!(a.db.get("Census").unwrap(), b.db.get("Census").unwrap());
+    }
+
+    #[test]
+    fn response_correlates_negatively_with_price() {
+        // The planted signal: more expensive items carry fewer units.
+        let ds = retailer(RetailerConfig::tiny());
+        let inv = ds.db.get("Inventory").unwrap();
+        let item = ds.db.get("Item").unwrap();
+        let prize: Vec<f64> = item.f64_col(4).to_vec();
+        let xs: Vec<f64> = inv.int_col(2).iter().map(|&k| prize[k as usize]).collect();
+        let ys: Vec<f64> = inv.f64_col(3).to_vec();
+        let n = xs.len() as f64;
+        let (mx, my) = (xs.iter().sum::<f64>() / n, ys.iter().sum::<f64>() / n);
+        let cov: f64 =
+            xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / n;
+        assert!(cov < 0.0, "covariance {cov} should be negative");
+    }
+}

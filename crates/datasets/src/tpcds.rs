@@ -1,0 +1,208 @@
+//! A TPC-DS-style star schema: store sales with customer, store, item, and
+//! date dimensions.
+
+use crate::features::FeatureSet;
+use crate::util::{gauss, skewed_index, uniform};
+use crate::Dataset;
+use fdb_data::{AttrType, Database, Relation, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Scale knobs for the TPC-DS-style generator.
+#[derive(Debug, Clone, Copy)]
+pub struct TpcdsConfig {
+    /// Number of customers.
+    pub customers: usize,
+    /// Number of stores.
+    pub stores: usize,
+    /// Number of items.
+    pub items: usize,
+    /// Number of dates.
+    pub dates: usize,
+    /// Number of sales facts.
+    pub sales: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpcdsConfig {
+    fn default() -> Self {
+        Self { customers: 3_000, stores: 25, items: 400, dates: 120, sales: 80_000, seed: 0xD5 }
+    }
+}
+
+impl TpcdsConfig {
+    /// A tiny instance for unit tests.
+    pub fn tiny() -> Self {
+        Self { customers: 40, stores: 4, items: 30, dates: 12, sales: 300, seed: 17 }
+    }
+}
+
+/// Generates the TPC-DS-style dataset.
+pub fn tpcds(cfg: TpcdsConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let mut customer = Relation::new(Schema::of(&[
+        ("customer_sk", AttrType::Int),
+        ("c_birth_year", AttrType::Double),
+        ("c_income", AttrType::Double),
+        ("c_credit_rating", AttrType::Categorical),
+        ("c_dep_count", AttrType::Double),
+    ]));
+    for c in 0..cfg.customers as i64 {
+        customer
+            .push_row(&[
+                Value::Int(c),
+                Value::F64(uniform(&mut rng, 1940.0, 2005.0)),
+                Value::F64(gauss(&mut rng, 55_000.0, 20_000.0)),
+                Value::Int(rng.gen_range(0..4)),
+                Value::F64(rng.gen_range(0..6) as f64),
+            ])
+            .expect("well-typed");
+    }
+
+    let mut store = Relation::new(Schema::of(&[
+        ("store_sk", AttrType::Int),
+        ("s_floor_space", AttrType::Double),
+        ("s_number_employees", AttrType::Double),
+        ("s_tax_percentage", AttrType::Double),
+        ("s_market", AttrType::Categorical),
+    ]));
+    for s in 0..cfg.stores as i64 {
+        store
+            .push_row(&[
+                Value::Int(s),
+                Value::F64(uniform(&mut rng, 5_000.0, 90_000.0)),
+                Value::F64(uniform(&mut rng, 50.0, 300.0)),
+                Value::F64(uniform(&mut rng, 0.0, 0.11)),
+                Value::Int(rng.gen_range(0..10)),
+            ])
+            .expect("well-typed");
+    }
+
+    let mut item = Relation::new(Schema::of(&[
+        ("item_sk", AttrType::Int),
+        ("i_current_price", AttrType::Double),
+        ("i_wholesale_cost", AttrType::Double),
+        ("i_category", AttrType::Categorical),
+        ("i_brand", AttrType::Categorical),
+    ]));
+    let mut price = Vec::with_capacity(cfg.items);
+    for i in 0..cfg.items as i64 {
+        let p = uniform(&mut rng, 1.0, 120.0);
+        price.push(p);
+        item.push_row(&[
+            Value::Int(i),
+            Value::F64(p),
+            Value::F64(p * uniform(&mut rng, 0.4, 0.8)),
+            Value::Int(rng.gen_range(0..12)),
+            Value::Int(rng.gen_range(0..50)),
+        ])
+        .expect("well-typed");
+    }
+
+    let mut date_dim = Relation::new(Schema::of(&[
+        ("date_sk", AttrType::Int),
+        ("d_year", AttrType::Double),
+        ("d_moy", AttrType::Categorical),
+        ("d_dow", AttrType::Categorical),
+    ]));
+    for d in 0..cfg.dates as i64 {
+        date_dim
+            .push_row(&[
+                Value::Int(d),
+                Value::F64(2002.0 + (d / 365) as f64),
+                Value::Int((d / 30) % 12),
+                Value::Int(d % 7),
+            ])
+            .expect("well-typed");
+    }
+
+    let mut sales = Relation::new(Schema::of(&[
+        ("date_sk", AttrType::Int),
+        ("item_sk", AttrType::Int),
+        ("customer_sk", AttrType::Int),
+        ("store_sk", AttrType::Int),
+        ("ss_quantity", AttrType::Double),
+        ("ss_net_paid", AttrType::Double),
+    ]));
+    for _ in 0..cfg.sales {
+        let d = rng.gen_range(0..cfg.dates as i64);
+        let i = skewed_index(&mut rng, cfg.items, 1.0);
+        let c = skewed_index(&mut rng, cfg.customers, 0.8);
+        let s = rng.gen_range(0..cfg.stores as i64);
+        let q = rng.gen_range(1..12) as f64;
+        let paid = q * price[i as usize] * uniform(&mut rng, 0.8, 1.0);
+        sales
+            .push_row(&[
+                Value::Int(d),
+                Value::Int(i),
+                Value::Int(c),
+                Value::Int(s),
+                Value::F64(q),
+                Value::F64(paid),
+            ])
+            .expect("well-typed");
+    }
+
+    let mut db = Database::new();
+    db.add("StoreSales", sales);
+    db.add("Customer", customer);
+    db.add("Store", store);
+    db.add("Item", item);
+    db.add("DateDim", date_dim);
+
+    Dataset {
+        db,
+        relations: ["StoreSales", "Customer", "Store", "Item", "DateDim"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        features: FeatureSet::new(
+            &[
+                "ss_quantity",
+                "i_current_price",
+                "i_wholesale_cost",
+                "c_income",
+                "c_birth_year",
+                "c_dep_count",
+                "s_floor_space",
+                "s_number_employees",
+                "s_tax_percentage",
+                "d_year",
+            ],
+            &["i_category", "i_brand", "c_credit_rating", "s_market", "d_moy", "d_dow"],
+            "ss_net_paid",
+        ),
+        name: "TPC-DS",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = tpcds(TpcdsConfig::tiny());
+        assert_eq!(a.db.get("StoreSales").unwrap().len(), 300);
+        assert_eq!(a.db.len(), 5);
+        let b = tpcds(TpcdsConfig::tiny());
+        assert_eq!(a.db.get("StoreSales").unwrap(), b.db.get("StoreSales").unwrap());
+    }
+
+    #[test]
+    fn net_paid_tracks_quantity_times_price() {
+        let ds = tpcds(TpcdsConfig::tiny());
+        let ss = ds.db.get("StoreSales").unwrap();
+        let item = ds.db.get("Item").unwrap();
+        let price: Vec<f64> = item.f64_col(1).to_vec();
+        for r in 0..ss.len() {
+            let i = ss.int_col(1)[r] as usize;
+            let q = ss.f64_col(4)[r];
+            let paid = ss.f64_col(5)[r];
+            assert!(paid <= q * price[i] + 1e-9);
+            assert!(paid >= 0.8 * q * price[i] - 1e-9);
+        }
+    }
+}

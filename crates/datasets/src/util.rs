@@ -1,0 +1,59 @@
+//! Shared generator helpers: skewed samplers and noise.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A power-law-skewed index in `0..n` (smaller indices more likely);
+/// `skew = 0` is uniform, larger values concentrate mass on few indices —
+/// the "heavy/light key" degree structure §3.2 discusses.
+pub fn skewed_index(rng: &mut StdRng, n: usize, skew: f64) -> i64 {
+    debug_assert!(n > 0);
+    let u: f64 = rng.gen_range(0.0f64..1.0);
+    let x = u.powf(1.0 + skew);
+    ((x * n as f64) as usize).min(n - 1) as i64
+}
+
+/// Approximately normal noise via the sum of uniforms (Irwin–Hall with 12
+/// terms has unit variance) — good enough for synthetic responses and free
+/// of extra dependencies.
+pub fn gauss(rng: &mut StdRng, mean: f64, std: f64) -> f64 {
+    let s: f64 = (0..12).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() - 6.0;
+    mean + std * s
+}
+
+/// A uniform float in `[lo, hi)`.
+pub fn uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    rng.gen_range(lo..hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn skewed_index_in_range_and_skews_low() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100;
+        let mut low = 0;
+        for _ in 0..2000 {
+            let i = skewed_index(&mut rng, n, 2.0);
+            assert!((0..n as i64).contains(&i));
+            if i < 20 {
+                low += 1;
+            }
+        }
+        // With skew 2.0, far more than 20% of samples land in the lowest 20%.
+        assert!(low > 800, "low bucket got {low}");
+    }
+
+    #[test]
+    fn gauss_moments_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..5000).map(|_| gauss(&mut rng, 10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 10.0).abs() < 0.2, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.2, "std {}", var.sqrt());
+    }
+}

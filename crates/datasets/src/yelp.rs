@@ -1,0 +1,145 @@
+//! The Yelp-style dataset: review ratings over users and businesses.
+
+use crate::features::FeatureSet;
+use crate::util::{gauss, skewed_index, uniform};
+use crate::Dataset;
+use fdb_data::{AttrType, Database, Relation, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Scale knobs for the Yelp generator.
+#[derive(Debug, Clone, Copy)]
+pub struct YelpConfig {
+    /// Number of users.
+    pub users: usize,
+    /// Number of businesses.
+    pub businesses: usize,
+    /// Number of reviews.
+    pub reviews: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for YelpConfig {
+    fn default() -> Self {
+        Self { users: 2_000, businesses: 600, reviews: 60_000, seed: 0x1E19 }
+    }
+}
+
+impl YelpConfig {
+    /// A tiny instance for unit tests.
+    pub fn tiny() -> Self {
+        Self { users: 30, businesses: 10, reviews: 200, seed: 11 }
+    }
+}
+
+/// Generates the Yelp-style dataset.
+pub fn yelp(cfg: YelpConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let mut users = Relation::new(Schema::of(&[
+        ("user", AttrType::Int),
+        ("user_avg", AttrType::Double),
+        ("user_count", AttrType::Double),
+        ("fans", AttrType::Double),
+        ("elite", AttrType::Categorical),
+    ]));
+    let mut user_avg = Vec::with_capacity(cfg.users);
+    for u in 0..cfg.users as i64 {
+        let avg = uniform(&mut rng, 2.0, 4.8);
+        user_avg.push(avg);
+        users
+            .push_row(&[
+                Value::Int(u),
+                Value::F64(avg),
+                Value::F64(uniform(&mut rng, 1.0, 300.0)),
+                Value::F64(uniform(&mut rng, 0.0, 50.0)),
+                Value::Int(i64::from(rng.gen_bool(0.1))),
+            ])
+            .expect("well-typed");
+    }
+
+    let mut businesses = Relation::new(Schema::of(&[
+        ("business", AttrType::Int),
+        ("b_avg", AttrType::Double),
+        ("b_count", AttrType::Double),
+        ("is_open", AttrType::Categorical),
+        ("city", AttrType::Categorical),
+        ("price_range", AttrType::Categorical),
+    ]));
+    let mut b_avg = Vec::with_capacity(cfg.businesses);
+    for b in 0..cfg.businesses as i64 {
+        let avg = uniform(&mut rng, 2.0, 4.8);
+        b_avg.push(avg);
+        businesses
+            .push_row(&[
+                Value::Int(b),
+                Value::F64(avg),
+                Value::F64(uniform(&mut rng, 5.0, 2_000.0)),
+                Value::Int(i64::from(rng.gen_bool(0.85))),
+                Value::Int(rng.gen_range(0..20)),
+                Value::Int(rng.gen_range(1..5)),
+            ])
+            .expect("well-typed");
+    }
+
+    let mut reviews = Relation::new(Schema::of(&[
+        ("user", AttrType::Int),
+        ("business", AttrType::Int),
+        ("useful", AttrType::Double),
+        ("stars", AttrType::Double),
+    ]));
+    for _ in 0..cfg.reviews {
+        let u = skewed_index(&mut rng, cfg.users, 1.5);
+        let b = skewed_index(&mut rng, cfg.businesses, 1.5);
+        let stars = 0.5 * user_avg[u as usize] + 0.5 * b_avg[b as usize]
+            + gauss(&mut rng, 0.0, 0.6);
+        reviews
+            .push_row(&[
+                Value::Int(u),
+                Value::Int(b),
+                Value::F64(uniform(&mut rng, 0.0, 30.0)),
+                Value::F64(stars.clamp(1.0, 5.0)),
+            ])
+            .expect("well-typed");
+    }
+
+    let mut db = Database::new();
+    db.add("Review", reviews);
+    db.add("User", users);
+    db.add("Business", businesses);
+
+    Dataset {
+        db,
+        relations: ["Review", "User", "Business"].iter().map(|s| s.to_string()).collect(),
+        features: FeatureSet::new(
+            &["user_avg", "user_count", "fans", "b_avg", "b_count", "useful"],
+            &["elite", "is_open", "city", "price_range"],
+            "stars",
+        ),
+        name: "Yelp",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_bounds() {
+        let ds = yelp(YelpConfig::tiny());
+        let r = ds.db.get("Review").unwrap();
+        assert_eq!(r.len(), 200);
+        let stars_col = r.schema().require("stars").unwrap();
+        for &s in r.f64_col(stars_col) {
+            assert!((1.0..=5.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let a = yelp(YelpConfig::tiny());
+        let b = yelp(YelpConfig::tiny());
+        assert_eq!(a.db.get("Review").unwrap(), b.db.get("Review").unwrap());
+    }
+}

@@ -1,0 +1,541 @@
+//! Explicit factorized representations (f-representations), Figures 7–10.
+//!
+//! An f-rep is a DAG of unions (over a variable's values) and products
+//! (over conditionally independent branches), modelled on a variable order.
+//! Subtrees whose dependency set repeats are *cached* and shared — in the
+//! paper's example the price subtree under `item = bun` is built once and
+//! referenced from both `burger` and `hotdog` (§5.1).
+//!
+//! This module favours clarity over speed: it materializes the
+//! representation (values are generic [`Value`]s), counts its size in
+//! values, enumerates the flat result, and evaluates ring aggregates in one
+//! pass with sharing-aware memoization. The fused evaluator in [`crate::eval`]
+//! is the high-performance path that never materializes anything.
+
+use crate::hypergraph::Hypergraph;
+use crate::order::VarOrder;
+use fdb_data::{DataError, Database, Relation, Schema, Value};
+use fdb_ring::Semiring;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::ops::Range;
+use std::rc::Rc;
+
+/// A node of a factorized representation.
+#[derive(Debug)]
+pub enum FNode {
+    /// A union over the values of `var`; each value carries one product
+    /// branch per child of `var` in the variable order.
+    Union {
+        /// Hypergraph variable id.
+        var: usize,
+        /// `(value, child branches)` in ascending value order.
+        entries: Vec<(Value, Vec<Rc<FNode>>)>,
+    },
+}
+
+/// A factorized representation of a natural join.
+pub struct FRep {
+    hg: Hypergraph,
+    vo: VarOrder,
+    roots: Vec<Rc<FNode>>,
+}
+
+struct Builder<'a> {
+    vo: &'a VarOrder,
+    /// Per relation: one `Vec<Value>` column per key level (VO-depth order).
+    cols: Vec<Vec<Vec<Value>>>,
+    /// Per VO node: participating `(relation, level)` pairs.
+    parts_at: Vec<Vec<(usize, usize)>>,
+    /// Cache: `(node, dep-value key) -> shared subtree`.
+    cache: HashMap<(usize, Vec<Value>), Rc<FNode>>,
+    /// Current binding per variable (used to form dep keys).
+    binding: Vec<Option<Value>>,
+}
+
+impl FRep {
+    /// Builds the f-rep of the natural join of `relations` over the
+    /// join-tree variable order. Every attribute becomes a variable, as in
+    /// Figure 8 (set semantics: duplicate rows collapse).
+    pub fn build(db: &Database, relations: &[&str]) -> Result<FRep, DataError> {
+        let hg = Hypergraph::natural_join(db, relations)?;
+        let jt = hg
+            .join_tree()
+            .ok_or_else(|| DataError::Invalid("cyclic query: no join tree".into()))?;
+        let vo = VarOrder::from_join_tree(&hg, &jt);
+        Self::build_with_order(db, relations, hg, vo)
+    }
+
+    /// Builds over an explicit variable order (must cover all attributes).
+    pub fn build_with_order(
+        db: &Database,
+        relations: &[&str],
+        hg: Hypergraph,
+        vo: VarOrder,
+    ) -> Result<FRep, DataError> {
+        let nn = vo.nodes().len();
+        let mut cols: Vec<Vec<Vec<Value>>> = Vec::with_capacity(relations.len());
+        let mut parts_at: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nn];
+        for (ri, &rname) in relations.iter().enumerate() {
+            let rel = db.get(rname)?;
+            let path = vo.path_vars(&hg.edges()[ri].vars).ok_or_else(|| {
+                DataError::Invalid(format!("relation `{rname}` off-path in variable order"))
+            })?;
+            let col_idx: Vec<usize> = path
+                .iter()
+                .map(|&v| rel.schema().require(&hg.vars()[v]))
+                .collect::<Result<_, _>>()?;
+            let sorted = rel.sorted_by(&col_idx);
+            let rel_cols: Vec<Vec<Value>> = col_idx
+                .iter()
+                .map(|&c| (0..sorted.len()).map(|r| sorted.value(r, c)).collect())
+                .collect();
+            for (level, &v) in path.iter().enumerate() {
+                let node = vo.node_of_var(v).expect("path var has node");
+                parts_at[node].push((ri, level));
+            }
+            cols.push(rel_cols);
+        }
+        let mut b = Builder {
+            vo: &vo,
+            cols,
+            parts_at,
+            cache: HashMap::new(),
+            binding: vec![None; hg.num_vars()],
+        };
+        let mut ranges: Vec<Range<usize>> =
+            b.cols.iter().map(|c| 0..c.first().map(Vec::len).unwrap_or(0)).collect();
+        let roots: Vec<Rc<FNode>> = vo
+            .roots()
+            .to_vec()
+            .into_iter()
+            .map(|r| b.build_node(r, &mut ranges))
+            .collect();
+        Ok(FRep { hg, vo, roots })
+    }
+
+    /// The hypergraph (variable names live here).
+    pub fn hypergraph(&self) -> &Hypergraph {
+        &self.hg
+    }
+
+    /// The variable order this representation is modelled on.
+    pub fn var_order(&self) -> &VarOrder {
+        &self.vo
+    }
+
+    /// Number of *values* in the representation, counting shared (cached)
+    /// subtrees once — the paper's size measure for f-reps.
+    pub fn size_values(&self) -> usize {
+        let mut seen: HashSet<*const FNode> = HashSet::new();
+        self.roots.iter().map(|r| count_values(r, &mut seen)).sum()
+    }
+
+    /// Number of values *without* sharing (as if caches were expanded).
+    pub fn size_values_unshared(&self) -> usize {
+        self.roots.iter().map(|r| count_values_unshared(r)).sum()
+    }
+
+    /// Enumerates the flat join result. Output schema: variables in
+    /// pre-order of the variable order.
+    pub fn enumerate(&self) -> Result<Relation, DataError> {
+        let pre = self.vo.pre_order();
+        let attrs: Vec<fdb_data::Attribute> = pre
+            .iter()
+            .map(|&n| {
+                let var = self.vo.nodes()[n].var;
+                // Type: Int unless any relation holds it as Double.
+                fdb_data::Attribute::new(self.hg.vars()[var].clone(), fdb_data::AttrType::Int)
+            })
+            .collect();
+        // Correct types by probing actual values during emission; start with
+        // a Value-row buffer and build rows generically.
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        let var_slot: HashMap<usize, usize> =
+            pre.iter().enumerate().map(|(i, &n)| (self.vo.nodes()[n].var, i)).collect();
+        let mut current: Vec<Option<Value>> = vec![None; pre.len()];
+        enumerate_product(&self.roots, &self.vo, &var_slot, &mut current, &mut rows);
+        // Infer column types from first row (fall back to Int).
+        let attrs: Vec<fdb_data::Attribute> = attrs
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let ty = rows
+                    .first()
+                    .map(|r| {
+                        if r[i].is_int() {
+                            fdb_data::AttrType::Int
+                        } else {
+                            fdb_data::AttrType::Double
+                        }
+                    })
+                    .unwrap_or(fdb_data::AttrType::Int);
+                fdb_data::Attribute::new(a.name, ty)
+            })
+            .collect();
+        Relation::from_rows(Schema::new(attrs)?, rows)
+    }
+
+    /// Evaluates a sum-product aggregate over the representation in one
+    /// bottom-up pass (Figure 9), memoizing shared subtrees so cached
+    /// computation is also shared.
+    pub fn eval<S: Semiring>(
+        &self,
+        ring: &S,
+        var_lift: &mut dyn FnMut(usize, Value) -> S::Elem,
+    ) -> S::Elem {
+        let mut memo: HashMap<*const FNode, S::Elem> = HashMap::new();
+        let mut acc = ring.one();
+        for r in &self.roots {
+            let v = eval_node(r, ring, var_lift, &mut memo);
+            acc = ring.mul(&acc, &v);
+        }
+        acc
+    }
+}
+
+fn eval_node<S: Semiring>(
+    node: &Rc<FNode>,
+    ring: &S,
+    var_lift: &mut dyn FnMut(usize, Value) -> S::Elem,
+    memo: &mut HashMap<*const FNode, S::Elem>,
+) -> S::Elem {
+    let key = Rc::as_ptr(node);
+    if let Some(v) = memo.get(&key) {
+        return v.clone();
+    }
+    let FNode::Union { var, entries } = node.as_ref();
+    let mut total = ring.zero();
+    for (value, children) in entries {
+        let mut acc = var_lift(*var, *value);
+        for c in children {
+            let sub = eval_node(c, ring, var_lift, memo);
+            acc = ring.mul(&acc, &sub);
+        }
+        ring.add_assign(&mut total, &acc);
+    }
+    memo.insert(key, total.clone());
+    total
+}
+
+fn count_values(node: &Rc<FNode>, seen: &mut HashSet<*const FNode>) -> usize {
+    if !seen.insert(Rc::as_ptr(node)) {
+        return 0; // shared subtree counted once
+    }
+    let FNode::Union { entries, .. } = node.as_ref();
+    entries
+        .iter()
+        .map(|(_, children)| 1 + children.iter().map(|c| count_values(c, seen)).sum::<usize>())
+        .sum()
+}
+
+fn count_values_unshared(node: &Rc<FNode>) -> usize {
+    let FNode::Union { entries, .. } = node.as_ref();
+    entries
+        .iter()
+        .map(|(_, children)| 1 + children.iter().map(count_values_unshared).sum::<usize>())
+        .sum()
+}
+
+fn enumerate_product(
+    branches: &[Rc<FNode>],
+    vo: &VarOrder,
+    var_slot: &HashMap<usize, usize>,
+    current: &mut Vec<Option<Value>>,
+    rows: &mut Vec<Vec<Value>>,
+) {
+    // Cross product over independent branches, then emit when all slots of
+    // this sub-forest are filled. We recurse branch by branch.
+    fn rec(
+        branches: &[Rc<FNode>],
+        idx: usize,
+        vo: &VarOrder,
+        var_slot: &HashMap<usize, usize>,
+        current: &mut Vec<Option<Value>>,
+        rows: &mut Vec<Vec<Value>>,
+        emit: &mut dyn FnMut(&mut Vec<Option<Value>>, &mut Vec<Vec<Value>>),
+    ) {
+        if idx == branches.len() {
+            emit(current, rows);
+            return;
+        }
+        let FNode::Union { var, entries } = branches[idx].as_ref();
+        let slot = var_slot[var];
+        for (value, children) in entries {
+            current[slot] = Some(*value);
+            rec(children, 0, vo, var_slot, current, rows, &mut |cur, rws| {
+                rec(branches, idx + 1, vo, var_slot, cur, rws, &mut *emit);
+            });
+            current[slot] = None;
+        }
+    }
+    rec(branches, 0, vo, var_slot, current, rows, &mut |cur, rws| {
+        // All variables on every path are bound exactly when every slot that
+        // belongs to this assignment is Some; unfilled slots cannot remain
+        // because the forest covers all variables.
+        let row: Vec<Value> =
+            cur.iter().map(|v| v.expect("all variables bound at emission")).collect();
+        rws.push(row);
+    });
+}
+
+impl<'a> Builder<'a> {
+    fn build_node(&mut self, node: usize, ranges: &mut Vec<Range<usize>>) -> Rc<FNode> {
+        let var = self.vo.nodes()[node].var;
+        let parts = self.parts_at[node].clone();
+        debug_assert!(!parts.is_empty(), "variable {var} in no relation");
+        // Distinct candidate values: intersection of participants' values
+        // within current ranges.
+        let mut iter = parts.iter();
+        let first = iter.next().expect("non-empty");
+        let mut candidates: BTreeSet<Value> = self.cols[first.0][first.1][ranges[first.0].clone()]
+            .iter()
+            .copied()
+            .collect();
+        for &(ri, level) in iter {
+            let vals: BTreeSet<Value> =
+                self.cols[ri][level][ranges[ri].clone()].iter().copied().collect();
+            candidates = candidates.intersection(&vals).copied().collect();
+        }
+        let children_nodes = self.vo.nodes()[node].children.clone();
+        let mut entries = Vec::with_capacity(candidates.len());
+        for value in candidates {
+            // Narrow each participant's range to the run of `value`.
+            let saved: Vec<Range<usize>> =
+                parts.iter().map(|&(ri, _)| ranges[ri].clone()).collect();
+            for &(ri, level) in &parts {
+                let col = &self.cols[ri][level];
+                let r = ranges[ri].clone();
+                let lo = r.start + col[r.clone()].partition_point(|v| *v < value);
+                let hi = r.start + col[r.clone()].partition_point(|v| *v <= value);
+                ranges[ri] = lo..hi;
+            }
+            self.binding[var] = Some(value);
+            let mut branches = Vec::with_capacity(children_nodes.len());
+            let mut dead = false;
+            for &c in &children_nodes {
+                let sub = self.build_child_cached(c, ranges);
+                match sub {
+                    Some(s) => branches.push(s),
+                    None => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            self.binding[var] = None;
+            for (&(ri, _), old) in parts.iter().zip(saved) {
+                ranges[ri] = old;
+            }
+            if !dead {
+                entries.push((value, branches));
+            }
+        }
+        Rc::new(FNode::Union { var, entries })
+    }
+
+    /// Builds (or reuses) the subtree for child node `c` keyed on its
+    /// dependency-set values. Returns `None` if the subtree is empty
+    /// (no matching values — the parent entry must be dropped).
+    fn build_child_cached(
+        &mut self,
+        c: usize,
+        ranges: &mut Vec<Range<usize>>,
+    ) -> Option<Rc<FNode>> {
+        let dep = self.vo.nodes()[c].dep.clone();
+        let key: Vec<Value> = dep
+            .iter()
+            .map(|&v| self.binding[v].expect("dep var bound above"))
+            .collect();
+        if let Some(hit) = self.cache.get(&(c, key.clone())) {
+            let FNode::Union { entries, .. } = hit.as_ref();
+            if entries.is_empty() {
+                return None;
+            }
+            return Some(Rc::clone(hit));
+        }
+        let built = self.build_node(c, ranges);
+        let empty = {
+            let FNode::Union { entries, .. } = built.as_ref();
+            entries.is_empty()
+        };
+        self.cache.insert((c, key), Rc::clone(&built));
+        if empty {
+            None
+        } else {
+            Some(built)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_data::AttrType;
+    use fdb_ring::{F64Ring, I64Ring, KeyedRing};
+
+    /// The paper's Figure 7 database: Orders, Dish, Items.
+    pub fn dish_db() -> Database {
+        let mut db = Database::new();
+        // Dictionary-encode the strings deterministically.
+        // customers: Elise=0, Steve=1, Joe=2; days: Monday=0, Friday=1;
+        // dishes: burger=0, hotdog=1; items: patty=0, onion=1, bun=2, sausage=3.
+        let orders = Relation::from_rows(
+            Schema::of(&[
+                ("customer", AttrType::Categorical),
+                ("day", AttrType::Categorical),
+                ("dish", AttrType::Categorical),
+            ]),
+            vec![
+                vec![Value::Int(0), Value::Int(0), Value::Int(0)], // Elise Monday burger
+                vec![Value::Int(0), Value::Int(1), Value::Int(0)], // Elise Friday burger
+                vec![Value::Int(1), Value::Int(1), Value::Int(1)], // Steve Friday hotdog
+                vec![Value::Int(2), Value::Int(1), Value::Int(1)], // Joe Friday hotdog
+            ],
+        )
+        .unwrap();
+        let dish = Relation::from_rows(
+            Schema::of(&[("dish", AttrType::Categorical), ("item", AttrType::Categorical)]),
+            vec![
+                vec![Value::Int(0), Value::Int(0)], // burger patty
+                vec![Value::Int(0), Value::Int(1)], // burger onion
+                vec![Value::Int(0), Value::Int(2)], // burger bun
+                vec![Value::Int(1), Value::Int(2)], // hotdog bun
+                vec![Value::Int(1), Value::Int(1)], // hotdog onion
+                vec![Value::Int(1), Value::Int(3)], // hotdog sausage
+            ],
+        )
+        .unwrap();
+        let items = Relation::from_rows(
+            Schema::of(&[("item", AttrType::Categorical), ("price", AttrType::Double)]),
+            vec![
+                vec![Value::Int(0), Value::F64(6.0)], // patty 6
+                vec![Value::Int(1), Value::F64(2.0)], // onion 2
+                vec![Value::Int(2), Value::F64(2.0)], // bun 2
+                vec![Value::Int(3), Value::F64(4.0)], // sausage 4
+            ],
+        )
+        .unwrap();
+        db.add("Orders", orders);
+        db.add("Dish", dish);
+        db.add("Items", items);
+        db
+    }
+
+    #[test]
+    fn figure7_join_has_12_tuples_60_values() {
+        let db = dish_db();
+        let frep = FRep::build(&db, &["Orders", "Dish", "Items"]).unwrap();
+        let flat = frep.enumerate().unwrap();
+        assert_eq!(flat.len(), 12, "natural join of Figure 7 has 12 tuples");
+        assert_eq!(flat.len() * flat.schema().arity(), 60, "60 values flat");
+    }
+
+    #[test]
+    fn figure8_factorized_size_beats_flat_and_input() {
+        let db = dish_db();
+        // The paper's Figure 8 order has dish at the root: reroot the join
+        // tree at the Dish relation (edge index 1).
+        let rels = ["Orders", "Dish", "Items"];
+        let hg = Hypergraph::natural_join(&db, &rels).unwrap();
+        let jt = hg.join_tree().unwrap().rerooted(1);
+        let vo = VarOrder::from_join_tree(&hg, &jt);
+        let frep = FRep::build_with_order(&db, &rels, hg, vo).unwrap();
+        let shared = frep.size_values();
+        let unshared = frep.size_values_unshared();
+        // Input relations hold 4*3 + 6*2 + 4*2 = 32 values; flat join 60.
+        // The dish-rooted order reaches 19 values with caching — the same
+        // size as the paper's hand-drawn Figure 8 representation.
+        assert_eq!(shared, 19);
+        assert_eq!(unshared, 35);
+        assert!(shared < 32, "factorization must beat the input");
+        assert!(unshared < 60, "even unshared beats the flat join");
+    }
+
+    #[test]
+    fn default_order_roots_at_items_giving_21_values() {
+        // GYO happens to root the join tree at Items; that order is valid
+        // but 2 values larger — variable orders matter (§5.1).
+        let db = dish_db();
+        let frep = FRep::build(&db, &["Orders", "Dish", "Items"]).unwrap();
+        assert_eq!(frep.size_values(), 21);
+    }
+
+    #[test]
+    fn figure9_count_aggregate_is_12() {
+        let db = dish_db();
+        let frep = FRep::build(&db, &["Orders", "Dish", "Items"]).unwrap();
+        let count = frep.eval(&I64Ring, &mut |_, _| 1);
+        assert_eq!(count, 12);
+    }
+
+    #[test]
+    fn figure9_sum_price_group_by_dish() {
+        let db = dish_db();
+        let frep = FRep::build(&db, &["Orders", "Dish", "Items"]).unwrap();
+        let hg = frep.hypergraph();
+        let dish = hg.var_id("dish").unwrap();
+        let price = hg.var_id("price").unwrap();
+        let ring = KeyedRing::new(F64Ring, 1);
+        let got = frep.eval(&ring, &mut |var, value| {
+            if var == dish {
+                ring.tag(0, value, 1.0)
+            } else if var == price {
+                ring.scalar(value.as_f64())
+            } else {
+                ring.one()
+            }
+        });
+        // Paper: 20 * f(burger) + 16 * f(hotdog).
+        let burger: Box<[Value]> = vec![Value::Int(0)].into();
+        let hotdog: Box<[Value]> = vec![Value::Int(1)].into();
+        assert_eq!(got.get(&burger).copied(), Some(20.0));
+        assert_eq!(got.get(&hotdog).copied(), Some(16.0));
+    }
+
+    #[test]
+    fn figure9_total_sum_price() {
+        let db = dish_db();
+        let frep = FRep::build(&db, &["Orders", "Dish", "Items"]).unwrap();
+        let hg = frep.hypergraph();
+        let price = hg.var_id("price").unwrap();
+        let total = frep.eval(&F64Ring, &mut |var, value| {
+            if var == price {
+                value.as_f64()
+            } else {
+                1.0
+            }
+        });
+        assert_eq!(total, 36.0); // 20 + 16
+    }
+
+    #[test]
+    fn enumerate_matches_eval_count_on_random_data() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let mut db = Database::new();
+            let mut r = Relation::new(Schema::of(&[("a", AttrType::Int), ("b", AttrType::Int)]));
+            let mut s = Relation::new(Schema::of(&[("b", AttrType::Int), ("c", AttrType::Int)]));
+            for _ in 0..rng.gen_range(0..20) {
+                r.push_row(&[Value::Int(rng.gen_range(0..5)), Value::Int(rng.gen_range(0..5))])
+                    .unwrap();
+            }
+            for _ in 0..rng.gen_range(0..20) {
+                s.push_row(&[Value::Int(rng.gen_range(0..5)), Value::Int(rng.gen_range(0..5))])
+                    .unwrap();
+            }
+            // Set semantics: dedup via sort + manual distinct.
+            db.add("R", dedup(&r));
+            db.add("S", dedup(&s));
+            let frep = FRep::build(&db, &["R", "S"]).unwrap();
+            let flat = frep.enumerate().unwrap();
+            let count = frep.eval(&I64Ring, &mut |_, _| 1);
+            assert_eq!(flat.len() as i64, count);
+        }
+    }
+
+    fn dedup(r: &Relation) -> Relation {
+        let mut seen = std::collections::HashSet::new();
+        r.filter(|row| seen.insert(row.to_vec()))
+    }
+}

@@ -1,0 +1,371 @@
+//! Query hypergraphs, GYO acyclicity, and join trees.
+//!
+//! A natural-join query is a hypergraph: variables are attribute names,
+//! hyperedges are the relations' attribute sets. α-acyclicity is decided by
+//! the classical GYO ear-removal procedure, which simultaneously yields a
+//! join tree — the backbone along which LMFAO decomposes aggregate batches
+//! (§4 "Sharing computation") and F-IVM builds its view trees.
+
+use fdb_data::{Database, DataError, Schema};
+use std::collections::HashMap;
+
+/// A hyperedge: one relation of the query.
+#[derive(Debug, Clone)]
+pub struct HyperEdge {
+    /// Relation name (key into the [`Database`]).
+    pub name: String,
+    /// Variable ids covered by this relation, ascending.
+    pub vars: Vec<usize>,
+}
+
+/// A join-query hypergraph.
+#[derive(Debug, Clone)]
+pub struct Hypergraph {
+    vars: Vec<String>,
+    edges: Vec<HyperEdge>,
+}
+
+impl Hypergraph {
+    /// Builds the hypergraph of the natural join of `relations` in `db`.
+    /// Variables are attribute names; equal names join.
+    pub fn natural_join(db: &Database, relations: &[&str]) -> Result<Self, DataError> {
+        let mut vars: Vec<String> = Vec::new();
+        let mut var_ids: HashMap<String, usize> = HashMap::new();
+        let mut edges = Vec::with_capacity(relations.len());
+        for &rname in relations {
+            let rel = db.get(rname)?;
+            let mut evars: Vec<usize> = rel
+                .schema()
+                .names()
+                .map(|a| {
+                    *var_ids.entry(a.to_string()).or_insert_with(|| {
+                        vars.push(a.to_string());
+                        vars.len() - 1
+                    })
+                })
+                .collect();
+            evars.sort_unstable();
+            edges.push(HyperEdge { name: rname.to_string(), vars: evars });
+        }
+        Ok(Self { vars, edges })
+    }
+
+    /// Builds a hypergraph directly from `(relation name, schema)` pairs.
+    pub fn from_schemas(schemas: &[(&str, &Schema)]) -> Self {
+        let mut vars: Vec<String> = Vec::new();
+        let mut var_ids: HashMap<String, usize> = HashMap::new();
+        let edges = schemas
+            .iter()
+            .map(|(name, schema)| {
+                let mut evars: Vec<usize> = schema
+                    .names()
+                    .map(|a| {
+                        *var_ids.entry(a.to_string()).or_insert_with(|| {
+                            vars.push(a.to_string());
+                            vars.len() - 1
+                        })
+                    })
+                    .collect();
+                evars.sort_unstable();
+                HyperEdge { name: name.to_string(), vars: evars }
+            })
+            .collect();
+        Self { vars, edges }
+    }
+
+    /// Builds the *join-key hypergraph*: variables are only the attributes
+    /// shared by at least two of `relations`, plus any explicitly listed
+    /// `extra` attributes (e.g. group-by attributes). All such variables
+    /// must be int-backed — the fast evaluator's trie kernels require it.
+    /// Remaining attributes stay relation-private payload.
+    pub fn join_keys_plus(
+        db: &Database,
+        relations: &[&str],
+        extra: &[&str],
+    ) -> Result<Self, DataError> {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        let mut schemas = Vec::with_capacity(relations.len());
+        for &rname in relations {
+            let rel = db.get(rname)?;
+            schemas.push((rname, rel.schema().clone()));
+            for a in rel.schema().names() {
+                *counts.entry(a).or_insert(0) += 1;
+            }
+        }
+        let keep = |name: &str| counts.get(name).copied().unwrap_or(0) >= 2
+            || extra.contains(&name);
+        let mut vars: Vec<String> = Vec::new();
+        let mut var_ids: HashMap<String, usize> = HashMap::new();
+        let mut edges = Vec::with_capacity(relations.len());
+        for (rname, schema) in &schemas {
+            let mut evars = Vec::new();
+            for attr in schema.attrs() {
+                if keep(&attr.name) {
+                    if !attr.ty.is_int_backed() {
+                        return Err(DataError::Invalid(format!(
+                            "join/group-by attribute `{}` must be int-backed",
+                            attr.name
+                        )));
+                    }
+                    let id = *var_ids.entry(attr.name.clone()).or_insert_with(|| {
+                        vars.push(attr.name.clone());
+                        vars.len() - 1
+                    });
+                    evars.push(id);
+                }
+            }
+            evars.sort_unstable();
+            edges.push(HyperEdge { name: rname.to_string(), vars: evars });
+        }
+        Ok(Self { vars, edges })
+    }
+
+    /// Variable names, indexed by variable id.
+    pub fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The hyperedges.
+    pub fn edges(&self) -> &[HyperEdge] {
+        &self.edges
+    }
+
+    /// The variable id of `name`.
+    pub fn var_id(&self, name: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == name)
+    }
+
+    /// Ids of edges containing variable `v`.
+    pub fn edges_with_var(&self, v: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.vars.contains(&v))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// GYO ear removal. Returns a [`JoinTree`] if the query is α-acyclic,
+    /// `None` otherwise (e.g. the triangle query).
+    pub fn join_tree(&self) -> Option<JoinTree> {
+        let n = self.edges.len();
+        if n == 0 {
+            return Some(JoinTree { parent: vec![], root: None, order: vec![] });
+        }
+        let mut alive: Vec<bool> = vec![true; n];
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut removal_order: Vec<usize> = Vec::with_capacity(n);
+        let mut remaining = n;
+        loop {
+            if remaining == 1 {
+                let root = alive.iter().position(|&a| a).expect("one edge remains");
+                removal_order.push(root);
+                return Some(JoinTree { parent, root: Some(root), order: removal_order });
+            }
+            let mut progressed = false;
+            'ears: for e in 0..n {
+                if !alive[e] {
+                    continue;
+                }
+                // Shared vars of e: vars also in another alive edge.
+                let shared: Vec<usize> = self.edges[e]
+                    .vars
+                    .iter()
+                    .copied()
+                    .filter(|&v| {
+                        (0..n).any(|o| o != e && alive[o] && self.edges[o].vars.contains(&v))
+                    })
+                    .collect();
+                // e is an ear if some alive witness w covers all shared vars.
+                for w in 0..n {
+                    if w == e || !alive[w] {
+                        continue;
+                    }
+                    if shared.iter().all(|v| self.edges[w].vars.contains(v)) {
+                        alive[e] = false;
+                        parent[e] = Some(w);
+                        removal_order.push(e);
+                        remaining -= 1;
+                        progressed = true;
+                        break 'ears;
+                    }
+                }
+            }
+            if !progressed {
+                return None; // cyclic
+            }
+        }
+    }
+
+    /// True iff the query is α-acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.join_tree().is_some()
+    }
+
+    /// The sub-hypergraph induced by a variable subset: edges are restricted
+    /// to `keep`, empty restrictions dropped. Used by the width measures.
+    pub fn induced(&self, keep: &[usize]) -> Hypergraph {
+        let edges = self
+            .edges
+            .iter()
+            .filter_map(|e| {
+                let vars: Vec<usize> =
+                    e.vars.iter().copied().filter(|v| keep.contains(v)).collect();
+                if vars.is_empty() {
+                    None
+                } else {
+                    Some(HyperEdge { name: e.name.clone(), vars })
+                }
+            })
+            .collect();
+        Hypergraph { vars: self.vars.clone(), edges }
+    }
+}
+
+/// A rooted join tree over the edges of an acyclic hypergraph.
+#[derive(Debug, Clone)]
+pub struct JoinTree {
+    /// Parent edge id of each edge (`None` for the root).
+    pub parent: Vec<Option<usize>>,
+    /// The root edge id (`None` only for the empty query).
+    pub root: Option<usize>,
+    /// GYO removal order (leaves first, root last) — reversing it gives a
+    /// top-down order.
+    pub order: Vec<usize>,
+}
+
+impl JoinTree {
+    /// Children of edge `e`.
+    pub fn children(&self, e: usize) -> Vec<usize> {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p == Some(e))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Re-roots the tree at edge `new_root` (LMFAO roots different
+    /// aggregates at different nodes — §4).
+    pub fn rerooted(&self, new_root: usize) -> JoinTree {
+        let n = self.parent.len();
+        // Build adjacency, then BFS from the new root.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (c, p) in self.parent.iter().enumerate() {
+            if let Some(p) = *p {
+                adj[c].push(p);
+                adj[p].push(c);
+            }
+        }
+        let mut parent = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        let mut queue = std::collections::VecDeque::from([new_root]);
+        seen[new_root] = true;
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    parent[v] = Some(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        order.reverse(); // leaves first
+        JoinTree { parent, root: Some(new_root), order }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_data::AttrType;
+
+    fn schema(names: &[&str]) -> Schema {
+        Schema::of(&names.iter().map(|n| (*n, AttrType::Int)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn path_query_is_acyclic() {
+        // R(a,b) ⋈ S(b,c) ⋈ T(c,d)
+        let (r, s, t) = (schema(&["a", "b"]), schema(&["b", "c"]), schema(&["c", "d"]));
+        let hg = Hypergraph::from_schemas(&[("R", &r), ("S", &s), ("T", &t)]);
+        assert_eq!(hg.num_vars(), 4);
+        let jt = hg.join_tree().expect("path is acyclic");
+        let root = jt.root.unwrap();
+        // The tree must be connected: exactly one root, two parented edges.
+        assert_eq!(jt.parent.iter().filter(|p| p.is_none()).count(), 1);
+        assert_eq!(jt.children(root).len() + usize::from(jt.parent[root].is_some()), 1);
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        let (r, s, t) = (schema(&["a", "b"]), schema(&["b", "c"]), schema(&["a", "c"]));
+        let hg = Hypergraph::from_schemas(&[("R", &r), ("S", &s), ("T", &t)]);
+        assert!(hg.join_tree().is_none());
+        assert!(!hg.is_acyclic());
+    }
+
+    #[test]
+    fn star_query_join_tree_roots_anywhere() {
+        // Fact(a,b,c) with dims D1(a,x), D2(b,y), D3(c,z)
+        let f = schema(&["a", "b", "c"]);
+        let d1 = schema(&["a", "x"]);
+        let d2 = schema(&["b", "y"]);
+        let d3 = schema(&["c", "z"]);
+        let hg =
+            Hypergraph::from_schemas(&[("F", &f), ("D1", &d1), ("D2", &d2), ("D3", &d3)]);
+        let jt = hg.join_tree().expect("star is acyclic");
+        // Re-rooting preserves node count and reaches every edge.
+        for root in 0..4 {
+            let rr = jt.rerooted(root);
+            assert_eq!(rr.root, Some(root));
+            assert_eq!(rr.order.len(), 4);
+            assert_eq!(rr.parent[root], None);
+        }
+    }
+
+    #[test]
+    fn cyclic_four_cycle_detected() {
+        let r = schema(&["a", "b"]);
+        let s = schema(&["b", "c"]);
+        let t = schema(&["c", "d"]);
+        let u = schema(&["d", "a"]);
+        let hg = Hypergraph::from_schemas(&[("R", &r), ("S", &s), ("T", &t), ("U", &u)]);
+        assert!(!hg.is_acyclic());
+    }
+
+    #[test]
+    fn induced_subgraph_drops_empty_edges() {
+        let (r, s) = (schema(&["a", "b"]), schema(&["c", "d"]));
+        let hg = Hypergraph::from_schemas(&[("R", &r), ("S", &s)]);
+        let sub = hg.induced(&[0, 1]);
+        assert_eq!(sub.edges().len(), 1);
+        assert_eq!(sub.edges()[0].name, "R");
+    }
+
+    #[test]
+    fn single_edge_and_empty_queries() {
+        let r = schema(&["a", "b"]);
+        let hg = Hypergraph::from_schemas(&[("R", &r)]);
+        let jt = hg.join_tree().unwrap();
+        assert_eq!(jt.root, Some(0));
+        let empty = Hypergraph::from_schemas(&[]);
+        assert!(empty.join_tree().unwrap().root.is_none());
+    }
+
+    #[test]
+    fn edges_with_var_and_lookup() {
+        let (r, s) = (schema(&["a", "b"]), schema(&["b", "c"]));
+        let hg = Hypergraph::from_schemas(&[("R", &r), ("S", &s)]);
+        let b = hg.var_id("b").unwrap();
+        assert_eq!(hg.edges_with_var(b), vec![0, 1]);
+        assert_eq!(hg.var_id("zzz"), None);
+    }
+}

@@ -1,0 +1,32 @@
+//! # fdb-factorized
+//!
+//! Factorized databases (paper §3.1–§3.2, §5.1): the representation system
+//! and query evaluation machinery that LMFAO and F-IVM build upon.
+//!
+//! * [`hypergraph`] — query hypergraphs, GYO acyclicity, join trees.
+//! * [`order`] — variable orders (d-trees) with dependency sets, derived
+//!   from join trees of acyclic queries.
+//! * [`width`] — width measures: fractional edge cover number ρ* (with the
+//!   AGM size bound), fractional hypertree width, and the factorization
+//!   width of a variable order. Solved exactly for the small query shapes
+//!   the paper discusses via vertex enumeration of the covering LP.
+//! * [`trie`] — sorted-column trie views and leapfrog (gallop) seeks.
+//! * [`eval`] — the fused evaluator: worst-case-optimal multiway join plus
+//!   ring aggregation in one recursion over the variable order, without
+//!   materializing the join ("the operators for join and aggregates can be
+//!   fused", §5.1); also LFTJ-style full join materialization.
+//! * [`frep`] — explicit factorized representations with d-tree caching:
+//!   build, count values, enumerate, and aggregate over them (Figures 7–10).
+
+pub mod eval;
+pub mod frep;
+pub mod hypergraph;
+pub mod order;
+pub mod trie;
+pub mod width;
+
+pub use eval::{eval_acyclic, materialize_join, EvalSpec};
+pub use frep::{FNode, FRep};
+pub use hypergraph::{Hypergraph, JoinTree};
+pub use order::{VarOrder, VoNode};
+pub use width::{agm_bound, fhtw, frac_edge_cover, fo_width};

@@ -1,0 +1,355 @@
+//! Variable orders (d-trees) for factorized representations.
+//!
+//! A variable order is a forest over the query's variables such that the
+//! attributes of every relation lie along one root-to-leaf path. Each
+//! variable carries its *dependency set* `dep(x)`: the ancestors on which
+//! the subtree rooted at `x` depends (the adornments of Figure 8 — e.g.
+//! `price` depends on `item` only, not on `dish`, which is what lets the
+//! f-rep cache price subtrees across dishes).
+
+use crate::hypergraph::{Hypergraph, JoinTree};
+use std::collections::BTreeSet;
+
+/// A node of a variable order.
+#[derive(Debug, Clone)]
+pub struct VoNode {
+    /// Hypergraph variable id.
+    pub var: usize,
+    /// Parent node index in the [`VarOrder`], if any.
+    pub parent: Option<usize>,
+    /// Child node indices.
+    pub children: Vec<usize>,
+    /// Dependency set: ancestor *variable ids* the subtree at this node
+    /// depends on, ascending.
+    pub dep: Vec<usize>,
+}
+
+/// A variable order (forest) over a query's variables.
+#[derive(Debug, Clone)]
+pub struct VarOrder {
+    nodes: Vec<VoNode>,
+    roots: Vec<usize>,
+}
+
+impl VarOrder {
+    /// Builds a variable order for an acyclic query from a rooted join
+    /// tree: relations are visited top-down; each relation's not-yet-placed
+    /// variables are chained below the current path tip, so every
+    /// relation's variables lie on a root-to-leaf path by construction.
+    pub fn from_join_tree(hg: &Hypergraph, jt: &JoinTree) -> VarOrder {
+        let mut vo = VarOrder { nodes: Vec::new(), roots: Vec::new() };
+        let Some(root) = jt.root else {
+            return vo;
+        };
+        let mut placed: Vec<Option<usize>> = vec![None; hg.num_vars()]; // var -> node idx
+        vo.visit_edge(hg, jt, root, None, &mut placed);
+        vo.compute_deps(hg);
+        vo
+    }
+
+    fn visit_edge(
+        &mut self,
+        hg: &Hypergraph,
+        jt: &JoinTree,
+        edge: usize,
+        tip: Option<usize>,
+        placed: &mut Vec<Option<usize>>,
+    ) {
+        let mut tip = tip;
+        for &v in &hg.edges()[edge].vars {
+            if placed[v].is_none() {
+                let idx = self.nodes.len();
+                self.nodes.push(VoNode { var: v, parent: tip, children: Vec::new(), dep: vec![] });
+                match tip {
+                    Some(p) => self.nodes[p].children.push(idx),
+                    None => self.roots.push(idx),
+                }
+                placed[v] = Some(idx);
+                tip = Some(idx);
+            } else {
+                // Already on the path above (join-tree connectivity
+                // guarantees this); keep the deeper tip.
+                let node = placed[v].expect("just checked");
+                tip = Some(deeper(self, tip, node));
+            }
+        }
+        for child in jt.children(edge) {
+            self.visit_edge(hg, jt, child, tip, placed);
+        }
+    }
+
+    /// dep(x) = anc(x) ∩ (vars co-occurring with x in some edge ∪ deps of
+    /// x's children), computed bottom-up.
+    fn compute_deps(&mut self, hg: &Hypergraph) {
+        // Depth-first post-order without recursion on self-borrow issues.
+        let order = self.post_order();
+        for &n in &order {
+            let anc: BTreeSet<usize> = self.ancestors(n).into_iter().collect();
+            let mut need: BTreeSet<usize> = BTreeSet::new();
+            let var = self.nodes[n].var;
+            for e in hg.edges() {
+                if e.vars.contains(&var) {
+                    need.extend(e.vars.iter().copied());
+                }
+            }
+            for &c in &self.nodes[n].children.clone() {
+                need.extend(self.nodes[c].dep.iter().copied());
+            }
+            need.remove(&var);
+            self.nodes[n].dep = need.intersection(&anc).copied().collect();
+        }
+    }
+
+    /// Builds a *linear* variable order (a single chain). Every relation's
+    /// attribute set trivially lies on the one path, so chains serve
+    /// arbitrary — including cyclic — queries: this is the variable order
+    /// of the classical LeapFrog TrieJoin, with worst-case-optimal
+    /// guarantees governed by the fractional edge cover (§3.2).
+    pub fn chain(hg: &Hypergraph, vars_in_order: &[usize]) -> VarOrder {
+        let mut vo = VarOrder { nodes: Vec::new(), roots: Vec::new() };
+        let mut tip: Option<usize> = None;
+        for &v in vars_in_order {
+            let idx = vo.nodes.len();
+            vo.nodes.push(VoNode { var: v, parent: tip, children: Vec::new(), dep: vec![] });
+            match tip {
+                Some(p) => vo.nodes[p].children.push(idx),
+                None => vo.roots.push(idx),
+            }
+            tip = Some(idx);
+        }
+        vo.compute_deps(hg);
+        vo
+    }
+
+    /// Node indices in post-order (children before parents).
+    pub fn post_order(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack: Vec<(usize, bool)> = self.roots.iter().rev().map(|&r| (r, false)).collect();
+        while let Some((n, expanded)) = stack.pop() {
+            if expanded {
+                out.push(n);
+            } else {
+                stack.push((n, true));
+                for &c in self.nodes[n].children.iter().rev() {
+                    stack.push((c, false));
+                }
+            }
+        }
+        out
+    }
+
+    /// Node indices in pre-order (parents before children).
+    pub fn pre_order(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack: Vec<usize> = self.roots.iter().rev().copied().collect();
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            for &c in self.nodes[n].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// The variable ids of the ancestors of node `n`, root first.
+    pub fn ancestors(&self, n: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut cur = self.nodes[n].parent;
+        while let Some(p) = cur {
+            out.push(self.nodes[p].var);
+            cur = self.nodes[p].parent;
+        }
+        out.reverse();
+        out
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[VoNode] {
+        &self.nodes
+    }
+
+    /// Root node indices.
+    pub fn roots(&self) -> &[usize] {
+        &self.roots
+    }
+
+    /// The node index holding variable `var`.
+    pub fn node_of_var(&self, var: usize) -> Option<usize> {
+        self.nodes.iter().position(|n| n.var == var)
+    }
+
+    /// Depth of node `n` (roots have depth 0).
+    pub fn depth(&self, n: usize) -> usize {
+        let mut d = 0;
+        let mut cur = self.nodes[n].parent;
+        while let Some(p) = cur {
+            d += 1;
+            cur = self.nodes[p].parent;
+        }
+        d
+    }
+
+    /// For a hyperedge, its variables sorted by depth in this order — the
+    /// sort key a relation needs before trie-style evaluation. Returns
+    /// `None` if the edge's variables do not lie on one root-to-leaf path.
+    pub fn path_vars(&self, edge_vars: &[usize]) -> Option<Vec<usize>> {
+        let mut nodes: Vec<usize> =
+            edge_vars.iter().map(|&v| self.node_of_var(v)).collect::<Option<_>>()?;
+        nodes.sort_by_key(|&n| self.depth(n));
+        // Verify chain: each node must be an ancestor-or-self of the next.
+        for w in nodes.windows(2) {
+            let (shallow, deep) = (w[0], w[1]);
+            let mut cur = Some(deep);
+            let mut ok = false;
+            while let Some(c) = cur {
+                if c == shallow {
+                    ok = true;
+                    break;
+                }
+                cur = self.nodes[c].parent;
+            }
+            if !ok {
+                return None;
+            }
+        }
+        Some(nodes.into_iter().map(|n| self.nodes[n].var).collect())
+    }
+}
+
+fn deeper(vo: &VarOrder, a: Option<usize>, b: usize) -> usize {
+    match a {
+        None => b,
+        Some(a) => {
+            if vo.depth(a) >= vo.depth(b) {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_data::{AttrType, Schema};
+
+    fn schema(names: &[&str]) -> Schema {
+        Schema::of(&names.iter().map(|n| (*n, AttrType::Int)).collect::<Vec<_>>())
+    }
+
+    /// The paper's Figure 7/8 query: Orders(customer, day, dish),
+    /// Dish(dish, item), Items(item, price).
+    fn dish_hypergraph() -> Hypergraph {
+        let orders = schema(&["customer", "day", "dish"]);
+        let dish = schema(&["dish", "item"]);
+        let items = schema(&["item", "price"]);
+        Hypergraph::from_schemas(&[("Orders", &orders), ("Dish", &dish), ("Items", &items)])
+    }
+
+    #[test]
+    fn dish_example_variable_order_and_deps() {
+        let hg = dish_hypergraph();
+        let jt = hg.join_tree().unwrap();
+        let vo = VarOrder::from_join_tree(&hg, &jt);
+        assert_eq!(vo.nodes().len(), 5);
+        // Every relation's vars must lie on a root-to-leaf path.
+        for e in hg.edges() {
+            assert!(vo.path_vars(&e.vars).is_some(), "edge {} off-path", e.name);
+        }
+        // price must depend on item only — not on dish (Figure 8).
+        let price = hg.var_id("price").unwrap();
+        let item = hg.var_id("item").unwrap();
+        let pn = vo.node_of_var(price).unwrap();
+        assert_eq!(vo.nodes()[pn].dep, vec![item]);
+        // customer depends on dish only; day depends on {dish, customer}.
+        let customer = hg.var_id("customer").unwrap();
+        let cn = vo.node_of_var(customer).unwrap();
+        let dish = hg.var_id("dish").unwrap();
+        let day = hg.var_id("day").unwrap();
+        assert_eq!(vo.nodes()[cn].dep, vec![dish]);
+        let dn = vo.node_of_var(day).unwrap();
+        let mut expect = vec![customer, dish];
+        expect.sort_unstable();
+        assert_eq!(vo.nodes()[dn].dep, expect);
+    }
+
+    #[test]
+    fn orders_are_consistent() {
+        let hg = dish_hypergraph();
+        let jt = hg.join_tree().unwrap();
+        let vo = VarOrder::from_join_tree(&hg, &jt);
+        let post = vo.post_order();
+        let pre = vo.pre_order();
+        assert_eq!(post.len(), 5);
+        assert_eq!(pre.len(), 5);
+        // Parents precede children in pre-order, follow them in post-order.
+        for (i, &n) in pre.iter().enumerate() {
+            if let Some(p) = vo.nodes()[n].parent {
+                assert!(pre[..i].contains(&p));
+            }
+        }
+        for (i, &n) in post.iter().enumerate() {
+            for &c in &vo.nodes()[n].children {
+                assert!(post[..i].contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn path_vars_rejects_branching_sets() {
+        let hg = dish_hypergraph();
+        // Root the join tree at Dish (the paper's Figure 8 order): price and
+        // customer then live on different branches under item: no path.
+        let jt = hg.join_tree().unwrap().rerooted(1);
+        let vo = VarOrder::from_join_tree(&hg, &jt);
+        let price = hg.var_id("price").unwrap();
+        let customer = hg.var_id("customer").unwrap();
+        assert!(vo.path_vars(&[price, customer]).is_none());
+        // But dish/item/price (the Dish ∪ Items attrs) do lie on a path.
+        let dish = hg.var_id("dish").unwrap();
+        let item = hg.var_id("item").unwrap();
+        assert_eq!(vo.path_vars(&[price, dish, item]), Some(vec![dish, item, price]));
+    }
+
+    #[test]
+    fn star_schema_order_places_fact_chain_first() {
+        let f = schema(&["a", "b", "m"]);
+        let d1 = schema(&["a", "x"]);
+        let d2 = schema(&["b", "y"]);
+        let hg = Hypergraph::from_schemas(&[("F", &f), ("D1", &d1), ("D2", &d2)]);
+        let jt = hg.join_tree().unwrap();
+        // Root the tree at the fact table for a retail-style order.
+        let fact_idx = 0;
+        let jt = jt.rerooted(fact_idx);
+        let vo = VarOrder::from_join_tree(&hg, &jt);
+        assert_eq!(vo.nodes().len(), 5);
+        for e in hg.edges() {
+            assert!(vo.path_vars(&e.vars).is_some());
+        }
+    }
+}
+
+#[cfg(test)]
+mod chain_tests {
+    use super::*;
+    use fdb_data::{AttrType, Schema};
+
+    #[test]
+    fn chain_order_serves_cyclic_triangle() {
+        let s = |ns: &[&str]| {
+            Schema::of(&ns.iter().map(|n| (*n, AttrType::Int)).collect::<Vec<_>>())
+        };
+        let (r, t, u) = (s(&["a", "b"]), s(&["b", "c"]), s(&["a", "c"]));
+        let hg = Hypergraph::from_schemas(&[("R", &r), ("S", &t), ("T", &u)]);
+        let vo = VarOrder::chain(&hg, &[0, 1, 2]);
+        assert_eq!(vo.nodes().len(), 3);
+        for e in hg.edges() {
+            assert!(vo.path_vars(&e.vars).is_some(), "edge {} must lie on the chain", e.name);
+        }
+        // Deps on a chain include co-occurring ancestors.
+        let c = hg.var_id("c").unwrap();
+        let cn = vo.node_of_var(c).unwrap();
+        assert_eq!(vo.nodes()[cn].dep.len(), 2); // c co-occurs with both a and b
+    }
+}

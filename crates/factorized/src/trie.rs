@@ -1,0 +1,208 @@
+//! Sorted-column search primitives used by the leapfrog evaluator.
+//!
+//! Relations sorted lexicographically by their variable-order path behave
+//! as tries; within a parent-bound range, the next attribute's column is a
+//! sorted run the evaluator intersects with its peers via galloping seeks
+//! (LeapFrog TrieJoin's core move, §3.2 / Veldhuizen's LFTJ).
+
+/// First index in `[from, end)` with `col[idx] >= target`, by exponential
+/// probing followed by binary search — O(log distance), which is what makes
+/// leapfrog intersection output-sensitive.
+#[inline]
+pub fn seek(col: &[i64], from: usize, end: usize, target: i64) -> usize {
+    debug_assert!(from <= end && end <= col.len());
+    if from >= end || col[from] >= target {
+        return from;
+    }
+    // Exponential probe: find a bracket [lo, hi) with col[lo] < target.
+    let mut step = 1;
+    let mut lo = from;
+    let mut hi = from + 1;
+    while hi < end && col[hi] < target {
+        lo = hi;
+        step *= 2;
+        hi = (hi + step).min(end);
+    }
+    // Binary search in (lo, hi].
+    lo + 1 + col[lo + 1..hi.min(end)].partition_point(|&x| x < target)
+}
+
+/// End of the run of equal values starting at `from` (requires
+/// `from < end`), again by galloping.
+#[inline]
+pub fn run_end(col: &[i64], from: usize, end: usize) -> usize {
+    let v = col[from];
+    seek(col, from, end, v + 1).min(end)
+}
+
+/// Leapfrog intersection over several sorted column ranges: repeatedly
+/// aligns all cursors on the next common value and yields
+/// `(value, per-input run ranges)` through the callback. Returns early if
+/// the callback returns `false`.
+pub fn leapfrog_intersect(
+    cols: &[&[i64]],
+    ranges: &[std::ops::Range<usize>],
+    mut on_match: impl FnMut(i64, &[std::ops::Range<usize>]) -> bool,
+) {
+    let k = cols.len();
+    debug_assert_eq!(k, ranges.len());
+    if k == 0 {
+        return;
+    }
+    let mut pos: Vec<usize> = ranges.iter().map(|r| r.start).collect();
+    if pos.iter().zip(ranges).any(|(&p, r)| p >= r.end) {
+        return;
+    }
+    let mut runs: Vec<std::ops::Range<usize>> = vec![0..0; k];
+    'outer: loop {
+        // Candidate: the max of current values.
+        let mut candidate = i64::MIN;
+        for i in 0..k {
+            let v = cols[i][pos[i]];
+            if v > candidate {
+                candidate = v;
+            }
+        }
+        // Align all cursors on the candidate (may raise it).
+        let mut aligned = 0;
+        let mut i = 0;
+        while aligned < k {
+            let p = seek(cols[i], pos[i], ranges[i].end, candidate);
+            if p >= ranges[i].end {
+                break 'outer;
+            }
+            pos[i] = p;
+            if cols[i][p] > candidate {
+                candidate = cols[i][p];
+                aligned = 1;
+            } else {
+                aligned += 1;
+            }
+            i = (i + 1) % k;
+        }
+        // All cursors sit on `candidate`: compute runs and report.
+        for i in 0..k {
+            runs[i] = pos[i]..run_end(cols[i], pos[i], ranges[i].end);
+        }
+        if !on_match(candidate, &runs) {
+            return;
+        }
+        // Advance everyone past the run.
+        for i in 0..k {
+            pos[i] = runs[i].end;
+            if pos[i] >= ranges[i].end {
+                break 'outer;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn seek_finds_lower_bound() {
+        let col = [1i64, 3, 3, 5, 9, 12];
+        assert_eq!(seek(&col, 0, 6, 0), 0);
+        assert_eq!(seek(&col, 0, 6, 3), 1);
+        assert_eq!(seek(&col, 0, 6, 4), 3);
+        assert_eq!(seek(&col, 0, 6, 12), 5);
+        assert_eq!(seek(&col, 0, 6, 13), 6);
+        assert_eq!(seek(&col, 2, 4, 3), 2);
+        assert_eq!(seek(&col, 4, 4, 1), 4); // empty range
+    }
+
+    #[test]
+    fn run_end_spans_duplicates() {
+        let col = [2i64, 2, 2, 4];
+        assert_eq!(run_end(&col, 0, 4), 3);
+        assert_eq!(run_end(&col, 3, 4), 4);
+        assert_eq!(run_end(&col, 0, 2), 2); // clipped by range
+    }
+
+    #[test]
+    fn intersect_two_columns() {
+        let a = [1i64, 2, 2, 4, 6];
+        let b = [2i64, 4, 4, 5];
+        let mut got = Vec::new();
+        leapfrog_intersect(&[&a, &b], &[0..5, 0..4], |v, runs| {
+            got.push((v, runs[0].clone(), runs[1].clone()));
+            true
+        });
+        assert_eq!(got, vec![(2, 1..3, 0..1), (4, 3..4, 1..3)]);
+    }
+
+    #[test]
+    fn intersect_disjoint_is_empty() {
+        let a = [1i64, 3, 5];
+        let b = [2i64, 4, 6];
+        let mut count = 0;
+        leapfrog_intersect(&[&a, &b], &[0..3, 0..3], |_, _| {
+            count += 1;
+            true
+        });
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn intersect_single_column_yields_runs() {
+        let a = [7i64, 7, 9];
+        let mut got = Vec::new();
+        leapfrog_intersect(&[&a], &[0..3], |v, runs| {
+            got.push((v, runs[0].clone()));
+            true
+        });
+        assert_eq!(got, vec![(7, 0..2), (9, 2..3)]);
+    }
+
+    #[test]
+    fn early_exit_stops_iteration() {
+        let a = [1i64, 2, 3];
+        let mut got = 0;
+        leapfrog_intersect(&[&a], &[0..3], |_, _| {
+            got += 1;
+            false
+        });
+        assert_eq!(got, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn intersection_matches_set_semantics(
+            mut a in proptest::collection::vec(0i64..30, 0..40),
+            mut b in proptest::collection::vec(0i64..30, 0..40),
+            mut c in proptest::collection::vec(0i64..30, 0..40),
+        ) {
+            a.sort_unstable();
+            b.sort_unstable();
+            c.sort_unstable();
+            let mut got = Vec::new();
+            leapfrog_intersect(
+                &[&a, &b, &c],
+                &[0..a.len(), 0..b.len(), 0..c.len()],
+                |v, _| { got.push(v); true },
+            );
+            use std::collections::BTreeSet;
+            let sa: BTreeSet<_> = a.iter().copied().collect();
+            let sb: BTreeSet<_> = b.iter().copied().collect();
+            let sc: BTreeSet<_> = c.iter().copied().collect();
+            let expect: Vec<i64> =
+                sa.intersection(&sb).copied().collect::<BTreeSet<_>>()
+                  .intersection(&sc).copied().collect();
+            prop_assert_eq!(got, expect);
+        }
+
+        #[test]
+        fn seek_matches_partition_point(
+            mut col in proptest::collection::vec(-20i64..20, 1..50),
+            target in -25i64..25,
+        ) {
+            col.sort_unstable();
+            let got = seek(&col, 0, col.len(), target);
+            let expect = col.partition_point(|&x| x < target);
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The §5.3 derivation, end to end: from a naive per-(f1,f2) aggregate
+//! program over the join `Q = S ⋈ R ⋈ I` to the factorized program that
+//! pushes the sums past the joins.
+//!
+//! The paper's relations: `S(i, s, u)`, `R(s, c)`, `I(i, p)` (Sales,
+//! StoRes, Items). The covariance entry `M_cp = Σ_Q Q(x)·x.c·x.p` starts as
+//! a triple-nested sum with join indicators and ends — after loop
+//! factorization — as
+//! `Σ_s S(s)·(Σ_r R(r)·[s.s=r.s]·r.c)·(Σ_i I(i)·[s.i=i.i]·i.p)`,
+//! evaluated in `O(|S|·(|R|+|I|))` instead of `O(|S|·|R|·|I|)` by the
+//! interpreter.
+
+use crate::expr::Expr;
+
+/// The naive `M_cp` program: a sum over the full cross product with join
+/// indicator conditions (the paper's expression right after inlining `Q`).
+pub fn mcp_naive() -> Expr {
+    // Σ_{xs∈S} Σ_{xr∈R} Σ_{xi∈I}
+    //   S(xs)*R(xr)*I(xi)*[xs.i=xi.i]*[xs.s=xr.s]*xr.c*xi.p
+    let body = Expr::mul(
+        Expr::mul(
+            Expr::mul(
+                Expr::mul(
+                    Expr::mul(
+                        Expr::mul(
+                            Expr::lookup(Expr::Rel("S".into()), Expr::var("xs")),
+                            Expr::lookup(Expr::Rel("R".into()), Expr::var("xr")),
+                        ),
+                        Expr::lookup(Expr::Rel("I".into()), Expr::var("xi")),
+                    ),
+                    Expr::eq(
+                        Expr::field(Expr::var("xs"), "i"),
+                        Expr::field(Expr::var("xi"), "i"),
+                    ),
+                ),
+                Expr::eq(
+                    Expr::field(Expr::var("xs"), "s"),
+                    Expr::field(Expr::var("xr"), "s"),
+                ),
+            ),
+            Expr::field(Expr::var("xr"), "c"),
+        ),
+        Expr::field(Expr::var("xi"), "p"),
+    );
+    Expr::sum(
+        "xs",
+        Expr::Rel("S".into()),
+        Expr::sum("xr", Expr::Rel("R".into()), Expr::sum("xi", Expr::Rel("I".into()), body)),
+    )
+}
+
+/// The hand-derived factorized form the optimiser should reach (used to
+/// document the target; the tests compare *semantics and cost*, not
+/// syntax).
+pub fn mcp_factorized() -> Expr {
+    let vr = Expr::sum(
+        "xr",
+        Expr::Rel("R".into()),
+        Expr::mul(
+            Expr::mul(
+                Expr::lookup(Expr::Rel("R".into()), Expr::var("xr")),
+                Expr::eq(
+                    Expr::field(Expr::var("xs"), "s"),
+                    Expr::field(Expr::var("xr"), "s"),
+                ),
+            ),
+            Expr::field(Expr::var("xr"), "c"),
+        ),
+    );
+    let vi = Expr::sum(
+        "xi",
+        Expr::Rel("I".into()),
+        Expr::mul(
+            Expr::mul(
+                Expr::lookup(Expr::Rel("I".into()), Expr::var("xi")),
+                Expr::eq(
+                    Expr::field(Expr::var("xs"), "i"),
+                    Expr::field(Expr::var("xi"), "i"),
+                ),
+            ),
+            Expr::field(Expr::var("xi"), "p"),
+        ),
+    );
+    Expr::sum(
+        "xs",
+        Expr::Rel("S".into()),
+        Expr::mul(
+            Expr::mul(Expr::lookup(Expr::Rel("S".into()), Expr::var("xs")), vr),
+            vi,
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{Interp, Val};
+    use crate::rewrite::optimize;
+    use fdb_data::{AttrType, Database, Relation, Schema, Value};
+
+    /// The paper's example relations S(i, s, u), R(s, c), I(i, p).
+    fn sri_db(ns: usize) -> Database {
+        let mut db = Database::new();
+        let mut s = Relation::new(Schema::of(&[
+            ("i", AttrType::Int),
+            ("s", AttrType::Int),
+            ("u", AttrType::Double),
+        ]));
+        for k in 0..ns {
+            s.push_row(&[
+                Value::Int((k % 5) as i64),
+                Value::Int((k % 3) as i64),
+                Value::F64(k as f64),
+            ])
+            .unwrap();
+        }
+        let mut r = Relation::new(Schema::of(&[("s", AttrType::Int), ("c", AttrType::Double)]));
+        for k in 0..3i64 {
+            r.push_row(&[Value::Int(k), Value::F64(10.0 + k as f64)]).unwrap();
+        }
+        let mut i = Relation::new(Schema::of(&[("i", AttrType::Int), ("p", AttrType::Double)]));
+        for k in 0..5i64 {
+            i.push_row(&[Value::Int(k), Value::F64(2.0 * k as f64)]).unwrap();
+        }
+        db.add("S", s);
+        db.add("R", r);
+        db.add("I", i);
+        db
+    }
+
+    /// Brute-force M_cp over the join.
+    fn brute_mcp(db: &Database) -> f64 {
+        let (s, r, i) = (db.get("S").unwrap(), db.get("R").unwrap(), db.get("I").unwrap());
+        let mut acc = 0.0;
+        for a in 0..s.len() {
+            for b in 0..r.len() {
+                for c in 0..i.len() {
+                    if s.int_col(1)[a] == r.int_col(0)[b] && s.int_col(0)[a] == i.int_col(0)[c] {
+                        acc += r.f64_col(1)[b] * i.f64_col(1)[c];
+                    }
+                }
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn naive_factorized_and_optimized_all_agree() {
+        let db = sri_db(12);
+        let expect = brute_mcp(&db);
+        for prog in [mcp_naive(), mcp_factorized(), optimize(&mcp_naive())] {
+            let mut interp = Interp::new(&db);
+            let v = interp.eval(&prog).unwrap();
+            assert_eq!(v, Val::Num(expect));
+        }
+    }
+
+    #[test]
+    fn optimizer_pushes_sums_past_joins() {
+        // The optimized program must stop iterating the cross product:
+        // iteration count drops from |S|·|R|·|I| toward |S|·(|R|+|I|).
+        let db = sri_db(12);
+        let naive = mcp_naive();
+        let opt = optimize(&naive);
+        let mut i1 = Interp::new(&db);
+        i1.eval(&naive).unwrap();
+        let mut i2 = Interp::new(&db);
+        i2.eval(&opt).unwrap();
+        let (n1, n2) = (i1.counter.iterations, i2.counter.iterations);
+        // |S|=12, |R|=3, |I|=5: naive = 12 + 12·3 + 12·3·5 = 228;
+        // factorized = 12 + 12·3 + 12·5 = 108.
+        assert_eq!(n1, 228, "naive iteration count");
+        assert_eq!(n2, 108, "optimized iteration count");
+        assert!(i2.counter.muls < i1.counter.muls);
+    }
+
+    #[test]
+    fn optimized_cost_scales_additively_not_multiplicatively() {
+        // Doubling |S| doubles both, but the *gap* grows multiplicatively.
+        let small = sri_db(6);
+        let large = sri_db(24);
+        let naive = mcp_naive();
+        let opt = optimize(&naive);
+        let ops = |db: &Database, e: &Expr| {
+            let mut i = Interp::new(db);
+            i.eval(e).unwrap();
+            i.counter.total()
+        };
+        let ratio_naive = ops(&large, &naive) as f64 / ops(&small, &naive) as f64;
+        let ratio_opt = ops(&large, &opt) as f64 / ops(&small, &opt) as f64;
+        // Both scale ~4x in |S|, but the naive constant is much larger.
+        assert!(ops(&large, &naive) > 2 * ops(&large, &opt));
+        assert!((ratio_naive - ratio_opt).abs() < 1.0);
+    }
+}

@@ -1,0 +1,302 @@
+//! The IFAQ interpreter with an operation counter.
+//!
+//! Values are numbers, records, or dictionaries (keyed by a canonical
+//! serialization of the key value, carrying the original key for
+//! iteration). The counter tallies arithmetic and lookup operations so the
+//! rewrite tests can *measure* the work each optimisation stage removes.
+
+use crate::expr::Expr;
+use fdb_data::{Database, DataError};
+use std::collections::BTreeMap;
+
+/// An IFAQ runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Val {
+    /// A number.
+    Num(f64),
+    /// A record.
+    Record(BTreeMap<String, Val>),
+    /// A dictionary: canonical key → (original key value, payload).
+    Dict(BTreeMap<String, (Val, Val)>),
+}
+
+impl Val {
+    /// The numeric payload; 0.0 for non-numbers (IFAQ's additive default).
+    pub fn num(&self) -> f64 {
+        match self {
+            Val::Num(x) => *x,
+            _ => 0.0,
+        }
+    }
+
+    /// Canonical string form — dictionary key identity.
+    pub fn key(&self) -> String {
+        match self {
+            Val::Num(x) => format!("n{}", x.to_bits()),
+            Val::Record(fields) => {
+                let inner: Vec<String> =
+                    fields.iter().map(|(k, v)| format!("{k}:{}", v.key())).collect();
+                format!("r{{{}}}", inner.join(","))
+            }
+            Val::Dict(entries) => {
+                let inner: Vec<String> =
+                    entries.iter().map(|(k, (_, v))| format!("{k}=>{}", v.key())).collect();
+                format!("d{{{}}}", inner.join(","))
+            }
+        }
+    }
+}
+
+/// Operation counter: the cost model for the staging experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    /// Additions performed.
+    pub adds: u64,
+    /// Multiplications performed.
+    pub muls: u64,
+    /// Dictionary lookups performed.
+    pub lookups: u64,
+    /// Loop iterations executed.
+    pub iterations: u64,
+}
+
+impl Counter {
+    /// Total operations.
+    pub fn total(&self) -> u64 {
+        self.adds + self.muls + self.lookups + self.iterations
+    }
+}
+
+/// The interpreter: a database of relations plus the counter.
+pub struct Interp<'a> {
+    db: &'a Database,
+    /// Operation counter (reset between runs as needed).
+    pub counter: Counter,
+}
+
+impl<'a> Interp<'a> {
+    /// An interpreter over `db`.
+    pub fn new(db: &'a Database) -> Self {
+        Self { db, counter: Counter::default() }
+    }
+
+    /// Evaluates `e` in an empty environment.
+    pub fn eval(&mut self, e: &Expr) -> Result<Val, DataError> {
+        let mut env = Vec::new();
+        self.go(e, &mut env)
+    }
+
+    fn relation_val(&self, name: &str) -> Result<Val, DataError> {
+        let rel = self.db.get(name)?;
+        let mut dict = BTreeMap::new();
+        for r in 0..rel.len() {
+            let mut fields = BTreeMap::new();
+            for (c, attr) in rel.schema().attrs().iter().enumerate() {
+                fields.insert(attr.name.clone(), Val::Num(rel.value_f64(r, c)));
+            }
+            let key = Val::Record(fields);
+            let canon = key.key();
+            // Multiplicities accumulate for duplicate tuples.
+            match dict.get_mut(&canon) {
+                None => {
+                    dict.insert(canon, (key, Val::Num(1.0)));
+                }
+                Some((_, Val::Num(m))) => *m += 1.0,
+                Some(_) => unreachable!("relation payloads are numeric"),
+            }
+        }
+        Ok(Val::Dict(dict))
+    }
+
+    fn go(&mut self, e: &Expr, env: &mut Vec<(String, Val)>) -> Result<Val, DataError> {
+        match e {
+            Expr::Num(x) => Ok(Val::Num(*x)),
+            Expr::Str(s) => Ok(Val::Record(BTreeMap::from([(s.clone(), Val::Num(1.0))]))),
+            Expr::Var(v) => env
+                .iter()
+                .rev()
+                .find(|(n, _)| n == v)
+                .map(|(_, val)| val.clone())
+                .ok_or_else(|| DataError::Invalid(format!("unbound variable `{v}`"))),
+            Expr::Let { name, value, body } => {
+                let val = self.go(value, env)?;
+                env.push((name.clone(), val));
+                let out = self.go(body, env);
+                env.pop();
+                out
+            }
+            Expr::Record(fields) => {
+                let mut out = BTreeMap::new();
+                for (f, fe) in fields {
+                    out.insert(f.clone(), self.go(fe, env)?);
+                }
+                Ok(Val::Record(out))
+            }
+            Expr::Field(rec, f) => match self.go(rec, env)? {
+                Val::Record(fields) => fields
+                    .get(f)
+                    .cloned()
+                    .ok_or_else(|| DataError::Invalid(format!("missing field `{f}`"))),
+                other => Err(DataError::Invalid(format!("field access on non-record {other:?}"))),
+            },
+            Expr::Lookup(d, k) => {
+                let dict = self.go(d, env)?;
+                let key = self.go(k, env)?;
+                self.counter.lookups += 1;
+                match dict {
+                    Val::Dict(entries) => Ok(entries
+                        .get(&key.key())
+                        .map(|(_, v)| v.clone())
+                        .unwrap_or(Val::Num(0.0))),
+                    Val::Record(fields) => {
+                        // Lookup into a record by string key (post-
+                        // specialisation programs use Field instead).
+                        if let Val::Record(kf) = &key {
+                            if kf.len() == 1 {
+                                let f = kf.keys().next().expect("single key");
+                                return Ok(fields.get(f).cloned().unwrap_or(Val::Num(0.0)));
+                            }
+                        }
+                        Err(DataError::Invalid("bad record lookup key".into()))
+                    }
+                    _ => Err(DataError::Invalid("lookup on non-dictionary".into())),
+                }
+            }
+            Expr::SetLit(keys) => {
+                let mut dict = BTreeMap::new();
+                for k in keys {
+                    let kv = Val::Record(BTreeMap::from([(k.clone(), Val::Num(1.0))]));
+                    dict.insert(kv.key(), (kv, Val::Num(1.0)));
+                }
+                Ok(Val::Dict(dict))
+            }
+            Expr::Rel(name) => self.relation_val(name),
+            Expr::Sum { var, domain, body } => {
+                let dom = self.go(domain, env)?;
+                let Val::Dict(entries) = dom else {
+                    return Err(DataError::Invalid("sum over non-dictionary".into()));
+                };
+                let mut acc = 0.0;
+                for (_, (key, _)) in entries {
+                    self.counter.iterations += 1;
+                    env.push((var.clone(), key));
+                    let v = self.go(body, env)?;
+                    env.pop();
+                    self.counter.adds += 1;
+                    acc += v.num();
+                }
+                Ok(Val::Num(acc))
+            }
+            Expr::LamDict { var, domain, body } => {
+                let dom = self.go(domain, env)?;
+                let Val::Dict(entries) = dom else {
+                    return Err(DataError::Invalid("lambda over non-dictionary".into()));
+                };
+                let mut out = BTreeMap::new();
+                for (canon, (key, _)) in entries {
+                    self.counter.iterations += 1;
+                    env.push((var.clone(), key.clone()));
+                    let v = self.go(body, env)?;
+                    env.pop();
+                    out.insert(canon, (key, v));
+                }
+                Ok(Val::Dict(out))
+            }
+            Expr::Add(a, b) => {
+                let (x, y) = (self.go(a, env)?, self.go(b, env)?);
+                self.counter.adds += 1;
+                Ok(Val::Num(x.num() + y.num()))
+            }
+            Expr::Mul(a, b) => {
+                let (x, y) = (self.go(a, env)?, self.go(b, env)?);
+                self.counter.muls += 1;
+                Ok(Val::Num(x.num() * y.num()))
+            }
+            Expr::Eq(a, b) => {
+                let (x, y) = (self.go(a, env)?, self.go(b, env)?);
+                Ok(Val::Num(if x.key() == y.key() { 1.0 } else { 0.0 }))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_data::{AttrType, Relation, Schema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add(
+            "R",
+            Relation::from_rows(
+                Schema::of(&[("k", AttrType::Int), ("x", AttrType::Double)]),
+                vec![
+                    vec![Value::Int(1), Value::F64(10.0)],
+                    vec![Value::Int(2), Value::F64(20.0)],
+                ],
+            )
+            .unwrap(),
+        );
+        db
+    }
+
+    #[test]
+    fn sum_over_relation_with_multiplicity() {
+        let db = db();
+        let mut interp = Interp::new(&db);
+        // Σ_{t ∈ R} R(t) * t.x = 30
+        let e = Expr::sum(
+            "t",
+            Expr::Rel("R".into()),
+            Expr::mul(
+                Expr::lookup(Expr::Rel("R".into()), Expr::var("t")),
+                Expr::field(Expr::var("t"), "x"),
+            ),
+        );
+        let v = interp.eval(&e).unwrap();
+        assert_eq!(v, Val::Num(30.0));
+        assert!(interp.counter.iterations >= 2);
+        assert!(interp.counter.lookups >= 2);
+    }
+
+    #[test]
+    fn let_and_records() {
+        let db = db();
+        let mut interp = Interp::new(&db);
+        let e = Expr::let_(
+            "r",
+            Expr::Record(vec![("a".into(), Expr::Num(2.0)), ("b".into(), Expr::Num(3.0))]),
+            Expr::mul(Expr::field(Expr::var("r"), "a"), Expr::field(Expr::var("r"), "b")),
+        );
+        assert_eq!(interp.eval(&e).unwrap(), Val::Num(6.0));
+    }
+
+    #[test]
+    fn lamdict_over_setlit() {
+        let db = db();
+        let mut interp = Interp::new(&db);
+        let e = Expr::lam("f", Expr::SetLit(vec!["p".into(), "q".into()]), Expr::Num(7.0));
+        match interp.eval(&e).unwrap() {
+            Val::Dict(d) => assert_eq!(d.len(), 2),
+            other => panic!("expected dict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eq_indicator() {
+        let db = db();
+        let mut interp = Interp::new(&db);
+        let e = Expr::eq(Expr::Num(2.0), Expr::Num(2.0));
+        assert_eq!(interp.eval(&e).unwrap(), Val::Num(1.0));
+        let e = Expr::eq(Expr::Num(2.0), Expr::Num(3.0));
+        assert_eq!(interp.eval(&e).unwrap(), Val::Num(0.0));
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        let db = db();
+        let mut interp = Interp::new(&db);
+        assert!(interp.eval(&Expr::var("nope")).is_err());
+    }
+}

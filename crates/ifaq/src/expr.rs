@@ -1,0 +1,225 @@
+//! The IFAQ expression language.
+//!
+//! Dictionaries map keys (scalars or records) to values; sets are
+//! dictionaries where only keys matter; `Σ` folds over a dictionary's
+//! support; `λ` builds a dictionary from a domain. Relations enter as
+//! dictionaries from tuple-records to multiplicities (§5.3 "IFAQ
+//! represents relations as dictionaries mapping tuples to their
+//! multiplicities").
+
+/// An IFAQ expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A numeric literal.
+    Num(f64),
+    /// A string literal (field/feature names as first-class keys).
+    Str(String),
+    /// A variable reference.
+    Var(String),
+    /// `let name = value in body`.
+    Let {
+        /// Bound name.
+        name: String,
+        /// Bound value.
+        value: Box<Expr>,
+        /// Body.
+        body: Box<Expr>,
+    },
+    /// A record literal.
+    Record(Vec<(String, Expr)>),
+    /// Static field access `e.f`.
+    Field(Box<Expr>, String),
+    /// Dynamic dictionary lookup `dict[key]` (0 when absent).
+    Lookup(Box<Expr>, Box<Expr>),
+    /// A statically known set of string keys (feature sets).
+    SetLit(Vec<String>),
+    /// A named base relation (dictionary tuple → multiplicity).
+    Rel(String),
+    /// `Σ_{var ∈ sup(domain)} body` — a stateful fold.
+    Sum {
+        /// Loop variable bound to each key.
+        var: String,
+        /// The dictionary/set iterated over.
+        domain: Box<Expr>,
+        /// Summand.
+        body: Box<Expr>,
+    },
+    /// `λ_{var ∈ sup(domain)} body` — builds a dictionary keyed by the
+    /// domain's keys.
+    LamDict {
+        /// Loop variable.
+        var: String,
+        /// The domain.
+        domain: Box<Expr>,
+        /// Per-key value.
+        body: Box<Expr>,
+    },
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Equality indicator (`1.0` / `0.0`) — join conditions.
+    Eq(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// `a * b`.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+
+    /// `a + b`.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// `a == b` as a 0/1 indicator.
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::Eq(Box::new(a), Box::new(b))
+    }
+
+    /// `e.f`.
+    pub fn field(e: Expr, f: &str) -> Expr {
+        Expr::Field(Box::new(e), f.to_string())
+    }
+
+    /// `dict[key]`.
+    pub fn lookup(d: Expr, k: Expr) -> Expr {
+        Expr::Lookup(Box::new(d), Box::new(k))
+    }
+
+    /// A variable.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+
+    /// `Σ_{var ∈ domain} body`.
+    pub fn sum(var: &str, domain: Expr, body: Expr) -> Expr {
+        Expr::Sum { var: var.to_string(), domain: Box::new(domain), body: Box::new(body) }
+    }
+
+    /// `λ_{var ∈ domain} body`.
+    pub fn lam(var: &str, domain: Expr, body: Expr) -> Expr {
+        Expr::LamDict { var: var.to_string(), domain: Box::new(domain), body: Box::new(body) }
+    }
+
+    /// `let name = value in body`.
+    pub fn let_(name: &str, value: Expr, body: Expr) -> Expr {
+        Expr::Let { name: name.to_string(), value: Box::new(value), body: Box::new(body) }
+    }
+
+    /// True if `name` occurs free in `self`.
+    pub fn references(&self, name: &str) -> bool {
+        match self {
+            Expr::Num(_) | Expr::Str(_) | Expr::Rel(_) | Expr::SetLit(_) => false,
+            Expr::Var(v) => v == name,
+            Expr::Let { name: n, value, body } => {
+                value.references(name) || (n != name && body.references(name))
+            }
+            Expr::Record(fields) => fields.iter().any(|(_, e)| e.references(name)),
+            Expr::Field(e, _) => e.references(name),
+            Expr::Lookup(d, k) => d.references(name) || k.references(name),
+            Expr::Sum { var, domain, body } | Expr::LamDict { var, domain, body } => {
+                domain.references(name) || (var != name && body.references(name))
+            }
+            Expr::Add(a, b) | Expr::Mul(a, b) | Expr::Eq(a, b) => {
+                a.references(name) || b.references(name)
+            }
+        }
+    }
+
+    /// Substitutes every free occurrence of `name` with `with` (capture is
+    /// impossible in our programs because generated binder names are
+    /// unique; binders shadowing `name` stop the substitution).
+    pub fn subst(&self, name: &str, with: &Expr) -> Expr {
+        match self {
+            Expr::Var(v) if v == name => with.clone(),
+            Expr::Num(_) | Expr::Str(_) | Expr::Rel(_) | Expr::SetLit(_) | Expr::Var(_) => {
+                self.clone()
+            }
+            Expr::Let { name: n, value, body } => Expr::Let {
+                name: n.clone(),
+                value: Box::new(value.subst(name, with)),
+                body: if n == name {
+                    body.clone()
+                } else {
+                    Box::new(body.subst(name, with))
+                },
+            },
+            Expr::Record(fields) => Expr::Record(
+                fields.iter().map(|(f, e)| (f.clone(), e.subst(name, with))).collect(),
+            ),
+            Expr::Field(e, f) => Expr::Field(Box::new(e.subst(name, with)), f.clone()),
+            Expr::Lookup(d, k) => {
+                Expr::Lookup(Box::new(d.subst(name, with)), Box::new(k.subst(name, with)))
+            }
+            Expr::Sum { var, domain, body } => Expr::Sum {
+                var: var.clone(),
+                domain: Box::new(domain.subst(name, with)),
+                body: if var == name {
+                    body.clone()
+                } else {
+                    Box::new(body.subst(name, with))
+                },
+            },
+            Expr::LamDict { var, domain, body } => Expr::LamDict {
+                var: var.clone(),
+                domain: Box::new(domain.subst(name, with)),
+                body: if var == name {
+                    body.clone()
+                } else {
+                    Box::new(body.subst(name, with))
+                },
+            },
+            Expr::Add(a, b) => Expr::add(a.subst(name, with), b.subst(name, with)),
+            Expr::Mul(a, b) => Expr::mul(a.subst(name, with), b.subst(name, with)),
+            Expr::Eq(a, b) => Expr::eq(a.subst(name, with), b.subst(name, with)),
+        }
+    }
+
+    /// Number of AST nodes (a crude program-size metric).
+    pub fn size(&self) -> usize {
+        1 + match self {
+            Expr::Num(_) | Expr::Str(_) | Expr::Var(_) | Expr::Rel(_) | Expr::SetLit(_) => 0,
+            Expr::Let { value, body, .. } => value.size() + body.size(),
+            Expr::Record(fs) => fs.iter().map(|(_, e)| e.size()).sum(),
+            Expr::Field(e, _) => e.size(),
+            Expr::Lookup(d, k) => d.size() + k.size(),
+            Expr::Sum { domain, body, .. } | Expr::LamDict { domain, body, .. } => {
+                domain.size() + body.size()
+            }
+            Expr::Add(a, b) | Expr::Mul(a, b) | Expr::Eq(a, b) => a.size() + b.size(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn references_respects_shadowing() {
+        let e = Expr::sum("x", Expr::Rel("R".into()), Expr::var("x"));
+        assert!(!e.references("x")); // bound
+        let e2 = Expr::sum("y", Expr::Rel("R".into()), Expr::var("x"));
+        assert!(e2.references("x"));
+        let l = Expr::let_("x", Expr::var("z"), Expr::var("x"));
+        assert!(l.references("z"));
+        assert!(!l.references("x"));
+    }
+
+    #[test]
+    fn subst_stops_at_binders() {
+        let e = Expr::sum("x", Expr::Rel("R".into()), Expr::add(Expr::var("x"), Expr::var("y")));
+        let s = e.subst("y", &Expr::Num(5.0));
+        assert!(!s.references("y"));
+        let s2 = e.subst("x", &Expr::Num(5.0));
+        assert_eq!(s2, e); // x is bound: unchanged
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(Expr::Num(1.0).size(), 1);
+        assert_eq!(Expr::add(Expr::Num(1.0), Expr::Num(2.0)).size(), 3);
+    }
+}

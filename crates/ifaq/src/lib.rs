@@ -1,0 +1,29 @@
+//! # fdb-ifaq
+//!
+//! IFAQ (§5.3, Shaikhha et al., CGO 2020): a small unified DB+ML
+//! intermediate language — dictionaries, records, sum and
+//! dictionary-construction loops — plus a pipeline of equivalence-
+//! preserving, rule-based transformations:
+//!
+//! * **loop factorization** — hoist loop-invariant multiplicands out of
+//!   `Σ` (the distributivity rewrite that pushes aggregates past joins);
+//! * **code motion / static memoization** — hoist expensive loop-invariant
+//!   subexpressions into `let` bindings evaluated once;
+//! * **schema specialisation** — unroll loops over statically known
+//!   feature sets and turn dynamic dictionary lookups into static field
+//!   accesses.
+//!
+//! The interpreter counts arithmetic/lookup operations, so the tests can
+//! *measure* that each optimisation stage preserves semantics while
+//! strictly reducing work — the §5.3 derivation of the factorized
+//! covariance computation from a naive gradient-descent program is
+//! reproduced end-to-end in [`derivation`].
+
+pub mod derivation;
+pub mod eval;
+pub mod expr;
+pub mod rewrite;
+
+pub use eval::{Counter, Interp, Val};
+pub use expr::Expr;
+pub use rewrite::{factor_out_of_sums, hoist_invariants, optimize, unroll_static};

@@ -1,0 +1,309 @@
+//! Rule-based program transformations (the Figure 11 pipeline).
+//!
+//! Every pass is equivalence-preserving; the tests in [`crate::derivation`]
+//! verify both semantics preservation and a strict drop in interpreter
+//! operation counts after each stage.
+
+use crate::expr::Expr;
+
+/// Flattens `Mul` into a factor list (for factoring rewrites).
+fn mul_factors(e: &Expr) -> Vec<Expr> {
+    match e {
+        Expr::Mul(a, b) => {
+            let mut out = mul_factors(a);
+            out.extend(mul_factors(b));
+            out
+        }
+        _ => vec![e.clone()],
+    }
+}
+
+fn mul_of(mut factors: Vec<Expr>) -> Expr {
+    match factors.len() {
+        0 => Expr::Num(1.0),
+        1 => factors.pop().expect("len 1"),
+        _ => {
+            let first = factors.remove(0);
+            factors.into_iter().fold(first, Expr::mul)
+        }
+    }
+}
+
+/// **Loop factorization** (distributivity): inside every
+/// `Σ_{v} f1 * … * fk`, factors independent of `v` move out of the sum:
+/// `Σ_v a·g(v)  ⇒  a · Σ_v g(v)`. Applied bottom-up to a fixpoint, this
+/// pushes aggregates past joins (§5.3 "we can now leverage the
+/// distributivity of multiplication over addition to factorise").
+pub fn factor_out_of_sums(e: &Expr) -> Expr {
+    let e = map_children(e, &factor_out_of_sums);
+    if let Expr::Sum { var, domain, body } = &e {
+        let factors = mul_factors(body);
+        let (indep, dep): (Vec<Expr>, Vec<Expr>) =
+            factors.into_iter().partition(|f| !f.references(var));
+        if !indep.is_empty() {
+            let inner = Expr::Sum {
+                var: var.clone(),
+                domain: domain.clone(),
+                body: Box::new(mul_of(dep)),
+            };
+            let mut out = mul_of(indep);
+            out = Expr::mul(out, inner);
+            return out;
+        }
+    }
+    e
+}
+
+/// **Code motion / static memoization**: hoists expensive (`Σ`-containing)
+/// subexpressions that do not depend on the loop variable of an enclosing
+/// `λ` out into a `let`, so they are computed once instead of per key
+/// (§5.3 "the code motion transformation moves the computation of M
+/// outside the while convergence loop").
+pub fn hoist_invariants(e: &Expr) -> Expr {
+    let e = map_children(e, &hoist_invariants);
+    if let Expr::LamDict { var, domain, body } = &e {
+        if let Some(sub) = find_invariant_sum(body, var) {
+            let tmp = fresh_name(&sub);
+            let new_body = replace(body, &sub, &Expr::Var(tmp.clone()));
+            return Expr::Let {
+                name: tmp,
+                value: Box::new(*Box::new(sub)),
+                body: Box::new(Expr::LamDict {
+                    var: var.clone(),
+                    domain: domain.clone(),
+                    body: Box::new(new_body),
+                }),
+            };
+        }
+    }
+    e
+}
+
+/// **Schema specialisation / loop unrolling**: `Σ` and `λ` over statically
+/// known key sets unroll; dynamic lookups with static keys become static
+/// field accesses (§5.3 "we convert dictionaries over F into records so
+/// that the dynamic accesses become static").
+pub fn unroll_static(e: &Expr) -> Expr {
+    let e = map_children(e, &unroll_static);
+    match &e {
+        Expr::Sum { var, domain, body } => {
+            if let Expr::SetLit(keys) = domain.as_ref() {
+                let mut acc: Option<Expr> = None;
+                for k in keys {
+                    let term = body.subst(var, &Expr::Str(k.clone()));
+                    acc = Some(match acc {
+                        None => term,
+                        Some(prev) => Expr::add(prev, term),
+                    });
+                }
+                return unroll_static(&acc.unwrap_or(Expr::Num(0.0)));
+            }
+            e
+        }
+        Expr::LamDict { var, domain, body } => {
+            if let Expr::SetLit(keys) = domain.as_ref() {
+                let fields = keys
+                    .iter()
+                    .map(|k| (k.clone(), unroll_static(&body.subst(var, &Expr::Str(k.clone())))))
+                    .collect();
+                return Expr::Record(fields);
+            }
+            e
+        }
+        // Lookup with a static string key on a record expression → Field.
+        Expr::Lookup(d, k) => {
+            if let Expr::Str(key) = k.as_ref() {
+                return Expr::Field(d.clone(), key.clone());
+            }
+            e
+        }
+        _ => e,
+    }
+}
+
+/// The full pipeline, to a fixpoint: factorization, hoisting,
+/// specialisation (Figure 11's high-level → schema → aggregate stages).
+pub fn optimize(e: &Expr) -> Expr {
+    let mut cur = e.clone();
+    for _ in 0..16 {
+        let next = unroll_static(&hoist_invariants(&factor_out_of_sums(&cur)));
+        if next == cur {
+            break;
+        }
+        cur = next;
+    }
+    cur
+}
+
+// ---------------------------------------------------------------------------
+// helpers
+// ---------------------------------------------------------------------------
+
+/// Applies `f` to every direct child.
+fn map_children(e: &Expr, f: &impl Fn(&Expr) -> Expr) -> Expr {
+    match e {
+        Expr::Num(_) | Expr::Str(_) | Expr::Var(_) | Expr::Rel(_) | Expr::SetLit(_) => e.clone(),
+        Expr::Let { name, value, body } => Expr::Let {
+            name: name.clone(),
+            value: Box::new(f(value)),
+            body: Box::new(f(body)),
+        },
+        Expr::Record(fields) => {
+            Expr::Record(fields.iter().map(|(n, x)| (n.clone(), f(x))).collect())
+        }
+        Expr::Field(x, n) => Expr::Field(Box::new(f(x)), n.clone()),
+        Expr::Lookup(d, k) => Expr::Lookup(Box::new(f(d)), Box::new(f(k))),
+        Expr::Sum { var, domain, body } => Expr::Sum {
+            var: var.clone(),
+            domain: Box::new(f(domain)),
+            body: Box::new(f(body)),
+        },
+        Expr::LamDict { var, domain, body } => Expr::LamDict {
+            var: var.clone(),
+            domain: Box::new(f(domain)),
+            body: Box::new(f(body)),
+        },
+        Expr::Add(a, b) => Expr::add(f(a), f(b)),
+        Expr::Mul(a, b) => Expr::mul(f(a), f(b)),
+        Expr::Eq(a, b) => Expr::eq(f(a), f(b)),
+    }
+}
+
+/// Finds a `Sum` subexpression of `body` that does not reference `var`
+/// (and is not the whole body).
+fn find_invariant_sum(body: &Expr, var: &str) -> Option<Expr> {
+    fn walk(e: &Expr, var: &str, out: &mut Option<Expr>) {
+        if out.is_some() {
+            return;
+        }
+        if matches!(e, Expr::Sum { .. }) && !e.references(var) {
+            *out = Some(e.clone());
+            return;
+        }
+        match e {
+            Expr::Let { value, body, .. } => {
+                walk(value, var, out);
+                walk(body, var, out);
+            }
+            Expr::Record(fs) => fs.iter().for_each(|(_, x)| walk(x, var, out)),
+            Expr::Field(x, _) => walk(x, var, out),
+            Expr::Lookup(d, k) => {
+                walk(d, var, out);
+                walk(k, var, out);
+            }
+            Expr::Sum { domain, body, .. } | Expr::LamDict { domain, body, .. } => {
+                walk(domain, var, out);
+                walk(body, var, out);
+            }
+            Expr::Add(a, b) | Expr::Mul(a, b) | Expr::Eq(a, b) => {
+                walk(a, var, out);
+                walk(b, var, out);
+            }
+            _ => {}
+        }
+    }
+    let mut out = None;
+    walk(body, var, &mut out);
+    out
+}
+
+/// Structural replacement of `target` by `with` everywhere in `e`.
+fn replace(e: &Expr, target: &Expr, with: &Expr) -> Expr {
+    if e == target {
+        return with.clone();
+    }
+    map_children(e, &|c| replace(c, target, with))
+}
+
+/// A deterministic fresh name derived from the expression's shape.
+fn fresh_name(e: &Expr) -> String {
+    format!("_memo{}", e.size())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Interp;
+    use fdb_data::{AttrType, Database, Relation, Schema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add(
+            "R",
+            Relation::from_rows(
+                Schema::of(&[("x", AttrType::Double)]),
+                (1..=4).map(|i| vec![Value::F64(i as f64)]).collect::<Vec<_>>(),
+            )
+            .unwrap(),
+        );
+        db
+    }
+
+    #[test]
+    fn factoring_preserves_semantics_and_cuts_muls() {
+        // Σ_t (5 * t.x): factor 5 out.
+        let e = Expr::sum(
+            "t",
+            Expr::Rel("R".into()),
+            Expr::mul(Expr::Num(5.0), Expr::field(Expr::var("t"), "x")),
+        );
+        let opt = factor_out_of_sums(&e);
+        // 5 must now multiply the sum, not each term.
+        assert!(matches!(opt, Expr::Mul(_, _)));
+        let db = db();
+        let mut i1 = Interp::new(&db);
+        let v1 = i1.eval(&e).unwrap();
+        let mut i2 = Interp::new(&db);
+        let v2 = i2.eval(&opt).unwrap();
+        assert_eq!(v1, v2);
+        assert!(i2.counter.muls < i1.counter.muls, "{:?} vs {:?}", i2.counter, i1.counter);
+    }
+
+    #[test]
+    fn hoisting_moves_inner_sum_out_of_lambda() {
+        // λ_f (Σ_t t.x) * 2 — the sum is f-invariant.
+        let inner = Expr::sum("t", Expr::Rel("R".into()), Expr::field(Expr::var("t"), "x"));
+        let e = Expr::lam(
+            "f",
+            Expr::SetLit(vec!["a".into(), "b".into(), "c".into()]),
+            Expr::mul(inner, Expr::Num(2.0)),
+        );
+        let opt = hoist_invariants(&e);
+        assert!(matches!(opt, Expr::Let { .. }), "got {opt:?}");
+        let db = db();
+        let mut i1 = Interp::new(&db);
+        let v1 = i1.eval(&e).unwrap();
+        let mut i2 = Interp::new(&db);
+        let v2 = i2.eval(&opt).unwrap();
+        assert_eq!(v1, v2);
+        // 3 keys × 4 iterations before; 4 + 3 after.
+        assert!(i2.counter.iterations < i1.counter.iterations);
+    }
+
+    #[test]
+    fn unrolling_turns_static_loops_into_records() {
+        let e = Expr::lam(
+            "f",
+            Expr::SetLit(vec!["p".into(), "q".into()]),
+            Expr::Num(1.0),
+        );
+        let opt = unroll_static(&e);
+        assert!(matches!(opt, Expr::Record(_)));
+        // Static lookup becomes field access.
+        let l = Expr::lookup(opt.clone(), Expr::Str("p".into()));
+        let spec = unroll_static(&l);
+        assert!(matches!(spec, Expr::Field(_, _)));
+    }
+
+    #[test]
+    fn optimize_reaches_fixpoint() {
+        let e = Expr::sum(
+            "t",
+            Expr::Rel("R".into()),
+            Expr::mul(Expr::Num(2.0), Expr::field(Expr::var("t"), "x")),
+        );
+        let o1 = optimize(&e);
+        let o2 = optimize(&o1);
+        assert_eq!(o1, o2);
+    }
+}

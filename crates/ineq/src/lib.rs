@@ -1,0 +1,23 @@
+//! # fdb-ineq
+//!
+//! Aggregates over theta joins with **additive inequality** conditions
+//! (paper §2.3):
+//!
+//! ```text
+//! SUM(e)  WHERE  w1·X1 + … + wn·Xn > c  [GROUP BY Z]
+//! ```
+//!
+//! These arise in the (sub)gradients of non-polynomial loss functions
+//! (SVM hinge, Huber, scalene) and in k-means. A classical engine iterates
+//! over the whole data matrix and tests the inequality per tuple; when the
+//! weighted sum splits additively across the two sides of a join, sorting
+//! one side and prefix-summing its payloads answers every probe in
+//! `O(log)` — polynomially better than the nested-loop evaluation
+//! (Abo Khamis et al., PODS 2019).
+
+pub mod pairs;
+
+pub use pairs::{
+    count_pairs_gt, count_pairs_gt_naive, sum_pairs_gt, sum_pairs_gt_grouped,
+    sum_pairs_gt_naive,
+};

@@ -1,0 +1,187 @@
+//! Additive-inequality aggregates over a two-way join.
+//!
+//! The input is the two sides of a join (already grouped/reduced to the
+//! vectors that matter): side one contributes `x_i` with payload `f_i`,
+//! side two `y_j` with payload `g_j`. The aggregates compute
+//! `Σ_{x_i + y_j > c} f_i · g_j` (and counts, and grouped variants).
+//!
+//! * `*_naive` — the classical nested loop: `O(n·m)`.
+//! * the sort + suffix-sum algorithm: `O((n + m) log(n + m))`.
+
+/// `|{(i, j) : x_i + y_j > c}|` by nested loops (the baseline).
+pub fn count_pairs_gt_naive(x: &[f64], y: &[f64], c: f64) -> u64 {
+    let mut n = 0;
+    for &xi in x {
+        for &yj in y {
+            if xi + yj > c {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// `Σ_{x_i + y_j > c} f_i · g_j` by nested loops (the baseline).
+pub fn sum_pairs_gt_naive(x: &[f64], f: &[f64], y: &[f64], g: &[f64], c: f64) -> f64 {
+    let mut acc = 0.0;
+    for (xi, fi) in x.iter().zip(f) {
+        for (yj, gj) in y.iter().zip(g) {
+            if xi + yj > c {
+                acc += fi * gj;
+            }
+        }
+    }
+    acc
+}
+
+/// `|{(i, j) : x_i + y_j > c}|` in `O((n+m) log m)`: sort `y`, then for
+/// each `x_i` count the suffix `y_j > c - x_i` by binary search.
+pub fn count_pairs_gt(x: &[f64], y: &[f64], c: f64) -> u64 {
+    let mut ys: Vec<f64> = y.to_vec();
+    ys.sort_by(f64::total_cmp);
+    let mut n = 0u64;
+    for &xi in x {
+        let t = c - xi;
+        // First index with y > t.
+        let lo = ys.partition_point(|&v| v <= t);
+        n += (ys.len() - lo) as u64;
+    }
+    n
+}
+
+/// `Σ_{x_i + y_j > c} f_i · g_j` in `O((n+m) log m)`: sort `y` with its
+/// payloads, suffix-sum `g`, then each `x_i` contributes
+/// `f_i · suffix(c - x_i)`.
+pub fn sum_pairs_gt(x: &[f64], f: &[f64], y: &[f64], g: &[f64], c: f64) -> f64 {
+    assert_eq!(x.len(), f.len());
+    assert_eq!(y.len(), g.len());
+    let mut order: Vec<usize> = (0..y.len()).collect();
+    order.sort_by(|&a, &b| y[a].total_cmp(&y[b]));
+    let ys: Vec<f64> = order.iter().map(|&i| y[i]).collect();
+    // suffix[i] = Σ_{j >= i} g[order[j]]
+    let mut suffix = vec![0.0; ys.len() + 1];
+    for i in (0..ys.len()).rev() {
+        suffix[i] = suffix[i + 1] + g[order[i]];
+    }
+    let mut acc = 0.0;
+    for (xi, fi) in x.iter().zip(f) {
+        let t = c - xi;
+        let lo = ys.partition_point(|&v| v <= t);
+        acc += fi * suffix[lo];
+    }
+    acc
+}
+
+/// Grouped variant: `SUM(f_i · g_j) WHERE x_i + y_j > c GROUP BY z_i`
+/// where `z_i` is a categorical attribute on the `x` side. One sorted
+/// suffix structure serves every group — the per-group work stays
+/// `O(|group| log m)`.
+pub fn sum_pairs_gt_grouped(
+    x: &[f64],
+    f: &[f64],
+    z: &[i64],
+    y: &[f64],
+    g: &[f64],
+    c: f64,
+) -> std::collections::HashMap<i64, f64> {
+    assert_eq!(x.len(), z.len());
+    let mut order: Vec<usize> = (0..y.len()).collect();
+    order.sort_by(|&a, &b| y[a].total_cmp(&y[b]));
+    let ys: Vec<f64> = order.iter().map(|&i| y[i]).collect();
+    let mut suffix = vec![0.0; ys.len() + 1];
+    for i in (0..ys.len()).rev() {
+        suffix[i] = suffix[i + 1] + g[order[i]];
+    }
+    let mut out: std::collections::HashMap<i64, f64> = std::collections::HashMap::new();
+    for ((xi, fi), zi) in x.iter().zip(f).zip(z) {
+        let lo = ys.partition_point(|&v| v <= c - xi);
+        *out.entry(*zi).or_insert(0.0) += fi * suffix[lo];
+    }
+    out.retain(|_, v| *v != 0.0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_example() {
+        let x = [1.0, 2.0];
+        let y = [0.5, 3.0];
+        // pairs > 2.5: (1,3)=4>2.5 yes, (2,0.5)=2.5 no (strict), (2,3) yes,
+        // (1,0.5) no  => 2 pairs
+        assert_eq!(count_pairs_gt(&x, &y, 2.5), 2);
+        assert_eq!(count_pairs_gt_naive(&x, &y, 2.5), 2);
+        let f = [10.0, 100.0];
+        let g = [1.0, 2.0];
+        // matching pairs: (x=1,y=3): 10*2=20; (x=2,y=3): 100*2=200
+        assert_eq!(sum_pairs_gt(&x, &f, &y, &g, 2.5), 220.0);
+    }
+
+    #[test]
+    fn empty_sides() {
+        assert_eq!(count_pairs_gt(&[], &[1.0], 0.0), 0);
+        assert_eq!(count_pairs_gt(&[1.0], &[], 0.0), 0);
+        assert_eq!(sum_pairs_gt(&[], &[], &[1.0], &[1.0], 0.0), 0.0);
+    }
+
+    #[test]
+    fn grouped_matches_per_group_naive() {
+        let x = [1.0, 2.0, 1.5];
+        let f = [1.0, 1.0, 2.0];
+        let z = [7, 8, 7];
+        let y = [0.0, 1.0, 2.0];
+        let g = [1.0, 10.0, 100.0];
+        let got = sum_pairs_gt_grouped(&x, &f, &z, &y, &g, 2.0);
+        // group 7: rows 0 (x=1,f=1) and 2 (x=1.5,f=2)
+        let g7 = sum_pairs_gt_naive(&[1.0, 1.5], &[1.0, 2.0], &y, &g, 2.0);
+        let g8 = sum_pairs_gt_naive(&[2.0], &[1.0], &y, &g, 2.0);
+        assert_eq!(got.get(&7).copied().unwrap_or(0.0), g7);
+        assert_eq!(got.get(&8).copied().unwrap_or(0.0), g8);
+    }
+
+    proptest! {
+        #[test]
+        fn fast_count_matches_naive(
+            x in proptest::collection::vec(-10i32..10, 0..30),
+            y in proptest::collection::vec(-10i32..10, 0..30),
+            c in -15i32..15,
+        ) {
+            let xf: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+            let yf: Vec<f64> = y.iter().map(|&v| v as f64).collect();
+            prop_assert_eq!(
+                count_pairs_gt(&xf, &yf, c as f64 + 0.5),
+                count_pairs_gt_naive(&xf, &yf, c as f64 + 0.5)
+            );
+        }
+
+        #[test]
+        fn fast_sum_matches_naive(
+            rows_x in proptest::collection::vec((-10i32..10, -5i32..5), 0..25),
+            rows_y in proptest::collection::vec((-10i32..10, -5i32..5), 0..25),
+            c in -15i32..15,
+        ) {
+            let x: Vec<f64> = rows_x.iter().map(|&(v, _)| v as f64).collect();
+            let f: Vec<f64> = rows_x.iter().map(|&(_, v)| v as f64).collect();
+            let y: Vec<f64> = rows_y.iter().map(|&(v, _)| v as f64).collect();
+            let g: Vec<f64> = rows_y.iter().map(|&(_, v)| v as f64).collect();
+            let fast = sum_pairs_gt(&x, &f, &y, &g, c as f64 + 0.5);
+            let naive = sum_pairs_gt_naive(&x, &f, &y, &g, c as f64 + 0.5);
+            prop_assert!((fast - naive).abs() < 1e-9, "{fast} vs {naive}");
+        }
+
+        #[test]
+        fn ties_are_strict(
+            v in -5i32..5,
+            n in 1usize..5,
+        ) {
+            // x_i + y_j == c exactly must NOT count (strict >).
+            let x = vec![v as f64; n];
+            let y = vec![0.0; n];
+            prop_assert_eq!(count_pairs_gt(&x, &y, v as f64), 0);
+            prop_assert_eq!(count_pairs_gt(&x, &y, v as f64 - 1.0), (n * n) as u64);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Shared base storage for the IVM strategies: multiset relations under a
+//! stream of keyed updates, with hash indices on join keys.
+
+use fdb_data::{DataError, Schema, Value};
+use std::collections::HashMap;
+
+/// One update: a tuple for a relation with multiplicity `+1` (insert) or
+/// `-1` (delete).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    /// Relation index (position in the [`StreamDb`] schema list).
+    pub rel: usize,
+    /// The tuple.
+    pub tuple: Box<[Value]>,
+    /// `+1` or `-1`.
+    pub mult: i64,
+}
+
+impl Update {
+    /// An insert.
+    pub fn insert(rel: usize, tuple: Vec<Value>) -> Self {
+        Self { rel, tuple: tuple.into(), mult: 1 }
+    }
+
+    /// A delete.
+    pub fn delete(rel: usize, tuple: Vec<Value>) -> Self {
+        Self { rel, tuple: tuple.into(), mult: -1 }
+    }
+}
+
+/// Multiset relations under updates, shared by all maintenance strategies.
+/// Rows are append-only `(tuple, mult)` pairs; hash indices map join-key
+/// values to row positions.
+pub struct StreamDb {
+    schemas: Vec<Schema>,
+    rows: Vec<Vec<(Box<[Value]>, i64)>>,
+    /// `(relation, key columns)` → key values → row indices.
+    indices: HashMap<(usize, Vec<usize>), HashMap<Box<[i64]>, Vec<usize>>>,
+}
+
+impl StreamDb {
+    /// An empty database over the given relation schemas.
+    pub fn new(schemas: Vec<Schema>) -> Self {
+        let rows = schemas.iter().map(|_| Vec::new()).collect();
+        Self { schemas, rows, indices: HashMap::new() }
+    }
+
+    /// The relation schemas.
+    pub fn schemas(&self) -> &[Schema] {
+        &self.schemas
+    }
+
+    /// Registers a hash index on `(rel, cols)`; idempotent. All indices
+    /// must be registered before the first update.
+    pub fn register_index(&mut self, rel: usize, cols: Vec<usize>) {
+        self.indices.entry((rel, cols)).or_default();
+    }
+
+    /// Applies an update: appends the row and maintains the indices.
+    pub fn apply(&mut self, up: &Update) -> Result<(), DataError> {
+        let schema = &self.schemas[up.rel];
+        if up.tuple.len() != schema.arity() {
+            return Err(DataError::ArityMismatch {
+                expected: schema.arity(),
+                got: up.tuple.len(),
+            });
+        }
+        if up.mult != 1 && up.mult != -1 {
+            return Err(DataError::Invalid("multiplicity must be +1 or -1".into()));
+        }
+        let idx = self.rows[up.rel].len();
+        self.rows[up.rel].push((up.tuple.clone(), up.mult));
+        for ((rel, cols), index) in self.indices.iter_mut() {
+            if *rel == up.rel {
+                let key: Box<[i64]> = cols.iter().map(|&c| up.tuple[c].as_int()).collect();
+                index.entry(key).or_default().push(idx);
+            }
+        }
+        Ok(())
+    }
+
+    /// Rows of relation `rel` as `(tuple, mult)` pairs.
+    pub fn rows(&self, rel: usize) -> &[(Box<[Value]>, i64)] {
+        &self.rows[rel]
+    }
+
+    /// Row indices of `rel` whose `cols` values equal `key`. The index must
+    /// have been registered.
+    pub fn lookup(&self, rel: usize, cols: &[usize], key: &[i64]) -> &[usize] {
+        static EMPTY: [usize; 0] = [];
+        self.indices
+            .get(&(rel, cols.to_vec()))
+            .and_then(|m| m.get(key))
+            .map(Vec::as_slice)
+            .unwrap_or(&EMPTY)
+    }
+
+    /// Materializes relation `rel` (net multiplicities; deleted tuples
+    /// dropped) — used by tests to cross-check against batch recomputation.
+    pub fn materialize(&self, rel: usize) -> fdb_data::Relation {
+        let mut mults: HashMap<&Box<[Value]>, i64> = HashMap::new();
+        for (t, m) in &self.rows[rel] {
+            *mults.entry(t).or_insert(0) += m;
+        }
+        let mut out = fdb_data::Relation::new(self.schemas[rel].clone());
+        for (t, m) in mults {
+            assert!(m >= 0, "net negative multiplicity");
+            for _ in 0..m {
+                out.push_row(t).expect("schema matches");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_data::AttrType;
+
+    fn schema() -> Schema {
+        Schema::of(&[("k", AttrType::Int), ("x", AttrType::Double)])
+    }
+
+    #[test]
+    fn apply_and_lookup() {
+        let mut db = StreamDb::new(vec![schema()]);
+        db.register_index(0, vec![0]);
+        db.apply(&Update::insert(0, vec![Value::Int(5), Value::F64(1.0)])).unwrap();
+        db.apply(&Update::insert(0, vec![Value::Int(5), Value::F64(2.0)])).unwrap();
+        db.apply(&Update::insert(0, vec![Value::Int(7), Value::F64(3.0)])).unwrap();
+        assert_eq!(db.lookup(0, &[0], &[5]), &[0, 1]);
+        assert_eq!(db.lookup(0, &[0], &[7]), &[2]);
+        assert_eq!(db.lookup(0, &[0], &[9]), &[] as &[usize]);
+    }
+
+    #[test]
+    fn deletes_cancel_in_materialize() {
+        let mut db = StreamDb::new(vec![schema()]);
+        let t = vec![Value::Int(1), Value::F64(1.0)];
+        db.apply(&Update::insert(0, t.clone())).unwrap();
+        db.apply(&Update::insert(0, t.clone())).unwrap();
+        db.apply(&Update::delete(0, t)).unwrap();
+        assert_eq!(db.materialize(0).len(), 1);
+    }
+
+    #[test]
+    fn invalid_updates_rejected() {
+        let mut db = StreamDb::new(vec![schema()]);
+        assert!(db.apply(&Update::insert(0, vec![Value::Int(1)])).is_err());
+        let mut up = Update::insert(0, vec![Value::Int(1), Value::F64(0.0)]);
+        up.mult = 3;
+        assert!(db.apply(&up).is_err());
+    }
+}

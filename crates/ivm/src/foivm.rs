@@ -1,0 +1,281 @@
+//! First-order IVM: classical delta processing with no materialized
+//! intermediates — and, crucially, **no sharing across the batch**: each
+//! of the `1 + n + n(n+1)/2` covariance aggregates evaluates its *own*
+//! delta query per update (index nested loops along the join tree),
+//! exactly as a classical engine maintains 937 independent materialized
+//! aggregates. This is the slowest strategy of Figure 4 (right); the gap
+//! to F-IVM is the shared maintenance the paper attributes the difference
+//! to.
+
+use crate::base::{StreamDb, Update};
+use crate::viewtree::TreeShape;
+use fdb_data::Value;
+use fdb_ring::CovTriple;
+use std::sync::Arc;
+
+/// One hop of the delta-join walk: visit `node`, probing its `probe_cols`
+/// index with the values of `from_cols` of the already-bound `from` node.
+#[derive(Debug, Clone)]
+struct Hop {
+    node: usize,
+    from: usize,
+    probe_cols: Vec<usize>,
+    from_cols: Vec<usize>,
+}
+
+/// First-order IVM maintainer of the covariance aggregates.
+pub struct FoIvm {
+    shape: Arc<TreeShape>,
+    /// Per relation: `(global feature index, column)` of owned features.
+    features: Vec<Vec<(usize, usize)>>,
+    n: usize,
+    /// Pre-computed walk orders, one per possible delta relation.
+    walks: Vec<Vec<Hop>>,
+    count: f64,
+    sums: Vec<f64>,
+    q: Vec<f64>,
+}
+
+impl FoIvm {
+    /// Builds the maintainer; `continuous` attributes each live in exactly
+    /// one relation.
+    pub fn new(shape: Arc<TreeShape>, continuous: &[&str]) -> Self {
+        let n = continuous.len();
+        let features: Vec<Vec<(usize, usize)>> = shape
+            .schemas
+            .iter()
+            .map(|schema| {
+                continuous
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(gi, a)| schema.index_of(a).map(|c| (gi, c)))
+                    .collect()
+            })
+            .collect();
+        let nrel = shape.schemas.len();
+        let walks = (0..nrel).map(|start| Self::walk_order(&shape, start)).collect();
+        Self {
+            shape,
+            features,
+            n,
+            walks,
+            count: 0.0,
+            sums: vec![0.0; n],
+            q: vec![0.0; n * (n + 1) / 2],
+        }
+    }
+
+    /// BFS over the (undirected) join tree from `start`, recording the
+    /// index probes each hop needs.
+    fn walk_order(shape: &TreeShape, start: usize) -> Vec<Hop> {
+        let nrel = shape.schemas.len();
+        let mut seen = vec![false; nrel];
+        seen[start] = true;
+        let mut queue = std::collections::VecDeque::from([start]);
+        let mut hops = Vec::with_capacity(nrel - 1);
+        while let Some(u) = queue.pop_front() {
+            // Tree children of u.
+            for (cpos, &c) in shape.children[u].iter().enumerate() {
+                if !seen[c] {
+                    seen[c] = true;
+                    hops.push(Hop {
+                        node: c,
+                        from: u,
+                        probe_cols: shape.key_cols[c].clone(),
+                        from_cols: shape.child_key_cols[u][cpos].clone(),
+                    });
+                    queue.push_back(c);
+                }
+            }
+            // Tree parent of u.
+            if let Some(p) = shape.parent[u] {
+                if !seen[p] {
+                    seen[p] = true;
+                    let upos =
+                        shape.children[p].iter().position(|&c| c == u).expect("child link");
+                    hops.push(Hop {
+                        node: p,
+                        from: u,
+                        probe_cols: shape.child_key_cols[p][upos].clone(),
+                        from_cols: shape.key_cols[u].clone(),
+                    });
+                    queue.push_back(p);
+                }
+            }
+        }
+        hops
+    }
+
+    /// Registers all indices the delta walks probe (call once, before the
+    /// stream starts, together with [`TreeShape::register_indices`]).
+    pub fn register_indices(shape: &TreeShape, db: &mut StreamDb) {
+        for start in 0..shape.schemas.len() {
+            for hop in Self::walk_order(shape, start) {
+                db.register_index(hop.node, hop.probe_cols.clone());
+            }
+        }
+    }
+
+    /// Applies an update (after it was applied to the [`StreamDb`]):
+    /// one delta-query evaluation *per aggregate* (no sharing).
+    pub fn apply(&mut self, db: &StreamDb, up: &Update) {
+        let walk = self.walks[up.rel].clone();
+        let nrel = self.shape.schemas.len();
+        let n = self.n;
+        // Aggregate 0 is the count; 1..=n the sums; then the pairs (i, j),
+        // j <= i, in lower-triangular order.
+        let naggs = 1 + n + n * (n + 1) / 2;
+        for agg in 0..naggs {
+            let mut bound: Vec<Option<&[Value]>> = vec![None; nrel];
+            bound[up.rel] = Some(&up.tuple);
+            let mut feat = vec![0.0f64; n];
+            let mut acc = 0.0;
+            self.expand(db, &walk, 0, &mut bound, up.mult as f64, &mut feat, agg, &mut acc);
+            if agg == 0 {
+                self.count += acc;
+            } else if agg <= n {
+                self.sums[agg - 1] += acc;
+            } else {
+                self.q[agg - 1 - n] += acc;
+            }
+        }
+    }
+
+    /// The factor value of aggregate `agg` on feature vector `feat`.
+    #[inline]
+    fn agg_value(&self, agg: usize, feat: &[f64]) -> f64 {
+        let n = self.n;
+        if agg == 0 {
+            1.0
+        } else if agg <= n {
+            feat[agg - 1]
+        } else {
+            // Lower-triangular pair index -> (i, j).
+            let mut t = agg - 1 - n;
+            let mut i = 0;
+            while t > i {
+                t -= i + 1;
+                i += 1;
+            }
+            feat[i] * feat[t]
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn expand<'a>(
+        &mut self,
+        db: &'a StreamDb,
+        walk: &[Hop],
+        depth: usize,
+        bound: &mut Vec<Option<&'a [Value]>>,
+        weight: f64,
+        feat: &mut Vec<f64>,
+        agg: usize,
+        acc: &mut f64,
+    ) {
+        if depth == walk.len() {
+            // A full match of THIS aggregate's delta query.
+            for node in 0..bound.len() {
+                let t = bound[node].expect("all nodes bound");
+                for &(gi, c) in &self.features[node] {
+                    feat[gi] = t[c].as_f64();
+                }
+            }
+            *acc += weight * self.agg_value(agg, feat);
+            return;
+        }
+        let hop = &walk[depth];
+        let from_tuple = bound[hop.from].expect("walk binds parents first");
+        let key: Box<[i64]> = hop.from_cols.iter().map(|&c| from_tuple[c].as_int()).collect();
+        // Clone out the row list to keep borrows simple; delta fanouts are
+        // the dominant cost here by design.
+        let rows: Vec<usize> = db.lookup(hop.node, &hop.probe_cols, &key).to_vec();
+        for row in rows {
+            let (t, m) = &db.rows(hop.node)[row];
+            // SAFETY-free reborrow: tie the tuple's lifetime to `db`.
+            bound[hop.node] = Some(t.as_ref());
+            self.expand(db, walk, depth + 1, bound, weight * *m as f64, feat, agg, acc);
+        }
+        bound[hop.node] = None;
+    }
+
+    /// The maintained covariance triple.
+    pub fn result(&self) -> CovTriple {
+        CovTriple { c: self.count, s: self.sums.clone().into(), q: self.q.clone().into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::viewtree::Fivm;
+    use fdb_data::{AttrType, Schema};
+    use rand::{Rng, SeedableRng};
+
+    fn shape3() -> (Arc<TreeShape>, Vec<Schema>) {
+        let r = Schema::of(&[("a", AttrType::Int), ("x", AttrType::Double)]);
+        let s = Schema::of(&[("a", AttrType::Int), ("b", AttrType::Int), ("y", AttrType::Double)]);
+        let t = Schema::of(&[("b", AttrType::Int), ("z", AttrType::Double)]);
+        let schemas = vec![r, s, t];
+        let shape = TreeShape::build(schemas.clone(), &["R", "S", "T"], 1).unwrap();
+        (Arc::new(shape), schemas)
+    }
+
+    #[test]
+    fn foivm_agrees_with_fivm_with_deletes() {
+        let (shape, schemas) = shape3();
+        let mut db = StreamDb::new(schemas);
+        shape.register_indices(&mut db);
+        FoIvm::register_indices(&shape, &mut db);
+        let mut fo = FoIvm::new(Arc::clone(&shape), &["x", "y", "z"]);
+        let mut fi = Fivm::new(Arc::clone(&shape), &["x", "y", "z"]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let mut inserted: Vec<Update> = Vec::new();
+        for step in 0..250 {
+            let up = if step % 9 == 8 && !inserted.is_empty() {
+                let i = rng.gen_range(0..inserted.len());
+                let prev = inserted.swap_remove(i);
+                Update { rel: prev.rel, tuple: prev.tuple, mult: -1 }
+            } else {
+                let rel = rng.gen_range(0..3usize);
+                let tuple: Vec<Value> = match rel {
+                    0 => vec![Value::Int(rng.gen_range(0..3)), Value::F64(rng.gen_range(0..4) as f64)],
+                    1 => vec![
+                        Value::Int(rng.gen_range(0..3)),
+                        Value::Int(rng.gen_range(0..3)),
+                        Value::F64(rng.gen_range(0..4) as f64),
+                    ],
+                    _ => vec![Value::Int(rng.gen_range(0..3)), Value::F64(rng.gen_range(0..4) as f64)],
+                };
+                let up = Update::insert(rel, tuple);
+                inserted.push(up.clone());
+                up
+            };
+            db.apply(&up).unwrap();
+            fo.apply(&db, &up);
+            fi.apply(&db, &up);
+        }
+        let (a, b) = (fo.result(), fi.result());
+        assert!((a.c - b.c).abs() < 1e-6, "count {} vs {}", a.c, b.c);
+        for i in 0..3 {
+            assert!((a.s[i] - b.s[i]).abs() < 1e-6);
+            for j in 0..=i {
+                assert!((a.q_at(i, j) - b.q_at(i, j)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn walk_orders_cover_all_relations() {
+        let (shape, _) = shape3();
+        for start in 0..3 {
+            let w = FoIvm::walk_order(&shape, start);
+            assert_eq!(w.len(), 2);
+            let mut seen = vec![start];
+            for hop in &w {
+                assert!(seen.contains(&hop.from), "hop from unbound node");
+                seen.push(hop.node);
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Higher-order IVM: delta processing with materialized intermediate
+//! views, but **one view tree per aggregate** — no sharing across the
+//! batch. This is the middle strategy of Figure 4 (right): it beats
+//! first-order IVM by avoiding delta-join recomputation, and loses to
+//! F-IVM by maintaining `1 + n + n(n+1)/2` separate trees where F-IVM
+//! maintains one ring-valued tree.
+
+use crate::base::{StreamDb, Update};
+use crate::viewtree::{Lift, TreeShape, ViewTree};
+use fdb_data::Value;
+use fdb_ring::{CovTriple, F64Ring};
+use std::sync::Arc;
+
+/// The factor list of one scalar aggregate: `(attribute, power)` with
+/// power 1 or 2.
+type Factors = Vec<(String, u32)>;
+
+/// Higher-order IVM maintainer of the covariance aggregates.
+pub struct HoIvm {
+    n: usize,
+    trees: Vec<ViewTree<F64Ring>>,
+}
+
+impl HoIvm {
+    /// Builds one scalar view tree per covariance aggregate over the
+    /// `continuous` attributes.
+    pub fn new(shape: Arc<TreeShape>, continuous: &[&str]) -> Self {
+        let n = continuous.len();
+        let mut aggs: Vec<Factors> = Vec::new();
+        aggs.push(vec![]); // SUM(1)
+        for a in continuous {
+            aggs.push(vec![(a.to_string(), 1)]);
+        }
+        for i in 0..n {
+            for j in i..n {
+                if i == j {
+                    aggs.push(vec![(continuous[i].to_string(), 2)]);
+                } else {
+                    aggs.push(vec![
+                        (continuous[i].to_string(), 1),
+                        (continuous[j].to_string(), 1),
+                    ]);
+                }
+            }
+        }
+        let trees = aggs
+            .iter()
+            .map(|factors| {
+                let lifts: Vec<Lift<f64>> = shape
+                    .schemas
+                    .iter()
+                    .map(|schema| {
+                        // The factors owned by this relation.
+                        let mine: Vec<(usize, u32)> = factors
+                            .iter()
+                            .filter_map(|(a, p)| schema.index_of(a).map(|c| (c, *p)))
+                            .collect();
+                        let lift: Lift<f64> = Arc::new(move |tuple: &[Value]| {
+                            mine.iter()
+                                .map(|&(c, p)| tuple[c].as_f64().powi(p as i32))
+                                .product()
+                        });
+                        lift
+                    })
+                    .collect();
+                ViewTree::new(Arc::clone(&shape), F64Ring, lifts)
+            })
+            .collect();
+        Self { n, trees }
+    }
+
+    /// Applies an update to every per-aggregate tree.
+    pub fn apply(&mut self, db: &StreamDb, up: &Update) {
+        for tree in &mut self.trees {
+            tree.apply(db, up);
+        }
+    }
+
+    /// Assembles the maintained values into a covariance triple.
+    pub fn result(&self) -> CovTriple {
+        let n = self.n;
+        let c = self.trees[0].result();
+        let s: Vec<f64> = (0..n).map(|i| self.trees[1 + i].result()).collect();
+        let mut q = vec![0.0; n * (n + 1) / 2];
+        let mut t = 1 + n;
+        for i in 0..n {
+            for j in i..n {
+                // Tree order is (i, j) with j >= i; triple storage is
+                // lower-triangular (row j, col i).
+                q[j * (j + 1) / 2 + i] = self.trees[t].result();
+                t += 1;
+            }
+        }
+        CovTriple { c, s: s.into(), q: q.into() }
+    }
+
+    /// Total ring operations across all trees (cost proxy).
+    pub fn ring_ops(&self) -> u64 {
+        self.trees.iter().map(|t| t.ring_ops).sum()
+    }
+
+    /// Number of maintained trees (`1 + n + n(n+1)/2`).
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::viewtree::Fivm;
+    use fdb_data::{AttrType, Schema};
+    use rand::{Rng, SeedableRng};
+
+    fn shape3() -> (Arc<TreeShape>, Vec<Schema>) {
+        let r = Schema::of(&[("a", AttrType::Int), ("x", AttrType::Double)]);
+        let s = Schema::of(&[("a", AttrType::Int), ("b", AttrType::Int), ("y", AttrType::Double)]);
+        let t = Schema::of(&[("b", AttrType::Int), ("z", AttrType::Double)]);
+        let schemas = vec![r, s, t];
+        let shape = TreeShape::build(schemas.clone(), &["R", "S", "T"], 1).unwrap();
+        (Arc::new(shape), schemas)
+    }
+
+    #[test]
+    fn tree_count_formula() {
+        let (shape, _) = shape3();
+        let ho = HoIvm::new(shape, &["x", "y", "z"]);
+        assert_eq!(ho.tree_count(), 1 + 3 + 6);
+    }
+
+    #[test]
+    fn hoivm_agrees_with_fivm_on_random_stream() {
+        let (shape, schemas) = shape3();
+        let mut db = StreamDb::new(schemas);
+        shape.register_indices(&mut db);
+        let mut ho = HoIvm::new(Arc::clone(&shape), &["x", "y", "z"]);
+        let mut fi = Fivm::new(Arc::clone(&shape), &["x", "y", "z"]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let rel = rng.gen_range(0..3usize);
+            let tuple: Vec<Value> = match rel {
+                0 => vec![Value::Int(rng.gen_range(0..3)), Value::F64(rng.gen_range(0..4) as f64)],
+                1 => vec![
+                    Value::Int(rng.gen_range(0..3)),
+                    Value::Int(rng.gen_range(0..3)),
+                    Value::F64(rng.gen_range(0..4) as f64),
+                ],
+                _ => vec![Value::Int(rng.gen_range(0..3)), Value::F64(rng.gen_range(0..4) as f64)],
+            };
+            let up = Update::insert(rel, tuple);
+            db.apply(&up).unwrap();
+            ho.apply(&db, &up);
+            fi.apply(&db, &up);
+        }
+        let (a, b) = (ho.result(), fi.result());
+        assert!((a.c - b.c).abs() < 1e-6);
+        for i in 0..3 {
+            assert!((a.s[i] - b.s[i]).abs() < 1e-6);
+            for j in 0..3 {
+                assert!(
+                    (a.q_at(i, j) - b.q_at(i, j)).abs() < 1e-6,
+                    "moment ({i},{j}): {} vs {}",
+                    a.q_at(i, j),
+                    b.q_at(i, j)
+                );
+            }
+        }
+        // And F-IVM must be doing far fewer ring operations than the
+        // unshared per-aggregate trees — the Figure 4 (right) effect.
+        assert!(fi.ring_ops() * 3 < ho.ring_ops(), "{} vs {}", fi.ring_ops(), ho.ring_ops());
+    }
+}

@@ -1,0 +1,29 @@
+//! # fdb-ivm
+//!
+//! Incremental maintenance of learning aggregates under data updates
+//! (paper §3.1 "Additive inverse", Figure 4 right).
+//!
+//! Inserts and deletes are tuples with multiplicity `+1` / `-1`; the ring's
+//! additive inverse treats both uniformly. Three maintenance strategies
+//! over the same shared base storage:
+//!
+//! * [`FoIvm`] — **first-order IVM** (classical delta processing): no
+//!   materialized intermediates; each update joins the delta tuple against
+//!   all other base relations and updates every aggregate separately.
+//! * [`HoIvm`] — **higher-order IVM** (delta processing with intermediate
+//!   views, DBToaster-style): one materialized view tree *per aggregate*;
+//!   updates propagate along root-paths, but nothing is shared across the
+//!   aggregates of the batch.
+//! * [`Fivm`] — **F-IVM**: one factorized view tree whose payloads live in
+//!   the covariance ring, sharing the maintenance of all `(1+n+n(n+1)/2)`
+//!   aggregates inside one ring element (§5.2).
+
+pub mod base;
+pub mod foivm;
+pub mod hoivm;
+pub mod viewtree;
+
+pub use base::{StreamDb, Update};
+pub use foivm::FoIvm;
+pub use hoivm::HoIvm;
+pub use viewtree::{Fivm, TreeShape, ViewTree};

@@ -1,0 +1,383 @@
+//! Factorized view trees with ring payloads (F-IVM, §3.1/§5.2).
+//!
+//! One view per join-tree node, keyed by the node's connection attributes
+//! to its parent, with payloads in an arbitrary ring. A delta at relation
+//! `m` updates `V_m` directly and then propagates along the root path: at
+//! each ancestor the delta joins (via hash indices) the ancestor's base
+//! tuples and its *other* children's current views — never recomputing a
+//! subtree from scratch.
+//!
+//! With the covariance ring this maintains the entire covariance matrix in
+//! one tree ([`Fivm`]); with scalar rings it is the building block of the
+//! per-aggregate trees of higher-order IVM.
+
+use crate::base::{StreamDb, Update};
+use fdb_data::{DataError, Database, Schema, Value};
+use fdb_factorized::hypergraph::Hypergraph;
+use fdb_ring::{CovRing, CovTriple, Ring};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The static shape of a join tree over a set of relation schemas,
+/// shareable across many [`ViewTree`]s.
+#[derive(Debug, Clone)]
+pub struct TreeShape {
+    /// Relation schemas (node order).
+    pub schemas: Vec<Schema>,
+    /// Parent node per node.
+    pub parent: Vec<Option<usize>>,
+    /// Children per node.
+    pub children: Vec<Vec<usize>>,
+    /// Key-to-parent columns per node (empty at the root).
+    pub key_cols: Vec<Vec<usize>>,
+    /// For node `n`, child position `i`: the columns *in n's schema*
+    /// holding child `i`'s key attributes.
+    pub child_key_cols: Vec<Vec<Vec<usize>>>,
+    /// Root node.
+    pub root: usize,
+}
+
+impl TreeShape {
+    /// Builds the shape from relation schemas: join-key hypergraph, GYO
+    /// join tree, rooted at `root_hint` (or edge 0).
+    pub fn build(schemas: Vec<Schema>, names: &[&str], root_hint: usize) -> Result<Self, DataError> {
+        // Reuse the factorized crate's machinery through a scratch Database.
+        let mut db = Database::new();
+        for (name, schema) in names.iter().zip(&schemas) {
+            db.add(*name, fdb_data::Relation::new(schema.clone()));
+        }
+        let hg = Hypergraph::join_keys_plus(&db, names, &[])?;
+        let jt = hg
+            .join_tree()
+            .ok_or_else(|| DataError::Invalid("cyclic join key graph".into()))?
+            .rerooted(root_hint);
+        let n = schemas.len();
+        let mut parent = vec![None; n];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut key_cols: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in 0..n {
+            parent[i] = jt.parent[i];
+            if let Some(p) = jt.parent[i] {
+                children[p].push(i);
+                key_cols[i] = hg.edges()[i]
+                    .vars
+                    .iter()
+                    .filter(|v| hg.edges()[p].vars.contains(v))
+                    .map(|&v| schemas[i].require(&hg.vars()[v]))
+                    .collect::<Result<_, _>>()?;
+            }
+        }
+        let mut child_key_cols: Vec<Vec<Vec<usize>>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for &c in &children[i] {
+                let cols: Vec<usize> = key_cols[c]
+                    .iter()
+                    .map(|&cc| schemas[i].require(&schemas[c].attr(cc).name))
+                    .collect::<Result<_, _>>()?;
+                child_key_cols[i].push(cols);
+            }
+        }
+        Ok(Self { schemas, parent, children, key_cols, child_key_cols, root: jt.root.unwrap_or(0) })
+    }
+
+    /// Registers on `db` every index the propagation needs: for each
+    /// non-root node `m`, its parent's rows indexed by `m`'s key attrs.
+    pub fn register_indices(&self, db: &mut StreamDb) {
+        for m in 0..self.schemas.len() {
+            if let Some(p) = self.parent[m] {
+                let pos = self.children[p].iter().position(|&c| c == m).expect("child of parent");
+                db.register_index(p, self.child_key_cols[p][pos].clone());
+            }
+        }
+    }
+}
+
+/// A lift function: tuple → ring element (per relation).
+pub type Lift<E> = Arc<dyn Fn(&[Value]) -> E + Send + Sync>;
+
+/// A maintained view tree with payloads in ring `R`.
+pub struct ViewTree<R: Ring> {
+    ring: R,
+    shape: Arc<TreeShape>,
+    lifts: Vec<Lift<R::Elem>>,
+    views: Vec<HashMap<Box<[i64]>, R::Elem>>,
+    /// Count of ring operations performed (a cost proxy for experiments).
+    pub ring_ops: u64,
+}
+
+impl<R: Ring> ViewTree<R> {
+    /// An empty view tree.
+    pub fn new(shape: Arc<TreeShape>, ring: R, lifts: Vec<Lift<R::Elem>>) -> Self {
+        assert_eq!(lifts.len(), shape.schemas.len());
+        let views = shape.schemas.iter().map(|_| HashMap::new()).collect();
+        Self { ring, shape, lifts, views, ring_ops: 0 }
+    }
+
+    fn key_of(&self, node: usize, tuple: &[Value]) -> Box<[i64]> {
+        self.shape.key_cols[node].iter().map(|&c| tuple[c].as_int()).collect()
+    }
+
+    /// Applies an update. The update must already be present in `db`
+    /// (apply to [`StreamDb`] first, then to each maintainer).
+    pub fn apply(&mut self, db: &StreamDb, up: &Update) {
+        let m = up.rel;
+        let t = &up.tuple;
+        // δV_m = ±lift(t) × Π_c V_c(t[key_c])
+        let mut delta = (self.lifts[m])(t);
+        if up.mult < 0 {
+            delta = self.ring.neg(&delta);
+        }
+        let mut dead = false;
+        for (cpos, &c) in self.shape.children[m].iter().enumerate() {
+            let key: Box<[i64]> =
+                self.shape.child_key_cols[m][cpos].iter().map(|&cc| t[cc].as_int()).collect();
+            match self.views[c].get(&key) {
+                Some(v) => {
+                    delta = self.ring.mul(&delta, v);
+                    self.ring_ops += 1;
+                }
+                None => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        let mut deltas: HashMap<Box<[i64]>, R::Elem> = HashMap::new();
+        if !dead {
+            deltas.insert(self.key_of(m, t), delta);
+        }
+        self.absorb(m, &deltas);
+        // Propagate to the root.
+        let mut cur = m;
+        while let Some(p) = self.shape.parent[cur] {
+            if deltas.is_empty() {
+                return;
+            }
+            let cur_pos =
+                self.shape.children[p].iter().position(|&c| c == cur).expect("tree child");
+            let probe_cols = &self.shape.child_key_cols[p][cur_pos];
+            let mut next: HashMap<Box<[i64]>, R::Elem> = HashMap::new();
+            for (key, d) in &deltas {
+                for &row in db.lookup(p, probe_cols, key) {
+                    let (tp, mult) = &db.rows(p)[row];
+                    let mut elem = (self.lifts[p])(tp);
+                    if *mult < 0 {
+                        elem = self.ring.neg(&elem);
+                    }
+                    elem = self.ring.mul(&elem, d);
+                    self.ring_ops += 1;
+                    let mut dead = false;
+                    for (cpos, &c) in self.shape.children[p].iter().enumerate() {
+                        if cpos == cur_pos {
+                            continue;
+                        }
+                        let ck: Box<[i64]> = self.shape.child_key_cols[p][cpos]
+                            .iter()
+                            .map(|&cc| tp[cc].as_int())
+                            .collect();
+                        match self.views[c].get(&ck) {
+                            Some(v) => {
+                                elem = self.ring.mul(&elem, v);
+                                self.ring_ops += 1;
+                            }
+                            None => {
+                                dead = true;
+                                break;
+                            }
+                        }
+                    }
+                    if dead {
+                        continue;
+                    }
+                    let pkey = self.key_of(p, tp);
+                    match next.get_mut(&pkey) {
+                        Some(acc) => {
+                            self.ring.add_assign(acc, &elem);
+                            self.ring_ops += 1;
+                        }
+                        None => {
+                            next.insert(pkey, elem);
+                        }
+                    }
+                }
+            }
+            self.absorb(p, &next);
+            deltas = next;
+            cur = p;
+        }
+    }
+
+    fn absorb(&mut self, node: usize, deltas: &HashMap<Box<[i64]>, R::Elem>) {
+        for (k, d) in deltas {
+            match self.views[node].get_mut(k) {
+                Some(v) => {
+                    self.ring.add_assign(v, d);
+                    self.ring_ops += 1;
+                    if self.ring.is_zero(v) {
+                        self.views[node].remove(k);
+                    }
+                }
+                None => {
+                    if !self.ring.is_zero(d) {
+                        self.views[node].insert(k.clone(), d.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    /// The maintained aggregate: the root view's value (zero if empty).
+    pub fn result(&self) -> R::Elem {
+        let empty: Box<[i64]> = Vec::new().into();
+        self.views[self.shape.root].get(&empty).cloned().unwrap_or_else(|| self.ring.zero())
+    }
+}
+
+/// F-IVM: a single view tree over the covariance ring maintaining count,
+/// sums, and second moments of all continuous features at once.
+pub struct Fivm {
+    tree: ViewTree<CovRing>,
+}
+
+impl Fivm {
+    /// Builds an F-IVM maintainer for `continuous` attributes (each owned
+    /// by exactly one relation; the paper's feature sets satisfy this).
+    pub fn new(shape: Arc<TreeShape>, continuous: &[&str]) -> Result<Self, DataError> {
+        let ring = CovRing::new(continuous.len());
+        let mut lifts: Vec<Lift<CovTriple>> = Vec::with_capacity(shape.schemas.len());
+        for schema in &shape.schemas {
+            let mine: Vec<(usize, usize)> = continuous
+                .iter()
+                .enumerate()
+                .filter_map(|(gi, a)| schema.index_of(a).map(|ci| (gi, ci)))
+                .collect();
+            let ring = ring; // Copy
+            lifts.push(Arc::new(move |tuple: &[Value]| {
+                let idx: Vec<usize> = mine.iter().map(|&(gi, _)| gi).collect();
+                let vals: Vec<f64> = mine.iter().map(|&(_, ci)| tuple[ci].as_f64()).collect();
+                ring.lift_sparse(&idx, &vals)
+            }));
+        }
+        Ok(Self { tree: ViewTree::new(shape, ring, lifts) })
+    }
+
+    /// Applies an update (after it was applied to the [`StreamDb`]).
+    pub fn apply(&mut self, db: &StreamDb, up: &Update) {
+        self.tree.apply(db, up);
+    }
+
+    /// The maintained covariance triple.
+    pub fn result(&self) -> CovTriple {
+        self.tree.result()
+    }
+
+    /// Ring operations performed so far (cost proxy).
+    pub fn ring_ops(&self) -> u64 {
+        self.tree.ring_ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_data::AttrType;
+
+    /// R(a, x) ⋈ S(a, b, y) ⋈ T(b, z): path with payloads everywhere.
+    pub fn shape3() -> (Arc<TreeShape>, Vec<Schema>) {
+        let r = Schema::of(&[("a", AttrType::Int), ("x", AttrType::Double)]);
+        let s = Schema::of(&[("a", AttrType::Int), ("b", AttrType::Int), ("y", AttrType::Double)]);
+        let t = Schema::of(&[("b", AttrType::Int), ("z", AttrType::Double)]);
+        let schemas = vec![r, s, t];
+        let shape =
+            TreeShape::build(schemas.clone(), &["R", "S", "T"], 1).expect("acyclic path");
+        (Arc::new(shape), schemas)
+    }
+
+    #[test]
+    fn shape_roots_and_keys() {
+        let (shape, _) = shape3();
+        assert_eq!(shape.root, 1);
+        assert_eq!(shape.parent[0], Some(1));
+        assert_eq!(shape.parent[2], Some(1));
+        assert!(shape.key_cols[1].is_empty());
+        assert_eq!(shape.key_cols[0], vec![0]); // R keyed by a
+        assert_eq!(shape.key_cols[2], vec![0]); // T keyed by b
+    }
+
+    #[test]
+    fn fivm_matches_bruteforce_on_random_stream() {
+        use rand::{Rng, SeedableRng};
+        let (shape, schemas) = shape3();
+        let mut db = StreamDb::new(schemas);
+        shape.register_indices(&mut db);
+        let mut fivm = Fivm::new(Arc::clone(&shape), &["x", "y", "z"]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut history: Vec<Update> = Vec::new();
+        for step in 0..300 {
+            let up = if step % 7 == 6 && !history.is_empty() {
+                // Delete a random previously inserted tuple.
+                let pick = loop {
+                    let i = rng.gen_range(0..history.len());
+                    if history[i].mult == 1 {
+                        history[i].mult = 0; // mark consumed
+                        break Update { rel: history[i].rel, tuple: history[i].tuple.clone(), mult: -1 };
+                    }
+                };
+                pick
+            } else {
+                let rel = rng.gen_range(0..3usize);
+                let tuple: Vec<Value> = match rel {
+                    0 => vec![Value::Int(rng.gen_range(0..4)), Value::F64(rng.gen_range(0..5) as f64)],
+                    1 => vec![
+                        Value::Int(rng.gen_range(0..4)),
+                        Value::Int(rng.gen_range(0..4)),
+                        Value::F64(rng.gen_range(0..5) as f64),
+                    ],
+                    _ => vec![Value::Int(rng.gen_range(0..4)), Value::F64(rng.gen_range(0..5) as f64)],
+                };
+                let up = Update::insert(rel, tuple);
+                history.push(up.clone());
+                up
+            };
+            db.apply(&up).unwrap();
+            fivm.apply(&db, &up);
+        }
+        // Brute force over materialized relations.
+        let (r, s, t) = (db.materialize(0), db.materialize(1), db.materialize(2));
+        let mut count = 0.0;
+        let mut sums = [0.0f64; 3];
+        let mut q = [[0.0f64; 3]; 3];
+        for i in 0..r.len() {
+            for j in 0..s.len() {
+                for k in 0..t.len() {
+                    if r.int_col(0)[i] == s.int_col(0)[j] && s.int_col(1)[j] == t.int_col(0)[k] {
+                        let x = [r.f64_col(1)[i], s.f64_col(2)[j], t.f64_col(1)[k]];
+                        count += 1.0;
+                        for a in 0..3 {
+                            sums[a] += x[a];
+                            for b in 0..3 {
+                                q[a][b] += x[a] * x[b];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let res = fivm.result();
+        assert!((res.c - count).abs() < 1e-6, "count {} vs {}", res.c, count);
+        for a in 0..3 {
+            assert!((res.s[a] - sums[a]).abs() < 1e-6);
+            for b in 0..3 {
+                assert!((res.q_at(a, b) - q[a][b]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_stream_result_is_zero() {
+        let (shape, _) = shape3();
+        let fivm = Fivm::new(shape, &["x", "y", "z"]).unwrap();
+        let r = fivm.result();
+        assert_eq!(r.c, 0.0);
+    }
+}

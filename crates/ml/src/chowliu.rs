@@ -1,0 +1,123 @@
+//! Mutual information and Chow-Liu trees (the "Mutual inf." workload of
+//! Figure 5): pairwise MI between categorical attributes computed from the
+//! mutual-information aggregate batch, and the maximum spanning tree over
+//! MI as the best tree-structured graphical model.
+
+use fdb_core::SufficientStats;
+
+/// The pairwise mutual information `I(X_k; X_l)` (in nats) from the
+/// sparse joint and marginal counts of `stats`.
+pub fn mutual_information(stats: &SufficientStats, k: usize, l: usize) -> f64 {
+    let n = stats.count;
+    if n <= 0.0 {
+        return 0.0;
+    }
+    let (a, b, swap) = if k < l { (k, l, false) } else { (l, k, true) };
+    let Some(joint) = stats.cat_pair_counts.get(&(a, b)) else {
+        return 0.0;
+    };
+    let mut mi = 0.0;
+    for (&(ca, cb), &njoint) in joint {
+        let (ck, cl) = if swap { (cb, ca) } else { (ca, cb) };
+        let pk = stats.cat_counts[k].get(&ck).copied().unwrap_or(0.0) / n;
+        let pl = stats.cat_counts[l].get(&cl).copied().unwrap_or(0.0) / n;
+        let pkl = njoint / n;
+        if pkl > 0.0 && pk > 0.0 && pl > 0.0 {
+            mi += pkl * (pkl / (pk * pl)).ln();
+        }
+    }
+    mi.max(0.0)
+}
+
+/// A Chow-Liu tree: edges `(k, l, MI)` of the maximum spanning tree over
+/// the categorical attributes' pairwise mutual information (Kruskal).
+pub fn chow_liu_tree(stats: &SufficientStats) -> Vec<(usize, usize, f64)> {
+    let m = stats.cat.len();
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    for k in 0..m {
+        for l in k + 1..m {
+            edges.push((k, l, mutual_information(stats, k, l)));
+        }
+    }
+    edges.sort_by(|a, b| b.2.total_cmp(&a.2));
+    // Union-find.
+    let mut parent: Vec<usize> = (0..m).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let r = find(parent, parent[x]);
+            parent[x] = r;
+        }
+        parent[x]
+    }
+    let mut tree = Vec::with_capacity(m.saturating_sub(1));
+    for (k, l, w) in edges {
+        let (rk, rl) = (find(&mut parent, k), find(&mut parent, l));
+        if rk != rl {
+            parent[rk] = rl;
+            tree.push((k, l, w));
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Stats over three binary attributes where X0 = X1 (perfectly
+    /// dependent) and X2 is independent noise. 100 tuples, half per value.
+    fn stats() -> SufficientStats {
+        let mut cat_counts = vec![HashMap::new(), HashMap::new(), HashMap::new()];
+        for m in cat_counts.iter_mut() {
+            m.insert(0i64, 50.0);
+            m.insert(1i64, 50.0);
+        }
+        let mut pair01 = HashMap::new();
+        pair01.insert((0i64, 0i64), 50.0);
+        pair01.insert((1i64, 1i64), 50.0);
+        let mut pair_ind = HashMap::new();
+        for a in 0..2i64 {
+            for b in 0..2i64 {
+                pair_ind.insert((a, b), 25.0);
+            }
+        }
+        let mut cat_pair_counts = HashMap::new();
+        cat_pair_counts.insert((0, 1), pair01);
+        cat_pair_counts.insert((0, 2), pair_ind.clone());
+        cat_pair_counts.insert((1, 2), pair_ind);
+        SufficientStats {
+            cont: vec!["y".into()],
+            cat: vec!["x0".into(), "x1".into(), "x2".into()],
+            count: 100.0,
+            sum: vec![0.0],
+            q: vec![0.0],
+            cat_counts,
+            cat_cont_sums: vec![vec![HashMap::new()], vec![HashMap::new()], vec![HashMap::new()]],
+            cat_pair_counts,
+        }
+    }
+
+    #[test]
+    fn mi_of_identical_attrs_is_ln2() {
+        let s = stats();
+        let mi = mutual_information(&s, 0, 1);
+        assert!((mi - (2.0f64).ln()).abs() < 1e-9, "MI = {mi}");
+        // Symmetric.
+        assert!((mutual_information(&s, 1, 0) - mi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_of_independent_attrs_is_zero() {
+        let s = stats();
+        assert!(mutual_information(&s, 0, 2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chow_liu_picks_the_dependent_edge_first() {
+        let s = stats();
+        let tree = chow_liu_tree(&s);
+        assert_eq!(tree.len(), 2); // spanning tree over 3 nodes
+        assert_eq!((tree[0].0, tree[0].1), (0, 1));
+    }
+}

@@ -1,0 +1,159 @@
+//! Functional dependencies and model reparameterization (§3.2).
+//!
+//! If `city → country` holds, a linear model with one-hot parameters for
+//! both attributes is over-parameterized: the pair `(θ_city, θ_country)`
+//! can be replaced by one composite parameter
+//! `θ'_city = θ_city + θ_country(country(city))`, trained with fewer
+//! parameters, and mapped back — predictions are identical on every tuple
+//! satisfying the dependency.
+
+use fdb_data::{DataError, Relation};
+use std::collections::HashMap;
+
+/// Detects whether `det → dep` holds exactly in `rel` (both attributes
+/// must be int-backed). Returns the witness mapping if it holds.
+pub fn check_fd(rel: &Relation, det: &str, dep: &str) -> Result<Option<HashMap<i64, i64>>, DataError> {
+    let d = rel.schema().require(det)?;
+    let e = rel.schema().require(dep)?;
+    let mut map: HashMap<i64, i64> = HashMap::new();
+    for r in 0..rel.len() {
+        let k = rel.value(r, d).as_int();
+        let v = rel.value(r, e).as_int();
+        match map.get(&k) {
+            Some(&prev) if prev != v => return Ok(None),
+            Some(_) => {}
+            None => {
+                map.insert(k, v);
+            }
+        }
+    }
+    Ok(Some(map))
+}
+
+/// Scans all ordered pairs of the given int-backed attributes for exact
+/// functional dependencies. Returns `(det, dep)` names.
+pub fn detect_fds(rel: &Relation, attrs: &[&str]) -> Result<Vec<(String, String)>, DataError> {
+    let mut out = Vec::new();
+    for &a in attrs {
+        for &b in attrs {
+            if a != b && check_fd(rel, a, b)?.is_some() {
+                out.push((a.to_string(), b.to_string()));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Folds the `dep` one-hot block of a linear model into the `det` block
+/// using the FD mapping: `θ'_det[a] = θ_det[a] + θ_dep[f(a)]`. Given the
+/// model's labels (in `attr=code` form), returns the reparameterized
+/// `(labels, weights)` with the `dep` block removed.
+pub fn fold_parameters(
+    labels: &[String],
+    weights: &[f64],
+    det: &str,
+    dep: &str,
+    mapping: &HashMap<i64, i64>,
+) -> (Vec<String>, Vec<f64>) {
+    let dep_prefix = format!("{dep}=");
+    let det_prefix = format!("{det}=");
+    // Collect dep weights by code.
+    let mut dep_w: HashMap<i64, f64> = HashMap::new();
+    for (l, w) in labels.iter().zip(weights) {
+        if let Some(code) = l.strip_prefix(&dep_prefix) {
+            if let Ok(c) = code.parse::<i64>() {
+                dep_w.insert(c, *w);
+            }
+        }
+    }
+    let mut out_labels = Vec::new();
+    let mut out_weights = Vec::new();
+    for (l, w) in labels.iter().zip(weights) {
+        if l.starts_with(&dep_prefix) {
+            continue; // folded away
+        }
+        let mut w = *w;
+        if let Some(code) = l.strip_prefix(&det_prefix) {
+            if let Ok(a) = code.parse::<i64>() {
+                if let Some(&b) = mapping.get(&a) {
+                    w += dep_w.get(&b).copied().unwrap_or(0.0);
+                }
+            }
+        }
+        out_labels.push(l.clone());
+        out_weights.push(w);
+    }
+    (out_labels, out_weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::DataMatrix;
+    use fdb_data::{AttrType, Schema, Value};
+
+    /// city (0..4) determines country (city / 2); y depends on both.
+    fn rel() -> Relation {
+        let mut rel = Relation::new(Schema::of(&[
+            ("city", AttrType::Categorical),
+            ("country", AttrType::Categorical),
+            ("u", AttrType::Double),
+            ("y", AttrType::Double),
+        ]));
+        for i in 0..40 {
+            let city = (i % 4) as i64;
+            let country = city / 2;
+            let u = (i % 7) as f64;
+            let y = 2.0 * u + 3.0 * city as f64 + 10.0 * country as f64;
+            rel.push_row(&[
+                Value::Int(city),
+                Value::Int(country),
+                Value::F64(u),
+                Value::F64(y),
+            ])
+            .unwrap();
+        }
+        rel
+    }
+
+    #[test]
+    fn fd_detection() {
+        let r = rel();
+        let fds = detect_fds(&r, &["city", "country"]).unwrap();
+        assert!(fds.contains(&("city".to_string(), "country".to_string())));
+        // country does NOT determine city.
+        assert!(!fds.contains(&("country".to_string(), "city".to_string())));
+    }
+
+    #[test]
+    fn fd_violated_returns_none() {
+        let mut r = rel();
+        r.push_row(&[Value::Int(0), Value::Int(1), Value::F64(0.0), Value::F64(0.0)]).unwrap();
+        assert!(check_fd(&r, "city", "country").unwrap().is_none());
+    }
+
+    #[test]
+    fn folded_model_predicts_identically() {
+        let r = rel();
+        let m = DataMatrix::from_relation(&r, &["u"], &["city", "country"], "y").unwrap();
+        // A hand-set model with weights on both blocks.
+        let weights: Vec<f64> = (0..m.dim).map(|i| (i as f64 + 1.0) * 0.5).collect();
+        let mapping = check_fd(&r, "city", "country").unwrap().unwrap();
+        let (labels2, weights2) = fold_parameters(&m.labels, &weights, "city", "country", &mapping);
+        assert!(labels2.len() < m.labels.len(), "parameters must shrink");
+        // Predictions agree on every (FD-satisfying) row.
+        for row in 0..m.rows() {
+            let x = m.row(row);
+            let full: f64 = x.iter().zip(&weights).map(|(a, b)| a * b).sum();
+            let folded: f64 = labels2
+                .iter()
+                .zip(&weights2)
+                .map(|(l, w)| {
+                    let pos = m.labels.iter().position(|ml| ml == l).expect("kept label");
+                    x[pos] * w
+                })
+                .sum();
+            assert!((full - folded).abs() < 1e-9, "row {row}: {full} vs {folded}");
+        }
+    }
+}

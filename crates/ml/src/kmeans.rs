@@ -1,0 +1,241 @@
+//! k-means: Lloyd's algorithm over (weighted) points and the Rk-means-style
+//! grid coreset (§3.3, Curtin et al., AISTATS 2020).
+//!
+//! Rk-means clusters a *coreset* instead of the full feature extraction
+//! result: each dimension is quantized into `g` bins, points collapse into
+//! weighted grid cells, and weighted k-means over the (few) cells gives a
+//! constant-factor approximation of the k-means objective over the full
+//! data — at a cost that depends on the number of distinct cells, not the
+//! join size.
+
+use crate::matrix::DataMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A clustering result.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster centers.
+    pub centers: Vec<Vec<f64>>,
+    /// Weighted sum of squared distances to the nearest center.
+    pub cost: f64,
+    /// Lloyd iterations run.
+    pub iterations: usize,
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+}
+
+fn nearest(centers: &[Vec<f64>], p: &[f64]) -> (usize, f64) {
+    let mut best = (0, f64::INFINITY);
+    for (i, c) in centers.iter().enumerate() {
+        let d = dist2(c, p);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+/// The weighted k-means cost of `centers` on `(points, weights)`.
+pub fn cost(points: &[Vec<f64>], weights: &[f64], centers: &[Vec<f64>]) -> f64 {
+    points.iter().zip(weights).map(|(p, w)| w * nearest(centers, p).1).sum()
+}
+
+/// Weighted Lloyd's algorithm with k-means++ seeding.
+pub fn lloyd(
+    points: &[Vec<f64>],
+    weights: &[f64],
+    k: usize,
+    max_iters: usize,
+    seed: u64,
+) -> KMeansResult {
+    assert_eq!(points.len(), weights.len());
+    if points.is_empty() || k == 0 {
+        return KMeansResult { centers: vec![], cost: 0.0, iterations: 0 };
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = k.min(points.len());
+    // k-means++ seeding.
+    let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centers.push(points[rng.gen_range(0..points.len())].clone());
+    while centers.len() < k {
+        let d2: Vec<f64> =
+            points.iter().zip(weights).map(|(p, w)| w * nearest(&centers, p).1).collect();
+        let total: f64 = d2.iter().sum();
+        if total <= 0.0 {
+            centers.push(points[rng.gen_range(0..points.len())].clone());
+            continue;
+        }
+        let mut target = rng.gen_range(0.0..total);
+        let mut pick = 0;
+        for (i, d) in d2.iter().enumerate() {
+            target -= d;
+            if target <= 0.0 {
+                pick = i;
+                break;
+            }
+        }
+        centers.push(points[pick].clone());
+    }
+    let dim = points[0].len();
+    let mut iterations = 0;
+    for it in 0..max_iters {
+        iterations = it + 1;
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0.0; k];
+        for (p, w) in points.iter().zip(weights) {
+            let (c, _) = nearest(&centers, p);
+            counts[c] += w;
+            for (s, x) in sums[c].iter_mut().zip(p) {
+                *s += w * x;
+            }
+        }
+        let mut moved = 0.0f64;
+        for c in 0..k {
+            if counts[c] > 0.0 {
+                let newc: Vec<f64> = sums[c].iter().map(|s| s / counts[c]).collect();
+                moved += dist2(&centers[c], &newc);
+                centers[c] = newc;
+            }
+        }
+        if moved < 1e-12 {
+            break;
+        }
+    }
+    let total_cost = cost(points, weights, &centers);
+    KMeansResult { centers, cost: total_cost, iterations }
+}
+
+/// Quantizes each dimension into `bins` equi-quantile bins and collapses
+/// the rows into weighted grid-cell representatives — the Rk-means coreset.
+/// Returns `(cell centers, cell weights)`.
+pub fn grid_coreset(m: &DataMatrix, bins: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let n = m.rows();
+    let d = m.dim;
+    if n == 0 || bins == 0 {
+        return (vec![], vec![]);
+    }
+    // Per-dimension quantile boundaries.
+    let mut bounds: Vec<Vec<f64>> = Vec::with_capacity(d);
+    for j in 0..d {
+        let mut col: Vec<f64> = (0..n).map(|r| m.row(r)[j]).collect();
+        col.sort_by(f64::total_cmp);
+        let mut bs = Vec::with_capacity(bins.saturating_sub(1));
+        for b in 1..bins {
+            bs.push(col[(b * n / bins).min(n - 1)]);
+        }
+        bounds.push(bs);
+    }
+    // Assign rows to cells; cell representative = mean of members.
+    let mut cells: HashMap<Vec<u32>, (Vec<f64>, f64)> = HashMap::new();
+    for r in 0..n {
+        let row = m.row(r);
+        let key: Vec<u32> = (0..d)
+            .map(|j| bounds[j].partition_point(|&b| b <= row[j]) as u32)
+            .collect();
+        let entry = cells.entry(key).or_insert_with(|| (vec![0.0; d], 0.0));
+        for (s, x) in entry.0.iter_mut().zip(row) {
+            *s += x;
+        }
+        entry.1 += 1.0;
+    }
+    let mut centers = Vec::with_capacity(cells.len());
+    let mut weights = Vec::with_capacity(cells.len());
+    for (_, (sum, w)) in cells {
+        centers.push(sum.iter().map(|s| s / w).collect());
+        weights.push(w);
+    }
+    (centers, weights)
+}
+
+/// Rk-means: weighted k-means over the grid coreset.
+pub fn rk_means(m: &DataMatrix, k: usize, bins: usize, max_iters: usize, seed: u64) -> KMeansResult {
+    let (cells, weights) = grid_coreset(m, bins);
+    let mut res = lloyd(&cells, &weights, k, max_iters, seed);
+    // Report the cost on the FULL data (that is the objective the
+    // approximation guarantee speaks about).
+    let points: Vec<Vec<f64>> = (0..m.rows()).map(|r| m.row(r).to_vec()).collect();
+    let ones = vec![1.0; points.len()];
+    res.cost = cost(&points, &ones, &res.centers);
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_data::{AttrType, Relation, Schema, Value};
+
+    /// Three well-separated blobs in 2-d.
+    fn blobs() -> DataMatrix {
+        let mut rel = Relation::new(Schema::of(&[
+            ("x", AttrType::Double),
+            ("y", AttrType::Double),
+            ("resp", AttrType::Double),
+        ]));
+        let mut push = |cx: f64, cy: f64, n: usize, phase: usize| {
+            for i in 0..n {
+                let dx = ((i * 37 + phase) % 11) as f64 / 11.0 - 0.5;
+                let dy = ((i * 53 + phase) % 13) as f64 / 13.0 - 0.5;
+                rel.push_row(&[Value::F64(cx + dx), Value::F64(cy + dy), Value::F64(0.0)])
+                    .unwrap();
+            }
+        };
+        push(0.0, 0.0, 60, 0);
+        push(10.0, 0.0, 60, 1);
+        push(0.0, 10.0, 60, 2);
+        DataMatrix::from_relation(&rel, &["x", "y"], &[], "resp").unwrap()
+    }
+
+    #[test]
+    fn lloyd_finds_blobs() {
+        let m = blobs();
+        let points: Vec<Vec<f64>> = (0..m.rows()).map(|r| m.row(r).to_vec()).collect();
+        let w = vec![1.0; points.len()];
+        let res = lloyd(&points, &w, 3, 100, 7);
+        assert_eq!(res.centers.len(), 3);
+        // Every blob center must be near one cluster center.
+        for blob in [[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]] {
+            let (_, d) = nearest(&res.centers, &blob);
+            assert!(d < 1.0, "blob {blob:?} at distance {d}");
+        }
+    }
+
+    #[test]
+    fn rk_means_is_constant_factor_of_full_kmeans() {
+        let m = blobs();
+        let points: Vec<Vec<f64>> = (0..m.rows()).map(|r| m.row(r).to_vec()).collect();
+        let w = vec![1.0; points.len()];
+        let full = lloyd(&points, &w, 3, 100, 7);
+        let rk = rk_means(&m, 3, 6, 100, 7);
+        assert!(
+            rk.cost <= 3.0 * full.cost.max(1e-9),
+            "rk cost {} vs full {}",
+            rk.cost,
+            full.cost
+        );
+    }
+
+    #[test]
+    fn coreset_is_smaller_than_data() {
+        let m = blobs();
+        let (cells, weights) = grid_coreset(&m, 4);
+        assert!(cells.len() < m.rows());
+        assert!((weights.iter().sum::<f64>() - m.rows() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let res = lloyd(&[], &[], 3, 10, 0);
+        assert!(res.centers.is_empty());
+        let m = blobs();
+        let (c, _) = grid_coreset(&m, 0);
+        assert!(c.is_empty());
+        // k larger than the point count clamps.
+        let points = vec![vec![1.0], vec![2.0]];
+        let res = lloyd(&points, &[1.0, 1.0], 5, 10, 0);
+        assert!(res.centers.len() <= 2);
+    }
+}

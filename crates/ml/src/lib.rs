@@ -1,0 +1,43 @@
+//! # fdb-ml
+//!
+//! Machine learning over relational data (paper §1.3, §2): every model
+//! consumes *sufficient statistics* computed in-database by `fdb-core`
+//! (LMFAO) instead of a materialized data matrix — plus the
+//! structure-agnostic baselines the paper compares against.
+//!
+//! * [`linreg`] — ridge linear regression over the covariance matrix:
+//!   batch gradient descent (50 ms retrains, Figure 3) and the closed-form
+//!   Cholesky solution; model selection over feature subsets reuses one
+//!   covariance matrix (§1.5).
+//! * [`sgd`] — the structure-agnostic baseline: one-epoch mini-batch SGD
+//!   over the materialized, shuffled data matrix (the TensorFlow stand-in).
+//! * [`tree`] — CART decision trees (regression + classification) trained
+//!   fully in-database: each node's costs come from one LMFAO batch with
+//!   conjunctive path filters (§2.2).
+//! * [`kmeans`] — Lloyd's algorithm and the Rk-means-style grid coreset
+//!   (§3.3) with constant-factor approximation tests.
+//! * [`svm`] — linear SVM by hinge-loss subgradient descent; the additive
+//!   inequality fast path lives in `fdb-ineq` (§2.3).
+//! * [`pca`] — principal components by power iteration over the covariance
+//!   matrix (§2.1).
+//! * [`fm`] — degree-2 factorization machines (SGD).
+//! * [`chowliu`] — mutual information and Chow-Liu trees from the
+//!   mutual-information batch (Figure 5 workload).
+//! * [`fd`] — functional-dependency detection and model reparameterization
+//!   (§3.2): train fewer parameters, recover the original model.
+
+pub mod chowliu;
+pub mod fd;
+pub mod fm;
+pub mod kmeans;
+pub mod linalg;
+pub mod linreg;
+pub mod matrix;
+pub mod pca;
+pub mod sgd;
+pub mod svm;
+pub mod tree;
+
+pub use linreg::LinearRegression;
+pub use matrix::DataMatrix;
+pub use tree::DecisionTree;

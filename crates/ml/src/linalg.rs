@@ -1,0 +1,146 @@
+//! Small dense linear algebra: just enough for normal equations, PCA, and
+//! friends. Matrices are row-major `Vec<f64>`.
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y = A x` for row-major `A` (`n×n`).
+pub fn matvec(a: &[f64], x: &[f64], n: usize) -> Vec<f64> {
+    (0..n).map(|i| dot(&a[i * n..(i + 1) * n], x)).collect()
+}
+
+/// Euclidean norm.
+pub fn norm(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` (row-major `n×n`)
+/// by Cholesky decomposition. Returns `None` if `A` is not SPD (e.g. a
+/// singular covariance matrix — callers add ridge regularization).
+pub fn cholesky_solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    // L lower-triangular with A = L Lᵀ.
+    let mut l = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a[i * n + j];
+            for k in 0..j {
+                s -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if s <= 0.0 || !s.is_finite() {
+                    return None;
+                }
+                l[i * n + i] = s.sqrt();
+            } else {
+                l[i * n + j] = s / l[j * n + j];
+            }
+        }
+    }
+    // Forward substitution: L z = b.
+    let mut z = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[i * n + k] * z[k];
+        }
+        z[i] = s / l[i * n + i];
+    }
+    // Back substitution: Lᵀ x = z.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = z[i];
+        for k in i + 1..n {
+            s -= l[k * n + i] * x[k];
+        }
+        x[i] = s / l[i * n + i];
+    }
+    Some(x)
+}
+
+/// The dominant eigenpair of symmetric `A` by power iteration.
+pub fn power_iteration(a: &[f64], n: usize, iters: usize, seed: u64) -> (f64, Vec<f64>) {
+    // Deterministic pseudo-random start vector.
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| {
+            let h = seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add((i as u64).wrapping_mul(0xBF58476D1CE4E5B9));
+            ((h >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+        .collect();
+    if norm(&v) == 0.0 {
+        v[0] = 1.0;
+    }
+    let mut lambda = 0.0;
+    for _ in 0..iters {
+        let w = matvec(a, &v, n);
+        let nw = norm(&w);
+        if nw == 0.0 {
+            return (0.0, v);
+        }
+        v = w.iter().map(|x| x / nw).collect();
+        lambda = dot(&v, &matvec(a, &v, n));
+    }
+    (lambda, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cholesky_solves_known_system() {
+        // A = [[4, 2], [2, 3]], b = [8, 7] -> x = [1.25, 1.5]
+        let a = [4.0, 2.0, 2.0, 3.0];
+        let b = [8.0, 7.0];
+        let x = cholesky_solve(&a, &b, 2).unwrap();
+        assert!((x[0] - 1.25).abs() < 1e-12);
+        assert!((x[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_singular() {
+        let a = [1.0, 1.0, 1.0, 1.0]; // rank 1
+        assert!(cholesky_solve(&a, &[1.0, 1.0], 2).is_none());
+    }
+
+    #[test]
+    fn power_iteration_finds_dominant_eigenpair() {
+        // diag(5, 1): eigenvalue 5, eigenvector e1.
+        let a = [5.0, 0.0, 0.0, 1.0];
+        let (lambda, v) = power_iteration(&a, 2, 200, 3);
+        assert!((lambda - 5.0).abs() < 1e-9);
+        assert!(v[0].abs() > 0.999);
+    }
+
+    proptest! {
+        #[test]
+        fn cholesky_inverts_spd_matrices(
+            vals in proptest::collection::vec(-3.0f64..3.0, 9),
+            b in proptest::collection::vec(-5.0f64..5.0, 3),
+        ) {
+            // Build SPD A = M Mᵀ + I.
+            let n = 3;
+            let mut a = vec![0.0; n * n];
+            for i in 0..n {
+                for j in 0..n {
+                    let mut s = 0.0;
+                    for k in 0..n {
+                        s += vals[i * n + k] * vals[j * n + k];
+                    }
+                    a[i * n + j] = s + if i == j { 1.0 } else { 0.0 };
+                }
+            }
+            let x = cholesky_solve(&a, &b, n).expect("SPD");
+            let back = matvec(&a, &x, n);
+            for i in 0..n {
+                prop_assert!((back[i] - b[i]).abs() < 1e-6);
+            }
+        }
+    }
+}

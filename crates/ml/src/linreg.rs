@@ -1,0 +1,372 @@
+//! Ridge linear regression over sufficient statistics (§1.3, §2.1).
+//!
+//! The normal-equation matrix `XᵀX` and vector `Xᵀy` are assembled directly
+//! from [`SufficientStats`] — count, sums, second moments, and the sparse
+//! categorical maps — without ever materializing the data matrix. Training
+//! is then independent of the data size: batch gradient descent over a
+//! `d×d` matrix (the paper's 50 ms retrains) or a Cholesky solve.
+//!
+//! Model selection (§1.5): any model over a *subset* of the features reuses
+//! the same statistics — `fit` again with a different subset, no new scan.
+
+use crate::linalg::{cholesky_solve, dot, matvec, power_iteration};
+use fdb_core::SufficientStats;
+use fdb_data::DataError;
+
+/// Training configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RidgeConfig {
+    /// L2 regularization strength (on non-intercept weights).
+    pub l2: f64,
+    /// Maximum gradient-descent iterations.
+    pub max_iters: usize,
+    /// Stop when the gradient norm falls below this.
+    pub tol: f64,
+}
+
+impl Default for RidgeConfig {
+    fn default() -> Self {
+        Self { l2: 1e-3, max_iters: 2_000, tol: 1e-9 }
+    }
+}
+
+/// A trained linear model over continuous + one-hot categorical features.
+#[derive(Debug, Clone)]
+pub struct LinearRegression {
+    /// Weights aligned with [`LinearRegression::labels`].
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub intercept: f64,
+    /// Feature labels: continuous names, then `cat=code` indicators
+    /// (codes ascending) — the same layout as
+    /// [`crate::matrix::DataMatrix`].
+    pub labels: Vec<String>,
+    /// Gradient-descent iterations used (0 for the closed form).
+    pub iterations: usize,
+}
+
+/// The normal equations assembled from sufficient statistics:
+/// `A = XᵀX / N` and `b = Xᵀy / N` over `[features..., intercept]`.
+struct Normal {
+    a: Vec<f64>,
+    b: Vec<f64>,
+    d: usize,
+    labels: Vec<String>,
+}
+
+fn assemble(stats: &SufficientStats, cont_subset: &[usize]) -> Result<Normal, DataError> {
+    let n_cont = stats.n_cont();
+    if n_cont == 0 {
+        return Err(DataError::Invalid("no continuous attributes (need a response)".into()));
+    }
+    let resp = n_cont - 1;
+    if cont_subset.iter().any(|&i| i >= resp) {
+        return Err(DataError::Invalid("subset index out of range (response excluded)".into()));
+    }
+    let count = stats.count;
+    if count <= 0.0 {
+        return Err(DataError::Invalid("empty join: no training data".into()));
+    }
+    // Feature layout: subset of continuous, then one-hot per categorical.
+    let mut labels: Vec<String> =
+        cont_subset.iter().map(|&i| stats.cont[i].clone()).collect();
+    let mut cat_codes: Vec<Vec<i64>> = Vec::with_capacity(stats.cat.len());
+    for (k, name) in stats.cat.iter().enumerate() {
+        let mut codes: Vec<i64> = stats.cat_counts[k].keys().copied().collect();
+        codes.sort_unstable();
+        for c in &codes {
+            labels.push(format!("{name}={c}"));
+        }
+        cat_codes.push(codes);
+    }
+    let p = cont_subset.len();
+    let d = labels.len() + 1; // + intercept (last)
+    let mut a = vec![0.0; d * d];
+    let mut b = vec![0.0; d];
+    let put = |a: &mut Vec<f64>, i: usize, j: usize, v: f64| {
+        a[i * d + j] = v;
+        a[j * d + i] = v;
+    };
+    // Continuous block.
+    for (ii, &i) in cont_subset.iter().enumerate() {
+        for (jj, &j) in cont_subset.iter().enumerate().take(ii + 1) {
+            put(&mut a, ii, jj, stats.moment(i, j));
+        }
+        b[ii] = stats.moment(i, resp);
+        put(&mut a, ii, d - 1, stats.sum[i]);
+    }
+    // Categorical blocks.
+    let mut off = p;
+    let offsets: Vec<usize> = {
+        let mut v = Vec::with_capacity(cat_codes.len());
+        for codes in &cat_codes {
+            v.push(off);
+            off += codes.len();
+        }
+        v
+    };
+    for (k, codes) in cat_codes.iter().enumerate() {
+        for (ci, code) in codes.iter().enumerate() {
+            let row = offsets[k] + ci;
+            let cnt = stats.cat_counts[k][code];
+            put(&mut a, row, row, cnt);
+            put(&mut a, row, d - 1, cnt);
+            // cat × continuous
+            for (ii, &i) in cont_subset.iter().enumerate() {
+                put(&mut a, row, ii, stats.cat_cont_sums[k][i].get(code).copied().unwrap_or(0.0));
+            }
+            // cat × response
+            b[row] = stats.cat_cont_sums[k][resp].get(code).copied().unwrap_or(0.0);
+        }
+        // cat × cat (other attributes)
+        for l in k + 1..cat_codes.len() {
+            if let Some(pairs) = stats.cat_pair_counts.get(&(k, l)) {
+                for ((ck, cl), v) in pairs {
+                    let ri = offsets[k] + cat_codes[k].binary_search(ck).expect("known code");
+                    let rj = offsets[l] + cat_codes[l].binary_search(cl).expect("known code");
+                    put(&mut a, ri, rj, *v);
+                }
+            }
+        }
+    }
+    // Intercept.
+    put(&mut a, d - 1, d - 1, count);
+    b[d - 1] = stats.sum[resp];
+    // Normalize by N for conditioning.
+    for v in a.iter_mut() {
+        *v /= count;
+    }
+    for v in b.iter_mut() {
+        *v /= count;
+    }
+    Ok(Normal { a, b, d, labels })
+}
+
+/// Jacobi preconditioning: rescales `A` and `b` so `A` has a unit
+/// diagonal (features standardized to unit second moment). Returns the
+/// scale factors; solutions in the scaled space map back as `θ_i / d_i`.
+/// Both training paths use it, so the ridge penalty acts on standardized
+/// features — the statistically sane convention.
+fn precondition(nm: &mut Normal) -> Vec<f64> {
+    let d = nm.d;
+    let scales: Vec<f64> =
+        (0..d).map(|i| nm.a[i * d + i].sqrt().max(1e-12)).collect();
+    for i in 0..d {
+        for j in 0..d {
+            nm.a[i * d + j] /= scales[i] * scales[j];
+        }
+        nm.b[i] /= scales[i];
+    }
+    scales
+}
+
+impl LinearRegression {
+    /// Fits by batch gradient descent over the covariance matrix — the
+    /// paper's optimisation loop (Figure 3: "Grad Descent 0.05 secs").
+    /// Uses all continuous features plus all categorical features in
+    /// `stats`.
+    pub fn fit_gd(stats: &SufficientStats, cfg: &RidgeConfig) -> Result<Self, DataError> {
+        let subset: Vec<usize> = (0..stats.n_cont().saturating_sub(1)).collect();
+        Self::fit_gd_subset(stats, &subset, cfg)
+    }
+
+    /// Gradient descent over a *subset* of the continuous features —
+    /// model selection reusing the same statistics (§1.5).
+    pub fn fit_gd_subset(
+        stats: &SufficientStats,
+        cont_subset: &[usize],
+        cfg: &RidgeConfig,
+    ) -> Result<Self, DataError> {
+        let mut nm = assemble(stats, cont_subset)?;
+        let scales = precondition(&mut nm);
+        let d = nm.d;
+        // Step size from the dominant eigenvalue (Lipschitz constant).
+        let (lmax, _) = power_iteration(&nm.a, d, 50, 42);
+        let lr = 1.0 / (lmax + cfg.l2 + 1e-12);
+        let mut theta = vec![0.0; d];
+        let mut iterations = 0;
+        for it in 0..cfg.max_iters {
+            iterations = it + 1;
+            let mut grad = matvec(&nm.a, &theta, d);
+            for i in 0..d {
+                grad[i] -= nm.b[i];
+                if i != d - 1 {
+                    grad[i] += cfg.l2 * theta[i];
+                }
+            }
+            let gnorm = crate::linalg::norm(&grad);
+            for i in 0..d {
+                theta[i] -= lr * grad[i];
+            }
+            if gnorm < cfg.tol {
+                break;
+            }
+        }
+        for (t, s) in theta.iter_mut().zip(&scales) {
+            *t /= s;
+        }
+        let intercept = theta[d - 1];
+        theta.truncate(d - 1);
+        Ok(Self { weights: theta, intercept, labels: nm.labels, iterations })
+    }
+
+    /// The closed-form ridge solution `(XᵀX + λNI)⁻¹ Xᵀy` via Cholesky.
+    pub fn fit_closed(stats: &SufficientStats, cfg: &RidgeConfig) -> Result<Self, DataError> {
+        let subset: Vec<usize> = (0..stats.n_cont().saturating_sub(1)).collect();
+        let mut nm = assemble(stats, &subset)?;
+        let scales = precondition(&mut nm);
+        let d = nm.d;
+        for i in 0..d - 1 {
+            nm.a[i * d + i] += cfg.l2;
+        }
+        let mut theta = cholesky_solve(&nm.a, &nm.b, d)
+            .ok_or_else(|| DataError::Invalid("normal matrix not positive definite".into()))?;
+        for (t, s) in theta.iter_mut().zip(&scales) {
+            *t /= s;
+        }
+        let intercept = theta[d - 1];
+        theta.truncate(d - 1);
+        Ok(Self { weights: theta, intercept, labels: nm.labels, iterations: 0 })
+    }
+
+    /// Predicts for one feature row (layout per
+    /// [`LinearRegression::labels`]).
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.intercept + dot(&self.weights, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::DataMatrix;
+    use fdb_core::{sufficient_stats, EngineConfig};
+    use fdb_datasets::{retailer, RetailerConfig};
+    use fdb_query::natural_join_all;
+
+    fn stats_and_matrix() -> (SufficientStats, DataMatrix) {
+        let ds = retailer(RetailerConfig::tiny());
+        let rels: Vec<&str> = ds.relation_refs();
+        let cont = ["prize", "maxtemp", "population", "inventoryunits"];
+        let cat = ["rain", "categoryCluster"];
+        let stats =
+            sufficient_stats(&ds.db, &rels, &cont, &cat, &EngineConfig::default()).unwrap();
+        let flat = natural_join_all(&ds.db, &rels).unwrap();
+        let m = DataMatrix::from_relation(
+            &flat,
+            &["prize", "maxtemp", "population"],
+            &cat,
+            "inventoryunits",
+        )
+        .unwrap();
+        (stats, m)
+    }
+
+    #[test]
+    fn gd_and_closed_form_agree() {
+        let (stats, _) = stats_and_matrix();
+        let cfg = RidgeConfig { l2: 1e-2, max_iters: 100_000, tol: 1e-13 };
+        let gd = LinearRegression::fit_gd(&stats, &cfg).unwrap();
+        let cf = LinearRegression::fit_closed(&stats, &cfg).unwrap();
+        assert_eq!(gd.labels, cf.labels);
+        // GD converges to the closed-form optimum (up to the one-hot
+        // near-collinearity's slow tail).
+        for (a, b) in gd.weights.iter().zip(&cf.weights) {
+            assert!((a - b).abs() < 1e-6 + 1e-3 * b.abs(), "{a} vs {b}");
+        }
+        assert!((gd.intercept - cf.intercept).abs() < 1e-3 * (1.0 + cf.intercept.abs()));
+    }
+
+    #[test]
+    fn stats_model_matches_normal_equations_on_matrix() {
+        // The stats-trained model must equal ridge regression trained on
+        // the materialized one-hot matrix (same normal equations).
+        let (stats, m) = stats_and_matrix();
+        let cfg = RidgeConfig { l2: 1e-3, ..Default::default() };
+        let model = LinearRegression::fit_closed(&stats, &cfg).unwrap();
+        assert_eq!(model.labels, m.labels);
+        // Normal equations on the matrix.
+        let d = m.dim + 1;
+        let n = m.rows() as f64;
+        let mut a = vec![0.0; d * d];
+        let mut b = vec![0.0; d];
+        for r in 0..m.rows() {
+            let row = m.row(r);
+            for i in 0..m.dim {
+                for j in 0..m.dim {
+                    a[i * d + j] += row[i] * row[j];
+                }
+                a[i * d + (d - 1)] += row[i];
+                a[(d - 1) * d + i] += row[i];
+                b[i] += row[i] * m.y[r];
+            }
+            a[(d - 1) * d + (d - 1)] += 1.0;
+            b[d - 1] += m.y[r];
+        }
+        for v in a.iter_mut() {
+            *v /= n;
+        }
+        for v in b.iter_mut() {
+            *v /= n;
+        }
+        // Mirror the library's Jacobi preconditioning so the ridge penalty
+        // acts on standardized features in both computations.
+        let scales: Vec<f64> = (0..d).map(|i| a[i * d + i].sqrt().max(1e-12)).collect();
+        for i in 0..d {
+            for j in 0..d {
+                a[i * d + j] /= scales[i] * scales[j];
+            }
+            b[i] /= scales[i];
+        }
+        for i in 0..d - 1 {
+            a[i * d + i] += cfg.l2;
+        }
+        let mut theta = cholesky_solve(&a, &b, d).unwrap();
+        for (t, s) in theta.iter_mut().zip(&scales) {
+            *t /= s;
+        }
+        for i in 0..m.dim {
+            assert!(
+                (model.weights[i] - theta[i]).abs() < 1e-6,
+                "w[{i}]: {} vs {}",
+                model.weights[i],
+                theta[i]
+            );
+        }
+        assert!((model.intercept - theta[d - 1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn model_recovers_planted_signal_direction() {
+        let (stats, m) = stats_and_matrix();
+        let model =
+            LinearRegression::fit_closed(&stats, &RidgeConfig::default()).unwrap();
+        // prize has a planted negative effect on inventoryunits.
+        let prize_idx = model.labels.iter().position(|l| l == "prize").unwrap();
+        assert!(model.weights[prize_idx] < 0.0);
+        // And the fit beats the constant-mean predictor.
+        let mean = m.y.iter().sum::<f64>() / m.rows() as f64;
+        let base = (m.y.iter().map(|y| (y - mean).powi(2)).sum::<f64>() / m.rows() as f64).sqrt();
+        let rmse = m.rmse(&model.weights, model.intercept);
+        assert!(rmse < 0.8 * base, "rmse {rmse} vs baseline {base}");
+    }
+
+    #[test]
+    fn subset_models_reuse_stats() {
+        let (stats, _) = stats_and_matrix();
+        let cfg = RidgeConfig::default();
+        // Train 3 models over feature subsets from the SAME statistics.
+        let m0 = LinearRegression::fit_gd_subset(&stats, &[0], &cfg).unwrap();
+        let m1 = LinearRegression::fit_gd_subset(&stats, &[0, 1], &cfg).unwrap();
+        let m2 = LinearRegression::fit_gd_subset(&stats, &[0, 1, 2], &cfg).unwrap();
+        assert!(m0.weights.len() < m1.weights.len());
+        assert!(m1.weights.len() < m2.weights.len());
+    }
+
+    #[test]
+    fn empty_stats_rejected() {
+        let (mut stats, _) = stats_and_matrix();
+        stats.count = 0.0;
+        assert!(LinearRegression::fit_closed(&stats, &RidgeConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! The materialized data matrix: feature extraction from a flat relation.
+//!
+//! This is the structure-agnostic path (§1.2): features are pulled out of
+//! the materialized join, categorical attributes are **one-hot encoded** —
+//! the very blow-up the sparse-tensor encoding avoids — and models train by
+//! scanning rows. Used by the baselines and for model validation (RMSE on
+//! held-out rows).
+
+use fdb_data::{DataError, Relation};
+
+/// A dense row-major feature matrix plus response vector.
+#[derive(Debug, Clone)]
+pub struct DataMatrix {
+    /// Row-major features, `rows × dim` (intercept NOT included).
+    pub x: Vec<f64>,
+    /// Response per row.
+    pub y: Vec<f64>,
+    /// Feature dimension.
+    pub dim: usize,
+    /// Column labels (continuous names, then `cat=code` one-hot names).
+    pub labels: Vec<String>,
+}
+
+impl DataMatrix {
+    /// Extracts features from a flat relation: continuous attributes as-is,
+    /// categorical attributes one-hot encoded over the codes present.
+    pub fn from_relation(
+        rel: &Relation,
+        continuous: &[&str],
+        categorical: &[&str],
+        response: &str,
+    ) -> Result<Self, DataError> {
+        let ccols: Vec<usize> =
+            continuous.iter().map(|a| rel.schema().require(a)).collect::<Result<_, _>>()?;
+        let kcols: Vec<usize> =
+            categorical.iter().map(|a| rel.schema().require(a)).collect::<Result<_, _>>()?;
+        let ycol = rel.schema().require(response)?;
+        // Discover the category codes present per categorical attribute.
+        let mut codes: Vec<Vec<i64>> = Vec::with_capacity(kcols.len());
+        for &kc in &kcols {
+            let mut cs: Vec<i64> = rel.int_col(kc).to_vec();
+            cs.sort_unstable();
+            cs.dedup();
+            codes.push(cs);
+        }
+        let dim = ccols.len() + codes.iter().map(Vec::len).sum::<usize>();
+        let mut labels: Vec<String> = continuous.iter().map(|s| s.to_string()).collect();
+        for (k, cs) in codes.iter().enumerate() {
+            for c in cs {
+                labels.push(format!("{}={}", categorical[k], c));
+            }
+        }
+        let rows = rel.len();
+        let mut x = vec![0.0; rows * dim];
+        let mut y = vec![0.0; rows];
+        for r in 0..rows {
+            let base = r * dim;
+            for (i, &cc) in ccols.iter().enumerate() {
+                x[base + i] = rel.value_f64(r, cc);
+            }
+            let mut off = ccols.len();
+            for (k, &kc) in kcols.iter().enumerate() {
+                let code = rel.int_col(kc)[r];
+                let pos = codes[k].binary_search(&code).expect("code discovered above");
+                x[base + off + pos] = 1.0;
+                off += codes[k].len();
+            }
+            y[r] = rel.value_f64(r, ycol);
+        }
+        Ok(Self { x, y, dim, labels })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.y.len()
+    }
+
+    /// The feature slice of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.x[r * self.dim..(r + 1) * self.dim]
+    }
+
+    /// Splits rows into (train, test) with the last `test_fraction` of rows
+    /// held out (callers shuffle first if needed).
+    pub fn split(&self, test_fraction: f64) -> (DataMatrix, DataMatrix) {
+        let test_rows = ((self.rows() as f64) * test_fraction).round() as usize;
+        let train_rows = self.rows() - test_rows;
+        let cut = train_rows * self.dim;
+        (
+            DataMatrix {
+                x: self.x[..cut].to_vec(),
+                y: self.y[..train_rows].to_vec(),
+                dim: self.dim,
+                labels: self.labels.clone(),
+            },
+            DataMatrix {
+                x: self.x[cut..].to_vec(),
+                y: self.y[train_rows..].to_vec(),
+                dim: self.dim,
+                labels: self.labels.clone(),
+            },
+        )
+    }
+
+    /// Root mean squared error of a linear model `(weights, intercept)`.
+    pub fn rmse(&self, weights: &[f64], intercept: f64) -> f64 {
+        if self.rows() == 0 {
+            return 0.0;
+        }
+        let mut se = 0.0;
+        for r in 0..self.rows() {
+            let pred = intercept + crate::linalg::dot(self.row(r), weights);
+            se += (pred - self.y[r]).powi(2);
+        }
+        (se / self.rows() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_data::{AttrType, Schema, Value};
+
+    fn rel() -> Relation {
+        Relation::from_rows(
+            Schema::of(&[
+                ("u", AttrType::Double),
+                ("c", AttrType::Categorical),
+                ("y", AttrType::Double),
+            ]),
+            vec![
+                vec![Value::F64(1.0), Value::Int(3), Value::F64(10.0)],
+                vec![Value::F64(2.0), Value::Int(5), Value::F64(20.0)],
+                vec![Value::F64(3.0), Value::Int(3), Value::F64(30.0)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn one_hot_encoding_shapes() {
+        let m = DataMatrix::from_relation(&rel(), &["u"], &["c"], "y").unwrap();
+        assert_eq!(m.dim, 3); // u + one-hot over {3, 5}
+        assert_eq!(m.labels, vec!["u", "c=3", "c=5"]);
+        assert_eq!(m.row(0), &[1.0, 1.0, 0.0]);
+        assert_eq!(m.row(1), &[2.0, 0.0, 1.0]);
+        assert_eq!(m.row(2), &[3.0, 1.0, 0.0]);
+        assert_eq!(m.y, vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn split_and_rmse() {
+        let m = DataMatrix::from_relation(&rel(), &["u"], &[], "y").unwrap();
+        let (train, test) = m.split(1.0 / 3.0);
+        assert_eq!(train.rows(), 2);
+        assert_eq!(test.rows(), 1);
+        // Perfect model y = 10u: rmse 0.
+        assert!(m.rmse(&[10.0], 0.0) < 1e-12);
+        assert!(m.rmse(&[0.0], 0.0) > 1.0);
+    }
+
+    #[test]
+    fn unknown_attribute_errors() {
+        assert!(DataMatrix::from_relation(&rel(), &["nope"], &[], "y").is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Principal component analysis over sufficient statistics (§2.1).
+//!
+//! The covariance matrix `Σ = Q/N − μμᵀ` comes straight from the
+//! in-database statistics; the top-k eigenpairs are extracted by power
+//! iteration with deflation — no data matrix required.
+
+use crate::linalg::{dot, power_iteration};
+use fdb_core::SufficientStats;
+
+/// A PCA result: `components[i]` is the i-th principal direction with
+/// explained variance `eigenvalues[i]`.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Principal directions (unit vectors), strongest first.
+    pub components: Vec<Vec<f64>>,
+    /// Corresponding eigenvalues (variances).
+    pub eigenvalues: Vec<f64>,
+    /// Feature means.
+    pub mean: Vec<f64>,
+}
+
+/// Runs PCA on the continuous features of `stats` (response included if
+/// desired by the caller's choice of feature list when computing stats).
+pub fn pca(stats: &SufficientStats, k: usize, iters: usize) -> Pca {
+    let n = stats.n_cont();
+    let count = stats.count.max(1.0);
+    let mean: Vec<f64> = stats.sum.iter().map(|s| s / count).collect();
+    // Dense covariance matrix.
+    let mut cov = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            cov[i * n + j] = stats.moment(i, j) / count - mean[i] * mean[j];
+        }
+    }
+    let mut components = Vec::with_capacity(k);
+    let mut eigenvalues = Vec::with_capacity(k);
+    for c in 0..k.min(n) {
+        let (lambda, v) = power_iteration(&cov, n, iters, 1000 + c as u64);
+        if lambda.abs() < 1e-12 {
+            break;
+        }
+        // Deflate: cov -= λ v vᵀ.
+        for i in 0..n {
+            for j in 0..n {
+                cov[i * n + j] -= lambda * v[i] * v[j];
+            }
+        }
+        components.push(v);
+        eigenvalues.push(lambda);
+    }
+    Pca { components, eigenvalues, mean }
+}
+
+impl Pca {
+    /// Projects a (raw) feature vector onto the top components.
+    pub fn project(&self, x: &[f64]) -> Vec<f64> {
+        let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(a, m)| a - m).collect();
+        self.components.iter().map(|c| dot(c, &centered)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Builds stats for a planted 2-d dataset stretched along (1, 1).
+    fn planted_stats() -> SufficientStats {
+        let mut count = 0.0;
+        let mut sum = vec![0.0; 2];
+        let mut q = vec![0.0; 3];
+        for i in 0..500 {
+            let t = (i as f64 / 500.0 - 0.5) * 10.0; // main direction
+            let o = ((i * 7) % 11) as f64 / 11.0 - 0.5; // small orthogonal noise
+            let x = [t + o, t - o];
+            count += 1.0;
+            for a in 0..2 {
+                sum[a] += x[a];
+                for b in 0..=a {
+                    q[a * (a + 1) / 2 + b] += x[a] * x[b];
+                }
+            }
+        }
+        SufficientStats {
+            cont: vec!["x0".into(), "x1".into()],
+            cat: vec![],
+            count,
+            sum,
+            q,
+            cat_counts: vec![],
+            cat_cont_sums: vec![],
+            cat_pair_counts: HashMap::new(),
+        }
+    }
+
+    #[test]
+    fn finds_planted_direction() {
+        let stats = planted_stats();
+        let p = pca(&stats, 2, 300);
+        assert_eq!(p.components.len(), 2);
+        // First component ∝ (1, 1)/√2.
+        let c = &p.components[0];
+        let alignment = (c[0] * c[1]).signum();
+        assert!(alignment > 0.0, "components {:?}", c);
+        assert!((c[0].abs() - (0.5f64).sqrt()).abs() < 0.05);
+        assert!(p.eigenvalues[0] > 5.0 * p.eigenvalues[1]);
+        // Eigenvalues are ordered.
+        assert!(p.eigenvalues[0] >= p.eigenvalues[1]);
+    }
+
+    #[test]
+    fn projection_is_centered() {
+        let stats = planted_stats();
+        let p = pca(&stats, 1, 200);
+        let proj = p.project(&p.mean.clone());
+        assert!(proj[0].abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_larger_than_dim_clamps() {
+        let stats = planted_stats();
+        let p = pca(&stats, 10, 100);
+        assert!(p.components.len() <= 2);
+    }
+}

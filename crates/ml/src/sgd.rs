@@ -1,0 +1,178 @@
+//! The structure-agnostic learner: mini-batch SGD over the materialized
+//! data matrix — the TensorFlow stand-in of Figure 3. One epoch over a
+//! shuffled matrix, z-score standardization inside (weights are mapped back
+//! to raw feature space), L2 regularization.
+
+use crate::matrix::DataMatrix;
+use crate::LinearRegression;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// SGD hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SgdConfig {
+    /// Learning rate (on standardized features).
+    pub lr: f64,
+    /// Mini-batch size (the paper's TensorFlow run used 100k-tuple batches).
+    pub batch: usize,
+    /// Epochs (the paper's baseline ran one).
+    pub epochs: usize,
+    /// L2 regularization.
+    pub l2: f64,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        Self { lr: 0.1, batch: 1024, epochs: 1, l2: 1e-3, seed: 0x5EED }
+    }
+}
+
+/// Returns a row-shuffled copy of the matrix (the "Shuffling" row of
+/// Figure 3).
+pub fn shuffled(m: &DataMatrix, seed: u64) -> DataMatrix {
+    let mut order: Vec<usize> = (0..m.rows()).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut x = Vec::with_capacity(m.x.len());
+    let mut y = Vec::with_capacity(m.rows());
+    for &r in &order {
+        x.extend_from_slice(m.row(r));
+        y.push(m.y[r]);
+    }
+    DataMatrix { x, y, dim: m.dim, labels: m.labels.clone() }
+}
+
+/// Trains a linear model by mini-batch SGD over the matrix rows.
+pub fn train_linear_sgd(m: &DataMatrix, cfg: &SgdConfig) -> LinearRegression {
+    let d = m.dim;
+    let n = m.rows();
+    if n == 0 {
+        return LinearRegression {
+            weights: vec![0.0; d],
+            intercept: 0.0,
+            labels: m.labels.clone(),
+            iterations: 0,
+        };
+    }
+    // Standardize features (one-hot columns keep near-unit scales).
+    let nf = n as f64;
+    let mut mean = vec![0.0; d];
+    let mut var = vec![0.0; d];
+    for r in 0..n {
+        for (i, v) in m.row(r).iter().enumerate() {
+            mean[i] += v;
+        }
+    }
+    for v in mean.iter_mut() {
+        *v /= nf;
+    }
+    for r in 0..n {
+        for (i, v) in m.row(r).iter().enumerate() {
+            var[i] += (v - mean[i]).powi(2);
+        }
+    }
+    let std: Vec<f64> = var.iter().map(|v| (v / nf).sqrt().max(1e-12)).collect();
+    let y_mean = m.y.iter().sum::<f64>() / nf;
+
+    let mut w = vec![0.0; d];
+    let mut b = 0.0;
+    let mut grad = vec![0.0; d];
+    let mut steps = 0usize;
+    for _ in 0..cfg.epochs {
+        let mut start = 0;
+        while start < n {
+            let end = (start + cfg.batch).min(n);
+            let bs = (end - start) as f64;
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            let mut gb = 0.0;
+            for r in start..end {
+                let row = m.row(r);
+                let mut pred = b;
+                for i in 0..d {
+                    pred += w[i] * (row[i] - mean[i]) / std[i];
+                }
+                let err = pred - (m.y[r] - y_mean);
+                for i in 0..d {
+                    grad[i] += err * (row[i] - mean[i]) / std[i];
+                }
+                gb += err;
+            }
+            for i in 0..d {
+                w[i] -= cfg.lr * (grad[i] / bs + cfg.l2 * w[i]);
+            }
+            b -= cfg.lr * gb / bs;
+            steps += 1;
+            start = end;
+        }
+    }
+    // Map standardized weights back to raw feature space:
+    // y = y_mean + b + Σ w_i (x_i - μ_i)/σ_i.
+    let weights: Vec<f64> = (0..d).map(|i| w[i] / std[i]).collect();
+    let intercept =
+        y_mean + b - (0..d).map(|i| w[i] * mean[i] / std[i]).sum::<f64>();
+    LinearRegression { weights, intercept, labels: m.labels.clone(), iterations: steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_data::{AttrType, Relation, Schema, Value};
+
+    fn synthetic(n: usize) -> DataMatrix {
+        // y = 3x - 2z + 1 with two scales.
+        let mut rel = Relation::new(Schema::of(&[
+            ("x", AttrType::Double),
+            ("z", AttrType::Double),
+            ("y", AttrType::Double),
+        ]));
+        for i in 0..n {
+            let x = (i % 17) as f64;
+            let z = ((i * 7) % 23) as f64 * 100.0;
+            rel.push_row(&[
+                Value::F64(x),
+                Value::F64(z),
+                Value::F64(3.0 * x - 0.02 * z + 1.0),
+            ])
+            .unwrap();
+        }
+        DataMatrix::from_relation(&rel, &["x", "z"], &[], "y").unwrap()
+    }
+
+    #[test]
+    fn sgd_recovers_linear_function() {
+        let m = synthetic(2000);
+        let cfg = SgdConfig { epochs: 60, lr: 0.1, batch: 128, l2: 0.0, ..Default::default() };
+        let model = train_linear_sgd(&shuffled(&m, 1), &cfg);
+        assert!(m.rmse(&model.weights, model.intercept) < 0.05, "weights {:?}", model.weights);
+        assert!((model.weights[0] - 3.0).abs() < 0.05);
+        assert!((model.weights[1] + 0.02).abs() < 0.01);
+    }
+
+    #[test]
+    fn one_epoch_is_less_accurate_than_converged(){
+        let m = synthetic(2000);
+        let one = train_linear_sgd(&m, &SgdConfig { epochs: 1, ..Default::default() });
+        let many = train_linear_sgd(&m, &SgdConfig { epochs: 80, ..Default::default() });
+        assert!(m.rmse(&many.weights, many.intercept) <= m.rmse(&one.weights, one.intercept) + 1e-9);
+    }
+
+    #[test]
+    fn shuffle_permutes_rows() {
+        let m = synthetic(50);
+        let s = shuffled(&m, 9);
+        assert_eq!(s.rows(), m.rows());
+        let sum_a: f64 = m.y.iter().sum();
+        let sum_b: f64 = s.y.iter().sum();
+        assert!((sum_a - sum_b).abs() < 1e-9);
+        assert_ne!(m.y, s.y);
+    }
+
+    #[test]
+    fn empty_matrix_trains_trivially() {
+        let m = DataMatrix { x: vec![], y: vec![], dim: 2, labels: vec!["a".into(), "b".into()] };
+        let model = train_linear_sgd(&m, &SgdConfig::default());
+        assert_eq!(model.weights, vec![0.0, 0.0]);
+    }
+}

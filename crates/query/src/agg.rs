@@ -1,0 +1,153 @@
+//! Group-by aggregate evaluation: one scan per query.
+//!
+//! `eval_agg_batch` evaluates a *batch* of aggregates the way a classical
+//! engine does — sequentially, each with its own scan of the (materialized)
+//! data matrix and its own hash table. The contrast with LMFAO's shared,
+//! factorized evaluation of the same batch is what Figure 4 (left)
+//! measures.
+
+use crate::expr::{Predicate, ScalarExpr};
+use fdb_data::{DataError, Relation, Value};
+use std::collections::HashMap;
+
+/// One aggregate query: `SELECT group_by, SUM(expr) FROM rel WHERE filter
+/// GROUP BY group_by`. `COUNT(*)` is `SUM(1)`.
+#[derive(Debug, Clone)]
+pub struct AggQuery {
+    /// Group-by attribute names (empty = scalar aggregate).
+    pub group_by: Vec<String>,
+    /// Summand expression.
+    pub expr: ScalarExpr,
+    /// Optional tuple filter.
+    pub filter: Option<Predicate>,
+}
+
+impl AggQuery {
+    /// A scalar `SUM(expr)`.
+    pub fn sum(expr: ScalarExpr) -> Self {
+        Self { group_by: vec![], expr, filter: None }
+    }
+
+    /// A grouped `SUM(expr) GROUP BY attrs`.
+    pub fn sum_by(expr: ScalarExpr, group_by: &[&str]) -> Self {
+        Self { group_by: group_by.iter().map(|s| s.to_string()).collect(), expr, filter: None }
+    }
+
+    /// Adds a filter.
+    pub fn with_filter(mut self, p: Predicate) -> Self {
+        self.filter = Some(p);
+        self
+    }
+}
+
+/// Result of one aggregate query: group key → sum. Scalar aggregates use
+/// the empty key.
+pub type AggResult = HashMap<Box<[Value]>, f64>;
+
+/// Evaluates one aggregate with a full scan of `rel`.
+pub fn eval_agg(rel: &Relation, q: &AggQuery) -> Result<AggResult, DataError> {
+    let expr = q.expr.bind(rel.schema())?;
+    let filter = q.filter.as_ref().map(|p| p.bind(rel.schema())).transpose()?;
+    let gcols: Vec<usize> =
+        q.group_by.iter().map(|a| rel.schema().require(a)).collect::<Result<_, _>>()?;
+    let mut out: AggResult = HashMap::new();
+    let mut key: Vec<Value> = Vec::with_capacity(gcols.len());
+    for r in 0..rel.len() {
+        if let Some(f) = &filter {
+            if !f.eval(rel, r) {
+                continue;
+            }
+        }
+        key.clear();
+        key.extend(gcols.iter().map(|&c| rel.value(r, c)));
+        *out.entry(key.as_slice().into()).or_insert(0.0) += expr.eval(rel, r);
+    }
+    Ok(out)
+}
+
+/// Evaluates a batch the classical way: one scan *per query*. No sharing.
+pub fn eval_agg_batch(rel: &Relation, batch: &[AggQuery]) -> Result<Vec<AggResult>, DataError> {
+    batch.iter().map(|q| eval_agg(rel, q)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_data::{AttrType, Schema};
+
+    fn rel() -> Relation {
+        Relation::from_rows(
+            Schema::of(&[
+                ("g", AttrType::Int),
+                ("x", AttrType::Double),
+                ("y", AttrType::Double),
+            ]),
+            vec![
+                vec![Value::Int(1), Value::F64(1.0), Value::F64(10.0)],
+                vec![Value::Int(1), Value::F64(2.0), Value::F64(20.0)],
+                vec![Value::Int(2), Value::F64(3.0), Value::F64(30.0)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn scalar(res: &AggResult) -> f64 {
+        let key: Box<[Value]> = Vec::new().into();
+        res.get(&key).copied().unwrap_or(0.0)
+    }
+
+    #[test]
+    fn count_and_sums() {
+        let r = rel();
+        let count = eval_agg(&r, &AggQuery::sum(ScalarExpr::One)).unwrap();
+        assert_eq!(scalar(&count), 3.0);
+        let sum_xy = eval_agg(&r, &AggQuery::sum(ScalarExpr::col_product("x", "y"))).unwrap();
+        assert_eq!(scalar(&sum_xy), 1.0 * 10.0 + 2.0 * 20.0 + 3.0 * 30.0);
+    }
+
+    #[test]
+    fn grouped_sum() {
+        let r = rel();
+        let res = eval_agg(&r, &AggQuery::sum_by(ScalarExpr::Col("x".into()), &["g"])).unwrap();
+        let k1: Box<[Value]> = vec![Value::Int(1)].into();
+        let k2: Box<[Value]> = vec![Value::Int(2)].into();
+        assert_eq!(res.get(&k1), Some(&3.0));
+        assert_eq!(res.get(&k2), Some(&3.0));
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn filtered_aggregate() {
+        let r = rel();
+        let q = AggQuery::sum(ScalarExpr::Col("y".into()))
+            .with_filter(Predicate::Ge("x".into(), 2.0));
+        assert_eq!(scalar(&eval_agg(&r, &q).unwrap()), 50.0);
+    }
+
+    #[test]
+    fn batch_matches_individual() {
+        let r = rel();
+        let batch = vec![
+            AggQuery::sum(ScalarExpr::One),
+            AggQuery::sum_by(ScalarExpr::Col("y".into()), &["g"]),
+        ];
+        let res = eval_agg_batch(&r, &batch).unwrap();
+        assert_eq!(res.len(), 2);
+        assert_eq!(scalar(&res[0]), 3.0);
+        assert_eq!(res[1].len(), 2);
+    }
+
+    #[test]
+    fn unknown_attribute_errors() {
+        let r = rel();
+        assert!(eval_agg(&r, &AggQuery::sum(ScalarExpr::Col("nope".into()))).is_err());
+        assert!(eval_agg(&r, &AggQuery::sum_by(ScalarExpr::One, &["nope"])).is_err());
+    }
+
+    #[test]
+    fn empty_relation_scalar_sum_absent() {
+        let empty = Relation::new(rel().schema().clone());
+        let res = eval_agg(&empty, &AggQuery::sum(ScalarExpr::One)).unwrap();
+        assert!(res.is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! Scalar expressions and predicates over relation rows.
+
+use fdb_data::{DataError, Relation, Schema, Value};
+
+/// A scalar expression evaluated per tuple, yielding `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// The constant 1.0 (the COUNT lift).
+    One,
+    /// A constant.
+    Const(f64),
+    /// An attribute's value as `f64` (integer codes convert).
+    Col(String),
+    /// Product of sub-expressions.
+    Mul(Vec<ScalarExpr>),
+}
+
+impl ScalarExpr {
+    /// The product `x * y` of two attributes — the covariance-matrix entry.
+    pub fn col_product(x: &str, y: &str) -> ScalarExpr {
+        ScalarExpr::Mul(vec![ScalarExpr::Col(x.into()), ScalarExpr::Col(y.into())])
+    }
+
+    /// Binds attribute names to column indices for fast evaluation.
+    pub fn bind(&self, schema: &Schema) -> Result<BoundExpr, DataError> {
+        Ok(match self {
+            ScalarExpr::One => BoundExpr::Const(1.0),
+            ScalarExpr::Const(c) => BoundExpr::Const(*c),
+            ScalarExpr::Col(name) => BoundExpr::Col(schema.require(name)?),
+            ScalarExpr::Mul(parts) => BoundExpr::Mul(
+                parts.iter().map(|p| p.bind(schema)).collect::<Result<_, _>>()?,
+            ),
+        })
+    }
+
+    /// Attribute names referenced by this expression.
+    pub fn columns(&self) -> Vec<String> {
+        match self {
+            ScalarExpr::One | ScalarExpr::Const(_) => vec![],
+            ScalarExpr::Col(c) => vec![c.clone()],
+            ScalarExpr::Mul(ps) => ps.iter().flat_map(|p| p.columns()).collect(),
+        }
+    }
+}
+
+/// A [`ScalarExpr`] with resolved column indices.
+#[derive(Debug, Clone)]
+pub enum BoundExpr {
+    /// A constant.
+    Const(f64),
+    /// Column index.
+    Col(usize),
+    /// Product.
+    Mul(Vec<BoundExpr>),
+}
+
+impl BoundExpr {
+    /// Evaluates on row `row` of `rel`.
+    #[inline]
+    pub fn eval(&self, rel: &Relation, row: usize) -> f64 {
+        match self {
+            BoundExpr::Const(c) => *c,
+            BoundExpr::Col(i) => rel.value_f64(row, *i),
+            BoundExpr::Mul(ps) => ps.iter().map(|p| p.eval(rel, row)).product(),
+        }
+    }
+}
+
+/// A per-tuple filter predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `attr >= threshold` (numeric comparison).
+    Ge(String, f64),
+    /// `attr < threshold`.
+    Lt(String, f64),
+    /// `attr = value` (exact, typed).
+    Eq(String, Value),
+    /// `attr != value` (exact, typed).
+    Ne(String, Value),
+    /// `attr IN (values)` for categorical codes.
+    In(String, Vec<i64>),
+    /// Conjunction.
+    And(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// Binds attribute names to column indices.
+    pub fn bind(&self, schema: &Schema) -> Result<BoundPredicate, DataError> {
+        Ok(match self {
+            Predicate::Ge(a, t) => BoundPredicate::Ge(schema.require(a)?, *t),
+            Predicate::Lt(a, t) => BoundPredicate::Lt(schema.require(a)?, *t),
+            Predicate::Eq(a, v) => BoundPredicate::Eq(schema.require(a)?, *v),
+            Predicate::Ne(a, v) => BoundPredicate::Ne(schema.require(a)?, *v),
+            Predicate::In(a, vs) => {
+                let mut sorted = vs.clone();
+                sorted.sort_unstable();
+                BoundPredicate::In(schema.require(a)?, sorted)
+            }
+            Predicate::And(ps) => BoundPredicate::And(
+                ps.iter().map(|p| p.bind(schema)).collect::<Result<_, _>>()?,
+            ),
+        })
+    }
+}
+
+/// A [`Predicate`] with resolved column indices.
+#[derive(Debug, Clone)]
+pub enum BoundPredicate {
+    /// `col >= t`.
+    Ge(usize, f64),
+    /// `col < t`.
+    Lt(usize, f64),
+    /// `col = v`.
+    Eq(usize, Value),
+    /// `col != v`.
+    Ne(usize, Value),
+    /// `col IN (sorted values)`.
+    In(usize, Vec<i64>),
+    /// Conjunction.
+    And(Vec<BoundPredicate>),
+}
+
+impl BoundPredicate {
+    /// Evaluates on row `row` of `rel`.
+    #[inline]
+    pub fn eval(&self, rel: &Relation, row: usize) -> bool {
+        match self {
+            BoundPredicate::Ge(i, t) => rel.value_f64(row, *i) >= *t,
+            BoundPredicate::Lt(i, t) => rel.value_f64(row, *i) < *t,
+            BoundPredicate::Eq(i, v) => rel.value(row, *i) == *v,
+            BoundPredicate::Ne(i, v) => rel.value(row, *i) != *v,
+            BoundPredicate::In(i, vs) => {
+                let x = rel.value(row, *i).as_int();
+                vs.binary_search(&x).is_ok()
+            }
+            BoundPredicate::And(ps) => ps.iter().all(|p| p.eval(rel, row)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_data::AttrType;
+
+    fn rel() -> Relation {
+        Relation::from_rows(
+            Schema::of(&[("k", AttrType::Int), ("x", AttrType::Double)]),
+            vec![
+                vec![Value::Int(1), Value::F64(2.0)],
+                vec![Value::Int(2), Value::F64(3.0)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn scalar_expr_eval() {
+        let r = rel();
+        let e = ScalarExpr::Mul(vec![
+            ScalarExpr::Col("k".into()),
+            ScalarExpr::Col("x".into()),
+            ScalarExpr::Const(2.0),
+        ])
+        .bind(r.schema())
+        .unwrap();
+        assert_eq!(e.eval(&r, 0), 4.0);
+        assert_eq!(e.eval(&r, 1), 12.0);
+        assert_eq!(ScalarExpr::One.bind(r.schema()).unwrap().eval(&r, 0), 1.0);
+        assert!(ScalarExpr::Col("zzz".into()).bind(r.schema()).is_err());
+    }
+
+    #[test]
+    fn col_product_columns() {
+        let e = ScalarExpr::col_product("a", "b");
+        assert_eq!(e.columns(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn predicates() {
+        let r = rel();
+        let p = Predicate::And(vec![
+            Predicate::Ge("x".into(), 2.5),
+            Predicate::In("k".into(), vec![2, 7]),
+        ])
+        .bind(r.schema())
+        .unwrap();
+        assert!(!p.eval(&r, 0));
+        assert!(p.eval(&r, 1));
+        let q = Predicate::Eq("k".into(), Value::Int(1)).bind(r.schema()).unwrap();
+        assert!(q.eval(&r, 0));
+        let lt = Predicate::Lt("x".into(), 2.5).bind(r.schema()).unwrap();
+        assert!(lt.eval(&r, 0));
+        assert!(!lt.eval(&r, 1));
+    }
+}

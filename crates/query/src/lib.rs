@@ -1,0 +1,18 @@
+//! # fdb-query
+//!
+//! A deliberately *classical* relational engine: binary hash joins over
+//! materialized intermediates and one scan per aggregate query. This is the
+//! structure-agnostic baseline of the paper (§1.2) — the PostgreSQL /
+//! "commercial DBX" stand-in in the Figure 3 and Figure 4 reproductions.
+//!
+//! It is competent (hash joins, greedy connected join ordering, columnar
+//! storage) but intentionally lacks what LMFAO adds: cross-aggregate
+//! sharing, aggregate pushdown past joins, and factorized evaluation.
+
+pub mod agg;
+pub mod exec;
+pub mod expr;
+
+pub use agg::{eval_agg, eval_agg_batch, AggQuery, AggResult};
+pub use exec::{hash_join, natural_join_all};
+pub use expr::{Predicate, ScalarExpr};

@@ -1,0 +1,188 @@
+//! Keyed ring values: the payload of group-by aggregates and views.
+//!
+//! A [`Grouped`] maps group-by keys to ring elements. It is the "generalised
+//! multiset relation" of the incremental-maintenance literature (§3.1): a
+//! relation mapping tuples to payloads, where summing payloads merges
+//! duplicates and zero payloads disappear — which is exactly how deletes
+//! (negative multiplicities) erase tuples from views.
+
+use crate::Semiring;
+use fdb_data::Value;
+use std::collections::HashMap;
+
+/// A map from group-by keys to ring elements.
+pub struct Grouped<S: Semiring> {
+    entries: HashMap<Box<[Value]>, S::Elem>,
+}
+
+// Manual impls: the derives would demand `S: Clone + Debug`, but only the
+// element type needs those bounds.
+impl<S: Semiring> Clone for Grouped<S> {
+    fn clone(&self) -> Self {
+        Self { entries: self.entries.clone() }
+    }
+}
+
+impl<S: Semiring> std::fmt::Debug for Grouped<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.entries.iter()).finish()
+    }
+}
+
+impl<S: Semiring> Default for Grouped<S> {
+    fn default() -> Self {
+        Self { entries: HashMap::new() }
+    }
+}
+
+impl<S: Semiring> Grouped<S> {
+    /// An empty grouped value.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `elem` to the entry at `key`, inserting if absent. Entries that
+    /// become zero are removed so multiset semantics stay exact.
+    pub fn add(&mut self, ring: &S, key: Box<[Value]>, elem: S::Elem) {
+        use std::collections::hash_map::Entry;
+        match self.entries.entry(key) {
+            Entry::Vacant(v) => {
+                if !ring.is_zero(&elem) {
+                    v.insert(elem);
+                }
+            }
+            Entry::Occupied(mut o) => {
+                ring.add_assign(o.get_mut(), &elem);
+                if ring.is_zero(o.get()) {
+                    o.remove();
+                }
+            }
+        }
+    }
+
+    /// Merges all entries of `other` into `self`.
+    pub fn merge(&mut self, ring: &S, other: &Grouped<S>) {
+        for (k, v) in &other.entries {
+            self.add(ring, k.clone(), v.clone());
+        }
+    }
+
+    /// Multiplies every payload by `factor` (right multiplication).
+    pub fn scale(&mut self, ring: &S, factor: &S::Elem) {
+        self.entries.retain(|_, v| {
+            *v = ring.mul(v, factor);
+            !ring.is_zero(v)
+        });
+    }
+
+    /// Looks up the payload for `key`.
+    pub fn get(&self, key: &[Value]) -> Option<&S::Elem> {
+        self.entries.get(key)
+    }
+
+    /// Number of non-zero groups.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if there are no groups.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(key, payload)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[Value], &S::Elem)> {
+        self.entries.iter().map(|(k, v)| (k.as_ref(), v))
+    }
+
+    /// Consumes the map into `(key, payload)` pairs.
+    pub fn into_iter_pairs(self) -> impl Iterator<Item = (Box<[Value]>, S::Elem)> {
+        self.entries.into_iter()
+    }
+
+    /// The total of all payloads (drops the keys).
+    pub fn total(&self, ring: &S) -> S::Elem {
+        let mut acc = ring.zero();
+        for v in self.entries.values() {
+            ring.add_assign(&mut acc, v);
+        }
+        acc
+    }
+
+    /// Entries sorted by key — for deterministic test output.
+    pub fn sorted_pairs(&self) -> Vec<(Box<[Value]>, S::Elem)> {
+        let mut v: Vec<_> = self.entries.iter().map(|(k, e)| (k.clone(), e.clone())).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+}
+
+/// Builds a single-key grouped value.
+pub fn singleton<S: Semiring>(ring: &S, key: Box<[Value]>, elem: S::Elem) -> Grouped<S> {
+    let mut g = Grouped::new();
+    g.add(ring, key, elem);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::I64Ring;
+
+    fn key(vs: &[i64]) -> Box<[Value]> {
+        vs.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn add_merges_and_prunes_zeros() {
+        let r = I64Ring;
+        let mut g = Grouped::new();
+        g.add(&r, key(&[1]), 2);
+        g.add(&r, key(&[1]), 3);
+        g.add(&r, key(&[2]), 7);
+        assert_eq!(g.get(&key(&[1])), Some(&5));
+        assert_eq!(g.len(), 2);
+        // A delete with multiplicity -5 removes the group entirely.
+        g.add(&r, key(&[1]), -5);
+        assert_eq!(g.get(&key(&[1])), None);
+        assert_eq!(g.len(), 1);
+        // Inserting an explicit zero is a no-op.
+        g.add(&r, key(&[3]), 0);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn merge_and_total() {
+        let r = I64Ring;
+        let mut a = singleton(&r, key(&[1]), 4);
+        let b = singleton(&r, key(&[1, 9]), 6);
+        a.merge(&r, &b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.total(&r), 10);
+    }
+
+    #[test]
+    fn scale_multiplies_payloads() {
+        let r = I64Ring;
+        let mut g = Grouped::new();
+        g.add(&r, key(&[1]), 2);
+        g.add(&r, key(&[2]), 3);
+        g.scale(&r, &10);
+        assert_eq!(g.get(&key(&[1])), Some(&20));
+        assert_eq!(g.get(&key(&[2])), Some(&30));
+        // Scaling by zero empties the map.
+        g.scale(&r, &0);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn sorted_pairs_deterministic() {
+        let r = I64Ring;
+        let mut g = Grouped::new();
+        g.add(&r, key(&[2]), 1);
+        g.add(&r, key(&[1]), 1);
+        let pairs = g.sorted_pairs();
+        assert_eq!(pairs[0].0, key(&[1]));
+        assert_eq!(pairs[1].0, key(&[2]));
+    }
+}

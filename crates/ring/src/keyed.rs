@@ -1,0 +1,201 @@
+//! The keyed (group-by) ring.
+//!
+//! `SELECT X, agg FROM Q GROUP BY X` (paper §2.1) is sum-product evaluation
+//! in a ring whose elements are maps from partial group-by keys to payloads:
+//!
+//! * a key is a fixed-width slot vector, one slot per group-by variable,
+//!   where a slot is either *bound* to a value or still *free*;
+//! * addition merges maps, summing payloads of equal keys;
+//! * multiplication is the cross join: payloads multiply and keys merge
+//!   slot-wise (a slot bound on both sides must agree — in a factorized
+//!   evaluation each group-by variable is bound on exactly one branch).
+//!
+//! This is the sparse-tensor encoding of categorical interactions: only key
+//! combinations that occur in the data are represented (§2.1).
+
+use crate::grouped::Grouped;
+use crate::{Ring, Semiring};
+use fdb_data::Value;
+
+/// Sentinel marking a free (not yet bound) group-by slot.
+///
+/// `i64::MIN` is not a legal dictionary code or key value in this workspace
+/// (codes are dense non-negatives; generated keys are small), which the
+/// data generators and engines uphold.
+pub const FREE_SLOT: Value = Value::Int(i64::MIN);
+
+/// The keyed ring over payload ring `R` with `slots` group-by variables.
+#[derive(Debug, Clone, Copy)]
+pub struct KeyedRing<R> {
+    inner: R,
+    slots: usize,
+}
+
+impl<R: Semiring> KeyedRing<R> {
+    /// A keyed ring with the given payload ring and slot count.
+    pub fn new(inner: R, slots: usize) -> Self {
+        Self { inner, slots }
+    }
+
+    /// The payload ring.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+
+    /// Number of group-by slots.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// An all-free key.
+    pub fn free_key(&self) -> Box<[Value]> {
+        vec![FREE_SLOT; self.slots].into()
+    }
+
+    /// Lifts a payload with slot `slot` bound to `v` (group-by tagging).
+    pub fn tag(&self, slot: usize, v: Value, payload: R::Elem) -> Grouped<R> {
+        let mut key = self.free_key();
+        key[slot] = v;
+        crate::grouped::singleton(&self.inner, key, payload)
+    }
+
+    /// Lifts a plain payload with no slots bound.
+    pub fn scalar(&self, payload: R::Elem) -> Grouped<R> {
+        crate::grouped::singleton(&self.inner, self.free_key(), payload)
+    }
+
+    /// Merges two keys slot-wise; `None` if both bind a slot to different
+    /// values (cannot happen in well-formed factorized plans, but the ring
+    /// stays total by treating the clash as an annihilating product).
+    fn merge_keys(&self, a: &[Value], b: &[Value]) -> Option<Box<[Value]>> {
+        let mut out = Vec::with_capacity(self.slots);
+        for (x, y) in a.iter().zip(b) {
+            let v = if *x == FREE_SLOT {
+                *y
+            } else if *y == FREE_SLOT || x == y {
+                *x
+            } else {
+                return None;
+            };
+            out.push(v);
+        }
+        Some(out.into())
+    }
+}
+
+impl<R: Semiring> Semiring for KeyedRing<R> {
+    type Elem = Grouped<R>;
+
+    fn zero(&self) -> Grouped<R> {
+        Grouped::new()
+    }
+
+    fn one(&self) -> Grouped<R> {
+        self.scalar(self.inner.one())
+    }
+
+    fn add(&self, a: &Grouped<R>, b: &Grouped<R>) -> Grouped<R> {
+        let mut out = a.clone();
+        out.merge(&self.inner, b);
+        out
+    }
+
+    fn add_assign(&self, a: &mut Grouped<R>, b: &Grouped<R>) {
+        a.merge(&self.inner, b);
+    }
+
+    fn mul(&self, a: &Grouped<R>, b: &Grouped<R>) -> Grouped<R> {
+        let mut out = Grouped::new();
+        for (ka, va) in a.iter() {
+            for (kb, vb) in b.iter() {
+                if let Some(key) = self.merge_keys(ka, kb) {
+                    out.add(&self.inner, key, self.inner.mul(va, vb));
+                }
+            }
+        }
+        out
+    }
+
+    fn is_zero(&self, a: &Grouped<R>) -> bool {
+        a.is_empty()
+    }
+}
+
+impl<R: Ring> Ring for KeyedRing<R> {
+    fn neg(&self, a: &Grouped<R>) -> Grouped<R> {
+        let mut out = Grouped::new();
+        for (k, v) in a.iter() {
+            out.add(&self.inner, k.into(), self.inner.neg(v));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::I64Ring;
+
+    fn ring() -> KeyedRing<I64Ring> {
+        KeyedRing::new(I64Ring, 2)
+    }
+
+    #[test]
+    fn tag_and_cross_product() {
+        let r = ring();
+        // Branch A binds slot 0 = 7 with payload 2; branch B binds slot 1.
+        let a = r.tag(0, Value::Int(7), 2);
+        let b = r.tag(1, Value::Int(9), 5);
+        let ab = r.mul(&a, &b);
+        let key: Box<[Value]> = vec![Value::Int(7), Value::Int(9)].into();
+        assert_eq!(ab.get(&key), Some(&10));
+        assert_eq!(ab.len(), 1);
+    }
+
+    #[test]
+    fn identity_and_annihilator() {
+        let r = ring();
+        let a = r.tag(0, Value::Int(1), 3);
+        assert_eq!(r.mul(&a, &r.one()).sorted_pairs(), a.sorted_pairs());
+        assert!(r.is_zero(&r.mul(&a, &r.zero())));
+        assert_eq!(r.add(&a, &r.zero()).sorted_pairs(), a.sorted_pairs());
+    }
+
+    #[test]
+    fn addition_merges_same_keys() {
+        let r = ring();
+        let a = r.tag(0, Value::Int(1), 3);
+        let b = r.tag(0, Value::Int(1), 4);
+        let c = r.add(&a, &b);
+        assert_eq!(c.len(), 1);
+        let key: Box<[Value]> = vec![Value::Int(1), FREE_SLOT].into();
+        assert_eq!(c.get(&key), Some(&7));
+    }
+
+    #[test]
+    fn distributivity_on_sample() {
+        let r = ring();
+        let a = r.tag(0, Value::Int(1), 2);
+        let b = r.tag(1, Value::Int(5), 3);
+        let c = r.tag(1, Value::Int(6), 4);
+        let lhs = r.mul(&a, &r.add(&b, &c));
+        let rhs = r.add(&r.mul(&a, &b), &r.mul(&a, &c));
+        assert_eq!(lhs.sorted_pairs(), rhs.sorted_pairs());
+    }
+
+    #[test]
+    fn clashing_slots_annihilate() {
+        let r = ring();
+        let a = r.tag(0, Value::Int(1), 2);
+        let b = r.tag(0, Value::Int(2), 3);
+        assert!(r.is_zero(&r.mul(&a, &b)));
+    }
+
+    #[test]
+    fn negation_supports_deletes() {
+        let r = ring();
+        let a = r.tag(0, Value::Int(1), 2);
+        let sum = r.add(&a, &r.neg(&a));
+        assert!(r.is_zero(&sum));
+    }
+}

@@ -1,0 +1,166 @@
+//! Composite rings: direct products and direct powers.
+//!
+//! The direct product of rings is itself a ring with component-wise
+//! operations. LMFAO's "compute many aggregates in one pass" is, abstractly,
+//! evaluation in a direct power — though the engine specializes the
+//! representation; these types also serve the property-test suite as
+//! structurally different ring instances.
+
+use crate::{Ring, Semiring};
+
+/// The direct product of two (semi)rings, with component-wise operations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PairRing<A, B> {
+    /// First component ring.
+    pub a: A,
+    /// Second component ring.
+    pub b: B,
+}
+
+impl<A, B> PairRing<A, B> {
+    /// Builds the product of `a` and `b`.
+    pub fn new(a: A, b: B) -> Self {
+        Self { a, b }
+    }
+}
+
+impl<A: Semiring, B: Semiring> Semiring for PairRing<A, B> {
+    type Elem = (A::Elem, B::Elem);
+
+    fn zero(&self) -> Self::Elem {
+        (self.a.zero(), self.b.zero())
+    }
+
+    fn one(&self) -> Self::Elem {
+        (self.a.one(), self.b.one())
+    }
+
+    fn add(&self, x: &Self::Elem, y: &Self::Elem) -> Self::Elem {
+        (self.a.add(&x.0, &y.0), self.b.add(&x.1, &y.1))
+    }
+
+    fn mul(&self, x: &Self::Elem, y: &Self::Elem) -> Self::Elem {
+        (self.a.mul(&x.0, &y.0), self.b.mul(&x.1, &y.1))
+    }
+
+    fn is_zero(&self, x: &Self::Elem) -> bool {
+        self.a.is_zero(&x.0) && self.b.is_zero(&x.1)
+    }
+}
+
+impl<A: Ring, B: Ring> Ring for PairRing<A, B> {
+    fn neg(&self, x: &Self::Elem) -> Self::Elem {
+        (self.a.neg(&x.0), self.b.neg(&x.1))
+    }
+}
+
+/// The direct power `R^k`: fixed-length vectors with component-wise ops.
+#[derive(Debug, Clone, Copy)]
+pub struct VecRing<R> {
+    inner: R,
+    k: usize,
+}
+
+impl<R> VecRing<R> {
+    /// `k` independent copies of `inner`.
+    pub fn new(inner: R, k: usize) -> Self {
+        Self { inner, k }
+    }
+
+    /// The width `k`.
+    pub fn width(&self) -> usize {
+        self.k
+    }
+}
+
+impl<R: Semiring> Semiring for VecRing<R> {
+    type Elem = Vec<R::Elem>;
+
+    fn zero(&self) -> Self::Elem {
+        (0..self.k).map(|_| self.inner.zero()).collect()
+    }
+
+    fn one(&self) -> Self::Elem {
+        (0..self.k).map(|_| self.inner.one()).collect()
+    }
+
+    fn add(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        debug_assert_eq!(a.len(), self.k);
+        a.iter().zip(b).map(|(x, y)| self.inner.add(x, y)).collect()
+    }
+
+    fn add_assign(&self, a: &mut Self::Elem, b: &Self::Elem) {
+        for (x, y) in a.iter_mut().zip(b) {
+            self.inner.add_assign(x, y);
+        }
+    }
+
+    fn mul(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        a.iter().zip(b).map(|(x, y)| self.inner.mul(x, y)).collect()
+    }
+
+    fn is_zero(&self, a: &Self::Elem) -> bool {
+        a.iter().all(|x| self.inner.is_zero(x))
+    }
+}
+
+impl<R: Ring> Ring for VecRing<R> {
+    fn neg(&self, a: &Self::Elem) -> Self::Elem {
+        a.iter().map(|x| self.inner.neg(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BoolSemiring, I64Ring};
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn pair_ring_laws(
+            a in (-100i64..100, any::<bool>()),
+            b in (-100i64..100, any::<bool>()),
+            c in (-100i64..100, any::<bool>()),
+        ) {
+            let r = PairRing::new(I64Ring, BoolSemiring);
+            prop_assert_eq!(r.add(&a, &b), r.add(&b, &a));
+            prop_assert_eq!(r.mul(&r.mul(&a, &b), &c), r.mul(&a, &r.mul(&b, &c)));
+            prop_assert_eq!(r.add(&a, &r.zero()), a);
+            prop_assert_eq!(r.mul(&a, &r.one()), a);
+            prop_assert!(r.is_zero(&r.mul(&a, &r.zero())));
+            prop_assert_eq!(
+                r.mul(&a, &r.add(&b, &c)),
+                r.add(&r.mul(&a, &b), &r.mul(&a, &c))
+            );
+        }
+
+        #[test]
+        fn vec_ring_laws(
+            a in proptest::collection::vec(-100i64..100, 4),
+            b in proptest::collection::vec(-100i64..100, 4),
+            c in proptest::collection::vec(-100i64..100, 4),
+        ) {
+            let r = VecRing::new(I64Ring, 4);
+            prop_assert_eq!(r.add(&a, &b), r.add(&b, &a));
+            prop_assert_eq!(r.mul(&r.mul(&a, &b), &c), r.mul(&a, &r.mul(&b, &c)));
+            prop_assert_eq!(r.add(&a, &r.zero()), a.clone());
+            prop_assert_eq!(r.mul(&a, &r.one()), a.clone());
+            prop_assert_eq!(
+                r.mul(&a, &r.add(&b, &c)),
+                r.add(&r.mul(&a, &b), &r.mul(&a, &c))
+            );
+            let na = r.neg(&a);
+            prop_assert!(r.is_zero(&r.add(&a, &na)));
+        }
+    }
+
+    #[test]
+    fn vec_ring_add_assign_in_place() {
+        let r = VecRing::new(I64Ring, 2);
+        let mut a = vec![1, 2];
+        r.add_assign(&mut a, &vec![10, 20]);
+        assert_eq!(a, vec![11, 22]);
+        assert_eq!(r.width(), 2);
+    }
+}

@@ -1,0 +1,233 @@
+//! Scalar (semi)rings: integers, floats, naturals, Booleans, min-plus.
+
+use crate::{Ring, Semiring};
+
+/// The ring of 64-bit integers `(Z, +, ·, 0, 1)`.
+///
+/// This is the ring used for tuple multiplicities: an insert maps a tuple to
+/// `+1`, a delete to `-1` (paper §3.1, "Additive inverse").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct I64Ring;
+
+impl Semiring for I64Ring {
+    type Elem = i64;
+
+    fn zero(&self) -> i64 {
+        0
+    }
+
+    fn one(&self) -> i64 {
+        1
+    }
+
+    fn add(&self, a: &i64, b: &i64) -> i64 {
+        a + b
+    }
+
+    fn mul(&self, a: &i64, b: &i64) -> i64 {
+        a * b
+    }
+
+    fn is_zero(&self, a: &i64) -> bool {
+        *a == 0
+    }
+}
+
+impl Ring for I64Ring {
+    fn neg(&self, a: &i64) -> i64 {
+        -a
+    }
+}
+
+/// The (approximate) ring of 64-bit floats.
+///
+/// Floating-point addition is not exactly associative; the ring laws hold up
+/// to rounding, which is the standard working assumption for sum-product
+/// aggregate engines.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct F64Ring;
+
+impl Semiring for F64Ring {
+    type Elem = f64;
+
+    fn zero(&self) -> f64 {
+        0.0
+    }
+
+    fn one(&self) -> f64 {
+        1.0
+    }
+
+    fn add(&self, a: &f64, b: &f64) -> f64 {
+        a + b
+    }
+
+    fn mul(&self, a: &f64, b: &f64) -> f64 {
+        a * b
+    }
+
+    fn is_zero(&self, a: &f64) -> bool {
+        *a == 0.0
+    }
+}
+
+impl Ring for F64Ring {
+    fn neg(&self, a: &f64) -> f64 {
+        -a
+    }
+}
+
+/// The semiring of natural numbers (no additive inverse): plain counting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NatSemiring;
+
+impl Semiring for NatSemiring {
+    type Elem = u64;
+
+    fn zero(&self) -> u64 {
+        0
+    }
+
+    fn one(&self) -> u64 {
+        1
+    }
+
+    fn add(&self, a: &u64, b: &u64) -> u64 {
+        a + b
+    }
+
+    fn mul(&self, a: &u64, b: &u64) -> u64 {
+        a * b
+    }
+
+    fn is_zero(&self, a: &u64) -> bool {
+        *a == 0
+    }
+}
+
+/// The Boolean semiring `({false, true}, ∨, ∧, false, true)`: query
+/// satisfiability / Boolean conjunctive queries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BoolSemiring;
+
+impl Semiring for BoolSemiring {
+    type Elem = bool;
+
+    fn zero(&self) -> bool {
+        false
+    }
+
+    fn one(&self) -> bool {
+        true
+    }
+
+    fn add(&self, a: &bool, b: &bool) -> bool {
+        *a || *b
+    }
+
+    fn mul(&self, a: &bool, b: &bool) -> bool {
+        *a && *b
+    }
+
+    fn is_zero(&self, a: &bool) -> bool {
+        !*a
+    }
+}
+
+/// The min-plus (tropical) semiring `(R ∪ {∞}, min, +, ∞, 0)`: shortest
+/// paths and dynamic programs over the same factorized structure.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinPlus;
+
+impl Semiring for MinPlus {
+    type Elem = f64;
+
+    fn zero(&self) -> f64 {
+        f64::INFINITY
+    }
+
+    fn one(&self) -> f64 {
+        0.0
+    }
+
+    fn add(&self, a: &f64, b: &f64) -> f64 {
+        a.min(*b)
+    }
+
+    fn mul(&self, a: &f64, b: &f64) -> f64 {
+        a + b
+    }
+
+    fn is_zero(&self, a: &f64) -> bool {
+        *a == f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ring;
+    use proptest::prelude::*;
+
+    /// Checks semiring laws for exact element types.
+    fn semiring_laws<S: Semiring>(ring: &S, a: S::Elem, b: S::Elem, c: S::Elem)
+    where
+        S::Elem: PartialEq,
+    {
+        let add = |x: &S::Elem, y: &S::Elem| ring.add(x, y);
+        let mul = |x: &S::Elem, y: &S::Elem| ring.mul(x, y);
+        // commutativity
+        assert!(add(&a, &b) == add(&b, &a));
+        assert!(mul(&a, &b) == mul(&b, &a));
+        // associativity
+        assert!(add(&add(&a, &b), &c) == add(&a, &add(&b, &c)));
+        assert!(mul(&mul(&a, &b), &c) == mul(&a, &mul(&b, &c)));
+        // identities
+        assert!(add(&a, &ring.zero()) == a);
+        assert!(mul(&a, &ring.one()) == a);
+        // annihilation
+        assert!(ring.is_zero(&mul(&a, &ring.zero())));
+        // distributivity
+        assert!(mul(&a, &add(&b, &c)) == add(&mul(&a, &b), &mul(&a, &c)));
+    }
+
+    proptest! {
+        #[test]
+        fn i64_ring_laws(a in -1000i64..1000, b in -1000i64..1000, c in -1000i64..1000) {
+            semiring_laws(&I64Ring, a, b, c);
+            // additive inverse
+            prop_assert_eq!(I64Ring.add(&a, &I64Ring.neg(&a)), 0);
+            prop_assert_eq!(I64Ring.sub(&a, &b), a - b);
+        }
+
+        #[test]
+        fn f64_ring_laws_on_exact_values(a in -50i32..50, b in -50i32..50, c in -50i32..50) {
+            // Small integers are exactly representable: laws hold exactly.
+            let (a, b, c) = (a as f64, b as f64, c as f64);
+            semiring_laws(&F64Ring, a, b, c);
+            prop_assert_eq!(F64Ring.add(&a, &F64Ring.neg(&a)), 0.0);
+        }
+
+        #[test]
+        fn nat_semiring_laws(a in 0u64..1000, b in 0u64..1000, c in 0u64..1000) {
+            semiring_laws(&NatSemiring, a, b, c);
+        }
+
+        #[test]
+        fn bool_semiring_laws(a: bool, b: bool, c: bool) {
+            semiring_laws(&BoolSemiring, a, b, c);
+        }
+
+        #[test]
+        fn minplus_semiring_laws(a in -100i32..100, b in -100i32..100, c in -100i32..100) {
+            semiring_laws(&MinPlus, a as f64, b as f64, c as f64);
+        }
+    }
+
+    #[test]
+    fn minplus_identities() {
+        assert_eq!(MinPlus.add(&MinPlus.zero(), &3.0), 3.0);
+        assert_eq!(MinPlus.mul(&MinPlus.one(), &3.0), 3.0);
+        assert!(MinPlus.is_zero(&f64::INFINITY));
+    }
+}

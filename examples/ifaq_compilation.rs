@@ -1,0 +1,59 @@
+//! IFAQ staged compilation (§5.3): watch the optimiser turn the naive
+//! gradient-program aggregate into its factorized form, with measured
+//! operation counts at each stage.
+//!
+//! ```bash
+//! cargo run --example ifaq_compilation
+//! ```
+
+use fdb::data::{AttrType, Database, Relation, Schema, Value};
+use fdb::ifaq::derivation::{mcp_factorized, mcp_naive};
+use fdb::ifaq::{factor_out_of_sums, optimize, Interp};
+
+fn main() {
+    // The paper's S(i, s, u) ⋈ R(s, c) ⋈ I(i, p).
+    let mut db = Database::new();
+    let mut s = Relation::new(Schema::of(&[
+        ("i", AttrType::Int),
+        ("s", AttrType::Int),
+        ("u", AttrType::Double),
+    ]));
+    for k in 0..60i64 {
+        s.push_row(&[Value::Int(k % 12), Value::Int(k % 7), Value::F64(k as f64)]).unwrap();
+    }
+    let mut r = Relation::new(Schema::of(&[("s", AttrType::Int), ("c", AttrType::Double)]));
+    for k in 0..7i64 {
+        r.push_row(&[Value::Int(k), Value::F64(10.0 + k as f64)]).unwrap();
+    }
+    let mut i = Relation::new(Schema::of(&[("i", AttrType::Int), ("p", AttrType::Double)]));
+    for k in 0..12i64 {
+        i.push_row(&[Value::Int(k), Value::F64(2.0 * k as f64)]).unwrap();
+    }
+    db.add("S", s);
+    db.add("R", r);
+    db.add("I", i);
+
+    let naive = mcp_naive();
+    let one_pass = factor_out_of_sums(&naive);
+    let optimized = optimize(&naive);
+    let target = mcp_factorized();
+
+    println!("M_cp = SUM over S ⋈ R ⋈ I of c * p, four ways:\n");
+    for (name, prog) in [
+        ("naive (cross product)", &naive),
+        ("one factorization pass", &one_pass),
+        ("fully optimized", &optimized),
+        ("hand-derived target", &target),
+    ] {
+        let mut interp = Interp::new(&db);
+        let v = interp.eval(prog).unwrap();
+        println!(
+            "{name:>24}: result={v:?}  iterations={:<6} muls={:<6} lookups={:<6} AST size={}",
+            interp.counter.iterations,
+            interp.counter.muls,
+            interp.counter.lookups,
+            prog.size()
+        );
+    }
+    println!("\nAll four agree; the optimized program does |S|·(|R|+|I|) work instead of |S|·|R|·|I|.");
+}

@@ -1,0 +1,42 @@
+//! Rk-means (§3.3): cluster the Yelp reviews' feature space via the grid
+//! coreset and compare against full-data Lloyd's — constant-factor quality
+//! at a fraction of the points.
+//!
+//! ```bash
+//! cargo run --release --example kmeans_clustering
+//! ```
+
+use fdb::datasets::{yelp, YelpConfig};
+use fdb::ml::kmeans::{grid_coreset, lloyd, rk_means};
+use fdb::ml::DataMatrix;
+use fdb::query::natural_join_all;
+use std::time::Instant;
+
+fn main() {
+    let ds = yelp(YelpConfig::default());
+    let rels: Vec<&str> = ds.relation_refs();
+    let flat = natural_join_all(&ds.db, &rels).unwrap();
+    let cont: Vec<&str> = ds.features.continuous.iter().map(String::as_str).collect();
+    let m = DataMatrix::from_relation(&flat, &cont, &[], &ds.features.response).unwrap();
+    println!("Yelp join: {} rows, {} features", m.rows(), m.dim);
+
+    let k = 5;
+    let t0 = Instant::now();
+    let points: Vec<Vec<f64>> = (0..m.rows()).map(|r| m.row(r).to_vec()).collect();
+    let weights = vec![1.0; points.len()];
+    let full = lloyd(&points, &weights, k, 60, 1);
+    let full_time = t0.elapsed();
+
+    let t0 = Instant::now();
+    let (cells, _) = grid_coreset(&m, 6);
+    let rk = rk_means(&m, k, 6, 60, 1);
+    let rk_time = t0.elapsed();
+
+    println!("full k-means : cost {:>14.1} in {full_time:?} over {} points", full.cost, m.rows());
+    println!("Rk-means     : cost {:>14.1} in {rk_time:?} over {} coreset cells", rk.cost, cells.len());
+    println!(
+        "cost ratio {:.3} (constant-factor approximation), speedup {:.1}x",
+        rk.cost / full.cost.max(1e-9),
+        full_time.as_secs_f64() / rk_time.as_secs_f64()
+    );
+}

@@ -1,0 +1,66 @@
+//! Quickstart: the paper's Figure 7–10 walk-through in a few lines.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use fdb::datasets::dish_database;
+use fdb::factorized::FRep;
+use fdb::prelude::*;
+use fdb::ring::{F64Ring, I64Ring, KeyedRing};
+
+fn main() {
+    // The Orders / Dish / Items database of Figure 7.
+    let db = dish_database();
+    println!("Relations: {:?}", db.names());
+
+    // Build the factorized representation of the natural join (Figure 8).
+    let frep = FRep::build(&db, &["Orders", "Dish", "Items"]).unwrap();
+    let flat = frep.enumerate().unwrap();
+    println!(
+        "Flat join: {} tuples ({} values). Factorized: {} values.",
+        flat.len(),
+        flat.len() * flat.schema().arity(),
+        frep.size_values()
+    );
+
+    // Aggregates in one pass over the factorization (Figure 9).
+    let count = frep.eval(&I64Ring, &mut |_, _| 1);
+    println!("SUM(1) over the join = {count}");
+
+    let hg = frep.hypergraph();
+    let dish = hg.var_id("dish").unwrap();
+    let price = hg.var_id("price").unwrap();
+    let ring = KeyedRing::new(F64Ring, 1);
+    let by_dish = frep.eval(&ring, &mut |var, value| {
+        if var == dish {
+            ring.tag(0, value, 1.0)
+        } else if var == price {
+            ring.scalar(value.as_f64())
+        } else {
+            ring.one()
+        }
+    });
+    println!("SUM(price) GROUP BY dish:");
+    for (key, total) in by_dish.sorted_pairs() {
+        let name = db.dict("dish").unwrap().decode(key[0].as_int()).unwrap().to_string();
+        println!("  {name:>7} -> {total}");
+    }
+
+    // The covariance ring computes count, sums, and second moments at
+    // once (Figure 10).
+    let cov = CovRing::new(1);
+    let triple = frep.eval(&cov, &mut |var, value| {
+        if var == price {
+            cov.lift(&[value.as_f64()])
+        } else {
+            cov.one()
+        }
+    });
+    println!(
+        "Covariance ring: count={}, SUM(price)={}, SUM(price²)={}",
+        triple.c,
+        triple.s[0],
+        triple.q_at(0, 0)
+    );
+}

@@ -1,0 +1,90 @@
+//! Cross-engine agreement: the LMFAO view engine, the factorized ring
+//! evaluator, the classical engine over the materialized join, and the
+//! IVM maintainers must all compute the same statistics — on randomized
+//! databases (property-based, spanning five crates).
+
+use fdb::data::{AttrType, Database, Relation, Schema, Value};
+use fdb::ivm::{Fivm, StreamDb, TreeShape, Update};
+use fdb::lmfao::{covariance_batch, run_batch, EngineConfig};
+use fdb::query::natural_join_all;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A random 3-relation snowflake: F(a, b, x) ⋈ D1(a, u) ⋈ D2(b, v).
+fn snowflake(rows: &[(i64, i64, i8)], d1: &[(i64, i8)], d2: &[(i64, i8)]) -> Database {
+    let mut db = Database::new();
+    let mut f = Relation::new(Schema::of(&[
+        ("a", AttrType::Int),
+        ("b", AttrType::Int),
+        ("x", AttrType::Double),
+    ]));
+    for &(a, b, x) in rows {
+        f.push_row(&[Value::Int(a), Value::Int(b), Value::F64(x as f64)]).unwrap();
+    }
+    let mut r1 = Relation::new(Schema::of(&[("a", AttrType::Int), ("u", AttrType::Double)]));
+    for &(a, u) in d1 {
+        r1.push_row(&[Value::Int(a), Value::F64(u as f64)]).unwrap();
+    }
+    let mut r2 = Relation::new(Schema::of(&[("b", AttrType::Int), ("v", AttrType::Double)]));
+    for &(b, v) in d2 {
+        r2.push_row(&[Value::Int(b), Value::F64(v as f64)]).unwrap();
+    }
+    db.add("F", f);
+    db.add("D1", r1);
+    db.add("D2", r2);
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lmfao_equals_classical_equals_fivm(
+        rows in proptest::collection::vec((0i64..4, 0i64..4, -5i8..5), 0..25),
+        d1 in proptest::collection::vec((0i64..4, -5i8..5), 0..8),
+        d2 in proptest::collection::vec((0i64..4, -5i8..5), 0..8),
+    ) {
+        let db = snowflake(&rows, &d1, &d2);
+        let rels = ["F", "D1", "D2"];
+        let cont = ["x", "u", "v"];
+
+        // 1. LMFAO batch.
+        let batch = covariance_batch(&cont, &[]);
+        let res = run_batch(&db, &rels, &batch, &EngineConfig::default()).unwrap();
+        let lmfao_count = res.scalar(0);
+
+        // 2. Classical: materialized join.
+        let flat = natural_join_all(&db, &rels).unwrap();
+        prop_assert!((lmfao_count - flat.len() as f64).abs() < 1e-9,
+            "count: lmfao {} vs flat {}", lmfao_count, flat.len());
+
+        // 3. F-IVM: stream every tuple, compare the final triple.
+        let schemas: Vec<Schema> =
+            rels.iter().map(|n| db.get(n).unwrap().schema().clone()).collect();
+        let shape = Arc::new(TreeShape::build(schemas.clone(), &rels, 0).unwrap());
+        let mut sdb = StreamDb::new(schemas);
+        shape.register_indices(&mut sdb);
+        let mut fivm = Fivm::new(Arc::clone(&shape), &cont).unwrap();
+        for (ri, name) in rels.iter().enumerate() {
+            let rel = db.get(name).unwrap();
+            for r in 0..rel.len() {
+                let up = Update::insert(ri, rel.row_vec(r));
+                sdb.apply(&up).unwrap();
+                fivm.apply(&sdb, &up);
+            }
+        }
+        let triple = fivm.result();
+        prop_assert!((triple.c - lmfao_count).abs() < 1e-6);
+        // SUM(x) (batch index 1) and SUM(x·u) must agree too.
+        let sum_x = res.scalar(1);
+        prop_assert!((triple.s[0] - sum_x).abs() < 1e-6,
+            "SUM(x): fivm {} vs lmfao {}", triple.s[0], sum_x);
+        // x is cont[0], u is cont[1]: SUM(x*u) = aggregate "x*u".
+        let idx_xu = batch.aggs.iter().position(|a| {
+            a.factors.len() == 2
+                && a.factors[0].0 == "x"
+                && a.factors[1].0 == "u"
+        }).expect("x*u aggregate exists");
+        prop_assert!((triple.q_at(0, 1) - res.scalar(idx_xu)).abs() < 1e-6);
+    }
+}

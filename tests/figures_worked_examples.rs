@@ -1,0 +1,83 @@
+//! Integration tests pinning the exact numbers of the paper's worked
+//! examples (Figures 7–10) across the data, factorized, and ring crates.
+
+use fdb::datasets::dish_database;
+use fdb::factorized::hypergraph::Hypergraph;
+use fdb::factorized::{EvalSpec, FRep, VarOrder};
+use fdb::prelude::*;
+use fdb::ring::{F64Ring, I64Ring, KeyedRing};
+
+const RELS: [&str; 3] = ["Orders", "Dish", "Items"];
+
+#[test]
+fn figure7_flat_join() {
+    let db = dish_database();
+    let frep = FRep::build(&db, &RELS).unwrap();
+    let flat = frep.enumerate().unwrap();
+    assert_eq!(flat.len(), 12);
+    assert_eq!(flat.schema().arity(), 5);
+}
+
+#[test]
+fn figure8_factorization_sizes() {
+    let db = dish_database();
+    // The paper's order (dish at the root) — 19 values with sharing.
+    let hg = Hypergraph::natural_join(&db, &RELS).unwrap();
+    let jt = hg.join_tree().unwrap().rerooted(1);
+    let vo = VarOrder::from_join_tree(&hg, &jt);
+    let frep = FRep::build_with_order(&db, &RELS, hg, vo).unwrap();
+    assert_eq!(frep.size_values(), 19);
+    assert!(frep.size_values() < 32, "beats the input's 32 values");
+}
+
+#[test]
+fn figure9_aggregates_over_factorization() {
+    let db = dish_database();
+    let frep = FRep::build(&db, &RELS).unwrap();
+    assert_eq!(frep.eval(&I64Ring, &mut |_, _| 1), 12);
+    let hg = frep.hypergraph();
+    let (dish, price) = (hg.var_id("dish").unwrap(), hg.var_id("price").unwrap());
+    let ring = KeyedRing::new(F64Ring, 1);
+    let grouped = frep.eval(&ring, &mut |var, value| {
+        if var == dish {
+            ring.tag(0, value, 1.0)
+        } else if var == price {
+            ring.scalar(value.as_f64())
+        } else {
+            ring.one()
+        }
+    });
+    let burger: Box<[Value]> = vec![Value::Int(0)].into();
+    let hotdog: Box<[Value]> = vec![Value::Int(1)].into();
+    assert_eq!(grouped.get(&burger).copied(), Some(20.0));
+    assert_eq!(grouped.get(&hotdog).copied(), Some(16.0));
+}
+
+#[test]
+fn figure10_covariance_ring_triples() {
+    // The fused evaluator computes the same (c, s, Q) triple the figure
+    // assembles by hand: count 12, SUM(price) 36.
+    let db = dish_database();
+    let spec = EvalSpec::new(&db, &RELS, &[]).unwrap();
+    let ring = CovRing::new(1);
+    let price_col = spec.col_index(2, "price").unwrap();
+    let triple = spec.eval(
+        &ring,
+        |_, _| ring.one(),
+        |ri, rows| {
+            let mut acc = ring.zero();
+            for r in rows {
+                if ri == 2 {
+                    let p = spec.relation(2).f64_col(price_col)[r];
+                    ring.add_assign(&mut acc, &ring.lift(&[p]));
+                } else {
+                    ring.add_assign(&mut acc, &ring.one());
+                }
+            }
+            acc
+        },
+    );
+    assert_eq!(triple.c, 12.0);
+    assert_eq!(triple.s[0], 36.0);
+    assert_eq!(triple.q_at(0, 0), 136.0); // 2·(36+4+4) + 2·(4+4+16)
+}

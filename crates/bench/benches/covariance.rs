@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fdb_bench::fig4_speedup::as_classical;
-use fdb_core::{covariance_batch, run_batch, EngineConfig};
+use fdb_core::{covariance_batch, AggQuery, Engine, EngineConfig, LmfaoEngine};
 use fdb_datasets::{retailer, RetailerConfig};
 use fdb_query::{eval_agg_batch, natural_join_all};
 use std::hint::black_box;
@@ -14,16 +14,16 @@ fn bench_covariance(c: &mut Criterion) {
     let cont: Vec<&str> = ds.features.continuous_with_response_refs();
     let cat: Vec<&str> = ds.features.categorical.iter().map(String::as_str).collect();
     let batch = covariance_batch(&cont, &cat);
+    let q = AggQuery::new(&rels, batch.clone());
     let mut g = c.benchmark_group("covariance_batch");
     g.sample_size(10);
     for (name, cfg) in [
-        ("lmfao_shared", EngineConfig::default()),
-        ("lmfao_unshared", EngineConfig { share: false, ..Default::default() }),
+        ("lmfao_shared", EngineConfig { threads: 1, ..Default::default() }),
+        ("lmfao_unshared", EngineConfig { share: false, threads: 1, ..Default::default() }),
         ("lmfao_parallel4", EngineConfig { threads: 4, ..Default::default() }),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(run_batch(&ds.db, &rels, &batch, &cfg).expect("batch")))
-        });
+        let engine = LmfaoEngine::with_config(cfg);
+        g.bench_function(name, |b| b.iter(|| black_box(engine.run(&ds.db, &q).expect("batch"))));
     }
     let flat = natural_join_all(&ds.db, &rels).expect("join");
     let queries: Vec<_> = batch.aggs.iter().map(as_classical).collect();

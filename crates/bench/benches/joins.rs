@@ -34,8 +34,7 @@ fn triangle_db(n: usize, edges: usize, seed: u64) -> Database {
 
 fn count_triangles_wcoj(db: &Database) -> i64 {
     let hg = Hypergraph::join_keys_plus(db, &["R", "S", "T"], &[]).expect("keys");
-    let (a, b, c) =
-        (hg.var_id("a").unwrap(), hg.var_id("b").unwrap(), hg.var_id("c").unwrap());
+    let (a, b, c) = (hg.var_id("a").unwrap(), hg.var_id("b").unwrap(), hg.var_id("c").unwrap());
     let vo = VarOrder::chain(&hg, &[a, b, c]);
     let spec = EvalSpec::with_order(db, &["R", "S", "T"], hg, vo).expect("prepared");
     spec.count()
@@ -53,12 +52,8 @@ fn bench_triangle(c: &mut Criterion) {
     assert_eq!(count_triangles_wcoj(&db), count_triangles_binary(&db));
     let mut g = c.benchmark_group("triangle_join");
     g.sample_size(10);
-    g.bench_function("wcoj_leapfrog", |b| {
-        b.iter(|| black_box(count_triangles_wcoj(&db)))
-    });
-    g.bench_function("binary_hash_joins", |b| {
-        b.iter(|| black_box(count_triangles_binary(&db)))
-    });
+    g.bench_function("wcoj_leapfrog", |b| b.iter(|| black_box(count_triangles_wcoj(&db))));
+    g.bench_function("binary_hash_joins", |b| b.iter(|| black_box(count_triangles_binary(&db))));
     g.finish();
 }
 

@@ -12,17 +12,11 @@ fn main() {
     let rows: Vec<Vec<String>> = table
         .iter()
         .map(|r| {
-            vec![
-                r.name.clone(),
-                r.rows.to_string(),
-                r.attrs.to_string(),
-                fmt_bytes(r.csv_bytes),
-            ]
+            vec![r.name.clone(), r.rows.to_string(), r.attrs.to_string(), fmt_bytes(r.csv_bytes)]
         })
         .collect();
     print_table(&["Relation", "Cardinality", "Arity", "CSV Size"], &rows);
-    let input: usize =
-        table.iter().filter(|r| r.name != "Join").map(|r| r.csv_bytes).sum();
+    let input: usize = table.iter().filter(|r| r.name != "Join").map(|r| r.csv_bytes).sum();
     let join = table.last().expect("join row");
     println!(
         "\nJoin blow-up: {:.1}x the input CSV size ({} vs {}).",

@@ -6,8 +6,7 @@ use fdb_datasets::{retailer, RetailerConfig};
 
 fn main() {
     let scale = fdb_bench::datasets4::scale_from_args();
-    let threads: usize =
-        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let threads: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(4);
     let ds = retailer(RetailerConfig::scaled(scale));
     println!(
         "\nFigure 3 (right): end-to-end linear regression, Retailer scale {scale} ({} inventory rows)\n",
@@ -15,11 +14,35 @@ fn main() {
     );
     let r = fig3::end_to_end(&ds, threads);
     let rows = vec![
-        vec!["Join".into(), fmt_secs(r.join_secs), fmt_bytes(r.matrix_bytes), "—".into(), "—".into()],
-        vec!["Export+Import".into(), fmt_secs(r.export_secs), fmt_bytes(r.matrix_bytes), "—".into(), "—".into()],
+        vec![
+            "Join".into(),
+            fmt_secs(r.join_secs),
+            fmt_bytes(r.matrix_bytes),
+            "—".into(),
+            "—".into(),
+        ],
+        vec![
+            "Export+Import".into(),
+            fmt_secs(r.export_secs),
+            fmt_bytes(r.matrix_bytes),
+            "—".into(),
+            "—".into(),
+        ],
         vec!["Shuffling".into(), fmt_secs(r.shuffle_secs), "—".into(), "—".into(), "—".into()],
-        vec!["Query batch".into(), "—".into(), "—".into(), fmt_secs(r.batch_secs), fmt_bytes(r.stats_bytes)],
-        vec!["Grad Descent".into(), fmt_secs(r.sgd_secs), "—".into(), fmt_secs(r.gd_secs), "—".into()],
+        vec![
+            "Query batch".into(),
+            "—".into(),
+            "—".into(),
+            fmt_secs(r.batch_secs),
+            fmt_bytes(r.stats_bytes),
+        ],
+        vec![
+            "Grad Descent".into(),
+            fmt_secs(r.sgd_secs),
+            "—".into(),
+            fmt_secs(r.gd_secs),
+            "—".into(),
+        ],
         vec![
             "Total".into(),
             fmt_secs(r.agnostic_total),

@@ -8,10 +8,11 @@ use fdb_datasets::{retailer, RetailerConfig};
 
 fn main() {
     let scale = fdb_bench::datasets4::scale_from_args();
-    let limit: usize =
-        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let limit: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(20_000);
     let ds = retailer(RetailerConfig::scaled(scale));
-    println!("\nFigure 4 (right): IVM throughput (tuples/sec), retailer insert stream of {limit}\n");
+    println!(
+        "\nFigure 4 (right): IVM throughput (tuples/sec), retailer insert stream of {limit}\n"
+    );
     let mut rows = Vec::new();
     for strat in [Strategy::Fivm, Strategy::HigherOrder, Strategy::FirstOrder] {
         let series = run(&ds, strat, limit, 10);

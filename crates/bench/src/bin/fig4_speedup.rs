@@ -6,8 +6,7 @@ use fdb_bench::{datasets4, fig4_speedup, fmt_secs, print_table};
 
 fn main() {
     let scale = datasets4::scale_from_args();
-    let threads: usize =
-        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let threads: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(4);
     println!("\nFigure 4 (left): LMFAO vs classical one-at-a-time engine, scale {scale}\n");
     let mut rows = Vec::new();
     for ds in datasets4::all(scale) {
@@ -22,8 +21,5 @@ fn main() {
             ]);
         }
     }
-    print_table(
-        &["Dataset", "Batch", "#Aggregates", "LMFAO", "Classical", "Speedup"],
-        &rows,
-    );
+    print_table(&["Dataset", "Batch", "#Aggregates", "LMFAO", "Classical", "Speedup"], &rows);
 }

@@ -22,10 +22,34 @@ fn main() {
     // Transposed like the paper: workloads as rows.
     let headers = ["Workload", "Retailer", "Favorita", "Yelp", "TPC-DS"];
     let table = vec![
-        vec!["Covar. matrix".to_string(), rows[0][1].clone(), rows[1][1].clone(), rows[2][1].clone(), rows[3][1].clone()],
-        vec!["Decision node".to_string(), rows[0][2].clone(), rows[1][2].clone(), rows[2][2].clone(), rows[3][2].clone()],
-        vec!["Mutual inf.".to_string(), rows[0][3].clone(), rows[1][3].clone(), rows[2][3].clone(), rows[3][3].clone()],
-        vec!["k-means".to_string(), rows[0][4].clone(), rows[1][4].clone(), rows[2][4].clone(), rows[3][4].clone()],
+        vec![
+            "Covar. matrix".to_string(),
+            rows[0][1].clone(),
+            rows[1][1].clone(),
+            rows[2][1].clone(),
+            rows[3][1].clone(),
+        ],
+        vec![
+            "Decision node".to_string(),
+            rows[0][2].clone(),
+            rows[1][2].clone(),
+            rows[2][2].clone(),
+            rows[3][2].clone(),
+        ],
+        vec![
+            "Mutual inf.".to_string(),
+            rows[0][3].clone(),
+            rows[1][3].clone(),
+            rows[2][3].clone(),
+            rows[3][3].clone(),
+        ],
+        vec![
+            "k-means".to_string(),
+            rows[0][4].clone(),
+            rows[1][4].clone(),
+            rows[2][4].clone(),
+            rows[3][4].clone(),
+        ],
     ];
     print_table(&headers, &table);
 }

@@ -6,8 +6,7 @@ use fdb_bench::{datasets4, fig6, print_table};
 
 fn main() {
     let scale = datasets4::scale_from_args();
-    let threads: usize =
-        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let threads: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(4);
     println!("\nFigure 6: relative speedup of code optimisations (covariance batch), scale {scale}, {threads} threads\n");
     let mut rows = Vec::new();
     for ds in datasets4::all(scale) {
@@ -19,8 +18,5 @@ fn main() {
                 .collect::<Vec<String>>(),
         );
     }
-    print_table(
-        &["Dataset", "baseline", "+specialisation", "+sharing", "+parallelisation"],
-        &rows,
-    );
+    print_table(&["Dataset", "baseline", "+specialisation", "+sharing", "+parallelisation"], &rows);
 }

@@ -4,8 +4,7 @@
 use fdb_bench::{fmt_secs, ineq_scaling, print_table};
 
 fn main() {
-    let max_exp: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(14);
+    let max_exp: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(14);
     let sizes: Vec<usize> = (10..=max_exp).map(|e| 1usize << e).collect();
     println!("\n§2.3: additive-inequality aggregate, naive O(n²) vs sort+prefix O(n log n)\n");
     let rows: Vec<Vec<String>> = ineq_scaling::sweep(&sizes, 42)

@@ -6,7 +6,7 @@
 //! (LMFAO aggregate batch → gradient descent on the covariance matrix),
 //! with times, payload sizes, and RMSE of both models on held-out data.
 
-use fdb_core::{sufficient_stats, EngineConfig};
+use fdb_core::{sufficient_stats, EngineConfig, LmfaoEngine};
 use fdb_data::relation_to_csv;
 use fdb_datasets::Dataset;
 use fdb_ml::linreg::{LinearRegression, RidgeConfig};
@@ -102,19 +102,17 @@ pub fn end_to_end(ds: &Dataset, threads: usize) -> EndToEnd {
         .expect("features exist");
     let (shuffle_secs, shuffled_dm) = crate::time(|| shuffled(&dm, 7));
     let (train, test) = shuffled_dm.split(0.02); // 2% held out, as in the paper
-    let (sgd_secs, sgd_model) =
-        crate::time(|| train_linear_sgd(&train, &SgdConfig::default()));
+    let (sgd_secs, sgd_model) = crate::time(|| train_linear_sgd(&train, &SgdConfig::default()));
     let sgd_rmse = test.rmse(&sgd_model.weights, sgd_model.intercept);
 
     // ---- structure-aware: LMFAO batch → GD on the covariance matrix ----
-    let engine = EngineConfig { threads, ..Default::default() };
+    let engine = LmfaoEngine::with_config(EngineConfig { threads, ..Default::default() });
     let (batch_secs, stats) = crate::time(|| {
         sufficient_stats(&ds.db, &rels, &cont_resp_refs, &cat, &engine).expect("stats")
     });
     let stats_bytes = stats_size_bytes(&stats);
-    let (gd_secs, lmfao_model) = crate::time(|| {
-        LinearRegression::fit_gd(&stats, &RidgeConfig::default()).expect("fit")
-    });
+    let (gd_secs, lmfao_model) =
+        crate::time(|| LinearRegression::fit_gd(&stats, &RidgeConfig::default()).expect("fit"));
     let lmfao_rmse = test.rmse(&lmfao_model.weights, lmfao_model.intercept);
 
     EndToEnd {

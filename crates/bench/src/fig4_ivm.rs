@@ -60,12 +60,7 @@ pub fn build_stream(ds: &Dataset, limit: usize) -> (Vec<Schema>, Vec<&str>, Vec<
 }
 
 /// Throughput (tuples/second) per decile of the stream for one strategy.
-pub fn run(
-    ds: &Dataset,
-    strategy: Strategy,
-    limit: usize,
-    deciles: usize,
-) -> Vec<(f64, f64)> {
+pub fn run(ds: &Dataset, strategy: Strategy, limit: usize, deciles: usize) -> Vec<(f64, f64)> {
     let (schemas, names, stream) = build_stream(ds, limit);
     let cont: Vec<&str> = ds.features.continuous_with_response_refs();
     // Root the view tree at the fact relation (index 0 in our datasets).
@@ -127,18 +122,13 @@ mod tests {
         // tree beats higher-order IVM's per-aggregate view trees, which
         // beat first-order IVM's per-aggregate delta-query re-evaluation.
         let ds = retailer(RetailerConfig::tiny());
-        let avg = |v: &[(f64, f64)]| {
-            v.iter().map(|&(_, t)| t).sum::<f64>() / v.len() as f64
-        };
+        let avg = |v: &[(f64, f64)]| v.iter().map(|&(_, t)| t).sum::<f64>() / v.len() as f64;
         // Best of 2 runs per strategy to absorb scheduler noise.
-        let best = |s: Strategy| {
-            (0..2).map(|_| avg(&run(&ds, s, 467, 2))).fold(0.0f64, f64::max)
-        };
+        let best = |s: Strategy| (0..2).map(|_| avg(&run(&ds, s, 467, 2))).fold(0.0f64, f64::max);
         let fi = best(Strategy::Fivm);
         let ho = best(Strategy::HigherOrder);
         let fo = best(Strategy::FirstOrder);
         assert!(fi > 2.0 * ho, "F-IVM {fi:.0} tups/s must beat higher-order {ho:.0}");
         assert!(ho > fo, "higher-order {ho:.0} tups/s must beat first-order {fo:.0}");
     }
-
 }

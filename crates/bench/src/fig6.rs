@@ -3,7 +3,7 @@
 //! like); optimisations are added cumulatively: specialisation → sharing →
 //! parallelisation, and the speedup over the baseline is reported.
 
-use fdb_core::{covariance_batch, run_batch, EngineConfig};
+use fdb_core::{covariance_batch, AggQuery, Engine, EngineConfig, LmfaoEngine};
 use fdb_datasets::Dataset;
 
 /// Cumulative configurations, in the figure's order.
@@ -38,12 +38,12 @@ pub fn measure(ds: &Dataset, threads: usize) -> AblationRow {
     let rels: Vec<&str> = ds.relation_refs();
     let cont: Vec<&str> = ds.features.continuous_with_response_refs();
     let cat: Vec<&str> = ds.features.categorical.iter().map(String::as_str).collect();
-    let batch = covariance_batch(&cont, &cat);
+    let q = AggQuery::new(&rels, covariance_batch(&cont, &cat));
     let stage_secs = stages(threads)
         .into_iter()
         .map(|(name, cfg)| {
-            let (secs, _) =
-                crate::time(|| run_batch(&ds.db, &rels, &batch, &cfg).expect("batch"));
+            let engine = LmfaoEngine::with_config(cfg);
+            let (secs, _) = crate::time(|| engine.run(&ds.db, &q).expect("batch"));
             (name, secs)
         })
         .collect();

@@ -46,8 +46,7 @@ mod tests {
         // sensitive to scheduler noise when the test suite runs parallel.
         let runs: Vec<Vec<IneqRow>> = (0..3).map(|i| sweep(&[1000, 16_000], 3 + i)).collect();
         let best = |idx: usize| -> (f64, f64) {
-            let naive =
-                runs.iter().map(|r| r[idx].naive_secs).fold(f64::INFINITY, f64::min);
+            let naive = runs.iter().map(|r| r[idx].naive_secs).fold(f64::INFINITY, f64::min);
             let fast = runs.iter().map(|r| r[idx].fast_secs).fold(f64::INFINITY, f64::min);
             (naive, fast)
         };

@@ -68,10 +68,7 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         println!("| {} |", padded.join(" | "));
     };
     line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
-    println!(
-        "|{}|",
-        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
-    );
+    println!("|{}|", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|"));
     for row in rows {
         line(row);
     }

@@ -1,0 +1,160 @@
+//! A minimal, dependency-free drop-in for the subset of the `criterion`
+//! crate this workspace's benches use. The build environment is offline,
+//! so the real `criterion` cannot be fetched; bench targets depend on this
+//! package under the name `criterion`
+//! (`criterion = { package = "fdb-benchstub", ... }`).
+//!
+//! Semantics: each `bench_function` runs a short warm-up, then a fixed
+//! number of timed iterations, and prints mean wall-clock time per
+//! iteration. Good enough for the relative comparisons the workspace's
+//! benches make (LMFAO vs classical, WCOJ vs binary joins, IVM variants).
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export for parity with `criterion::black_box` call sites.
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to registered bench functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { _c: self, sample_size: 20 }
+    }
+}
+
+/// A named benchmark id with an optional parameter, mirroring
+/// `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id `name/parameter`.
+    pub fn new(name: &str, parameter: impl Display) -> Self {
+        Self { name: format!("{name}/{parameter}") }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Registers and immediately runs a benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Registers and runs a benchmark parameterized by an input.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut b, input);
+        b.report(&id.name);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times the closure: one warm-up call, then `sample_size` timed calls.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        black_box(f()); // warm-up
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed().as_secs_f64());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("  {name}: no samples");
+            return;
+        }
+        let n = self.samples.len() as f64;
+        let mean = self.samples.iter().sum::<f64>() / n;
+        let min = self.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!("  {name}: mean {} (min {}, {} samples)", fmt(mean), fmt(min), self.samples.len());
+    }
+}
+
+fn fmt(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: defines a function running every
+/// listed benchmark with a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($bench:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $bench(&mut c); )+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: a `main` running the groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        let mut runs = 0u32;
+        g.bench_function("noop", |b| b.iter(|| runs += 1));
+        g.bench_with_input(BenchmarkId::new("p", 7), &7, |b, i| b.iter(|| *i * 2));
+        g.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+}

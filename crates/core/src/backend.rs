@@ -1,0 +1,365 @@
+//! The [`Engine`] trait: one execution interface across the flat,
+//! factorized, and LMFAO backends.
+//!
+//! The paper's central claim is that one aggregate-batch abstraction
+//! serves classical joins, factorized evaluation, and in-database learning
+//! alike. This module makes that claim an API: every backend consumes the
+//! same [`AggQuery`] and produces the same [`BatchResult`], so callers
+//! (ML, IVM, benchmarks, tests) swap engines instead of calling bespoke
+//! per-backend entry points — the Figure 6 ablation is an engine swap.
+//!
+//! * [`FlatEngine`] — the structure-agnostic baseline: materialize the
+//!   natural join with binary hash joins, then one scan per aggregate
+//!   (`fdb_query`).
+//! * [`FactorizedEngine`] — the fused leapfrog evaluator over the variable
+//!   order, one pass per aggregate, join never materialized
+//!   (`fdb_factorized` + the keyed ring).
+//! * [`LmfaoEngine`] — the layered batch engine: shared views filled
+//!   bottom-up in one scan per relation ([`crate::plan`] /
+//!   [`crate::exec`] / [`crate::parallel`]).
+
+use crate::batch::{Aggregate, FilterOp, Fn1};
+use crate::exec::{filter_pass, run_batch, Col};
+use crate::ir::{sorted_groups, AggQuery, BatchResult};
+use crate::parallel::EngineConfig;
+use fdb_data::{DataError, Database, Value};
+use fdb_factorized::EvalSpec;
+use fdb_query::{eval_agg, natural_join_all, Predicate, ScalarExpr, ScanQuery};
+use fdb_ring::{F64Ring, KeyedRing, Semiring};
+use std::collections::HashMap;
+
+/// An execution backend for aggregate-batch queries.
+///
+/// Implementations must agree: for any valid [`AggQuery`], every engine
+/// returns the same groups and (up to float round-off) the same values.
+/// `tests/engines_agree.rs` holds them to that.
+pub trait Engine {
+    /// A short stable name for reports and ablation tables.
+    fn name(&self) -> &'static str;
+
+    /// Evaluates the query against `db`.
+    fn run(&self, db: &Database, q: &AggQuery) -> Result<BatchResult, DataError>;
+}
+
+// ---------------------------------------------------------------------------
+// Flat (classical) backend
+// ---------------------------------------------------------------------------
+
+/// The structure-agnostic baseline: materialized join + one scan per
+/// aggregate. This is the "PostgreSQL stand-in" of Figures 3 and 4.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlatEngine;
+
+/// Translates one IR aggregate into the classical engine's per-relation
+/// scan query (group-by in sorted, deduplicated order — the key order of
+/// [`BatchResult`]).
+pub fn to_scan_query(agg: &Aggregate) -> ScanQuery {
+    let expr = if agg.factors.is_empty() {
+        ScalarExpr::One
+    } else {
+        ScalarExpr::Mul(
+            agg.factors
+                .iter()
+                .flat_map(|(a, f)| match f {
+                    Fn1::Ident => vec![ScalarExpr::Col(a.clone())],
+                    Fn1::Square => vec![ScalarExpr::Col(a.clone()), ScalarExpr::Col(a.clone())],
+                })
+                .collect(),
+        )
+    };
+    let groups = sorted_groups(&agg.group_by);
+    let mut q = ScanQuery { group_by: groups, expr, filter: None };
+    if !agg.filter.is_empty() {
+        let preds: Vec<Predicate> = agg
+            .filter
+            .iter()
+            .map(|(a, op)| match op {
+                FilterOp::Ge(t) => Predicate::Ge(a.clone(), *t),
+                FilterOp::Lt(t) => Predicate::Lt(a.clone(), *t),
+                FilterOp::Eq(v) => Predicate::Eq(a.clone(), Value::Int(*v)),
+                FilterOp::Ne(v) => Predicate::Ne(a.clone(), Value::Int(*v)),
+                FilterOp::In(vs) => Predicate::In(a.clone(), vs.clone()),
+            })
+            .collect();
+        q.filter = Some(Predicate::And(preds));
+    }
+    q
+}
+
+impl Engine for FlatEngine {
+    fn name(&self) -> &'static str {
+        "flat"
+    }
+
+    fn run(&self, db: &Database, q: &AggQuery) -> Result<BatchResult, DataError> {
+        q.validate(db)?;
+        let flat = natural_join_all(db, &q.relation_refs())?;
+        let mut groups = Vec::with_capacity(q.batch.len());
+        let mut values = Vec::with_capacity(q.batch.len());
+        for agg in &q.batch.aggs {
+            let sq = to_scan_query(agg);
+            let res = eval_agg(&flat, &sq)?;
+            let map: HashMap<Box<[i64]>, f64> = res
+                .into_iter()
+                .filter(|&(_, v)| v != 0.0)
+                .map(|(k, v)| (k.iter().map(|x| x.as_int()).collect(), v))
+                .collect();
+            groups.push(sq.group_by);
+            values.push(map);
+        }
+        Ok(BatchResult { groups, values })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Factorized backend
+// ---------------------------------------------------------------------------
+
+/// The fused factorized evaluator (§5.1): leapfrog over the variable order
+/// with keyed-ring aggregation, one pass per aggregate. The join is never
+/// materialized, but — unlike LMFAO — nothing is shared across the batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FactorizedEngine;
+
+/// Per-relation local work of one aggregate: factor and filter columns.
+struct LocalAgg {
+    factors: Vec<(usize, Fn1)>,
+    filter: Vec<(usize, FilterOp)>,
+}
+
+impl LocalAgg {
+    fn is_count(&self) -> bool {
+        self.factors.is_empty() && self.filter.is_empty()
+    }
+
+    /// Sum over `rows` of the filtered local factor product.
+    fn sum(&self, cols: &[Col<'_>], rows: std::ops::Range<usize>) -> f64 {
+        if self.is_count() {
+            return rows.len() as f64;
+        }
+        let mut acc = 0.0;
+        'rows: for r in rows {
+            for (c, op) in &self.filter {
+                if !filter_pass(op, cols[*c].get(r), cols[*c].get_int(r)) {
+                    continue 'rows;
+                }
+            }
+            let mut v = 1.0;
+            for &(c, f) in &self.factors {
+                v *= f.apply(cols[c].get(r));
+            }
+            acc += v;
+        }
+        acc
+    }
+}
+
+/// Resolves one aggregate's factors and filters to per-relation plans
+/// against the spec's (sorted) relations.
+fn local_plans(spec: &EvalSpec, nrels: usize, agg: &Aggregate) -> Result<Vec<LocalAgg>, DataError> {
+    let mut out: Vec<LocalAgg> =
+        (0..nrels).map(|_| LocalAgg { factors: vec![], filter: vec![] }).collect();
+    let place = |attr: &str| -> Result<(usize, usize), DataError> {
+        for ri in 0..nrels {
+            if let Ok(ci) = spec.col_index(ri, attr) {
+                return Ok((ri, ci));
+            }
+        }
+        Err(DataError::UnknownAttribute(attr.to_string()))
+    };
+    for (a, f) in &agg.factors {
+        let (ri, ci) = place(a)?;
+        out[ri].factors.push((ci, *f));
+    }
+    for (a, op) in &agg.filter {
+        let (ri, ci) = place(a)?;
+        out[ri].filter.push((ci, op.clone()));
+    }
+    Ok(out)
+}
+
+impl FactorizedEngine {
+    /// Evaluates one aggregate over a prepared spec; `gattrs` is the
+    /// sorted group-by attribute list (the spec's extra variables).
+    fn eval_one(
+        &self,
+        spec: &EvalSpec,
+        nrels: usize,
+        gattrs: &[String],
+        agg: &Aggregate,
+    ) -> Result<HashMap<Box<[i64]>, f64>, DataError> {
+        let locals = local_plans(spec, nrels, agg)?;
+        let cols: Vec<Vec<Col<'_>>> = (0..nrels).map(|ri| Col::all(spec.relation(ri))).collect();
+        let leaf = |ri: usize, rows: std::ops::Range<usize>| locals[ri].sum(&cols[ri], rows);
+        let mut map: HashMap<Box<[i64]>, f64> = HashMap::new();
+        if gattrs.is_empty() {
+            let total = spec.eval(&F64Ring, |_, _| 1.0, leaf);
+            if total != 0.0 {
+                map.insert(Vec::new().into(), total);
+            }
+            return Ok(map);
+        }
+        // Group-by slot per variable id, in sorted-attribute order.
+        let hg = spec.hypergraph();
+        let mut slot_of_var: HashMap<usize, usize> = HashMap::new();
+        for (slot, g) in gattrs.iter().enumerate() {
+            let var = hg.var_id(g).ok_or_else(|| {
+                DataError::Invalid(format!("group-by attribute `{g}` missing from the key graph"))
+            })?;
+            slot_of_var.insert(var, slot);
+        }
+        let ring = KeyedRing::new(F64Ring, gattrs.len());
+        let grouped = spec.eval(
+            &ring,
+            |var, v| match slot_of_var.get(&var) {
+                Some(&slot) => ring.tag(slot, Value::Int(v), 1.0),
+                None => ring.one(),
+            },
+            |ri, rows| ring.scalar(leaf(ri, rows)),
+        );
+        for (key, v) in grouped.iter() {
+            if *v != 0.0 {
+                map.insert(key.iter().map(|x| x.as_int()).collect(), *v);
+            }
+        }
+        Ok(map)
+    }
+}
+
+impl Engine for FactorizedEngine {
+    fn name(&self) -> &'static str {
+        "factorized"
+    }
+
+    fn run(&self, db: &Database, q: &AggQuery) -> Result<BatchResult, DataError> {
+        q.validate(db)?;
+        let rels = q.relation_refs();
+        // One spec per distinct group-by set: the group attributes become
+        // extra key variables of the variable order, so specs (and the
+        // sorting they do) are shared across same-grouped aggregates.
+        let mut specs: Vec<(Vec<String>, EvalSpec)> = Vec::new();
+        let mut groups = Vec::with_capacity(q.batch.len());
+        let mut values = Vec::with_capacity(q.batch.len());
+        for agg in &q.batch.aggs {
+            let gattrs = sorted_groups(&agg.group_by);
+            let spec_idx = match specs.iter().position(|(g, _)| *g == gattrs) {
+                Some(i) => i,
+                None => {
+                    let grefs: Vec<&str> = gattrs.iter().map(String::as_str).collect();
+                    specs.push((gattrs.clone(), EvalSpec::new(db, &rels, &grefs)?));
+                    specs.len() - 1
+                }
+            };
+            let map = self.eval_one(&specs[spec_idx].1, rels.len(), &gattrs, agg)?;
+            groups.push(gattrs);
+            values.push(map);
+        }
+        Ok(BatchResult { groups, values })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LMFAO backend
+// ---------------------------------------------------------------------------
+
+/// The layered LMFAO engine behind the trait: shared views, one scan per
+/// relation, with the [`EngineConfig`] toggles of the Figure 6 ablation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LmfaoEngine {
+    /// Feature toggles (specialisation, sharing, threads).
+    pub cfg: EngineConfig,
+}
+
+impl LmfaoEngine {
+    /// The default configuration (everything on, machine parallelism).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An engine with explicit toggles (ablation stages).
+    pub fn with_config(cfg: EngineConfig) -> Self {
+        Self { cfg }
+    }
+}
+
+impl Engine for LmfaoEngine {
+    fn name(&self) -> &'static str {
+        "lmfao"
+    }
+
+    fn run(&self, db: &Database, q: &AggQuery) -> Result<BatchResult, DataError> {
+        q.validate(db)?;
+        run_batch(db, &q.relation_refs(), &q.batch, &self.cfg)
+    }
+}
+
+/// The three backends, boxed, for ablation loops and agreement tests.
+pub fn all_engines() -> Vec<Box<dyn Engine>> {
+    vec![Box::new(FlatEngine), Box::new(FactorizedEngine), Box::new(LmfaoEngine::new())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::AggBatch;
+
+    fn dish_query() -> (Database, AggQuery) {
+        let db = fdb_datasets::dish::dish_database();
+        let mut batch = AggBatch::new();
+        batch.push(Aggregate::count());
+        batch.push(Aggregate::sum("price"));
+        batch.push(Aggregate::sum_prod("price", "price"));
+        batch.push(Aggregate::count().by(&["customer"]));
+        batch.push(Aggregate::sum("price").by(&["day", "customer"]));
+        batch.push(Aggregate::sum("price").filtered("price", FilterOp::Ge(3.0)));
+        batch.push(Aggregate::count().by(&["customer"]).filtered("day", FilterOp::Eq(1)));
+        batch.push(Aggregate::sum("price").filtered("day", FilterOp::In(vec![0, 1])));
+        (db, AggQuery::new(&["Orders", "Dish", "Items"], batch))
+    }
+
+    #[test]
+    fn three_backends_agree_on_dish() {
+        let (db, q) = dish_query();
+        let results: Vec<BatchResult> =
+            all_engines().iter().map(|e| e.run(&db, &q).unwrap()).collect();
+        let base = &results[0];
+        for (e, r) in all_engines().iter().zip(&results).skip(1) {
+            for i in 0..q.batch.len() {
+                assert_eq!(base.groups[i], r.groups[i], "{}: agg {i} groups", e.name());
+                assert_eq!(
+                    base.grouped(i).len(),
+                    r.grouped(i).len(),
+                    "{}: agg {i} key count",
+                    e.name()
+                );
+                for (k, v) in base.grouped(i) {
+                    let got = r.grouped(i).get(k).copied().unwrap_or(f64::NAN);
+                    assert!(
+                        (v - got).abs() <= 1e-9 * (1.0 + v.abs()),
+                        "{}: agg {i} key {k:?}: {v} vs {got}",
+                        e.name()
+                    );
+                }
+            }
+        }
+        // Figure 9 ground truth: SUM(1) over the dish join is 12.
+        assert_eq!(results[0].scalar(0), 12.0);
+    }
+
+    #[test]
+    fn engines_reject_invalid_queries_alike() {
+        let db = fdb_datasets::dish::dish_database();
+        let mut batch = AggBatch::new();
+        batch.push(Aggregate::sum("dish")); // join key
+        let q = AggQuery::new(&["Orders", "Dish", "Items"], batch);
+        for e in all_engines() {
+            assert!(e.run(&db, &q).is_err(), "{} must reject join-key aggregates", e.name());
+        }
+    }
+
+    #[test]
+    fn engine_names_are_distinct() {
+        let names: Vec<&str> = all_engines().iter().map(|e| e.name()).collect();
+        assert_eq!(names, vec!["flat", "factorized", "lmfao"]);
+    }
+}

@@ -148,10 +148,7 @@ mod tests {
     fn constructors() {
         assert_eq!(Aggregate::count().factors.len(), 0);
         assert_eq!(Aggregate::sum("x").factors, vec![("x".to_string(), Fn1::Ident)]);
-        assert_eq!(
-            Aggregate::sum_prod("x", "x").factors,
-            vec![("x".to_string(), Fn1::Square)]
-        );
+        assert_eq!(Aggregate::sum_prod("x", "x").factors, vec![("x".to_string(), Fn1::Square)]);
         assert_eq!(Aggregate::sum_prod("x", "y").factors.len(), 2);
         let g = Aggregate::count()
             .by(&["c"])

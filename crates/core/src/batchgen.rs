@@ -105,7 +105,8 @@ pub fn kmeans_batch(continuous: &[&str]) -> AggBatch {
 pub mod counts {
     /// Size of [`super::covariance_batch`].
     pub fn covariance(n_cont: usize, n_cat: usize) -> usize {
-        1 + n_cont + n_cont * (n_cont + 1) / 2
+        1 + n_cont
+            + n_cont * (n_cont + 1) / 2
             + n_cat * (1 + n_cont)
             + n_cat * (n_cat.saturating_sub(1)) / 2
     }

@@ -1,0 +1,486 @@
+//! The shared-scan bottom-up evaluator (LMFAO §4).
+//!
+//! Views are filled bottom-up over the join tree: all views at a node are
+//! computed in **one shared scan** of the node's relation, probing the
+//! children's already-computed views by join key. Typed column kernels
+//! (the "specialisation" toggle) replace per-tuple `Value` interpretation
+//! in the hot loop. The multi-threaded paths live in [`crate::parallel`];
+//! this module is the sequential core plus the [`run_batch`] entry point.
+
+use crate::batch::{AggBatch, FilterOp};
+use crate::ir::BatchResult;
+use crate::parallel::{self, EngineConfig};
+use crate::plan::{Plan, ViewData};
+use fdb_data::{DataError, Database};
+use std::collections::HashMap;
+
+/// Typed column accessor — the "specialisation" fast path.
+pub(crate) enum Col<'a> {
+    F(&'a [f64]),
+    I(&'a [i64]),
+}
+
+impl<'a> Col<'a> {
+    /// Builds typed accessors for every column of `rel`.
+    pub(crate) fn all(rel: &'a fdb_data::Relation) -> Vec<Col<'a>> {
+        (0..rel.schema().arity())
+            .map(|c| {
+                if rel.schema().attr(c).ty.is_int_backed() {
+                    Col::I(rel.int_col(c))
+                } else {
+                    Col::F(rel.f64_col(c))
+                }
+            })
+            .collect()
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, row: usize) -> f64 {
+        match self {
+            Col::F(v) => v[row],
+            Col::I(v) => v[row] as f64,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn get_int(&self, row: usize) -> i64 {
+        match self {
+            Col::F(v) => v[row] as i64,
+            Col::I(v) => v[row],
+        }
+    }
+}
+
+/// Evaluates one filter condition against the float/int views of a value.
+#[inline]
+pub(crate) fn filter_pass(op: &FilterOp, x_f: f64, x_i: i64) -> bool {
+    match op {
+        FilterOp::Ge(t) => x_f >= *t,
+        FilterOp::Lt(t) => x_f < *t,
+        FilterOp::Eq(v) => x_i == *v,
+        FilterOp::Ne(v) => x_i != *v,
+        FilterOp::In(vs) => vs.binary_search(&x_i).is_ok(),
+    }
+}
+
+/// Computes all views of `node` over `rows` of its relation, probing the
+/// children's views in `child_data`.
+pub(crate) fn compute_node(
+    plan: &Plan<'_>,
+    node: usize,
+    child_data: &[Option<Vec<ViewData>>],
+    cfg: &EngineConfig,
+    rows: std::ops::Range<usize>,
+) -> Vec<ViewData> {
+    let np = &plan.nodes[node];
+    let rel = plan.rels[node];
+    let cols = Col::all(rel);
+    let mut out: Vec<ViewData> = np.views.iter().map(|_| ViewData::new()).collect();
+    let nchildren = np.children.len();
+    // Distinct (child position, child view) lookups across all views: each
+    // is fetched once per row and shared by every view needing it.
+    let mut lookup_specs: Vec<(usize, usize)> = Vec::new();
+    let view_lookups: Vec<Vec<usize>> = np
+        .views
+        .iter()
+        .map(|vp| {
+            vp.child_views
+                .iter()
+                .enumerate()
+                .map(|(cpos, &(cv, _))| {
+                    match lookup_specs.iter().position(|&ls| ls == (cpos, cv)) {
+                        Some(i) => i,
+                        None => {
+                            lookup_specs.push((cpos, cv));
+                            lookup_specs.len() - 1
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    // Hash-free accumulators for scalar views (empty key, no group-bys) —
+    // the bulk of a covariance batch at the root.
+    let scalar_view: Vec<bool> =
+        np.views.iter().map(|vp| np.key_cols.is_empty() && vp.group_attrs.is_empty()).collect();
+    let mut scalar_payloads: Vec<Vec<f64>> = np
+        .views
+        .iter()
+        .enumerate()
+        .map(|(vi, vp)| if scalar_view[vi] { vec![0.0; vp.slots.len()] } else { vec![] })
+        .collect();
+    // Reused per-row buffers: the hot loop allocates only on first
+    // insertion of a new key.
+    let mut child_keys: Vec<Vec<i64>> = vec![Vec::new(); nchildren];
+    let mut key_buf: Vec<i64> = Vec::new();
+    let mut gkey_buf: Vec<i64> = Vec::new();
+    let mut single: Vec<&Vec<f64>> = Vec::with_capacity(nchildren);
+    let mut fetched: Vec<Option<*const HashMap<Box<[i64]>, Vec<f64>>>> =
+        vec![None; lookup_specs.len()];
+    for row in rows {
+        // Generic (unspecialized) mode materializes the tuple first — the
+        // per-tuple interpretation overhead LMFAO's code generation removes.
+        let generic_row: Option<Vec<fdb_data::Value>> =
+            if cfg.specialize { None } else { Some(rel.row_vec(row)) };
+        let getf = |c: usize| -> f64 {
+            match &generic_row {
+                None => cols[c].get(row),
+                Some(r) => r[c].as_f64(),
+            }
+        };
+        let geti = |c: usize| -> i64 {
+            match &generic_row {
+                None => cols[c].get_int(row),
+                Some(r) => r[c].as_int(),
+            }
+        };
+        // Row keys, once per child and once to the parent.
+        for (cpos, buf) in child_keys.iter_mut().enumerate() {
+            buf.clear();
+            buf.extend(np.child_key_cols[cpos].iter().map(|&c| geti(c)));
+        }
+        key_buf.clear();
+        key_buf.extend(np.key_cols.iter().map(|&c| geti(c)));
+        // Fetch each distinct child view once. Raw pointers sidestep the
+        // borrow of `child_data` across the mutable `out` uses below; the
+        // maps live in `child_data`, which is untouched for this node.
+        for (li, &(cpos, cv)) in lookup_specs.iter().enumerate() {
+            let data = child_data[np.children[cpos]].as_ref().expect("child computed first");
+            fetched[li] = data[cv]
+                .get(child_keys[cpos].as_slice())
+                .map(|m| m as *const HashMap<Box<[i64]>, Vec<f64>>);
+        }
+        'views: for (vi, vp) in np.views.iter().enumerate() {
+            // Resolve this view's child entries; a missing partner kills
+            // the row's contribution to this view.
+            let mut entries: Vec<&HashMap<Box<[i64]>, Vec<f64>>> = Vec::with_capacity(nchildren);
+            for &li in &view_lookups[vi] {
+                match fetched[li] {
+                    // SAFETY: points into `child_data`, alive and unaliased
+                    // by the writes to `out`/`scalar_payloads`.
+                    Some(p) => entries.push(unsafe { &*p }),
+                    None => continue 'views,
+                }
+            }
+            let group_len = vp.group_attrs.len();
+            // Fast path: every child contributes exactly one group entry
+            // (always true for scalar views) — no cross product needed.
+            if entries.iter().all(|m| m.len() == 1) {
+                gkey_buf.clear();
+                gkey_buf.resize(group_len, 0);
+                for &(pos, col) in &vp.local_groups {
+                    gkey_buf[pos] = geti(col);
+                }
+                single.clear();
+                for (cpos, m) in entries.iter().enumerate() {
+                    let (gvals, pay) = m.iter().next().expect("len 1");
+                    for &(mypos, cpos_g) in &vp.child_views[cpos].1 {
+                        gkey_buf[mypos] = gvals[cpos_g];
+                    }
+                    single.push(pay);
+                    debug_assert_eq!(single.len(), cpos + 1);
+                }
+                let payload: &mut Vec<f64> = if scalar_view[vi] {
+                    &mut scalar_payloads[vi]
+                } else {
+                    lookup_payload(&mut out[vi], &key_buf, &gkey_buf, vp.slots.len())
+                };
+                'slots: for (si, slot) in vp.slots.iter().enumerate() {
+                    for (c, op) in &slot.filter {
+                        if !filter_pass(op, getf(*c), geti(*c)) {
+                            continue 'slots;
+                        }
+                    }
+                    let mut v = 1.0;
+                    for &(c, f) in &slot.factors {
+                        v *= f.apply(getf(c));
+                    }
+                    for (cpos, _) in entries.iter().enumerate() {
+                        v *= single[cpos][slot.child_slots[cpos]];
+                    }
+                    payload[si] += v;
+                }
+                continue 'views;
+            }
+            // General path: cross product of child group entries.
+            let entry_lists: Vec<Vec<(&Box<[i64]>, &Vec<f64>)>> =
+                entries.iter().map(|m| m.iter().collect()).collect();
+            let mut idx = vec![0usize; nchildren];
+            loop {
+                gkey_buf.clear();
+                gkey_buf.resize(group_len, 0);
+                for &(pos, col) in &vp.local_groups {
+                    gkey_buf[pos] = geti(col);
+                }
+                for (cpos, list) in entry_lists.iter().enumerate() {
+                    let (gvals, _) = list[idx[cpos]];
+                    for &(mypos, cpos_g) in &vp.child_views[cpos].1 {
+                        gkey_buf[mypos] = gvals[cpos_g];
+                    }
+                }
+                // Accumulate all slots for this combination.
+                let payload: &mut Vec<f64> = if scalar_view[vi] {
+                    &mut scalar_payloads[vi]
+                } else {
+                    lookup_payload(&mut out[vi], &key_buf, &gkey_buf, vp.slots.len())
+                };
+                'slots: for (si, slot) in vp.slots.iter().enumerate() {
+                    for (c, op) in &slot.filter {
+                        if !filter_pass(op, getf(*c), geti(*c)) {
+                            continue 'slots;
+                        }
+                    }
+                    let mut v = 1.0;
+                    for &(c, f) in &slot.factors {
+                        v *= f.apply(getf(c));
+                    }
+                    for (cpos, list) in entry_lists.iter().enumerate() {
+                        let (_, pay) = list[idx[cpos]];
+                        v *= pay[slot.child_slots[cpos]];
+                    }
+                    payload[si] += v;
+                }
+                // Advance the multi-index.
+                let mut d = 0;
+                loop {
+                    if d == nchildren {
+                        break;
+                    }
+                    idx[d] += 1;
+                    if idx[d] < entry_lists[d].len() {
+                        break;
+                    }
+                    idx[d] = 0;
+                    d += 1;
+                }
+                if d == nchildren {
+                    break;
+                }
+            }
+        }
+    }
+    // Fold the hash-free scalar accumulators into the map representation.
+    for (vi, payload) in scalar_payloads.into_iter().enumerate() {
+        if scalar_view[vi] {
+            let empty_key: Box<[i64]> = Vec::new().into();
+            out[vi].entry(empty_key.clone()).or_default().insert(empty_key, payload);
+        }
+    }
+    out
+}
+
+/// Finds (or inserts zero-initialized) the payload vector for
+/// `(key, gkey)`, cloning the key buffers only on first insertion.
+#[inline]
+fn lookup_payload<'m>(
+    view: &'m mut ViewData,
+    key: &[i64],
+    gkey: &[i64],
+    slots: usize,
+) -> &'m mut Vec<f64> {
+    if !view.contains_key(key) {
+        view.insert(key.into(), HashMap::new());
+    }
+    let groups = view.get_mut(key).expect("ensured above");
+    if !groups.contains_key(gkey) {
+        groups.insert(gkey.into(), vec![0.0; slots]);
+    }
+    groups.get_mut(gkey).expect("ensured above")
+}
+
+/// Computes all nodes of `order` sequentially (bottom-up).
+pub(crate) fn compute_subtree(
+    plan: &Plan<'_>,
+    order: &[usize],
+    data: &mut [Option<Vec<ViewData>>],
+    cfg: &EngineConfig,
+) {
+    for &n in order {
+        let out = compute_node(plan, n, data, cfg, 0..plan.rels[n].len());
+        data[n] = Some(out);
+    }
+}
+
+/// Runs an aggregate batch over the natural join of `relations`.
+///
+/// Crate-internal: the public entry point is
+/// [`crate::backend::LmfaoEngine`], whose `run` validates the
+/// [`crate::ir::AggQuery`] first — calling this directly would skip the
+/// invariants (e.g. integer-backed group-bys) the backends rely on.
+pub(crate) fn run_batch(
+    db: &Database,
+    relations: &[&str],
+    batch: &AggBatch,
+    cfg: &EngineConfig,
+) -> Result<BatchResult, DataError> {
+    let mut plan = Plan::build(db, relations)?;
+    let root = plan.root;
+    // Decompose every aggregate from the root.
+    let mut agg_slots = Vec::with_capacity(batch.aggs.len());
+    for (i, agg) in batch.aggs.iter().enumerate() {
+        agg_slots.push(plan.decompose(agg, i, root, cfg.share)?);
+    }
+    let plan = plan; // freeze
+    let mut data: Vec<Option<Vec<ViewData>>> = plan.rels.iter().map(|_| None).collect();
+
+    // Non-root nodes bottom-up; root children subtrees are independent and
+    // can run task-parallel.
+    let non_root: Vec<usize> = plan.order.iter().copied().filter(|&n| n != root).collect();
+    if cfg.threads > 1 && plan.nodes[root].children.len() > 1 {
+        parallel::compute_subtrees_parallel(&plan, &non_root, &mut data, cfg);
+    } else {
+        compute_subtree(&plan, &non_root, &mut data, cfg);
+    }
+
+    // Root: domain parallelism over row chunks.
+    let root_rows = plan.rels[root].len();
+    let root_data = if cfg.threads > 1 && root_rows > 4096 {
+        parallel::compute_root_chunked(&plan, &data, cfg, root_rows)
+    } else {
+        compute_node(&plan, root, &data, cfg, 0..root_rows)
+    };
+
+    // Extract results.
+    let empty_key: Box<[i64]> = Vec::new().into();
+    let mut groups = Vec::with_capacity(batch.aggs.len());
+    let mut values = Vec::with_capacity(batch.aggs.len());
+    for &(vi, si) in &agg_slots {
+        let vp = &plan.nodes[root].views[vi];
+        groups.push(vp.group_attrs.clone());
+        let mut map: HashMap<Box<[i64]>, f64> = HashMap::new();
+        if let Some(entries) = root_data[vi].get(&empty_key) {
+            for (gkey, payload) in entries {
+                if payload[si] != 0.0 {
+                    map.insert(gkey.clone(), payload[si]);
+                }
+            }
+        }
+        values.push(map);
+    }
+    Ok(BatchResult { groups, values })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Engine, FlatEngine, LmfaoEngine};
+    use crate::batch::Aggregate;
+    use crate::ir::AggQuery;
+    use fdb_data::Relation;
+
+    fn tiny_retailer() -> (Database, Vec<&'static str>) {
+        let ds = fdb_datasets::retailer(fdb_datasets::RetailerConfig::tiny());
+        (ds.db, vec!["Inventory", "Location", "Census", "Item", "Weather"])
+    }
+
+    /// Compares LMFAO against the flat engine on the materialized join —
+    /// both through the `Engine` trait on the same `AggQuery`.
+    fn check_batch(db: &Database, rels: &[&str], batch: &AggBatch, cfg: &EngineConfig) {
+        let q = AggQuery::new(rels, batch.clone());
+        let got = LmfaoEngine::with_config(*cfg).run(db, &q).unwrap();
+        let expect = FlatEngine.run(db, &q).unwrap();
+        for i in 0..batch.len() {
+            assert_eq!(got.groups[i], expect.groups[i], "agg {i}: group attrs");
+            let (gotmap, expmap) = (got.grouped(i), expect.grouped(i));
+            assert_eq!(gotmap.len(), expmap.len(), "agg {i}: group count mismatch");
+            for (k, v) in gotmap {
+                let e = expmap.get(k).copied().unwrap_or(f64::NAN);
+                assert!(
+                    (v - e).abs() <= 1e-6 * (1.0 + e.abs()),
+                    "agg {i} key {k:?}: got {v}, expect {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn covariance_batch_matches_classical_engine() {
+        let (db, rels) = tiny_retailer();
+        let batch = crate::batchgen::covariance_batch(
+            &["prize", "maxtemp", "population", "inventoryunits"],
+            &["rain", "category"],
+        );
+        check_batch(&db, &rels, &batch, &EngineConfig::default());
+    }
+
+    #[test]
+    fn unshared_and_unspecialized_agree() {
+        let (db, rels) = tiny_retailer();
+        let batch = crate::batchgen::covariance_batch(
+            &["prize", "inventoryunits"],
+            &["rain", "categoryCluster"],
+        );
+        for cfg in [
+            EngineConfig { specialize: false, share: false, threads: 1 },
+            EngineConfig { specialize: true, share: false, threads: 1 },
+            EngineConfig { specialize: false, share: true, threads: 1 },
+        ] {
+            check_batch(&db, &rels, &batch, &cfg);
+        }
+    }
+
+    #[test]
+    fn parallel_agrees_with_sequential() {
+        let (db, rels) = tiny_retailer();
+        let batch =
+            crate::batchgen::covariance_batch(&["prize", "maxtemp", "inventoryunits"], &["rain"]);
+        let seq = run_batch(&db, &rels, &batch, &EngineConfig { threads: 1, ..Default::default() })
+            .unwrap();
+        let par = run_batch(&db, &rels, &batch, &EngineConfig { threads: 4, ..Default::default() })
+            .unwrap();
+        for i in 0..batch.len() {
+            assert_eq!(seq.groups[i], par.groups[i]);
+            for (k, v) in seq.grouped(i) {
+                let p = par.grouped(i)[k];
+                assert!((v - p).abs() <= 1e-9 * (1.0 + v.abs()), "agg {i}: {v} vs {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_decision_tree_batch_matches() {
+        let (db, rels) = tiny_retailer();
+        let batch = crate::batchgen::decision_node_batch(
+            &["prize", "maxtemp"],
+            &["rain"],
+            "inventoryunits",
+            3,
+            2,
+            |attr, j| match attr {
+                "prize" => 5.0 + 10.0 * j as f64,
+                _ => 5.0 * j as f64,
+            },
+        );
+        check_batch(&db, &rels, &batch, &EngineConfig::default());
+    }
+
+    #[test]
+    fn cross_branch_categorical_pairs() {
+        // category (Item) × rain (Weather): group attrs from different
+        // subtrees exercise the cross-product path.
+        let (db, rels) = tiny_retailer();
+        let mut batch = AggBatch::new();
+        batch.push(Aggregate::count().by(&["category", "rain"]));
+        batch.push(Aggregate::sum("inventoryunits").by(&["category", "rain"]));
+        check_batch(&db, &rels, &batch, &EngineConfig::default());
+    }
+
+    #[test]
+    fn join_key_as_factor_is_rejected() {
+        let (db, rels) = tiny_retailer();
+        let mut batch = AggBatch::new();
+        batch.push(Aggregate::sum("locn"));
+        assert!(run_batch(&db, &rels, &batch, &EngineConfig::default()).is_err());
+    }
+
+    #[test]
+    fn empty_join_yields_zero_scalars() {
+        let (mut db, rels) = tiny_retailer();
+        let schema = db.get("Item").unwrap().schema().clone();
+        db.add("Item", Relation::new(schema));
+        let mut batch = AggBatch::new();
+        batch.push(Aggregate::count());
+        let res = run_batch(&db, &rels, &batch, &EngineConfig::default()).unwrap();
+        assert_eq!(res.scalar(0), 0.0);
+    }
+}

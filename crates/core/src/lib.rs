@@ -1,30 +1,46 @@
-//! # fdb-core — LMFAO
+//! # fdb-core — the unified execution layer (LMFAO)
 //!
-//! A layered engine for **batches** of group-by aggregates over joins — the
-//! paper's primary contribution (§2, §4; Schleich et al., SIGMOD 2019).
+//! One aggregate-query IR and one [`Engine`] trait across the flat,
+//! factorized, and LMFAO backends — the paper's primary contribution (§2,
+//! §4; Schleich et al., SIGMOD 2019) made into an API seam.
 //!
 //! The workload: machine-learning tasks reduce to hundreds or thousands of
 //! very similar sum-product aggregates over one feature extraction join
-//! (Figure 5). LMFAO evaluates the whole batch in one bottom-up pass over a
-//! join tree:
+//! (Figure 5). An [`AggQuery`] captures that workload once — join
+//! hypergraph + aggregate batch — and every backend consumes it:
 //!
 //! * [`batch`] — the aggregate IR: `SUM(Π f(attr)) WHERE cond GROUP BY cats`.
 //! * [`batchgen`] — batch synthesis for the paper's four workloads:
 //!   covariance matrix, decision-tree node, mutual information, k-means.
-//! * [`engine`] — the layered evaluator: aggregates are decomposed top-down
-//!   along the join tree into *views*; identical partial aggregates are
-//!   computed once (sharing); views at a node are consolidated and computed
-//!   in one shared scan; typed column kernels (specialisation) and
-//!   domain/task parallelism lower the constants (§4, Figure 6 ablation).
+//! * [`ir`] — [`AggQuery`] (the logical query all engines share) and
+//!   [`BatchResult`].
+//! * [`backend`] — the [`Engine`] trait with three implementations:
+//!   [`FlatEngine`] (materialized join, one scan per aggregate),
+//!   [`FactorizedEngine`] (fused leapfrog + keyed ring), and
+//!   [`LmfaoEngine`] (the layered batch engine below).
+//! * [`plan`] — top-down aggregate decomposition along the join tree into
+//!   *views*; identical partial aggregates are computed once (sharing) and
+//!   views at a node are consolidated.
+//! * [`exec`] — the shared-scan bottom-up evaluator with typed column
+//!   kernels (specialisation).
+//! * [`parallel`] — domain/task parallelism and [`EngineConfig`]
+//!   (`threads` defaults to the machine's available parallelism); the
+//!   toggles reproduce the Figure 6 ablation.
 //! * [`stats`] — `SufficientStats`: the sparse-tensor sufficient statistics
 //!   (§2.1) assembled from a batch result, consumed by `fdb-ml`.
 
+pub mod backend;
 pub mod batch;
 pub mod batchgen;
-pub mod engine;
+pub mod exec;
+pub mod ir;
+pub mod parallel;
+pub mod plan;
 pub mod stats;
 
+pub use backend::{all_engines, to_scan_query, Engine, FactorizedEngine, FlatEngine, LmfaoEngine};
 pub use batch::{AggBatch, Aggregate, FilterOp, Fn1};
 pub use batchgen::{covariance_batch, decision_node_batch, kmeans_batch, mutual_info_batch};
-pub use engine::{run_batch, BatchResult, EngineConfig};
+pub use ir::{AggQuery, BatchResult};
+pub use parallel::EngineConfig;
 pub use stats::{sufficient_stats, SufficientStats};

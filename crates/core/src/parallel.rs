@@ -1,0 +1,165 @@
+//! Domain and task parallelism (LMFAO §4, the "+parallelisation" stage of
+//! the Figure 6 ablation).
+//!
+//! Two orthogonal strategies, both over plain scoped threads:
+//!
+//! * **task parallelism** — the subtrees hanging off the root are
+//!   independent and are computed on separate workers
+//!   ([`compute_subtrees_parallel`]);
+//! * **domain parallelism** — the root relation's scan is partitioned into
+//!   row chunks whose per-view partial aggregates merge additively
+//!   ([`compute_root_chunked`]).
+
+use crate::exec::compute_node;
+use crate::plan::{Plan, ViewData};
+
+/// Engine feature toggles (all on by default).
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Use typed column kernels (monomorphized access) instead of generic
+    /// per-tuple `Value` interpretation.
+    pub specialize: bool,
+    /// Deduplicate identical partial aggregates and consolidate views.
+    pub share: bool,
+    /// Worker threads for domain parallelism at the root (1 = sequential).
+    /// Defaults to the machine's available parallelism.
+    pub threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self { specialize: true, share: true, threads: default_threads() }
+    }
+}
+
+impl EngineConfig {
+    /// A single-threaded configuration with all other toggles on.
+    pub fn sequential() -> Self {
+        Self { threads: 1, ..Default::default() }
+    }
+}
+
+/// The machine's available parallelism (1 if it cannot be determined).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Merges per-chunk view data additively into `a`.
+pub(crate) fn merge_view_data(a: &mut [ViewData], b: Vec<ViewData>) {
+    for (va, vb) in a.iter_mut().zip(b) {
+        for (key, groups) in vb {
+            let ga = va.entry(key).or_default();
+            for (gkey, payload) in groups {
+                match ga.get_mut(&gkey) {
+                    Some(p) => {
+                        for (x, y) in p.iter_mut().zip(&payload) {
+                            *x += *y;
+                        }
+                    }
+                    None => {
+                        ga.insert(gkey, payload);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Task parallelism: computes the root's child subtrees on separate
+/// workers. `non_root` is the bottom-up order minus the root; results are
+/// written into `data`.
+pub(crate) fn compute_subtrees_parallel(
+    plan: &Plan<'_>,
+    non_root: &[usize],
+    data: &mut [Option<Vec<ViewData>>],
+    cfg: &EngineConfig,
+) {
+    let children = plan.nodes[plan.root].children.clone();
+    let mut partitions: Vec<Vec<usize>> = children
+        .iter()
+        .map(|&c| non_root.iter().copied().filter(|n| plan.subtree[c].contains(n)).collect())
+        .collect();
+    let results: Vec<Vec<(usize, Vec<ViewData>)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = partitions
+            .drain(..)
+            .map(|part| {
+                let cfg = *cfg;
+                s.spawn(move || {
+                    let mut local: Vec<Option<Vec<ViewData>>> =
+                        plan.rels.iter().map(|_| None).collect();
+                    for &n in &part {
+                        let out = compute_node(plan, n, &local, &cfg, 0..plan.rels[n].len());
+                        local[n] = Some(out);
+                    }
+                    part.iter().map(|&n| (n, local[n].take().expect("set"))).collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+    });
+    for part in results {
+        for (n, d) in part {
+            data[n] = Some(d);
+        }
+    }
+}
+
+/// Domain parallelism: computes the root node over `root_rows` rows split
+/// into `cfg.threads` chunks, merging the partial view data.
+pub(crate) fn compute_root_chunked(
+    plan: &Plan<'_>,
+    data: &[Option<Vec<ViewData>>],
+    cfg: &EngineConfig,
+    root_rows: usize,
+) -> Vec<ViewData> {
+    let t = cfg.threads.min(root_rows);
+    let chunk = root_rows.div_ceil(t);
+    let partials: Vec<Vec<ViewData>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..t)
+            .map(|k| {
+                let cfg = *cfg;
+                s.spawn(move || {
+                    let lo = k * chunk;
+                    let hi = ((k + 1) * chunk).min(root_rows);
+                    compute_node(plan, plan.root, data, &cfg, lo..hi)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+    });
+    let mut it = partials.into_iter();
+    let mut acc = it.next().expect("at least one chunk");
+    for p in it {
+        merge_view_data(&mut acc, p);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_enables_everything() {
+        let cfg = EngineConfig::default();
+        assert!(cfg.specialize && cfg.share);
+        assert!(cfg.threads >= 1);
+        assert_eq!(EngineConfig::sequential().threads, 1);
+    }
+
+    #[test]
+    fn merge_adds_payloads_keywise() {
+        let key: Box<[i64]> = vec![1].into();
+        let gkey: Box<[i64]> = vec![2].into();
+        let mk = |v: f64| -> ViewData {
+            let mut groups = std::collections::HashMap::new();
+            groups.insert(gkey.clone(), vec![v, 2.0 * v]);
+            let mut vd = ViewData::new();
+            vd.insert(key.clone(), groups);
+            vd
+        };
+        let mut a = vec![mk(1.0)];
+        merge_view_data(&mut a, vec![mk(10.0)]);
+        assert_eq!(a[0][&key][&gkey], vec![11.0, 22.0]);
+    }
+}

@@ -1,0 +1,330 @@
+//! Top-down aggregate decomposition and view consolidation (LMFAO §4).
+//!
+//! Each aggregate of a batch is decomposed along the join tree: the
+//! restriction of the aggregate to a subtree becomes a *partial aggregate*
+//! computed at that subtree's root; a subtree containing none of the
+//! aggregate's attributes contributes its join **count** (the rule of §4
+//! "Sharing computation"). Identical partial aggregates across the batch
+//! are detected by signature and computed once; partials at a node are
+//! consolidated into *views* (one per group-by signature), ready for the
+//! shared scan in [`crate::exec`].
+
+use crate::batch::{Aggregate, FilterOp, Fn1};
+use fdb_data::{DataError, Database, Relation};
+use fdb_factorized::hypergraph::Hypergraph;
+use std::collections::{HashMap, HashSet};
+
+/// One partial aggregate inside a view: local factors, local filter, and
+/// the child-view slots it multiplies in.
+#[derive(Debug)]
+pub(crate) struct SlotPlan {
+    /// Local factors: (column, function).
+    pub(crate) factors: Vec<(usize, Fn1)>,
+    /// Local filter conditions (column, op) — all must pass.
+    pub(crate) filter: Vec<(usize, FilterOp)>,
+    /// Per node-child (aligned with `NodePlan::children`): the slot index
+    /// inside the child view this slot multiplies in.
+    pub(crate) child_slots: Vec<usize>,
+}
+
+/// A consolidated view at a node: one group-by signature, many slots.
+#[derive(Debug)]
+pub(crate) struct ViewPlan {
+    /// Bubbled group-by attributes, sorted by name.
+    pub(crate) group_attrs: Vec<String>,
+    /// Local group columns: (position in group key, column in relation).
+    pub(crate) local_groups: Vec<(usize, usize)>,
+    /// Per node-child: (child view index, mapping (my position, child
+    /// position) for the child's group values).
+    pub(crate) child_views: Vec<(usize, Vec<(usize, usize)>)>,
+    pub(crate) slots: Vec<SlotPlan>,
+}
+
+/// Per-node plan state: join-tree wiring plus the node's views.
+#[derive(Debug)]
+pub(crate) struct NodePlan {
+    /// Key-to-parent columns in this relation (empty at the root).
+    pub(crate) key_cols: Vec<usize>,
+    /// Child node (edge) ids.
+    pub(crate) children: Vec<usize>,
+    /// For each child: the columns *in this relation* holding the child's
+    /// key attributes.
+    pub(crate) child_key_cols: Vec<Vec<usize>>,
+    pub(crate) views: Vec<ViewPlan>,
+    /// Signature → (view, slot) registry for sharing.
+    pub(crate) slot_registry: HashMap<String, (usize, usize)>,
+    /// Group-signature → view registry for consolidation.
+    pub(crate) view_registry: HashMap<String, usize>,
+}
+
+/// `view key (join key to parent)` → `group values` → `payload per slot`.
+pub(crate) type ViewData = HashMap<Box<[i64]>, HashMap<Box<[i64]>, Vec<f64>>>;
+
+/// The full batch plan: join tree, node plans, and attribute ownership.
+pub(crate) struct Plan<'a> {
+    pub(crate) rels: Vec<&'a Relation>,
+    pub(crate) nodes: Vec<NodePlan>,
+    /// Bottom-up processing order (children before parents).
+    pub(crate) order: Vec<usize>,
+    pub(crate) root: usize,
+    /// Attribute → (owning node, column) for non-key attributes.
+    pub(crate) owner: HashMap<String, (usize, usize)>,
+    /// Per node: the set of nodes in its subtree.
+    pub(crate) subtree: Vec<HashSet<usize>>,
+}
+
+impl<'a> Plan<'a> {
+    /// Builds the join-tree skeleton (no views yet) for the natural join
+    /// of `relations`, rooted at the largest relation (the fact table).
+    pub(crate) fn build(db: &'a Database, relations: &[&str]) -> Result<Self, DataError> {
+        let hg = Hypergraph::join_keys_plus(db, relations, &[])?;
+        let jt =
+            hg.join_tree().ok_or_else(|| DataError::Invalid("cyclic join key graph".into()))?;
+        let rels: Vec<&Relation> = relations.iter().map(|r| db.get(r)).collect::<Result<_, _>>()?;
+        // Root at the largest relation (the fact table).
+        let root = (0..rels.len()).max_by_key(|&i| rels[i].len()).unwrap_or(0);
+        let jt = jt.rerooted(root);
+        let n = relations.len();
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            let key_attrs: Vec<String> = match jt.parent[i] {
+                Some(p) => hg.edges()[i]
+                    .vars
+                    .iter()
+                    .filter(|v| hg.edges()[p].vars.contains(v))
+                    .map(|&v| hg.vars()[v].clone())
+                    .collect(),
+                None => vec![],
+            };
+            let key_cols: Vec<usize> =
+                key_attrs.iter().map(|a| rels[i].schema().require(a)).collect::<Result<_, _>>()?;
+            nodes.push(NodePlan {
+                key_cols,
+                children: jt.children(i),
+                child_key_cols: vec![],
+                views: vec![],
+                slot_registry: HashMap::new(),
+                view_registry: HashMap::new(),
+            });
+        }
+        // child_key_cols: resolve each child's key attrs inside this node's
+        // relation (the attr names are shared by construction).
+        for i in 0..n {
+            let children = nodes[i].children.clone();
+            let mut ckc = Vec::with_capacity(children.len());
+            for &c in &children {
+                let cols: Vec<usize> = nodes[c]
+                    .key_cols
+                    .iter()
+                    .map(|&cc| {
+                        let name = &rels[c].schema().attr(cc).name;
+                        rels[i].schema().require(name)
+                    })
+                    .collect::<Result<_, _>>()?;
+                ckc.push(cols);
+            }
+            nodes[i].child_key_cols = ckc;
+        }
+        // Bottom-up order from the GYO/reroot order (leaves first).
+        let order = jt.order.clone();
+        // Attribute ownership: non-key attributes appear in exactly one
+        // relation.
+        let mut owner: HashMap<String, (usize, usize)> = HashMap::new();
+        for (i, rel) in rels.iter().enumerate() {
+            for (ci, a) in rel.schema().attrs().iter().enumerate() {
+                if hg.var_id(&a.name).is_none() {
+                    owner.insert(a.name.clone(), (i, ci));
+                }
+            }
+        }
+        // Subtree node sets.
+        let mut subtree: Vec<HashSet<usize>> = (0..n).map(|i| HashSet::from([i])).collect();
+        for &i in &order {
+            if let Some(p) = jt.parent[i] {
+                let s = subtree[i].clone();
+                subtree[p].extend(s);
+            }
+        }
+        Ok(Plan { rels, nodes, order, root, owner, subtree })
+    }
+
+    /// Resolves an aggregate attribute, erroring on join keys / unknowns.
+    fn resolve(&self, attr: &str) -> Result<(usize, usize), DataError> {
+        self.owner.get(attr).copied().ok_or_else(|| {
+            DataError::Invalid(format!(
+                "aggregate attribute `{attr}` must be a non-join attribute of exactly one relation"
+            ))
+        })
+    }
+
+    /// Decomposes aggregate `agg_idx` at `node`, registering views/slots;
+    /// returns `(view, slot)` at this node.
+    pub(crate) fn decompose(
+        &mut self,
+        agg: &Aggregate,
+        agg_idx: usize,
+        node: usize,
+        share: bool,
+    ) -> Result<(usize, usize), DataError> {
+        // Children first.
+        let children = self.nodes[node].children.clone();
+        let mut child_results = Vec::with_capacity(children.len());
+        for &c in &children {
+            child_results.push(self.decompose(agg, agg_idx, c, share)?);
+        }
+        // Local pieces.
+        let mut local_factors: Vec<(usize, Fn1)> = Vec::new();
+        for (a, f) in &agg.factors {
+            let (n, col) = self.resolve(a)?;
+            // Factors owned elsewhere are handled by the recursion into
+            // the owning subtree; only this node's columns matter here.
+            if n == node {
+                local_factors.push((col, *f));
+            }
+        }
+        local_factors.sort_by_key(|&(c, f)| (c, f as u8));
+        let mut local_filter: Vec<(usize, FilterOp)> = Vec::new();
+        for (a, op) in &agg.filter {
+            let (n, col) = self.resolve(a)?;
+            if n == node {
+                local_filter.push((col, op.clone()));
+            }
+        }
+        local_filter.sort_by_key(|(c, _)| *c);
+        let mut local_group_attrs: Vec<String> = Vec::new();
+        let mut group_attrs: Vec<String> = Vec::new();
+        for g in &agg.group_by {
+            let (n, _col) = self.resolve(g)?;
+            if n == node {
+                local_group_attrs.push(g.clone());
+            }
+            if self.subtree[node].contains(&n) {
+                group_attrs.push(g.clone());
+            }
+        }
+        group_attrs.sort();
+        group_attrs.dedup();
+
+        // Signatures.
+        let mut sig = String::new();
+        use std::fmt::Write as _;
+        for (c, f) in &local_factors {
+            let _ = write!(sig, "f{c}.{};", *f as u8);
+        }
+        for (c, op) in &local_filter {
+            let _ = write!(sig, "w{c}.{op:?};");
+        }
+        let _ = write!(sig, "g{};", group_attrs.join(","));
+        for (v, s) in &child_results {
+            let _ = write!(sig, "c{v}.{s};");
+        }
+        let mut view_sig = format!("g:{}", group_attrs.join(","));
+        if !share {
+            // No sharing: every aggregate gets private views and slots.
+            let _ = write!(sig, "#agg{agg_idx}");
+            let _ = write!(view_sig, "#agg{agg_idx}");
+        }
+        if let Some(&hit) = self.nodes[node].slot_registry.get(&sig) {
+            return Ok(hit);
+        }
+        // Find or create the view.
+        let view_idx = match self.nodes[node].view_registry.get(&view_sig) {
+            Some(&v) => v,
+            None => {
+                let local_groups: Vec<(usize, usize)> = local_group_attrs
+                    .iter()
+                    .map(|g| {
+                        let pos = group_attrs.iter().position(|x| x == g).expect("local ⊆ all");
+                        let (_, col) = self.owner[g];
+                        (pos, col)
+                    })
+                    .collect();
+                // Child view + group mapping per child. The child view for
+                // this group signature is the view its (view,slot) result
+                // lives in — recorded in child_results.
+                let mut child_views = Vec::with_capacity(children.len());
+                for (pos, &c) in children.iter().enumerate() {
+                    let (cv, _) = child_results[pos];
+                    let mapping: Vec<(usize, usize)> = self.nodes[c].views[cv]
+                        .group_attrs
+                        .iter()
+                        .enumerate()
+                        .map(|(cpos, g)| {
+                            let mypos =
+                                group_attrs.iter().position(|x| x == g).expect("child ⊆ all");
+                            (mypos, cpos)
+                        })
+                        .collect();
+                    child_views.push((cv, mapping));
+                }
+                let v = ViewPlan {
+                    group_attrs: group_attrs.clone(),
+                    local_groups,
+                    child_views,
+                    slots: vec![],
+                };
+                self.nodes[node].views.push(v);
+                let idx = self.nodes[node].views.len() - 1;
+                self.nodes[node].view_registry.insert(view_sig, idx);
+                idx
+            }
+        };
+        // Consistency: a shared view must agree on which child views feed it.
+        debug_assert!(self.nodes[node].views[view_idx]
+            .child_views
+            .iter()
+            .zip(&child_results)
+            .all(|((cv, _), (rv, _))| cv == rv));
+        let slot = SlotPlan {
+            factors: local_factors,
+            filter: local_filter,
+            child_slots: child_results.iter().map(|&(_, s)| s).collect(),
+        };
+        self.nodes[node].views[view_idx].slots.push(slot);
+        let slot_idx = self.nodes[node].views[view_idx].slots.len() - 1;
+        self.nodes[node].slot_registry.insert(sig, (view_idx, slot_idx));
+        Ok((view_idx, slot_idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_retailer() -> (Database, Vec<&'static str>) {
+        let ds = fdb_datasets::retailer(fdb_datasets::RetailerConfig::tiny());
+        (ds.db, vec!["Inventory", "Location", "Census", "Item", "Weather"])
+    }
+
+    #[test]
+    fn sharing_reduces_slot_count() {
+        let (db, rels) = tiny_retailer();
+        let batch = crate::batchgen::covariance_batch(
+            &["prize", "maxtemp", "population", "inventoryunits"],
+            &["rain", "category"],
+        );
+        let count_slots = |share: bool| -> usize {
+            let mut plan = Plan::build(&db, &rels).unwrap();
+            let root = plan.root;
+            for (i, agg) in batch.aggs.iter().enumerate() {
+                plan.decompose(agg, i, root, share).unwrap();
+            }
+            plan.nodes.iter().map(|n| n.views.iter().map(|v| v.slots.len()).sum::<usize>()).sum()
+        };
+        let shared = count_slots(true);
+        let unshared = count_slots(false);
+        assert!(
+            shared * 2 < unshared,
+            "sharing should cut slots at least 2x: {shared} vs {unshared}"
+        );
+    }
+
+    #[test]
+    fn join_key_as_factor_is_rejected() {
+        let (db, rels) = tiny_retailer();
+        let mut plan = Plan::build(&db, &rels).unwrap();
+        let root = plan.root;
+        let agg = Aggregate::sum("locn");
+        assert!(plan.decompose(&agg, 0, root, true).is_err());
+    }
+}

@@ -7,9 +7,10 @@
 //! interactions are kept as group-by maps over the category codes that
 //! actually occur ("sparse tensor encoding").
 
+use crate::backend::Engine;
 use crate::batch::AggBatch;
 use crate::batchgen::covariance_batch;
-use crate::engine::{run_batch, EngineConfig};
+use crate::ir::AggQuery;
 use fdb_data::{DataError, Database};
 use fdb_factorized::EvalSpec;
 use fdb_ring::{CovRing, CovTriple, Semiring};
@@ -51,7 +52,7 @@ impl SufficientStats {
     }
 }
 
-/// Computes sufficient statistics with the LMFAO engine.
+/// Computes sufficient statistics through any [`Engine`] backend.
 ///
 /// `continuous` must list the response last (as
 /// [`fdb_datasets`-style feature sets do](SufficientStats::cont)).
@@ -60,14 +61,16 @@ pub fn sufficient_stats(
     relations: &[&str],
     continuous: &[&str],
     categorical: &[&str],
-    cfg: &EngineConfig,
+    engine: &dyn Engine,
 ) -> Result<SufficientStats, DataError> {
     let batch: AggBatch = covariance_batch(continuous, categorical);
-    let res = run_batch(db, relations, &batch, cfg)?;
+    let q = AggQuery::new(relations, batch);
+    let res = engine.run(db, &q)?;
+    let batch = &q.batch;
     let n = continuous.len();
     let m = categorical.len();
     let mut cursor = 0usize;
-    let mut next_scalar = |res: &crate::engine::BatchResult| {
+    let mut next_scalar = |res: &crate::ir::BatchResult| {
         let v = res.scalar(cursor);
         cursor += 1;
         v
@@ -194,7 +197,7 @@ mod tests {
             &rels,
             &["prize", "maxtemp", "inventoryunits"],
             &["rain", "category"],
-            &EngineConfig::default(),
+            &crate::backend::LmfaoEngine::default(),
         )
         .unwrap();
         assert!(stats.count > 0.0);
@@ -219,7 +222,8 @@ mod tests {
         let rels: Vec<&str> = ds.relation_refs();
         let cont = ["prize", "maxtemp", "population", "inventoryunits"];
         let stats =
-            sufficient_stats(&ds.db, &rels, &cont, &[], &EngineConfig::default()).unwrap();
+            sufficient_stats(&ds.db, &rels, &cont, &[], &crate::backend::LmfaoEngine::default())
+                .unwrap();
         let triple = cov_triple_factorized(&ds.db, &rels, &cont).unwrap();
         assert!((stats.count - triple.c).abs() < 1e-6);
         for i in 0..cont.len() {

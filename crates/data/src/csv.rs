@@ -109,10 +109,7 @@ mod tests {
     fn sample() -> Relation {
         Relation::from_rows(
             schema(),
-            vec![
-                vec![Value::Int(1), Value::F64(1.5)],
-                vec![Value::Int(-2), Value::F64(0.25)],
-            ],
+            vec![vec![Value::Int(1), Value::F64(1.5)], vec![Value::Int(-2), Value::F64(0.25)]],
         )
         .unwrap()
     }
@@ -128,11 +125,8 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_floats_exactly() {
-        let rel = Relation::from_rows(
-            schema(),
-            vec![vec![Value::Int(0), Value::F64(0.1 + 0.2)]],
-        )
-        .unwrap();
+        let rel = Relation::from_rows(schema(), vec![vec![Value::Int(0), Value::F64(0.1 + 0.2)]])
+            .unwrap();
         let back = read_csv(schema(), &relation_to_csv(&rel)).unwrap();
         assert_eq!(back.f64_col(1)[0], 0.1 + 0.2);
     }

@@ -82,12 +82,29 @@ impl Column {
         }
     }
 
-    fn extend_from(&mut self, other: &Column) {
+    /// Appends all values of `other`; errors (leaving `self` untouched) if
+    /// the columns have different backing types. `attr` names the column
+    /// in the error.
+    pub fn extend_from(&mut self, other: &Column, attr: &str) -> Result<()> {
         match (self, other) {
             (Column::Int(a), Column::Int(b)) => a.extend_from_slice(b),
             (Column::F64(a), Column::F64(b)) => a.extend_from_slice(b),
-            _ => panic!("column type mismatch in extend_from"),
+            (Column::Int(_), Column::F64(_)) => {
+                return Err(DataError::TypeMismatch {
+                    attribute: attr.to_string(),
+                    expected: "Int",
+                    got: "F64 column".to_string(),
+                })
+            }
+            (Column::F64(_), Column::Int(_)) => {
+                return Err(DataError::TypeMismatch {
+                    attribute: attr.to_string(),
+                    expected: "F64",
+                    got: "Int column".to_string(),
+                })
+            }
         }
+        Ok(())
     }
 }
 
@@ -183,10 +200,9 @@ impl Relation {
     pub fn int_col(&self, idx: usize) -> &[i64] {
         match &self.cols[idx] {
             Column::Int(v) => v,
-            Column::F64(_) => panic!(
-                "attribute `{}` is Double, not Int-backed",
-                self.schema.attr(idx).name
-            ),
+            Column::F64(_) => {
+                panic!("attribute `{}` is Double, not Int-backed", self.schema.attr(idx).name)
+            }
         }
     }
 
@@ -195,10 +211,9 @@ impl Relation {
     pub fn f64_col(&self, idx: usize) -> &[f64] {
         match &self.cols[idx] {
             Column::F64(v) => v,
-            Column::Int(_) => panic!(
-                "attribute `{}` is Int-backed, not Double",
-                self.schema.attr(idx).name
-            ),
+            Column::Int(_) => {
+                panic!("attribute `{}` is Int-backed, not Double", self.schema.attr(idx).name)
+            }
         }
     }
 
@@ -276,13 +291,16 @@ impl Relation {
         Ok(self.project(&idx?))
     }
 
-    /// Appends all rows of `other`; schemas must be identical.
+    /// Appends all rows of `other`; schemas must be identical. Any error —
+    /// schema mismatch or (unreachable given equal schemas) column-type
+    /// mismatch — is reported as a [`DataError`], never a panic.
     pub fn append(&mut self, other: &Relation) -> Result<()> {
         if self.schema != other.schema {
             return Err(DataError::Invalid("append requires identical schemas".into()));
         }
-        for (a, b) in self.cols.iter_mut().zip(&other.cols) {
-            a.extend_from(b);
+        let schema = &self.schema;
+        for (c, (a, b)) in self.cols.iter_mut().zip(&other.cols).enumerate() {
+            a.extend_from(b, &schema.attr(c).name)?;
         }
         self.nrows += other.nrows;
         Ok(())
@@ -331,9 +349,7 @@ impl<'a> Iterator for EqualRanges<'a> {
             hi += step;
             step *= 2;
         }
-        let hi = self.col[start..self.end.min(hi)]
-            .partition_point(|&x| x == v)
-            + start;
+        let hi = self.col[start..self.end.min(hi)].partition_point(|&x| x == v) + start;
         self.pos = hi;
         Some((v, start..hi))
     }
@@ -345,10 +361,7 @@ mod tests {
     use crate::schema::Attribute;
 
     fn sample() -> Relation {
-        let schema = Schema::of(&[
-            ("k", AttrType::Int),
-            ("x", AttrType::Double),
-        ]);
+        let schema = Schema::of(&[("k", AttrType::Int), ("x", AttrType::Double)]);
         Relation::from_rows(
             schema,
             vec![
@@ -418,13 +431,24 @@ mod tests {
     }
 
     #[test]
+    fn extend_from_mismatch_is_an_error_not_a_panic() {
+        let mut int_col = Column::Int(vec![1, 2]);
+        let f64_col = Column::F64(vec![0.5]);
+        let err = int_col.extend_from(&f64_col, "k").unwrap_err();
+        assert!(matches!(err, DataError::TypeMismatch { ref attribute, .. } if attribute == "k"));
+        // The failed call left the column untouched.
+        assert_eq!(int_col.len(), 2);
+        let mut f = Column::F64(vec![0.5]);
+        assert!(f.extend_from(&Column::Int(vec![1]), "x").is_err());
+        f.extend_from(&Column::F64(vec![1.5]), "x").unwrap();
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
     fn equal_ranges_walks_runs() {
         let col = [1i64, 1, 1, 3, 5, 5];
         let groups: Vec<_> = equal_ranges(&col, 0..col.len()).collect();
-        assert_eq!(
-            groups,
-            vec![(1, 0..3), (3, 3..4), (5, 4..6)]
-        );
+        assert_eq!(groups, vec![(1, 0..3), (3, 3..4), (5, 4..6)]);
         // Sub-range restriction.
         let groups: Vec<_> = equal_ranges(&col, 1..5).collect();
         assert_eq!(groups, vec![(1, 1..3), (3, 3..4), (5, 4..5)]);

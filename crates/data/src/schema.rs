@@ -127,11 +127,7 @@ impl Schema {
     /// Names shared with another schema, in this schema's order. These are the
     /// natural-join attributes.
     pub fn common_attrs(&self, other: &Schema) -> Vec<String> {
-        self.attrs
-            .iter()
-            .filter(|a| other.contains(&a.name))
-            .map(|a| a.name.clone())
-            .collect()
+        self.attrs.iter().filter(|a| other.contains(&a.name)).map(|a| a.name.clone()).collect()
     }
 }
 

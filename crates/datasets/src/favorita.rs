@@ -79,10 +79,8 @@ pub fn favorita(cfg: FavoritaConfig) -> Dataset {
             .expect("well-typed");
     }
 
-    let mut oil = Relation::new(Schema::of(&[
-        ("date", AttrType::Int),
-        ("oilprize", AttrType::Double),
-    ]));
+    let mut oil =
+        Relation::new(Schema::of(&[("date", AttrType::Int), ("oilprize", AttrType::Double)]));
     let mut oil_prices = Vec::with_capacity(cfg.dates);
     let mut p = 55.0;
     for d in 0..cfg.dates as i64 {
@@ -139,12 +137,10 @@ pub fn favorita(cfg: FavoritaConfig) -> Dataset {
             for _ in 0..cfg.basket {
                 let item = skewed_index(&mut rng, cfg.items, 1.0);
                 let promo = i64::from(rng.gen_bool(0.15));
-                let units = 2.0
-                    + 0.002 * txns
-                    + 3.0 * promo as f64
-                    + 1.5 * is_holiday[d as usize] as f64
-                    - 0.03 * oil_prices[d as usize]
-                    + gauss(&mut rng, 0.0, 1.0);
+                let units =
+                    2.0 + 0.002 * txns + 3.0 * promo as f64 + 1.5 * is_holiday[d as usize] as f64
+                        - 0.03 * oil_prices[d as usize]
+                        + gauss(&mut rng, 0.0, 1.0);
                 sales
                     .push_row(&[
                         Value::Int(d),

@@ -16,8 +16,8 @@ pub mod util;
 pub mod yelp;
 
 pub use dish::dish_database;
-pub use features::FeatureSet;
 pub use favorita::{favorita, FavoritaConfig};
+pub use features::FeatureSet;
 pub use retailer::{retailer, RetailerConfig};
 pub use tpcds::{tpcds, TpcdsConfig};
 pub use yelp::{yelp, YelpConfig};

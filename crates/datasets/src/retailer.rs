@@ -287,8 +287,7 @@ mod tests {
         let ys: Vec<f64> = inv.f64_col(3).to_vec();
         let n = xs.len() as f64;
         let (mx, my) = (xs.iter().sum::<f64>() / n, ys.iter().sum::<f64>() / n);
-        let cov: f64 =
-            xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / n;
+        let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / n;
         assert!(cov < 0.0, "covariance {cov} should be negative");
     }
 }

@@ -92,8 +92,8 @@ pub fn yelp(cfg: YelpConfig) -> Dataset {
     for _ in 0..cfg.reviews {
         let u = skewed_index(&mut rng, cfg.users, 1.5);
         let b = skewed_index(&mut rng, cfg.businesses, 1.5);
-        let stars = 0.5 * user_avg[u as usize] + 0.5 * b_avg[b as usize]
-            + gauss(&mut rng, 0.0, 0.6);
+        let stars =
+            0.5 * user_avg[u as usize] + 0.5 * b_avg[b as usize] + gauss(&mut rng, 0.0, 0.6);
         reviews
             .push_row(&[
                 Value::Int(u),

@@ -41,9 +41,9 @@ impl EvalSpec {
     /// (group-by attributes). Fails if the key-graph is cyclic.
     pub fn new(db: &Database, relations: &[&str], extra: &[&str]) -> Result<Self, DataError> {
         let hg = Hypergraph::join_keys_plus(db, relations, extra)?;
-        let jt = hg
-            .join_tree()
-            .ok_or_else(|| DataError::Invalid("cyclic join: materialize a hypertree bag first".into()))?;
+        let jt = hg.join_tree().ok_or_else(|| {
+            DataError::Invalid("cyclic join: materialize a hypertree bag first".into())
+        })?;
         let vo = VarOrder::from_join_tree(&hg, &jt);
         Self::with_order(db, relations, hg, vo)
     }
@@ -171,7 +171,8 @@ impl EvalSpec {
         };
         for (v, runs) in matches {
             // Narrow ranges, saving old ones.
-            let saved: Vec<Range<usize>> = parts.iter().map(|&(ri, _)| ranges[ri].clone()).collect();
+            let saved: Vec<Range<usize>> =
+                parts.iter().map(|&(ri, _)| ranges[ri].clone()).collect();
             for (&(ri, _), run) in parts.iter().zip(&runs) {
                 ranges[ri] = run.clone();
             }
@@ -197,10 +198,14 @@ impl EvalSpec {
 
     /// The join cardinality (bag semantics), without materialization.
     pub fn count(&self) -> i64 {
-        self.eval(&I64Ring, |_, _| 1, |ri, rows| {
-            let _ = ri;
-            rows.len() as i64
-        })
+        self.eval(
+            &I64Ring,
+            |_, _| 1,
+            |ri, rows| {
+                let _ = ri;
+                rows.len() as i64
+            },
+        )
     }
 }
 
@@ -236,8 +241,7 @@ pub fn materialize_join(db: &Database, relations: &[&str]) -> Result<Relation, D
     for &v in &var_cols {
         // Find the attribute type from any relation carrying it.
         let name = &hg.vars()[v];
-        let (ri, _) = spec
-            .parts_at[spec.vo.node_of_var(v).expect("node")][0];
+        let (ri, _) = spec.parts_at[spec.vo.node_of_var(v).expect("node")][0];
         let ci = spec.rels[ri].schema().require(name)?;
         attrs.push(spec.rels[ri].schema().attr(ci).clone());
     }
@@ -272,8 +276,7 @@ fn emit_rec(
 ) -> Result<(), DataError> {
     if depth == pre.len() {
         // All keys bound: cross product of the relations' final ranges.
-        let mut row: Vec<Value> =
-            key_vals.iter().map(|&v| Value::Int(v)).collect::<Vec<_>>();
+        let mut row: Vec<Value> = key_vals.iter().map(|&v| Value::Int(v)).collect::<Vec<_>>();
         row.resize(out.schema().arity(), Value::Int(0));
         emit_cross(spec, payload_cols, key_vals.len(), ranges, &mut row, 0, out)?;
         return Ok(());
@@ -517,10 +520,7 @@ mod tests {
     #[test]
     fn empty_relation_gives_zero() {
         let mut db = path_db();
-        db.add(
-            "S",
-            Relation::new(Schema::of(&[("b", AttrType::Int), ("c", AttrType::Int)])),
-        );
+        db.add("S", Relation::new(Schema::of(&[("b", AttrType::Int), ("c", AttrType::Int)])));
         let spec = EvalSpec::new(&db, &["R", "S", "T"], &[]).unwrap();
         assert_eq!(spec.count(), 0);
     }
@@ -530,10 +530,7 @@ mod tests {
         let mut db = Database::new();
         let sch = |a: &str, b: &str| Schema::of(&[(a, AttrType::Int), (b, AttrType::Int)]);
         for (n, s) in [("R", sch("a", "b")), ("S", sch("b", "c")), ("T", sch("a", "c"))] {
-            db.add(
-                n,
-                Relation::from_rows(s, vec![vec![Value::Int(1), Value::Int(1)]]).unwrap(),
-            );
+            db.add(n, Relation::from_rows(s, vec![vec![Value::Int(1), Value::Int(1)]]).unwrap());
         }
         assert!(EvalSpec::new(&db, &["R", "S", "T"], &[]).is_err());
     }

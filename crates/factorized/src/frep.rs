@@ -104,12 +104,8 @@ impl FRep {
         };
         let mut ranges: Vec<Range<usize>> =
             b.cols.iter().map(|c| 0..c.first().map(Vec::len).unwrap_or(0)).collect();
-        let roots: Vec<Rc<FNode>> = vo
-            .roots()
-            .to_vec()
-            .into_iter()
-            .map(|r| b.build_node(r, &mut ranges))
-            .collect();
+        let roots: Vec<Rc<FNode>> =
+            vo.roots().to_vec().into_iter().map(|r| b.build_node(r, &mut ranges)).collect();
         Ok(FRep { hg, vo, roots })
     }
 
@@ -132,7 +128,7 @@ impl FRep {
 
     /// Number of values *without* sharing (as if caches were expanded).
     pub fn size_values_unshared(&self) -> usize {
-        self.roots.iter().map(|r| count_values_unshared(r)).sum()
+        self.roots.iter().map(count_values_unshared).sum()
     }
 
     /// Enumerates the flat join result. Output schema: variables in
@@ -236,6 +232,7 @@ fn count_values_unshared(node: &Rc<FNode>) -> usize {
         .sum()
 }
 
+#[allow(clippy::only_used_in_recursion)]
 fn enumerate_product(
     branches: &[Rc<FNode>],
     vo: &VarOrder,
@@ -287,10 +284,8 @@ impl<'a> Builder<'a> {
         // within current ranges.
         let mut iter = parts.iter();
         let first = iter.next().expect("non-empty");
-        let mut candidates: BTreeSet<Value> = self.cols[first.0][first.1][ranges[first.0].clone()]
-            .iter()
-            .copied()
-            .collect();
+        let mut candidates: BTreeSet<Value> =
+            self.cols[first.0][first.1][ranges[first.0].clone()].iter().copied().collect();
         for &(ri, level) in iter {
             let vals: BTreeSet<Value> =
                 self.cols[ri][level][ranges[ri].clone()].iter().copied().collect();
@@ -342,10 +337,8 @@ impl<'a> Builder<'a> {
         ranges: &mut Vec<Range<usize>>,
     ) -> Option<Rc<FNode>> {
         let dep = self.vo.nodes()[c].dep.clone();
-        let key: Vec<Value> = dep
-            .iter()
-            .map(|&v| self.binding[v].expect("dep var bound above"))
-            .collect();
+        let key: Vec<Value> =
+            dep.iter().map(|&v| self.binding[v].expect("dep var bound above")).collect();
         if let Some(hit) = self.cache.get(&(c, key.clone())) {
             let FNode::Union { entries, .. } = hit.as_ref();
             if entries.is_empty() {

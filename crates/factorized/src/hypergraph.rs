@@ -6,7 +6,7 @@
 //! join tree — the backbone along which LMFAO decomposes aggregate batches
 //! (§4 "Sharing computation") and F-IVM builds its view trees.
 
-use fdb_data::{Database, DataError, Schema};
+use fdb_data::{DataError, Database, Schema};
 use std::collections::HashMap;
 
 /// A hyperedge: one relation of the query.
@@ -92,8 +92,8 @@ impl Hypergraph {
                 *counts.entry(a).or_insert(0) += 1;
             }
         }
-        let keep = |name: &str| counts.get(name).copied().unwrap_or(0) >= 2
-            || extra.contains(&name);
+        let keep =
+            |name: &str| counts.get(name).copied().unwrap_or(0) >= 2 || extra.contains(&name);
         let mut vars: Vec<String> = Vec::new();
         let mut var_ids: HashMap<String, usize> = HashMap::new();
         let mut edges = Vec::with_capacity(relations.len());
@@ -142,12 +142,7 @@ impl Hypergraph {
 
     /// Ids of edges containing variable `v`.
     pub fn edges_with_var(&self, v: usize) -> Vec<usize> {
-        self.edges
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.vars.contains(&v))
-            .map(|(i, _)| i)
-            .collect()
+        self.edges.iter().enumerate().filter(|(_, e)| e.vars.contains(&v)).map(|(i, _)| i).collect()
     }
 
     /// GYO ear removal. Returns a [`JoinTree`] if the query is α-acyclic,
@@ -242,12 +237,7 @@ pub struct JoinTree {
 impl JoinTree {
     /// Children of edge `e`.
     pub fn children(&self, e: usize) -> Vec<usize> {
-        self.parent
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| **p == Some(e))
-            .map(|(i, _)| i)
-            .collect()
+        self.parent.iter().enumerate().filter(|(_, p)| **p == Some(e)).map(|(i, _)| i).collect()
     }
 
     /// Re-roots the tree at edge `new_root` (LMFAO roots different
@@ -319,8 +309,7 @@ mod tests {
         let d1 = schema(&["a", "x"]);
         let d2 = schema(&["b", "y"]);
         let d3 = schema(&["c", "z"]);
-        let hg =
-            Hypergraph::from_schemas(&[("F", &f), ("D1", &d1), ("D2", &d2), ("D3", &d3)]);
+        let hg = Hypergraph::from_schemas(&[("F", &f), ("D1", &d1), ("D2", &d2), ("D3", &d3)]);
         let jt = hg.join_tree().expect("star is acyclic");
         // Re-rooting preserves node count and reaches every edge.
         for root in 0..4 {

@@ -29,4 +29,4 @@ pub use eval::{eval_acyclic, materialize_join, EvalSpec};
 pub use frep::{FNode, FRep};
 pub use hypergraph::{Hypergraph, JoinTree};
 pub use order::{VarOrder, VoNode};
-pub use width::{agm_bound, fhtw, frac_edge_cover, fo_width};
+pub use width::{agm_bound, fhtw, fo_width, frac_edge_cover};

@@ -337,9 +337,8 @@ mod chain_tests {
 
     #[test]
     fn chain_order_serves_cyclic_triangle() {
-        let s = |ns: &[&str]| {
-            Schema::of(&ns.iter().map(|n| (*n, AttrType::Int)).collect::<Vec<_>>())
-        };
+        let s =
+            |ns: &[&str]| Schema::of(&ns.iter().map(|n| (*n, AttrType::Int)).collect::<Vec<_>>());
         let (r, t, u) = (s(&["a", "b"]), s(&["b", "c"]), s(&["a", "c"]));
         let hg = Hypergraph::from_schemas(&[("R", &r), ("S", &t), ("T", &u)]);
         let vo = VarOrder::chain(&hg, &[0, 1, 2]);

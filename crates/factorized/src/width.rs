@@ -38,11 +38,8 @@ pub fn frac_edge_cover(hg: &Hypergraph, targets: &[usize]) -> Option<(f64, Vec<f
     // row = (coefficients over the ne unknowns, rhs)
     let mut rows: Vec<(Vec<f64>, f64)> = Vec::with_capacity(targets.len() + ne);
     for &v in targets {
-        let coeffs: Vec<f64> = hg
-            .edges()
-            .iter()
-            .map(|e| if e.vars.contains(&v) { 1.0 } else { 0.0 })
-            .collect();
+        let coeffs: Vec<f64> =
+            hg.edges().iter().map(|e| if e.vars.contains(&v) { 1.0 } else { 0.0 }).collect();
         rows.push((coeffs, 1.0));
     }
     for e in 0..ne {
@@ -136,12 +133,7 @@ fn next_combination(combo: &mut [usize], m: usize) -> bool {
 pub fn agm_bound(hg: &Hypergraph, sizes: &[usize]) -> Option<f64> {
     let all: Vec<usize> = (0..hg.num_vars()).collect();
     let (_, w) = frac_edge_cover(hg, &all)?;
-    Some(
-        w.iter()
-            .zip(sizes)
-            .map(|(&we, &n)| (n.max(1) as f64).powf(we))
-            .product(),
-    )
+    Some(w.iter().zip(sizes).map(|(&we, &n)| (n.max(1) as f64).powf(we)).product())
 }
 
 /// Fractional hypertree width. Exact (1.0) for acyclic queries; for cyclic
@@ -191,8 +183,7 @@ fn elimination_width(hg: &Hypergraph, order: &[usize]) -> Option<f64> {
     let mut eliminated = vec![false; n];
     let mut width: f64 = 0.0;
     for &v in order {
-        let nbrs: Vec<usize> =
-            (0..n).filter(|&u| !eliminated[u] && u != v && adj[v][u]).collect();
+        let nbrs: Vec<usize> = (0..n).filter(|&u| !eliminated[u] && u != v && adj[v][u]).collect();
         let mut bag = nbrs.clone();
         bag.push(v);
         let (rho, _) = frac_edge_cover(&hg.induced(&bag), &bag)?;
@@ -240,8 +231,7 @@ fn min_fill_order(hg: &Hypergraph) -> Vec<usize> {
             .min_by_key(|(_, f)| *f)
             .map(|(v, f)| (v, *f))
             .expect("remaining non-empty");
-        let nbrs: Vec<usize> =
-            remaining.iter().copied().filter(|&u| u != v && adj[v][u]).collect();
+        let nbrs: Vec<usize> = remaining.iter().copied().filter(|&u| u != v && adj[v][u]).collect();
         for (i, &a) in nbrs.iter().enumerate() {
             for &b in &nbrs[i + 1..] {
                 adj[a][b] = true;

@@ -28,15 +28,9 @@ pub fn mcp_naive() -> Expr {
                         ),
                         Expr::lookup(Expr::Rel("I".into()), Expr::var("xi")),
                     ),
-                    Expr::eq(
-                        Expr::field(Expr::var("xs"), "i"),
-                        Expr::field(Expr::var("xi"), "i"),
-                    ),
+                    Expr::eq(Expr::field(Expr::var("xs"), "i"), Expr::field(Expr::var("xi"), "i")),
                 ),
-                Expr::eq(
-                    Expr::field(Expr::var("xs"), "s"),
-                    Expr::field(Expr::var("xr"), "s"),
-                ),
+                Expr::eq(Expr::field(Expr::var("xs"), "s"), Expr::field(Expr::var("xr"), "s")),
             ),
             Expr::field(Expr::var("xr"), "c"),
         ),
@@ -59,10 +53,7 @@ pub fn mcp_factorized() -> Expr {
         Expr::mul(
             Expr::mul(
                 Expr::lookup(Expr::Rel("R".into()), Expr::var("xr")),
-                Expr::eq(
-                    Expr::field(Expr::var("xs"), "s"),
-                    Expr::field(Expr::var("xr"), "s"),
-                ),
+                Expr::eq(Expr::field(Expr::var("xs"), "s"), Expr::field(Expr::var("xr"), "s")),
             ),
             Expr::field(Expr::var("xr"), "c"),
         ),
@@ -73,10 +64,7 @@ pub fn mcp_factorized() -> Expr {
         Expr::mul(
             Expr::mul(
                 Expr::lookup(Expr::Rel("I".into()), Expr::var("xi")),
-                Expr::eq(
-                    Expr::field(Expr::var("xs"), "i"),
-                    Expr::field(Expr::var("xi"), "i"),
-                ),
+                Expr::eq(Expr::field(Expr::var("xs"), "i"), Expr::field(Expr::var("xi"), "i")),
             ),
             Expr::field(Expr::var("xi"), "p"),
         ),
@@ -84,10 +72,7 @@ pub fn mcp_factorized() -> Expr {
     Expr::sum(
         "xs",
         Expr::Rel("S".into()),
-        Expr::mul(
-            Expr::mul(Expr::lookup(Expr::Rel("S".into()), Expr::var("xs")), vr),
-            vi,
-        ),
+        Expr::mul(Expr::mul(Expr::lookup(Expr::Rel("S".into()), Expr::var("xs")), vr), vi),
     )
 }
 

@@ -6,7 +6,7 @@
 //! rewrite tests can *measure* the work each optimisation stage removes.
 
 use crate::expr::Expr;
-use fdb_data::{Database, DataError};
+use fdb_data::{DataError, Database};
 use std::collections::BTreeMap;
 
 /// An IFAQ runtime value.
@@ -144,10 +144,9 @@ impl<'a> Interp<'a> {
                 let key = self.go(k, env)?;
                 self.counter.lookups += 1;
                 match dict {
-                    Val::Dict(entries) => Ok(entries
-                        .get(&key.key())
-                        .map(|(_, v)| v.clone())
-                        .unwrap_or(Val::Num(0.0))),
+                    Val::Dict(entries) => {
+                        Ok(entries.get(&key.key()).map(|(_, v)| v.clone()).unwrap_or(Val::Num(0.0)))
+                    }
                     Val::Record(fields) => {
                         // Lookup into a record by string key (post-
                         // specialisation programs use Field instead).
@@ -231,10 +230,7 @@ mod tests {
             "R",
             Relation::from_rows(
                 Schema::of(&[("k", AttrType::Int), ("x", AttrType::Double)]),
-                vec![
-                    vec![Value::Int(1), Value::F64(10.0)],
-                    vec![Value::Int(2), Value::F64(20.0)],
-                ],
+                vec![vec![Value::Int(1), Value::F64(10.0)], vec![Value::Int(2), Value::F64(20.0)]],
             )
             .unwrap(),
         );

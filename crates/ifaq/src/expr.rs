@@ -64,11 +64,13 @@ pub enum Expr {
 
 impl Expr {
     /// `a * b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(a: Expr, b: Expr) -> Expr {
         Expr::Mul(Box::new(a), Box::new(b))
     }
 
     /// `a + b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(a: Expr, b: Expr) -> Expr {
         Expr::Add(Box::new(a), Box::new(b))
     }
@@ -140,15 +142,11 @@ impl Expr {
             Expr::Let { name: n, value, body } => Expr::Let {
                 name: n.clone(),
                 value: Box::new(value.subst(name, with)),
-                body: if n == name {
-                    body.clone()
-                } else {
-                    Box::new(body.subst(name, with))
-                },
+                body: if n == name { body.clone() } else { Box::new(body.subst(name, with)) },
             },
-            Expr::Record(fields) => Expr::Record(
-                fields.iter().map(|(f, e)| (f.clone(), e.subst(name, with))).collect(),
-            ),
+            Expr::Record(fields) => {
+                Expr::Record(fields.iter().map(|(f, e)| (f.clone(), e.subst(name, with))).collect())
+            }
             Expr::Field(e, f) => Expr::Field(Box::new(e.subst(name, with)), f.clone()),
             Expr::Lookup(d, k) => {
                 Expr::Lookup(Box::new(d.subst(name, with)), Box::new(k.subst(name, with)))
@@ -156,20 +154,12 @@ impl Expr {
             Expr::Sum { var, domain, body } => Expr::Sum {
                 var: var.clone(),
                 domain: Box::new(domain.subst(name, with)),
-                body: if var == name {
-                    body.clone()
-                } else {
-                    Box::new(body.subst(name, with))
-                },
+                body: if var == name { body.clone() } else { Box::new(body.subst(name, with)) },
             },
             Expr::LamDict { var, domain, body } => Expr::LamDict {
                 var: var.clone(),
                 domain: Box::new(domain.subst(name, with)),
-                body: if var == name {
-                    body.clone()
-                } else {
-                    Box::new(body.subst(name, with))
-                },
+                body: if var == name { body.clone() } else { Box::new(body.subst(name, with)) },
             },
             Expr::Add(a, b) => Expr::add(a.subst(name, with), b.subst(name, with)),
             Expr::Mul(a, b) => Expr::mul(a.subst(name, with), b.subst(name, with)),

@@ -41,11 +41,8 @@ pub fn factor_out_of_sums(e: &Expr) -> Expr {
         let (indep, dep): (Vec<Expr>, Vec<Expr>) =
             factors.into_iter().partition(|f| !f.references(var));
         if !indep.is_empty() {
-            let inner = Expr::Sum {
-                var: var.clone(),
-                domain: domain.clone(),
-                body: Box::new(mul_of(dep)),
-            };
+            let inner =
+                Expr::Sum { var: var.clone(), domain: domain.clone(), body: Box::new(mul_of(dep)) };
             let mut out = mul_of(indep);
             out = Expr::mul(out, inner);
             return out;
@@ -143,26 +140,20 @@ pub fn optimize(e: &Expr) -> Expr {
 fn map_children(e: &Expr, f: &impl Fn(&Expr) -> Expr) -> Expr {
     match e {
         Expr::Num(_) | Expr::Str(_) | Expr::Var(_) | Expr::Rel(_) | Expr::SetLit(_) => e.clone(),
-        Expr::Let { name, value, body } => Expr::Let {
-            name: name.clone(),
-            value: Box::new(f(value)),
-            body: Box::new(f(body)),
-        },
+        Expr::Let { name, value, body } => {
+            Expr::Let { name: name.clone(), value: Box::new(f(value)), body: Box::new(f(body)) }
+        }
         Expr::Record(fields) => {
             Expr::Record(fields.iter().map(|(n, x)| (n.clone(), f(x))).collect())
         }
         Expr::Field(x, n) => Expr::Field(Box::new(f(x)), n.clone()),
         Expr::Lookup(d, k) => Expr::Lookup(Box::new(f(d)), Box::new(f(k))),
-        Expr::Sum { var, domain, body } => Expr::Sum {
-            var: var.clone(),
-            domain: Box::new(f(domain)),
-            body: Box::new(f(body)),
-        },
-        Expr::LamDict { var, domain, body } => Expr::LamDict {
-            var: var.clone(),
-            domain: Box::new(f(domain)),
-            body: Box::new(f(body)),
-        },
+        Expr::Sum { var, domain, body } => {
+            Expr::Sum { var: var.clone(), domain: Box::new(f(domain)), body: Box::new(f(body)) }
+        }
+        Expr::LamDict { var, domain, body } => {
+            Expr::LamDict { var: var.clone(), domain: Box::new(f(domain)), body: Box::new(f(body)) }
+        }
         Expr::Add(a, b) => Expr::add(f(a), f(b)),
         Expr::Mul(a, b) => Expr::mul(f(a), f(b)),
         Expr::Eq(a, b) => Expr::eq(f(a), f(b)),
@@ -282,11 +273,7 @@ mod tests {
 
     #[test]
     fn unrolling_turns_static_loops_into_records() {
-        let e = Expr::lam(
-            "f",
-            Expr::SetLit(vec!["p".into(), "q".into()]),
-            Expr::Num(1.0),
-        );
+        let e = Expr::lam("f", Expr::SetLit(vec!["p".into(), "q".into()]), Expr::Num(1.0));
         let opt = unroll_static(&e);
         assert!(matches!(opt, Expr::Record(_)));
         // Static lookup becomes field access.

@@ -18,6 +18,5 @@
 pub mod pairs;
 
 pub use pairs::{
-    count_pairs_gt, count_pairs_gt_naive, sum_pairs_gt, sum_pairs_gt_grouped,
-    sum_pairs_gt_naive,
+    count_pairs_gt, count_pairs_gt_naive, sum_pairs_gt, sum_pairs_gt_grouped, sum_pairs_gt_naive,
 };

@@ -60,10 +60,7 @@ impl StreamDb {
     pub fn apply(&mut self, up: &Update) -> Result<(), DataError> {
         let schema = &self.schemas[up.rel];
         if up.tuple.len() != schema.arity() {
-            return Err(DataError::ArityMismatch {
-                expected: schema.arity(),
-                got: up.tuple.len(),
-            });
+            return Err(DataError::ArityMismatch { expected: schema.arity(), got: up.tuple.len() });
         }
         if up.mult != 1 && up.mult != -1 {
             return Err(DataError::Invalid("multiplicity must be +1 or -1".into()));

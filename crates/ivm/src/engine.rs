@@ -1,0 +1,192 @@
+//! F-IVM behind the unified [`Engine`] trait.
+//!
+//! [`FivmEngine`] answers covariance-shaped [`AggQuery`] batches (scalar
+//! `SUM(1)`, `SUM(ci)`, `SUM(ci·cj)` — no filters, no group-bys) by
+//! *streaming* the database through a factorized view tree over the
+//! covariance ring and reading the maintained triple. It is deliberately a
+//! fourth backend with the same contract as flat/factorized/LMFAO on its
+//! supported fragment: the cross-engine agreement tests exercise it on
+//! identical `AggQuery` values, and any other batch shape is rejected
+//! with a clear error rather than answered wrongly.
+
+use crate::base::{StreamDb, Update};
+use crate::viewtree::{Fivm, TreeShape};
+use fdb_core::batch::{Aggregate, Fn1};
+use fdb_core::ir::{AggQuery, BatchResult};
+use fdb_core::Engine;
+use fdb_data::{DataError, Database, Schema};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The F-IVM backend: maintains the covariance triple under a full stream
+/// of the database, then reads the requested aggregates out of it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FivmEngine;
+
+/// How one aggregate maps into the covariance triple.
+enum TripleSlot {
+    /// `SUM(1)` → `c`.
+    Count,
+    /// `SUM(cont[i])` → `s[i]`.
+    Sum(usize),
+    /// `SUM(cont[i] * cont[j])` → `q_at(i, j)`.
+    Moment(usize, usize),
+}
+
+/// Classifies the batch as covariance-shaped, assigning each distinct
+/// factor attribute a continuous index in first-seen order.
+fn classify(aggs: &[Aggregate]) -> Result<(Vec<String>, Vec<TripleSlot>), DataError> {
+    let unsupported = |what: &str| {
+        DataError::Invalid(format!(
+            "FivmEngine supports covariance-shaped batches only (scalar SUM(1), \
+             SUM(x), SUM(x*y)); got an aggregate with {what}"
+        ))
+    };
+    let mut cont: Vec<String> = Vec::new();
+    let index_of = |attr: &str, cont: &mut Vec<String>| -> usize {
+        match cont.iter().position(|a| a == attr) {
+            Some(i) => i,
+            None => {
+                cont.push(attr.to_string());
+                cont.len() - 1
+            }
+        }
+    };
+    let mut slots = Vec::with_capacity(aggs.len());
+    for agg in aggs {
+        if !agg.filter.is_empty() {
+            return Err(unsupported("a filter"));
+        }
+        if !agg.group_by.is_empty() {
+            return Err(unsupported("a group-by"));
+        }
+        let slot = match agg.factors.as_slice() {
+            [] => TripleSlot::Count,
+            [(a, Fn1::Ident)] => TripleSlot::Sum(index_of(a, &mut cont)),
+            [(a, Fn1::Square)] => {
+                let i = index_of(a, &mut cont);
+                TripleSlot::Moment(i, i)
+            }
+            [(a, Fn1::Ident), (b, Fn1::Ident)] => {
+                let i = index_of(a, &mut cont);
+                let j = index_of(b, &mut cont);
+                TripleSlot::Moment(i, j)
+            }
+            _ => return Err(unsupported("a product of degree > 2")),
+        };
+        slots.push(slot);
+    }
+    Ok((cont, slots))
+}
+
+impl Engine for FivmEngine {
+    fn name(&self) -> &'static str {
+        "fivm"
+    }
+
+    fn run(&self, db: &Database, q: &AggQuery) -> Result<BatchResult, DataError> {
+        q.validate(db)?;
+        let (cont, slots) = classify(&q.batch.aggs)?;
+        let rels = q.relation_refs();
+        let schemas: Vec<Schema> = rels
+            .iter()
+            .map(|n| Ok(db.get(n)?.schema().clone()))
+            .collect::<Result<_, DataError>>()?;
+        // Root the view tree at the largest relation, like the other
+        // backends root their join trees.
+        let root = (0..rels.len())
+            .max_by_key(|&i| db.get(rels[i]).map(|r| r.len()).unwrap_or(0))
+            .unwrap_or(0);
+        let shape = Arc::new(TreeShape::build(schemas.clone(), &rels, root)?);
+        let mut sdb = StreamDb::new(schemas);
+        shape.register_indices(&mut sdb);
+        let cont_refs: Vec<&str> = cont.iter().map(String::as_str).collect();
+        let mut fivm = Fivm::new(Arc::clone(&shape), &cont_refs)?;
+        for (ri, name) in rels.iter().enumerate() {
+            let rel = db.get(name)?;
+            for r in 0..rel.len() {
+                let up = Update::insert(ri, rel.row_vec(r));
+                sdb.apply(&up)?;
+                fivm.apply(&sdb, &up);
+            }
+        }
+        let triple = fivm.result();
+        let empty_key: Box<[i64]> = Vec::new().into();
+        let mut groups = Vec::with_capacity(slots.len());
+        let mut values = Vec::with_capacity(slots.len());
+        for slot in &slots {
+            let v = match *slot {
+                TripleSlot::Count => triple.c,
+                TripleSlot::Sum(i) => triple.s[i],
+                TripleSlot::Moment(i, j) => triple.q_at(i, j),
+            };
+            let mut map: HashMap<Box<[i64]>, f64> = HashMap::new();
+            if v != 0.0 {
+                map.insert(empty_key.clone(), v);
+            }
+            groups.push(Vec::new());
+            values.push(map);
+        }
+        Ok(BatchResult { groups, values })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_core::{covariance_batch, AggBatch, FilterOp, FlatEngine};
+    use fdb_data::{AttrType, Relation, Value};
+
+    /// F(a, b, x) ⋈ D1(a, u) ⋈ D2(b, v).
+    fn snowflake() -> Database {
+        let mut db = Database::new();
+        let f = Relation::from_rows(
+            Schema::of(&[("a", AttrType::Int), ("b", AttrType::Int), ("x", AttrType::Double)]),
+            vec![
+                vec![Value::Int(0), Value::Int(0), Value::F64(1.0)],
+                vec![Value::Int(0), Value::Int(1), Value::F64(2.0)],
+                vec![Value::Int(1), Value::Int(0), Value::F64(-3.0)],
+            ],
+        )
+        .unwrap();
+        let d1 = Relation::from_rows(
+            Schema::of(&[("a", AttrType::Int), ("u", AttrType::Double)]),
+            vec![vec![Value::Int(0), Value::F64(5.0)], vec![Value::Int(1), Value::F64(-1.0)]],
+        )
+        .unwrap();
+        let d2 = Relation::from_rows(
+            Schema::of(&[("b", AttrType::Int), ("v", AttrType::Double)]),
+            vec![vec![Value::Int(0), Value::F64(2.0)], vec![Value::Int(1), Value::F64(4.0)]],
+        )
+        .unwrap();
+        db.add("F", f);
+        db.add("D1", d1);
+        db.add("D2", d2);
+        db
+    }
+
+    #[test]
+    fn agrees_with_flat_engine_on_covariance_batch() {
+        let db = snowflake();
+        let q = AggQuery::new(&["F", "D1", "D2"], covariance_batch(&["x", "u", "v"], &[]));
+        let fivm = FivmEngine.run(&db, &q).unwrap();
+        let flat = FlatEngine.run(&db, &q).unwrap();
+        for i in 0..q.batch.len() {
+            let (a, b) = (fivm.scalar(i), flat.scalar(i));
+            assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()), "agg {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_covariance_batches() {
+        let db = snowflake();
+        let mut grouped = AggBatch::new();
+        grouped.push(fdb_core::Aggregate::count().by(&["x"]));
+        let mut filtered = AggBatch::new();
+        filtered.push(fdb_core::Aggregate::sum("x").filtered("u", FilterOp::Ge(0.0)));
+        for batch in [grouped, filtered] {
+            let q = AggQuery::new(&["F", "D1", "D2"], batch);
+            assert!(FivmEngine.run(&db, &q).is_err());
+        }
+    }
+}

@@ -91,8 +91,7 @@ impl FoIvm {
             if let Some(p) = shape.parent[u] {
                 if !seen[p] {
                     seen[p] = true;
-                    let upos =
-                        shape.children[p].iter().position(|&c| c == u).expect("child link");
+                    let upos = shape.children[p].iter().position(|&c| c == u).expect("child link");
                     hops.push(Hop {
                         node: p,
                         from: u,
@@ -239,13 +238,19 @@ mod tests {
             } else {
                 let rel = rng.gen_range(0..3usize);
                 let tuple: Vec<Value> = match rel {
-                    0 => vec![Value::Int(rng.gen_range(0..3)), Value::F64(rng.gen_range(0..4) as f64)],
+                    0 => vec![
+                        Value::Int(rng.gen_range(0..3)),
+                        Value::F64(rng.gen_range(0..4) as f64),
+                    ],
                     1 => vec![
                         Value::Int(rng.gen_range(0..3)),
                         Value::Int(rng.gen_range(0..3)),
                         Value::F64(rng.gen_range(0..4) as f64),
                     ],
-                    _ => vec![Value::Int(rng.gen_range(0..3)), Value::F64(rng.gen_range(0..4) as f64)],
+                    _ => vec![
+                        Value::Int(rng.gen_range(0..3)),
+                        Value::F64(rng.gen_range(0..4) as f64),
+                    ],
                 };
                 let up = Update::insert(rel, tuple);
                 inserted.push(up.clone());

@@ -36,10 +36,7 @@ impl HoIvm {
                 if i == j {
                     aggs.push(vec![(continuous[i].to_string(), 2)]);
                 } else {
-                    aggs.push(vec![
-                        (continuous[i].to_string(), 1),
-                        (continuous[j].to_string(), 1),
-                    ]);
+                    aggs.push(vec![(continuous[i].to_string(), 1), (continuous[j].to_string(), 1)]);
                 }
             }
         }
@@ -56,9 +53,7 @@ impl HoIvm {
                             .filter_map(|(a, p)| schema.index_of(a).map(|c| (c, *p)))
                             .collect();
                         let lift: Lift<f64> = Arc::new(move |tuple: &[Value]| {
-                            mine.iter()
-                                .map(|&(c, p)| tuple[c].as_f64().powi(p as i32))
-                                .product()
+                            mine.iter().map(|&(c, p)| tuple[c].as_f64().powi(p as i32)).product()
                         });
                         lift
                     })

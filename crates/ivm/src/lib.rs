@@ -17,13 +17,20 @@
 //! * [`Fivm`] — **F-IVM**: one factorized view tree whose payloads live in
 //!   the covariance ring, sharing the maintenance of all `(1+n+n(n+1)/2)`
 //!   aggregates inside one ring element (§5.2).
+//!
+//! [`FivmEngine`] additionally exposes F-IVM through the unified
+//! `fdb_core::Engine` trait for covariance-shaped batches, so the
+//! cross-engine agreement tests can hold it to the same contract as the
+//! flat, factorized, and LMFAO backends.
 
 pub mod base;
+pub mod engine;
 pub mod foivm;
 pub mod hoivm;
 pub mod viewtree;
 
 pub use base::{StreamDb, Update};
+pub use engine::FivmEngine;
 pub use foivm::FoIvm;
 pub use hoivm::HoIvm;
 pub use viewtree::{Fivm, TreeShape, ViewTree};

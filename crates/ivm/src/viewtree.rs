@@ -40,7 +40,11 @@ pub struct TreeShape {
 impl TreeShape {
     /// Builds the shape from relation schemas: join-key hypergraph, GYO
     /// join tree, rooted at `root_hint` (or edge 0).
-    pub fn build(schemas: Vec<Schema>, names: &[&str], root_hint: usize) -> Result<Self, DataError> {
+    pub fn build(
+        schemas: Vec<Schema>,
+        names: &[&str],
+        root_hint: usize,
+    ) -> Result<Self, DataError> {
         // Reuse the factorized crate's machinery through a scratch Database.
         let mut db = Database::new();
         for (name, schema) in names.iter().zip(&schemas) {
@@ -251,7 +255,6 @@ impl Fivm {
                 .enumerate()
                 .filter_map(|(gi, a)| schema.index_of(a).map(|ci| (gi, ci)))
                 .collect();
-            let ring = ring; // Copy
             lifts.push(Arc::new(move |tuple: &[Value]| {
                 let idx: Vec<usize> = mine.iter().map(|&(gi, _)| gi).collect();
                 let vals: Vec<f64> = mine.iter().map(|&(_, ci)| tuple[ci].as_f64()).collect();
@@ -288,8 +291,7 @@ mod tests {
         let s = Schema::of(&[("a", AttrType::Int), ("b", AttrType::Int), ("y", AttrType::Double)]);
         let t = Schema::of(&[("b", AttrType::Int), ("z", AttrType::Double)]);
         let schemas = vec![r, s, t];
-        let shape =
-            TreeShape::build(schemas.clone(), &["R", "S", "T"], 1).expect("acyclic path");
+        let shape = TreeShape::build(schemas.clone(), &["R", "S", "T"], 1).expect("acyclic path");
         (Arc::new(shape), schemas)
     }
 
@@ -316,24 +318,33 @@ mod tests {
         for step in 0..300 {
             let up = if step % 7 == 6 && !history.is_empty() {
                 // Delete a random previously inserted tuple.
-                let pick = loop {
+                loop {
                     let i = rng.gen_range(0..history.len());
                     if history[i].mult == 1 {
                         history[i].mult = 0; // mark consumed
-                        break Update { rel: history[i].rel, tuple: history[i].tuple.clone(), mult: -1 };
+                        break Update {
+                            rel: history[i].rel,
+                            tuple: history[i].tuple.clone(),
+                            mult: -1,
+                        };
                     }
-                };
-                pick
+                }
             } else {
                 let rel = rng.gen_range(0..3usize);
                 let tuple: Vec<Value> = match rel {
-                    0 => vec![Value::Int(rng.gen_range(0..4)), Value::F64(rng.gen_range(0..5) as f64)],
+                    0 => vec![
+                        Value::Int(rng.gen_range(0..4)),
+                        Value::F64(rng.gen_range(0..5) as f64),
+                    ],
                     1 => vec![
                         Value::Int(rng.gen_range(0..4)),
                         Value::Int(rng.gen_range(0..4)),
                         Value::F64(rng.gen_range(0..5) as f64),
                     ],
-                    _ => vec![Value::Int(rng.gen_range(0..4)), Value::F64(rng.gen_range(0..5) as f64)],
+                    _ => vec![
+                        Value::Int(rng.gen_range(0..4)),
+                        Value::F64(rng.gen_range(0..5) as f64),
+                    ],
                 };
                 let up = Update::insert(rel, tuple);
                 history.push(up.clone());

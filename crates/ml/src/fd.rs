@@ -12,7 +12,11 @@ use std::collections::HashMap;
 
 /// Detects whether `det → dep` holds exactly in `rel` (both attributes
 /// must be int-backed). Returns the witness mapping if it holds.
-pub fn check_fd(rel: &Relation, det: &str, dep: &str) -> Result<Option<HashMap<i64, i64>>, DataError> {
+pub fn check_fd(
+    rel: &Relation,
+    det: &str,
+    dep: &str,
+) -> Result<Option<HashMap<i64, i64>>, DataError> {
     let d = rel.schema().require(det)?;
     let e = rel.schema().require(dep)?;
     let mut map: HashMap<i64, i64> = HashMap::new();
@@ -105,13 +109,8 @@ mod tests {
             let country = city / 2;
             let u = (i % 7) as f64;
             let y = 2.0 * u + 3.0 * city as f64 + 10.0 * country as f64;
-            rel.push_row(&[
-                Value::Int(city),
-                Value::Int(country),
-                Value::F64(u),
-                Value::F64(y),
-            ])
-            .unwrap();
+            rel.push_row(&[Value::Int(city), Value::Int(country), Value::F64(u), Value::F64(y)])
+                .unwrap();
         }
         rel
     }

@@ -79,9 +79,8 @@ impl FactorizationMachine {
             for r in 0..m.rows() {
                 let x = m.row(r);
                 // Cache the per-factor sums.
-                let sums: Vec<f64> = (0..cfg.k)
-                    .map(|f| (0..d).map(|i| fm.v[i * cfg.k + f] * x[i]).sum())
-                    .collect();
+                let sums: Vec<f64> =
+                    (0..cfg.k).map(|f| (0..d).map(|i| fm.v[i * cfg.k + f] * x[i]).sum()).collect();
                 let err = fm.predict(x) - m.y[r];
                 fm.w0 -= cfg.lr * err;
                 for i in 0..d {
@@ -105,8 +104,7 @@ impl FactorizationMachine {
         if m.rows() == 0 {
             return 0.0;
         }
-        let se: f64 =
-            (0..m.rows()).map(|r| (self.predict(m.row(r)) - m.y[r]).powi(2)).sum();
+        let se: f64 = (0..m.rows()).map(|r| (self.predict(m.row(r)) - m.y[r]).powi(2)).sum();
         (se / m.rows() as f64).sqrt()
     }
 }
@@ -139,10 +137,7 @@ mod tests {
         let fm_rmse = fm.rmse(&m);
         let lin = train_linear_sgd(&m, &SgdConfig { epochs: 100, ..Default::default() });
         let lin_rmse = m.rmse(&lin.weights, lin.intercept);
-        assert!(
-            fm_rmse < 0.5 * lin_rmse,
-            "FM rmse {fm_rmse} must beat linear rmse {lin_rmse}"
-        );
+        assert!(fm_rmse < 0.5 * lin_rmse, "FM rmse {fm_rmse} must beat linear rmse {lin_rmse}");
     }
 
     #[test]
@@ -154,8 +149,7 @@ mod tests {
             k: 2,
         };
         let x = [2.0, 3.0];
-        let explicit = 0.5 + 1.0 * 2.0 - 2.0 * 3.0
-            + (0.3 * -0.2 + 0.1 * 0.4) * 2.0 * 3.0;
+        let explicit = 0.5 + 1.0 * 2.0 - 2.0 * 3.0 + (0.3 * -0.2 + 0.1 * 0.4) * 2.0 * 3.0;
         assert!((fm.predict(&x) - explicit).abs() < 1e-12);
     }
 }

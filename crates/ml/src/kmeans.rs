@@ -133,9 +133,8 @@ pub fn grid_coreset(m: &DataMatrix, bins: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
     let mut cells: HashMap<Vec<u32>, (Vec<f64>, f64)> = HashMap::new();
     for r in 0..n {
         let row = m.row(r);
-        let key: Vec<u32> = (0..d)
-            .map(|j| bounds[j].partition_point(|&b| b <= row[j]) as u32)
-            .collect();
+        let key: Vec<u32> =
+            (0..d).map(|j| bounds[j].partition_point(|&b| b <= row[j]) as u32).collect();
         let entry = cells.entry(key).or_insert_with(|| (vec![0.0; d], 0.0));
         for (s, x) in entry.0.iter_mut().zip(row) {
             *s += x;
@@ -152,7 +151,13 @@ pub fn grid_coreset(m: &DataMatrix, bins: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
 }
 
 /// Rk-means: weighted k-means over the grid coreset.
-pub fn rk_means(m: &DataMatrix, k: usize, bins: usize, max_iters: usize, seed: u64) -> KMeansResult {
+pub fn rk_means(
+    m: &DataMatrix,
+    k: usize,
+    bins: usize,
+    max_iters: usize,
+    seed: u64,
+) -> KMeansResult {
     let (cells, weights) = grid_coreset(m, bins);
     let mut res = lloyd(&cells, &weights, k, max_iters, seed);
     // Report the cost on the FULL data (that is the objective the
@@ -179,8 +184,7 @@ mod tests {
             for i in 0..n {
                 let dx = ((i * 37 + phase) % 11) as f64 / 11.0 - 0.5;
                 let dy = ((i * 53 + phase) % 13) as f64 / 13.0 - 0.5;
-                rel.push_row(&[Value::F64(cx + dx), Value::F64(cy + dy), Value::F64(0.0)])
-                    .unwrap();
+                rel.push_row(&[Value::F64(cx + dx), Value::F64(cy + dy), Value::F64(0.0)]).unwrap();
             }
         };
         push(0.0, 0.0, 60, 0);
@@ -210,12 +214,7 @@ mod tests {
         let w = vec![1.0; points.len()];
         let full = lloyd(&points, &w, 3, 100, 7);
         let rk = rk_means(&m, 3, 6, 100, 7);
-        assert!(
-            rk.cost <= 3.0 * full.cost.max(1e-9),
-            "rk cost {} vs full {}",
-            rk.cost,
-            full.cost
-        );
+        assert!(rk.cost <= 3.0 * full.cost.max(1e-9), "rk cost {} vs full {}", rk.cost, full.cost);
     }
 
     #[test]

@@ -68,8 +68,7 @@ fn assemble(stats: &SufficientStats, cont_subset: &[usize]) -> Result<Normal, Da
         return Err(DataError::Invalid("empty join: no training data".into()));
     }
     // Feature layout: subset of continuous, then one-hot per categorical.
-    let mut labels: Vec<String> =
-        cont_subset.iter().map(|&i| stats.cont[i].clone()).collect();
+    let mut labels: Vec<String> = cont_subset.iter().map(|&i| stats.cont[i].clone()).collect();
     let mut cat_codes: Vec<Vec<i64>> = Vec::with_capacity(stats.cat.len());
     for (k, name) in stats.cat.iter().enumerate() {
         let mut codes: Vec<i64> = stats.cat_counts[k].keys().copied().collect();
@@ -149,8 +148,7 @@ fn assemble(stats: &SufficientStats, cont_subset: &[usize]) -> Result<Normal, Da
 /// features — the statistically sane convention.
 fn precondition(nm: &mut Normal) -> Vec<f64> {
     let d = nm.d;
-    let scales: Vec<f64> =
-        (0..d).map(|i| nm.a[i * d + i].sqrt().max(1e-12)).collect();
+    let scales: Vec<f64> = (0..d).map(|i| nm.a[i * d + i].sqrt().max(1e-12)).collect();
     for i in 0..d {
         for j in 0..d {
             nm.a[i * d + j] /= scales[i] * scales[j];
@@ -240,7 +238,7 @@ impl LinearRegression {
 mod tests {
     use super::*;
     use crate::matrix::DataMatrix;
-    use fdb_core::{sufficient_stats, EngineConfig};
+    use fdb_core::{sufficient_stats, LmfaoEngine};
     use fdb_datasets::{retailer, RetailerConfig};
     use fdb_query::natural_join_all;
 
@@ -249,8 +247,7 @@ mod tests {
         let rels: Vec<&str> = ds.relation_refs();
         let cont = ["prize", "maxtemp", "population", "inventoryunits"];
         let cat = ["rain", "categoryCluster"];
-        let stats =
-            sufficient_stats(&ds.db, &rels, &cont, &cat, &EngineConfig::default()).unwrap();
+        let stats = sufficient_stats(&ds.db, &rels, &cont, &cat, &LmfaoEngine::default()).unwrap();
         let flat = natural_join_all(&ds.db, &rels).unwrap();
         let m = DataMatrix::from_relation(
             &flat,
@@ -339,8 +336,7 @@ mod tests {
     #[test]
     fn model_recovers_planted_signal_direction() {
         let (stats, m) = stats_and_matrix();
-        let model =
-            LinearRegression::fit_closed(&stats, &RidgeConfig::default()).unwrap();
+        let model = LinearRegression::fit_closed(&stats, &RidgeConfig::default()).unwrap();
         // prize has a planted negative effect on inventoryunits.
         let prize_idx = model.labels.iter().position(|l| l == "prize").unwrap();
         assert!(model.weights[prize_idx] < 0.0);

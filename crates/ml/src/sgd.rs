@@ -110,8 +110,7 @@ pub fn train_linear_sgd(m: &DataMatrix, cfg: &SgdConfig) -> LinearRegression {
     // Map standardized weights back to raw feature space:
     // y = y_mean + b + Σ w_i (x_i - μ_i)/σ_i.
     let weights: Vec<f64> = (0..d).map(|i| w[i] / std[i]).collect();
-    let intercept =
-        y_mean + b - (0..d).map(|i| w[i] * mean[i] / std[i]).sum::<f64>();
+    let intercept = y_mean + b - (0..d).map(|i| w[i] * mean[i] / std[i]).sum::<f64>();
     LinearRegression { weights, intercept, labels: m.labels.clone(), iterations: steps }
 }
 
@@ -130,12 +129,8 @@ mod tests {
         for i in 0..n {
             let x = (i % 17) as f64;
             let z = ((i * 7) % 23) as f64 * 100.0;
-            rel.push_row(&[
-                Value::F64(x),
-                Value::F64(z),
-                Value::F64(3.0 * x - 0.02 * z + 1.0),
-            ])
-            .unwrap();
+            rel.push_row(&[Value::F64(x), Value::F64(z), Value::F64(3.0 * x - 0.02 * z + 1.0)])
+                .unwrap();
         }
         DataMatrix::from_relation(&rel, &["x", "z"], &[], "y").unwrap()
     }
@@ -151,11 +146,13 @@ mod tests {
     }
 
     #[test]
-    fn one_epoch_is_less_accurate_than_converged(){
+    fn one_epoch_is_less_accurate_than_converged() {
         let m = synthetic(2000);
         let one = train_linear_sgd(&m, &SgdConfig { epochs: 1, ..Default::default() });
         let many = train_linear_sgd(&m, &SgdConfig { epochs: 80, ..Default::default() });
-        assert!(m.rmse(&many.weights, many.intercept) <= m.rmse(&one.weights, one.intercept) + 1e-9);
+        assert!(
+            m.rmse(&many.weights, many.intercept) <= m.rmse(&one.weights, one.intercept) + 1e-9
+        );
     }
 
     #[test]

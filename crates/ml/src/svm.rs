@@ -136,11 +136,8 @@ mod tests {
         let u = [0.5, -1.0, 2.0];
         let v = [0.3, 0.9];
         let c = 1.0;
-        let naive = u
-            .iter()
-            .flat_map(|x| v.iter().map(move |y| x + y))
-            .filter(|s| *s < c)
-            .count() as u64;
+        let naive =
+            u.iter().flat_map(|x| v.iter().map(move |y| x + y)).filter(|s| *s < c).count() as u64;
         assert_eq!(violators_split(&u, &v, c), naive);
     }
 

@@ -10,7 +10,7 @@
 //! distribution, "decided in advance based on the distribution of values"
 //! exactly as the paper prescribes.
 
-use fdb_core::{run_batch, AggBatch, Aggregate, EngineConfig, FilterOp};
+use fdb_core::{AggBatch, AggQuery, Aggregate, Engine, FilterOp};
 use fdb_data::{DataError, Database, Relation};
 
 /// Tree-fitting configuration.
@@ -84,7 +84,7 @@ pub enum Node {
 pub struct DecisionTree {
     /// The root node.
     pub root: Node,
-    /// Number of LMFAO batches run during training (one per tree node).
+    /// Number of engine batches run during training (one per tree node).
     pub batches_run: usize,
 }
 
@@ -94,7 +94,7 @@ struct Fitter<'a> {
     response: &'a str,
     candidates: Vec<Split>,
     cfg: TreeConfig,
-    engine: EngineConfig,
+    engine: &'a dyn Engine,
     batches_run: usize,
     classification: bool,
 }
@@ -109,10 +109,10 @@ impl DecisionTree {
         categorical: &[&str],
         response: &str,
         cfg: TreeConfig,
-        engine: EngineConfig,
+        engine: &dyn Engine,
     ) -> Result<Self, DataError> {
         let candidates =
-            candidate_splits(db, relations, continuous, categorical, cfg.thresholds, &engine)?;
+            candidate_splits(db, relations, continuous, categorical, cfg.thresholds, engine)?;
         let mut fitter = Fitter {
             db,
             rels: relations.to_vec(),
@@ -138,10 +138,10 @@ impl DecisionTree {
         categorical: &[&str],
         response: &str,
         cfg: TreeConfig,
-        engine: EngineConfig,
+        engine: &dyn Engine,
     ) -> Result<Self, DataError> {
         let candidates =
-            candidate_splits(db, relations, continuous, categorical, cfg.thresholds, &engine)?;
+            candidate_splits(db, relations, continuous, categorical, cfg.thresholds, engine)?;
         let mut fitter = Fitter {
             db,
             rels: relations.to_vec(),
@@ -166,9 +166,7 @@ impl DecisionTree {
                 Node::Split { split, left, right } => {
                     let yes = match split {
                         Split::Ge(a, t) => rel.value_f64(row, rel.schema().require(a)?) >= *t,
-                        Split::Eq(a, v) => {
-                            rel.value(row, rel.schema().require(a)?).as_int() == *v
-                        }
+                        Split::Eq(a, v) => rel.value(row, rel.schema().require(a)?).as_int() == *v,
                     };
                     node = if yes { left } else { right };
                 }
@@ -197,7 +195,7 @@ fn candidate_splits(
     continuous: &[&str],
     categorical: &[&str],
     thresholds: usize,
-    engine: &EngineConfig,
+    engine: &dyn Engine,
 ) -> Result<Vec<Split>, DataError> {
     let mut batch = AggBatch::new();
     batch.push(Aggregate::count());
@@ -208,7 +206,7 @@ fn candidate_splits(
     for x in categorical {
         batch.push(Aggregate::count().by(&[x]));
     }
-    let res = run_batch(db, relations, &batch, engine)?;
+    let res = engine.run(db, &AggQuery::new(relations, batch))?;
     let n = res.scalar(0).max(1.0);
     let mut out = Vec::new();
     for (i, c) in continuous.iter().enumerate() {
@@ -236,11 +234,7 @@ fn candidate_splits(
 impl<'a> Fitter<'a> {
     /// Fits the node whose population satisfies `path` (a conjunction of
     /// split conditions), using one LMFAO batch for all candidates.
-    fn fit_node(
-        &mut self,
-        path: Vec<(String, FilterOp)>,
-        depth: usize,
-    ) -> Result<Node, DataError> {
+    fn fit_node(&mut self, path: Vec<(String, FilterOp)>, depth: usize) -> Result<Node, DataError> {
         if self.classification {
             self.fit_node_gini(path, depth)
         } else {
@@ -272,7 +266,7 @@ impl<'a> Fitter<'a> {
             batch.push(self.with_path(Aggregate::sum(y).filtered(&a, op.clone()), &path));
             batch.push(self.with_path(Aggregate::sum_prod(y, y).filtered(&a, op), &path));
         }
-        let res = run_batch(self.db, &self.rels, &batch, &self.engine)?;
+        let res = self.engine.run(self.db, &AggQuery::new(&self.rels, batch))?;
         self.batches_run += 1;
         let (n, s, ss) = (res.scalar(0), res.scalar(1), res.scalar(2));
         let sse = |n: f64, s: f64, ss: f64| if n > 0.0 { ss - s * s / n } else { 0.0 };
@@ -324,7 +318,7 @@ impl<'a> Fitter<'a> {
             let (a, op) = cand.yes();
             batch.push(self.with_path(Aggregate::count().by(&[y]).filtered(&a, op), &path));
         }
-        let res = run_batch(self.db, &self.rels, &batch, &self.engine)?;
+        let res = self.engine.run(self.db, &AggQuery::new(&self.rels, batch))?;
         self.batches_run += 1;
         let class_counts = |i: usize| -> std::collections::HashMap<i64, f64> {
             res.grouped(i).iter().map(|(k, v)| (k[0], *v)).collect()
@@ -338,11 +332,8 @@ impl<'a> Fitter<'a> {
             }
             m * (1.0 - counts.values().map(|c| (c / m).powi(2)).sum::<f64>())
         };
-        let majority = totals
-            .iter()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(k, _)| *k)
-            .unwrap_or(0) as f64;
+        let majority =
+            totals.iter().max_by(|a, b| a.1.total_cmp(b.1)).map(|(k, _)| *k).unwrap_or(0) as f64;
         let leaf = Node::Leaf { prediction: majority, count: n };
         if depth >= self.cfg.max_depth || n < 2.0 * self.cfg.min_samples {
             return Ok(leaf);
@@ -352,10 +343,8 @@ impl<'a> Fitter<'a> {
         for (ci, _) in self.candidates.iter().enumerate() {
             let yes = class_counts(1 + ci);
             let ny: f64 = yes.values().sum();
-            let no: std::collections::HashMap<i64, f64> = totals
-                .iter()
-                .map(|(k, v)| (*k, v - yes.get(k).copied().unwrap_or(0.0)))
-                .collect();
+            let no: std::collections::HashMap<i64, f64> =
+                totals.iter().map(|(k, v)| (*k, v - yes.get(k).copied().unwrap_or(0.0))).collect();
             let nn: f64 = no.values().sum();
             if ny < self.cfg.min_samples || nn < self.cfg.min_samples {
                 continue;
@@ -399,7 +388,7 @@ mod tests {
             &["rain"],
             "inventoryunits",
             TreeConfig { max_depth: 3, min_samples: 8.0, thresholds: 6, min_gain: 1e-9 },
-            EngineConfig::default(),
+            &fdb_core::LmfaoEngine::default(),
         )
         .unwrap();
         assert!(tree.leaves() >= 2, "tree must split at least once");
@@ -417,10 +406,7 @@ mod tests {
             sse_tree += (y - p).powi(2);
             sse_mean += (y - mean).powi(2);
         }
-        assert!(
-            sse_tree < 0.9 * sse_mean,
-            "tree SSE {sse_tree} must beat mean SSE {sse_mean}"
-        );
+        assert!(sse_tree < 0.9 * sse_mean, "tree SSE {sse_tree} must beat mean SSE {sse_mean}");
     }
 
     #[test]
@@ -436,7 +422,7 @@ mod tests {
             &["snow"],
             "rain",
             TreeConfig { max_depth: 2, min_samples: 8.0, thresholds: 4, min_gain: 0.0 },
-            EngineConfig::default(),
+            &fdb_core::LmfaoEngine::default(),
         )
         .unwrap();
         // Structure sanity: predictions are class codes.
@@ -458,7 +444,7 @@ mod tests {
             &[],
             "inventoryunits",
             TreeConfig { max_depth: 2, min_samples: 4.0, thresholds: 4, min_gain: 0.0 },
-            EngineConfig::default(),
+            &fdb_core::LmfaoEngine::default(),
         )
         .unwrap();
         fn leaf_total(n: &Node) -> f64 {

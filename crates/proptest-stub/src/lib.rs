@@ -1,0 +1,273 @@
+//! A minimal, dependency-free drop-in for the subset of `proptest` this
+//! workspace's unit tests use: the `proptest!` macro over range / tuple /
+//! `collection::vec` strategies, `any::<bool>()`, `prop_assert!` /
+//! `prop_assert_eq!`, and `ProptestConfig::with_cases`.
+//!
+//! The build environment is offline, so the real `proptest` cannot be
+//! fetched; crates depend on this package under the name `proptest`
+//! (`proptest = { package = "fdb-proptest-stub", ... }`). Unlike the real
+//! crate there is no shrinking and no persisted failure corpus — each test
+//! runs a fixed number of cases drawn from a deterministic generator
+//! seeded by the test's name, so failures reproduce on re-run.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+
+/// Default number of cases per property when no config is given.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Subset of `proptest::test_runner::Config`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: DEFAULT_CASES }
+    }
+}
+
+/// Deterministic per-test generator: the seed is a hash of the test name.
+pub fn test_rng(name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A value generator. The workspace's tests only need sampling, not
+/// shrinking, so this is the whole interface.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, f64);
+
+macro_rules! tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(core::marker::PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng as _;
+
+    /// A length specification: exact or a half-open range.
+    #[derive(Debug, Clone)]
+    pub enum SizeRange {
+        /// Exactly this many elements.
+        Exact(usize),
+        /// A length drawn from `lo..hi`.
+        Range(usize, usize),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange::Exact(n)
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange::Range(r.start, r.end)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a sampled length.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec`: a vector of `elem`, length per `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = match self.size {
+                SizeRange::Exact(n) => n,
+                SizeRange::Range(lo, hi) => rng.gen_range(lo..hi.max(lo + 1)),
+            };
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// In-body assertion; identical to `assert!` here (no shrinking to abort).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// In-body equality assertion; identical to `assert_eq!` here.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// The property-test macro: each `fn` becomes a `#[test]` running its body
+/// over `cases` sampled inputs. Supports `pat in strategy` arguments and
+/// `name: type` arguments (via [`Arbitrary`]), plus an optional leading
+/// `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @cfg ($cfg) $($rest)* }
+    };
+    // Entry without config: default case count.
+    ($(#[$meta:meta])* fn $name:ident $($rest:tt)*) => {
+        $crate::proptest! { @cfg ($crate::ProptestConfig::default()) $(#[$meta])* fn $name $($rest)* }
+    };
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_rng(stringify!($name));
+            for __case in 0..__cfg.cases {
+                $(let $pat = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::proptest! { @cfg ($cfg) $($rest)* }
+    };
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ($($arg:ident : $ty:ty),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_rng(stringify!($name));
+            for __case in 0..__cfg.cases {
+                $(let $arg = <$ty as $crate::Arbitrary>::arbitrary(&mut __rng);)+
+                $body
+            }
+        }
+        $crate::proptest! { @cfg ($cfg) $($rest)* }
+    };
+}
+
+pub mod prelude {
+    //! Everything a `proptest!` test body needs, one `use` away.
+    pub use crate::collection;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(
+            a in -5i64..5,
+            v in collection::vec(0i32..10, 0..8),
+            pair in (0usize..4, any::<bool>()),
+        ) {
+            prop_assert!((-5..5).contains(&a));
+            prop_assert!(v.len() < 8);
+            prop_assert!(v.iter().all(|&x| (0..10).contains(&x)));
+            prop_assert!(pair.0 < 4);
+        }
+
+        #[test]
+        fn typed_args(a: bool, b: bool) {
+            prop_assert_eq!(a && b, b && a);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+        #[test]
+        fn config_respected(x in 0i64..100) {
+            // 3 cases run; nothing to assert beyond the range.
+            prop_assert!((0..100).contains(&x));
+        }
+    }
+
+    #[test]
+    fn deterministic_rng() {
+        use crate::Strategy;
+        let s = 0i64..1000;
+        let mut r1 = crate::test_rng("t");
+        let mut r2 = crate::test_rng("t");
+        assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+    }
+}

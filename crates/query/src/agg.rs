@@ -10,10 +10,12 @@ use crate::expr::{Predicate, ScalarExpr};
 use fdb_data::{DataError, Relation, Value};
 use std::collections::HashMap;
 
-/// One aggregate query: `SELECT group_by, SUM(expr) FROM rel WHERE filter
-/// GROUP BY group_by`. `COUNT(*)` is `SUM(1)`.
+/// One per-relation scan query: `SELECT group_by, SUM(expr) FROM rel WHERE
+/// filter GROUP BY group_by`. `COUNT(*)` is `SUM(1)`. (The cross-backend
+/// logical IR is `fdb_core::AggQuery`; `fdb_core::to_scan_query` lowers
+/// one of its aggregates to this form.)
 #[derive(Debug, Clone)]
-pub struct AggQuery {
+pub struct ScanQuery {
     /// Group-by attribute names (empty = scalar aggregate).
     pub group_by: Vec<String>,
     /// Summand expression.
@@ -22,7 +24,7 @@ pub struct AggQuery {
     pub filter: Option<Predicate>,
 }
 
-impl AggQuery {
+impl ScanQuery {
     /// A scalar `SUM(expr)`.
     pub fn sum(expr: ScalarExpr) -> Self {
         Self { group_by: vec![], expr, filter: None }
@@ -45,7 +47,7 @@ impl AggQuery {
 pub type AggResult = HashMap<Box<[Value]>, f64>;
 
 /// Evaluates one aggregate with a full scan of `rel`.
-pub fn eval_agg(rel: &Relation, q: &AggQuery) -> Result<AggResult, DataError> {
+pub fn eval_agg(rel: &Relation, q: &ScanQuery) -> Result<AggResult, DataError> {
     let expr = q.expr.bind(rel.schema())?;
     let filter = q.filter.as_ref().map(|p| p.bind(rel.schema())).transpose()?;
     let gcols: Vec<usize> =
@@ -66,7 +68,7 @@ pub fn eval_agg(rel: &Relation, q: &AggQuery) -> Result<AggResult, DataError> {
 }
 
 /// Evaluates a batch the classical way: one scan *per query*. No sharing.
-pub fn eval_agg_batch(rel: &Relation, batch: &[AggQuery]) -> Result<Vec<AggResult>, DataError> {
+pub fn eval_agg_batch(rel: &Relation, batch: &[ScanQuery]) -> Result<Vec<AggResult>, DataError> {
     batch.iter().map(|q| eval_agg(rel, q)).collect()
 }
 
@@ -77,11 +79,7 @@ mod tests {
 
     fn rel() -> Relation {
         Relation::from_rows(
-            Schema::of(&[
-                ("g", AttrType::Int),
-                ("x", AttrType::Double),
-                ("y", AttrType::Double),
-            ]),
+            Schema::of(&[("g", AttrType::Int), ("x", AttrType::Double), ("y", AttrType::Double)]),
             vec![
                 vec![Value::Int(1), Value::F64(1.0), Value::F64(10.0)],
                 vec![Value::Int(1), Value::F64(2.0), Value::F64(20.0)],
@@ -99,16 +97,16 @@ mod tests {
     #[test]
     fn count_and_sums() {
         let r = rel();
-        let count = eval_agg(&r, &AggQuery::sum(ScalarExpr::One)).unwrap();
+        let count = eval_agg(&r, &ScanQuery::sum(ScalarExpr::One)).unwrap();
         assert_eq!(scalar(&count), 3.0);
-        let sum_xy = eval_agg(&r, &AggQuery::sum(ScalarExpr::col_product("x", "y"))).unwrap();
+        let sum_xy = eval_agg(&r, &ScanQuery::sum(ScalarExpr::col_product("x", "y"))).unwrap();
         assert_eq!(scalar(&sum_xy), 1.0 * 10.0 + 2.0 * 20.0 + 3.0 * 30.0);
     }
 
     #[test]
     fn grouped_sum() {
         let r = rel();
-        let res = eval_agg(&r, &AggQuery::sum_by(ScalarExpr::Col("x".into()), &["g"])).unwrap();
+        let res = eval_agg(&r, &ScanQuery::sum_by(ScalarExpr::Col("x".into()), &["g"])).unwrap();
         let k1: Box<[Value]> = vec![Value::Int(1)].into();
         let k2: Box<[Value]> = vec![Value::Int(2)].into();
         assert_eq!(res.get(&k1), Some(&3.0));
@@ -119,8 +117,8 @@ mod tests {
     #[test]
     fn filtered_aggregate() {
         let r = rel();
-        let q = AggQuery::sum(ScalarExpr::Col("y".into()))
-            .with_filter(Predicate::Ge("x".into(), 2.0));
+        let q =
+            ScanQuery::sum(ScalarExpr::Col("y".into())).with_filter(Predicate::Ge("x".into(), 2.0));
         assert_eq!(scalar(&eval_agg(&r, &q).unwrap()), 50.0);
     }
 
@@ -128,8 +126,8 @@ mod tests {
     fn batch_matches_individual() {
         let r = rel();
         let batch = vec![
-            AggQuery::sum(ScalarExpr::One),
-            AggQuery::sum_by(ScalarExpr::Col("y".into()), &["g"]),
+            ScanQuery::sum(ScalarExpr::One),
+            ScanQuery::sum_by(ScalarExpr::Col("y".into()), &["g"]),
         ];
         let res = eval_agg_batch(&r, &batch).unwrap();
         assert_eq!(res.len(), 2);
@@ -140,14 +138,14 @@ mod tests {
     #[test]
     fn unknown_attribute_errors() {
         let r = rel();
-        assert!(eval_agg(&r, &AggQuery::sum(ScalarExpr::Col("nope".into()))).is_err());
-        assert!(eval_agg(&r, &AggQuery::sum_by(ScalarExpr::One, &["nope"])).is_err());
+        assert!(eval_agg(&r, &ScanQuery::sum(ScalarExpr::Col("nope".into()))).is_err());
+        assert!(eval_agg(&r, &ScanQuery::sum_by(ScalarExpr::One, &["nope"])).is_err());
     }
 
     #[test]
     fn empty_relation_scalar_sum_absent() {
         let empty = Relation::new(rel().schema().clone());
-        let res = eval_agg(&empty, &AggQuery::sum(ScalarExpr::One)).unwrap();
+        let res = eval_agg(&empty, &ScanQuery::sum(ScalarExpr::One)).unwrap();
         assert!(res.is_empty());
     }
 }

@@ -128,10 +128,7 @@ mod tests {
         let j = hash_join(db.get("R").unwrap(), db.get("S").unwrap()).unwrap();
         // b=10 matches: rows a=1,a=2 × two S rows = 4 tuples.
         assert_eq!(j.len(), 4);
-        assert_eq!(
-            j.schema().names().collect::<Vec<_>>(),
-            vec!["a", "b", "x"]
-        );
+        assert_eq!(j.schema().names().collect::<Vec<_>>(), vec!["a", "b", "x"]);
         let mut pairs: Vec<(i64, f64)> =
             (0..j.len()).map(|r| (j.value(r, 0).as_int(), j.value_f64(r, 2))).collect();
         pairs.sort_by(|p, q| p.partial_cmp(q).unwrap());

@@ -27,9 +27,9 @@ impl ScalarExpr {
             ScalarExpr::One => BoundExpr::Const(1.0),
             ScalarExpr::Const(c) => BoundExpr::Const(*c),
             ScalarExpr::Col(name) => BoundExpr::Col(schema.require(name)?),
-            ScalarExpr::Mul(parts) => BoundExpr::Mul(
-                parts.iter().map(|p| p.bind(schema)).collect::<Result<_, _>>()?,
-            ),
+            ScalarExpr::Mul(parts) => {
+                BoundExpr::Mul(parts.iter().map(|p| p.bind(schema)).collect::<Result<_, _>>()?)
+            }
         })
     }
 
@@ -96,9 +96,9 @@ impl Predicate {
                 sorted.sort_unstable();
                 BoundPredicate::In(schema.require(a)?, sorted)
             }
-            Predicate::And(ps) => BoundPredicate::And(
-                ps.iter().map(|p| p.bind(schema)).collect::<Result<_, _>>()?,
-            ),
+            Predicate::And(ps) => {
+                BoundPredicate::And(ps.iter().map(|p| p.bind(schema)).collect::<Result<_, _>>()?)
+            }
         })
     }
 }
@@ -146,10 +146,7 @@ mod tests {
     fn rel() -> Relation {
         Relation::from_rows(
             Schema::of(&[("k", AttrType::Int), ("x", AttrType::Double)]),
-            vec![
-                vec![Value::Int(1), Value::F64(2.0)],
-                vec![Value::Int(2), Value::F64(3.0)],
-            ],
+            vec![vec![Value::Int(1), Value::F64(2.0)], vec![Value::Int(2), Value::F64(3.0)]],
         )
         .unwrap()
     }

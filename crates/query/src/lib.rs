@@ -13,6 +13,6 @@ pub mod agg;
 pub mod exec;
 pub mod expr;
 
-pub use agg::{eval_agg, eval_agg_batch, AggQuery, AggResult};
+pub use agg::{eval_agg, eval_agg_batch, AggResult, ScanQuery};
 pub use exec::{hash_join, natural_join_all};
 pub use expr::{Predicate, ScalarExpr};

@@ -119,19 +119,11 @@ impl Semiring for CovRing {
     type Elem = CovTriple;
 
     fn zero(&self) -> CovTriple {
-        CovTriple {
-            c: 0.0,
-            s: vec![0.0; self.n].into(),
-            q: vec![0.0; self.tri_len()].into(),
-        }
+        CovTriple { c: 0.0, s: vec![0.0; self.n].into(), q: vec![0.0; self.tri_len()].into() }
     }
 
     fn one(&self) -> CovTriple {
-        CovTriple {
-            c: 1.0,
-            s: vec![0.0; self.n].into(),
-            q: vec![0.0; self.tri_len()].into(),
-        }
+        CovTriple { c: 1.0, s: vec![0.0; self.n].into(), q: vec![0.0; self.tri_len()].into() }
     }
 
     fn add(&self, a: &CovTriple, b: &CovTriple) -> CovTriple {
@@ -225,15 +217,9 @@ mod tests {
         // Right branch: items patty/bun/onion with prices 6, 2, 2 ->
         // (3, 10, ...). Product: (6, 20, ...); matches the paper's numbers.
         let ring = CovRing::new(1);
-        let left = crate::sum(
-            &ring,
-            [ring.lift_sparse(&[], &[]), ring.lift_sparse(&[], &[])],
-        );
+        let left = crate::sum(&ring, [ring.lift_sparse(&[], &[]), ring.lift_sparse(&[], &[])]);
         assert_eq!(left.c, 2.0);
-        let right = crate::sum(
-            &ring,
-            [6.0, 2.0, 2.0].iter().map(|&p| ring.lift(&[p])),
-        );
+        let right = crate::sum(&ring, [6.0, 2.0, 2.0].iter().map(|&p| ring.lift(&[p])));
         assert_eq!(right.c, 3.0);
         assert_eq!(right.s[0], 10.0);
         let burger = ring.mul(&left, &right);

@@ -7,7 +7,7 @@
 //! ```
 
 use fdb::datasets::{favorita, FavoritaConfig};
-use fdb::lmfao::EngineConfig;
+use fdb::lmfao::{EngineConfig, LmfaoEngine};
 use fdb::ml::tree::{DecisionTree, Node, TreeConfig};
 use fdb::query::natural_join_all;
 
@@ -37,7 +37,7 @@ fn main() {
         &["onpromotion", "holidaytype", "perishable"],
         "unitsales",
         TreeConfig { max_depth: 3, min_samples: 50.0, thresholds: 8, min_gain: 1e-6 },
-        EngineConfig { threads: 4, ..Default::default() },
+        &LmfaoEngine::with_config(EngineConfig { threads: 4, ..Default::default() }),
     )
     .unwrap();
     println!(

@@ -55,5 +55,7 @@ fn main() {
             prog.size()
         );
     }
-    println!("\nAll four agree; the optimized program does |S|·(|R|+|I|) work instead of |S|·|R|·|I|.");
+    println!(
+        "\nAll four agree; the optimized program does |S|·(|R|+|I|) work instead of |S|·|R|·|I|."
+    );
 }

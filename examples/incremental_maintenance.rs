@@ -15,8 +15,7 @@ use std::time::Instant;
 fn main() {
     let ds = retailer(RetailerConfig::scaled(0.3));
     let names: Vec<&str> = ds.relation_refs();
-    let schemas: Vec<_> =
-        names.iter().map(|n| ds.db.get(n).unwrap().schema().clone()).collect();
+    let schemas: Vec<_> = names.iter().map(|n| ds.db.get(n).unwrap().schema().clone()).collect();
     let cont: Vec<&str> = ds.features.continuous_with_response_refs();
     let shape = Arc::new(TreeShape::build(schemas.clone(), &names, 0).unwrap());
     let mut db = StreamDb::new(schemas);
@@ -82,8 +81,7 @@ fn fdb_bench_stream(
     ds: &fdb::datasets::Dataset,
 ) -> (Vec<fdb::data::Schema>, Vec<&str>, Vec<Update>) {
     let names: Vec<&str> = ds.relation_refs();
-    let schemas: Vec<_> =
-        names.iter().map(|n| ds.db.get(n).unwrap().schema().clone()).collect();
+    let schemas: Vec<_> = names.iter().map(|n| ds.db.get(n).unwrap().schema().clone()).collect();
     let mut cursors = vec![0usize; names.len()];
     let mut stream = Vec::new();
     loop {

@@ -33,7 +33,11 @@ fn main() {
     let rk_time = t0.elapsed();
 
     println!("full k-means : cost {:>14.1} in {full_time:?} over {} points", full.cost, m.rows());
-    println!("Rk-means     : cost {:>14.1} in {rk_time:?} over {} coreset cells", rk.cost, cells.len());
+    println!(
+        "Rk-means     : cost {:>14.1} in {rk_time:?} over {} coreset cells",
+        rk.cost,
+        cells.len()
+    );
     println!(
         "cost ratio {:.3} (constant-factor approximation), speedup {:.1}x",
         rk.cost / full.cost.max(1e-9),

@@ -7,7 +7,7 @@
 //! ```
 
 use fdb::datasets::{retailer, RetailerConfig};
-use fdb::lmfao::{sufficient_stats, EngineConfig};
+use fdb::lmfao::{sufficient_stats, EngineConfig, LmfaoEngine};
 use fdb::ml::linreg::{LinearRegression, RidgeConfig};
 use fdb::ml::sgd::{shuffled, train_linear_sgd, SgdConfig};
 use fdb::ml::DataMatrix;
@@ -50,7 +50,7 @@ fn main() {
         &rels,
         &cont_resp,
         &cat,
-        &EngineConfig { threads: 4, ..Default::default() },
+        &LmfaoEngine::with_config(EngineConfig { threads: 4, ..Default::default() }),
     )
     .unwrap();
     let model = LinearRegression::fit_gd(&stats, &RidgeConfig::default()).unwrap();
@@ -69,13 +69,7 @@ fn main() {
     for k in [2usize, 5, 8] {
         let subset: Vec<usize> = (0..k.min(stats.cont.len() - 1)).collect();
         let t0 = Instant::now();
-        let m = LinearRegression::fit_gd_subset(&stats, &subset, &RidgeConfig::default())
-            .unwrap();
-        println!(
-            "  {} features -> {} params in {:?}",
-            k,
-            m.weights.len(),
-            t0.elapsed()
-        );
+        let m = LinearRegression::fit_gd_subset(&stats, &subset, &RidgeConfig::default()).unwrap();
+        println!("  {} features -> {} params in {:?}", k, m.weights.len(), t0.elapsed());
     }
 }

@@ -3,7 +3,7 @@
 //! full Figure 3 harness holds its headline relations at test scale.
 
 use fdb::datasets::{retailer, RetailerConfig};
-use fdb::lmfao::{sufficient_stats, EngineConfig};
+use fdb::lmfao::{sufficient_stats, LmfaoEngine};
 use fdb::ml::linreg::{LinearRegression, RidgeConfig};
 use fdb::ml::DataMatrix;
 use fdb::query::natural_join_all;
@@ -14,8 +14,7 @@ fn structure_aware_model_predicts_like_matrix_model() {
     let rels: Vec<&str> = ds.relation_refs();
     let cont: Vec<&str> = ds.features.continuous_with_response_refs();
     let cat: Vec<&str> = ds.features.categorical.iter().map(String::as_str).collect();
-    let stats =
-        sufficient_stats(&ds.db, &rels, &cont, &cat, &EngineConfig::default()).unwrap();
+    let stats = sufficient_stats(&ds.db, &rels, &cont, &cat, &LmfaoEngine::default()).unwrap();
     let model = LinearRegression::fit_closed(&stats, &RidgeConfig::default()).unwrap();
 
     // The same model trained on the materialized one-hot matrix has the
@@ -27,8 +26,7 @@ fn structure_aware_model_predicts_like_matrix_model() {
     let rmse = m.rmse(&model.weights, model.intercept);
     // The planted retailer signal is mostly linear: decent fit expected.
     let mean = m.y.iter().sum::<f64>() / m.rows() as f64;
-    let base =
-        (m.y.iter().map(|y| (y - mean).powi(2)).sum::<f64>() / m.rows() as f64).sqrt();
+    let base = (m.y.iter().map(|y| (y - mean).powi(2)).sum::<f64>() / m.rows() as f64).sqrt();
     assert!(rmse < 0.7 * base, "rmse {rmse} vs constant-mean {base}");
 }
 

@@ -1,14 +1,112 @@
-//! Cross-engine agreement: the LMFAO view engine, the factorized ring
-//! evaluator, the classical engine over the materialized join, and the
-//! IVM maintainers must all compute the same statistics — on randomized
-//! databases (property-based, spanning five crates).
+//! Cross-backend agreement through the unified `Engine` trait.
+//!
+//! The same `AggQuery` values are pushed through the flat (materialized
+//! join), factorized (fused leapfrog), and LMFAO (shared views) backends —
+//! on the paper's dish example, on the retailer dataset, and on randomized
+//! snowflake databases — and must produce identical groups and (up to
+//! float round-off) identical values. The F-IVM backend joins the panel on
+//! its covariance-shaped fragment, streamed tuple-by-tuple.
 
 use fdb::data::{AttrType, Database, Relation, Schema, Value};
-use fdb::ivm::{Fivm, StreamDb, TreeShape, Update};
-use fdb::lmfao::{covariance_batch, run_batch, EngineConfig};
-use fdb::query::natural_join_all;
+use fdb::ivm::FivmEngine;
+use fdb::lmfao::{covariance_batch, decision_node_batch};
+use fdb::prelude::*;
 use proptest::prelude::*;
-use std::sync::Arc;
+
+/// Runs `q` through every engine and checks the results coincide.
+fn assert_engines_agree(db: &Database, q: &AggQuery) -> BatchResult {
+    let engines: Vec<Box<dyn Engine>> = vec![
+        Box::new(FlatEngine),
+        Box::new(FactorizedEngine),
+        Box::new(LmfaoEngine::new()),
+        Box::new(LmfaoEngine::with_config(EngineConfig::sequential())),
+        Box::new(LmfaoEngine::with_config(EngineConfig {
+            specialize: false,
+            share: false,
+            threads: 1,
+        })),
+    ];
+    let results: Vec<BatchResult> = engines
+        .iter()
+        .map(|e| e.run(db, q).unwrap_or_else(|err| panic!("{}: {err}", e.name())))
+        .collect();
+    let base = &results[0];
+    for (e, r) in engines.iter().zip(&results).skip(1) {
+        for i in 0..q.batch.len() {
+            assert_eq!(base.groups[i], r.groups[i], "{}: agg {i}: group attrs", e.name());
+            assert_eq!(
+                base.grouped(i).len(),
+                r.grouped(i).len(),
+                "{}: agg {i}: represented key count",
+                e.name()
+            );
+            for (k, v) in base.grouped(i) {
+                let got = r.grouped(i).get(k).copied().unwrap_or(f64::NAN);
+                assert!(
+                    (v - got).abs() <= 1e-6 * (1.0 + v.abs()),
+                    "{}: agg {i} key {k:?}: flat {v} vs {got}",
+                    e.name()
+                );
+            }
+        }
+    }
+    results.into_iter().next().expect("non-empty")
+}
+
+#[test]
+fn all_backends_agree_on_dish() {
+    let db = fdb::datasets::dish::dish_database();
+    let mut batch = AggBatch::new();
+    batch.push(Aggregate::count());
+    batch.push(Aggregate::sum("price"));
+    batch.push(Aggregate::sum_prod("price", "price"));
+    batch.push(Aggregate::count().by(&["customer"]));
+    batch.push(Aggregate::count().by(&["day"]));
+    batch.push(Aggregate::sum("price").by(&["customer", "day"]));
+    batch.push(Aggregate::sum("price").filtered("price", FilterOp::Ge(3.0)));
+    batch.push(Aggregate::count().by(&["customer"]).filtered("day", FilterOp::Eq(1)));
+    batch.push(Aggregate::sum("price").filtered("price", FilterOp::Lt(100.0)));
+    let q = AggQuery::new(&["Orders", "Dish", "Items"], batch);
+    let res = assert_engines_agree(&db, &q);
+    // Figure 9 ground truth: the dish join has 12 tuples.
+    assert_eq!(res.scalar(0), 12.0);
+    // Elise ordered twice (burger = 3 items each): 6 join tuples.
+    let elise: Box<[i64]> = vec![fdb::datasets::dish::codes::ELISE].into();
+    assert_eq!(res.grouped(3)[&elise], 6.0);
+}
+
+#[test]
+fn all_backends_agree_on_retailer() {
+    let ds = fdb::datasets::retailer(fdb::datasets::RetailerConfig::tiny());
+    let rels = ds.relation_refs();
+    // The covariance batch (Figure 5 workload) with grouped interactions.
+    let cov = covariance_batch(&["prize", "maxtemp", "inventoryunits"], &["rain", "category"]);
+    let res = assert_engines_agree(&ds.db, &AggQuery::new(&rels, cov));
+    assert!(res.scalar(0) > 0.0, "tiny retailer join is non-empty");
+
+    // A decision-tree node batch: conjunctive filters across relations.
+    let node =
+        decision_node_batch(&["prize", "maxtemp"], &["rain"], "inventoryunits", 2, 2, |attr, j| {
+            match attr {
+                "prize" => 5.0 + 10.0 * j as f64,
+                _ => 5.0 * j as f64,
+            }
+        });
+    assert_engines_agree(&ds.db, &AggQuery::new(&rels, node));
+}
+
+#[test]
+fn fivm_streams_to_the_same_covariance_stats() {
+    let ds = fdb::datasets::retailer(fdb::datasets::RetailerConfig::tiny());
+    let rels = ds.relation_refs();
+    let q = AggQuery::new(&rels, covariance_batch(&["prize", "inventoryunits"], &[]));
+    let streamed = FivmEngine.run(&ds.db, &q).unwrap();
+    let batched = LmfaoEngine::new().run(&ds.db, &q).unwrap();
+    for i in 0..q.batch.len() {
+        let (a, b) = (streamed.scalar(i), batched.scalar(i));
+        assert!((a - b).abs() <= 1e-6 * (1.0 + b.abs()), "agg {i}: fivm {a} vs lmfao {b}");
+    }
+}
 
 /// A random 3-relation snowflake: F(a, b, x) ⋈ D1(a, u) ⋈ D2(b, v).
 fn snowflake(rows: &[(i64, i64, i8)], d1: &[(i64, i8)], d2: &[(i64, i8)]) -> Database {
@@ -39,52 +137,31 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
-    fn lmfao_equals_classical_equals_fivm(
+    fn engines_agree_on_random_snowflakes(
         rows in proptest::collection::vec((0i64..4, 0i64..4, -5i8..5), 0..25),
         d1 in proptest::collection::vec((0i64..4, -5i8..5), 0..8),
         d2 in proptest::collection::vec((0i64..4, -5i8..5), 0..8),
+        threshold in -4i8..4,
     ) {
         let db = snowflake(&rows, &d1, &d2);
         let rels = ["F", "D1", "D2"];
-        let cont = ["x", "u", "v"];
 
-        // 1. LMFAO batch.
-        let batch = covariance_batch(&cont, &[]);
-        let res = run_batch(&db, &rels, &batch, &EngineConfig::default()).unwrap();
-        let lmfao_count = res.scalar(0);
+        // Covariance batch through flat / factorized / LMFAO.
+        let cov = AggQuery::new(&rels, covariance_batch(&["x", "u", "v"], &[]));
+        let res = assert_engines_agree(&db, &cov);
 
-        // 2. Classical: materialized join.
-        let flat = natural_join_all(&db, &rels).unwrap();
-        prop_assert!((lmfao_count - flat.len() as f64).abs() < 1e-9,
-            "count: lmfao {} vs flat {}", lmfao_count, flat.len());
-
-        // 3. F-IVM: stream every tuple, compare the final triple.
-        let schemas: Vec<Schema> =
-            rels.iter().map(|n| db.get(n).unwrap().schema().clone()).collect();
-        let shape = Arc::new(TreeShape::build(schemas.clone(), &rels, 0).unwrap());
-        let mut sdb = StreamDb::new(schemas);
-        shape.register_indices(&mut sdb);
-        let mut fivm = Fivm::new(Arc::clone(&shape), &cont).unwrap();
-        for (ri, name) in rels.iter().enumerate() {
-            let rel = db.get(name).unwrap();
-            for r in 0..rel.len() {
-                let up = Update::insert(ri, rel.row_vec(r));
-                sdb.apply(&up).unwrap();
-                fivm.apply(&sdb, &up);
-            }
+        // … and through F-IVM, streaming every tuple.
+        let streamed = FivmEngine.run(&db, &cov).unwrap();
+        for i in 0..cov.batch.len() {
+            let (a, b) = (streamed.scalar(i), res.scalar(i));
+            prop_assert!((a - b).abs() <= 1e-6 * (1.0 + b.abs()),
+                "agg {}: fivm {} vs batch {}", i, a, b);
         }
-        let triple = fivm.result();
-        prop_assert!((triple.c - lmfao_count).abs() < 1e-6);
-        // SUM(x) (batch index 1) and SUM(x·u) must agree too.
-        let sum_x = res.scalar(1);
-        prop_assert!((triple.s[0] - sum_x).abs() < 1e-6,
-            "SUM(x): fivm {} vs lmfao {}", triple.s[0], sum_x);
-        // x is cont[0], u is cont[1]: SUM(x*u) = aggregate "x*u".
-        let idx_xu = batch.aggs.iter().position(|a| {
-            a.factors.len() == 2
-                && a.factors[0].0 == "x"
-                && a.factors[1].0 == "u"
-        }).expect("x*u aggregate exists");
-        prop_assert!((triple.q_at(0, 1) - res.scalar(idx_xu)).abs() < 1e-6);
+
+        // A filtered aggregate exercises per-backend filter pushdown.
+        let mut filtered = AggBatch::new();
+        filtered.push(Aggregate::sum("x").filtered("u", FilterOp::Ge(threshold as f64)));
+        filtered.push(Aggregate::count().filtered("x", FilterOp::Lt(threshold as f64)));
+        assert_engines_agree(&db, &AggQuery::new(&rels, filtered));
     }
 }

@@ -1,0 +1,66 @@
+//! Perf-regression harness: fixed-seed covariance + join benches for every
+//! engine, optimized vs `baseline-hash` arms in one run, written to
+//! `BENCH_engines.json` so future PRs have a trajectory to compare against.
+//!
+//! ```text
+//! perf_regression [--scale S] [--iters N] [--out PATH] [--baseline-hash | --optimized]
+//! ```
+
+use fdb_bench::perf::{self, Arms};
+
+fn main() {
+    let mut scale = 1.0f64;
+    let mut iters = 3usize;
+    let mut out = String::from("BENCH_engines.json");
+    let mut arms = Arms::Both;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => scale = args.next().and_then(|v| v.parse().ok()).expect("--scale S"),
+            "--iters" => iters = args.next().and_then(|v| v.parse().ok()).expect("--iters N"),
+            "--out" => out = args.next().expect("--out PATH"),
+            "--baseline-hash" => arms = Arms::BaselineOnly,
+            "--optimized" => arms = Arms::OptimizedOnly,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: perf_regression [--scale S] [--iters N] [--out PATH] \
+                     [--baseline-hash | --optimized]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let rows = perf::run_all(scale, iters, arms);
+    let cart = (arms == Arms::Both).then(|| perf::cart_sort_accounting(scale));
+
+    fdb_bench::print_table(
+        &["bench", "engine", "config", "wall", "groups"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.bench.to_string(),
+                    r.engine.to_string(),
+                    r.config.to_string(),
+                    fdb_bench::fmt_secs(r.wall_ns as f64 * 1e-9),
+                    r.groups.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    for (bench, engine, x) in perf::speedups(&rows) {
+        println!("speedup {bench}/{engine}: {x:.2}x");
+    }
+    if let Some(c) = &cart {
+        println!(
+            "cart: {} relations, {} sorts on first fit, {} on second (leaves {})",
+            c.relations, c.first_fit_sorts, c.second_fit_sorts, c.leaves
+        );
+    }
+
+    let json = perf::to_json(&rows, cart.as_ref());
+    std::fs::write(&out, json).expect("write BENCH_engines.json");
+    println!("wrote {out}");
+}

@@ -9,10 +9,21 @@ use fdb_datasets::Dataset;
 /// Cumulative configurations, in the figure's order.
 pub fn stages(threads: usize) -> [(&'static str, EngineConfig); 4] {
     [
-        ("baseline", EngineConfig { specialize: false, share: false, threads: 1 }),
-        ("+specialisation", EngineConfig { specialize: true, share: false, threads: 1 }),
-        ("+sharing", EngineConfig { specialize: true, share: true, threads: 1 }),
-        ("+parallelisation", EngineConfig { specialize: true, share: true, threads }),
+        // The baseline also runs without dense group indexing: code-indexed
+        // accumulators are part of the "specialize to the data" toggle.
+        ("baseline", EngineConfig { specialize: false, share: false, threads: 1, dense_limit: 0 }),
+        (
+            "+specialisation",
+            EngineConfig { specialize: true, share: false, threads: 1, ..Default::default() },
+        ),
+        (
+            "+sharing",
+            EngineConfig { specialize: true, share: true, threads: 1, ..Default::default() },
+        ),
+        (
+            "+parallelisation",
+            EngineConfig { specialize: true, share: true, threads, ..Default::default() },
+        ),
     ]
 }
 

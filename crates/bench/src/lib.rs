@@ -12,6 +12,7 @@ pub mod fig4_speedup;
 pub mod fig5;
 pub mod fig6;
 pub mod ineq_scaling;
+pub mod perf;
 
 use std::time::Instant;
 

@@ -1,0 +1,313 @@
+//! The perf-regression harness behind the `perf_regression` binary.
+//!
+//! Runs the grouped-covariance and join-count benches at a fixed seed for
+//! every engine, in two arms per engine:
+//!
+//! * **optimized** — the current defaults: dense code-indexed group
+//!   accumulators, the cross-query sort cache, and (for the flat baseline)
+//!   one shared scan per group-by set;
+//! * **baseline-hash** — the pre-optimization configuration: hash-map
+//!   accumulators (`dense_limit = 0` / the hash keyed ring), fresh sorts
+//!   every run, one scan per aggregate.
+//!
+//! Both arms run in the same process on the same generated data, so the
+//! emitted `BENCH_engines.json` carries its own before/after trajectory —
+//! future PRs append their numbers instead of guessing what "before" was.
+//! Each row records the engine, config arm, dataset, best wall time in
+//! nanoseconds over the requested iterations, and the total number of
+//! groups emitted (a cheap cross-arm agreement checksum).
+
+use fdb_core::{
+    covariance_batch, to_scan_query, AggQuery, Engine, EngineConfig, FactorizedEngine, FlatEngine,
+    LmfaoEngine,
+};
+use fdb_data::SortCache;
+use fdb_datasets::{retailer, Dataset, RetailerConfig};
+use fdb_ml::tree::{DecisionTree, TreeConfig};
+use fdb_query::{eval_agg_batch, natural_join_all, ScanQuery};
+
+/// One measurement row of `BENCH_engines.json`.
+#[derive(Debug, Clone)]
+pub struct PerfRow {
+    /// Bench name: `grouped-covariance` or `join-count`.
+    pub bench: &'static str,
+    /// Engine name (`lmfao`, `factorized`, `flat`).
+    pub engine: &'static str,
+    /// Arm: `optimized` or `baseline-hash`.
+    pub config: &'static str,
+    /// Dataset label.
+    pub dataset: String,
+    /// Best wall time over the iterations, in nanoseconds.
+    pub wall_ns: u128,
+    /// Total groups emitted across the batch (agreement checksum).
+    pub groups: usize,
+}
+
+/// Sort accounting of one CART training run (the "sorts each relation at
+/// most once per fit" acceptance check).
+#[derive(Debug, Clone, Default)]
+pub struct CartSorts {
+    /// Relations in the feature extraction join.
+    pub relations: usize,
+    /// Actual sorts during the first fit.
+    pub first_fit_sorts: u64,
+    /// Additional sorts during a second, identical fit (0 = fully cached).
+    pub second_fit_sorts: u64,
+    /// Leaves of the fitted tree — evidence the trainer actually ran many
+    /// per-node batches over the cached views.
+    pub leaves: usize,
+}
+
+/// Which arms [`run_all`] measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arms {
+    /// Both arms (the default: speedups are computable from one run).
+    Both,
+    /// Only the pre-optimization arm (`--baseline-hash`).
+    BaselineOnly,
+    /// Only the optimized arm (`--optimized`).
+    OptimizedOnly,
+}
+
+impl Arms {
+    fn includes(self, config: &str) -> bool {
+        match self {
+            Arms::Both => true,
+            Arms::BaselineOnly => config == "baseline-hash",
+            Arms::OptimizedOnly => config == "optimized",
+        }
+    }
+}
+
+/// The fixed-seed retailer instance of the harness; `scale = 1.0` is the
+/// test scale the CI step runs.
+pub fn perf_dataset(scale: f64) -> Dataset {
+    let base = RetailerConfig { locations: 14, dates: 20, items: 60, fill: 0.5, seed: 7 };
+    retailer(RetailerConfig {
+        locations: ((base.locations as f64) * scale.cbrt()).ceil() as usize,
+        dates: ((base.dates as f64) * scale.cbrt()).ceil() as usize,
+        items: ((base.items as f64) * scale.cbrt()).ceil() as usize,
+        ..base
+    })
+}
+
+/// The grouped-covariance batch of the harness (Figure 5 shape: continuous
+/// moments, continuous–categorical interactions, categorical pairs).
+pub fn covariance_query(ds: &Dataset) -> AggQuery {
+    let rels: Vec<&str> = ds.relation_refs();
+    let batch = covariance_batch(
+        &["prize", "maxtemp", "population", "inventoryunits"],
+        &["rain", "category", "categoryCluster"],
+    );
+    AggQuery::new(&rels, batch)
+}
+
+/// The join-cardinality query (a single `COUNT(*)` through the same IR).
+pub fn join_count_query(ds: &Dataset) -> AggQuery {
+    let rels: Vec<&str> = ds.relation_refs();
+    AggQuery::new(&rels, {
+        let mut b = fdb_core::AggBatch::new();
+        b.push(fdb_core::Aggregate::count());
+        b
+    })
+}
+
+fn total_groups(res: &fdb_core::BatchResult) -> usize {
+    (0..res.values.len()).map(|i| res.grouped(i).len()).sum()
+}
+
+/// Times `engine` on `q`, returning the best wall time and the checksum.
+fn time_engine(ds: &Dataset, q: &AggQuery, engine: &dyn Engine, iters: usize) -> (u128, usize) {
+    let mut best = u128::MAX;
+    let mut groups = 0;
+    for _ in 0..iters.max(1) {
+        let t0 = std::time::Instant::now();
+        let res = engine.run(&ds.db, q).expect("perf query is well-formed");
+        best = best.min(t0.elapsed().as_nanos());
+        groups = total_groups(&res);
+    }
+    (best, groups)
+}
+
+/// Times the pre-optimization flat path: materialized join plus **one scan
+/// per aggregate** (the accidental quadratic the shared-scan fix removed).
+fn time_flat_per_agg(ds: &Dataset, q: &AggQuery, iters: usize) -> (u128, usize) {
+    let mut best = u128::MAX;
+    let mut groups = 0;
+    for _ in 0..iters.max(1) {
+        let t0 = std::time::Instant::now();
+        let flat = natural_join_all(&ds.db, &q.relation_refs()).expect("join");
+        let queries: Vec<ScanQuery> = q.batch.aggs.iter().map(to_scan_query).collect();
+        let res = eval_agg_batch(&flat, &queries).expect("classical batch");
+        best = best.min(t0.elapsed().as_nanos());
+        groups = res.iter().map(|m| m.values().filter(|&&v| v != 0.0).count()).sum();
+    }
+    (best, groups)
+}
+
+/// Runs every bench × engine × arm combination.
+pub fn run_all(scale: f64, iters: usize, arms: Arms) -> Vec<PerfRow> {
+    let ds = perf_dataset(scale);
+    let label = format!("retailer-x{scale}");
+    let mut rows = Vec::new();
+    let lmfao_opt = LmfaoEngine::with_config(EngineConfig { threads: 1, ..Default::default() });
+    let lmfao_base =
+        LmfaoEngine::with_config(EngineConfig { threads: 1, dense_limit: 0, ..Default::default() });
+    for (bench, q) in
+        [("grouped-covariance", covariance_query(&ds)), ("join-count", join_count_query(&ds))]
+    {
+        // Skipped arms are never timed — `--optimized` exists precisely to
+        // avoid paying for the slow baseline configurations at large scale.
+        let runs: Vec<(&'static str, &'static str, Box<dyn Fn() -> (u128, usize) + '_>)> = vec![
+            ("lmfao", "optimized", Box::new(|| time_engine(&ds, &q, &lmfao_opt, iters))),
+            ("lmfao", "baseline-hash", Box::new(|| time_engine(&ds, &q, &lmfao_base, iters))),
+            (
+                "factorized",
+                "optimized",
+                Box::new(|| time_engine(&ds, &q, &FactorizedEngine::new(), iters)),
+            ),
+            (
+                "factorized",
+                "baseline-hash",
+                Box::new(|| time_engine(&ds, &q, &FactorizedEngine::baseline_hash(), iters)),
+            ),
+            ("flat", "optimized", Box::new(|| time_engine(&ds, &q, &FlatEngine, iters))),
+            ("flat", "baseline-hash", Box::new(|| time_flat_per_agg(&ds, &q, iters))),
+        ];
+        for (engine, config, run) in &runs {
+            if arms.includes(config) {
+                let (wall_ns, groups) = run();
+                rows.push(PerfRow {
+                    bench,
+                    engine,
+                    config,
+                    dataset: label.clone(),
+                    wall_ns,
+                    groups,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Trains the same small CART regression tree twice with the factorized
+/// engine and reports the sort counts per fit via the global
+/// [`SortCache`] statistics.
+pub fn cart_sort_accounting(scale: f64) -> CartSorts {
+    let ds = perf_dataset(scale);
+    let rels: Vec<&str> = ds.relation_refs();
+    let cache = SortCache::global();
+    let misses =
+        || -> u64 { rels.iter().map(|r| cache.stats_for(ds.db.get(r).expect("exists")).1).sum() };
+    let fit = || {
+        DecisionTree::fit_regression(
+            &ds.db,
+            &rels,
+            &["prize", "maxtemp"],
+            &["rain"],
+            "inventoryunits",
+            TreeConfig { max_depth: 3, min_samples: 8.0, thresholds: 4, min_gain: 1e-9 },
+            &FactorizedEngine::new(),
+        )
+        .expect("tree fits")
+    };
+    let before = misses();
+    let t1 = fit();
+    let after_first = misses();
+    let _t2 = fit();
+    let after_second = misses();
+    CartSorts {
+        relations: rels.len(),
+        first_fit_sorts: after_first - before,
+        second_fit_sorts: after_second - after_first,
+        leaves: t1.leaves(),
+    }
+}
+
+/// Speedup table: per `(bench, engine)`, `baseline-hash / optimized`.
+pub fn speedups(rows: &[PerfRow]) -> Vec<(&'static str, &'static str, f64)> {
+    let mut out = Vec::new();
+    for row in rows {
+        if row.config != "optimized" {
+            continue;
+        }
+        if let Some(base) = rows
+            .iter()
+            .find(|r| r.bench == row.bench && r.engine == row.engine && r.config == "baseline-hash")
+        {
+            out.push((row.bench, row.engine, base.wall_ns as f64 / row.wall_ns.max(1) as f64));
+        }
+    }
+    out
+}
+
+/// Serializes the rows (plus optional CART accounting) as the
+/// `BENCH_engines.json` document.
+pub fn to_json(rows: &[PerfRow], cart: Option<&CartSorts>) -> String {
+    let mut s = String::from("{\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"engine\": \"{}\", \"config\": \"{}\", \
+             \"dataset\": \"{}\", \"wall_ns\": {}, \"groups\": {}}}{}\n",
+            r.bench,
+            r.engine,
+            r.config,
+            r.dataset,
+            r.wall_ns,
+            r.groups,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"speedups\": {");
+    let sp = speedups(rows);
+    for (i, (bench, engine, x)) in sp.iter().enumerate() {
+        s.push_str(&format!(
+            "\"{bench}/{engine}\": {x:.3}{}",
+            if i + 1 < sp.len() { ", " } else { "" }
+        ));
+    }
+    s.push('}');
+    if let Some(c) = cart {
+        s.push_str(&format!(
+            ",\n  \"cart\": {{\"relations\": {}, \"first_fit_sorts\": {}, \
+             \"second_fit_sorts\": {}, \"leaves\": {}}}",
+            c.relations, c.first_fit_sorts, c.second_fit_sorts, c.leaves
+        ));
+    }
+    s.push_str("\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arms_and_checksums_agree() {
+        let _guard = crate::timing_lock();
+        let rows = run_all(0.02, 1, Arms::Both);
+        assert_eq!(rows.len(), 12, "2 benches × 3 engines × 2 arms");
+        // Optimized and baseline arms must emit identical group counts.
+        for r in rows.iter().filter(|r| r.config == "optimized") {
+            let base = rows
+                .iter()
+                .find(|b| b.bench == r.bench && b.engine == r.engine && b.config == "baseline-hash")
+                .expect("paired row");
+            assert_eq!(r.groups, base.groups, "{}/{}", r.bench, r.engine);
+            assert!(r.groups > 0, "{}/{} emitted no groups", r.bench, r.engine);
+        }
+        let json = to_json(&rows, Some(&CartSorts::default()));
+        assert!(json.contains("\"speedups\""));
+        assert!(json.contains("grouped-covariance/lmfao"));
+        assert!(json.contains("\"cart\""));
+    }
+
+    #[test]
+    fn baseline_only_arm_filters_rows() {
+        let _guard = crate::timing_lock();
+        let rows = run_all(0.02, 1, Arms::BaselineOnly);
+        assert!(!rows.is_empty());
+        assert!(rows.iter().all(|r| r.config == "baseline-hash"));
+    }
+}

@@ -8,6 +8,7 @@
 //! this module is the sequential core plus the [`run_batch`] entry point.
 
 use crate::batch::{AggBatch, FilterOp};
+use crate::group::GroupIndex;
 use crate::ir::BatchResult;
 use crate::parallel::{self, EngineConfig};
 use crate::plan::{Plan, ViewData};
@@ -75,7 +76,8 @@ pub(crate) fn compute_node(
     let np = &plan.nodes[node];
     let rel = plan.rels[node];
     let cols = Col::all(rel);
-    let mut out: Vec<ViewData> = np.views.iter().map(|_| ViewData::new()).collect();
+    let mut out: Vec<ViewData> =
+        np.views.iter().map(|_| ViewData::new(np.key_space.as_ref())).collect();
     let nchildren = np.children.len();
     // Distinct (child position, child view) lookups across all views: each
     // is fetched once per row and shared by every view needing it.
@@ -109,14 +111,21 @@ pub(crate) fn compute_node(
         .enumerate()
         .map(|(vi, vp)| if scalar_view[vi] { vec![0.0; vp.slots.len()] } else { vec![] })
         .collect();
-    // Reused per-row buffers: the hot loop allocates only on first
+    // Reused per-row buffers: with dense accumulators the hot loop does
+    // not allocate at all; the hash fallback allocates only on first
     // insertion of a new key.
     let mut child_keys: Vec<Vec<i64>> = vec![Vec::new(); nchildren];
     let mut key_buf: Vec<i64> = Vec::new();
     let mut gkey_buf: Vec<i64> = Vec::new();
-    let mut single: Vec<&Vec<f64>> = Vec::with_capacity(nchildren);
-    let mut fetched: Vec<Option<*const HashMap<Box<[i64]>, Vec<f64>>>> =
-        vec![None; lookup_specs.len()];
+    let mut gvals_buf: Vec<i64> = Vec::new();
+    let mut single: Vec<&[f64]> = Vec::with_capacity(nchildren);
+    let mut fetched: Vec<Option<*const GroupIndex>> = vec![None; lookup_specs.len()];
+    // Cross-product scratch: per child, the flattened (keys, payloads) of
+    // its current group entries plus the key stride.
+    let mut cross_keys: Vec<Vec<i64>> = vec![Vec::new(); nchildren];
+    let mut cross_pays: Vec<Vec<&[f64]>> = vec![Vec::new(); nchildren];
+    let mut cross_arity: Vec<usize> = vec![0; nchildren];
+    let mut idx: Vec<usize> = vec![0; nchildren];
     for row in rows {
         // Generic (unspecialized) mode materializes the tuple first — the
         // per-tuple interpretation overhead LMFAO's code generation removes.
@@ -146,14 +155,13 @@ pub(crate) fn compute_node(
         // maps live in `child_data`, which is untouched for this node.
         for (li, &(cpos, cv)) in lookup_specs.iter().enumerate() {
             let data = child_data[np.children[cpos]].as_ref().expect("child computed first");
-            fetched[li] = data[cv]
-                .get(child_keys[cpos].as_slice())
-                .map(|m| m as *const HashMap<Box<[i64]>, Vec<f64>>);
+            fetched[li] = data[cv].get(child_keys[cpos].as_slice()).map(|m| m as *const GroupIndex);
         }
         'views: for (vi, vp) in np.views.iter().enumerate() {
+            debug_assert_eq!(vp.spec.slots, vp.slots.len(), "plan must be finalized");
             // Resolve this view's child entries; a missing partner kills
             // the row's contribution to this view.
-            let mut entries: Vec<&HashMap<Box<[i64]>, Vec<f64>>> = Vec::with_capacity(nchildren);
+            let mut entries: Vec<&GroupIndex> = Vec::with_capacity(nchildren);
             for &li in &view_lookups[vi] {
                 match fetched[li] {
                     // SAFETY: points into `child_data`, alive and unaliased
@@ -173,17 +181,17 @@ pub(crate) fn compute_node(
                 }
                 single.clear();
                 for (cpos, m) in entries.iter().enumerate() {
-                    let (gvals, pay) = m.iter().next().expect("len 1");
+                    let pay = m.only(&mut gvals_buf).expect("len 1");
                     for &(mypos, cpos_g) in &vp.child_views[cpos].1 {
-                        gkey_buf[mypos] = gvals[cpos_g];
+                        gkey_buf[mypos] = gvals_buf[cpos_g];
                     }
                     single.push(pay);
                     debug_assert_eq!(single.len(), cpos + 1);
                 }
-                let payload: &mut Vec<f64> = if scalar_view[vi] {
+                let payload: &mut [f64] = if scalar_view[vi] {
                     &mut scalar_payloads[vi]
                 } else {
-                    lookup_payload(&mut out[vi], &key_buf, &gkey_buf, vp.slots.len())
+                    out[vi].entry_mut(&key_buf, &vp.spec).payload_mut(&gkey_buf)
                 };
                 'slots: for (si, slot) in vp.slots.iter().enumerate() {
                     for (c, op) in &slot.filter {
@@ -202,27 +210,30 @@ pub(crate) fn compute_node(
                 }
                 continue 'views;
             }
-            // General path: cross product of child group entries.
-            let entry_lists: Vec<Vec<(&Box<[i64]>, &Vec<f64>)>> =
-                entries.iter().map(|m| m.iter().collect()).collect();
-            let mut idx = vec![0usize; nchildren];
+            // General path: cross product of child group entries, flattened
+            // into the reused scratch buffers (no per-row allocation).
+            for (cpos, m) in entries.iter().enumerate() {
+                cross_arity[cpos] = m.flatten_pairs(&mut cross_keys[cpos], &mut cross_pays[cpos]);
+                idx[cpos] = 0;
+            }
             loop {
                 gkey_buf.clear();
                 gkey_buf.resize(group_len, 0);
                 for &(pos, col) in &vp.local_groups {
                     gkey_buf[pos] = geti(col);
                 }
-                for (cpos, list) in entry_lists.iter().enumerate() {
-                    let (gvals, _) = list[idx[cpos]];
+                for cpos in 0..entries.len() {
+                    let (stride, i) = (cross_arity[cpos], idx[cpos]);
+                    let gvals = &cross_keys[cpos][i * stride..(i + 1) * stride];
                     for &(mypos, cpos_g) in &vp.child_views[cpos].1 {
                         gkey_buf[mypos] = gvals[cpos_g];
                     }
                 }
                 // Accumulate all slots for this combination.
-                let payload: &mut Vec<f64> = if scalar_view[vi] {
+                let payload: &mut [f64] = if scalar_view[vi] {
                     &mut scalar_payloads[vi]
                 } else {
-                    lookup_payload(&mut out[vi], &key_buf, &gkey_buf, vp.slots.len())
+                    out[vi].entry_mut(&key_buf, &vp.spec).payload_mut(&gkey_buf)
                 };
                 'slots: for (si, slot) in vp.slots.iter().enumerate() {
                     for (c, op) in &slot.filter {
@@ -234,9 +245,8 @@ pub(crate) fn compute_node(
                     for &(c, f) in &slot.factors {
                         v *= f.apply(getf(c));
                     }
-                    for (cpos, list) in entry_lists.iter().enumerate() {
-                        let (_, pay) = list[idx[cpos]];
-                        v *= pay[slot.child_slots[cpos]];
+                    for cpos in 0..entries.len() {
+                        v *= cross_pays[cpos][idx[cpos]][slot.child_slots[cpos]];
                     }
                     payload[si] += v;
                 }
@@ -247,7 +257,7 @@ pub(crate) fn compute_node(
                         break;
                     }
                     idx[d] += 1;
-                    if idx[d] < entry_lists[d].len() {
+                    if idx[d] < cross_pays[d].len() {
                         break;
                     }
                     idx[d] = 0;
@@ -259,33 +269,13 @@ pub(crate) fn compute_node(
             }
         }
     }
-    // Fold the hash-free scalar accumulators into the map representation.
+    // Fold the hash-free scalar accumulators into the view representation.
     for (vi, payload) in scalar_payloads.into_iter().enumerate() {
         if scalar_view[vi] {
-            let empty_key: Box<[i64]> = Vec::new().into();
-            out[vi].entry(empty_key.clone()).or_default().insert(empty_key, payload);
+            out[vi].entry_mut(&[], &np.views[vi].spec).add(&[], &payload);
         }
     }
     out
-}
-
-/// Finds (or inserts zero-initialized) the payload vector for
-/// `(key, gkey)`, cloning the key buffers only on first insertion.
-#[inline]
-fn lookup_payload<'m>(
-    view: &'m mut ViewData,
-    key: &[i64],
-    gkey: &[i64],
-    slots: usize,
-) -> &'m mut Vec<f64> {
-    if !view.contains_key(key) {
-        view.insert(key.into(), HashMap::new());
-    }
-    let groups = view.get_mut(key).expect("ensured above");
-    if !groups.contains_key(gkey) {
-        groups.insert(gkey.into(), vec![0.0; slots]);
-    }
-    groups.get_mut(gkey).expect("ensured above")
 }
 
 /// Computes all nodes of `order` sequentially (bottom-up).
@@ -320,6 +310,7 @@ pub(crate) fn run_batch(
     for (i, agg) in batch.aggs.iter().enumerate() {
         agg_slots.push(plan.decompose(agg, i, root, cfg.share)?);
     }
+    plan.finalize(cfg.dense_limit);
     let plan = plan; // freeze
     let mut data: Vec<Option<Vec<ViewData>>> = plan.rels.iter().map(|_| None).collect();
 
@@ -341,19 +332,18 @@ pub(crate) fn run_batch(
     };
 
     // Extract results.
-    let empty_key: Box<[i64]> = Vec::new().into();
     let mut groups = Vec::with_capacity(batch.aggs.len());
     let mut values = Vec::with_capacity(batch.aggs.len());
     for &(vi, si) in &agg_slots {
         let vp = &plan.nodes[root].views[vi];
         groups.push(vp.group_attrs.clone());
         let mut map: HashMap<Box<[i64]>, f64> = HashMap::new();
-        if let Some(entries) = root_data[vi].get(&empty_key) {
-            for (gkey, payload) in entries {
+        if let Some(entries) = root_data[vi].get(&[]) {
+            entries.for_each(|gkey, payload| {
                 if payload[si] != 0.0 {
-                    map.insert(gkey.clone(), payload[si]);
+                    map.insert(gkey.into(), payload[si]);
                 }
-            }
+            });
         }
         values.push(map);
     }
@@ -411,9 +401,10 @@ mod tests {
             &["rain", "categoryCluster"],
         );
         for cfg in [
-            EngineConfig { specialize: false, share: false, threads: 1 },
-            EngineConfig { specialize: true, share: false, threads: 1 },
-            EngineConfig { specialize: false, share: true, threads: 1 },
+            EngineConfig { specialize: false, share: false, threads: 1, ..Default::default() },
+            EngineConfig { specialize: true, share: false, threads: 1, ..Default::default() },
+            EngineConfig { specialize: false, share: true, threads: 1, ..Default::default() },
+            EngineConfig { specialize: true, share: true, threads: 1, dense_limit: 0 },
         ] {
             check_batch(&db, &rels, &batch, &cfg);
         }

@@ -1,0 +1,506 @@
+//! Dense code-indexed group accumulators.
+//!
+//! Categorical attributes are dictionary-encoded into dense `i64` codes at
+//! load time, so a group-by key over attributes with known code ranges is
+//! itself a dense integer: the **mixed-radix composite code**
+//! `Σ (keyᵢ − minᵢ) · strideᵢ`. When the product of the per-attribute
+//! domain sizes is small, a group accumulator can be a flat `Vec<f64>`
+//! indexed by that code — no `Box<[i64]>` key allocation, no hashing, one
+//! multiply-add per attribute per probe. This is the group-indexing half of
+//! the paper's "specialize the engine to the data" claim (LMFAO §4): the
+//! same trick that turns one-hot encodings into sparse tensors turns group
+//! hash tables into arrays.
+//!
+//! [`GroupIndex`] is the accumulator: dense when a [`KeySpace`] fits under
+//! the caller's code limit, a classical `HashMap<Box<[i64]>, Vec<f64>>`
+//! fallback otherwise (unknown or unbounded domains). Both variants expose
+//! one probe/iterate/merge API, and — like the hash maps they replace —
+//! only *touched* groups are represented, so the "exactly-zero groups are
+//! dropped" contract of [`crate::ir::BatchResult`] is unaffected by the
+//! representation choice.
+
+use std::collections::HashMap;
+
+/// Default ceiling on composite group codes per dense accumulator
+/// (the [`crate::EngineConfig::dense_limit`] default).
+pub const DEFAULT_DENSE_GROUPS: u64 = 1024;
+
+/// Ceiling on composite join-key codes per dense view map. Join-key spaces
+/// cost 4 bytes per code (a slot table), so they may be much larger than
+/// group spaces, which cost a full payload vector per code.
+pub const DENSE_KEY_LIMIT: u64 = 1 << 20;
+
+/// A mixed-radix composite-code space over inclusive per-attribute ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeySpace {
+    mins: Vec<i64>,
+    dims: Vec<u64>,
+    strides: Vec<u64>,
+    size: u64,
+}
+
+impl KeySpace {
+    /// Builds the space spanned by the inclusive `(min, max)` ranges;
+    /// `None` if the total code count exceeds `limit` (or overflows).
+    pub fn new(ranges: &[(i64, i64)], limit: u64) -> Option<KeySpace> {
+        let mut dims = Vec::with_capacity(ranges.len());
+        let mut size: u64 = 1;
+        for &(lo, hi) in ranges {
+            let d = hi.checked_sub(lo)?.checked_add(1)?;
+            if d <= 0 {
+                return None;
+            }
+            dims.push(d as u64);
+            size = size.checked_mul(d as u64)?;
+            if size > limit {
+                return None;
+            }
+        }
+        // Row-major strides: first attribute most significant.
+        let mut strides = vec![1u64; ranges.len()];
+        for i in (0..ranges.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * dims[i + 1];
+        }
+        Some(KeySpace { mins: ranges.iter().map(|&(lo, _)| lo).collect(), dims, strides, size })
+    }
+
+    /// Number of attributes in a key.
+    pub fn arity(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Total number of composite codes (product of domain sizes).
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// The composite code of `key`, or `None` if any attribute falls
+    /// outside its range (e.g. probing with a foreign key the other side
+    /// never held).
+    #[inline]
+    pub fn encode(&self, key: &[i64]) -> Option<u64> {
+        debug_assert_eq!(key.len(), self.mins.len());
+        let mut code = 0u64;
+        for i in 0..key.len() {
+            let d = key[i].wrapping_sub(self.mins[i]) as u64;
+            if d >= self.dims[i] {
+                return None;
+            }
+            code += d * self.strides[i];
+        }
+        Some(code)
+    }
+
+    /// Decodes `code` back into attribute values, replacing `out`.
+    pub fn decode(&self, code: u64, out: &mut Vec<i64>) {
+        out.clear();
+        self.decode_append(code, out);
+    }
+
+    /// Decodes `code`, appending the attribute values to `out`.
+    pub fn decode_append(&self, code: u64, out: &mut Vec<i64>) {
+        let mut rest = code;
+        for i in 0..self.mins.len() {
+            let d = rest / self.strides[i];
+            rest %= self.strides[i];
+            out.push(self.mins[i] + d as i64);
+        }
+    }
+}
+
+/// A group accumulator: group key → payload of `slots` running sums.
+///
+/// Only touched groups are represented (dense variant keeps a touch list
+/// and bitmap), so iteration order and group counts match the hash
+/// fallback up to ordering.
+#[derive(Debug)]
+pub enum GroupIndex {
+    /// Flat storage indexed by composite code.
+    Dense {
+        /// The code space of the group-by attributes.
+        space: KeySpace,
+        /// Payload width.
+        slots: usize,
+        /// `size × slots` payload matrix.
+        data: Vec<f64>,
+        /// Touched-code bitmap (`size` bits).
+        present: Vec<u64>,
+        /// Touched codes in first-touch order.
+        touched: Vec<u32>,
+    },
+    /// Classical fallback for large or unknown key spaces.
+    Hash {
+        /// Payload width.
+        slots: usize,
+        /// Group key → payload.
+        map: HashMap<Box<[i64]>, Vec<f64>>,
+    },
+}
+
+impl GroupIndex {
+    /// A dense accumulator over `space` (callers check the size budget).
+    /// The touch list stores codes as `u32`, so the space may span at most
+    /// `u32::MAX` codes — enforced here because a truncated code would
+    /// silently alias two groups.
+    pub fn dense(space: KeySpace, slots: usize) -> Self {
+        assert!(space.size <= u32::MAX as u64, "dense group spaces are capped at 2^32 codes");
+        let size = space.size as usize;
+        GroupIndex::Dense {
+            space,
+            slots,
+            data: vec![0.0; size * slots],
+            present: vec![0; size.div_ceil(64)],
+            touched: Vec::new(),
+        }
+    }
+
+    /// A hash-map accumulator.
+    pub fn hash(slots: usize) -> Self {
+        GroupIndex::Hash { slots, map: HashMap::new() }
+    }
+
+    /// Payload width.
+    pub fn slots(&self) -> usize {
+        match self {
+            GroupIndex::Dense { slots, .. } | GroupIndex::Hash { slots, .. } => *slots,
+        }
+    }
+
+    /// Number of touched groups.
+    pub fn len(&self) -> usize {
+        match self {
+            GroupIndex::Dense { touched, .. } => touched.len(),
+            GroupIndex::Hash { map, .. } => map.len(),
+        }
+    }
+
+    /// True if no group has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The payload of `key`, touching (zero-initializing) it if new.
+    ///
+    /// Dense accumulators require `key` to lie inside their [`KeySpace`] —
+    /// guaranteed when the space was sized from the min/max of the very
+    /// columns the key values are read from, which is how the planner
+    /// builds them.
+    #[inline]
+    pub fn payload_mut(&mut self, key: &[i64]) -> &mut [f64] {
+        match self {
+            GroupIndex::Dense { space, slots, data, present, touched } => {
+                let code = space.encode(key).expect("dense group key within planner-derived bounds")
+                    as usize;
+                let (w, b) = (code / 64, 1u64 << (code % 64));
+                if present[w] & b == 0 {
+                    present[w] |= b;
+                    touched.push(code as u32);
+                }
+                &mut data[code * *slots..(code + 1) * *slots]
+            }
+            GroupIndex::Hash { slots, map } => {
+                if !map.contains_key(key) {
+                    map.insert(key.into(), vec![0.0; *slots]);
+                }
+                map.get_mut(key).expect("ensured above")
+            }
+        }
+    }
+
+    /// The payload of `key`, if touched.
+    #[inline]
+    pub fn get(&self, key: &[i64]) -> Option<&[f64]> {
+        match self {
+            GroupIndex::Dense { space, slots, data, present, .. } => {
+                let code = space.encode(key)? as usize;
+                if present[code / 64] & (1 << (code % 64)) == 0 {
+                    return None;
+                }
+                Some(&data[code * *slots..(code + 1) * *slots])
+            }
+            GroupIndex::Hash { map, .. } => map.get(key).map(Vec::as_slice),
+        }
+    }
+
+    /// Adds `payload` slot-wise to the entry at `key`.
+    pub fn add(&mut self, key: &[i64], payload: &[f64]) {
+        for (x, y) in self.payload_mut(key).iter_mut().zip(payload) {
+            *x += *y;
+        }
+    }
+
+    /// If exactly one group is touched, decodes its key into `key_out` and
+    /// returns its payload. The single-entry fast path of the shared scan.
+    #[inline]
+    pub fn only<'a>(&'a self, key_out: &mut Vec<i64>) -> Option<&'a [f64]> {
+        match self {
+            GroupIndex::Dense { space, slots, data, touched, .. } => match touched.as_slice() {
+                &[code] => {
+                    space.decode(code as u64, key_out);
+                    Some(&data[code as usize * *slots..(code as usize + 1) * *slots])
+                }
+                _ => None,
+            },
+            GroupIndex::Hash { map, .. } => {
+                if map.len() != 1 {
+                    return None;
+                }
+                let (k, v) = map.iter().next().expect("len 1");
+                key_out.clear();
+                key_out.extend_from_slice(k);
+                Some(v)
+            }
+        }
+    }
+
+    /// Calls `f(key, payload)` for every touched group (dense: first-touch
+    /// order; hash: arbitrary).
+    pub fn for_each(&self, mut f: impl FnMut(&[i64], &[f64])) {
+        match self {
+            GroupIndex::Dense { space, slots, data, touched, .. } => {
+                let mut key = Vec::with_capacity(space.arity());
+                for &code in touched {
+                    space.decode(code as u64, &mut key);
+                    f(&key, &data[code as usize * *slots..(code as usize + 1) * *slots]);
+                }
+            }
+            GroupIndex::Hash { map, .. } => {
+                for (k, v) in map {
+                    f(k, v);
+                }
+            }
+        }
+    }
+
+    /// Flattens every touched `(key, payload)` into reusable buffers —
+    /// keys contiguously at a fixed stride (the returned key arity),
+    /// payloads as borrowed slices. The shared scan's cross-product path
+    /// calls this per row, so refilling caller-owned buffers (instead of
+    /// materializing fresh `Vec`s as [`GroupIndex::pairs`] does) keeps the
+    /// hot loop allocation-free after warm-up.
+    pub fn flatten_pairs<'a>(&'a self, keys: &mut Vec<i64>, pays: &mut Vec<&'a [f64]>) -> usize {
+        keys.clear();
+        pays.clear();
+        match self {
+            GroupIndex::Dense { space, slots, data, touched, .. } => {
+                for &code in touched {
+                    space.decode_append(code as u64, keys);
+                    pays.push(&data[code as usize * *slots..(code as usize + 1) * *slots]);
+                }
+                space.arity()
+            }
+            GroupIndex::Hash { map, .. } => {
+                let mut arity = 0;
+                for (k, v) in map {
+                    arity = k.len();
+                    keys.extend_from_slice(k);
+                    pays.push(v);
+                }
+                arity
+            }
+        }
+    }
+
+    /// Materializes `(key, payload)` pairs — convenience for tests and
+    /// one-shot consumers (hot paths use [`GroupIndex::flatten_pairs`]).
+    pub fn pairs(&self) -> Vec<(Vec<i64>, &[f64])> {
+        let mut out = Vec::with_capacity(self.len());
+        match self {
+            GroupIndex::Dense { space, slots, data, touched, .. } => {
+                for &code in touched {
+                    let mut key = Vec::with_capacity(space.arity());
+                    space.decode(code as u64, &mut key);
+                    out.push((key, &data[code as usize * *slots..(code as usize + 1) * *slots]));
+                }
+            }
+            GroupIndex::Hash { map, .. } => {
+                for (k, v) in map {
+                    out.push((k.to_vec(), v.as_slice()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Merges `other` into `self`, summing payloads of equal keys. A
+    /// dense/dense merge over the *same* key space (the engine case: both
+    /// sides stem from one view plan) is a straight indexed add; any other
+    /// combination goes through key-wise decoding, so merging indexes with
+    /// different spaces stays correct.
+    pub fn merge_from(&mut self, other: &GroupIndex) {
+        match (&mut *self, other) {
+            (
+                GroupIndex::Dense { space, slots, data, present, touched },
+                GroupIndex::Dense { space: osp, slots: os, data: od, touched: ot, .. },
+            ) if *slots == *os && space == osp => {
+                for &code in ot {
+                    let c = code as usize;
+                    let (w, b) = (c / 64, 1u64 << (c % 64));
+                    if present[w] & b == 0 {
+                        present[w] |= b;
+                        touched.push(code);
+                    }
+                    for s in 0..*slots {
+                        data[c * *slots + s] += od[c * *os + s];
+                    }
+                }
+            }
+            _ => other.for_each(|key, payload| self.add(key, payload)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyspace_encode_decode_roundtrip() {
+        let ks = KeySpace::new(&[(2, 4), (-1, 0), (10, 10)], 64).unwrap();
+        assert_eq!(ks.size(), 6);
+        assert_eq!(ks.arity(), 3);
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for a in 2..=4 {
+            for b in -1..=0 {
+                let code = ks.encode(&[a, b, 10]).unwrap();
+                assert!(code < 6);
+                assert!(seen.insert(code), "codes are distinct");
+                ks.decode(code, &mut out);
+                assert_eq!(out, vec![a, b, 10]);
+            }
+        }
+        // Out-of-range probes miss instead of aliasing.
+        assert_eq!(ks.encode(&[5, 0, 10]), None);
+        assert_eq!(ks.encode(&[2, -2, 10]), None);
+        assert_eq!(ks.encode(&[2, 0, 11]), None);
+    }
+
+    #[test]
+    fn keyspace_respects_limit_and_overflow() {
+        assert!(KeySpace::new(&[(0, 31), (0, 31)], 1024).is_some());
+        assert!(KeySpace::new(&[(0, 31), (0, 32)], 1024).is_none(), "1056 > 1024");
+        assert!(KeySpace::new(&[(i64::MIN, i64::MAX)], u64::MAX).is_none(), "overflow");
+        let empty = KeySpace::new(&[], 1).unwrap();
+        assert_eq!(empty.size(), 1);
+        assert_eq!(empty.encode(&[]), Some(0));
+    }
+
+    #[test]
+    fn dense_and_hash_agree() {
+        let ks = KeySpace::new(&[(0, 3), (0, 2)], 64).unwrap();
+        let mut dense = GroupIndex::dense(ks, 2);
+        let mut hash = GroupIndex::hash(2);
+        let probes = [[0, 0], [3, 2], [0, 0], [1, 1], [3, 2]];
+        for (i, key) in probes.iter().enumerate() {
+            for gi in [&mut dense, &mut hash] {
+                let p = gi.payload_mut(key);
+                p[0] += 1.0;
+                p[1] += i as f64;
+            }
+        }
+        assert_eq!(dense.len(), 3);
+        assert_eq!(hash.len(), 3);
+        dense.for_each(|key, payload| {
+            assert_eq!(hash.get(key), Some(payload), "key {key:?}");
+        });
+        assert_eq!(dense.get(&[2, 2]), None, "untouched in-range code");
+        assert_eq!(dense.get(&[9, 9]), None, "out-of-range probe");
+    }
+
+    #[test]
+    fn only_and_pairs() {
+        let ks = KeySpace::new(&[(5, 9)], 16).unwrap();
+        let mut gi = GroupIndex::dense(ks, 1);
+        let mut key = Vec::new();
+        assert!(gi.only(&mut key).is_none(), "empty");
+        gi.payload_mut(&[7])[0] = 2.5;
+        assert_eq!(gi.only(&mut key), Some(&[2.5][..]));
+        assert_eq!(key, vec![7]);
+        gi.payload_mut(&[5])[0] = 1.0;
+        assert!(gi.only(&mut key).is_none(), "two entries");
+        let mut pairs = gi.pairs();
+        pairs.sort_by_key(|(k, _)| k[0]);
+        assert_eq!(pairs, vec![(vec![5], &[1.0][..]), (vec![7], &[2.5][..])]);
+        // flatten_pairs fills reusable buffers with the same content.
+        let (mut keys, mut pays) = (vec![99], vec![]);
+        let arity = gi.flatten_pairs(&mut keys, &mut pays);
+        assert_eq!(arity, 1);
+        assert_eq!(keys, vec![7, 5], "touch order, stale content cleared");
+        assert_eq!(pays, vec![&[2.5][..], &[1.0][..]]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Dense and hash accumulators fed the same random probe
+            /// sequence represent the same groups with the same payloads —
+            /// the contract the engines' `dense_limit` sweep relies on.
+            #[test]
+            fn dense_and_hash_accumulate_identically(
+                probes in proptest::collection::vec((0i64..5, -2i64..3, -4i64..5), 1..120),
+            ) {
+                let space = KeySpace::new(&[(0, 4), (-2, 2)], 25).unwrap();
+                let mut dense = GroupIndex::dense(space, 2);
+                let mut hash = GroupIndex::hash(2);
+                for &(a, b, w) in &probes {
+                    for gi in [&mut dense, &mut hash] {
+                        let p = gi.payload_mut(&[a, b]);
+                        p[0] += w as f64;
+                        p[1] += 1.0;
+                    }
+                }
+                prop_assert_eq!(dense.len(), hash.len());
+                let mut checked = 0;
+                dense.for_each(|key, payload| {
+                    assert_eq!(hash.get(key), Some(payload), "key {key:?}");
+                    checked += 1;
+                });
+                prop_assert_eq!(checked, hash.len());
+                // Merging the dense side into a hash copy doubles payloads.
+                let mut merged = GroupIndex::hash(2);
+                merged.merge_from(&hash);
+                merged.merge_from(&dense);
+                merged.for_each(|key, payload| {
+                    let single = hash.get(key).expect("same keys");
+                    assert_eq!(payload[0], 2.0 * single[0], "key {key:?}");
+                    assert_eq!(payload[1], 2.0 * single[1], "key {key:?}");
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn merge_dense_dense_and_mixed() {
+        let ks = KeySpace::new(&[(0, 4)], 16).unwrap();
+        let mut a = GroupIndex::dense(ks.clone(), 1);
+        let mut b = GroupIndex::dense(ks.clone(), 1);
+        a.payload_mut(&[1])[0] = 1.0;
+        b.payload_mut(&[1])[0] = 10.0;
+        b.payload_mut(&[3])[0] = 30.0;
+        a.merge_from(&b);
+        assert_eq!(a.get(&[1]), Some(&[11.0][..]));
+        assert_eq!(a.get(&[3]), Some(&[30.0][..]));
+        // Hash ← dense falls back to the generic key-wise path.
+        let mut h = GroupIndex::hash(1);
+        h.payload_mut(&[3])[0] = 0.5;
+        h.merge_from(&a);
+        assert_eq!(h.get(&[1]), Some(&[11.0][..]));
+        assert_eq!(h.get(&[3]), Some(&[30.5][..]));
+        assert_eq!(h.len(), 2);
+        // Dense ← dense over a *different* (covering) space must decode
+        // key-wise, not add raw codes: key 1 is code 1 in [0,4] but code 3
+        // in [-2,9], so a raw-code add would misattribute the payloads.
+        let cover = KeySpace::new(&[(-2, 9)], 16).unwrap();
+        let mut s = GroupIndex::dense(cover, 1);
+        s.merge_from(&a);
+        assert_eq!(s.get(&[1]), Some(&[11.0][..]));
+        assert_eq!(s.get(&[3]), Some(&[30.0][..]));
+        assert_eq!(s.get(&[-1]), None, "no raw-code aliasing");
+        assert_eq!(s.len(), 2);
+    }
+}

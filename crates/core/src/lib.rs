@@ -21,6 +21,9 @@
 //! * [`plan`] — top-down aggregate decomposition along the join tree into
 //!   *views*; identical partial aggregates are computed once (sharing) and
 //!   views at a node are consolidated.
+//! * [`group`] — dense mixed-radix group accumulators ([`GroupIndex`]):
+//!   code-indexed flat storage when categorical domains are small, hash
+//!   fallback otherwise ([`EngineConfig::dense_limit`]).
 //! * [`exec`] — the shared-scan bottom-up evaluator with typed column
 //!   kernels (specialisation).
 //! * [`parallel`] — domain/task parallelism and [`EngineConfig`]
@@ -33,6 +36,7 @@ pub mod backend;
 pub mod batch;
 pub mod batchgen;
 pub mod exec;
+pub mod group;
 pub mod ir;
 pub mod parallel;
 pub mod plan;
@@ -41,6 +45,7 @@ pub mod stats;
 pub use backend::{all_engines, to_scan_query, Engine, FactorizedEngine, FlatEngine, LmfaoEngine};
 pub use batch::{AggBatch, Aggregate, FilterOp, Fn1};
 pub use batchgen::{covariance_batch, decision_node_batch, kmeans_batch, mutual_info_batch};
+pub use group::{GroupIndex, KeySpace};
 pub use ir::{AggQuery, BatchResult};
 pub use parallel::EngineConfig;
 pub use stats::{sufficient_stats, SufficientStats};

@@ -24,11 +24,21 @@ pub struct EngineConfig {
     /// Worker threads for domain parallelism at the root (1 = sequential).
     /// Defaults to the machine's available parallelism.
     pub threads: usize,
+    /// Ceiling on composite group codes per dense accumulator: group-by
+    /// sets whose domain-size product stays at or below this use flat
+    /// code-indexed storage instead of hash maps (see [`crate::group`]).
+    /// `0` disables dense indexing entirely — the hash baseline.
+    pub dense_limit: u64,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        Self { specialize: true, share: true, threads: default_threads() }
+        Self {
+            specialize: true,
+            share: true,
+            threads: default_threads(),
+            dense_limit: crate::group::DEFAULT_DENSE_GROUPS,
+        }
     }
 }
 
@@ -47,21 +57,7 @@ pub fn default_threads() -> usize {
 /// Merges per-chunk view data additively into `a`.
 pub(crate) fn merge_view_data(a: &mut [ViewData], b: Vec<ViewData>) {
     for (va, vb) in a.iter_mut().zip(b) {
-        for (key, groups) in vb {
-            let ga = va.entry(key).or_default();
-            for (gkey, payload) in groups {
-                match ga.get_mut(&gkey) {
-                    Some(p) => {
-                        for (x, y) in p.iter_mut().zip(&payload) {
-                            *x += *y;
-                        }
-                    }
-                    None => {
-                        ga.insert(gkey, payload);
-                    }
-                }
-            }
-        }
+        va.merge_from(vb);
     }
 }
 
@@ -144,22 +140,27 @@ mod tests {
         let cfg = EngineConfig::default();
         assert!(cfg.specialize && cfg.share);
         assert!(cfg.threads >= 1);
+        assert!(cfg.dense_limit > 0);
         assert_eq!(EngineConfig::sequential().threads, 1);
     }
 
     #[test]
     fn merge_adds_payloads_keywise() {
-        let key: Box<[i64]> = vec![1].into();
-        let gkey: Box<[i64]> = vec![2].into();
-        let mk = |v: f64| -> ViewData {
-            let mut groups = std::collections::HashMap::new();
-            groups.insert(gkey.clone(), vec![v, 2.0 * v]);
-            let mut vd = ViewData::new();
-            vd.insert(key.clone(), groups);
-            vd
-        };
-        let mut a = vec![mk(1.0)];
-        merge_view_data(&mut a, vec![mk(10.0)]);
-        assert_eq!(a[0][&key][&gkey], vec![11.0, 22.0]);
+        use crate::group::KeySpace;
+        use crate::plan::GroupSpec;
+        let spec = GroupSpec { slots: 2, space: KeySpace::new(&[(0, 3)], 16) };
+        for key_space in [None, KeySpace::new(&[(0, 3)], 16)] {
+            let mk = |v: f64| -> ViewData {
+                let mut vd = ViewData::new(key_space.as_ref());
+                let p = vd.entry_mut(&[1], &spec).payload_mut(&[2]);
+                p[0] = v;
+                p[1] = 2.0 * v;
+                vd
+            };
+            let mut a = vec![mk(1.0)];
+            merge_view_data(&mut a, vec![mk(10.0)]);
+            assert_eq!(a[0].get(&[1]).unwrap().get(&[2]), Some(&[11.0, 22.0][..]));
+            assert!(a[0].get(&[0]).is_none());
+        }
     }
 }

@@ -10,6 +10,7 @@
 //! shared scan in [`crate::exec`].
 
 use crate::batch::{Aggregate, FilterOp, Fn1};
+use crate::group::{GroupIndex, KeySpace, DENSE_KEY_LIMIT};
 use fdb_data::{DataError, Database, Relation};
 use fdb_factorized::hypergraph::Hypergraph;
 use std::collections::{HashMap, HashSet};
@@ -27,6 +28,25 @@ pub(crate) struct SlotPlan {
     pub(crate) child_slots: Vec<usize>,
 }
 
+/// How a view's group accumulators are represented: payload width plus an
+/// optional dense [`KeySpace`] (hash fallback when `None`). Filled in by
+/// [`Plan::finalize`] once all slots are registered.
+#[derive(Debug, Default)]
+pub(crate) struct GroupSpec {
+    pub(crate) slots: usize,
+    pub(crate) space: Option<KeySpace>,
+}
+
+impl GroupSpec {
+    /// A fresh accumulator for one join-key entry of the view.
+    pub(crate) fn new_index(&self) -> GroupIndex {
+        match &self.space {
+            Some(space) => GroupIndex::dense(space.clone(), self.slots),
+            None => GroupIndex::hash(self.slots),
+        }
+    }
+}
+
 /// A consolidated view at a node: one group-by signature, many slots.
 #[derive(Debug)]
 pub(crate) struct ViewPlan {
@@ -38,6 +58,8 @@ pub(crate) struct ViewPlan {
     /// position) for the child's group values).
     pub(crate) child_views: Vec<(usize, Vec<(usize, usize)>)>,
     pub(crate) slots: Vec<SlotPlan>,
+    /// Group-accumulator representation (set by [`Plan::finalize`]).
+    pub(crate) spec: GroupSpec,
 }
 
 /// Per-node plan state: join-tree wiring plus the node's views.
@@ -51,14 +73,117 @@ pub(crate) struct NodePlan {
     /// key attributes.
     pub(crate) child_key_cols: Vec<Vec<usize>>,
     pub(crate) views: Vec<ViewPlan>,
+    /// Dense code space of `key_cols` (set by [`Plan::finalize`]; `None`
+    /// keeps this node's view maps on the hash fallback).
+    pub(crate) key_space: Option<KeySpace>,
     /// Signature → (view, slot) registry for sharing.
     pub(crate) slot_registry: HashMap<String, (usize, usize)>,
     /// Group-signature → view registry for consolidation.
     pub(crate) view_registry: HashMap<String, usize>,
 }
 
-/// `view key (join key to parent)` → `group values` → `payload per slot`.
-pub(crate) type ViewData = HashMap<Box<[i64]>, HashMap<Box<[i64]>, Vec<f64>>>;
+/// One computed view: `join key to parent` → group accumulator.
+///
+/// Both levels are code-indexed when the planner could bound the key
+/// spaces: the outer level by the node relation's key-column ranges (a
+/// slot table, 4 bytes per code), the inner level by the view's group
+/// attribute ranges (a payload per code). Either level independently
+/// falls back to hashing.
+#[derive(Debug)]
+pub(crate) enum ViewData {
+    /// Outer keys dense-coded by the node's [`NodePlan::key_space`].
+    Dense {
+        /// The join-key code space.
+        space: KeySpace,
+        /// Code → index into `entries` (`u32::MAX` = absent).
+        slot_of: Vec<u32>,
+        /// `(code, accumulator)` in first-touch order.
+        entries: Vec<(u32, GroupIndex)>,
+    },
+    /// Hash fallback for unbounded join-key spaces.
+    Hash(HashMap<Box<[i64]>, GroupIndex>),
+}
+
+impl ViewData {
+    /// An empty view over the node's (optional) join-key space.
+    pub(crate) fn new(key_space: Option<&KeySpace>) -> ViewData {
+        match key_space {
+            Some(space) => ViewData::Dense {
+                space: space.clone(),
+                slot_of: vec![u32::MAX; space.size() as usize],
+                entries: Vec::new(),
+            },
+            None => ViewData::Hash(HashMap::new()),
+        }
+    }
+
+    /// The accumulator under join key `key`, if present.
+    #[inline]
+    pub(crate) fn get(&self, key: &[i64]) -> Option<&GroupIndex> {
+        match self {
+            ViewData::Dense { space, slot_of, entries } => {
+                let slot = slot_of[space.encode(key)? as usize];
+                if slot == u32::MAX {
+                    return None;
+                }
+                Some(&entries[slot as usize].1)
+            }
+            ViewData::Hash(map) => map.get(key),
+        }
+    }
+
+    /// The accumulator under join key `key`, created via `spec` if absent.
+    #[inline]
+    pub(crate) fn entry_mut(&mut self, key: &[i64], spec: &GroupSpec) -> &mut GroupIndex {
+        match self {
+            ViewData::Dense { space, slot_of, entries } => {
+                let code =
+                    space.encode(key).expect("view keys come from the node's own key columns")
+                        as usize;
+                if slot_of[code] == u32::MAX {
+                    slot_of[code] = entries.len() as u32;
+                    entries.push((code as u32, spec.new_index()));
+                }
+                &mut entries[slot_of[code] as usize].1
+            }
+            ViewData::Hash(map) => {
+                if !map.contains_key(key) {
+                    map.insert(key.into(), spec.new_index());
+                }
+                map.get_mut(key).expect("ensured above")
+            }
+        }
+    }
+
+    /// Merges `other` into `self`, summing payloads of equal
+    /// `(join key, group key)` pairs. Both sides stem from the same node
+    /// plan, so the outer representations line up.
+    pub(crate) fn merge_from(&mut self, other: ViewData) {
+        match (self, other) {
+            (ViewData::Dense { slot_of, entries, .. }, ViewData::Dense { entries: oe, .. }) => {
+                for (code, gi) in oe {
+                    if slot_of[code as usize] == u32::MAX {
+                        slot_of[code as usize] = entries.len() as u32;
+                        entries.push((code, gi));
+                    } else {
+                        entries[slot_of[code as usize] as usize].1.merge_from(&gi);
+                    }
+                }
+            }
+            (ViewData::Hash(map), ViewData::Hash(om)) => {
+                for (key, gi) in om {
+                    match map.get_mut(&key) {
+                        Some(mine) => mine.merge_from(&gi),
+                        None => {
+                            map.insert(key, gi);
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("chunks of one plan share the outer representation"),
+        }
+    }
+}
 
 /// The full batch plan: join tree, node plans, and attribute ownership.
 pub(crate) struct Plan<'a> {
@@ -103,6 +228,7 @@ impl<'a> Plan<'a> {
                 children: jt.children(i),
                 child_key_cols: vec![],
                 views: vec![],
+                key_space: None,
                 slot_registry: HashMap::new(),
                 view_registry: HashMap::new(),
             });
@@ -262,6 +388,7 @@ impl<'a> Plan<'a> {
                     local_groups,
                     child_views,
                     slots: vec![],
+                    spec: GroupSpec::default(),
                 };
                 self.nodes[node].views.push(v);
                 let idx = self.nodes[node].views.len() - 1;
@@ -284,6 +411,53 @@ impl<'a> Plan<'a> {
         let slot_idx = self.nodes[node].views[view_idx].slots.len() - 1;
         self.nodes[node].slot_registry.insert(sig, (view_idx, slot_idx));
         Ok((view_idx, slot_idx))
+    }
+
+    /// Chooses the accumulator representation for every node and view, once
+    /// all aggregates are decomposed.
+    ///
+    /// * A node's **join-key space** comes from the min/max of its own key
+    ///   columns (bounded by [`DENSE_KEY_LIMIT`]): probes from the parent
+    ///   relation that fall outside simply miss, exactly like a hash miss.
+    /// * A view's **group space** comes from the min/max of each group
+    ///   attribute's owning column (bounded by `dense_limit`): every group
+    ///   value ever written originates from that column, so dense inserts
+    ///   cannot fall out of range.
+    ///
+    /// `dense_limit == 0` disables both dense paths (the hash baseline of
+    /// the perf-regression harness).
+    pub(crate) fn finalize(&mut self, dense_limit: u64) {
+        // Dense accumulators track touched codes as u32; clamp the public
+        // u64 knob so an enormous limit cannot alias group keys.
+        let dense_limit = dense_limit.min(u32::MAX as u64);
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let ranges: Option<Vec<(i64, i64)>> =
+                node.key_cols.iter().map(|&c| self.rels[i].int_min_max(c)).collect();
+            // The slot table costs 4 bytes per code *per view*, so besides
+            // the absolute cap the space must be within a constant factor
+            // of the relation's cardinality — a handful of rows with keys
+            // scattered over a huge range hashes instead.
+            let key_limit = DENSE_KEY_LIMIT.min(64 * self.rels[i].len() as u64 + 1024);
+            node.key_space = match (dense_limit, ranges) {
+                (0, _) | (_, None) => None,
+                (_, Some(r)) => KeySpace::new(&r, key_limit),
+            };
+            for view in &mut node.views {
+                view.spec.slots = view.slots.len();
+                let ranges: Option<Vec<(i64, i64)>> = view
+                    .group_attrs
+                    .iter()
+                    .map(|g| {
+                        let (n, c) = self.owner[g];
+                        self.rels[n].int_min_max(c)
+                    })
+                    .collect();
+                view.spec.space = match (dense_limit, ranges) {
+                    (0, _) | (_, None) => None,
+                    (_, Some(r)) => KeySpace::new(&r, dense_limit),
+                };
+            }
+        }
     }
 }
 

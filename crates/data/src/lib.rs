@@ -22,6 +22,7 @@ pub mod dict;
 pub mod error;
 pub mod relation;
 pub mod schema;
+pub mod sortcache;
 pub mod value;
 
 pub use catalog::Database;
@@ -30,6 +31,7 @@ pub use dict::Dictionary;
 pub use error::DataError;
 pub use relation::{Column, Relation, RowRef};
 pub use schema::{AttrType, Attribute, Schema};
+pub use sortcache::SortCache;
 pub use value::Value;
 
 /// Convenience result alias used across the data layer.

@@ -11,6 +11,16 @@ use crate::error::DataError;
 use crate::schema::{AttrType, Schema};
 use crate::value::Value;
 use crate::Result;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone counter behind [`Relation::data_id`]: every distinct relation
+/// *content state* (fresh build, or any mutation of an existing relation)
+/// gets a fresh id, never reused within the process.
+static NEXT_DATA_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_data_id() -> u64 {
+    NEXT_DATA_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A typed column of values.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +92,18 @@ impl Column {
         }
     }
 
+    /// `(min, max)` of an integer column; `None` if empty or float-backed.
+    pub fn int_min_max(&self) -> Option<(i64, i64)> {
+        match self {
+            Column::Int(v) => {
+                let mut it = v.iter();
+                let first = *it.next()?;
+                Some(it.fold((first, first), |(lo, hi), &x| (lo.min(x), hi.max(x))))
+            }
+            Column::F64(_) => None,
+        }
+    }
+
     /// Appends all values of `other`; errors (leaving `self` untouched) if
     /// the columns have different backing types. `attr` names the column
     /// in the error.
@@ -134,11 +156,25 @@ impl<'a> RowRef<'a> {
 }
 
 /// An in-memory columnar relation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Relation {
     schema: Schema,
     cols: Vec<Column>,
     nrows: usize,
+    /// Content-state identity: two `Relation` values share a `data_id` only
+    /// if one is a clone of the other and neither has been mutated since.
+    /// Mutating methods assign a fresh id, which is what lets caches keyed
+    /// on `(data_id, …)` never serve stale views (see [`crate::sortcache`]).
+    data_id: u64,
+}
+
+/// Equality is by content (schema + columns); the cache identity
+/// [`Relation::data_id`] deliberately does not participate, so a
+/// regenerated identical dataset still compares equal in tests.
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.nrows == other.nrows && self.cols == other.cols
+    }
 }
 
 impl Relation {
@@ -150,7 +186,14 @@ impl Relation {
     /// Creates an empty relation, reserving space for `cap` rows.
     pub fn with_capacity(schema: Schema, cap: usize) -> Self {
         let cols = schema.attrs().iter().map(|a| Column::with_capacity(a.ty, cap)).collect();
-        Self { schema, cols, nrows: 0 }
+        Self { schema, cols, nrows: 0, data_id: next_data_id() }
+    }
+
+    /// The content-state id of this relation (see the field docs). Stable
+    /// across clones, refreshed by every mutation.
+    #[inline]
+    pub fn data_id(&self) -> u64 {
+        self.data_id
     }
 
     /// Builds a relation from rows; validates arity and types.
@@ -186,7 +229,15 @@ impl Relation {
             self.cols[c].push(v, &self.schema.attr(c).name)?;
         }
         self.nrows += 1;
+        self.data_id = next_data_id();
         Ok(())
+    }
+
+    /// `(min, max)` of the integer-backed attribute `idx`; `None` when the
+    /// relation is empty or the attribute is `Double`. Engines use this to
+    /// size dense code-indexed accumulators.
+    pub fn int_min_max(&self, idx: usize) -> Option<(i64, i64)> {
+        self.cols[idx].int_min_max()
     }
 
     /// The column backing attribute `idx`.
@@ -254,14 +305,63 @@ impl Relation {
             schema: self.schema.clone(),
             cols: self.cols.iter().map(|c| c.gather(perm)).collect(),
             nrows: perm.len(),
+            data_id: next_data_id(),
         }
     }
 
-    /// Returns this relation sorted lexicographically by the given attribute
-    /// positions (stable, so ties keep input order).
-    pub fn sorted_by(&self, attrs: &[usize]) -> Relation {
-        let mut perm: Vec<usize> = (0..self.nrows).collect();
-        perm.sort_by(|&a, &b| {
+    /// The permutation that sorts this relation lexicographically by the
+    /// given attribute positions, with input order as the final tiebreak
+    /// (so applying it is a stable sort).
+    ///
+    /// Integer-backed key prefixes (the common case: join keys and
+    /// categorical codes) sort as packed `(key…, row)` tuples — one typed
+    /// unstable sort over contiguous memory instead of a dynamic
+    /// per-comparison column dispatch.
+    pub fn sort_permutation(&self, attrs: &[usize]) -> Vec<usize> {
+        let n = self.nrows;
+        let int_cols: Option<Vec<&[i64]>> = attrs
+            .iter()
+            .map(|&c| match &self.cols[c] {
+                Column::Int(v) => Some(v.as_slice()),
+                Column::F64(_) => None,
+            })
+            .collect();
+        if let Some(ics) = int_cols {
+            return match ics.as_slice() {
+                [] => (0..n).collect(),
+                [a] => {
+                    let mut keyed: Vec<(i64, usize)> = (0..n).map(|i| (a[i], i)).collect();
+                    keyed.sort_unstable();
+                    keyed.into_iter().map(|(_, i)| i).collect()
+                }
+                [a, b] => {
+                    let mut keyed: Vec<(i64, i64, usize)> =
+                        (0..n).map(|i| (a[i], b[i], i)).collect();
+                    keyed.sort_unstable();
+                    keyed.into_iter().map(|(_, _, i)| i).collect()
+                }
+                [a, b, c] => {
+                    let mut keyed: Vec<(i64, i64, i64, usize)> =
+                        (0..n).map(|i| (a[i], b[i], c[i], i)).collect();
+                    keyed.sort_unstable();
+                    keyed.into_iter().map(|(_, _, _, i)| i).collect()
+                }
+                _ => {
+                    let mut perm: Vec<usize> = (0..n).collect();
+                    perm.sort_unstable_by(|&x, &y| {
+                        ics.iter()
+                            .map(|col| col[x].cmp(&col[y]))
+                            .find(|o| o.is_ne())
+                            .unwrap_or_else(|| x.cmp(&y))
+                    });
+                    perm
+                }
+            };
+        }
+        // Mixed int/float keys: generic comparator (index tiebreak keeps
+        // the result identical to a stable sort).
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.sort_unstable_by(|&a, &b| {
             for &c in attrs {
                 let ord = match &self.cols[c] {
                     Column::Int(v) => v[a].cmp(&v[b]),
@@ -271,9 +371,18 @@ impl Relation {
                     return ord;
                 }
             }
-            a.cmp(&b) // stability tiebreak
+            a.cmp(&b)
         });
-        self.permuted(&perm)
+        perm
+    }
+
+    /// Returns this relation sorted lexicographically by the given attribute
+    /// positions (stable, so ties keep input order). Always sorts afresh —
+    /// for repeated sorts of the same relation state, go through
+    /// [`SortCache::sorted_by`](crate::sortcache::SortCache::sorted_by),
+    /// which memoizes the result.
+    pub fn sorted_by(&self, attrs: &[usize]) -> Relation {
+        self.permuted(&self.sort_permutation(attrs))
     }
 
     /// Projects onto the given attribute positions (duplicates preserved).
@@ -282,6 +391,7 @@ impl Relation {
             schema: self.schema.project(indices),
             cols: indices.iter().map(|&i| self.cols[i].clone()).collect(),
             nrows: self.nrows,
+            data_id: next_data_id(),
         }
     }
 
@@ -303,6 +413,7 @@ impl Relation {
             a.extend_from(b, &schema.attr(c).name)?;
         }
         self.nrows += other.nrows;
+        self.data_id = next_data_id();
         Ok(())
     }
 
@@ -407,6 +518,79 @@ mod tests {
         assert_eq!(r.int_col(0), &[1, 1, 2, 2]);
         // Stability: within k=1, original order (2.0 then 4.0) preserved.
         assert_eq!(r.f64_col(1), &[2.0, 4.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn sort_permutation_typed_paths_match_generic() {
+        // 4 int columns exercises every arm: 1, 2, 3, and the >3 loop;
+        // mixing in the float column exercises the generic fallback.
+        let schema = Schema::of(&[
+            ("a", AttrType::Int),
+            ("b", AttrType::Int),
+            ("c", AttrType::Int),
+            ("d", AttrType::Int),
+            ("x", AttrType::Double),
+        ]);
+        let mut rel = Relation::new(schema);
+        let mut state = 11u64;
+        for _ in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = |shift: u32| ((state >> shift) % 3) as i64;
+            rel.push_row(&[
+                Value::Int(v(1)),
+                Value::Int(v(11)),
+                Value::Int(v(21)),
+                Value::Int(v(31)),
+                Value::F64(v(41) as f64),
+            ])
+            .unwrap();
+        }
+        let reference = |attrs: &[usize]| -> Vec<usize> {
+            let mut perm: Vec<usize> = (0..rel.len()).collect();
+            perm.sort_by(|&a, &b| {
+                for &c in attrs {
+                    let ord = match c {
+                        4 => rel.value_f64(a, c).total_cmp(&rel.value_f64(b, c)),
+                        _ => rel.int_col(c)[a].cmp(&rel.int_col(c)[b]),
+                    };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                a.cmp(&b)
+            });
+            perm
+        };
+        for attrs in
+            [vec![], vec![0], vec![0, 1], vec![0, 1, 2], vec![0, 1, 2, 3], vec![0, 4], vec![4, 0]]
+        {
+            assert_eq!(rel.sort_permutation(&attrs), reference(&attrs), "attrs {attrs:?}");
+        }
+    }
+
+    #[test]
+    fn data_id_tracks_mutation_not_clones() {
+        let a = sample();
+        let clone = a.clone();
+        assert_eq!(a.data_id(), clone.data_id(), "clones share content state");
+        let mut b = sample();
+        assert_ne!(a.data_id(), b.data_id(), "independent builds differ");
+        assert_eq!(a, b, "…but still compare equal by content");
+        let id = b.data_id();
+        b.push_row(&[Value::Int(9), Value::F64(0.0)]).unwrap();
+        assert_ne!(b.data_id(), id, "mutation refreshes the id");
+        let id = b.data_id();
+        b.append(&a).unwrap();
+        assert_ne!(b.data_id(), id, "append refreshes the id");
+    }
+
+    #[test]
+    fn int_min_max_per_column() {
+        let r = sample();
+        assert_eq!(r.int_min_max(0), Some((1, 2)));
+        assert_eq!(r.int_min_max(1), None, "float column has no int range");
+        let empty = Relation::new(Schema::of(&[("a", AttrType::Int)]));
+        assert_eq!(empty.int_min_max(0), None);
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! Cross-query memoization of sorted relation views.
+//!
+//! Every `FactorizedEngine::run` (and any other consumer of
+//! [`Relation::sorted_by`]) used to re-sort each relation from scratch —
+//! so a CART trainer running one aggregate batch per tree node paid the
+//! full sort bill at every node. A [`SortCache`] memoizes the sorted view
+//! keyed on `(relation content state, column order)`:
+//!
+//! * the content state is [`Relation::data_id`], which every mutation
+//!   refreshes — so **invalidation is automatic**: a mutated relation
+//!   simply never hits the stale entry again (stale entries age out of the
+//!   FIFO capacity bound);
+//! * the column order is the exact attribute-position sequence passed to
+//!   `sorted_by`, so different variable orders coexist.
+//!
+//! Cached views are shared as `Arc<Relation>`: engines hold them across
+//! `Engine::run` calls without copying, and concurrent queries share one
+//! sorted copy.
+
+use crate::relation::Relation;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default number of sorted views the global cache retains.
+pub const DEFAULT_CAPACITY: usize = 128;
+
+/// Default ceiling on the total approximate bytes of retained views. Both
+/// bounds apply: whichever is hit first evicts (so 128 small dimension
+/// views can coexist, but a handful of fact-table views already rotate).
+pub const DEFAULT_BYTE_BUDGET: usize = 256 << 20;
+
+type Key = (u64, Vec<usize>);
+
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<Key, Arc<Relation>>,
+    /// Insertion order for FIFO eviction.
+    order: Vec<Key>,
+    /// Total approximate bytes of retained views.
+    bytes: usize,
+    /// Per-source-relation `(hits, misses)`, keyed by `data_id`. Bounded:
+    /// cleared wholesale when it outgrows the entry map by a wide margin.
+    stats: HashMap<u64, (u64, u64)>,
+}
+
+/// A bounded memo table for [`Relation::sorted_by`] results.
+pub struct SortCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    byte_budget: usize,
+}
+
+impl SortCache {
+    /// An empty cache retaining at most `capacity` sorted views within the
+    /// default byte budget.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_byte_budget(capacity, DEFAULT_BYTE_BUDGET)
+    }
+
+    /// An empty cache bounded by both an entry count and a total byte
+    /// budget (approximate, via [`Relation::byte_size`]).
+    pub fn with_byte_budget(capacity: usize, byte_budget: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner::default()),
+            capacity: capacity.max(1),
+            byte_budget: byte_budget.max(1),
+        }
+    }
+
+    /// The process-wide cache used by the engines.
+    pub fn global() -> &'static SortCache {
+        static GLOBAL: OnceLock<SortCache> = OnceLock::new();
+        GLOBAL.get_or_init(|| SortCache::new(DEFAULT_CAPACITY))
+    }
+
+    /// `rel` sorted lexicographically by `attrs` (stable), served from the
+    /// cache when this exact `(content state, column order)` was sorted
+    /// before.
+    pub fn sorted_by(&self, rel: &Relation, attrs: &[usize]) -> Arc<Relation> {
+        let id = rel.data_id();
+        {
+            let mut inner = self.lock();
+            if let Some(hit) = inner.entries.get(&(id, attrs.to_vec())) {
+                let hit = Arc::clone(hit);
+                inner.stats.entry(id).or_default().0 += 1;
+                return hit;
+            }
+        }
+        // Sort outside the lock: concurrent queries may redundantly sort
+        // the same view, but never block each other on a large sort.
+        let sorted = Arc::new(rel.sorted_by(attrs));
+        let mut inner = self.lock();
+        inner.stats.entry(id).or_default().1 += 1;
+        if inner.stats.len() > 32 * self.capacity {
+            inner.stats.clear();
+        }
+        let key = (id, attrs.to_vec());
+        if !inner.entries.contains_key(&key) {
+            let new_bytes = sorted.byte_size();
+            while !inner.order.is_empty()
+                && (inner.entries.len() >= self.capacity
+                    || inner.bytes + new_bytes > self.byte_budget)
+            {
+                let oldest = inner.order.remove(0);
+                if let Some(evicted) = inner.entries.remove(&oldest) {
+                    inner.bytes -= evicted.byte_size();
+                }
+            }
+            inner.order.push(key.clone());
+            inner.bytes += new_bytes;
+            inner.entries.insert(key, Arc::clone(&sorted));
+        }
+        sorted
+    }
+
+    /// `(hits, misses)` recorded for `rel`'s current content state. A miss
+    /// is an actual sort; tests use this to assert that repeated queries
+    /// sort each relation at most once.
+    pub fn stats_for(&self, rel: &Relation) -> (u64, u64) {
+        self.lock().stats.get(&rel.data_id()).copied().unwrap_or((0, 0))
+    }
+
+    /// Number of sorted views currently retained.
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// True if no views are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate bytes of retained views.
+    pub fn byte_size(&self) -> usize {
+        self.lock().bytes
+    }
+
+    /// Drops all retained views and statistics.
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.entries.clear();
+        inner.order.clear();
+        inner.bytes = 0;
+        inner.stats.clear();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrType, Schema};
+    use crate::value::Value;
+
+    fn rel(rows: &[(i64, f64)]) -> Relation {
+        Relation::from_rows(
+            Schema::of(&[("k", AttrType::Int), ("x", AttrType::Double)]),
+            rows.iter().map(|&(k, x)| vec![Value::Int(k), Value::F64(x)]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn second_sort_is_a_hit() {
+        let cache = SortCache::new(8);
+        let r = rel(&[(2, 1.0), (1, 2.0)]);
+        let a = cache.sorted_by(&r, &[0]);
+        let b = cache.sorted_by(&r, &[0]);
+        assert!(Arc::ptr_eq(&a, &b), "same view served twice");
+        assert_eq!(cache.stats_for(&r), (1, 1));
+        assert_eq!(a.int_col(0), &[1, 2]);
+    }
+
+    #[test]
+    fn distinct_column_orders_coexist() {
+        let cache = SortCache::new(8);
+        let r = rel(&[(2, 1.0), (1, 2.0)]);
+        let by_k = cache.sorted_by(&r, &[0]);
+        let by_x = cache.sorted_by(&r, &[1]);
+        assert_eq!(by_k.int_col(0), &[1, 2]);
+        assert_eq!(by_x.f64_col(1), &[1.0, 2.0]);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn mutation_invalidates_by_identity() {
+        let cache = SortCache::new(8);
+        let mut r = rel(&[(2, 1.0), (1, 2.0)]);
+        let before = cache.sorted_by(&r, &[0]);
+        r.push_row(&[Value::Int(0), Value::F64(3.0)]).unwrap();
+        let after = cache.sorted_by(&r, &[0]);
+        assert_eq!(before.len(), 2, "stale view untouched");
+        assert_eq!(after.int_col(0), &[0, 1, 2], "fresh state re-sorted");
+        assert_eq!(cache.stats_for(&r), (0, 1), "stats follow the new state");
+    }
+
+    #[test]
+    fn byte_budget_evicts_before_capacity() {
+        // Each view is 2 rows × 2 cols × 8 bytes = 32 bytes; a 64-byte
+        // budget holds two views even though the entry capacity is 8.
+        let cache = SortCache::with_byte_budget(8, 64);
+        let views =
+            [rel(&[(1, 0.0), (2, 0.0)]), rel(&[(3, 0.0), (4, 0.0)]), rel(&[(5, 0.0), (6, 0.0)])];
+        for v in &views {
+            cache.sorted_by(v, &[0]);
+        }
+        assert_eq!(cache.len(), 2, "third view evicted the first by bytes");
+        assert!(cache.byte_size() <= 64);
+        cache.sorted_by(&views[0], &[0]);
+        assert_eq!(cache.stats_for(&views[0]), (0, 2), "first view was re-sorted");
+        assert_eq!(cache.stats_for(&views[2]), (0, 1));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let cache = SortCache::new(2);
+        let (a, b, c) = (rel(&[(1, 0.0)]), rel(&[(2, 0.0)]), rel(&[(3, 0.0)]));
+        cache.sorted_by(&a, &[0]);
+        cache.sorted_by(&b, &[0]);
+        cache.sorted_by(&c, &[0]); // evicts `a`
+        assert_eq!(cache.len(), 2);
+        cache.sorted_by(&a, &[0]);
+        assert_eq!(cache.stats_for(&a), (0, 2), "evicted entry re-sorts");
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -15,16 +15,23 @@
 use crate::hypergraph::Hypergraph;
 use crate::order::VarOrder;
 use crate::trie::leapfrog_intersect;
-use fdb_data::{DataError, Database, Relation, Schema, Value};
+use fdb_data::{DataError, Database, Relation, Schema, SortCache, Value};
 use fdb_ring::{I64Ring, Semiring};
 use std::ops::Range;
+use std::sync::Arc;
 
 /// A join query prepared for repeated factorized evaluation: the key-graph,
 /// a variable order, and each relation sorted by its root-to-leaf path.
+///
+/// Sorted views are normally served by the global
+/// [`SortCache`](fdb_data::SortCache) — preparing the same (unmutated)
+/// relations with the same variable order a second time reuses the sorted
+/// copies instead of re-sorting, which is what keeps per-tree-node CART
+/// batches from paying the sort bill at every node.
 pub struct EvalSpec {
     hg: Hypergraph,
     vo: VarOrder,
-    rels: Vec<Relation>,
+    rels: Vec<Arc<Relation>>,
     /// Per relation: schema column index of each key level (VO-depth order).
     key_cols: Vec<Vec<usize>>,
     /// Per VO node: `(relation index, level)` of participating relations.
@@ -35,17 +42,43 @@ pub struct EvalSpec {
     free_rels: Vec<usize>,
 }
 
+/// Reusable per-variable-order-node buffers of the leapfrog recursion: the
+/// matches found at the node and the ranges saved while narrowing. One set
+/// lives per node for the whole recursion — no per-visit allocation.
+#[derive(Default, Clone)]
+struct NodeScratch {
+    /// Matching values at this node.
+    vals: Vec<i64>,
+    /// Per match, `parts` run ranges, flattened contiguously.
+    runs: Vec<Range<usize>>,
+    /// The `parts` ranges saved across one match's recursion.
+    saved: Vec<Range<usize>>,
+    /// Current `parts` ranges handed to the leapfrog.
+    cur: Vec<Range<usize>>,
+}
+
 impl EvalSpec {
     /// Prepares the natural join of `relations` for evaluation. Join
     /// variables are the attributes shared by ≥ 2 relations plus `extra`
     /// (group-by attributes). Fails if the key-graph is cyclic.
     pub fn new(db: &Database, relations: &[&str], extra: &[&str]) -> Result<Self, DataError> {
+        Self::new_with_cache(db, relations, extra, Some(SortCache::global()))
+    }
+
+    /// [`EvalSpec::new`] with an explicit sort-cache choice: `None` always
+    /// re-sorts (the perf-regression baseline).
+    pub fn new_with_cache(
+        db: &Database,
+        relations: &[&str],
+        extra: &[&str],
+        cache: Option<&SortCache>,
+    ) -> Result<Self, DataError> {
         let hg = Hypergraph::join_keys_plus(db, relations, extra)?;
         let jt = hg.join_tree().ok_or_else(|| {
             DataError::Invalid("cyclic join: materialize a hypertree bag first".into())
         })?;
         let vo = VarOrder::from_join_tree(&hg, &jt);
-        Self::with_order(db, relations, hg, vo)
+        Self::with_order_cached(db, relations, hg, vo, cache)
     }
 
     /// Prepares with an explicit hypergraph + variable order (used by
@@ -56,6 +89,17 @@ impl EvalSpec {
         relations: &[&str],
         hg: Hypergraph,
         vo: VarOrder,
+    ) -> Result<Self, DataError> {
+        Self::with_order_cached(db, relations, hg, vo, Some(SortCache::global()))
+    }
+
+    /// [`EvalSpec::with_order`] with an explicit sort-cache choice.
+    pub fn with_order_cached(
+        db: &Database,
+        relations: &[&str],
+        hg: Hypergraph,
+        vo: VarOrder,
+        cache: Option<&SortCache>,
     ) -> Result<Self, DataError> {
         let nn = vo.nodes().len();
         let mut rels = Vec::with_capacity(relations.len());
@@ -73,7 +117,10 @@ impl EvalSpec {
                 .iter()
                 .map(|&v| rel.schema().require(&hg.vars()[v]))
                 .collect::<Result<_, _>>()?;
-            let sorted = rel.sorted_by(&cols);
+            let sorted = match cache {
+                Some(c) => c.sorted_by(rel, &cols),
+                None => Arc::new(rel.sorted_by(&cols)),
+            };
             if path.is_empty() {
                 free_rels.push(ri);
             } else {
@@ -88,6 +135,43 @@ impl EvalSpec {
             key_cols.push(cols);
         }
         Ok(Self { hg, vo, rels, key_cols, parts_at, deepest_at, free_rels })
+    }
+
+    /// Per VO node, the key column slices of its participating relations —
+    /// precomputed once per evaluation so the recursion allocates nothing.
+    fn level_cols(&self) -> Vec<Vec<&[i64]>> {
+        self.parts_at
+            .iter()
+            .map(|parts| {
+                parts
+                    .iter()
+                    .map(|&(ri, level)| self.rels[ri].int_col(self.key_cols[ri][level]))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Runs the leapfrog at `node` over the current ranges, filling the
+    /// node's scratch buffers with the matching values and runs.
+    fn collect_matches(
+        &self,
+        node: usize,
+        ranges: &[Range<usize>],
+        cols_at: &[Vec<&[i64]>],
+        scratch: &mut [NodeScratch],
+    ) {
+        let parts = &self.parts_at[node];
+        let s = &mut scratch[node];
+        s.cur.clear();
+        s.cur.extend(parts.iter().map(|&(ri, _)| ranges[ri].clone()));
+        s.vals.clear();
+        s.runs.clear();
+        let NodeScratch { vals, runs, cur, .. } = s;
+        leapfrog_intersect(&cols_at[node], cur, |v, rs| {
+            vals.push(v);
+            runs.extend_from_slice(rs);
+            true
+        });
     }
 
     /// The key hypergraph.
@@ -124,21 +208,34 @@ impl EvalSpec {
         FL: FnMut(usize, Range<usize>) -> S::Elem,
     {
         let mut ranges: Vec<Range<usize>> = self.rels.iter().map(|r| 0..r.len()).collect();
+        let cols_at = self.level_cols();
+        let mut scratch = vec![NodeScratch::default(); self.vo.nodes().len()];
         let mut acc = ring.one();
         for &f in &self.free_rels {
             acc = ring.mul(&acc, &leaf_lift(f, 0..self.rels[f].len()));
         }
         for &root in self.vo.roots() {
-            let sub = self.eval_node(root, &mut ranges, ring, &mut var_lift, &mut leaf_lift);
+            let sub = self.eval_node(
+                root,
+                &mut ranges,
+                &cols_at,
+                &mut scratch,
+                ring,
+                &mut var_lift,
+                &mut leaf_lift,
+            );
             acc = ring.mul(&acc, &sub);
         }
         acc
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn eval_node<S, FV, FL>(
         &self,
         node: usize,
         ranges: &mut Vec<Range<usize>>,
+        cols_at: &[Vec<&[i64]>],
+        scratch: &mut Vec<NodeScratch>,
         ring: &S,
         var_lift: &mut FV,
         leaf_lift: &mut FL,
@@ -150,38 +247,34 @@ impl EvalSpec {
     {
         let var = self.vo.nodes()[node].var;
         let parts = &self.parts_at[node];
-        debug_assert!(!parts.is_empty(), "every key variable is in some relation");
+        let np = parts.len();
+        debug_assert!(np > 0, "every key variable is in some relation");
         let mut total = ring.zero();
-        // Leapfrog over the participating relations' current ranges. The
-        // recursion needs `ranges` mutable inside the callback, so we first
-        // collect the matches at this level, then recurse per match.
-        // Collecting is bounded by the number of distinct matching values.
-        let matches: Vec<(i64, Vec<Range<usize>>)> = {
-            let cols: Vec<&[i64]> = parts
-                .iter()
-                .map(|&(ri, level)| self.rels[ri].int_col(self.key_cols[ri][level]))
-                .collect();
-            let cur: Vec<Range<usize>> = parts.iter().map(|&(ri, _)| ranges[ri].clone()).collect();
-            let mut out = Vec::new();
-            leapfrog_intersect(&cols, &cur, |v, runs| {
-                out.push((v, runs.to_vec()));
-                true
-            });
-            out
-        };
-        for (v, runs) in matches {
-            // Narrow ranges, saving old ones.
-            let saved: Vec<Range<usize>> =
-                parts.iter().map(|&(ri, _)| ranges[ri].clone()).collect();
-            for (&(ri, _), run) in parts.iter().zip(&runs) {
-                ranges[ri] = run.clone();
+        // Leapfrog over the participating relations' current ranges into
+        // this node's scratch (the recursion needs `ranges` mutable, so
+        // matches are collected first — bounded by the distinct values).
+        // A node's buffers are refilled only by its own next visit, which
+        // cannot happen while this invocation iterates them: recursion
+        // descends strictly into child nodes.
+        self.collect_matches(node, ranges, cols_at, scratch);
+        for mi in 0..scratch[node].vals.len() {
+            let v = scratch[node].vals[mi];
+            // Narrow ranges, saving old ones in the node scratch.
+            {
+                let s = &mut scratch[node];
+                s.saved.clear();
+                for (pi, &(ri, _)) in parts.iter().enumerate() {
+                    s.saved.push(ranges[ri].clone());
+                    ranges[ri] = s.runs[mi * np + pi].clone();
+                }
             }
             let mut acc = var_lift(var, v);
             for &ri in &self.deepest_at[node] {
                 acc = ring.mul(&acc, &leaf_lift(ri, ranges[ri].clone()));
             }
-            for &c in &self.vo.nodes()[node].children.clone() {
-                let sub = self.eval_node(c, ranges, ring, var_lift, leaf_lift);
+            for ci in 0..self.vo.nodes()[node].children.len() {
+                let c = self.vo.nodes()[node].children[ci];
+                let sub = self.eval_node(c, ranges, cols_at, scratch, ring, var_lift, leaf_lift);
                 if ring.is_zero(&sub) {
                     acc = ring.zero();
                     break;
@@ -189,8 +282,9 @@ impl EvalSpec {
                 acc = ring.mul(&acc, &sub);
             }
             ring.add_assign(&mut total, &acc);
-            for (&(ri, _), old) in parts.iter().zip(saved) {
-                ranges[ri] = old;
+            let s = &mut scratch[node];
+            for (pi, &(ri, _)) in parts.iter().enumerate() {
+                ranges[ri] = s.saved[pi].clone();
             }
         }
         total
@@ -261,15 +355,30 @@ pub fn materialize_join(db: &Database, relations: &[&str]) -> Result<Relation, D
     let mut key_vals: Vec<i64> = vec![0; nvars];
     // Recursion identical to eval, but emitting tuples at the bottom.
     let mut ranges: Vec<Range<usize>> = spec.rels.iter().map(|r| 0..r.len()).collect();
-    emit_rec(&spec, &pre, 0, &mut ranges, &mut key_vals, &payload_cols, &mut out)?;
+    let cols_at = spec.level_cols();
+    let mut scratch = vec![NodeScratch::default(); spec.vo.nodes().len()];
+    emit_rec(
+        &spec,
+        &pre,
+        0,
+        &mut ranges,
+        &cols_at,
+        &mut scratch,
+        &mut key_vals,
+        &payload_cols,
+        &mut out,
+    )?;
     Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn emit_rec(
     spec: &EvalSpec,
     pre: &[usize],
     depth: usize,
     ranges: &mut Vec<Range<usize>>,
+    cols_at: &[Vec<&[i64]>],
+    scratch: &mut Vec<NodeScratch>,
     key_vals: &mut Vec<i64>,
     payload_cols: &[(usize, usize)],
     out: &mut Relation,
@@ -287,31 +396,24 @@ fn emit_rec(
     // its own variables regardless of visit order, and pre-order guarantees
     // parents are bound before children.
     let node = pre[depth];
-    let var_node = &spec.vo.nodes()[node];
     let parts = &spec.parts_at[node];
-    let matches: Vec<(i64, Vec<Range<usize>>)> = {
-        let cols: Vec<&[i64]> = parts
-            .iter()
-            .map(|&(ri, level)| spec.rels[ri].int_col(spec.key_cols[ri][level]))
-            .collect();
-        let cur: Vec<Range<usize>> = parts.iter().map(|&(ri, _)| ranges[ri].clone()).collect();
-        let mut out_m = Vec::new();
-        leapfrog_intersect(&cols, &cur, |v, runs| {
-            out_m.push((v, runs.to_vec()));
-            true
-        });
-        out_m
-    };
-    let _ = var_node;
-    for (v, runs) in matches {
-        let saved: Vec<Range<usize>> = parts.iter().map(|&(ri, _)| ranges[ri].clone()).collect();
-        for (&(ri, _), run) in parts.iter().zip(&runs) {
-            ranges[ri] = run.clone();
+    let np = parts.len();
+    spec.collect_matches(node, ranges, cols_at, scratch);
+    for mi in 0..scratch[node].vals.len() {
+        let v = scratch[node].vals[mi];
+        {
+            let s = &mut scratch[node];
+            s.saved.clear();
+            for (pi, &(ri, _)) in parts.iter().enumerate() {
+                s.saved.push(ranges[ri].clone());
+                ranges[ri] = s.runs[mi * np + pi].clone();
+            }
         }
         key_vals[depth] = v;
-        emit_rec(spec, pre, depth + 1, ranges, key_vals, payload_cols, out)?;
-        for (&(ri, _), old) in parts.iter().zip(saved) {
-            ranges[ri] = old;
+        emit_rec(spec, pre, depth + 1, ranges, cols_at, scratch, key_vals, payload_cols, out)?;
+        let s = &mut scratch[node];
+        for (pi, &(ri, _)) in parts.iter().enumerate() {
+            ranges[ri] = s.saved[pi].clone();
         }
     }
     Ok(())

@@ -434,6 +434,53 @@ mod tests {
     }
 
     #[test]
+    fn factorized_fit_sorts_each_relation_at_most_once_per_order() {
+        // The trainer runs one aggregate batch per tree node; the sort
+        // cache must keep the sort bill independent of the node count:
+        // bounded by distinct (relation, column order) pairs — at most one
+        // per relation per group-by set — and a repeated fit sorts nothing.
+        let ds = retailer(RetailerConfig::tiny());
+        let rels: Vec<&str> = ds.relation_refs();
+        let cache = fdb_data::SortCache::global();
+        // This dataset instance is fresh (new relation identities), so the
+        // per-relation stats below are attributable to this test alone.
+        // The zero-re-sort assertion additionally relies on this test being
+        // the only FactorizedEngine user in the fdb-ml test binary: heavy
+        // concurrent churn could FIFO-evict the entries between fits. If
+        // another test starts driving the factorized engine, switch this
+        // accounting to a private `SortCache` via `EvalSpec::new_with_cache`
+        // (see tests/engines_agree.rs).
+        let sorts =
+            || -> u64 { rels.iter().map(|r| cache.stats_for(ds.db.get(r).unwrap()).1).sum() };
+        let cfg = TreeConfig { max_depth: 3, min_samples: 8.0, thresholds: 4, min_gain: 1e-9 };
+        let fit = || {
+            DecisionTree::fit_regression(
+                &ds.db,
+                &rels,
+                &["prize", "maxtemp"],
+                &["rain"],
+                "inventoryunits",
+                cfg,
+                &fdb_core::FactorizedEngine::new(),
+            )
+            .unwrap()
+        };
+        let tree = fit();
+        let after_first = sorts();
+        // Two group-by sets appear (scalar node batches + the per-category
+        // candidate stats), so ≤ 2 column orders per relation.
+        assert!(tree.batches_run >= 3, "one batch per node");
+        assert!(
+            after_first <= 2 * rels.len() as u64,
+            "sorts ({after_first}) must not scale with the {} batches",
+            tree.batches_run
+        );
+        let tree2 = fit();
+        assert_eq!(sorts(), after_first, "an identical fit re-sorts nothing");
+        assert_eq!(tree2.leaves(), tree.leaves());
+    }
+
+    #[test]
     fn leaf_counts_partition_the_population() {
         let ds = retailer(RetailerConfig::tiny());
         let rels: Vec<&str> = ds.relation_refs();

@@ -20,12 +20,14 @@
 //! vector rings, and the covariance ring `(c, s, Q)`.
 
 pub mod covariance;
+pub mod dense;
 pub mod grouped;
 pub mod keyed;
 pub mod product;
 pub mod scalar;
 
 pub use covariance::{CovRing, CovTriple};
+pub use dense::{DenseGrouped, DenseKeyedRing};
 pub use grouped::Grouped;
 pub use keyed::{KeyedRing, FREE_SLOT};
 pub use product::{PairRing, VecRing};

@@ -27,7 +27,7 @@ fn main() {
     let q = AggQuery::new(&rels, batch);
 
     let engines: Vec<Box<dyn Engine>> =
-        vec![Box::new(FlatEngine), Box::new(FactorizedEngine), Box::new(LmfaoEngine::new())];
+        vec![Box::new(FlatEngine), Box::new(FactorizedEngine::new()), Box::new(LmfaoEngine::new())];
     println!("{} aggregates over ⋈{:?}\n", q.batch.len(), q.relations);
     for engine in &engines {
         let t0 = Instant::now();

@@ -13,18 +13,44 @@ use fdb::lmfao::{covariance_batch, decision_node_batch};
 use fdb::prelude::*;
 use proptest::prelude::*;
 
+/// Asserts two batch results carry identical groups and (up to float
+/// round-off) identical values — including the represented key sets, which
+/// is how the exactly-zero-dropped contract is held across dense and hash
+/// group representations.
+fn assert_results_match(base: &BatchResult, got: &BatchResult, tag: &str, naggs: usize) {
+    for i in 0..naggs {
+        assert_eq!(base.groups[i], got.groups[i], "{tag}: agg {i}: group attrs");
+        assert_eq!(
+            base.grouped(i).len(),
+            got.grouped(i).len(),
+            "{tag}: agg {i}: represented key count"
+        );
+        for (k, v) in base.grouped(i) {
+            let g = got.grouped(i).get(k).copied().unwrap_or(f64::NAN);
+            assert!(
+                (v - g).abs() <= 1e-6 * (1.0 + v.abs()),
+                "{tag}: agg {i} key {k:?}: {v} vs {g}"
+            );
+        }
+    }
+}
+
 /// Runs `q` through every engine and checks the results coincide.
 fn assert_engines_agree(db: &Database, q: &AggQuery) -> BatchResult {
     let engines: Vec<Box<dyn Engine>> = vec![
         Box::new(FlatEngine),
-        Box::new(FactorizedEngine),
+        Box::new(FactorizedEngine::new()),
+        Box::new(FactorizedEngine::baseline_hash()),
         Box::new(LmfaoEngine::new()),
         Box::new(LmfaoEngine::with_config(EngineConfig::sequential())),
         Box::new(LmfaoEngine::with_config(EngineConfig {
             specialize: false,
             share: false,
             threads: 1,
+            ..Default::default()
         })),
+        // The dense-disabled hash baseline must agree bit-for-bit.
+        Box::new(LmfaoEngine::with_config(EngineConfig { dense_limit: 0, ..Default::default() })),
     ];
     let results: Vec<BatchResult> = engines
         .iter()
@@ -32,23 +58,7 @@ fn assert_engines_agree(db: &Database, q: &AggQuery) -> BatchResult {
         .collect();
     let base = &results[0];
     for (e, r) in engines.iter().zip(&results).skip(1) {
-        for i in 0..q.batch.len() {
-            assert_eq!(base.groups[i], r.groups[i], "{}: agg {i}: group attrs", e.name());
-            assert_eq!(
-                base.grouped(i).len(),
-                r.grouped(i).len(),
-                "{}: agg {i}: represented key count",
-                e.name()
-            );
-            for (k, v) in base.grouped(i) {
-                let got = r.grouped(i).get(k).copied().unwrap_or(f64::NAN);
-                assert!(
-                    (v - got).abs() <= 1e-6 * (1.0 + v.abs()),
-                    "{}: agg {i} key {k:?}: flat {v} vs {got}",
-                    e.name()
-                );
-            }
-        }
+        assert_results_match(base, r, e.name(), q.batch.len());
     }
     results.into_iter().next().expect("non-empty")
 }
@@ -108,20 +118,28 @@ fn fivm_streams_to_the_same_covariance_stats() {
     }
 }
 
-/// A random 3-relation snowflake: F(a, b, x) ⋈ D1(a, u) ⋈ D2(b, v).
+/// A random 3-relation snowflake: F(a, b, c, x) ⋈ D1(a, w, u) ⋈ D2(b, v),
+/// with categorical codes `c` (fact) and `w` (dimension) for group-bys.
 fn snowflake(rows: &[(i64, i64, i8)], d1: &[(i64, i8)], d2: &[(i64, i8)]) -> Database {
     let mut db = Database::new();
     let mut f = Relation::new(Schema::of(&[
         ("a", AttrType::Int),
         ("b", AttrType::Int),
+        ("c", AttrType::Categorical),
         ("x", AttrType::Double),
     ]));
     for &(a, b, x) in rows {
-        f.push_row(&[Value::Int(a), Value::Int(b), Value::F64(x as f64)]).unwrap();
+        // A derived categorical code keeps the generator's value space.
+        let c = (a + 2 * b) % 3;
+        f.push_row(&[Value::Int(a), Value::Int(b), Value::Int(c), Value::F64(x as f64)]).unwrap();
     }
-    let mut r1 = Relation::new(Schema::of(&[("a", AttrType::Int), ("u", AttrType::Double)]));
+    let mut r1 = Relation::new(Schema::of(&[
+        ("a", AttrType::Int),
+        ("w", AttrType::Categorical),
+        ("u", AttrType::Double),
+    ]));
     for &(a, u) in d1 {
-        r1.push_row(&[Value::Int(a), Value::F64(u as f64)]).unwrap();
+        r1.push_row(&[Value::Int(a), Value::Int(a % 2), Value::F64(u as f64)]).unwrap();
     }
     let mut r2 = Relation::new(Schema::of(&[("b", AttrType::Int), ("v", AttrType::Double)]));
     for &(b, v) in d2 {
@@ -163,5 +181,61 @@ proptest! {
         filtered.push(Aggregate::sum("x").filtered("u", FilterOp::Ge(threshold as f64)));
         filtered.push(Aggregate::count().filtered("x", FilterOp::Lt(threshold as f64)));
         assert_engines_agree(&db, &AggQuery::new(&rels, filtered));
+
+        // Grouped aggregates over the categorical codes (the dense
+        // GroupIndex path): all engines, incl. the hash fallbacks, agree.
+        // `SUM(x)` with x ∈ [-5, 5] cancels to exactly 0.0 on some random
+        // groups, so this also pins the exact-zero-dropped contract to the
+        // representation-independent key counts.
+        let grouped = AggQuery::new(&rels, covariance_batch(&["x", "u"], &["c", "w"]));
+        let expect = assert_engines_agree(&db, &grouped);
+
+        // The domain-threshold boundary: c spans ≤ 3 codes, w ≤ 2, so
+        // limits 1..6 straddle per-view dense/hash splits (some views of
+        // one plan dense, others hash). Every limit must reproduce the
+        // same batch result.
+        for limit in [0u64, 1, 2, 3, 6] {
+            let cfg = EngineConfig { threads: 1, dense_limit: limit, ..Default::default() };
+            let got = LmfaoEngine::with_config(cfg).run(&db, &grouped).unwrap();
+            assert_results_match(&expect, &got, &format!("dense_limit={limit}"), grouped.batch.len());
+        }
     }
+}
+
+/// The factorized engine must give identical results whether its sorted
+/// views are freshly computed (cold cache) or served warm, and a warm
+/// re-preparation must not sort anything new.
+#[test]
+fn factorized_agrees_with_cache_warm_and_cold() {
+    let ds = fdb::datasets::retailer(fdb::datasets::RetailerConfig::tiny());
+    let rels = ds.relation_refs();
+    let q = AggQuery::new(
+        &rels,
+        covariance_batch(&["prize", "maxtemp", "inventoryunits"], &["rain", "category"]),
+    );
+    // Cold (global cache, fresh relation identities) vs warm (second run)
+    // vs fully uncached: identical results.
+    let engine = FactorizedEngine::new();
+    let cold = engine.run(&ds.db, &q).unwrap();
+    let warm = engine.run(&ds.db, &q).unwrap();
+    assert_results_match(&cold, &warm, "warm-vs-cold", q.batch.len());
+    let uncached = FactorizedEngine { use_sort_cache: false, ..FactorizedEngine::new() }
+        .run(&ds.db, &q)
+        .unwrap();
+    assert_results_match(&cold, &uncached, "uncached", q.batch.len());
+
+    // Sort accounting against a *private* cache: the global one is churned
+    // by concurrently-running tests in this binary (FIFO eviction would
+    // make a zero-re-sort assertion flaky there).
+    let cache = fdb::data::SortCache::new(32);
+    let sorts = || -> u64 { rels.iter().map(|r| cache.stats_for(ds.db.get(r).unwrap()).1).sum() };
+    let grefs = ["category", "rain"];
+    let cold_spec =
+        fdb::factorized::EvalSpec::new_with_cache(&ds.db, &rels, &grefs, Some(&cache)).unwrap();
+    let after_cold = sorts();
+    assert!(after_cold > 0, "cold preparation sorts the relations");
+    let warm_spec =
+        fdb::factorized::EvalSpec::new_with_cache(&ds.db, &rels, &grefs, Some(&cache)).unwrap();
+    assert_eq!(sorts(), after_cold, "warm preparation re-sorts nothing");
+    assert_eq!(cold_spec.count(), warm_spec.count(), "same join either way");
 }

@@ -3,8 +3,12 @@
 //! `BENCH_engines.json` so future PRs have a trajectory to compare against.
 //!
 //! ```text
-//! perf_regression [--scale S] [--iters N] [--out PATH] [--baseline-hash | --optimized]
+//! perf_regression [--scale S] [--iters N] [--shards K] [--out PATH]
+//!                 [--baseline-hash | --optimized]
 //! ```
+//!
+//! `--shards` sets the fan-out of the sharded-vs-single-shard arm
+//! (default: one shard per available core).
 
 use fdb_bench::perf::{self, Arms};
 
@@ -13,18 +17,24 @@ fn main() {
     let mut iters = 3usize;
     let mut out = String::from("BENCH_engines.json");
     let mut arms = Arms::Both;
+    let mut shards = fdb_core::parallel::default_threads();
+    let mut shards_given = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => scale = args.next().and_then(|v| v.parse().ok()).expect("--scale S"),
             "--iters" => iters = args.next().and_then(|v| v.parse().ok()).expect("--iters N"),
+            "--shards" => {
+                shards = args.next().and_then(|v| v.parse().ok()).expect("--shards K");
+                shards_given = true;
+            }
             "--out" => out = args.next().expect("--out PATH"),
             "--baseline-hash" => arms = Arms::BaselineOnly,
             "--optimized" => arms = Arms::OptimizedOnly,
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
-                    "usage: perf_regression [--scale S] [--iters N] [--out PATH] \
+                    "usage: perf_regression [--scale S] [--iters N] [--shards K] [--out PATH] \
                      [--baseline-hash | --optimized]"
                 );
                 std::process::exit(2);
@@ -32,7 +42,16 @@ fn main() {
         }
     }
 
-    let rows = perf::run_all(scale, iters, arms);
+    // The sharded-vs-single-shard pair only runs in the default (Both)
+    // mode; don't let an explicit --shards be dropped silently.
+    if shards_given && arms != Arms::Both {
+        eprintln!(
+            "note: --shards has no effect with --baseline-hash/--optimized \
+             (the sharded arm runs only in the default both-arms mode)"
+        );
+    }
+
+    let rows = perf::run_all_with_shards(scale, iters, arms, shards);
     let cart = (arms == Arms::Both).then(|| perf::cart_sort_accounting(scale));
 
     fdb_bench::print_table(

@@ -11,7 +11,16 @@ pub fn stages(threads: usize) -> [(&'static str, EngineConfig); 4] {
     [
         // The baseline also runs without dense group indexing: code-indexed
         // accumulators are part of the "specialize to the data" toggle.
-        ("baseline", EngineConfig { specialize: false, share: false, threads: 1, dense_limit: 0 }),
+        (
+            "baseline",
+            EngineConfig {
+                specialize: false,
+                share: false,
+                threads: 1,
+                dense_limit: 0,
+                ..Default::default()
+            },
+        ),
         (
             "+specialisation",
             EngineConfig { specialize: true, share: false, threads: 1, ..Default::default() },

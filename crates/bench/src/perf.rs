@@ -19,7 +19,7 @@
 
 use fdb_core::{
     covariance_batch, to_scan_query, AggQuery, Engine, EngineConfig, FactorizedEngine, FlatEngine,
-    LmfaoEngine,
+    LmfaoEngine, ShardedEngine,
 };
 use fdb_data::SortCache;
 use fdb_datasets::{retailer, Dataset, RetailerConfig};
@@ -31,9 +31,13 @@ use fdb_query::{eval_agg_batch, natural_join_all, ScanQuery};
 pub struct PerfRow {
     /// Bench name: `grouped-covariance` or `join-count`.
     pub bench: &'static str,
-    /// Engine name (`lmfao`, `factorized`, `flat`).
+    /// Engine name (`lmfao`, `factorized`, `flat`, `sharded-lmfao`).
     pub engine: &'static str,
-    /// Arm: `optimized` or `baseline-hash`.
+    /// Arm: `optimized` / `baseline-hash`, or — for the sharding rows —
+    /// `sharded` (one shard per worker) / `single-shard` (the wrapper's
+    /// 1-partition configuration, which short-circuits to the unwrapped
+    /// inner engine: no partition, no merge — i.e. "not sharding at all",
+    /// the baseline the sharded arm's speedup is measured against).
     pub config: &'static str,
     /// Dataset label.
     pub dataset: String,
@@ -145,14 +149,32 @@ fn time_flat_per_agg(ds: &Dataset, q: &AggQuery, iters: usize) -> (u128, usize) 
     (best, groups)
 }
 
-/// Runs every bench × engine × arm combination.
+/// Runs every bench × engine × arm combination with the default shard
+/// fan-out (one shard per available core).
 pub fn run_all(scale: f64, iters: usize, arms: Arms) -> Vec<PerfRow> {
+    run_all_with_shards(scale, iters, arms, fdb_core::parallel::default_threads())
+}
+
+/// [`run_all`] with an explicit shard count for the sharded arm.
+///
+/// Besides the per-engine optimized / baseline-hash arms, the `Both` mode
+/// (only — the single-arm modes skip the pair) measures a **sharded vs
+/// single-shard** pair: `ShardedEngine<LmfaoEngine>` (inner engine
+/// single-threaded, so the pair isolates shard-level data parallelism)
+/// over `shards` partitions vs the 1-partition configuration, which
+/// short-circuits to the plain unwrapped engine. Their ratio is therefore
+/// "sharding vs not sharding": cross-core scaling on a multi-core host;
+/// pure partition+merge+redundant-dimension-scan overhead (< 1×) on a
+/// single core.
+pub fn run_all_with_shards(scale: f64, iters: usize, arms: Arms, shards: usize) -> Vec<PerfRow> {
     let ds = perf_dataset(scale);
     let label = format!("retailer-x{scale}");
     let mut rows = Vec::new();
     let lmfao_opt = LmfaoEngine::with_config(EngineConfig { threads: 1, ..Default::default() });
     let lmfao_base =
         LmfaoEngine::with_config(EngineConfig { threads: 1, dense_limit: 0, ..Default::default() });
+    let sharded = ShardedEngine::with_shards(lmfao_opt, shards.max(1));
+    let single_shard = ShardedEngine::with_shards(lmfao_opt, 1);
     for (bench, q) in
         [("grouped-covariance", covariance_query(&ds)), ("join-count", join_count_query(&ds))]
     {
@@ -173,6 +195,12 @@ pub fn run_all(scale: f64, iters: usize, arms: Arms) -> Vec<PerfRow> {
             ),
             ("flat", "optimized", Box::new(|| time_engine(&ds, &q, &FlatEngine, iters))),
             ("flat", "baseline-hash", Box::new(|| time_flat_per_agg(&ds, &q, iters))),
+            ("sharded-lmfao", "sharded", Box::new(|| time_engine(&ds, &q, &sharded, iters))),
+            (
+                "sharded-lmfao",
+                "single-shard",
+                Box::new(|| time_engine(&ds, &q, &single_shard, iters)),
+            ),
         ];
         for (engine, config, run) in &runs {
             if arms.includes(config) {
@@ -225,16 +253,20 @@ pub fn cart_sort_accounting(scale: f64) -> CartSorts {
     }
 }
 
-/// Speedup table: per `(bench, engine)`, `baseline-hash / optimized`.
+/// Speedup table: per `(bench, engine)`, `baseline-hash / optimized` —
+/// and for the sharding rows, `single-shard / sharded` (cross-core
+/// scaling of the shard layer).
 pub fn speedups(rows: &[PerfRow]) -> Vec<(&'static str, &'static str, f64)> {
     let mut out = Vec::new();
     for row in rows {
-        if row.config != "optimized" {
-            continue;
-        }
+        let base_config = match row.config {
+            "optimized" => "baseline-hash",
+            "sharded" => "single-shard",
+            _ => continue,
+        };
         if let Some(base) = rows
             .iter()
-            .find(|r| r.bench == row.bench && r.engine == row.engine && r.config == "baseline-hash")
+            .find(|r| r.bench == row.bench && r.engine == row.engine && r.config == base_config)
         {
             out.push((row.bench, row.engine, base.wall_ns as f64 / row.wall_ns.max(1) as f64));
         }
@@ -286,20 +318,37 @@ mod tests {
     #[test]
     fn arms_and_checksums_agree() {
         let _guard = crate::timing_lock();
-        let rows = run_all(0.02, 1, Arms::Both);
-        assert_eq!(rows.len(), 12, "2 benches × 3 engines × 2 arms");
-        // Optimized and baseline arms must emit identical group counts.
-        for r in rows.iter().filter(|r| r.config == "optimized") {
+        let rows = run_all_with_shards(0.02, 1, Arms::Both, 3);
+        assert_eq!(rows.len(), 16, "2 benches × (3 engines × 2 arms + sharded pair)");
+        // Paired arms must emit identical group counts: optimized vs
+        // baseline-hash per engine, and sharded vs single-shard (the
+        // merge must reconstruct exactly the unsharded key sets).
+        for r in rows.iter().filter(|r| r.config == "optimized" || r.config == "sharded") {
+            let base_config =
+                if r.config == "optimized" { "baseline-hash" } else { "single-shard" };
             let base = rows
                 .iter()
-                .find(|b| b.bench == r.bench && b.engine == r.engine && b.config == "baseline-hash")
+                .find(|b| b.bench == r.bench && b.engine == r.engine && b.config == base_config)
                 .expect("paired row");
             assert_eq!(r.groups, base.groups, "{}/{}", r.bench, r.engine);
             assert!(r.groups > 0, "{}/{} emitted no groups", r.bench, r.engine);
         }
+        // The sharded pair also matches the plain engines' checksum.
+        let lmfao = rows
+            .iter()
+            .find(|r| r.engine == "lmfao" && r.config == "optimized")
+            .expect("lmfao row");
+        let sharded = rows
+            .iter()
+            .find(|r| {
+                r.bench == lmfao.bench && r.engine == "sharded-lmfao" && r.config == "sharded"
+            })
+            .expect("sharded row");
+        assert_eq!(sharded.groups, lmfao.groups, "sharded checksum matches unsharded");
         let json = to_json(&rows, Some(&CartSorts::default()));
         assert!(json.contains("\"speedups\""));
         assert!(json.contains("grouped-covariance/lmfao"));
+        assert!(json.contains("grouped-covariance/sharded-lmfao"));
         assert!(json.contains("\"cart\""));
     }
 

@@ -22,15 +22,15 @@ pub(crate) enum Col<'a> {
 }
 
 impl<'a> Col<'a> {
-    /// Builds typed accessors for every column of `rel`.
+    /// Builds typed accessors for every column of `rel`. Dispatches on the
+    /// column's *actual* backing store (not the schema's claimed type), so
+    /// a schema/storage disagreement can never abort a worker thread — the
+    /// accessor simply reflects what the column holds.
     pub(crate) fn all(rel: &'a fdb_data::Relation) -> Vec<Col<'a>> {
         (0..rel.schema().arity())
-            .map(|c| {
-                if rel.schema().attr(c).ty.is_int_backed() {
-                    Col::I(rel.int_col(c))
-                } else {
-                    Col::F(rel.f64_col(c))
-                }
+            .map(|c| match rel.col(c) {
+                fdb_data::Column::Int(v) => Col::I(v.as_slice()),
+                fdb_data::Column::F64(v) => Col::F(v.as_slice()),
             })
             .collect()
     }
@@ -404,7 +404,13 @@ mod tests {
             EngineConfig { specialize: false, share: false, threads: 1, ..Default::default() },
             EngineConfig { specialize: true, share: false, threads: 1, ..Default::default() },
             EngineConfig { specialize: false, share: true, threads: 1, ..Default::default() },
-            EngineConfig { specialize: true, share: true, threads: 1, dense_limit: 0 },
+            EngineConfig {
+                specialize: true,
+                share: true,
+                threads: 1,
+                dense_limit: 0,
+                ..Default::default()
+            },
         ] {
             check_batch(&db, &rels, &batch, &cfg);
         }

@@ -42,7 +42,15 @@ pub struct KeySpace {
 impl KeySpace {
     /// Builds the space spanned by the inclusive `(min, max)` ranges;
     /// `None` if the total code count exceeds `limit` (or overflows).
+    ///
+    /// The empty key (zero ranges) spans exactly one code, so `limit == 0`
+    /// rejects even it — `dense_limit = 0` means "dense indexing disabled",
+    /// and before this check scalar accumulators silently stayed dense in
+    /// the hash-baseline arm.
     pub fn new(ranges: &[(i64, i64)], limit: u64) -> Option<KeySpace> {
+        if limit == 0 {
+            return None;
+        }
         let mut dims = Vec::with_capacity(ranges.len());
         let mut size: u64 = 1;
         for &(lo, hi) in ranges {
@@ -384,6 +392,68 @@ mod tests {
         let empty = KeySpace::new(&[], 1).unwrap();
         assert_eq!(empty.size(), 1);
         assert_eq!(empty.encode(&[]), Some(0));
+    }
+
+    /// `limit == 0` is the documented "dense indexing disabled" switch
+    /// (`EngineConfig::dense_limit = 0`, the hash-baseline arm). It must
+    /// reject *every* space — including the one-code empty-key space that
+    /// previously slipped through because the size check only ran inside
+    /// the per-range loop.
+    #[test]
+    fn keyspace_limit_zero_disables_even_the_scalar_space() {
+        assert!(KeySpace::new(&[], 0).is_none(), "scalar (empty-key) space");
+        assert!(KeySpace::new(&[(5, 5)], 0).is_none(), "single-code space");
+        assert!(KeySpace::new(&[(0, 3)], 0).is_none());
+        // limit 1 is the smallest enabled space: exactly one code fits.
+        assert!(KeySpace::new(&[], 1).is_some());
+        assert!(KeySpace::new(&[(5, 5)], 1).is_some());
+        assert!(KeySpace::new(&[(5, 6)], 1).is_none(), "two codes exceed 1");
+    }
+
+    /// Near-`u64`-overflow domain products: the size accounting must
+    /// saturate to `None` (hash fallback), never wrap into a small bogus
+    /// dense size, and encode/decode must stay exact at extreme mins.
+    #[test]
+    fn keyspace_near_u64_overflow_products() {
+        // 2^32 × 2^32 = 2^64 overflows checked_mul → hash fallback.
+        let r32 = (0i64, (1i64 << 32) - 1);
+        assert!(KeySpace::new(&[r32, r32], u64::MAX).is_none(), "2^64 overflows");
+        // 2^32 × 2^31 = 2^63 fits in u64 and is within the limit.
+        let r31 = (0i64, (1i64 << 31) - 1);
+        let big = KeySpace::new(&[r32, r31], u64::MAX).unwrap();
+        assert_eq!(big.size(), 1u64 << 63);
+        // Probes at the corners of the space round-trip exactly.
+        let mut out = Vec::new();
+        for key in [[0, 0], [(1 << 32) - 1, (1 << 31) - 1], [1, (1 << 31) - 1]] {
+            let code = big.encode(&key).expect("in range");
+            big.decode(code, &mut out);
+            assert_eq!(out, key, "corner {key:?}");
+        }
+        assert_eq!(big.encode(&[1 << 32, 0]), None, "first attr out of range");
+        assert_eq!(big.encode(&[0, 1 << 31]), None, "second attr out of range");
+        // One past the limit is rejected, the limit itself is kept — the
+        // boundary the dense/hash split pivots on.
+        assert!(KeySpace::new(&[(0, 9)], 10).is_some());
+        assert!(KeySpace::new(&[(0, 10)], 10).is_none());
+        // A single attribute spanning (almost) the full i64 width: the
+        // domain size is computed in i64, so 2^63-1 codes is the widest
+        // representable range; one more overflows and must fall back.
+        assert_eq!(KeySpace::new(&[(i64::MIN, -2)], u64::MAX).unwrap().size(), (1u64 << 63) - 1);
+        assert!(KeySpace::new(&[(i64::MIN, -1)], u64::MAX).is_none(), "2^63 overflows i64");
+        // Extreme negative mins: mixed-radix arithmetic is wrapping-safe.
+        let neg = KeySpace::new(&[(i64::MIN, i64::MIN + 2), (-1, 1)], 16).unwrap();
+        assert_eq!(neg.size(), 9);
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..3i64 {
+            for b in -1..=1i64 {
+                let key = [i64::MIN + a, b];
+                let code = neg.encode(&key).expect("in range");
+                assert!(seen.insert(code), "codes distinct");
+                neg.decode(code, &mut out);
+                assert_eq!(out, key);
+            }
+        }
+        assert_eq!(neg.encode(&[i64::MAX, 0]), None, "wrapped probe misses");
     }
 
     #[test]

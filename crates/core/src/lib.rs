@@ -29,23 +29,35 @@
 //! * [`parallel`] — domain/task parallelism and [`EngineConfig`]
 //!   (`threads` defaults to the machine's available parallelism); the
 //!   toggles reproduce the Figure 6 ablation.
+//! * [`shard`] — fact-table data parallelism over *any* backend:
+//!   [`ShardedEngine`] partitions the fact relation
+//!   ([`fdb_data::Database::shard`], dimension tables `Arc`-shared), runs
+//!   the inner engine per shard, and merges [`BatchResult`]s ring-additively
+//!   (re-dropping exact zeros that cancel only across shards).
+//! * [`dispatch`] — adaptive backend choice per query from cheap catalog
+//!   statistics ([`DispatchEngine`]), with the [`EngineConfig::backend`]
+//!   override knob.
 //! * [`stats`] — `SufficientStats`: the sparse-tensor sufficient statistics
 //!   (§2.1) assembled from a batch result, consumed by `fdb-ml`.
 
 pub mod backend;
 pub mod batch;
 pub mod batchgen;
+pub mod dispatch;
 pub mod exec;
 pub mod group;
 pub mod ir;
 pub mod parallel;
 pub mod plan;
+pub mod shard;
 pub mod stats;
 
 pub use backend::{all_engines, to_scan_query, Engine, FactorizedEngine, FlatEngine, LmfaoEngine};
 pub use batch::{AggBatch, Aggregate, FilterOp, Fn1};
 pub use batchgen::{covariance_batch, decision_node_batch, kmeans_batch, mutual_info_batch};
+pub use dispatch::{query_stats, DispatchEngine, QueryStats};
 pub use group::{GroupIndex, KeySpace};
 pub use ir::{AggQuery, BatchResult};
-pub use parallel::EngineConfig;
+pub use parallel::{EngineChoice, EngineConfig};
+pub use shard::ShardedEngine;
 pub use stats::{sufficient_stats, SufficientStats};

@@ -13,6 +13,23 @@
 use crate::exec::compute_node;
 use crate::plan::{Plan, ViewData};
 
+/// Which backend executes a query — the override knob consulted by
+/// [`DispatchEngine`](crate::dispatch::DispatchEngine). `Auto` (the
+/// default) lets the dispatcher pick per query from catalog statistics;
+/// the other variants pin one backend regardless of the query shape.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// Pick per query from cheap statistics (see `crate::dispatch`).
+    #[default]
+    Auto,
+    /// Always the flat (materialized-join) baseline.
+    Flat,
+    /// Always the fused factorized evaluator.
+    Factorized,
+    /// Always the layered LMFAO engine.
+    Lmfao,
+}
+
 /// Engine feature toggles (all on by default).
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
@@ -29,6 +46,10 @@ pub struct EngineConfig {
     /// code-indexed storage instead of hash maps (see [`crate::group`]).
     /// `0` disables dense indexing entirely — the hash baseline.
     pub dense_limit: u64,
+    /// Backend override for [`DispatchEngine`](crate::dispatch::DispatchEngine):
+    /// `Auto` dispatches per query, anything else pins that backend.
+    /// Ignored by the concrete engines themselves.
+    pub backend: EngineChoice,
 }
 
 impl Default for EngineConfig {
@@ -38,6 +59,7 @@ impl Default for EngineConfig {
             share: true,
             threads: default_threads(),
             dense_limit: crate::group::DEFAULT_DENSE_GROUPS,
+            backend: EngineChoice::Auto,
         }
     }
 }

@@ -1,0 +1,334 @@
+//! Sharded fact-table execution: data parallelism over *any* backend.
+//!
+//! Every aggregate the engines evaluate is a sum over the natural join,
+//! and the join is linear in each input relation: partitioning one
+//! relation `F = F₁ ⊎ … ⊎ Fₙ` partitions the join, so
+//! `Q(F) = Q(F₁) + … + Q(Fₙ)` with `+` the ring-additive merge of
+//! [`BatchResult`]s by group key. That identity holds for every backend
+//! at once — which is why [`ShardedEngine`] composes *around* the
+//! [`Engine`] trait instead of touching any backend: it partitions the
+//! fact relation with [`Database::shard`] (dimension tables shared by
+//! `Arc`, so the sort cache warms once for all shards), runs the inner
+//! engine per shard on scoped worker threads (the same plain-threads
+//! pool discipline as [`crate::parallel`]), and merges.
+//!
+//! **Merge semantics.** Group maps are summed key-wise, then entries whose
+//! merged value is exactly `0.0` are dropped *again*: each shard drops its
+//! own exact zeros, but contributions that cancel only across shards
+//! (e.g. `+x` in shard 1, `−x` in shard 2) first appear at merge time, and
+//! the [`BatchResult`] contract — all backends represent the same key set —
+//! must survive sharding. See `tests/sharded_agree.rs`.
+//!
+//! **Float caveat.** Like any change of summation order (including the
+//! backends' own evaluation orders and LMFAO's chunked domain
+//! parallelism), sharding can change *rounding* for `Double`-valued
+//! measures. For a group whose true sum is a rounding-sensitive near-zero
+//! (e.g. `[1e16, 1.0, -1e16, -1.0]`), one summation order can land
+//! exactly on `0.0` (key dropped) while another lands on `-1.0` (key
+//! kept). Exact key-set and value identity is guaranteed for
+//! exactly-representable (integer-valued) measures, where f64 addition is
+//! associative; real-valued data gets "equal up to round-off, identical
+//! key sets unless a sum rounds exactly to zero" — the same caveat the
+//! cross-backend agreement tolerances already encode.
+
+use crate::backend::Engine;
+use crate::ir::{AggQuery, BatchResult};
+use crate::parallel::default_threads;
+use fdb_data::{DataError, Database};
+use std::sync::{Arc, Mutex};
+
+/// The memoized shard partition of one database content state: reused as
+/// long as every relation's [`fdb_data::Relation::data_id`] is unchanged.
+/// Stability matters beyond the partition cost — reused fact chunks keep
+/// their `data_id`s, so sorted-view caches warm up across runs instead of
+/// filling with views of chunks that will never be probed again.
+#[derive(Debug)]
+struct ShardCache {
+    fact: String,
+    n: usize,
+    /// `(relation name, data_id)` of every relation at build time.
+    ids: Vec<(String, u64)>,
+    dbs: Arc<Vec<Database>>,
+}
+
+/// Wraps an inner [`Engine`], partitioning the fact relation into `shards`
+/// chunks and merging the per-shard results.
+///
+/// The fact relation defaults to the largest relation of the query (the
+/// usual snowflake shape) and can be pinned with
+/// [`ShardedEngine::with_fact`]. With one shard (or an explicit
+/// single-shard configuration) the inner engine runs unwrapped —
+/// `ShardedEngine` never changes results, only where they are computed.
+#[derive(Debug)]
+pub struct ShardedEngine<E> {
+    inner: E,
+    shards: usize,
+    fact: Option<String>,
+    cache: Mutex<Option<ShardCache>>,
+}
+
+/// Cloning keeps the configuration and starts with a cold partition cache
+/// (the cache is identity-keyed scratch state, not configuration).
+impl<E: Clone> Clone for ShardedEngine<E> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+            shards: self.shards,
+            fact: self.fact.clone(),
+            cache: Mutex::new(None),
+        }
+    }
+}
+
+impl<E: Engine> ShardedEngine<E> {
+    /// Shards across the machine's available parallelism.
+    pub fn new(inner: E) -> Self {
+        Self::with_shards(inner, default_threads())
+    }
+
+    /// Shards into exactly `shards` partitions (clamped to ≥ 1).
+    pub fn with_shards(inner: E, shards: usize) -> Self {
+        Self { inner, shards: shards.max(1), fact: None, cache: Mutex::new(None) }
+    }
+
+    /// Pins the fact relation instead of picking the largest. The relation
+    /// must participate in every query this engine runs — sharding a
+    /// relation outside the join would replicate the full query per shard
+    /// and over-count by the shard factor, so [`ShardedEngine::run`]
+    /// rejects such queries.
+    pub fn with_fact(mut self, fact: impl Into<String>) -> Self {
+        self.fact = Some(fact.into());
+        self
+    }
+
+    /// Number of partitions this engine fans out to.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The relation `run` would partition for `q`: the pinned fact if any,
+    /// otherwise the largest relation of the query.
+    pub fn fact_for(&self, db: &Database, q: &AggQuery) -> Result<String, DataError> {
+        if let Some(f) = &self.fact {
+            if !q.relations.iter().any(|r| r == f) {
+                return Err(DataError::Invalid(format!(
+                    "sharding fact `{f}` does not participate in the query join"
+                )));
+            }
+            return Ok(f.clone());
+        }
+        let mut best: Option<(usize, &str)> = None;
+        for name in &q.relations {
+            let rows = db.get(name)?.len();
+            if best.map(|(b, _)| rows > b).unwrap_or(true) {
+                best = Some((rows, name));
+            }
+        }
+        best.map(|(_, n)| n.to_string())
+            .ok_or_else(|| DataError::Invalid("query has no relations to shard".into()))
+    }
+
+    /// The `n`-way partition of `db` along `fact`, memoized per database
+    /// content state: rebuilt only when some relation's `data_id` changed
+    /// (the same invalidation rule as the sort cache). Reuse keeps the
+    /// fact chunks' `data_id`s stable across runs, so per-chunk sorted
+    /// views become cache *hits* on repeated queries (a CART fit runs one
+    /// batch per tree node) instead of dead entries evicting warm
+    /// dimension views.
+    pub fn shard_databases(
+        &self,
+        db: &Database,
+        fact: &str,
+        n: usize,
+    ) -> Result<Arc<Vec<Database>>, DataError> {
+        let ids: Vec<(String, u64)> = db
+            .names()
+            .iter()
+            .map(|nm| Ok((nm.clone(), db.get(nm)?.data_id())))
+            .collect::<Result<_, DataError>>()?;
+        {
+            let guard = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(c) = guard.as_ref() {
+                if c.fact == fact && c.n == n && c.ids == ids {
+                    return Ok(Arc::clone(&c.dbs));
+                }
+            }
+        }
+        let dbs = Arc::new(db.shard(fact, n)?);
+        let mut guard = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+        *guard = Some(ShardCache { fact: fact.to_string(), n, ids, dbs: Arc::clone(&dbs) });
+        Ok(dbs)
+    }
+}
+
+impl<E: Engine + Sync> Engine for ShardedEngine<E> {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn run(&self, db: &Database, q: &AggQuery) -> Result<BatchResult, DataError> {
+        q.validate(db)?;
+        let fact = self.fact_for(db, q)?;
+        let n = self.shards.min(db.get(&fact)?.len()).max(1);
+        if n == 1 {
+            return self.inner.run(db, q);
+        }
+        let shard_dbs = self.shard_databases(db, &fact, n)?;
+        // One scoped worker per shard — the same plain-threads discipline
+        // as the LMFAO domain parallelism; a worker's engine error is
+        // carried back as a value, never unwound across the scope.
+        let results: Vec<Result<BatchResult, DataError>> = std::thread::scope(|s| {
+            let handles: Vec<_> =
+                shard_dbs.iter().map(|sdb| s.spawn(move || self.inner.run(sdb, q))).collect();
+            handles.into_iter().map(|h| h.join().expect("shard worker does not panic")).collect()
+        });
+        let mut iter = results.into_iter();
+        let mut acc = iter.next().expect("n >= 1 shards")?;
+        for r in iter {
+            merge_into(&mut acc, r?)?;
+        }
+        drop_exact_zeros(&mut acc);
+        Ok(acc)
+    }
+}
+
+/// Ring-additive merge: sums `other`'s group maps into `acc` key-wise.
+/// Callers finish with [`drop_exact_zeros`] — cancellation across shards
+/// can produce exact zeros that no single shard ever saw.
+pub fn merge_into(acc: &mut BatchResult, other: BatchResult) -> Result<(), DataError> {
+    if acc.groups != other.groups {
+        return Err(DataError::Invalid(
+            "shard results disagree on group attributes; merge would mix key spaces".into(),
+        ));
+    }
+    for (a, b) in acc.values.iter_mut().zip(other.values) {
+        for (k, v) in b {
+            *a.entry(k).or_insert(0.0) += v;
+        }
+    }
+    Ok(())
+}
+
+/// Re-establishes the [`BatchResult`] contract after a merge: entries whose
+/// value is exactly `0.0` are dropped.
+pub fn drop_exact_zeros(res: &mut BatchResult) {
+    for m in &mut res.values {
+        m.retain(|_, v| *v != 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{FactorizedEngine, FlatEngine, LmfaoEngine};
+    use crate::batch::{AggBatch, Aggregate};
+    use std::collections::HashMap;
+
+    fn dish_query() -> (Database, AggQuery) {
+        let db = fdb_datasets::dish::dish_database();
+        let mut batch = AggBatch::new();
+        batch.push(Aggregate::count());
+        batch.push(Aggregate::sum("price").by(&["customer"]));
+        batch.push(Aggregate::sum("price").by(&["day", "customer"]));
+        (db, AggQuery::new(&["Orders", "Dish", "Items"], batch))
+    }
+
+    fn assert_same(a: &BatchResult, b: &BatchResult, tag: &str) {
+        assert_eq!(a.groups, b.groups, "{tag}: groups");
+        for i in 0..a.values.len() {
+            assert_eq!(a.grouped(i).len(), b.grouped(i).len(), "{tag}: agg {i} key count");
+            for (k, v) in a.grouped(i) {
+                let g = b.grouped(i).get(k).copied().unwrap_or(f64::NAN);
+                assert!((v - g).abs() <= 1e-9 * (1.0 + v.abs()), "{tag}: agg {i} key {k:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_for_every_backend() {
+        let (db, q) = dish_query();
+        for shards in [1usize, 2, 3, 7, 64] {
+            let flat = ShardedEngine::with_shards(FlatEngine, shards);
+            assert_same(
+                &FlatEngine.run(&db, &q).unwrap(),
+                &flat.run(&db, &q).unwrap(),
+                &format!("flat x{shards}"),
+            );
+            let fac = ShardedEngine::with_shards(FactorizedEngine::new(), shards);
+            assert_same(
+                &FactorizedEngine::new().run(&db, &q).unwrap(),
+                &fac.run(&db, &q).unwrap(),
+                &format!("factorized x{shards}"),
+            );
+            let lm = ShardedEngine::with_shards(LmfaoEngine::new(), shards);
+            assert_same(
+                &LmfaoEngine::new().run(&db, &q).unwrap(),
+                &lm.run(&db, &q).unwrap(),
+                &format!("lmfao x{shards}"),
+            );
+        }
+    }
+
+    #[test]
+    fn picks_the_largest_relation_as_fact() {
+        let (db, q) = dish_query();
+        let e = ShardedEngine::with_shards(FlatEngine, 2);
+        // Orders: 4 rows, Dish: 6, Items: 4 — Dish is the fact here.
+        assert_eq!(e.fact_for(&db, &q).unwrap(), "Dish");
+        let pinned = ShardedEngine::with_shards(FlatEngine, 2).with_fact("Orders");
+        assert_eq!(pinned.fact_for(&db, &q).unwrap(), "Orders");
+    }
+
+    #[test]
+    fn shard_partition_is_memoized_until_mutation() {
+        let (mut db, q) = dish_query();
+        let e = ShardedEngine::with_shards(FlatEngine, 3);
+        let a = e.shard_databases(&db, "Dish", 3).unwrap();
+        let b = e.shard_databases(&db, "Dish", 3).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "unchanged content reuses the partition");
+        // The reused chunks keep their content ids — what lets sorted-view
+        // caches warm up across runs instead of churning.
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.get("Dish").unwrap().data_id(), y.get("Dish").unwrap().data_id());
+        }
+        // A different fan-out rebuilds.
+        let c = e.shard_databases(&db, "Dish", 2).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        // Mutating any relation (even a dimension) invalidates.
+        let before = e.run(&db, &q).unwrap();
+        let row = db.get("Items").unwrap().row_vec(0);
+        db.get_mut("Items").unwrap().push_row(&row).unwrap();
+        let d = e.shard_databases(&db, "Dish", 2).unwrap();
+        assert!(!Arc::ptr_eq(&c, &d), "mutation rebuilds the partition");
+        // The post-mutation run reflects the new data, not the stale cache:
+        // duplicating an Items row adds join tuples.
+        let after = e.run(&db, &q).unwrap();
+        assert!(after.scalar(0) > before.scalar(0), "stale partition not served");
+    }
+
+    #[test]
+    fn off_join_fact_is_rejected_not_overcounted() {
+        let (db, q) = dish_query();
+        let e = ShardedEngine::with_shards(FlatEngine, 2).with_fact("NotThere");
+        assert!(e.run(&db, &q).is_err());
+    }
+
+    #[test]
+    fn merge_sums_and_redrops_cross_shard_zeros() {
+        let key = |v: i64| -> Box<[i64]> { vec![v].into() };
+        let mk = |entries: &[(i64, f64)]| BatchResult {
+            groups: vec![vec!["g".into()]],
+            values: vec![entries.iter().map(|&(k, v)| (key(k), v)).collect::<HashMap<_, _>>()],
+        };
+        let mut acc = mk(&[(1, 2.5), (2, -4.0)]);
+        merge_into(&mut acc, mk(&[(2, 4.0), (3, 1.0)])).unwrap();
+        drop_exact_zeros(&mut acc);
+        assert_eq!(acc.grouped(0).len(), 2, "key 2 cancelled to exactly 0.0 and was dropped");
+        assert_eq!(acc.grouped(0)[&key(1)], 2.5);
+        assert_eq!(acc.grouped(0)[&key(3)], 1.0);
+        // Mismatched group attributes refuse to merge.
+        let mut acc = mk(&[(1, 1.0)]);
+        let other = BatchResult { groups: vec![vec!["h".into()]], values: vec![HashMap::new()] };
+        assert!(merge_into(&mut acc, other).is_err());
+    }
+}

@@ -1,20 +1,32 @@
 //! Databases: named relations plus the dictionaries of their categorical
 //! attributes, in a stable insertion order.
+//!
+//! Relations are held as `Arc<Relation>` so databases can share unmutated
+//! tables structurally: [`Database::shard`] partitions one fact relation
+//! into per-shard databases whose dimension tables are the *same* `Arc`s —
+//! same memory, same [`Relation::data_id`] — which is what lets the
+//! cross-query [`SortCache`](crate::sortcache::SortCache) serve one sorted
+//! dimension view to every shard. Mutation through [`Database::get_mut`]
+//! is copy-on-write (`Arc::make_mut`), so sharing is never observable.
 
 use crate::dict::Dictionary;
 use crate::error::DataError;
 use crate::relation::Relation;
 use crate::Result;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A catalog of named relations.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     names: Vec<String>,
-    relations: HashMap<String, Relation>,
+    relations: HashMap<String, Arc<Relation>>,
     /// Dictionaries for categorical attributes, keyed by attribute name
     /// (attribute names are global in our star/snowflake schemas).
-    dicts: HashMap<String, Dictionary>,
+    /// `Arc`-held for the same reason as relations: shard databases bump
+    /// a refcount per dictionary instead of copying string tables, and
+    /// [`Database::dict_mut`] is copy-on-write.
+    dicts: HashMap<String, Arc<Dictionary>>,
 }
 
 impl Database {
@@ -25,6 +37,13 @@ impl Database {
 
     /// Adds (or replaces) a relation under `name`.
     pub fn add(&mut self, name: impl Into<String>, rel: Relation) {
+        self.add_shared(name, Arc::new(rel));
+    }
+
+    /// Adds (or replaces) a relation under `name`, sharing an existing
+    /// `Arc` instead of taking ownership — the sharding primitive: shard
+    /// databases alias their dimension tables this way.
+    pub fn add_shared(&mut self, name: impl Into<String>, rel: Arc<Relation>) {
         let name = name.into();
         if !self.relations.contains_key(&name) {
             self.names.push(name.clone());
@@ -34,12 +53,28 @@ impl Database {
 
     /// Looks up a relation.
     pub fn get(&self, name: &str) -> Result<&Relation> {
-        self.relations.get(name).ok_or_else(|| DataError::UnknownRelation(name.to_string()))
+        self.relations
+            .get(name)
+            .map(|r| r.as_ref())
+            .ok_or_else(|| DataError::UnknownRelation(name.to_string()))
     }
 
-    /// Looks up a relation mutably.
+    /// Looks up a relation as a shared handle (no copy).
+    pub fn get_shared(&self, name: &str) -> Result<Arc<Relation>> {
+        self.relations
+            .get(name)
+            .map(Arc::clone)
+            .ok_or_else(|| DataError::UnknownRelation(name.to_string()))
+    }
+
+    /// Looks up a relation mutably. Copy-on-write: if the relation is
+    /// shared with another database (e.g. across shards), the shared copy
+    /// is detached first, so mutation never leaks into siblings.
     pub fn get_mut(&mut self, name: &str) -> Result<&mut Relation> {
-        self.relations.get_mut(name).ok_or_else(|| DataError::UnknownRelation(name.to_string()))
+        self.relations
+            .get_mut(name)
+            .map(Arc::make_mut)
+            .ok_or_else(|| DataError::UnknownRelation(name.to_string()))
     }
 
     /// Relation names in insertion order.
@@ -59,27 +94,65 @@ impl Database {
 
     /// Iterates over `(name, relation)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> {
-        self.names.iter().map(move |n| (n.as_str(), &self.relations[n]))
+        self.names.iter().map(move |n| (n.as_str(), self.relations[n].as_ref()))
     }
 
     /// Total number of tuples across all relations.
     pub fn total_rows(&self) -> usize {
-        self.relations.values().map(Relation::len).sum()
+        self.relations.values().map(|r| r.len()).sum()
     }
 
     /// Total approximate byte size across all relations.
     pub fn total_bytes(&self) -> usize {
-        self.relations.values().map(Relation::byte_size).sum()
+        self.relations.values().map(|r| r.byte_size()).sum()
     }
 
-    /// The dictionary for categorical attribute `attr`, creating it if absent.
+    /// The dictionary for categorical attribute `attr`, creating it if
+    /// absent. Copy-on-write when the dictionary is shared across shards.
     pub fn dict_mut(&mut self, attr: &str) -> &mut Dictionary {
-        self.dicts.entry(attr.to_string()).or_default()
+        Arc::make_mut(self.dicts.entry(attr.to_string()).or_default())
     }
 
     /// The dictionary for categorical attribute `attr`, if any.
     pub fn dict(&self, attr: &str) -> Option<&Dictionary> {
-        self.dicts.get(attr)
+        self.dicts.get(attr).map(|d| d.as_ref())
+    }
+
+    /// Partitions the fact relation `fact` into `n` contiguous row chunks
+    /// and returns one database per chunk. Every other relation (and the
+    /// dictionaries) is **shared, not copied**: the shard databases hold
+    /// the same `Arc<Relation>`s, so dimension tables keep their
+    /// [`Relation::data_id`] and a sort cache warmed by one shard serves
+    /// all of them. Each fact chunk is fresh content with a fresh id.
+    ///
+    /// Chunks differ in size by at most one row; when `n` exceeds the fact
+    /// cardinality the trailing shards hold an empty fact relation (a join
+    /// over an empty relation is empty, which every engine handles).
+    ///
+    /// Because every aggregate the engines evaluate is a sum over the
+    /// join and the join is linear in each input relation, the results of
+    /// the shards merge additively — see `fdb-core::shard`.
+    pub fn shard(&self, fact: &str, n: usize) -> Result<Vec<Database>> {
+        if n == 0 {
+            return Err(DataError::Invalid("shard count must be >= 1".into()));
+        }
+        let fact_rel = self.get_shared(fact)?;
+        let rows = fact_rel.len();
+        let mut shards = Vec::with_capacity(n);
+        for k in 0..n {
+            // Balanced contiguous ranges: the first `rows % n` chunks get
+            // one extra row.
+            let lo = (rows * k) / n;
+            let hi = (rows * (k + 1)) / n;
+            let mut db = Database {
+                names: self.names.clone(),
+                relations: self.relations.clone(),
+                dicts: self.dicts.clone(),
+            };
+            db.relations.insert(fact.to_string(), Arc::new(fact_rel.row_range(lo..hi)));
+            shards.push(db);
+        }
+        Ok(shards)
     }
 }
 
@@ -89,14 +162,18 @@ mod tests {
     use crate::schema::{AttrType, Schema};
     use crate::value::Value;
 
+    fn int_rel(vals: &[i64]) -> Relation {
+        Relation::from_rows(
+            Schema::of(&[("a", AttrType::Int)]),
+            vals.iter().map(|&v| vec![Value::Int(v)]),
+        )
+        .unwrap()
+    }
+
     #[test]
     fn add_get_and_order() {
         let mut db = Database::new();
-        let r = Relation::from_rows(
-            Schema::of(&[("a", AttrType::Int)]),
-            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
-        )
-        .unwrap();
+        let r = int_rel(&[1, 2]);
         db.add("R", r.clone());
         db.add("S", r.clone());
         assert_eq!(db.names(), &["R".to_string(), "S".to_string()]);
@@ -116,5 +193,54 @@ mod tests {
         assert_eq!(c, 0);
         assert_eq!(db.dict("city").unwrap().decode(0), Some("zurich"));
         assert!(db.dict("country").is_none());
+    }
+
+    #[test]
+    fn get_mut_is_copy_on_write_across_clones() {
+        let mut db = Database::new();
+        db.add("R", int_rel(&[1, 2]));
+        let alias = db.clone();
+        db.get_mut("R").unwrap().push_row(&[Value::Int(3)]).unwrap();
+        assert_eq!(db.get("R").unwrap().len(), 3);
+        assert_eq!(alias.get("R").unwrap().len(), 2, "alias untouched");
+    }
+
+    #[test]
+    fn shard_partitions_fact_and_shares_dimensions() {
+        let mut db = Database::new();
+        db.add("Fact", int_rel(&[0, 1, 2, 3, 4, 5, 6]));
+        db.add("Dim", int_rel(&[10, 20]));
+        db.dict_mut("city").encode("zurich");
+        let shards = db.shard("Fact", 3).unwrap();
+        assert_eq!(shards.len(), 3);
+        // Row-exact partition: sizes 2/3 differing by at most one, contents
+        // concatenating back to the original.
+        let mut all = Vec::new();
+        for s in &shards {
+            let f = s.get("Fact").unwrap();
+            assert!(f.len() == 2 || f.len() == 3);
+            all.extend_from_slice(f.int_col(0));
+            // Dimension tables are the same allocation and content state.
+            assert_eq!(s.get("Dim").unwrap().data_id(), db.get("Dim").unwrap().data_id());
+            assert!(Arc::ptr_eq(&s.get_shared("Dim").unwrap(), &db.get_shared("Dim").unwrap()));
+            // Fact chunks are fresh content.
+            assert_ne!(f.data_id(), db.get("Fact").unwrap().data_id());
+            // Dictionaries and name order travel with the shard.
+            assert_eq!(s.dict("city").unwrap().decode(0), Some("zurich"));
+            assert_eq!(s.names(), db.names());
+        }
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn shard_more_ways_than_rows_gives_empty_tails() {
+        let mut db = Database::new();
+        db.add("Fact", int_rel(&[7, 8]));
+        let shards = db.shard("Fact", 5).unwrap();
+        let sizes: Vec<usize> = shards.iter().map(|s| s.get("Fact").unwrap().len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 2);
+        assert!(sizes.iter().all(|&s| s <= 1));
+        assert!(db.shard("Fact", 0).is_err());
+        assert!(db.shard("Nope", 2).is_err());
     }
 }

@@ -133,13 +133,18 @@ mod tests {
 
     #[test]
     fn errors_carry_line_numbers() {
+        // Malformed input surfaces as a typed `DataError::Csv` carrying the
+        // offending line — asserted structurally, no panic-based matching.
         let err = read_csv(schema(), b"1,2.0\nx,3.0\n").unwrap_err();
-        match err {
-            DataError::Csv { line, .. } => assert_eq!(line, 2),
-            other => panic!("unexpected error {other:?}"),
-        }
-        assert!(read_csv(schema(), b"1\n").is_err());
-        assert!(read_csv(schema(), b"1,2.0,3\n").is_err());
+        assert!(
+            matches!(err, DataError::Csv { line: 2, .. }),
+            "expected Csv error at line 2, got {err:?}"
+        );
+        assert!(matches!(read_csv(schema(), b"1\n").unwrap_err(), DataError::Csv { line: 1, .. }));
+        assert!(matches!(
+            read_csv(schema(), b"1,2.0,3\n").unwrap_err(),
+            DataError::Csv { line: 1, .. }
+        ));
     }
 
     #[test]

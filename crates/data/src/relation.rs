@@ -92,6 +92,13 @@ impl Column {
         }
     }
 
+    fn slice(&self, range: std::ops::Range<usize>) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(v[range].to_vec()),
+            Column::F64(v) => Column::F64(v[range].to_vec()),
+        }
+    }
+
     /// `(min, max)` of an integer column; `None` if empty or float-backed.
     pub fn int_min_max(&self) -> Option<(i64, i64)> {
         match self {
@@ -245,27 +252,49 @@ impl Relation {
         &self.cols[idx]
     }
 
-    /// The integer slice backing attribute `idx`. Panics if `idx` is a
-    /// `Double` attribute — engines must consult the schema first.
+    /// The integer slice backing attribute `idx`, or a
+    /// [`DataError::TypeMismatch`] if the attribute is `Double`-backed.
+    /// Engine-facing code routes through this so a type-confused query
+    /// surfaces as `Err`, never as a worker-thread abort.
     #[inline]
-    pub fn int_col(&self, idx: usize) -> &[i64] {
+    pub fn try_int_col(&self, idx: usize) -> Result<&[i64]> {
         match &self.cols[idx] {
-            Column::Int(v) => v,
-            Column::F64(_) => {
-                panic!("attribute `{}` is Double, not Int-backed", self.schema.attr(idx).name)
-            }
+            Column::Int(v) => Ok(v),
+            Column::F64(_) => Err(DataError::TypeMismatch {
+                attribute: self.schema.attr(idx).name.clone(),
+                expected: "Int",
+                got: "Double column".to_string(),
+            }),
         }
     }
 
-    /// The float slice backing attribute `idx`. Panics if `idx` is int-backed.
+    /// The float slice backing attribute `idx`, or a
+    /// [`DataError::TypeMismatch`] if the attribute is int-backed.
+    #[inline]
+    pub fn try_f64_col(&self, idx: usize) -> Result<&[f64]> {
+        match &self.cols[idx] {
+            Column::F64(v) => Ok(v),
+            Column::Int(_) => Err(DataError::TypeMismatch {
+                attribute: self.schema.attr(idx).name.clone(),
+                expected: "Double",
+                got: "Int column".to_string(),
+            }),
+        }
+    }
+
+    /// The integer slice backing attribute `idx`. Panics if `idx` is a
+    /// `Double` attribute — callers that cannot guarantee the backing type
+    /// statically use [`Relation::try_int_col`] instead.
+    #[inline]
+    pub fn int_col(&self, idx: usize) -> &[i64] {
+        self.try_int_col(idx).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The float slice backing attribute `idx`. Panics if `idx` is
+    /// int-backed — fallible callers use [`Relation::try_f64_col`].
     #[inline]
     pub fn f64_col(&self, idx: usize) -> &[f64] {
-        match &self.cols[idx] {
-            Column::F64(v) => v,
-            Column::Int(_) => {
-                panic!("attribute `{}` is Int-backed, not Double", self.schema.attr(idx).name)
-            }
-        }
+        self.try_f64_col(idx).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The attribute value at (`row`, `col`).
@@ -305,6 +334,21 @@ impl Relation {
             schema: self.schema.clone(),
             cols: self.cols.iter().map(|c| c.gather(perm)).collect(),
             nrows: perm.len(),
+            data_id: next_data_id(),
+        }
+    }
+
+    /// The contiguous sub-relation holding rows `range` (same schema).
+    /// This is the fact-partitioning primitive behind
+    /// [`Database::shard`](crate::catalog::Database::shard): columns are
+    /// copied as straight slices, so a shard costs one memcpy per column.
+    /// The result is new content (fresh [`Relation::data_id`]).
+    pub fn row_range(&self, range: std::ops::Range<usize>) -> Relation {
+        debug_assert!(range.end <= self.nrows);
+        Relation {
+            schema: self.schema.clone(),
+            cols: self.cols.iter().map(|c| c.slice(range.clone())).collect(),
+            nrows: range.len(),
             data_id: next_data_id(),
         }
     }
@@ -653,5 +697,38 @@ mod tests {
     fn int_col_panics_on_double() {
         let r = sample();
         let _ = r.int_col(1);
+    }
+
+    #[test]
+    fn try_cols_report_type_mismatch_as_errors() {
+        let r = sample();
+        assert_eq!(r.try_int_col(0).unwrap(), &[2, 1, 2, 1]);
+        assert_eq!(r.try_f64_col(1).unwrap(), &[1.0, 2.0, 3.0, 4.0]);
+        assert!(matches!(
+            r.try_int_col(1),
+            Err(DataError::TypeMismatch { ref attribute, expected: "Int", .. }) if attribute == "x"
+        ));
+        assert!(matches!(
+            r.try_f64_col(0),
+            Err(DataError::TypeMismatch { ref attribute, expected: "Double", .. })
+                if attribute == "k"
+        ));
+    }
+
+    #[test]
+    fn row_range_slices_contiguously() {
+        let r = sample();
+        let mid = r.row_range(1..3);
+        assert_eq!(mid.len(), 2);
+        assert_eq!(mid.int_col(0), &[1, 2]);
+        assert_eq!(mid.f64_col(1), &[2.0, 3.0]);
+        assert_eq!(mid.schema(), r.schema());
+        assert_ne!(mid.data_id(), r.data_id(), "a shard is new content");
+        let empty = r.row_range(4..4);
+        assert!(empty.is_empty());
+        // Concatenating the shards reconstructs the relation, content-wise.
+        let mut whole = r.row_range(0..1);
+        whole.append(&r.row_range(1..4)).unwrap();
+        assert_eq!(whole, r);
     }
 }

@@ -97,6 +97,12 @@ impl SortCache {
         let key = (id, attrs.to_vec());
         if !inner.entries.contains_key(&key) {
             let new_bytes = sorted.byte_size();
+            // A view that alone exceeds the whole budget is served but not
+            // admitted: caching it would evict every warm entry and still
+            // leave the cache over budget.
+            if new_bytes > self.byte_budget {
+                return sorted;
+            }
             while !inner.order.is_empty()
                 && (inner.entries.len() >= self.capacity
                     || inner.bytes + new_bytes > self.byte_budget)
@@ -212,6 +218,24 @@ mod tests {
         cache.sorted_by(&views[0], &[0]);
         assert_eq!(cache.stats_for(&views[0]), (0, 2), "first view was re-sorted");
         assert_eq!(cache.stats_for(&views[2]), (0, 1));
+    }
+
+    #[test]
+    fn over_budget_view_is_served_but_not_admitted() {
+        // Budget 64 bytes; a 5-row view costs 80. It must neither evict
+        // the warm entries nor be retained itself.
+        let cache = SortCache::with_byte_budget(8, 64);
+        let small = rel(&[(2, 0.0), (1, 0.0)]);
+        cache.sorted_by(&small, &[0]);
+        let big = rel(&[(5, 0.0), (4, 0.0), (3, 0.0), (2, 0.0), (1, 0.0)]);
+        let sorted = cache.sorted_by(&big, &[0]);
+        assert_eq!(sorted.int_col(0), &[1, 2, 3, 4, 5], "still sorted correctly");
+        assert_eq!(cache.len(), 1, "big view not admitted");
+        assert_eq!(cache.stats_for(&small), (0, 1), "warm entry survived");
+        cache.sorted_by(&small, &[0]);
+        assert_eq!(cache.stats_for(&small), (1, 1), "…and still hits");
+        cache.sorted_by(&big, &[0]);
+        assert_eq!(cache.stats_for(&big), (0, 2), "big view re-sorts every time");
     }
 
     #[test]

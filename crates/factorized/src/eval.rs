@@ -117,6 +117,13 @@ impl EvalSpec {
                 .iter()
                 .map(|&v| rel.schema().require(&hg.vars()[v]))
                 .collect::<Result<_, _>>()?;
+            // Key variables must be integer-backed: a `Double` join or
+            // group-by attribute is a type-confused query and surfaces
+            // here as a typed error instead of panicking inside the
+            // leapfrog's column access (`level_cols`).
+            for &c in &cols {
+                rel.try_int_col(c)?;
+            }
             let sorted = match cache {
                 Some(c) => c.sorted_by(rel, &cols),
                 None => Arc::new(rel.sorted_by(&cols)),
@@ -625,6 +632,44 @@ mod tests {
         db.add("S", Relation::new(Schema::of(&[("b", AttrType::Int), ("c", AttrType::Int)])));
         let spec = EvalSpec::new(&db, &["R", "S", "T"], &[]).unwrap();
         assert_eq!(spec.count(), 0);
+    }
+
+    #[test]
+    fn double_join_key_is_a_typed_error_not_a_panic() {
+        // Two relations sharing a `Double` attribute make it a join
+        // variable; preparation must reject it as a DataError (the
+        // leapfrog walks integer key columns only).
+        let mut db = Database::new();
+        db.add(
+            "R",
+            Relation::from_rows(
+                Schema::of(&[("k", AttrType::Double), ("a", AttrType::Int)]),
+                vec![vec![Value::F64(1.0), Value::Int(1)]],
+            )
+            .unwrap(),
+        );
+        db.add(
+            "S",
+            Relation::from_rows(
+                Schema::of(&[("k", AttrType::Double), ("b", AttrType::Int)]),
+                vec![vec![Value::F64(1.0), Value::Int(2)]],
+            )
+            .unwrap(),
+        );
+        let err = match EvalSpec::new(&db, &["R", "S"], &[]) {
+            Ok(_) => panic!("double join key must be rejected"),
+            Err(e) => e,
+        };
+        // The hypergraph rejects it first (`Invalid`); the spec's own
+        // `try_int_col` guard would report `TypeMismatch` if a caller
+        // bypassed that (e.g. `with_order` with a hand-built order).
+        assert!(
+            matches!(
+                &err,
+                DataError::Invalid(m) if m.contains('k'))
+                || matches!(&err, DataError::TypeMismatch { attribute, .. } if attribute == "k"),
+            "expected a typed error naming `k`, got {err:?}"
+        );
     }
 
     #[test]

@@ -273,10 +273,14 @@ mod tests {
         let db = db();
         let mut interp = Interp::new(&db);
         let e = Expr::lam("f", Expr::SetLit(vec!["p".into(), "q".into()]), Expr::Num(7.0));
-        match interp.eval(&e).unwrap() {
-            Val::Dict(d) => assert_eq!(d.len(), 2),
-            other => panic!("expected dict, got {other:?}"),
-        }
+        // Structural assertion instead of a panic-based match arm: a wrong
+        // shape fails the test with the value printed, it never `panic!`s
+        // through an unwind the harness cannot attribute.
+        let v = interp.eval(&e).unwrap();
+        assert!(
+            matches!(v, Val::Dict(ref d) if d.len() == 2),
+            "expected a 2-entry dict, got {v:?}"
+        );
     }
 
     #[test]

@@ -36,9 +36,13 @@ impl DataMatrix {
             categorical.iter().map(|a| rel.schema().require(a)).collect::<Result<_, _>>()?;
         let ycol = rel.schema().require(response)?;
         // Discover the category codes present per categorical attribute.
+        // `try_int_col` rejects a Double attribute passed as categorical
+        // with a typed error instead of panicking mid-extraction.
+        let kslices: Vec<&[i64]> =
+            kcols.iter().map(|&kc| rel.try_int_col(kc)).collect::<Result<_, _>>()?;
         let mut codes: Vec<Vec<i64>> = Vec::with_capacity(kcols.len());
-        for &kc in &kcols {
-            let mut cs: Vec<i64> = rel.int_col(kc).to_vec();
+        for &ks in &kslices {
+            let mut cs: Vec<i64> = ks.to_vec();
             cs.sort_unstable();
             cs.dedup();
             codes.push(cs);
@@ -59,8 +63,8 @@ impl DataMatrix {
                 x[base + i] = rel.value_f64(r, cc);
             }
             let mut off = ccols.len();
-            for (k, &kc) in kcols.iter().enumerate() {
-                let code = rel.int_col(kc)[r];
+            for (k, &ks) in kslices.iter().enumerate() {
+                let code = ks[r];
                 let pos = codes[k].binary_search(&code).expect("code discovered above");
                 x[base + off + pos] = 1.0;
                 off += codes[k].len();
@@ -136,6 +140,17 @@ mod tests {
             ],
         )
         .unwrap()
+    }
+
+    #[test]
+    fn double_attribute_as_categorical_is_a_typed_error() {
+        // `u` is Double: one-hot extraction must refuse with a DataError,
+        // not panic inside the code-discovery scan.
+        let err = DataMatrix::from_relation(&rel(), &[], &["u"], "y").unwrap_err();
+        assert!(
+            matches!(err, DataError::TypeMismatch { ref attribute, .. } if attribute == "u"),
+            "expected type mismatch on `u`, got {err:?}"
+        );
     }
 
     #[test]

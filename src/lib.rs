@@ -27,8 +27,8 @@ pub use fdb_ring as ring;
 /// Commonly used types, one `use` away.
 pub mod prelude {
     pub use fdb_core::{
-        AggBatch, AggQuery, Aggregate, BatchResult, Engine, EngineConfig, FactorizedEngine,
-        FilterOp, FlatEngine, LmfaoEngine,
+        AggBatch, AggQuery, Aggregate, BatchResult, DispatchEngine, Engine, EngineChoice,
+        EngineConfig, FactorizedEngine, FilterOp, FlatEngine, LmfaoEngine, ShardedEngine,
     };
     pub use fdb_data::{AttrType, Attribute, Database, Relation, Schema, Value};
     pub use fdb_ring::{CovRing, Ring, Semiring};

@@ -1,0 +1,30 @@
+//! Shared assertions for the integration-test binaries (not itself a test
+//! target: files under `tests/<dir>/` are only compiled via `mod common;`).
+
+use fdb::prelude::BatchResult;
+
+/// Asserts two batch results carry identical groups, identical
+/// *represented key sets* (which is how the exactly-zero-dropped contract
+/// is held across engines, shard merges, and dense/hash representations),
+/// and values equal within relative tolerance `tol` — the caller's float
+/// round-off allowance for differing summation orders.
+pub fn assert_results_match(
+    base: &BatchResult,
+    got: &BatchResult,
+    tag: &str,
+    naggs: usize,
+    tol: f64,
+) {
+    for i in 0..naggs {
+        assert_eq!(base.groups[i], got.groups[i], "{tag}: agg {i}: group attrs");
+        assert_eq!(
+            base.grouped(i).len(),
+            got.grouped(i).len(),
+            "{tag}: agg {i}: represented key count"
+        );
+        for (k, v) in base.grouped(i) {
+            let g = got.grouped(i).get(k).copied().unwrap_or(f64::NAN);
+            assert!((v - g).abs() <= tol * (1.0 + v.abs()), "{tag}: agg {i} key {k:?}: {v} vs {g}");
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Sharded execution and adaptive dispatch agree with direct execution.
+//!
+//! The contract: wrapping any backend in `ShardedEngine` — any shard
+//! count — changes *where* work happens, never the result. Group
+//! attribute order, categorical code keys, and the exactly-zero-dropped
+//! represented key set must all survive partition + ring-additive merge
+//! (cross-shard cancellation is re-dropped post-merge). Likewise,
+//! `DispatchEngine` only ever picks among agreeing backends, so whatever
+//! it chooses must reproduce every pinned backend's answer.
+
+use fdb::data::{AttrType, Database, Relation, Schema, Value};
+use fdb::lmfao::covariance_batch;
+use fdb::prelude::*;
+use proptest::prelude::*;
+
+mod common;
+
+/// Shard counts exercised everywhere: below, at, and above typical core
+/// counts, including one above most test relations' cardinalities (empty
+/// tail shards).
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 7];
+
+/// Strict agreement: integer-valued test data makes shard merges exact,
+/// so the tight tolerance only absorbs differences in float *summation
+/// order* on real-valued datasets.
+fn assert_results_match(base: &BatchResult, got: &BatchResult, tag: &str, naggs: usize) {
+    common::assert_results_match(base, got, tag, naggs, 1e-9);
+}
+
+/// Runs `q` sharded N ways over every backend and checks each against its
+/// own unsharded run; returns the unsharded flat result as ground truth.
+fn assert_sharded_agrees(db: &Database, q: &AggQuery) -> BatchResult {
+    let naggs = q.batch.len();
+    let seq = EngineConfig::sequential();
+    for &n in &SHARD_COUNTS {
+        let flat = FlatEngine.run(db, q).unwrap();
+        let sharded_flat = ShardedEngine::with_shards(FlatEngine, n).run(db, q).unwrap();
+        assert_results_match(&flat, &sharded_flat, &format!("flat x{n}"), naggs);
+
+        let fac = FactorizedEngine::new().run(db, q).unwrap();
+        let sharded_fac =
+            ShardedEngine::with_shards(FactorizedEngine::new(), n).run(db, q).unwrap();
+        assert_results_match(&fac, &sharded_fac, &format!("factorized x{n}"), naggs);
+
+        let lm = LmfaoEngine::with_config(seq).run(db, q).unwrap();
+        let sharded_lm =
+            ShardedEngine::with_shards(LmfaoEngine::with_config(seq), n).run(db, q).unwrap();
+        assert_results_match(&lm, &sharded_lm, &format!("lmfao x{n}"), naggs);
+
+        // Cross-backend: sharded results also agree with each *other*.
+        assert_results_match(&sharded_flat, &sharded_fac, &format!("flat vs fac x{n}"), naggs);
+        assert_results_match(&sharded_flat, &sharded_lm, &format!("flat vs lmfao x{n}"), naggs);
+    }
+    FlatEngine.run(db, q).unwrap()
+}
+
+/// The dispatcher must agree with every backend it can choose from —
+/// whatever `Auto` picks, and each pinned override.
+fn assert_dispatch_agrees(db: &Database, q: &AggQuery) {
+    let base = FlatEngine.run(db, q).unwrap();
+    let auto = DispatchEngine::new();
+    assert_results_match(&base, &auto.run(db, q).unwrap(), "dispatch auto", q.batch.len());
+    for choice in [EngineChoice::Flat, EngineChoice::Factorized, EngineChoice::Lmfao] {
+        let pinned =
+            DispatchEngine::with_config(EngineConfig { backend: choice, ..Default::default() });
+        assert_eq!(pinned.choose(db, q).unwrap(), choice, "override honoured");
+        assert_results_match(
+            &base,
+            &pinned.run(db, q).unwrap(),
+            &format!("dispatch {choice:?}"),
+            q.batch.len(),
+        );
+    }
+}
+
+#[test]
+fn sharded_backends_agree_on_dish() {
+    let db = fdb::datasets::dish::dish_database();
+    let mut batch = AggBatch::new();
+    batch.push(Aggregate::count());
+    batch.push(Aggregate::sum("price"));
+    batch.push(Aggregate::count().by(&["customer"]));
+    batch.push(Aggregate::sum("price").by(&["day", "customer"]));
+    batch.push(Aggregate::sum("price").filtered("price", FilterOp::Ge(3.0)));
+    let q = AggQuery::new(&["Orders", "Dish", "Items"], batch);
+    let res = assert_sharded_agrees(&db, &q);
+    // Figure 9 ground truth survives sharding: 12 join tuples.
+    assert_eq!(res.scalar(0), 12.0);
+    assert_dispatch_agrees(&db, &q);
+}
+
+#[test]
+fn sharded_backends_agree_on_retailer() {
+    let ds = fdb::datasets::retailer(fdb::datasets::RetailerConfig::tiny());
+    let rels = ds.relation_refs();
+    let cov = covariance_batch(&["prize", "maxtemp", "inventoryunits"], &["rain", "category"]);
+    let q = AggQuery::new(&rels, cov);
+    assert_sharded_agrees(&ds.db, &q);
+    assert_dispatch_agrees(&ds.db, &q);
+}
+
+#[test]
+fn sharding_composes_with_dispatch() {
+    // The two layers are orthogonal: sharding the *dispatching* engine
+    // must agree with the unsharded dispatcher (and so with everything).
+    let ds = fdb::datasets::retailer(fdb::datasets::RetailerConfig::tiny());
+    let rels = ds.relation_refs();
+    let q = AggQuery::new(&rels, covariance_batch(&["prize", "inventoryunits"], &["rain"]));
+    let base = DispatchEngine::new().run(&ds.db, &q).unwrap();
+    for &n in &SHARD_COUNTS {
+        let got = ShardedEngine::with_shards(DispatchEngine::new(), n).run(&ds.db, &q).unwrap();
+        assert_results_match(&base, &got, &format!("sharded dispatch x{n}"), q.batch.len());
+    }
+}
+
+/// A random 3-relation snowflake: F(a, b, c, x) ⋈ D1(a, w, u) ⋈ D2(b, v),
+/// with categorical codes `c` (fact) and `w` (dimension) for group-bys —
+/// the same generator family as `tests/engines_agree.rs`.
+fn snowflake(rows: &[(i64, i64, i8)], d1: &[(i64, i8)], d2: &[(i64, i8)]) -> Database {
+    let mut db = Database::new();
+    let mut f = Relation::new(Schema::of(&[
+        ("a", AttrType::Int),
+        ("b", AttrType::Int),
+        ("c", AttrType::Categorical),
+        ("x", AttrType::Double),
+    ]));
+    for &(a, b, x) in rows {
+        let c = (a + 2 * b) % 3;
+        f.push_row(&[Value::Int(a), Value::Int(b), Value::Int(c), Value::F64(x as f64)]).unwrap();
+    }
+    let mut r1 = Relation::new(Schema::of(&[
+        ("a", AttrType::Int),
+        ("w", AttrType::Categorical),
+        ("u", AttrType::Double),
+    ]));
+    for &(a, u) in d1 {
+        r1.push_row(&[Value::Int(a), Value::Int(a % 2), Value::F64(u as f64)]).unwrap();
+    }
+    let mut r2 = Relation::new(Schema::of(&[("b", AttrType::Int), ("v", AttrType::Double)]));
+    for &(b, v) in d2 {
+        r2.push_row(&[Value::Int(b), Value::F64(v as f64)]).unwrap();
+    }
+    db.add("F", f);
+    db.add("D1", r1);
+    db.add("D2", r2);
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomized agreement: sharded(N ∈ {1,2,3,7}) × every engine ≡
+    /// unsharded, on snowflakes whose integer-valued measures make
+    /// cancellation to *exactly* 0.0 common — so the post-merge zero
+    /// re-drop (not just per-shard dropping) is what keeps the
+    /// represented key sets identical.
+    #[test]
+    fn sharded_engines_agree_on_random_snowflakes(
+        rows in proptest::collection::vec((0i64..4, 0i64..4, -5i8..5), 0..25),
+        d1 in proptest::collection::vec((0i64..4, -5i8..5), 0..8),
+        d2 in proptest::collection::vec((0i64..4, -5i8..5), 0..8),
+        threshold in -4i8..4,
+    ) {
+        let db = snowflake(&rows, &d1, &d2);
+        let rels = ["F", "D1", "D2"];
+
+        // Scalar covariance batch (wide: exercises the lmfao-ish shapes).
+        let cov = AggQuery::new(&rels, covariance_batch(&["x", "u", "v"], &[]));
+        assert_sharded_agrees(&db, &cov);
+
+        // Grouped over the categorical codes: dense GroupIndex paths and
+        // `SUM(x)` values that cancel to exactly 0.0 on random groups.
+        let grouped = AggQuery::new(&rels, covariance_batch(&["x", "u"], &["c", "w"]));
+        assert_sharded_agrees(&db, &grouped);
+        assert_dispatch_agrees(&db, &grouped);
+
+        // A filtered narrow batch (dispatch heuristic's factorized lane).
+        let mut filtered = AggBatch::new();
+        filtered.push(Aggregate::sum("x").filtered("u", FilterOp::Ge(threshold as f64)));
+        filtered.push(Aggregate::count().by(&["w"]).filtered("x", FilterOp::Lt(threshold as f64)));
+        let fq = AggQuery::new(&rels, filtered);
+        assert_sharded_agrees(&db, &fq);
+        assert_dispatch_agrees(&db, &fq);
+    }
+}
+
+/// Pinning the shard to a dimension relation is legal (any single
+/// relation partitions the join) and must agree too.
+#[test]
+fn sharding_a_dimension_relation_also_agrees() {
+    let db = fdb::datasets::dish::dish_database();
+    let mut batch = AggBatch::new();
+    batch.push(Aggregate::count());
+    batch.push(Aggregate::sum("price").by(&["customer"]));
+    let q = AggQuery::new(&["Orders", "Dish", "Items"], batch);
+    let base = FlatEngine.run(&db, &q).unwrap();
+    for fact in ["Orders", "Dish", "Items"] {
+        for &n in &SHARD_COUNTS {
+            let e =
+                ShardedEngine::with_shards(LmfaoEngine::with_config(EngineConfig::sequential()), n)
+                    .with_fact(fact);
+            let got = e.run(&db, &q).unwrap();
+            assert_results_match(&base, &got, &format!("fact {fact} x{n}"), q.batch.len());
+        }
+    }
+}

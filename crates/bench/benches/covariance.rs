@@ -17,10 +17,16 @@ fn bench_covariance(c: &mut Criterion) {
     let q = AggQuery::new(&rels, batch.clone());
     let mut g = c.benchmark_group("covariance_batch");
     g.sample_size(10);
+    // The view cache is bypassed: repeated iterations of one identical
+    // query would otherwise measure cached result extraction, not the
+    // engine execution this bench compares.
     for (name, cfg) in [
-        ("lmfao_shared", EngineConfig { threads: 1, ..Default::default() }),
-        ("lmfao_unshared", EngineConfig { share: false, threads: 1, ..Default::default() }),
-        ("lmfao_parallel4", EngineConfig { threads: 4, ..Default::default() }),
+        ("lmfao_shared", EngineConfig { threads: 1, view_cache_bytes: 0, ..Default::default() }),
+        (
+            "lmfao_unshared",
+            EngineConfig { share: false, threads: 1, view_cache_bytes: 0, ..Default::default() },
+        ),
+        ("lmfao_parallel4", EngineConfig { threads: 4, view_cache_bytes: 0, ..Default::default() }),
     ] {
         let engine = LmfaoEngine::with_config(cfg);
         g.bench_function(name, |b| b.iter(|| black_box(engine.run(&ds.db, &q).expect("batch"))));

@@ -53,6 +53,7 @@ fn main() {
 
     let rows = perf::run_all_with_shards(scale, iters, arms, shards);
     let cart = (arms == Arms::Both).then(|| perf::cart_sort_accounting(scale));
+    let views = (arms == Arms::Both).then(|| perf::cart_view_reuse(scale));
 
     fdb_bench::print_table(
         &["bench", "engine", "config", "wall", "groups"],
@@ -78,8 +79,21 @@ fn main() {
             c.relations, c.first_fit_sorts, c.second_fit_sorts, c.leaves
         );
     }
+    if let Some(v) = &views {
+        println!(
+            "cart-retailer: {} batches, {}/{} views rescanned cold ({} reused, ratio {:.2}), \
+             {} rescanned warm; cached-vs-cold {:.2}x",
+            v.batches_run,
+            v.views_rescanned,
+            v.view_lookups,
+            v.views_reused,
+            v.reuse_ratio(),
+            v.warm_views_rescanned,
+            v.warm_speedup()
+        );
+    }
 
-    let json = perf::to_json(&rows, cart.as_ref());
+    let json = perf::to_json(&rows, cart.as_ref(), views.as_ref());
     std::fs::write(&out, json).expect("write BENCH_engines.json");
     println!("wrote {out}");
 }

@@ -6,7 +6,11 @@
 use fdb_core::{covariance_batch, AggQuery, Engine, EngineConfig, LmfaoEngine};
 use fdb_datasets::Dataset;
 
-/// Cumulative configurations, in the figure's order.
+/// Cumulative configurations, in the figure's order. Every stage
+/// bypasses the cross-batch view cache (`view_cache_bytes: 0`): the
+/// `+sharing` and `+parallelisation` stages run the *same* plan, so with
+/// the cache on the last stage would partly measure served views instead
+/// of the parallel scan the figure is about.
 pub fn stages(threads: usize) -> [(&'static str, EngineConfig); 4] {
     [
         // The baseline also runs without dense group indexing: code-indexed
@@ -18,20 +22,39 @@ pub fn stages(threads: usize) -> [(&'static str, EngineConfig); 4] {
                 share: false,
                 threads: 1,
                 dense_limit: 0,
+                view_cache_bytes: 0,
                 ..Default::default()
             },
         ),
         (
             "+specialisation",
-            EngineConfig { specialize: true, share: false, threads: 1, ..Default::default() },
+            EngineConfig {
+                specialize: true,
+                share: false,
+                threads: 1,
+                view_cache_bytes: 0,
+                ..Default::default()
+            },
         ),
         (
             "+sharing",
-            EngineConfig { specialize: true, share: true, threads: 1, ..Default::default() },
+            EngineConfig {
+                specialize: true,
+                share: true,
+                threads: 1,
+                view_cache_bytes: 0,
+                ..Default::default()
+            },
         ),
         (
             "+parallelisation",
-            EngineConfig { specialize: true, share: true, threads, ..Default::default() },
+            EngineConfig {
+                specialize: true,
+                share: true,
+                threads,
+                view_cache_bytes: 0,
+                ..Default::default()
+            },
         ),
     ]
 }

@@ -12,8 +12,48 @@ use crate::group::GroupIndex;
 use crate::ir::BatchResult;
 use crate::parallel::{self, EngineConfig};
 use crate::plan::{Plan, ViewData};
+use crate::viewcache::ViewCache;
 use fdb_data::{DataError, Database};
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The view-cache context of one `run_batch` call: the cache, the plan's
+/// per-node subtree signatures, the per-node relation content ids (stats
+/// attribution), and the caller's byte budget.
+pub(crate) struct CacheCtx<'a> {
+    cache: &'a ViewCache,
+    sigs: Vec<String>,
+    head_ids: Vec<u64>,
+    budget: usize,
+}
+
+impl<'a> CacheCtx<'a> {
+    fn new(cache: &'a ViewCache, plan: &Plan<'_>, cfg: &EngineConfig) -> Self {
+        Self {
+            cache,
+            sigs: plan.subtree_signatures(cfg.dense_limit),
+            head_ids: plan.rels.iter().map(|r| r.data_id()).collect(),
+            budget: cfg.view_cache_bytes,
+        }
+    }
+
+    /// The cached views of `node`'s subtree, if its signature is warm.
+    fn serve(&self, node: usize) -> Option<Arc<Vec<ViewData>>> {
+        self.cache.get(&self.sigs[node], self.head_ids[node])
+    }
+
+    /// Offers freshly computed views of `node` to the cache.
+    pub(crate) fn admit(&self, node: usize, views: &Arc<Vec<ViewData>>) {
+        self.cache.insert(&self.sigs[node], self.head_ids[node], Arc::clone(views), self.budget);
+    }
+
+    /// Root views depend on the row-chunking of the scan (merge order can
+    /// change float rounding), so the root's key carries the chunk count
+    /// on top of the subtree signature.
+    fn root_key(&self, root: usize, chunks: usize) -> String {
+        format!("{}#chunks{chunks}", self.sigs[root])
+    }
+}
 
 /// Typed column accessor — the "specialisation" fast path.
 pub(crate) enum Col<'a> {
@@ -69,7 +109,7 @@ pub(crate) fn filter_pass(op: &FilterOp, x_f: f64, x_i: i64) -> bool {
 pub(crate) fn compute_node(
     plan: &Plan<'_>,
     node: usize,
-    child_data: &[Option<Vec<ViewData>>],
+    child_data: &[Option<Arc<Vec<ViewData>>>],
     cfg: &EngineConfig,
     rows: std::ops::Range<usize>,
 ) -> Vec<ViewData> {
@@ -278,16 +318,21 @@ pub(crate) fn compute_node(
     out
 }
 
-/// Computes all nodes of `order` sequentially (bottom-up).
+/// Computes all nodes of `order` sequentially (bottom-up), offering each
+/// computed node to the view cache.
 pub(crate) fn compute_subtree(
     plan: &Plan<'_>,
     order: &[usize],
-    data: &mut [Option<Vec<ViewData>>],
+    data: &mut [Option<Arc<Vec<ViewData>>>],
     cfg: &EngineConfig,
+    ctx: Option<&CacheCtx<'_>>,
 ) {
     for &n in order {
-        let out = compute_node(plan, n, data, cfg, 0..plan.rels[n].len());
-        data[n] = Some(out);
+        let views = Arc::new(compute_node(plan, n, data, cfg, 0..plan.rels[n].len()));
+        if let Some(ctx) = ctx {
+            ctx.admit(n, &views);
+        }
+        data[n] = Some(views);
     }
 }
 
@@ -312,23 +357,66 @@ pub(crate) fn run_batch(
     }
     plan.finalize(cfg.dense_limit);
     let plan = plan; // freeze
-    let mut data: Vec<Option<Vec<ViewData>>> = plan.rels.iter().map(|_| None).collect();
+    let ctx = (cfg.view_cache_bytes > 0).then(|| CacheCtx::new(ViewCache::global(), &plan, cfg));
+    let mut data: Vec<Option<Arc<Vec<ViewData>>>> = plan.rels.iter().map(|_| None).collect();
 
-    // Non-root nodes bottom-up; root children subtrees are independent and
+    // Serve warm subtrees top-down: a node whose subtree signature hits
+    // needs nothing below it (its views already fold the whole subtree
+    // in), so the walk only descends into missed nodes. What's left to
+    // compute is exactly the nodes on the path from some changed relation
+    // or filter to the root — the residual of the batch against the cache.
+    let mut need = vec![false; plan.rels.len()];
+    for &c in &plan.nodes[root].children {
+        need[c] = true;
+    }
+    for &n in plan.order.iter().rev() {
+        if n == root || !need[n] {
+            continue;
+        }
+        if let Some(hit) = ctx.as_ref().and_then(|ctx| ctx.serve(n)) {
+            data[n] = Some(hit);
+            continue;
+        }
+        for &c in &plan.nodes[n].children {
+            need[c] = true;
+        }
+    }
+    let to_compute: Vec<usize> =
+        plan.order.iter().copied().filter(|&n| n != root && need[n] && data[n].is_none()).collect();
+
+    // Missed nodes bottom-up; root children subtrees are independent and
     // can run task-parallel.
-    let non_root: Vec<usize> = plan.order.iter().copied().filter(|&n| n != root).collect();
     if cfg.threads > 1 && plan.nodes[root].children.len() > 1 {
-        parallel::compute_subtrees_parallel(&plan, &non_root, &mut data, cfg);
+        parallel::compute_subtrees_parallel(&plan, &to_compute, &mut data, cfg, ctx.as_ref());
     } else {
-        compute_subtree(&plan, &non_root, &mut data, cfg);
+        compute_subtree(&plan, &to_compute, &mut data, cfg, ctx.as_ref());
     }
 
-    // Root: domain parallelism over row chunks.
+    // Root: domain parallelism over row chunks. The root's cache key
+    // carries the chunk count, since chunk-merge order affects float
+    // rounding.
     let root_rows = plan.rels[root].len();
-    let root_data = if cfg.threads > 1 && root_rows > 4096 {
-        parallel::compute_root_chunked(&plan, &data, cfg, root_rows)
-    } else {
-        compute_node(&plan, root, &data, cfg, 0..root_rows)
+    let chunked = cfg.threads > 1 && root_rows > 4096;
+    let chunks = if chunked { cfg.threads.min(root_rows).max(1) } else { 1 };
+    let root_key = ctx.as_ref().map(|ctx| ctx.root_key(root, chunks));
+    let cached_root = match (&ctx, &root_key) {
+        (Some(ctx), Some(key)) => ctx.cache.get(key, ctx.head_ids[root]),
+        _ => None,
+    };
+    let root_data: Arc<Vec<ViewData>> = match cached_root {
+        Some(hit) => hit,
+        None => {
+            let computed = if chunked {
+                parallel::compute_root_chunked(&plan, &data, cfg, root_rows)
+            } else {
+                compute_node(&plan, root, &data, cfg, 0..root_rows)
+            };
+            let computed = Arc::new(computed);
+            if let (Some(ctx), Some(key)) = (&ctx, &root_key) {
+                ctx.cache.insert(key, ctx.head_ids[root], Arc::clone(&computed), ctx.budget);
+            }
+            computed
+        }
     };
 
     // Extract results.
@@ -400,15 +488,37 @@ mod tests {
             &["prize", "inventoryunits"],
             &["rain", "categoryCluster"],
         );
+        // The view cache is bypassed so every configuration exercises its
+        // own evaluation path (specialize pairs share plan signatures and
+        // would otherwise serve each other's views).
         for cfg in [
-            EngineConfig { specialize: false, share: false, threads: 1, ..Default::default() },
-            EngineConfig { specialize: true, share: false, threads: 1, ..Default::default() },
-            EngineConfig { specialize: false, share: true, threads: 1, ..Default::default() },
+            EngineConfig {
+                specialize: false,
+                share: false,
+                threads: 1,
+                view_cache_bytes: 0,
+                ..Default::default()
+            },
+            EngineConfig {
+                specialize: true,
+                share: false,
+                threads: 1,
+                view_cache_bytes: 0,
+                ..Default::default()
+            },
+            EngineConfig {
+                specialize: false,
+                share: true,
+                threads: 1,
+                view_cache_bytes: 0,
+                ..Default::default()
+            },
             EngineConfig {
                 specialize: true,
                 share: true,
                 threads: 1,
                 dense_limit: 0,
+                view_cache_bytes: 0,
                 ..Default::default()
             },
         ] {
@@ -421,10 +531,22 @@ mod tests {
         let (db, rels) = tiny_retailer();
         let batch =
             crate::batchgen::covariance_batch(&["prize", "maxtemp", "inventoryunits"], &["rain"]);
-        let seq = run_batch(&db, &rels, &batch, &EngineConfig { threads: 1, ..Default::default() })
-            .unwrap();
-        let par = run_batch(&db, &rels, &batch, &EngineConfig { threads: 4, ..Default::default() })
-            .unwrap();
+        // Cache bypassed: the parallel run must actually recompute, not
+        // serve the sequential run's views.
+        let seq = run_batch(
+            &db,
+            &rels,
+            &batch,
+            &EngineConfig { threads: 1, view_cache_bytes: 0, ..Default::default() },
+        )
+        .unwrap();
+        let par = run_batch(
+            &db,
+            &rels,
+            &batch,
+            &EngineConfig { threads: 4, view_cache_bytes: 0, ..Default::default() },
+        )
+        .unwrap();
         for i in 0..batch.len() {
             assert_eq!(seq.groups[i], par.groups[i]);
             for (k, v) in seq.grouped(i) {
@@ -468,6 +590,62 @@ mod tests {
         let mut batch = AggBatch::new();
         batch.push(Aggregate::sum("locn"));
         assert!(run_batch(&db, &rels, &batch, &EngineConfig::default()).is_err());
+    }
+
+    #[test]
+    fn view_cache_serves_warm_runs_and_invalidates_on_mutation() {
+        // Fresh dataset instance → fresh relation content ids, so the
+        // per-id cache attributions below are exact even with other tests
+        // exercising the global cache concurrently.
+        let (mut db, rels) = tiny_retailer();
+        let cache = crate::viewcache::ViewCache::global();
+        let batch =
+            crate::batchgen::covariance_batch(&["prize", "inventoryunits"], &["rain", "category"]);
+        let cfg = EngineConfig { threads: 1, ..Default::default() };
+        let counts = |db: &Database| -> (u64, u64) {
+            rels.iter()
+                .map(|r| cache.stats_for_id(db.get(r).unwrap().data_id()))
+                .fold((0, 0), |(a, b), (h, m)| (a + h, b + m))
+        };
+        let cold = run_batch(&db, &rels, &batch, &cfg).unwrap();
+        let (_, cold_scans) = counts(&db);
+        assert!(cold_scans > 0, "cold run materializes views");
+        let warm = run_batch(&db, &rels, &batch, &cfg).unwrap();
+        let (warm_reuses, warm_scans) = counts(&db);
+        assert_eq!(warm_scans, cold_scans, "identical warm batch rescans nothing");
+        assert!(warm_reuses > 0, "warm batch served from cache");
+        for i in 0..batch.len() {
+            assert_eq!(cold.grouped(i), warm.grouped(i), "agg {i}: warm result identical");
+        }
+        // A batch differing only by a filter on `prize` (owned by Item):
+        // some subtrees are residual-served, but the Item path rescans.
+        let mut filtered = batch.clone();
+        for agg in &mut filtered.aggs {
+            agg.filter.push(("prize".to_string(), FilterOp::Ge(0.0)));
+        }
+        run_batch(&db, &rels, &filtered, &cfg).unwrap();
+        let (residual_reuses, residual_scans) = counts(&db);
+        assert!(residual_reuses > warm_reuses, "unfiltered subtrees served from cache");
+        assert!(residual_scans > cold_scans, "the filtered path rescans");
+        // Mutation refreshes data_ids: the next run must reflect the new
+        // content, not a stale cached view.
+        let row = db.get("Item").unwrap().row_vec(0);
+        db.get_mut("Item").unwrap().push_row(&row).unwrap();
+        let after = run_batch(&db, &rels, &batch, &cfg).unwrap();
+        let expect = crate::backend::FlatEngine
+            .run(&db, &crate::ir::AggQuery::new(&rels, batch.clone()))
+            .unwrap();
+        for i in 0..batch.len() {
+            assert_eq!(after.grouped(i).len(), expect.grouped(i).len(), "agg {i}: key count");
+            for (k, v) in after.grouped(i) {
+                let e = expect.grouped(i).get(k).copied().unwrap_or(f64::NAN);
+                assert!(
+                    (v - e).abs() <= 1e-6 * (1.0 + e.abs()),
+                    "agg {i} key {k:?}: stale cache? {v} vs {e}"
+                );
+            }
+        }
+        assert!(after.scalar(0) > cold.scalar(0), "duplicated Item row adds join tuples");
     }
 
     #[test]

@@ -77,6 +77,11 @@ impl KeySpace {
         self.mins.len()
     }
 
+    /// Approximate heap bytes of this space's metadata.
+    pub fn byte_size(&self) -> usize {
+        3 * self.mins.len() * 8 + 8
+    }
+
     /// Total number of composite codes (product of domain sizes).
     pub fn size(&self) -> u64 {
         self.size
@@ -185,6 +190,19 @@ impl GroupIndex {
     /// True if no group has been touched.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Approximate heap bytes held by this accumulator — the quantity the
+    /// cross-batch view cache charges against its byte budget.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            GroupIndex::Dense { space, data, present, touched, .. } => {
+                space.byte_size() + data.len() * 8 + present.len() * 8 + touched.len() * 4 + 32
+            }
+            GroupIndex::Hash { slots, map } => {
+                map.keys().map(|k| k.len() * 8 + slots * 8 + 64).sum::<usize>() + 32
+            }
+        }
     }
 
     /// The payload of `key`, touching (zero-initializing) it if new.

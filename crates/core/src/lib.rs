@@ -37,6 +37,12 @@
 //! * [`dispatch`] — adaptive backend choice per query from cheap catalog
 //!   statistics ([`DispatchEngine`]), with the [`EngineConfig::backend`]
 //!   override knob.
+//! * [`viewcache`] — the cross-batch [`ViewCache`]: materialized per-node
+//!   views memoized across `Engine::run` calls, keyed on canonical
+//!   subtree plan signatures plus relation content ids; iterative
+//!   trainers (one batch per decision-tree node) rescan only the nodes a
+//!   changed filter actually touches
+//!   ([`EngineConfig::view_cache_bytes`]).
 //! * [`stats`] — `SufficientStats`: the sparse-tensor sufficient statistics
 //!   (§2.1) assembled from a batch result, consumed by `fdb-ml`.
 
@@ -51,6 +57,7 @@ pub mod parallel;
 pub mod plan;
 pub mod shard;
 pub mod stats;
+pub mod viewcache;
 
 pub use backend::{all_engines, to_scan_query, Engine, FactorizedEngine, FlatEngine, LmfaoEngine};
 pub use batch::{AggBatch, Aggregate, FilterOp, Fn1};
@@ -59,5 +66,6 @@ pub use dispatch::{query_stats, DispatchEngine, QueryStats};
 pub use group::{GroupIndex, KeySpace};
 pub use ir::{AggQuery, BatchResult};
 pub use parallel::{EngineChoice, EngineConfig};
-pub use shard::ShardedEngine;
+pub use shard::{ShardedEngine, DEFAULT_MIN_ROWS_PER_SHARD};
 pub use stats::{sufficient_stats, SufficientStats};
+pub use viewcache::{ViewCache, ViewCacheStats, DEFAULT_VIEW_CACHE_BYTES};

@@ -10,8 +10,9 @@
 //!   row chunks whose per-view partial aggregates merge additively
 //!   ([`compute_root_chunked`]).
 
-use crate::exec::compute_node;
+use crate::exec::{compute_node, CacheCtx};
 use crate::plan::{Plan, ViewData};
+use std::sync::Arc;
 
 /// Which backend executes a query — the override knob consulted by
 /// [`DispatchEngine`](crate::dispatch::DispatchEngine). `Auto` (the
@@ -50,6 +51,12 @@ pub struct EngineConfig {
     /// `Auto` dispatches per query, anything else pins that backend.
     /// Ignored by the concrete engines themselves.
     pub backend: EngineChoice,
+    /// Byte budget of the cross-batch [`ViewCache`](crate::viewcache::ViewCache):
+    /// materialized per-node views are memoized across `Engine::run` calls
+    /// and served whenever a later batch's subtree plan (and the subtree's
+    /// relation content) is unchanged — the residual-filter reuse of
+    /// iterative trainers. `0` bypasses the cache entirely.
+    pub view_cache_bytes: usize,
 }
 
 impl Default for EngineConfig {
@@ -60,6 +67,7 @@ impl Default for EngineConfig {
             threads: default_threads(),
             dense_limit: crate::group::DEFAULT_DENSE_GROUPS,
             backend: EngineChoice::Auto,
+            view_cache_bytes: crate::viewcache::DEFAULT_VIEW_CACHE_BYTES,
         }
     }
 }
@@ -84,32 +92,43 @@ pub(crate) fn merge_view_data(a: &mut [ViewData], b: Vec<ViewData>) {
 }
 
 /// Task parallelism: computes the root's child subtrees on separate
-/// workers. `non_root` is the bottom-up order minus the root; results are
-/// written into `data`.
+/// workers. `to_compute` is the bottom-up order minus the root and minus
+/// any cache-served nodes; already-served entries in `data` (and the
+/// per-worker results) are visible to dependent nodes, and every computed
+/// node is offered to the view cache via `ctx`.
 pub(crate) fn compute_subtrees_parallel(
     plan: &Plan<'_>,
-    non_root: &[usize],
-    data: &mut [Option<Vec<ViewData>>],
+    to_compute: &[usize],
+    data: &mut [Option<Arc<Vec<ViewData>>>],
     cfg: &EngineConfig,
+    ctx: Option<&CacheCtx<'_>>,
 ) {
     let children = plan.nodes[plan.root].children.clone();
     let mut partitions: Vec<Vec<usize>> = children
         .iter()
-        .map(|&c| non_root.iter().copied().filter(|n| plan.subtree[c].contains(n)).collect())
+        .map(|&c| to_compute.iter().copied().filter(|n| plan.subtree[c].contains(n)).collect())
         .collect();
-    let results: Vec<Vec<(usize, Vec<ViewData>)>> = std::thread::scope(|s| {
+    let shared: &[Option<Arc<Vec<ViewData>>>] = data;
+    let results: Vec<Vec<(usize, Arc<Vec<ViewData>>)>> = std::thread::scope(|s| {
         let handles: Vec<_> = partitions
             .drain(..)
             .map(|part| {
                 let cfg = *cfg;
                 s.spawn(move || {
-                    let mut local: Vec<Option<Vec<ViewData>>> =
-                        plan.rels.iter().map(|_| None).collect();
+                    // Cache-served children arrive through the shared
+                    // snapshot; locally computed nodes overlay it.
+                    let mut local: Vec<Option<Arc<Vec<ViewData>>>> = shared.to_vec();
+                    let mut out = Vec::with_capacity(part.len());
                     for &n in &part {
-                        let out = compute_node(plan, n, &local, &cfg, 0..plan.rels[n].len());
-                        local[n] = Some(out);
+                        let views =
+                            Arc::new(compute_node(plan, n, &local, &cfg, 0..plan.rels[n].len()));
+                        if let Some(ctx) = ctx {
+                            ctx.admit(n, &views);
+                        }
+                        local[n] = Some(Arc::clone(&views));
+                        out.push((n, views));
                     }
-                    part.iter().map(|&n| (n, local[n].take().expect("set"))).collect()
+                    out
                 })
             })
             .collect();
@@ -126,7 +145,7 @@ pub(crate) fn compute_subtrees_parallel(
 /// into `cfg.threads` chunks, merging the partial view data.
 pub(crate) fn compute_root_chunked(
     plan: &Plan<'_>,
-    data: &[Option<Vec<ViewData>>],
+    data: &[Option<Arc<Vec<ViewData>>>],
     cfg: &EngineConfig,
     root_rows: usize,
 ) -> Vec<ViewData> {

@@ -155,6 +155,21 @@ impl ViewData {
         }
     }
 
+    /// Approximate heap bytes of this view — what the cross-batch
+    /// [`crate::viewcache::ViewCache`] charges against its byte budget.
+    pub(crate) fn byte_size(&self) -> usize {
+        match self {
+            ViewData::Dense { space, slot_of, entries } => {
+                space.byte_size()
+                    + slot_of.len() * 4
+                    + entries.iter().map(|(_, gi)| 4 + gi.byte_size()).sum::<usize>()
+            }
+            ViewData::Hash(map) => {
+                map.iter().map(|(k, gi)| k.len() * 8 + 64 + gi.byte_size()).sum::<usize>()
+            }
+        }
+    }
+
     /// Merges `other` into `self`, summing payloads of equal
     /// `(join key, group key)` pairs. Both sides stem from the same node
     /// plan, so the outer representations line up.
@@ -413,6 +428,61 @@ impl<'a> Plan<'a> {
         Ok((view_idx, slot_idx))
     }
 
+    /// Canonical per-subtree plan signatures — the cross-batch
+    /// [`crate::viewcache::ViewCache`] keys, one per node, computed after
+    /// [`Plan::finalize`].
+    ///
+    /// The signature of node `n` serializes everything the node's
+    /// materialized `Vec<ViewData>` can depend on: the content identity
+    /// ([`Relation::data_id`]) of every relation in `n`'s subtree, the
+    /// dense-representation budget, and — recursively — the complete node
+    /// plans of the subtree (key columns, view group wiring, and every
+    /// slot's factors, filters, and child-slot indices). Two plans whose
+    /// subtrees serialize identically provably materialize byte-identical
+    /// views, so a cached `Vec<ViewData>` keyed on the signature can be
+    /// served in place of a rescan.
+    ///
+    /// **Residual-filter analysis** (LMFAO's decisive optimisation for
+    /// iterative workloads — a decision-tree trainer issues one batch per
+    /// node over the *same* join tree, differing only in split filters)
+    /// falls out of this canonicalization rather than needing a diff pass:
+    /// [`Plan::decompose`] registers a filter only at the relation that
+    /// owns the filtered attribute, and its effect propagates upward only
+    /// through the child-slot wiring of the nodes on the path from the
+    /// owner to the root. A batch that differs from a cached one only by
+    /// filters (or factors) on attributes owned *outside* a subtree
+    /// therefore serializes that subtree identically — its views are the
+    /// residue untouched by the new conditions, and only path-to-root
+    /// nodes get fresh signatures (and fresh scans).
+    pub(crate) fn subtree_signatures(&self, dense_limit: u64) -> Vec<String> {
+        use std::fmt::Write as _;
+        let mut sigs: Vec<String> = vec![String::new(); self.nodes.len()];
+        // Bottom-up: children's signatures exist before the parent embeds
+        // them.
+        for &n in &self.order {
+            let np = &self.nodes[n];
+            let mut s = String::new();
+            let _ = write!(s, "r{};d{dense_limit};k{:?};", self.rels[n].data_id(), np.key_cols);
+            for vp in &np.views {
+                let _ = write!(
+                    s,
+                    "V[g{:?};l{:?};w{:?};",
+                    vp.group_attrs, vp.local_groups, vp.child_views
+                );
+                for slot in &vp.slots {
+                    let _ =
+                        write!(s, "s{:?}.{:?}.{:?};", slot.factors, slot.filter, slot.child_slots);
+                }
+                s.push(']');
+            }
+            for (&c, cols) in np.children.iter().zip(&np.child_key_cols) {
+                let _ = write!(s, "C{cols:?}[{}]", sigs[c]);
+            }
+            sigs[n] = s;
+        }
+        sigs
+    }
+
     /// Chooses the accumulator representation for every node and view, once
     /// all aggregates are decomposed.
     ///
@@ -500,5 +570,68 @@ mod tests {
         let root = plan.root;
         let agg = Aggregate::sum("locn");
         assert!(plan.decompose(&agg, 0, root, true).is_err());
+    }
+
+    #[test]
+    fn residual_filters_change_only_path_to_root_signatures() {
+        // Two decision-node-style batches that differ ONLY in the
+        // threshold of a filter on `prize` (owned by Item): every subtree
+        // signature not containing Item must be identical across the two
+        // plans — the residual the view cache serves — while Item's node
+        // and everything on its path to the root must differ.
+        let (db, rels) = tiny_retailer();
+        let build = |t: f64| {
+            let mut batch = crate::batch::AggBatch::new();
+            batch.push(Aggregate::count());
+            batch.push(Aggregate::sum("inventoryunits").filtered("prize", FilterOp::Ge(t)));
+            batch.push(Aggregate::count().by(&["rain"]));
+            let mut plan = Plan::build(&db, &rels).unwrap();
+            let root = plan.root;
+            for (i, agg) in batch.aggs.iter().enumerate() {
+                plan.decompose(agg, i, root, true).unwrap();
+            }
+            plan.finalize(1024);
+            plan
+        };
+        let a = build(5.0);
+        let b = build(15.0);
+        let (sa, sb) = (a.subtree_signatures(1024), b.subtree_signatures(1024));
+        let item = a.owner["prize"].0;
+        let mut changed = 0;
+        for n in 0..sa.len() {
+            if a.subtree[n].contains(&item) {
+                assert_ne!(sa[n], sb[n], "node {n} covers the filtered relation");
+                changed += 1;
+            } else {
+                assert_eq!(sa[n], sb[n], "node {n} is residual and must be reusable");
+            }
+        }
+        assert!(changed >= 2, "Item and the root both rescan");
+        assert!(changed < sa.len(), "some subtree must be residual");
+        // Same batch, same data → identical signatures throughout.
+        let c = build(5.0);
+        assert_eq!(sa, c.subtree_signatures(1024));
+        // A mutated relation refreshes every signature that covers it.
+        let mut db2 = db;
+        let row = db2.get("Weather").unwrap().row_vec(0);
+        db2.get_mut("Weather").unwrap().push_row(&row).unwrap();
+        let rels2 = rels;
+        let mut plan2 = Plan::build(&db2, &rels2).unwrap();
+        let root2 = plan2.root;
+        let mut batch = crate::batch::AggBatch::new();
+        batch.push(Aggregate::count());
+        batch.push(Aggregate::sum("inventoryunits").filtered("prize", FilterOp::Ge(5.0)));
+        batch.push(Aggregate::count().by(&["rain"]));
+        for (i, agg) in batch.aggs.iter().enumerate() {
+            plan2.decompose(agg, i, root2, true).unwrap();
+        }
+        plan2.finalize(1024);
+        let s2 = plan2.subtree_signatures(1024);
+        let weather = plan2.owner["rain"].0;
+        for n in 0..s2.len() {
+            if plan2.subtree[n].contains(&weather) {
+                assert_ne!(s2[n], sa[n], "node {n} covers the mutated relation");
+            }
+        }
     }
 }

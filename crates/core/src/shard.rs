@@ -51,6 +51,13 @@ struct ShardCache {
     dbs: Arc<Vec<Database>>,
 }
 
+/// Fact rows per shard below which [`ShardedEngine::run`] falls back to
+/// single-shard execution. Partitioning a small fact costs more
+/// (partition + redundant dimension scans + merge) than the per-shard
+/// scans save, so tiny facts run unwrapped; override with
+/// [`ShardedEngine::with_min_rows_per_shard`].
+pub const DEFAULT_MIN_ROWS_PER_SHARD: usize = 4096;
+
 /// Wraps an inner [`Engine`], partitioning the fact relation into `shards`
 /// chunks and merging the per-shard results.
 ///
@@ -59,11 +66,17 @@ struct ShardCache {
 /// [`ShardedEngine::with_fact`]. With one shard (or an explicit
 /// single-shard configuration) the inner engine runs unwrapped —
 /// `ShardedEngine` never changes results, only where they are computed.
+/// Queries whose fact is too small to amortize the partition + merge cost
+/// ([`DEFAULT_MIN_ROWS_PER_SHARD`] rows per shard) also run unwrapped;
+/// this applies equally when the inner engine is a
+/// [`DispatchEngine`](crate::dispatch::DispatchEngine), so adaptive
+/// dispatch never pays sharding overhead on tiny facts.
 #[derive(Debug)]
 pub struct ShardedEngine<E> {
     inner: E,
     shards: usize,
     fact: Option<String>,
+    min_rows_per_shard: usize,
     cache: Mutex<Option<ShardCache>>,
 }
 
@@ -75,6 +88,7 @@ impl<E: Clone> Clone for ShardedEngine<E> {
             inner: self.inner.clone(),
             shards: self.shards,
             fact: self.fact.clone(),
+            min_rows_per_shard: self.min_rows_per_shard,
             cache: Mutex::new(None),
         }
     }
@@ -88,7 +102,23 @@ impl<E: Engine> ShardedEngine<E> {
 
     /// Shards into exactly `shards` partitions (clamped to ≥ 1).
     pub fn with_shards(inner: E, shards: usize) -> Self {
-        Self { inner, shards: shards.max(1), fact: None, cache: Mutex::new(None) }
+        Self {
+            inner,
+            shards: shards.max(1),
+            fact: None,
+            min_rows_per_shard: DEFAULT_MIN_ROWS_PER_SHARD,
+            cache: Mutex::new(None),
+        }
+    }
+
+    /// Overrides the small-fact fallback threshold: when the fact would
+    /// hold fewer than `rows` rows per shard, `run` executes the inner
+    /// engine unwrapped instead of paying partition + merge cost. `1`
+    /// disables the fallback (always shard); tests use that to exercise
+    /// the merge path on tiny example databases.
+    pub fn with_min_rows_per_shard(mut self, rows: usize) -> Self {
+        self.min_rows_per_shard = rows.max(1);
+        self
     }
 
     /// Pins the fact relation instead of picking the largest. The relation
@@ -169,7 +199,14 @@ impl<E: Engine + Sync> Engine for ShardedEngine<E> {
     fn run(&self, db: &Database, q: &AggQuery) -> Result<BatchResult, DataError> {
         q.validate(db)?;
         let fact = self.fact_for(db, q)?;
-        let n = self.shards.min(db.get(&fact)?.len()).max(1);
+        let fact_rows = db.get(&fact)?.len();
+        let mut n = self.shards.min(fact_rows).max(1);
+        // Small-fact fallback: when shards would each hold fewer than the
+        // threshold rows, partition + merge overhead dominates any
+        // per-shard saving — run the inner engine unwrapped.
+        if fact_rows / n < self.min_rows_per_shard {
+            n = 1;
+        }
         if n == 1 {
             return self.inner.run(db, q);
         }
@@ -248,19 +285,21 @@ mod tests {
     fn sharded_matches_unsharded_for_every_backend() {
         let (db, q) = dish_query();
         for shards in [1usize, 2, 3, 7, 64] {
-            let flat = ShardedEngine::with_shards(FlatEngine, shards);
+            let flat = ShardedEngine::with_shards(FlatEngine, shards).with_min_rows_per_shard(1);
             assert_same(
                 &FlatEngine.run(&db, &q).unwrap(),
                 &flat.run(&db, &q).unwrap(),
                 &format!("flat x{shards}"),
             );
-            let fac = ShardedEngine::with_shards(FactorizedEngine::new(), shards);
+            let fac = ShardedEngine::with_shards(FactorizedEngine::new(), shards)
+                .with_min_rows_per_shard(1);
             assert_same(
                 &FactorizedEngine::new().run(&db, &q).unwrap(),
                 &fac.run(&db, &q).unwrap(),
                 &format!("factorized x{shards}"),
             );
-            let lm = ShardedEngine::with_shards(LmfaoEngine::new(), shards);
+            let lm =
+                ShardedEngine::with_shards(LmfaoEngine::new(), shards).with_min_rows_per_shard(1);
             assert_same(
                 &LmfaoEngine::new().run(&db, &q).unwrap(),
                 &lm.run(&db, &q).unwrap(),
@@ -282,7 +321,7 @@ mod tests {
     #[test]
     fn shard_partition_is_memoized_until_mutation() {
         let (mut db, q) = dish_query();
-        let e = ShardedEngine::with_shards(FlatEngine, 3);
+        let e = ShardedEngine::with_shards(FlatEngine, 3).with_min_rows_per_shard(1);
         let a = e.shard_databases(&db, "Dish", 3).unwrap();
         let b = e.shard_databases(&db, "Dish", 3).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "unchanged content reuses the partition");
@@ -304,6 +343,28 @@ mod tests {
         // duplicating an Items row adds join tuples.
         let after = e.run(&db, &q).unwrap();
         assert!(after.scalar(0) > before.scalar(0), "stale partition not served");
+    }
+
+    #[test]
+    fn small_fact_falls_back_to_single_shard() {
+        // The dish fact is 6 rows — far below the default threshold, so
+        // `run` must execute unwrapped: no partition is ever built, and
+        // the result still matches the inner engine exactly.
+        let (db, q) = dish_query();
+        let e = ShardedEngine::with_shards(FlatEngine, 3);
+        let got = e.run(&db, &q).unwrap();
+        assert!(e.cache.lock().unwrap().is_none(), "fallback never partitions");
+        assert_same(&FlatEngine.run(&db, &q).unwrap(), &got, "fallback");
+        // Lowering the threshold re-enables sharding (and memoizes the
+        // partition).
+        let sharded = ShardedEngine::with_shards(FlatEngine, 3).with_min_rows_per_shard(1);
+        let got = sharded.run(&db, &q).unwrap();
+        assert!(sharded.cache.lock().unwrap().is_some(), "threshold 1 shards");
+        assert_same(&FlatEngine.run(&db, &q).unwrap(), &got, "threshold 1");
+        // Exactly at the threshold: 6 rows / 3 shards = 2 rows per shard.
+        let at = ShardedEngine::with_shards(FlatEngine, 3).with_min_rows_per_shard(2);
+        at.run(&db, &q).unwrap();
+        assert!(at.cache.lock().unwrap().is_some(), "at-threshold facts still shard");
     }
 
     #[test]

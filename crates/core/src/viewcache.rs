@@ -1,0 +1,314 @@
+//! Cross-batch memoization of materialized subtree views (the LMFAO
+//! iterative-workload optimisation).
+//!
+//! The paper's headline workloads are *iterative*: a decision-tree trainer
+//! issues one aggregate batch per tree node over the **same** join tree,
+//! differing only in split filters; BGD retrains and model selection
+//! re-run the same covariance batch verbatim. Re-materializing every view
+//! bottom-up on every `Engine::run` repays the full scan bill each time,
+//! even though most subtree views are byte-identical across batches.
+//!
+//! A [`ViewCache`] memoizes each node's computed `Vec<ViewData>` keyed on
+//! the node's *subtree signature*
+//! ([`Plan::subtree_signatures`](crate::plan::Plan)) — a canonical
+//! serialization of the subtree's plan (slot factors/filters, group
+//! wiring, join shape) plus the [`fdb_data::Relation::data_id`] of every
+//! relation in the subtree:
+//!
+//! * **invalidation is automatic**, exactly as in
+//!   [`fdb_data::SortCache`]: every relation mutation refreshes its
+//!   `data_id`, so a stale entry is simply never keyed again and ages out
+//!   of the FIFO bound;
+//! * **residual-filter reuse** falls out of the signature: a batch that
+//!   differs from a cached one only by filters on attributes owned
+//!   *outside* a subtree serializes that subtree identically, so its
+//!   views are served from cache and only the nodes on the path from a
+//!   filtered relation to the root are rescanned;
+//! * **sharded execution warms once**: per-shard sub-databases share
+//!   dimension relations by `Arc` (same `data_id`), so a dimension
+//!   subtree materialized for one shard is a hit for every other shard
+//!   and every later run.
+//!
+//! The cache is process-global ([`ViewCache::global`]) and byte-bounded:
+//! its effective ceiling is the **largest**
+//! [`crate::EngineConfig::view_cache_bytes`] any engine has requested in
+//! the process (so a small-budget engine cannot churn a larger-budget
+//! engine's warm entries; `0` bypasses the cache entirely). Keys are full
+//! canonical strings — no hash truncation — so a hit can never serve
+//! views of a different plan or content state.
+
+use crate::plan::ViewData;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default ceiling on the total approximate bytes of retained views
+/// ([`crate::EngineConfig::view_cache_bytes`]).
+pub const DEFAULT_VIEW_CACHE_BYTES: usize = 256 << 20;
+
+/// A monotone snapshot of the cache's counters (monotone across
+/// [`ViewCache::clear`], which resets contents but not history — deltas
+/// around a workload stay meaningful even if it clears the cache).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ViewCacheStats {
+    /// Node-level lookups served from cache.
+    pub hits: u64,
+    /// Node-level lookups that had to materialize.
+    pub misses: u64,
+    /// Individual views served from cache (a node entry holds all views
+    /// of that node, so one hit can reuse several views).
+    pub views_reused: u64,
+    /// Individual views materialized by a scan.
+    pub views_rescanned: u64,
+    /// Entries dropped to respect a byte budget.
+    pub evictions: u64,
+    /// Node entries currently retained.
+    pub entries: usize,
+    /// Approximate bytes currently retained.
+    pub bytes: usize,
+}
+
+struct Inner {
+    entries: HashMap<Box<str>, (Arc<Vec<ViewData>>, usize)>,
+    /// Insertion order for FIFO eviction (`pop_front` is O(1) — eviction
+    /// runs under the global mutex every engine lookup contends on).
+    order: VecDeque<Box<str>>,
+    bytes: usize,
+    /// High-water mark of the budgets callers have requested: the cache's
+    /// effective ceiling. Without it, one engine configured with a small
+    /// `view_cache_bytes` would evict the *shared* global cache down to
+    /// its own budget on every insert, destroying other engines' warm
+    /// entries; with it, a smaller budget only limits what that engine
+    /// admits, never what others retain.
+    budget_hwm: usize,
+    hits: u64,
+    misses: u64,
+    views_reused: u64,
+    views_rescanned: u64,
+    evictions: u64,
+    /// Per node-relation `(views reused, views rescanned)`, keyed by the
+    /// node relation's `data_id` — lets tests attribute reuse to one
+    /// dataset even when other cache users run concurrently (the same
+    /// discipline as [`fdb_data::SortCache::stats_for`]). Bounded:
+    /// cleared wholesale when it far outgrows the entry map.
+    per_id: HashMap<u64, (u64, u64)>,
+}
+
+impl Inner {
+    fn new() -> Self {
+        Self {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            bytes: 0,
+            budget_hwm: 0,
+            hits: 0,
+            misses: 0,
+            views_reused: 0,
+            views_rescanned: 0,
+            evictions: 0,
+            per_id: HashMap::new(),
+        }
+    }
+}
+
+/// A bounded memo table for materialized per-node view data.
+pub struct ViewCache {
+    inner: Mutex<Inner>,
+}
+
+impl Default for ViewCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ViewCache {
+    /// An empty cache. The byte bound is supplied per insertion
+    /// ([`crate::EngineConfig::view_cache_bytes`]), so one global cache
+    /// serves engines with different budgets.
+    pub fn new() -> Self {
+        Self { inner: Mutex::new(Inner::new()) }
+    }
+
+    /// The process-wide cache used by the LMFAO execution path.
+    pub fn global() -> &'static ViewCache {
+        static GLOBAL: OnceLock<ViewCache> = OnceLock::new();
+        GLOBAL.get_or_init(ViewCache::new)
+    }
+
+    /// The cached views under `key`, recording a hit or miss. `head_id` is
+    /// the node relation's `data_id` (per-dataset attribution).
+    pub(crate) fn get(&self, key: &str, head_id: u64) -> Option<Arc<Vec<ViewData>>> {
+        let mut inner = self.lock();
+        match inner.entries.get(key) {
+            Some((views, _)) => {
+                let views = Arc::clone(views);
+                inner.hits += 1;
+                inner.views_reused += views.len() as u64;
+                inner.per_id.entry(head_id).or_default().0 += views.len() as u64;
+                Some(views)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Admits freshly materialized views under `key`, evicting FIFO until
+    /// the retained total fits the cache's effective ceiling — the
+    /// high-water mark of all requested budgets, so a small-budget engine
+    /// never churns the warm entries of larger-budget ones. Always
+    /// records the scan (`views_rescanned`); an entry that alone exceeds
+    /// the whole ceiling is not admitted (admitting it would evict every
+    /// warm entry and still leave the cache over budget).
+    ///
+    /// An entry is charged its view bytes **plus its key** (canonical
+    /// subtree signatures can run to kilobytes and are stored twice) and
+    /// a fixed overhead — so even entries whose views are empty (empty
+    /// joins, fully filtered batches) have positive cost and the budget
+    /// bounds the entry count, not just the payload bytes.
+    pub(crate) fn insert(
+        &self,
+        key: &str,
+        head_id: u64,
+        views: Arc<Vec<ViewData>>,
+        byte_budget: usize,
+    ) {
+        let new_bytes: usize =
+            views.iter().map(ViewData::byte_size).sum::<usize>() + 2 * key.len() + 96;
+        let mut inner = self.lock();
+        inner.views_rescanned += views.len() as u64;
+        inner.per_id.entry(head_id).or_default().1 += views.len() as u64;
+        if inner.per_id.len() > 32 * 1024 {
+            inner.per_id.clear();
+        }
+        inner.budget_hwm = inner.budget_hwm.max(byte_budget);
+        let budget = inner.budget_hwm;
+        if inner.entries.contains_key(key) || new_bytes > budget {
+            return;
+        }
+        while inner.bytes + new_bytes > budget {
+            let Some(oldest) = inner.order.pop_front() else { break };
+            if let Some((_, b)) = inner.entries.remove(&oldest) {
+                inner.bytes -= b;
+                inner.evictions += 1;
+            }
+        }
+        inner.order.push_back(key.into());
+        inner.bytes += new_bytes;
+        inner.entries.insert(key.into(), (views, new_bytes));
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> ViewCacheStats {
+        let inner = self.lock();
+        ViewCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            views_reused: inner.views_reused,
+            views_rescanned: inner.views_rescanned,
+            evictions: inner.evictions,
+            entries: inner.entries.len(),
+            bytes: inner.bytes,
+        }
+    }
+
+    /// `(views reused, views rescanned)` attributed to nodes whose
+    /// relation currently has content id `data_id`. A rescan is an actual
+    /// shared scan of that relation; tests use this to assert that
+    /// repeated trainings rescan nothing, immune to concurrent cache
+    /// users (distinct datasets have distinct content ids).
+    pub fn stats_for_id(&self, data_id: u64) -> (u64, u64) {
+        self.lock().per_id.get(&data_id).copied().unwrap_or((0, 0))
+    }
+
+    /// Drops all retained views and per-relation attributions. The global
+    /// counters stay monotone so surrounding deltas remain meaningful.
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.entries.clear();
+        inner.order.clear();
+        inner.bytes = 0;
+        inner.per_id.clear();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::KeySpace;
+    use crate::plan::GroupSpec;
+
+    fn views(val: f64) -> Arc<Vec<ViewData>> {
+        let spec = GroupSpec { slots: 1, space: KeySpace::new(&[(0, 3)], 16) };
+        let mut vd = ViewData::new(None);
+        vd.entry_mut(&[], &spec).payload_mut(&[1])[0] = val;
+        Arc::new(vec![vd])
+    }
+
+    #[test]
+    fn hit_after_insert_and_stats() {
+        let c = ViewCache::new();
+        assert!(c.get("k1", 7).is_none());
+        c.insert("k1", 7, views(1.0), 1 << 20);
+        let hit = c.get("k1", 7).expect("cached");
+        assert_eq!(hit.len(), 1);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!((s.views_reused, s.views_rescanned), (1, 1));
+        assert_eq!(s.entries, 1);
+        assert!(s.bytes > 0);
+        assert_eq!(c.stats_for_id(7), (1, 1));
+        assert_eq!(c.stats_for_id(8), (0, 0));
+    }
+
+    #[test]
+    fn byte_budget_evicts_fifo_and_rejects_oversize() {
+        // Calibrate the per-entry cost (views + key + overhead) with a
+        // throwaway cache; all keys below share the same length.
+        let probe = ViewCache::new();
+        probe.insert("a", 1, views(1.0), 1 << 20);
+        let unit = probe.stats().bytes;
+        assert!(unit > 96, "key and overhead are charged, not just view bytes");
+        // Budget for exactly two entries: the third evicts the first.
+        let c = ViewCache::new();
+        let budget = 2 * unit;
+        c.insert("a", 1, views(1.0), budget);
+        c.insert("b", 1, views(2.0), budget);
+        c.insert("c", 1, views(3.0), budget);
+        assert!(c.get("a", 1).is_none(), "oldest evicted");
+        assert!(c.get("b", 1).is_some() && c.get("c", 1).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        // A later *smaller* budget must not shrink the shared cache below
+        // the high-water ceiling other engines established: inserting
+        // with budget 1 still retains two entries.
+        c.insert("d", 1, views(4.0), 1);
+        assert_eq!(c.stats().entries, 2, "small-budget insert cannot drain the cache");
+        assert!(c.get("d", 1).is_some(), "…and is admitted under the ceiling");
+        // An entry over the whole ceiling is recorded but not admitted
+        // (the long key alone pushes it past the budget).
+        let small = ViewCache::new();
+        small.insert("warm", 1, views(1.0), unit + 16);
+        small.insert("huge-key-that-does-not-fit-the-ceiling-at-all", 1, views(2.0), 1);
+        assert!(small.get("huge-key-that-does-not-fit-the-ceiling-at-all", 1).is_none());
+        assert_eq!(small.stats().entries, 1, "warm entry survived the oversize insert");
+    }
+
+    #[test]
+    fn clear_drops_entries_keeps_counters() {
+        let c = ViewCache::new();
+        c.insert("k", 3, views(1.0), 1 << 20);
+        c.get("k", 3);
+        c.clear();
+        assert!(c.get("k", 3).is_none());
+        let s = c.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.bytes, 0);
+        assert_eq!(s.hits, 1, "history survives clear");
+        assert_eq!(c.stats_for_id(3), (0, 0), "attributions reset with contents");
+    }
+}

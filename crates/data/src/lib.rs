@@ -31,7 +31,7 @@ pub use dict::Dictionary;
 pub use error::DataError;
 pub use relation::{Column, Relation, RowRef};
 pub use schema::{AttrType, Attribute, Schema};
-pub use sortcache::SortCache;
+pub use sortcache::{CacheCounters, SortCache};
 pub use value::Value;
 
 /// Convenience result alias used across the data layer.

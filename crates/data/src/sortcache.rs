@@ -31,6 +31,24 @@ pub const DEFAULT_BYTE_BUDGET: usize = 256 << 20;
 
 type Key = (u64, Vec<usize>);
 
+/// A monotone snapshot of a cache's global counters — the observability
+/// contract shared by this cache and `fdb-core`'s view cache, surfaced as
+/// the `caches` section of `BENCH_engines.json`. Counters survive
+/// [`SortCache::clear`] so deltas around a workload stay meaningful.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute (an actual sort).
+    pub misses: u64,
+    /// Entries dropped to respect the capacity or byte bound.
+    pub evictions: u64,
+    /// Entries currently retained.
+    pub entries: usize,
+    /// Approximate bytes currently retained.
+    pub bytes: usize,
+}
+
 #[derive(Default)]
 struct Inner {
     entries: HashMap<Key, Arc<Relation>>,
@@ -41,6 +59,10 @@ struct Inner {
     /// Per-source-relation `(hits, misses)`, keyed by `data_id`. Bounded:
     /// cleared wholesale when it outgrows the entry map by a wide margin.
     stats: HashMap<u64, (u64, u64)>,
+    /// Global monotone counters (survive [`SortCache::clear`]).
+    hits: u64,
+    misses: u64,
+    evictions: u64,
 }
 
 /// A bounded memo table for [`Relation::sorted_by`] results.
@@ -83,6 +105,7 @@ impl SortCache {
             if let Some(hit) = inner.entries.get(&(id, attrs.to_vec())) {
                 let hit = Arc::clone(hit);
                 inner.stats.entry(id).or_default().0 += 1;
+                inner.hits += 1;
                 return hit;
             }
         }
@@ -91,6 +114,7 @@ impl SortCache {
         let sorted = Arc::new(rel.sorted_by(attrs));
         let mut inner = self.lock();
         inner.stats.entry(id).or_default().1 += 1;
+        inner.misses += 1;
         if inner.stats.len() > 32 * self.capacity {
             inner.stats.clear();
         }
@@ -110,6 +134,7 @@ impl SortCache {
                 let oldest = inner.order.remove(0);
                 if let Some(evicted) = inner.entries.remove(&oldest) {
                     inner.bytes -= evicted.byte_size();
+                    inner.evictions += 1;
                 }
             }
             inner.order.push(key.clone());
@@ -124,6 +149,19 @@ impl SortCache {
     /// sort each relation at most once.
     pub fn stats_for(&self, rel: &Relation) -> (u64, u64) {
         self.lock().stats.get(&rel.data_id()).copied().unwrap_or((0, 0))
+    }
+
+    /// A snapshot of the global counters (monotone across
+    /// [`SortCache::clear`]).
+    pub fn counters(&self) -> CacheCounters {
+        let inner = self.lock();
+        CacheCounters {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.entries.len(),
+            bytes: inner.bytes,
+        }
     }
 
     /// Number of sorted views currently retained.
@@ -236,6 +274,24 @@ mod tests {
         assert_eq!(cache.stats_for(&small), (1, 1), "…and still hits");
         cache.sorted_by(&big, &[0]);
         assert_eq!(cache.stats_for(&big), (0, 2), "big view re-sorts every time");
+    }
+
+    #[test]
+    fn global_counters_track_hits_misses_evictions() {
+        let cache = SortCache::new(2);
+        let (a, b, c) = (rel(&[(1, 0.0)]), rel(&[(2, 0.0)]), rel(&[(3, 0.0)]));
+        cache.sorted_by(&a, &[0]); // miss
+        cache.sorted_by(&a, &[0]); // hit
+        cache.sorted_by(&b, &[0]); // miss
+        cache.sorted_by(&c, &[0]); // miss + evicts `a`
+        let k = cache.counters();
+        assert_eq!((k.hits, k.misses, k.evictions), (1, 3, 1));
+        assert_eq!(k.entries, 2);
+        assert!(k.bytes > 0);
+        cache.clear();
+        let k = cache.counters();
+        assert_eq!(k.hits, 1, "history survives clear");
+        assert_eq!((k.entries, k.bytes), (0, 0));
     }
 
     #[test]

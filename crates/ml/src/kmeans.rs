@@ -9,6 +9,9 @@
 //! join size.
 
 use crate::matrix::DataMatrix;
+use crate::reuse::ViewReuse;
+use fdb_core::{kmeans_batch, AggQuery, Engine};
+use fdb_data::{DataError, Database};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -107,6 +110,96 @@ pub fn lloyd(
     }
     let total_cost = cost(points, weights, &centers);
     KMeansResult { centers, cost: total_cost, iterations }
+}
+
+/// Per-dimension statistics for the Rk-means grid, computed in-database:
+/// the count, mean, and standard deviation of each continuous feature
+/// over the feature extraction join ([`fdb_core::kmeans_batch`]).
+#[derive(Debug, Clone)]
+pub struct GridStats {
+    /// `SUM(1)` over the join.
+    pub count: f64,
+    /// Per-feature mean.
+    pub mean: Vec<f64>,
+    /// Per-feature standard deviation.
+    pub std: Vec<f64>,
+}
+
+/// Computes [`GridStats`] through any [`Engine`] backend without
+/// materializing the join, returning the view-cache reuse observed: the
+/// grid batch is issued once per clustering run (per `k`, per restart,
+/// per bin count in model selection), and every run after the first over
+/// an unchanged database is served entirely from the cross-batch cache.
+pub fn grid_stats_indb(
+    db: &Database,
+    relations: &[&str],
+    features: &[&str],
+    engine: &dyn Engine,
+) -> Result<(GridStats, ViewReuse), DataError> {
+    let q = AggQuery::new(relations, kmeans_batch(features));
+    let (res, reuse) = ViewReuse::measure(|| engine.run(db, &q));
+    let res = res?;
+    let count = res.scalar(0);
+    let n = count.max(1.0);
+    let mut mean = Vec::with_capacity(features.len());
+    let mut std = Vec::with_capacity(features.len());
+    for i in 0..features.len() {
+        let m = res.scalar(1 + 2 * i) / n;
+        let var = (res.scalar(2 + 2 * i) / n - m * m).max(0.0);
+        mean.push(m);
+        std.push(var.sqrt());
+    }
+    Ok((GridStats { count, mean, std }, reuse))
+}
+
+/// Equi-width variant of [`grid_coreset`]: each dimension is cut into
+/// `bins` equal intervals spanning `mean ± 2σ` from in-database
+/// [`GridStats`] — no per-dimension sort of the materialized matrix.
+/// `stats` must align with the matrix dimensions (`stats.mean.len() ==
+/// m.dim`). Returns `(cell centers, cell weights)`.
+pub fn grid_coreset_equiwidth(
+    m: &DataMatrix,
+    bins: usize,
+    stats: &GridStats,
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let n = m.rows();
+    let d = m.dim;
+    if n == 0 || bins == 0 || stats.mean.len() != d {
+        return (vec![], vec![]);
+    }
+    // Per-dimension bounds once, not once per row: `bins / width`, with a
+    // degenerate (σ = 0) dimension collapsing to bin 0 via scale 0.
+    let lo: Vec<f64> = (0..d).map(|j| stats.mean[j] - 2.0 * stats.std[j]).collect();
+    let scale: Vec<f64> = (0..d)
+        .map(|j| {
+            let width = 4.0 * stats.std[j];
+            if width > 0.0 {
+                bins as f64 / width
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let cell_of = |j: usize, x: f64| -> u32 {
+        ((x - lo[j]) * scale[j]).floor().clamp(0.0, bins as f64 - 1.0) as u32
+    };
+    let mut cells: HashMap<Vec<u32>, (Vec<f64>, f64)> = HashMap::new();
+    for r in 0..n {
+        let row = m.row(r);
+        let key: Vec<u32> = (0..d).map(|j| cell_of(j, row[j])).collect();
+        let entry = cells.entry(key).or_insert_with(|| (vec![0.0; d], 0.0));
+        for (s, x) in entry.0.iter_mut().zip(row) {
+            *s += x;
+        }
+        entry.1 += 1.0;
+    }
+    let mut centers = Vec::with_capacity(cells.len());
+    let mut weights = Vec::with_capacity(cells.len());
+    for (_, (sum, w)) in cells {
+        centers.push(sum.iter().map(|s| s / w).collect());
+        weights.push(w);
+    }
+    (centers, weights)
 }
 
 /// Quantizes each dimension into `bins` equi-quantile bins and collapses
@@ -223,6 +316,53 @@ mod tests {
         let (cells, weights) = grid_coreset(&m, 4);
         assert!(cells.len() < m.rows());
         assert!((weights.iter().sum::<f64>() - m.rows() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn indb_grid_stats_reuse_across_clustering_runs() {
+        // The blobs relation as a single-node "join": the grid batch runs
+        // through the engine, and repeated clustering runs (restarts,
+        // model selection over k) are served from the view cache.
+        let mut rel = Relation::new(Schema::of(&[
+            ("x", AttrType::Double),
+            ("y", AttrType::Double),
+            ("resp", AttrType::Double),
+        ]));
+        for i in 0..50 {
+            let x = (i % 7) as f64;
+            let y = (i % 5) as f64;
+            rel.push_row(&[Value::F64(x), Value::F64(y), Value::F64(0.0)]).unwrap();
+        }
+        let mut db = fdb_data::Database::new();
+        db.add("R", rel);
+        let engine = fdb_core::LmfaoEngine::with_config(fdb_core::EngineConfig {
+            threads: 1,
+            ..Default::default()
+        });
+        let cache = fdb_core::ViewCache::global();
+        let scans = || cache.stats_for_id(db.get("R").unwrap().data_id()).1;
+        let (s1, _) = grid_stats_indb(&db, &["R"], &["x", "y"], &engine).unwrap();
+        assert_eq!(s1.count, 50.0);
+        assert!((s1.mean[0] - 3.0).abs() < 0.2, "mean of i % 7 near 3");
+        let cold = scans();
+        assert!(cold > 0);
+        let (s2, reuse) = grid_stats_indb(&db, &["R"], &["x", "y"], &engine).unwrap();
+        assert_eq!(scans(), cold, "second clustering run rescans nothing");
+        assert!(reuse.views_reused > 0);
+        assert_eq!(s1.mean, s2.mean);
+        // The equi-width coreset built on those bounds behaves like the
+        // quantile one: weights partition the data, cells ≤ data.
+        let m = DataMatrix::from_relation(db.get("R").unwrap(), &["x", "y"], &[], "resp").unwrap();
+        let (cells, weights) = grid_coreset_equiwidth(&m, 4, &s1);
+        assert!(!cells.is_empty() && cells.len() < m.rows());
+        assert!((weights.iter().sum::<f64>() - m.rows() as f64).abs() < 1e-9);
+        // Misaligned stats are rejected, not mis-binned.
+        let (none, _) = grid_coreset_equiwidth(
+            &m,
+            4,
+            &GridStats { count: 0.0, mean: vec![0.0], std: vec![1.0] },
+        );
+        assert!(none.is_empty());
     }
 
     #[test]

@@ -25,6 +25,9 @@
 //!   mutual-information batch (Figure 5 workload).
 //! * [`fd`] — functional-dependency detection and model reparameterization
 //!   (§3.2): train fewer parameters, recover the original model.
+//! * [`reuse`] — per-training view-cache reuse accounting: iterative
+//!   trainers (CART, BGD retrains, Rk-means grid statistics) report how
+//!   many views the engine served from the cross-batch cache vs rescanned.
 
 pub mod chowliu;
 pub mod fd;
@@ -34,10 +37,12 @@ pub mod linalg;
 pub mod linreg;
 pub mod matrix;
 pub mod pca;
+pub mod reuse;
 pub mod sgd;
 pub mod svm;
 pub mod tree;
 
 pub use linreg::LinearRegression;
 pub use matrix::DataMatrix;
+pub use reuse::ViewReuse;
 pub use tree::DecisionTree;

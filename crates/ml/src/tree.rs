@@ -10,6 +10,7 @@
 //! distribution, "decided in advance based on the distribution of values"
 //! exactly as the paper prescribes.
 
+use crate::reuse::ViewReuse;
 use fdb_core::{AggBatch, AggQuery, Aggregate, Engine, FilterOp};
 use fdb_data::{DataError, Database, Relation};
 
@@ -86,6 +87,13 @@ pub struct DecisionTree {
     pub root: Node,
     /// Number of engine batches run during training (one per tree node).
     pub batches_run: usize,
+    /// View-cache reuse observed across the whole training: per-node
+    /// batches share every subtree view a node's split filters do not
+    /// touch (residual-filter reuse), so with the LMFAO engine the
+    /// trainer rescans strictly fewer views than
+    /// `batches × views-per-batch`. Zero on engines that do not use the
+    /// view cache.
+    pub view_reuse: ViewReuse,
 }
 
 struct Fitter<'a> {
@@ -111,20 +119,7 @@ impl DecisionTree {
         cfg: TreeConfig,
         engine: &dyn Engine,
     ) -> Result<Self, DataError> {
-        let candidates =
-            candidate_splits(db, relations, continuous, categorical, cfg.thresholds, engine)?;
-        let mut fitter = Fitter {
-            db,
-            rels: relations.to_vec(),
-            response,
-            candidates,
-            cfg,
-            engine,
-            batches_run: 0,
-            classification: false,
-        };
-        let root = fitter.fit_node(vec![], 0)?;
-        Ok(Self { root, batches_run: fitter.batches_run })
+        Self::fit_impl(db, relations, continuous, categorical, response, cfg, engine, false)
     }
 
     /// Fits a classification tree; `response` must be a categorical
@@ -140,20 +135,40 @@ impl DecisionTree {
         cfg: TreeConfig,
         engine: &dyn Engine,
     ) -> Result<Self, DataError> {
-        let candidates =
-            candidate_splits(db, relations, continuous, categorical, cfg.thresholds, engine)?;
-        let mut fitter = Fitter {
-            db,
-            rels: relations.to_vec(),
-            response,
-            candidates,
-            cfg,
-            engine,
-            batches_run: 0,
-            classification: true,
-        };
-        let root = fitter.fit_node(vec![], 0)?;
-        Ok(Self { root, batches_run: fitter.batches_run })
+        Self::fit_impl(db, relations, continuous, categorical, response, cfg, engine, true)
+    }
+
+    /// Shared trainer body: candidate construction + recursive node
+    /// fitting, wrapped in view-reuse accounting.
+    #[allow(clippy::too_many_arguments)]
+    fn fit_impl(
+        db: &Database,
+        relations: &[&str],
+        continuous: &[&str],
+        categorical: &[&str],
+        response: &str,
+        cfg: TreeConfig,
+        engine: &dyn Engine,
+        classification: bool,
+    ) -> Result<Self, DataError> {
+        let (fitted, view_reuse) = ViewReuse::measure(|| -> Result<_, DataError> {
+            let candidates =
+                candidate_splits(db, relations, continuous, categorical, cfg.thresholds, engine)?;
+            let mut fitter = Fitter {
+                db,
+                rels: relations.to_vec(),
+                response,
+                candidates,
+                cfg,
+                engine,
+                batches_run: 0,
+                classification,
+            };
+            let root = fitter.fit_node(vec![], 0)?;
+            Ok((root, fitter.batches_run))
+        });
+        let (root, batches_run) = fitted?;
+        Ok(Self { root, batches_run, view_reuse })
     }
 
     /// Predicts for row `row` of a flat relation carrying the feature
@@ -478,6 +493,51 @@ mod tests {
         let tree2 = fit();
         assert_eq!(sorts(), after_first, "an identical fit re-sorts nothing");
         assert_eq!(tree2.leaves(), tree.leaves());
+    }
+
+    #[test]
+    fn lmfao_fit_reuses_subtree_views_across_nodes_and_fits() {
+        // One aggregate batch per tree node over the same join tree: the
+        // view cache must serve every subtree a node's split filters do
+        // not touch. Attribution uses per-content-id stats on a fresh
+        // dataset instance, so concurrent cache users cannot skew it.
+        let ds = retailer(RetailerConfig::tiny());
+        let rels: Vec<&str> = ds.relation_refs();
+        let cache = fdb_core::ViewCache::global();
+        let counts = || -> (u64, u64) {
+            rels.iter()
+                .map(|r| cache.stats_for_id(ds.db.get(r).unwrap().data_id()))
+                .fold((0, 0), |(a, b), (h, m)| (a + h, b + m))
+        };
+        let engine = fdb_core::LmfaoEngine::with_config(fdb_core::EngineConfig {
+            threads: 1,
+            ..Default::default()
+        });
+        let cfg = TreeConfig { max_depth: 3, min_samples: 8.0, thresholds: 4, min_gain: 1e-9 };
+        let fit = || {
+            DecisionTree::fit_regression(
+                &ds.db,
+                &rels,
+                &["prize", "maxtemp"],
+                &["rain"],
+                "inventoryunits",
+                cfg,
+                &engine,
+            )
+            .unwrap()
+        };
+        let t1 = fit();
+        let (reused1, scanned1) = counts();
+        assert!(t1.batches_run >= 3, "one batch per node");
+        assert!(reused1 > 0, "residual subtrees served from cache across nodes");
+        assert!(t1.view_reuse.views_rescanned > 0, "a cold fit scans something");
+        // An identical second fit is fully served — zero rescans.
+        let t2 = fit();
+        let (reused2, scanned2) = counts();
+        assert_eq!(scanned2, scanned1, "identical fit rescans nothing");
+        assert!(reused2 > reused1, "second fit served from cache");
+        assert!(t2.view_reuse.views_reused > 0);
+        assert_eq!(t2.leaves(), t1.leaves());
     }
 
     #[test]

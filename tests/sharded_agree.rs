@@ -34,17 +34,24 @@ fn assert_sharded_agrees(db: &Database, q: &AggQuery) -> BatchResult {
     let seq = EngineConfig::sequential();
     for &n in &SHARD_COUNTS {
         let flat = FlatEngine.run(db, q).unwrap();
-        let sharded_flat = ShardedEngine::with_shards(FlatEngine, n).run(db, q).unwrap();
+        let sharded_flat = ShardedEngine::with_shards(FlatEngine, n)
+            .with_min_rows_per_shard(1)
+            .run(db, q)
+            .unwrap();
         assert_results_match(&flat, &sharded_flat, &format!("flat x{n}"), naggs);
 
         let fac = FactorizedEngine::new().run(db, q).unwrap();
-        let sharded_fac =
-            ShardedEngine::with_shards(FactorizedEngine::new(), n).run(db, q).unwrap();
+        let sharded_fac = ShardedEngine::with_shards(FactorizedEngine::new(), n)
+            .with_min_rows_per_shard(1)
+            .run(db, q)
+            .unwrap();
         assert_results_match(&fac, &sharded_fac, &format!("factorized x{n}"), naggs);
 
         let lm = LmfaoEngine::with_config(seq).run(db, q).unwrap();
-        let sharded_lm =
-            ShardedEngine::with_shards(LmfaoEngine::with_config(seq), n).run(db, q).unwrap();
+        let sharded_lm = ShardedEngine::with_shards(LmfaoEngine::with_config(seq), n)
+            .with_min_rows_per_shard(1)
+            .run(db, q)
+            .unwrap();
         assert_results_match(&lm, &sharded_lm, &format!("lmfao x{n}"), naggs);
 
         // Cross-backend: sharded results also agree with each *other*.
@@ -108,7 +115,10 @@ fn sharding_composes_with_dispatch() {
     let q = AggQuery::new(&rels, covariance_batch(&["prize", "inventoryunits"], &["rain"]));
     let base = DispatchEngine::new().run(&ds.db, &q).unwrap();
     for &n in &SHARD_COUNTS {
-        let got = ShardedEngine::with_shards(DispatchEngine::new(), n).run(&ds.db, &q).unwrap();
+        let got = ShardedEngine::with_shards(DispatchEngine::new(), n)
+            .with_min_rows_per_shard(1)
+            .run(&ds.db, &q)
+            .unwrap();
         assert_results_match(&base, &got, &format!("sharded dispatch x{n}"), q.batch.len());
     }
 }
@@ -184,6 +194,26 @@ proptest! {
     }
 }
 
+/// The default small-fact threshold makes tiny joins run unwrapped
+/// (identical results, no partition overhead) — and the fallback composes
+/// with dispatch, so `ShardedEngine<DispatchEngine>` never pays the
+/// partition + merge bill on the example databases either.
+#[test]
+fn default_threshold_falls_back_on_tiny_facts_with_identical_results() {
+    let db = fdb::datasets::dish::dish_database();
+    let mut batch = AggBatch::new();
+    batch.push(Aggregate::count());
+    batch.push(Aggregate::sum("price").by(&["customer"]));
+    let q = AggQuery::new(&["Orders", "Dish", "Items"], batch);
+    let base = FlatEngine.run(&db, &q).unwrap();
+    for &n in &SHARD_COUNTS {
+        let flat = ShardedEngine::with_shards(FlatEngine, n).run(&db, &q).unwrap();
+        assert_results_match(&base, &flat, &format!("fallback flat x{n}"), q.batch.len());
+        let dispatch = ShardedEngine::with_shards(DispatchEngine::new(), n).run(&db, &q).unwrap();
+        assert_results_match(&base, &dispatch, &format!("fallback dispatch x{n}"), q.batch.len());
+    }
+}
+
 /// Pinning the shard to a dimension relation is legal (any single
 /// relation partitions the join) and must agree too.
 #[test]
@@ -198,7 +228,8 @@ fn sharding_a_dimension_relation_also_agrees() {
         for &n in &SHARD_COUNTS {
             let e =
                 ShardedEngine::with_shards(LmfaoEngine::with_config(EngineConfig::sequential()), n)
-                    .with_fact(fact);
+                    .with_fact(fact)
+                    .with_min_rows_per_shard(1);
             let got = e.run(&db, &q).unwrap();
             assert_results_match(&base, &got, &format!("fact {fact} x{n}"), q.batch.len());
         }

@@ -3,9 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fdb_bench::fig4_speedup::as_classical;
+use fdb_core::eval_agg_batch;
 use fdb_core::{covariance_batch, AggQuery, Engine, EngineConfig, LmfaoEngine};
 use fdb_datasets::{retailer, RetailerConfig};
-use fdb_query::{eval_agg_batch, natural_join_all};
+use fdb_query::natural_join_all;
 use std::hint::black_box;
 
 fn bench_covariance(c: &mut Criterion) {

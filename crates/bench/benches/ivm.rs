@@ -1,9 +1,13 @@
 //! Criterion bench: per-update maintenance cost of the three IVM
-//! strategies on the retailer stream (Fig 4 right).
+//! strategies on the retailer stream (Fig 4 right), plus the unified
+//! `MaintainableEngine` path in isolation: `FivmEngine::prepare` once,
+//! then `apply_delta` per single-row insert.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use fdb_bench::fig4_ivm::{run, Strategy};
+use fdb_bench::fig4_ivm::{build_stream, run, Strategy};
+use fdb_core::{covariance_batch, AggQuery, MaintainableEngine};
 use fdb_datasets::{retailer, RetailerConfig};
+use fdb_ivm::FivmEngine;
 use std::hint::black_box;
 
 fn bench_ivm(c: &mut Criterion) {
@@ -15,6 +19,19 @@ fn bench_ivm(c: &mut Criterion) {
             b.iter(|| black_box(run(&ds, strat, 600, 1)));
         });
     }
+    // The unified maintenance path, end to end: prepare on the empty
+    // catalog, then fold the whole delta stream through `apply_delta`.
+    g.bench_function("fivm-maintainable-engine", |b| {
+        let (empty, names, stream) = build_stream(&ds, 600);
+        let cont: Vec<&str> = ds.features.continuous_with_response_refs();
+        let q = AggQuery::new(&names, covariance_batch(&cont, &[]));
+        b.iter(|| {
+            let mut st = FivmEngine.prepare(&empty, &q).expect("prepare");
+            for d in &stream {
+                black_box(FivmEngine.apply_delta(&mut st, d).expect("delta"));
+            }
+        });
+    });
     g.finish();
 }
 

@@ -54,6 +54,9 @@ fn main() {
     let rows = perf::run_all_with_shards(scale, iters, arms, shards);
     let cart = (arms == Arms::Both).then(|| perf::cart_sort_accounting(scale));
     let views = (arms == Arms::Both).then(|| perf::cart_view_reuse(scale));
+    // The IVM arm scales its update count mildly with the dataset.
+    let ivm_updates = ((64.0 * scale.sqrt()) as usize).clamp(16, 512);
+    let ivm = (arms == Arms::Both).then(|| perf::ivm_maintenance(scale, ivm_updates));
 
     fdb_bench::print_table(
         &["bench", "engine", "config", "wall", "groups"],
@@ -93,7 +96,19 @@ fn main() {
         );
     }
 
-    let json = perf::to_json(&rows, cart.as_ref(), views.as_ref());
+    if let Some(p) = &ivm {
+        println!(
+            "ivm-retailer: {} fact inserts maintained at {:.0} updates/s \
+             ({} views delta-maintained, {} rescans); delta-vs-recompute {:.1}x",
+            p.updates,
+            p.updates_per_sec(),
+            p.delta_maintained,
+            p.maintained_rescans,
+            p.speedup()
+        );
+    }
+
+    let json = perf::to_json(&rows, cart.as_ref(), views.as_ref(), ivm.as_ref());
     std::fs::write(&out, json).expect("write BENCH_engines.json");
     println!("wrote {out}");
 }

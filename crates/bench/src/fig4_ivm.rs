@@ -1,41 +1,33 @@
 //! Figure 4 (right): maintenance throughput of the covariance matrix under
 //! an insert stream into an initially empty retailer database — F-IVM vs
 //! first-order and higher-order IVM, reported per decile of the stream.
+//!
+//! The stream is a sequence of single-row [`Delta`]s against an empty
+//! catalog. F-IVM runs through the **unified maintenance path**
+//! (`FivmEngine` behind `fdb_core::MaintainableEngine`: `prepare` on the
+//! empty database, `apply_delta` per update); the first- and higher-order
+//! baselines run through the same `Database`+`Delta` front door
+//! ([`CovMaintainer`]) — no caller touches the crate-internal `StreamDb`
+//! stream storage.
 
-use fdb_data::{Schema, Value};
+use fdb_core::{covariance_batch, AggQuery, MaintainableEngine};
+use fdb_data::{Database, Delta, Relation};
 use fdb_datasets::Dataset;
-use fdb_ivm::{Fivm, FoIvm, HoIvm, StreamDb, TreeShape, Update};
-use std::sync::Arc;
+use fdb_ivm::{CovMaintainer, FivmEngine};
 
-/// Which maintenance strategy to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Strategy {
-    /// First-order IVM (delta joins, no materialized views).
-    FirstOrder,
-    /// Higher-order IVM (one view tree per aggregate).
-    HigherOrder,
-    /// F-IVM (one covariance-ring view tree).
-    Fivm,
-}
+/// Which maintenance strategy to run (re-exported from `fdb-ivm`).
+pub use fdb_ivm::IvmStrategy as Strategy;
 
-impl Strategy {
-    /// Display name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Strategy::FirstOrder => "first-order IVM",
-            Strategy::HigherOrder => "higher-order IVM",
-            Strategy::Fivm => "F-IVM",
-        }
-    }
-}
-
-/// Builds the insert stream: the dataset's tuples, round-robin across
-/// relations (so all base relations grow together, as in the paper's
-/// experiment), capped at `limit` updates.
-pub fn build_stream(ds: &Dataset, limit: usize) -> (Vec<Schema>, Vec<&str>, Vec<Update>) {
+/// Builds the experiment inputs: an empty catalog with the dataset's
+/// schemas, and the insert stream — the dataset's tuples as single-row
+/// [`Delta`]s, round-robin across relations (so all base relations grow
+/// together, as in the paper's experiment), capped at `limit` updates.
+pub fn build_stream(ds: &Dataset, limit: usize) -> (Database, Vec<&str>, Vec<Delta>) {
     let names: Vec<&str> = ds.relation_refs();
-    let schemas: Vec<Schema> =
-        names.iter().map(|n| ds.db.get(n).expect("rel").schema().clone()).collect();
+    let mut empty = Database::new();
+    for name in &names {
+        empty.add(*name, Relation::new(ds.db.get(name).expect("rel").schema().clone()));
+    }
     let mut cursors = vec![0usize; names.len()];
     let mut stream = Vec::with_capacity(limit);
     'outer: loop {
@@ -43,9 +35,8 @@ pub fn build_stream(ds: &Dataset, limit: usize) -> (Vec<Schema>, Vec<&str>, Vec<
         for (ri, name) in names.iter().enumerate() {
             let rel = ds.db.get(name).expect("rel");
             if cursors[ri] < rel.len() {
-                let tuple: Vec<Value> = rel.row_vec(cursors[ri]);
+                stream.push(Delta::insert(*name, rel.row_vec(cursors[ri])));
                 cursors[ri] += 1;
-                stream.push(Update::insert(ri, tuple));
                 progressed = true;
                 if stream.len() >= limit {
                     break 'outer;
@@ -56,30 +47,29 @@ pub fn build_stream(ds: &Dataset, limit: usize) -> (Vec<Schema>, Vec<&str>, Vec<
             break;
         }
     }
-    (schemas, names, stream)
+    (empty, names, stream)
 }
 
 /// Throughput (tuples/second) per decile of the stream for one strategy.
 pub fn run(ds: &Dataset, strategy: Strategy, limit: usize, deciles: usize) -> Vec<(f64, f64)> {
-    let (schemas, names, stream) = build_stream(ds, limit);
+    let (empty, names, stream) = build_stream(ds, limit);
     let cont: Vec<&str> = ds.features.continuous_with_response_refs();
-    // Root the view tree at the fact relation (index 0 in our datasets).
-    let shape = Arc::new(TreeShape::build(schemas.clone(), &names, 0).expect("acyclic"));
-    let mut db = StreamDb::new(schemas);
-    shape.register_indices(&mut db);
-    FoIvm::register_indices(&shape, &mut db);
-    let mut apply: Box<dyn FnMut(&StreamDb, &Update)> = match strategy {
-        Strategy::FirstOrder => {
-            let mut fo = FoIvm::new(Arc::clone(&shape), &cont);
-            Box::new(move |db: &StreamDb, up: &Update| fo.apply(db, up))
-        }
-        Strategy::HigherOrder => {
-            let mut ho = HoIvm::new(Arc::clone(&shape), &cont);
-            Box::new(move |db: &StreamDb, up: &Update| ho.apply(db, up))
-        }
+    let mut apply: Box<dyn FnMut(&Delta)> = match strategy {
         Strategy::Fivm => {
-            let mut fi = Fivm::new(Arc::clone(&shape), &cont).expect("features resolved");
-            Box::new(move |db: &StreamDb, up: &Update| fi.apply(db, up))
+            // The unified path: F-IVM as a `MaintainableEngine`.
+            let q = AggQuery::new(&names, covariance_batch(&cont, &[]));
+            let mut st = FivmEngine.prepare(&empty, &q).expect("covariance query prepares");
+            Box::new(move |d: &Delta| {
+                FivmEngine.apply_delta(&mut st, d).expect("valid update");
+            })
+        }
+        other => {
+            // Root the view tree at the fact relation (index 0 in our
+            // datasets), like the unified path roots at the largest.
+            let mut m = CovMaintainer::new(&empty, &names, 0, &cont, other).expect("acyclic join");
+            Box::new(move |d: &Delta| {
+                m.apply_delta(d).expect("valid update");
+            })
         }
     };
     let chunk = (stream.len() / deciles).max(1);
@@ -87,9 +77,8 @@ pub fn run(ds: &Dataset, strategy: Strategy, limit: usize, deciles: usize) -> Ve
     let mut done = 0usize;
     for part in stream.chunks(chunk) {
         let t0 = std::time::Instant::now();
-        for up in part {
-            db.apply(up).expect("valid update");
-            apply(&db, up);
+        for d in part {
+            apply(d);
         }
         let secs = t0.elapsed().as_secs_f64().max(1e-9);
         done += part.len();
@@ -106,13 +95,13 @@ mod tests {
     #[test]
     fn stream_round_robins_and_caps() {
         let ds = retailer(RetailerConfig::tiny());
-        let (schemas, names, stream) = build_stream(&ds, 50);
+        let (empty, names, stream) = build_stream(&ds, 50);
         assert_eq!(stream.len(), 50);
-        assert_eq!(schemas.len(), 5);
         assert_eq!(names.len(), 5);
+        assert!(names.iter().all(|n| empty.get(n).unwrap().is_empty()));
         // The first five updates hit five different relations.
-        let rels: Vec<usize> = stream[..5].iter().map(|u| u.rel).collect();
-        assert_eq!(rels, vec![0, 1, 2, 3, 4]);
+        let rels: Vec<&str> = stream[..5].iter().map(|d| d.relation.as_str()).collect();
+        assert_eq!(rels, names);
     }
 
     #[test]
@@ -130,5 +119,33 @@ mod tests {
         let fo = best(Strategy::FirstOrder);
         assert!(fi > 2.0 * ho, "F-IVM {fi:.0} tups/s must beat higher-order {ho:.0}");
         assert!(ho > fo, "higher-order {ho:.0} tups/s must beat first-order {fo:.0}");
+    }
+
+    #[test]
+    fn strategies_converge_to_the_same_triple() {
+        // All three maintainers fed the same 120-update stream hold the
+        // same covariance triple (the Database+Delta front door keeps the
+        // legacy agreement tests' guarantee).
+        let ds = retailer(RetailerConfig::tiny());
+        let (empty, names, stream) = build_stream(&ds, 120);
+        let cont: Vec<&str> = ds.features.continuous_with_response_refs();
+        let mut maints: Vec<CovMaintainer> =
+            [Strategy::FirstOrder, Strategy::HigherOrder, Strategy::Fivm]
+                .into_iter()
+                .map(|s| CovMaintainer::new(&empty, &names, 0, &cont, s).unwrap())
+                .collect();
+        for d in &stream {
+            for m in &mut maints {
+                m.apply_delta(d).unwrap();
+            }
+        }
+        let base = maints[0].triple();
+        for m in &maints[1..] {
+            let t = m.triple();
+            assert!((t.c - base.c).abs() < 1e-6);
+            for i in 0..base.s.len() {
+                assert!((t.s[i] - base.s[i]).abs() < 1e-6 * (1.0 + base.s[i].abs()));
+            }
+        }
     }
 }

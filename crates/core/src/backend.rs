@@ -19,13 +19,14 @@
 //!   [`crate::exec`] / [`crate::parallel`]).
 
 use crate::batch::{Aggregate, FilterOp, Fn1};
+use crate::classical::ScanQuery;
 use crate::exec::{filter_pass, run_batch, Col};
 use crate::group::{GroupIndex, KeySpace, DEFAULT_DENSE_GROUPS};
 use crate::ir::{sorted_groups, AggQuery, BatchResult};
 use crate::parallel::EngineConfig;
 use fdb_data::{DataError, Database, SortCache, Value};
 use fdb_factorized::EvalSpec;
-use fdb_query::{natural_join_all, Predicate, ScalarExpr, ScanQuery};
+use fdb_query::{natural_join_all, Predicate, ScalarExpr};
 use fdb_ring::{DenseKeyedRing, F64Ring, KeyedRing, Semiring};
 use std::collections::HashMap;
 

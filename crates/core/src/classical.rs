@@ -1,13 +1,22 @@
-//! Group-by aggregate evaluation: one scan per query.
+//! Group-by aggregate evaluation the *classical* way: one scan per query.
 //!
-//! `eval_agg_batch` evaluates a *batch* of aggregates the way a classical
+//! `eval_agg_batch` evaluates a batch of aggregates the way a classical
 //! engine does — sequentially, each with its own scan of the (materialized)
 //! data matrix and its own hash table. The contrast with LMFAO's shared,
 //! factorized evaluation of the same batch is what Figure 4 (left)
-//! measures.
+//! measures, and the perf harness's `flat/baseline-hash` arm times.
+//!
+//! This module moved here from `fdb-query` so that **all** aggregate
+//! evaluation lives in one crate behind one layering: `fdb-query` supplies
+//! join materialization ([`fdb_query::natural_join_all`]) and the
+//! expression IR ([`ScalarExpr`], [`Predicate`]); `fdb-core` owns every
+//! evaluation loop — the shared-scan [`FlatEngine`](crate::FlatEngine),
+//! the LMFAO view engine ([`crate::exec`]), and this deliberately naive
+//! per-aggregate baseline. [`crate::to_scan_query`] lowers one IR
+//! aggregate to a [`ScanQuery`].
 
-use crate::expr::{Predicate, ScalarExpr};
 use fdb_data::{DataError, Relation, Value};
+use fdb_query::{Predicate, ScalarExpr};
 use std::collections::HashMap;
 
 /// One per-relation scan query: `SELECT group_by, SUM(expr) FROM rel WHERE

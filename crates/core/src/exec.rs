@@ -28,7 +28,7 @@ pub(crate) struct CacheCtx<'a> {
 }
 
 impl<'a> CacheCtx<'a> {
-    fn new(cache: &'a ViewCache, plan: &Plan<'_>, cfg: &EngineConfig) -> Self {
+    pub(crate) fn new(cache: &'a ViewCache, plan: &Plan, cfg: &EngineConfig) -> Self {
         Self {
             cache,
             sigs: plan.subtree_signatures(cfg.dense_limit),
@@ -38,7 +38,7 @@ impl<'a> CacheCtx<'a> {
     }
 
     /// The cached views of `node`'s subtree, if its signature is warm.
-    fn serve(&self, node: usize) -> Option<Arc<Vec<ViewData>>> {
+    pub(crate) fn serve(&self, node: usize) -> Option<Arc<Vec<ViewData>>> {
         self.cache.get(&self.sigs[node], self.head_ids[node])
     }
 
@@ -52,6 +52,35 @@ impl<'a> CacheCtx<'a> {
     /// on top of the subtree signature.
     fn root_key(&self, root: usize, chunks: usize) -> String {
         format!("{}#chunks{chunks}", self.sigs[root])
+    }
+
+    /// The cached root views for a `chunks`-way scan, if warm.
+    pub(crate) fn serve_root(&self, root: usize, chunks: usize) -> Option<Arc<Vec<ViewData>>> {
+        self.cache.get(&self.root_key(root, chunks), self.head_ids[root])
+    }
+
+    /// [`CacheCtx::serve`] with an adoption predicate checked before the
+    /// hit is counted (rejections count as misses — see
+    /// [`ViewCache::get_filtered`]). `chunks1_root` keys the node as the
+    /// root of a 1-chunk scan instead of by its plain subtree signature.
+    pub(crate) fn serve_filtered(
+        &self,
+        node: usize,
+        chunks1_root: bool,
+        adopt: impl FnOnce(&[ViewData]) -> bool,
+    ) -> Option<Arc<Vec<ViewData>>> {
+        let key = if chunks1_root { self.root_key(node, 1) } else { self.sigs[node].clone() };
+        self.cache.get_filtered(&key, self.head_ids[node], adopt)
+    }
+
+    /// Offers freshly computed root views (a `chunks`-way scan).
+    pub(crate) fn admit_root(&self, root: usize, chunks: usize, views: &Arc<Vec<ViewData>>) {
+        self.cache.insert(
+            &self.root_key(root, chunks),
+            self.head_ids[root],
+            Arc::clone(views),
+            self.budget,
+        );
     }
 }
 
@@ -107,14 +136,29 @@ pub(crate) fn filter_pass(op: &FilterOp, x_f: f64, x_i: i64) -> bool {
 /// Computes all views of `node` over `rows` of its relation, probing the
 /// children's views in `child_data`.
 pub(crate) fn compute_node(
-    plan: &Plan<'_>,
+    plan: &Plan,
     node: usize,
     child_data: &[Option<Arc<Vec<ViewData>>>],
     cfg: &EngineConfig,
     rows: std::ops::Range<usize>,
 ) -> Vec<ViewData> {
+    compute_node_over(plan, node, &plan.rels[node], child_data, cfg, rows)
+}
+
+/// [`compute_node`] scanning `rel` in place of the node's own relation —
+/// the delta-maintenance entry point: a batch of inserted (or deleted)
+/// rows, shaped like the node's relation, contributes its views exactly
+/// as those rows would during a full scan, so the result is the *delta*
+/// of the node's views under the update.
+pub(crate) fn compute_node_over(
+    plan: &Plan,
+    node: usize,
+    rel: &fdb_data::Relation,
+    child_data: &[Option<Arc<Vec<ViewData>>>],
+    cfg: &EngineConfig,
+    rows: std::ops::Range<usize>,
+) -> Vec<ViewData> {
     let np = &plan.nodes[node];
-    let rel = plan.rels[node];
     let cols = Col::all(rel);
     let mut out: Vec<ViewData> =
         np.views.iter().map(|_| ViewData::new(np.key_space.as_ref())).collect();
@@ -321,7 +365,7 @@ pub(crate) fn compute_node(
 /// Computes all nodes of `order` sequentially (bottom-up), offering each
 /// computed node to the view cache.
 pub(crate) fn compute_subtree(
-    plan: &Plan<'_>,
+    plan: &Plan,
     order: &[usize],
     data: &mut [Option<Arc<Vec<ViewData>>>],
     cfg: &EngineConfig,
@@ -398,11 +442,7 @@ pub(crate) fn run_batch(
     let root_rows = plan.rels[root].len();
     let chunked = cfg.threads > 1 && root_rows > 4096;
     let chunks = if chunked { cfg.threads.min(root_rows).max(1) } else { 1 };
-    let root_key = ctx.as_ref().map(|ctx| ctx.root_key(root, chunks));
-    let cached_root = match (&ctx, &root_key) {
-        (Some(ctx), Some(key)) => ctx.cache.get(key, ctx.head_ids[root]),
-        _ => None,
-    };
+    let cached_root = ctx.as_ref().and_then(|ctx| ctx.serve_root(root, chunks));
     let root_data: Arc<Vec<ViewData>> = match cached_root {
         Some(hit) => hit,
         None => {
@@ -412,8 +452,8 @@ pub(crate) fn run_batch(
                 compute_node(&plan, root, &data, cfg, 0..root_rows)
             };
             let computed = Arc::new(computed);
-            if let (Some(ctx), Some(key)) = (&ctx, &root_key) {
-                ctx.cache.insert(key, ctx.head_ids[root], Arc::clone(&computed), ctx.budget);
+            if let Some(ctx) = &ctx {
+                ctx.admit_root(root, chunks, &computed);
             }
             computed
         }

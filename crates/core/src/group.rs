@@ -126,7 +126,7 @@ impl KeySpace {
 /// Only touched groups are represented (dense variant keeps a touch list
 /// and bitmap), so iteration order and group counts match the hash
 /// fallback up to ordering.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum GroupIndex {
     /// Flat storage indexed by composite code.
     Dense {
@@ -346,6 +346,28 @@ impl GroupIndex {
             }
         }
         out
+    }
+
+    /// Multiplies every payload slot of every touched group by `factor` —
+    /// how the delta-maintenance path turns a batch of deleted rows into
+    /// the additive inverse of their view contributions (§3.1).
+    pub fn scale(&mut self, factor: f64) {
+        match self {
+            GroupIndex::Dense { slots, data, touched, .. } => {
+                for &code in touched.iter() {
+                    for s in 0..*slots {
+                        data[code as usize * *slots + s] *= factor;
+                    }
+                }
+            }
+            GroupIndex::Hash { map, .. } => {
+                for payload in map.values_mut() {
+                    for v in payload.iter_mut() {
+                        *v *= factor;
+                    }
+                }
+            }
+        }
     }
 
     /// Merges `other` into `self`, summing payloads of equal keys. A

@@ -49,10 +49,12 @@
 pub mod backend;
 pub mod batch;
 pub mod batchgen;
+pub mod classical;
 pub mod dispatch;
 pub mod exec;
 pub mod group;
 pub mod ir;
+pub mod maintain;
 pub mod parallel;
 pub mod plan;
 pub mod shard;
@@ -62,10 +64,12 @@ pub mod viewcache;
 pub use backend::{all_engines, to_scan_query, Engine, FactorizedEngine, FlatEngine, LmfaoEngine};
 pub use batch::{AggBatch, Aggregate, FilterOp, Fn1};
 pub use batchgen::{covariance_batch, decision_node_batch, kmeans_batch, mutual_info_batch};
+pub use classical::{eval_agg, eval_agg_batch, AggResult, ScanQuery};
 pub use dispatch::{query_stats, DispatchEngine, QueryStats};
 pub use group::{GroupIndex, KeySpace};
 pub use ir::{AggQuery, BatchResult};
+pub use maintain::{CustomMaint, MaintState, MaintainableEngine};
 pub use parallel::{EngineChoice, EngineConfig};
 pub use shard::{ShardedEngine, DEFAULT_MIN_ROWS_PER_SHARD};
-pub use stats::{sufficient_stats, SufficientStats};
+pub use stats::{stats_from_result, sufficient_stats, SufficientStats};
 pub use viewcache::{ViewCache, ViewCacheStats, DEFAULT_VIEW_CACHE_BYTES};

@@ -1,0 +1,861 @@
+//! The delta layer: one-shot evaluation as a special case of incremental
+//! view maintenance (F-IVM, §3.1; Kara et al., "Machine Learning over
+//! Static and Dynamic Relational Data").
+//!
+//! [`MaintainableEngine`] extends [`Engine`] with a prepared-state
+//! protocol: [`prepare`](MaintainableEngine::prepare) pays the one-shot
+//! cost once and returns a [`MaintState`];
+//! [`apply_delta`](MaintainableEngine::apply_delta) folds a
+//! [`Delta`](fdb_data::Delta) — per-relation insert/delete row batches
+//! with signed multiplicities — into that state and returns the updated
+//! [`BatchResult`]. The default implementations make **every** backend
+//! trivially maintainable (apply the delta to the maintained database
+//! copy, recompute via [`Engine::run`]); the interesting overrides are:
+//!
+//! * **[`LmfaoEngine`]** — true incremental maintenance over the layered
+//!   view tree. `prepare` materializes every node's views (serving and
+//!   warming the cross-batch [`ViewCache`]); `apply_delta` computes the
+//!   *delta views* of the updated relation from the delta rows alone
+//!   (deletes are inserts scaled by `−1` — the ring's additive inverse)
+//!   and propagates them along the **owner→root path**: at each ancestor
+//!   only the rows joining a changed key contribute, probed against the
+//!   delta views of the child and the *unchanged* current views of every
+//!   off-path sibling. Nothing below the path is ever rescanned. The
+//!   maintained views are re-admitted to the [`ViewCache`] under their
+//!   post-delta content signatures, counted as
+//!   [`delta_maintained`](crate::ViewCacheStats::delta_maintained) —
+//!   maintain-in-place instead of the cache's default
+//!   invalidate-and-rescan. Non-additive cases (an insert outside the
+//!   prepare-time dense code ranges, an emptied relation) fall back to
+//!   full recomputation.
+//! * **[`ShardedEngine`]** — routes a fact delta to the shard that owns
+//!   the affected rows, re-runs `apply_delta` on that shard's inner state
+//!   only, and ring-additively re-merges the memoized per-shard results;
+//!   dimension deltas fan out to every shard.
+//! * **[`DispatchEngine`]** — picks the backend once at `prepare` (the
+//!   same statistics-driven choice as `run`) and thereafter routes every
+//!   delta to the prepared state's IVM path.
+//! * `FivmEngine` (in `fdb-ivm`) — plugs in through [`CustomMaint`]: the
+//!   covariance-ring view tree maintains the whole triple in `O(delta)`.
+//!
+//! The contract, held by `tests/delta_agree.rs` on every engine:
+//! `apply_delta` over any insert/delete sequence agrees with a cold
+//! [`Engine::run`] over the equivalently mutated database.
+//!
+//! **Cost model of composition.** Every [`MaintState`] level owns its own
+//! maintained [`Database`] copy (cheap at prepare — relations are
+//! `Arc`-shared until mutated) and applies each delta to it, so a wrapped
+//! composition like `ShardedEngine<DispatchEngine<…>>` pays
+//! [`Database::apply_delta`] once per level per delta. For inserts that
+//! is `O(delta)` per level; deletes pay the multiset's `O(rows)`
+//! match-and-rebuild per level. This duplication is deliberate: each
+//! level's state is self-contained (its `database()` is always exactly
+//! what its engine evaluated), which is what lets any engine recompute
+//! from any state and keeps the wrappers composable without a shared
+//! mutable catalog.
+
+use crate::backend::{Engine, FactorizedEngine, FlatEngine, LmfaoEngine};
+use crate::dispatch::DispatchEngine;
+use crate::exec::{compute_node, compute_node_over, CacheCtx};
+use crate::ir::{AggQuery, BatchResult};
+use crate::parallel::{merge_view_data, EngineChoice, EngineConfig};
+use crate::plan::{Plan, ViewData};
+use crate::shard::{drop_exact_zeros, merge_into, ShardedEngine};
+use crate::viewcache::ViewCache;
+use fdb_data::{DataError, Database, Delta, Relation};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Prepared maintenance state: the maintained database copy, the query,
+/// and an engine-specific maintenance structure.
+///
+/// The state owns its database — deltas mutate the copy, so the caller's
+/// database stays a snapshot of prepare time (hand the same deltas to
+/// [`Database::apply_delta`] to keep an external copy in step; the
+/// property tests do exactly that to cross-check against cold runs).
+pub struct MaintState {
+    db: Database,
+    q: AggQuery,
+    kind: MaintKind,
+}
+
+enum MaintKind {
+    /// No maintained structure: every delta recomputes via `run`.
+    Recompute,
+    /// The LMFAO maintained view tree (boxed: it dwarfs the other
+    /// variants, and every `MaintState` would carry its size inline).
+    Lmfao(Box<LmfaoMaint>),
+    /// Per-shard inner states plus memoized per-shard results.
+    Sharded(ShardedMaint),
+    /// The backend `DispatchEngine` chose at prepare, with its state.
+    Dispatch { choice: EngineChoice, inner: Box<MaintState> },
+    /// An external engine's own maintained structure (e.g. F-IVM).
+    Custom(Box<dyn CustomMaint>),
+}
+
+/// The hook through which engines outside `fdb-core` (notably the F-IVM
+/// backend) plug their own maintained structure into [`MaintState`].
+/// `db` is the maintained database *after* the delta was applied.
+pub trait CustomMaint: Send {
+    /// Folds `delta` into the maintained structure and returns the
+    /// updated batch result.
+    fn apply_delta(
+        &mut self,
+        db: &Database,
+        q: &AggQuery,
+        delta: &Delta,
+    ) -> Result<BatchResult, DataError>;
+
+    /// The current maintained batch result, without applying anything.
+    fn eval(&mut self, db: &Database, q: &AggQuery) -> Result<BatchResult, DataError>;
+}
+
+impl MaintState {
+    /// A recompute-on-every-delta state — what the default
+    /// [`MaintainableEngine`] implementation returns.
+    pub fn recompute(db: Database, q: AggQuery) -> Self {
+        Self { db, q, kind: MaintKind::Recompute }
+    }
+
+    /// A state around an engine-specific [`CustomMaint`] structure.
+    pub fn custom(db: Database, q: AggQuery, maint: Box<dyn CustomMaint>) -> Self {
+        Self { db, q, kind: MaintKind::Custom(maint) }
+    }
+
+    /// The maintained database (reflects every applied delta).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The prepared query.
+    pub fn query(&self) -> &AggQuery {
+        &self.q
+    }
+}
+
+/// An [`Engine`] that can maintain prepared query state under deltas.
+///
+/// The default implementations recompute via [`Engine::run`], so every
+/// backend is trivially maintainable; overrides replace recomputation
+/// with genuine incremental maintenance while keeping the same contract.
+pub trait MaintainableEngine: Engine {
+    /// Pays the one-shot evaluation cost and returns the maintained state.
+    fn prepare(&self, db: &Database, q: &AggQuery) -> Result<MaintState, DataError> {
+        q.validate(db)?;
+        Ok(MaintState::recompute(db.clone(), q.clone()))
+    }
+
+    /// Folds `delta` into the state and returns the updated result.
+    fn apply_delta(&self, st: &mut MaintState, delta: &Delta) -> Result<BatchResult, DataError> {
+        st.db.apply_delta(delta)?;
+        match &mut st.kind {
+            MaintKind::Custom(c) => c.apply_delta(&st.db, &st.q, delta),
+            _ => self.run(&st.db, &st.q),
+        }
+    }
+
+    /// The current maintained result, without applying a delta.
+    fn eval(&self, st: &mut MaintState) -> Result<BatchResult, DataError> {
+        match &mut st.kind {
+            MaintKind::Custom(c) => c.eval(&st.db, &st.q),
+            _ => self.run(&st.db, &st.q),
+        }
+    }
+}
+
+/// Flat baseline: maintainable by recomputation (the default impls).
+impl MaintainableEngine for FlatEngine {}
+
+/// Factorized backend: maintainable by recomputation; its sort caches
+/// still make the re-run cheap when dimension tables are unchanged.
+impl MaintainableEngine for FactorizedEngine {}
+
+// ---------------------------------------------------------------------------
+// LMFAO: incremental maintenance of the layered view tree
+// ---------------------------------------------------------------------------
+
+/// The LMFAO maintained structure: the prepare-time plan (relations held
+/// by `Arc`, the updated one refreshed per delta), per-node materialized
+/// views, and the metadata extraction needs.
+struct LmfaoMaint {
+    plan: Plan,
+    /// Per aggregate: its `(view, slot)` at the root.
+    agg_slots: Vec<(usize, usize)>,
+    /// Per aggregate: the root view's group attributes (key order).
+    groups: Vec<Vec<String>>,
+    /// Parent node per node (`None` at the root).
+    parents: Vec<Option<usize>>,
+    /// Prepare-time `(min, max)` per node per column — the delta-fit
+    /// check: inserts outside these ranges could fall outside the dense
+    /// code spaces the maintained views were built with, so they trigger
+    /// the recompute fallback instead.
+    ranges: Vec<Vec<Option<(i64, i64)>>>,
+    /// Maintained views per node (bottom-up complete, root included).
+    data: Vec<Arc<Vec<ViewData>>>,
+    /// Per-node subtree signatures, kept current: a delta refreshes only
+    /// the owner→root path's entries (off-path subtrees exclude the
+    /// mutated relation, so their signatures cannot change), avoiding an
+    /// O(plan) re-serialization per delta.
+    sigs: Vec<String>,
+}
+
+/// Builds the complete maintained structure from `db`, serving warm
+/// subtrees from (and admitting cold ones to) the global [`ViewCache`].
+/// `root` pins the join-tree root across refreshes.
+fn lmfao_build(
+    cfg: &EngineConfig,
+    db: &Database,
+    q: &AggQuery,
+    root: Option<usize>,
+) -> Result<LmfaoMaint, DataError> {
+    let rels = q.relation_refs();
+    let mut plan = Plan::build_at(db, &rels, root)?;
+    let root = plan.root;
+    let mut agg_slots = Vec::with_capacity(q.batch.len());
+    for (i, agg) in q.batch.aggs.iter().enumerate() {
+        agg_slots.push(plan.decompose(agg, i, root, cfg.share)?);
+    }
+    plan.finalize(cfg.dense_limit);
+    let plan = plan; // freeze
+    let groups: Vec<Vec<String>> =
+        agg_slots.iter().map(|&(vi, _)| plan.nodes[root].views[vi].group_attrs.clone()).collect();
+    let mut parents = vec![None; plan.nodes.len()];
+    for (i, np) in plan.nodes.iter().enumerate() {
+        for &c in &np.children {
+            parents[c] = Some(i);
+        }
+    }
+    let ranges: Vec<Vec<Option<(i64, i64)>>> = plan
+        .rels
+        .iter()
+        .map(|r| (0..r.schema().arity()).map(|c| r.int_min_max(c)).collect())
+        .collect();
+    // Materialize every node bottom-up — the state must hold *all* views
+    // (a later delta below any node probes its siblings), unlike
+    // `run_batch`, which skips whole warm subtrees.
+    let ctx = (cfg.view_cache_bytes > 0).then(|| CacheCtx::new(ViewCache::global(), &plan, cfg));
+    let mut slots: Vec<Option<Arc<Vec<ViewData>>>> = vec![None; plan.nodes.len()];
+    for &n in &plan.order {
+        // A cache hit is only adoptable if its views use the exact
+        // representations this plan derived: unlike `run_batch` (which
+        // only probes served views), the maintenance path later *merges
+        // delta views into* them, and `ViewData::merge_from` requires
+        // matching outer spaces. Views admitted by an earlier maintained
+        // state can carry that state's prepare-time spaces. The predicate
+        // runs inside the lookup, so a rejected entry is counted as a
+        // miss — never as reuse the recompute below then contradicts.
+        let adoptable = |views: &[ViewData]| {
+            let np = &plan.nodes[n];
+            views.len() == np.views.len()
+                && np
+                    .views
+                    .iter()
+                    .zip(views.iter())
+                    .all(|(vp, vd)| vd.compatible(np.key_space.as_ref(), &vp.spec))
+        };
+        let served = ctx.as_ref().and_then(|c| c.serve_filtered(n, n == root, adoptable));
+        let views = match served {
+            Some(hit) => hit,
+            None => {
+                let v = Arc::new(compute_node(&plan, n, &slots, cfg, 0..plan.rels[n].len()));
+                if let Some(c) = &ctx {
+                    if n == root {
+                        c.admit_root(root, 1, &v);
+                    } else {
+                        c.admit(n, &v);
+                    }
+                }
+                v
+            }
+        };
+        slots[n] = Some(views);
+    }
+    let data = slots.into_iter().map(|s| s.expect("order covers every node")).collect();
+    let sigs = plan.subtree_signatures(cfg.dense_limit);
+    Ok(LmfaoMaint { plan, agg_slots, groups, parents, ranges, data, sigs })
+}
+
+/// Reads the batch result out of the maintained root views.
+fn lmfao_extract(m: &LmfaoMaint) -> BatchResult {
+    let root_data = &m.data[m.plan.root];
+    let mut groups = Vec::with_capacity(m.agg_slots.len());
+    let mut values = Vec::with_capacity(m.agg_slots.len());
+    for (idx, &(vi, si)) in m.agg_slots.iter().enumerate() {
+        groups.push(m.groups[idx].clone());
+        let mut map: HashMap<Box<[i64]>, f64> = HashMap::new();
+        if let Some(entries) = root_data[vi].get(&[]) {
+            entries.for_each(|gkey, payload| {
+                if payload[si] != 0.0 {
+                    map.insert(gkey.into(), payload[si]);
+                }
+            });
+        }
+        values.push(map);
+    }
+    BatchResult { groups, values }
+}
+
+/// The recompute fallback: rebuilds the whole maintained structure from
+/// the (already mutated) database, keeping the pinned root.
+fn lmfao_refresh(
+    cfg: &EngineConfig,
+    db: &Database,
+    q: &AggQuery,
+    m: &mut LmfaoMaint,
+) -> Result<BatchResult, DataError> {
+    *m = lmfao_build(cfg, db, q, Some(m.plan.root))?;
+    Ok(lmfao_extract(m))
+}
+
+/// True when every inserted row's integer values lie inside the
+/// prepare-time column ranges of the updated relation — the condition
+/// under which delta rows are guaranteed to encode into every dense code
+/// space the maintained views use. (Deletes always fit: the maintained
+/// ranges cover every row the relation has held since the last rebuild.)
+fn delta_fits(m: &LmfaoMaint, owner: usize, delta: &Delta) -> bool {
+    let schema = m.plan.rels[owner].schema();
+    delta.inserts().all(|row| {
+        row.iter().enumerate().all(|(c, v)| {
+            if !schema.attr(c).ty.is_int_backed() {
+                return true;
+            }
+            match m.ranges[owner][c] {
+                Some((lo, hi)) => {
+                    let x = v.as_int();
+                    x >= lo && x <= hi
+                }
+                // Empty at prepare: no dense space exists to violate,
+                // but the plan chose representations for an empty
+                // relation — rebuild rather than reason about it.
+                None => false,
+            }
+        })
+    })
+}
+
+/// The incremental path: delta views at the owner, propagated along the
+/// owner→root path. `db` already reflects the delta.
+fn lmfao_delta(
+    cfg: &EngineConfig,
+    db: &Database,
+    q: &AggQuery,
+    m: &mut LmfaoMaint,
+    delta: &Delta,
+    owner: usize,
+) -> Result<BatchResult, DataError> {
+    // Refresh the owner's relation handle: signatures must embed the
+    // post-delta content id, and path rescans must see current rows.
+    m.plan.rels[owner] = db.get_shared(&delta.relation)?;
+    if !cfg.delta_maintain || !delta_fits(m, owner, delta) {
+        return lmfao_refresh(cfg, db, q, m);
+    }
+    // Delta views of the owner: the inserted rows' contributions minus
+    // the deleted rows', both probed against the unchanged child views.
+    let schema = m.plan.rels[owner].schema().clone();
+    let mut ins = Relation::new(schema.clone());
+    let mut del = Relation::new(schema);
+    for (row, mult) in delta.rows() {
+        if *mult > 0 { &mut ins } else { &mut del }.push_row(row)?;
+    }
+    let mut base: Vec<Option<Arc<Vec<ViewData>>>> = m.data.iter().cloned().map(Some).collect();
+    let mut dv = compute_node_over(&m.plan, owner, &ins, &base, cfg, 0..ins.len());
+    if !del.is_empty() {
+        let mut neg = compute_node_over(&m.plan, owner, &del, &base, cfg, 0..del.len());
+        for v in &mut neg {
+            v.scale(-1.0);
+        }
+        merge_view_data(&mut dv, neg);
+    }
+    // Owner → root path.
+    let mut path = vec![owner];
+    while let Some(p) = m.parents[*path.last().expect("non-empty")] {
+        path.push(p);
+    }
+    let mut cur_delta = Arc::new(dv);
+    for (step, &n) in path.iter().enumerate() {
+        if step > 0 {
+            if cur_delta.iter().all(ViewData::is_empty) {
+                break;
+            }
+            // ΔV_n: only the rows of n joining a changed child key
+            // contribute — probed against ΔV_child and the *current*
+            // views of every off-path sibling.
+            let child = path[step - 1];
+            let np = &m.plan.nodes[n];
+            let cpos = np.children.iter().position(|&c| c == child).expect("path child");
+            let kcols = np.child_key_cols[cpos].clone();
+            let rel = Arc::clone(&m.plan.rels[n]);
+            let mut key: Vec<i64> = Vec::with_capacity(kcols.len());
+            let matches: Vec<usize> = (0..rel.len())
+                .filter(|&r| {
+                    key.clear();
+                    key.extend(kcols.iter().map(|&c| rel.value(r, c).as_int()));
+                    cur_delta.iter().any(|v| v.contains_key(&key))
+                })
+                .collect();
+            if matches.is_empty() {
+                // Dead delta: nothing above changes.
+                break;
+            }
+            let sub = rel.permuted(&matches);
+            let mut pdata = base.clone();
+            pdata[child] = Some(Arc::clone(&cur_delta));
+            cur_delta = Arc::new(compute_node_over(&m.plan, n, &sub, &pdata, cfg, 0..sub.len()));
+        }
+        // A path node's `base` entry is never probed again — ancestors
+        // consult only their children, and the path child is always
+        // overridden with ΔV — so drop it before the merge: with the view
+        // cache bypassed the merge is then a true in-place update. With
+        // the cache on, `Arc::make_mut` copy-on-writes the path node's
+        // aggregate state (sized by its group domains, not the database):
+        // the retained cache snapshot must stay immutable for concurrent
+        // readers, so that copy is the cost of serving future cold runs,
+        // not waste.
+        base[n] = None;
+        let views: &mut Vec<ViewData> = Arc::make_mut(&mut m.data[n]);
+        merge_view_data(views, (*cur_delta).clone());
+    }
+    // Refresh the path's signatures bottom-up against the cached vector
+    // (off-path subtrees exclude the owner, so their signatures are
+    // unchanged — the invariant that keeps `m.sigs` current without an
+    // O(plan) re-serialization per delta), then re-admit the path under
+    // the post-delta keys: off-path cache entries stay warm automatically
+    // and the path is maintained in place instead of aging out.
+    for &n in &path {
+        m.sigs[n] = m.plan.node_signature(n, cfg.dense_limit, &m.sigs);
+    }
+    if cfg.view_cache_bytes > 0 {
+        let cache = ViewCache::global();
+        for &n in &path {
+            let key =
+                if n == m.plan.root { format!("{}#chunks1", m.sigs[n]) } else { m.sigs[n].clone() };
+            cache.insert_maintained(
+                &key,
+                m.plan.rels[n].data_id(),
+                Arc::clone(&m.data[n]),
+                cfg.view_cache_bytes,
+            );
+        }
+    }
+    Ok(lmfao_extract(m))
+}
+
+impl MaintainableEngine for LmfaoEngine {
+    fn prepare(&self, db: &Database, q: &AggQuery) -> Result<MaintState, DataError> {
+        q.validate(db)?;
+        let maint = lmfao_build(&self.cfg, db, q, None)?;
+        Ok(MaintState { db: db.clone(), q: q.clone(), kind: MaintKind::Lmfao(Box::new(maint)) })
+    }
+
+    fn apply_delta(&self, st: &mut MaintState, delta: &Delta) -> Result<BatchResult, DataError> {
+        st.db.apply_delta(delta)?;
+        let MaintKind::Lmfao(m) = &mut st.kind else {
+            // A state prepared by some other engine: recompute.
+            return self.run(&st.db, &st.q);
+        };
+        match st.q.relations.iter().position(|r| *r == delta.relation) {
+            // A delta outside the join leaves the result untouched.
+            None => Ok(lmfao_extract(m)),
+            Some(owner) => lmfao_delta(&self.cfg, &st.db, &st.q, m, delta, owner),
+        }
+    }
+
+    fn eval(&self, st: &mut MaintState) -> Result<BatchResult, DataError> {
+        match &mut st.kind {
+            MaintKind::Lmfao(m) => Ok(lmfao_extract(m)),
+            MaintKind::Custom(c) => c.eval(&st.db, &st.q),
+            _ => self.run(&st.db, &st.q),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded: route the delta to the owning shard, re-merge
+// ---------------------------------------------------------------------------
+
+struct ShardedMaint {
+    fact: String,
+    states: Vec<MaintState>,
+    /// Memoized per-shard results — a delta re-evaluates only the shards
+    /// it touched, the rest merge from here.
+    last: Vec<BatchResult>,
+}
+
+/// Occurrences of `row` in `rel` (full-tuple equality), counting only up
+/// to `limit` — the delete router needs "does this shard still hold one",
+/// not an exact multiset count, so the scan stops as soon as the answer
+/// is decided.
+fn count_rows_up_to(rel: &Relation, row: &[fdb_data::Value], limit: i64) -> i64 {
+    let arity = rel.schema().arity();
+    let mut found = 0i64;
+    for r in 0..rel.len() {
+        if (0..arity).all(|c| rel.value(r, c) == row[c]) {
+            found += 1;
+            if found >= limit {
+                break;
+            }
+        }
+    }
+    found
+}
+
+impl<E: MaintainableEngine + Sync> MaintainableEngine for ShardedEngine<E> {
+    fn prepare(&self, db: &Database, q: &AggQuery) -> Result<MaintState, DataError> {
+        q.validate(db)?;
+        let (fact, n) = self.plan_shards(db, q)?;
+        let shard_dbs: Vec<Database> = if n == 1 { vec![db.clone()] } else { db.shard(&fact, n)? };
+        let mut states = Vec::with_capacity(shard_dbs.len());
+        let mut last = Vec::with_capacity(shard_dbs.len());
+        for sdb in &shard_dbs {
+            let mut st = self.inner().prepare(sdb, q)?;
+            last.push(self.inner().eval(&mut st)?);
+            states.push(st);
+        }
+        Ok(MaintState {
+            db: db.clone(),
+            q: q.clone(),
+            kind: MaintKind::Sharded(ShardedMaint { fact, states, last }),
+        })
+    }
+
+    fn apply_delta(&self, st: &mut MaintState, delta: &Delta) -> Result<BatchResult, DataError> {
+        st.db.apply_delta(delta)?;
+        let MaintKind::Sharded(sm) = &mut st.kind else {
+            return self.run(&st.db, &st.q);
+        };
+        if delta.relation == sm.fact && sm.states.len() > 1 {
+            // Fact deltas route row-wise: an insert lands on the last
+            // shard; a delete goes to a shard that (still) holds the row,
+            // accounting for rows this very batch routed there already.
+            let mut subs: Vec<Delta> = sm.states.iter().map(|_| Delta::new(&sm.fact)).collect();
+            let nsub = subs.len();
+            for (row, mult) in delta.rows() {
+                if *mult > 0 {
+                    subs[nsub - 1].push_insert(row.to_vec());
+                    continue;
+                }
+                let target = (0..nsub).find(|&i| {
+                    let routed: i64 =
+                        subs[i].rows().iter().filter(|(r, _)| r == row).map(|(_, m)| *m).sum();
+                    // A pending routed insert already covers the delete;
+                    // otherwise the shard must hold strictly more copies
+                    // than the deletes already routed to it — the scan
+                    // stops as soon as that many are found.
+                    routed > 0
+                        || sm.states[i]
+                            .database()
+                            .get(&sm.fact)
+                            .map(|rel| count_rows_up_to(rel, row, 1 - routed) > -routed)
+                            .unwrap_or(false)
+                });
+                match target {
+                    Some(i) => subs[i].push_delete(row.to_vec()),
+                    None => {
+                        return Err(DataError::Invalid(format!(
+                            "delete of a row no shard of `{}` holds",
+                            sm.fact
+                        )))
+                    }
+                }
+            }
+            for (i, sub) in subs.iter().enumerate() {
+                if !sub.is_empty() {
+                    sm.last[i] = self.inner().apply_delta(&mut sm.states[i], sub)?;
+                }
+            }
+        } else {
+            // Dimension deltas (and the single-shard fallback) apply to
+            // every shard — each shares the updated relation's join keys.
+            for (i, shard) in sm.states.iter_mut().enumerate() {
+                sm.last[i] = self.inner().apply_delta(shard, delta)?;
+            }
+        }
+        merge_last(sm)
+    }
+
+    fn eval(&self, st: &mut MaintState) -> Result<BatchResult, DataError> {
+        match &mut st.kind {
+            MaintKind::Sharded(sm) => merge_last(sm),
+            MaintKind::Custom(c) => c.eval(&st.db, &st.q),
+            _ => self.run(&st.db, &st.q),
+        }
+    }
+}
+
+/// Ring-additive merge of the memoized per-shard results.
+fn merge_last(sm: &ShardedMaint) -> Result<BatchResult, DataError> {
+    let mut iter = sm.last.iter();
+    let mut acc = iter.next().expect("at least one shard").clone();
+    for r in iter {
+        merge_into(&mut acc, r.clone())?;
+    }
+    drop_exact_zeros(&mut acc);
+    Ok(acc)
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch: choose at prepare, maintain through the chosen backend
+// ---------------------------------------------------------------------------
+
+impl DispatchEngine {
+    /// Runs `f` with the concrete backend `choice` resolves to.
+    fn with_backend<T>(
+        &self,
+        choice: EngineChoice,
+        f: impl FnOnce(&dyn MaintainableEngine) -> T,
+    ) -> T {
+        match choice {
+            EngineChoice::Flat => f(&FlatEngine),
+            EngineChoice::Factorized => f(&FactorizedEngine {
+                dense_groups: self.cfg.dense_limit > 0,
+                use_sort_cache: true,
+            }),
+            EngineChoice::Lmfao | EngineChoice::Auto => f(&LmfaoEngine::with_config(self.cfg)),
+        }
+    }
+}
+
+impl MaintainableEngine for DispatchEngine {
+    fn prepare(&self, db: &Database, q: &AggQuery) -> Result<MaintState, DataError> {
+        q.validate(db)?;
+        let choice = self.choose(db, q)?;
+        let inner = self.with_backend(choice, |e| e.prepare(db, q))?;
+        Ok(MaintState {
+            db: db.clone(),
+            q: q.clone(),
+            kind: MaintKind::Dispatch { choice, inner: Box::new(inner) },
+        })
+    }
+
+    fn apply_delta(&self, st: &mut MaintState, delta: &Delta) -> Result<BatchResult, DataError> {
+        let MaintKind::Dispatch { choice, inner } = &mut st.kind else {
+            st.db.apply_delta(delta)?;
+            return self.run(&st.db, &st.q);
+        };
+        st.db.apply_delta(delta)?;
+        let choice = *choice;
+        self.with_backend(choice, |e| e.apply_delta(inner, delta))
+    }
+
+    fn eval(&self, st: &mut MaintState) -> Result<BatchResult, DataError> {
+        match &mut st.kind {
+            MaintKind::Dispatch { choice, inner } => {
+                let choice = *choice;
+                self.with_backend(choice, |e| e.eval(inner))
+            }
+            MaintKind::Custom(c) => c.eval(&st.db, &st.q),
+            _ => self.run(&st.db, &st.q),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{AggBatch, Aggregate, FilterOp};
+    use fdb_data::{AttrType, Schema, Value};
+
+    /// F(a, b, c, x) ⋈ D1(a, w, u) ⋈ D2(b, v) with categorical codes
+    /// `c`, `w` for group-bys — integer-valued measures so incremental
+    /// and cold sums are bit-exact.
+    fn snowflake() -> Database {
+        let mut db = Database::new();
+        let mut f = Relation::new(Schema::of(&[
+            ("a", AttrType::Int),
+            ("b", AttrType::Int),
+            ("c", AttrType::Categorical),
+            ("x", AttrType::Double),
+        ]));
+        for (a, b, x) in [(0, 0, 1.0), (0, 1, 2.0), (1, 0, -3.0), (2, 1, 4.0), (1, 1, 5.0)] {
+            f.push_row(&[Value::Int(a), Value::Int(b), Value::Int((a + b) % 3), Value::F64(x)])
+                .unwrap();
+        }
+        let mut d1 = Relation::new(Schema::of(&[
+            ("a", AttrType::Int),
+            ("w", AttrType::Categorical),
+            ("u", AttrType::Double),
+        ]));
+        for (a, u) in [(0, 5.0), (1, -1.0), (2, 2.0)] {
+            d1.push_row(&[Value::Int(a), Value::Int(a % 2), Value::F64(u)]).unwrap();
+        }
+        let mut d2 = Relation::new(Schema::of(&[("b", AttrType::Int), ("v", AttrType::Double)]));
+        for (b, v) in [(0, 2.0), (1, 4.0)] {
+            d2.push_row(&[Value::Int(b), Value::F64(v)]).unwrap();
+        }
+        db.add("F", f);
+        db.add("D1", d1);
+        db.add("D2", d2);
+        db
+    }
+
+    fn query() -> AggQuery {
+        let mut batch = AggBatch::new();
+        batch.push(Aggregate::count());
+        batch.push(Aggregate::sum("x"));
+        batch.push(Aggregate::sum_prod("x", "u"));
+        batch.push(Aggregate::count().by(&["c"]));
+        batch.push(Aggregate::sum("x").by(&["c", "w"]));
+        batch.push(Aggregate::sum("v").filtered("u", FilterOp::Ge(0.0)));
+        AggQuery::new(&["F", "D1", "D2"], batch)
+    }
+
+    fn assert_same(tag: &str, got: &BatchResult, expect: &BatchResult, naggs: usize) {
+        for i in 0..naggs {
+            assert_eq!(got.groups[i], expect.groups[i], "{tag}: agg {i} groups");
+            assert_eq!(
+                got.grouped(i).len(),
+                expect.grouped(i).len(),
+                "{tag}: agg {i} key count: {:?} vs {:?}",
+                got.grouped(i),
+                expect.grouped(i)
+            );
+            for (k, v) in got.grouped(i) {
+                let e = expect.grouped(i).get(k).copied().unwrap_or(f64::NAN);
+                assert!(
+                    (v - e).abs() <= 1e-9 * (1.0 + e.abs()),
+                    "{tag}: agg {i} {k:?}: {v} vs {e}"
+                );
+            }
+        }
+    }
+
+    /// A scripted insert/delete stream over fact and dimensions: the
+    /// incremental LMFAO path must agree with cold recomputation (the
+    /// flat engine over the mutated database) after every delta.
+    #[test]
+    fn lmfao_delta_stream_agrees_with_cold_runs() {
+        let db = snowflake();
+        let q = query();
+        let engine = LmfaoEngine::with_config(EngineConfig { threads: 1, ..Default::default() });
+        let mut st = engine.prepare(&db, &q).unwrap();
+        let mut shadow = db.clone();
+        let frow = |a: i64, b: i64, x: f64| {
+            vec![Value::Int(a), Value::Int(b), Value::Int((a + b) % 3), Value::F64(x)]
+        };
+        let deltas = [
+            // Fact inserts within the prepare-time ranges: the pure
+            // maintained path (owner == root, no ancestors to touch).
+            Delta::insert("F", frow(1, 0, 7.0)),
+            Delta::new("F").with_insert(frow(0, 1, -2.0)).with_insert(frow(2, 0, 1.0)),
+            // Fact delete — the additive inverse.
+            Delta::delete("F", frow(0, 0, 1.0)),
+            // Mixed batch: net effect of insert + delete in one delta.
+            Delta::new("F").with_insert(frow(2, 1, 3.0)).with_delete(frow(1, 0, -3.0)),
+            // Dimension insert/delete: owner → root propagation with a
+            // path rescan restricted to the matching fact rows.
+            Delta::insert("D2", vec![Value::Int(0), Value::F64(-1.0)]),
+            Delta::delete("D1", vec![Value::Int(1), Value::Int(1), Value::F64(-1.0)]),
+            Delta::insert("D1", vec![Value::Int(1), Value::Int(1), Value::F64(6.0)]),
+        ];
+        for (i, d) in deltas.iter().enumerate() {
+            let got = engine.apply_delta(&mut st, d).unwrap();
+            shadow.apply_delta(d).unwrap();
+            let cold = FlatEngine.run(&shadow, &q).unwrap();
+            assert_same(&format!("delta {i}"), &got, &cold, q.batch.len());
+            // And the state's own database tracks the shadow.
+            assert_eq!(st.database().get("F").unwrap().len(), shadow.get("F").unwrap().len());
+        }
+        // eval() re-reads the maintained result without recomputation.
+        let eval = engine.eval(&mut st).unwrap();
+        let cold = FlatEngine.run(&shadow, &q).unwrap();
+        assert_same("eval", &eval, &cold, q.batch.len());
+    }
+
+    /// Inserts outside the prepare-time code ranges cannot be folded into
+    /// the dense maintained views — the path must fall back to a full
+    /// rebuild and still agree with cold recomputation.
+    #[test]
+    fn out_of_range_insert_falls_back_to_refresh() {
+        let db = snowflake();
+        let q = query();
+        let engine = LmfaoEngine::with_config(EngineConfig { threads: 1, ..Default::default() });
+        let mut st = engine.prepare(&db, &q).unwrap();
+        let mut shadow = db.clone();
+        // a = 9 is outside F's prepare-time range for `a`; the new D1 row
+        // below makes it join.
+        let deltas = [
+            Delta::insert("D1", vec![Value::Int(9), Value::Int(1), Value::F64(3.0)]),
+            Delta::insert("F", vec![Value::Int(9), Value::Int(0), Value::Int(0), Value::F64(8.0)]),
+            Delta::insert("F", vec![Value::Int(9), Value::Int(1), Value::Int(1), Value::F64(2.0)]),
+        ];
+        for (i, d) in deltas.iter().enumerate() {
+            let got = engine.apply_delta(&mut st, d).unwrap();
+            shadow.apply_delta(d).unwrap();
+            let cold = FlatEngine.run(&shadow, &q).unwrap();
+            assert_same(&format!("fallback {i}"), &got, &cold, q.batch.len());
+        }
+    }
+
+    /// `delta_maintain: false` pins the recompute baseline; deltas on
+    /// relations outside the query leave the result untouched; invalid
+    /// deltas error without corrupting the state.
+    #[test]
+    fn knob_off_unrelated_and_invalid_deltas() {
+        let mut db = snowflake();
+        db.add(
+            "Z",
+            Relation::from_rows(Schema::of(&[("z", AttrType::Int)]), vec![vec![Value::Int(1)]])
+                .unwrap(),
+        );
+        let q = query();
+        let off = LmfaoEngine::with_config(EngineConfig {
+            threads: 1,
+            delta_maintain: false,
+            ..Default::default()
+        });
+        let mut st = off.prepare(&db, &q).unwrap();
+        let before = off.eval(&mut st).unwrap();
+        // Unrelated relation: applied to the database, result unchanged.
+        let on = LmfaoEngine::with_config(EngineConfig { threads: 1, ..Default::default() });
+        let got = on.apply_delta(&mut st, &Delta::insert("Z", vec![Value::Int(7)])).unwrap();
+        assert_same("unrelated", &got, &before, q.batch.len());
+        assert_eq!(st.database().get("Z").unwrap().len(), 2);
+        // Recompute baseline agrees with cold runs.
+        let d =
+            Delta::insert("F", vec![Value::Int(1), Value::Int(1), Value::Int(2), Value::F64(1.0)]);
+        let got = off.apply_delta(&mut st, &d).unwrap();
+        let mut shadow = db.clone();
+        shadow.apply_delta(&d).unwrap();
+        let cold = FlatEngine.run(&shadow, &q).unwrap();
+        assert_same("knob off", &got, &cold, q.batch.len());
+        // Invalid delta: error, state still serves the last good result.
+        let bad = Delta::delete(
+            "F",
+            vec![Value::Int(42), Value::Int(42), Value::Int(0), Value::F64(0.0)],
+        );
+        assert!(on.apply_delta(&mut st, &bad).is_err());
+        assert_same("after error", &on.eval(&mut st).unwrap(), &cold, q.batch.len());
+    }
+
+    /// Sharded and dispatch compositions maintain through their wrapped
+    /// engines and agree with cold runs after every delta.
+    #[test]
+    fn sharded_and_dispatch_maintenance_agree() {
+        let db = snowflake();
+        let q = query();
+        let lmfao = LmfaoEngine::with_config(EngineConfig { threads: 1, ..Default::default() });
+        let sharded = ShardedEngine::with_shards(lmfao, 2).with_min_rows_per_shard(1);
+        let dispatch = DispatchEngine::new();
+        let mut st_sharded = sharded.prepare(&db, &q).unwrap();
+        let mut st_dispatch = dispatch.prepare(&db, &q).unwrap();
+        let mut shadow = db.clone();
+        let deltas = [
+            Delta::insert("F", vec![Value::Int(1), Value::Int(1), Value::Int(2), Value::F64(3.0)]),
+            Delta::delete("F", vec![Value::Int(0), Value::Int(1), Value::Int(1), Value::F64(2.0)]),
+            Delta::insert("D2", vec![Value::Int(1), Value::F64(1.0)]),
+            Delta::delete("D2", vec![Value::Int(1), Value::F64(1.0)]),
+        ];
+        for (i, d) in deltas.iter().enumerate() {
+            let a = sharded.apply_delta(&mut st_sharded, d).unwrap();
+            let b = dispatch.apply_delta(&mut st_dispatch, d).unwrap();
+            shadow.apply_delta(d).unwrap();
+            let cold = FlatEngine.run(&shadow, &q).unwrap();
+            assert_same(&format!("sharded {i}"), &a, &cold, q.batch.len());
+            assert_same(&format!("dispatch {i}"), &b, &cold, q.batch.len());
+        }
+        // The sharded fact partition must keep covering the fact multiset.
+        let MaintKind::Sharded(sm) = &st_sharded.kind else { panic!("sharded state") };
+        let total: usize = sm.states.iter().map(|s| s.database().get("F").unwrap().len()).sum();
+        assert_eq!(total, shadow.get("F").unwrap().len());
+    }
+}

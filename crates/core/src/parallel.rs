@@ -57,6 +57,12 @@ pub struct EngineConfig {
     /// relation content) is unchanged — the residual-filter reuse of
     /// iterative trainers. `0` bypasses the cache entirely.
     pub view_cache_bytes: usize,
+    /// Serve `MaintainableEngine::apply_delta` by **in-place delta
+    /// propagation** along the owner→root path of the maintained view
+    /// tree (see `crate::maintain`); `false` recomputes the whole batch
+    /// from the mutated database on every delta — the correctness
+    /// baseline the property tests compare the incremental path against.
+    pub delta_maintain: bool,
 }
 
 impl Default for EngineConfig {
@@ -68,6 +74,7 @@ impl Default for EngineConfig {
             dense_limit: crate::group::DEFAULT_DENSE_GROUPS,
             backend: EngineChoice::Auto,
             view_cache_bytes: crate::viewcache::DEFAULT_VIEW_CACHE_BYTES,
+            delta_maintain: true,
         }
     }
 }
@@ -97,7 +104,7 @@ pub(crate) fn merge_view_data(a: &mut [ViewData], b: Vec<ViewData>) {
 /// per-worker results) are visible to dependent nodes, and every computed
 /// node is offered to the view cache via `ctx`.
 pub(crate) fn compute_subtrees_parallel(
-    plan: &Plan<'_>,
+    plan: &Plan,
     to_compute: &[usize],
     data: &mut [Option<Arc<Vec<ViewData>>>],
     cfg: &EngineConfig,
@@ -144,7 +151,7 @@ pub(crate) fn compute_subtrees_parallel(
 /// Domain parallelism: computes the root node over `root_rows` rows split
 /// into `cfg.threads` chunks, merging the partial view data.
 pub(crate) fn compute_root_chunked(
-    plan: &Plan<'_>,
+    plan: &Plan,
     data: &[Option<Arc<Vec<ViewData>>>],
     cfg: &EngineConfig,
     root_rows: usize,

@@ -14,6 +14,7 @@ use crate::group::{GroupIndex, KeySpace, DENSE_KEY_LIMIT};
 use fdb_data::{DataError, Database, Relation};
 use fdb_factorized::hypergraph::Hypergraph;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// One partial aggregate inside a view: local factors, local filter, and
 /// the child-view slots it multiplies in.
@@ -89,7 +90,7 @@ pub(crate) struct NodePlan {
 /// slot table, 4 bytes per code), the inner level by the view's group
 /// attribute ranges (a payload per code). Either level independently
 /// falls back to hashing.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum ViewData {
     /// Outer keys dense-coded by the node's [`NodePlan::key_space`].
     Dense {
@@ -170,6 +171,71 @@ impl ViewData {
         }
     }
 
+    /// True if no join key has been touched.
+    pub(crate) fn is_empty(&self) -> bool {
+        match self {
+            ViewData::Dense { entries, .. } => entries.is_empty(),
+            ViewData::Hash(map) => map.is_empty(),
+        }
+    }
+
+    /// Whether this view's key is represented under join key `key` —
+    /// the delta path's "does this parent row touch the delta" probe.
+    #[inline]
+    pub(crate) fn contains_key(&self, key: &[i64]) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Multiplies every payload by `factor` (delta negation for deletes).
+    pub(crate) fn scale(&mut self, factor: f64) {
+        match self {
+            ViewData::Dense { entries, .. } => {
+                for (_, gi) in entries.iter_mut() {
+                    gi.scale(factor);
+                }
+            }
+            ViewData::Hash(map) => {
+                for gi in map.values_mut() {
+                    gi.scale(factor);
+                }
+            }
+        }
+    }
+
+    /// True if this materialized view still uses the representation a
+    /// plan with outer space `key_space` and group spec `spec` would
+    /// build — the condition under which freshly computed delta views
+    /// merge into it without decoding ([`ViewData::merge_from`] requires
+    /// matching outer representations, and dense group payloads must
+    /// share their [`KeySpace`] for new keys to encode). The delta
+    /// maintenance path falls back to full recomputation when this fails
+    /// (e.g. an insert extended a column's range, changing the dense
+    /// space a fresh plan derives).
+    pub(crate) fn compatible(&self, key_space: Option<&KeySpace>, spec: &GroupSpec) -> bool {
+        let outer_ok = match (self, key_space) {
+            (ViewData::Dense { space, .. }, Some(ks)) => space == ks,
+            (ViewData::Hash(_), None) => true,
+            _ => false,
+        };
+        if !outer_ok {
+            return false;
+        }
+        // Accumulators within one view are uniform (all built from the
+        // view's spec), so checking one representative suffices.
+        let gi_ok = |gi: &GroupIndex| match (gi, &spec.space) {
+            (GroupIndex::Dense { space, slots, .. }, Some(sp)) => {
+                space == sp && *slots == spec.slots
+            }
+            (GroupIndex::Hash { slots, .. }, None) => *slots == spec.slots,
+            _ => false,
+        };
+        match self {
+            ViewData::Dense { entries, .. } => entries.first().map(|(_, gi)| gi_ok(gi)),
+            ViewData::Hash(map) => map.values().next().map(gi_ok),
+        }
+        .unwrap_or(true)
+    }
+
     /// Merges `other` into `self`, summing payloads of equal
     /// `(join key, group key)` pairs. Both sides stem from the same node
     /// plan, so the outer representations line up.
@@ -201,8 +267,13 @@ impl ViewData {
 }
 
 /// The full batch plan: join tree, node plans, and attribute ownership.
-pub(crate) struct Plan<'a> {
-    pub(crate) rels: Vec<&'a Relation>,
+///
+/// Relations are held as shared handles (`Arc`), not borrows, so a plan
+/// can outlive the `Database` it was built from — the delta-maintenance
+/// state keeps its prepare-time plan across `apply_delta` calls,
+/// refreshing only the updated relation's handle.
+pub(crate) struct Plan {
+    pub(crate) rels: Vec<Arc<Relation>>,
     pub(crate) nodes: Vec<NodePlan>,
     /// Bottom-up processing order (children before parents).
     pub(crate) order: Vec<usize>,
@@ -213,16 +284,32 @@ pub(crate) struct Plan<'a> {
     pub(crate) subtree: Vec<HashSet<usize>>,
 }
 
-impl<'a> Plan<'a> {
+impl Plan {
     /// Builds the join-tree skeleton (no views yet) for the natural join
     /// of `relations`, rooted at the largest relation (the fact table).
-    pub(crate) fn build(db: &'a Database, relations: &[&str]) -> Result<Self, DataError> {
+    pub(crate) fn build(db: &Database, relations: &[&str]) -> Result<Self, DataError> {
+        Self::build_at(db, relations, None)
+    }
+
+    /// [`Plan::build`] with an explicit root override. The maintenance
+    /// path pins the prepare-time root so the tree shape — and with it
+    /// the per-node maintained views — stays stable even when deltas
+    /// change which relation is largest.
+    pub(crate) fn build_at(
+        db: &Database,
+        relations: &[&str],
+        root: Option<usize>,
+    ) -> Result<Self, DataError> {
         let hg = Hypergraph::join_keys_plus(db, relations, &[])?;
         let jt =
             hg.join_tree().ok_or_else(|| DataError::Invalid("cyclic join key graph".into()))?;
-        let rels: Vec<&Relation> = relations.iter().map(|r| db.get(r)).collect::<Result<_, _>>()?;
-        // Root at the largest relation (the fact table).
-        let root = (0..rels.len()).max_by_key(|&i| rels[i].len()).unwrap_or(0);
+        let rels: Vec<Arc<Relation>> =
+            relations.iter().map(|r| db.get_shared(r)).collect::<Result<_, _>>()?;
+        // Root at the largest relation (the fact table) unless pinned.
+        let root = match root {
+            Some(r) if r < rels.len() => r,
+            _ => (0..rels.len()).max_by_key(|&i| rels[i].len()).unwrap_or(0),
+        };
         let jt = jt.rerooted(root);
         let n = relations.len();
         let mut nodes = Vec::with_capacity(n);
@@ -455,32 +542,38 @@ impl<'a> Plan<'a> {
     /// residue untouched by the new conditions, and only path-to-root
     /// nodes get fresh signatures (and fresh scans).
     pub(crate) fn subtree_signatures(&self, dense_limit: u64) -> Vec<String> {
-        use std::fmt::Write as _;
         let mut sigs: Vec<String> = vec![String::new(); self.nodes.len()];
         // Bottom-up: children's signatures exist before the parent embeds
         // them.
         for &n in &self.order {
-            let np = &self.nodes[n];
-            let mut s = String::new();
-            let _ = write!(s, "r{};d{dense_limit};k{:?};", self.rels[n].data_id(), np.key_cols);
-            for vp in &np.views {
-                let _ = write!(
-                    s,
-                    "V[g{:?};l{:?};w{:?};",
-                    vp.group_attrs, vp.local_groups, vp.child_views
-                );
-                for slot in &vp.slots {
-                    let _ =
-                        write!(s, "s{:?}.{:?}.{:?};", slot.factors, slot.filter, slot.child_slots);
-                }
-                s.push(']');
-            }
-            for (&c, cols) in np.children.iter().zip(&np.child_key_cols) {
-                let _ = write!(s, "C{cols:?}[{}]", sigs[c]);
-            }
-            sigs[n] = s;
+            sigs[n] = self.node_signature(n, dense_limit, &sigs);
         }
         sigs
+    }
+
+    /// The signature of one node given its children's signatures in
+    /// `sigs` — the incremental form of [`Plan::subtree_signatures`]: a
+    /// delta changes only the owner→root path's signatures (off-path
+    /// subtrees exclude the mutated relation), so the maintenance layer
+    /// recomputes exactly those entries against its cached vector instead
+    /// of re-serializing the whole plan per delta.
+    pub(crate) fn node_signature(&self, n: usize, dense_limit: u64, sigs: &[String]) -> String {
+        use std::fmt::Write as _;
+        let np = &self.nodes[n];
+        let mut s = String::new();
+        let _ = write!(s, "r{};d{dense_limit};k{:?};", self.rels[n].data_id(), np.key_cols);
+        for vp in &np.views {
+            let _ =
+                write!(s, "V[g{:?};l{:?};w{:?};", vp.group_attrs, vp.local_groups, vp.child_views);
+            for slot in &vp.slots {
+                let _ = write!(s, "s{:?}.{:?}.{:?};", slot.factors, slot.filter, slot.child_slots);
+            }
+            s.push(']');
+        }
+        for (&c, cols) in np.children.iter().zip(&np.child_key_cols) {
+            let _ = write!(s, "C{cols:?}[{}]", sigs[c]);
+        }
+        s
     }
 
     /// Chooses the accumulator representation for every node and view, once

@@ -158,6 +158,28 @@ impl<E: Engine> ShardedEngine<E> {
             .ok_or_else(|| DataError::Invalid("query has no relations to shard".into()))
     }
 
+    /// The inner engine (the maintenance layer re-dispatches through it).
+    pub(crate) fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// The `(fact, effective shard count)` decision `run` executes: the
+    /// configured fan-out clamped to the fact cardinality, collapsed to 1
+    /// by the small-fact fallback.
+    pub(crate) fn plan_shards(
+        &self,
+        db: &Database,
+        q: &AggQuery,
+    ) -> Result<(String, usize), DataError> {
+        let fact = self.fact_for(db, q)?;
+        let fact_rows = db.get(&fact)?.len();
+        let mut n = self.shards.min(fact_rows).max(1);
+        if fact_rows / n < self.min_rows_per_shard {
+            n = 1;
+        }
+        Ok((fact, n))
+    }
+
     /// The `n`-way partition of `db` along `fact`, memoized per database
     /// content state: rebuilt only when some relation's `data_id` changed
     /// (the same invalidation rule as the sort cache). Reuse keeps the
@@ -198,15 +220,10 @@ impl<E: Engine + Sync> Engine for ShardedEngine<E> {
 
     fn run(&self, db: &Database, q: &AggQuery) -> Result<BatchResult, DataError> {
         q.validate(db)?;
-        let fact = self.fact_for(db, q)?;
-        let fact_rows = db.get(&fact)?.len();
-        let mut n = self.shards.min(fact_rows).max(1);
         // Small-fact fallback: when shards would each hold fewer than the
         // threshold rows, partition + merge overhead dominates any
         // per-shard saving — run the inner engine unwrapped.
-        if fact_rows / n < self.min_rows_per_shard {
-            n = 1;
-        }
+        let (fact, n) = self.plan_shards(db, q)?;
         if n == 1 {
             return self.inner.run(db, q);
         }

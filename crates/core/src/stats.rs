@@ -66,7 +66,30 @@ pub fn sufficient_stats(
     let batch: AggBatch = covariance_batch(continuous, categorical);
     let q = AggQuery::new(relations, batch);
     let res = engine.run(db, &q)?;
-    let batch = &q.batch;
+    stats_from_result(&res, continuous, categorical)
+}
+
+/// Assembles [`SufficientStats`] from an already computed result of the
+/// [`covariance_batch`] over `continuous` × `categorical` — the seam the
+/// delta layer trains through: a `MaintainableEngine::apply_delta` call
+/// returns the maintained batch result, and this function (plus a `d×d`
+/// solve) turns it into a refreshed model with no further data access.
+pub fn stats_from_result(
+    res: &crate::ir::BatchResult,
+    continuous: &[&str],
+    categorical: &[&str],
+) -> Result<SufficientStats, DataError> {
+    let batch: AggBatch = covariance_batch(continuous, categorical);
+    if res.values.len() != batch.len() {
+        return Err(DataError::Invalid(format!(
+            "result carries {} aggregates but the covariance batch over {} continuous × {} \
+             categorical features has {}",
+            res.values.len(),
+            continuous.len(),
+            categorical.len(),
+            batch.len()
+        )));
+    }
     let n = continuous.len();
     let m = categorical.len();
     let mut cursor = 0usize;
@@ -75,13 +98,13 @@ pub fn sufficient_stats(
         cursor += 1;
         v
     };
-    let count = next_scalar(&res);
+    let count = next_scalar(res);
     let mut sum = vec![0.0; n];
     let mut q = vec![0.0; n * (n + 1) / 2];
     for i in 0..n {
-        sum[i] = next_scalar(&res);
+        sum[i] = next_scalar(res);
         for j in i..n {
-            let v = next_scalar(&res);
+            let v = next_scalar(res);
             let (hi, lo) = (j, i); // j >= i
             q[hi * (hi + 1) / 2 + lo] = v;
         }

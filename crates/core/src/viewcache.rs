@@ -59,6 +59,11 @@ pub struct ViewCacheStats {
     pub views_reused: u64,
     /// Individual views materialized by a scan.
     pub views_rescanned: u64,
+    /// Individual views kept warm by **in-place delta maintenance**: a
+    /// relation mutated, but instead of the entry aging out (invalidate
+    /// and rescan), the maintenance path updated the ring-additive
+    /// payloads and re-admitted the views under the fresh content id.
+    pub delta_maintained: u64,
     /// Entries dropped to respect a byte budget.
     pub evictions: u64,
     /// Node entries currently retained.
@@ -84,6 +89,7 @@ struct Inner {
     misses: u64,
     views_reused: u64,
     views_rescanned: u64,
+    delta_maintained: u64,
     evictions: u64,
     /// Per node-relation `(views reused, views rescanned)`, keyed by the
     /// node relation's `data_id` — lets tests attribute reuse to one
@@ -104,6 +110,7 @@ impl Inner {
             misses: 0,
             views_reused: 0,
             views_rescanned: 0,
+            delta_maintained: 0,
             evictions: 0,
             per_id: HashMap::new(),
         }
@@ -138,10 +145,28 @@ impl ViewCache {
     /// The cached views under `key`, recording a hit or miss. `head_id` is
     /// the node relation's `data_id` (per-dataset attribution).
     pub(crate) fn get(&self, key: &str, head_id: u64) -> Option<Arc<Vec<ViewData>>> {
+        self.get_filtered(key, head_id, |_| true)
+    }
+
+    /// [`ViewCache::get`] with an adoption predicate evaluated **before**
+    /// the counters move: a present entry the caller cannot use (e.g. the
+    /// maintenance layer rejecting views whose dense representations
+    /// differ from its plan's) is counted as a miss, not as reuse — so
+    /// `views_reused` never over-reports entries that were looked at and
+    /// then recomputed anyway.
+    pub(crate) fn get_filtered(
+        &self,
+        key: &str,
+        head_id: u64,
+        adopt: impl FnOnce(&[ViewData]) -> bool,
+    ) -> Option<Arc<Vec<ViewData>>> {
         let mut inner = self.lock();
-        match inner.entries.get(key) {
-            Some((views, _)) => {
-                let views = Arc::clone(views);
+        let hit = match inner.entries.get(key) {
+            Some((views, _)) if adopt(views) => Some(Arc::clone(views)),
+            _ => None,
+        };
+        match hit {
+            Some(views) => {
                 inner.hits += 1;
                 inner.views_reused += views.len() as u64;
                 inner.per_id.entry(head_id).or_default().0 += views.len() as u64;
@@ -174,11 +199,38 @@ impl ViewCache {
         views: Arc<Vec<ViewData>>,
         byte_budget: usize,
     ) {
-        let new_bytes: usize =
-            views.iter().map(ViewData::byte_size).sum::<usize>() + 2 * key.len() + 96;
         let mut inner = self.lock();
         inner.views_rescanned += views.len() as u64;
         inner.per_id.entry(head_id).or_default().1 += views.len() as u64;
+        Self::admit_locked(&mut inner, key, views, byte_budget);
+    }
+
+    /// Admits views that were kept current by **in-place delta
+    /// maintenance** rather than a scan: counted as `delta_maintained`
+    /// (and as reuse in the per-relation attribution — the relation was
+    /// *not* rescanned), then retained under the same budget discipline
+    /// as [`ViewCache::insert`]. The key carries the relation's
+    /// post-delta content id, so later cold runs over the mutated
+    /// database hit these views instead of rescanning the subtree.
+    pub(crate) fn insert_maintained(
+        &self,
+        key: &str,
+        head_id: u64,
+        views: Arc<Vec<ViewData>>,
+        byte_budget: usize,
+    ) {
+        let mut inner = self.lock();
+        inner.delta_maintained += views.len() as u64;
+        inner.per_id.entry(head_id).or_default().0 += views.len() as u64;
+        Self::admit_locked(&mut inner, key, views, byte_budget);
+    }
+
+    /// Shared storage path of [`ViewCache::insert`] /
+    /// [`ViewCache::insert_maintained`]: budget high-water update, FIFO
+    /// eviction, oversize rejection, per-id map bound.
+    fn admit_locked(inner: &mut Inner, key: &str, views: Arc<Vec<ViewData>>, byte_budget: usize) {
+        let new_bytes: usize =
+            views.iter().map(ViewData::byte_size).sum::<usize>() + 2 * key.len() + 96;
         if inner.per_id.len() > 32 * 1024 {
             inner.per_id.clear();
         }
@@ -207,6 +259,7 @@ impl ViewCache {
             misses: inner.misses,
             views_reused: inner.views_reused,
             views_rescanned: inner.views_rescanned,
+            delta_maintained: inner.delta_maintained,
             evictions: inner.evictions,
             entries: inner.entries.len(),
             bytes: inner.bytes,

@@ -1,0 +1,273 @@
+//! Per-relation update batches with signed multiplicities — the delta
+//! layer's data type.
+//!
+//! A [`Delta`] is the unit of change every maintenance path in the
+//! workspace consumes: a batch of inserted and deleted rows against one
+//! relation, each row carrying multiplicity `+1` or `-1` (the paper's §3.1
+//! "additive inverse": a delete is an insert with negated multiplicity, so
+//! every ring-valued view treats both uniformly). [`Database::apply_delta`]
+//! is the ground-truth application — it mutates the catalog the way any
+//! engine's cold recomputation will observe it, which is exactly the
+//! contract the `MaintainableEngine` property tests hold incremental
+//! maintenance to: `apply_delta` over a prepared state must agree with a
+//! cold `run` over the mutated database.
+//!
+//! Deltas are *sequential*: rows apply in order, so a delta may delete a
+//! row it inserted earlier in the same batch. Deletes of rows the database
+//! (plus the delta's earlier inserts) does not hold are rejected with a
+//! [`DataError`] — the catalog is a plain multiset and cannot represent
+//! negative multiplicities.
+
+use crate::catalog::Database;
+use crate::error::DataError;
+use crate::value::Value;
+use crate::Result;
+
+/// A batch of signed row updates against one relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// The updated relation's name.
+    pub relation: String,
+    /// `(row, multiplicity)` in application order; multiplicity is `+1`
+    /// (insert) or `-1` (delete), enforced by the constructors.
+    rows: Vec<(Box<[Value]>, i64)>,
+}
+
+impl Delta {
+    /// An empty delta against `relation`.
+    pub fn new(relation: impl Into<String>) -> Self {
+        Self { relation: relation.into(), rows: Vec::new() }
+    }
+
+    /// A single-row insert.
+    pub fn insert(relation: impl Into<String>, row: Vec<Value>) -> Self {
+        let mut d = Self::new(relation);
+        d.push_insert(row);
+        d
+    }
+
+    /// A single-row delete.
+    pub fn delete(relation: impl Into<String>, row: Vec<Value>) -> Self {
+        let mut d = Self::new(relation);
+        d.push_delete(row);
+        d
+    }
+
+    /// Appends an inserted row.
+    pub fn push_insert(&mut self, row: Vec<Value>) {
+        self.rows.push((row.into(), 1));
+    }
+
+    /// Appends a deleted row.
+    pub fn push_delete(&mut self, row: Vec<Value>) {
+        self.rows.push((row.into(), -1));
+    }
+
+    /// Builder-style [`Delta::push_insert`].
+    pub fn with_insert(mut self, row: Vec<Value>) -> Self {
+        self.push_insert(row);
+        self
+    }
+
+    /// Builder-style [`Delta::push_delete`].
+    pub fn with_delete(mut self, row: Vec<Value>) -> Self {
+        self.push_delete(row);
+        self
+    }
+
+    /// The `(row, ±1)` updates in application order.
+    pub fn rows(&self) -> &[(Box<[Value]>, i64)] {
+        &self.rows
+    }
+
+    /// The inserted rows, in order.
+    pub fn inserts(&self) -> impl Iterator<Item = &[Value]> {
+        self.rows.iter().filter(|(_, m)| *m > 0).map(|(r, _)| r.as_ref())
+    }
+
+    /// The deleted rows, in order.
+    pub fn deletes(&self) -> impl Iterator<Item = &[Value]> {
+        self.rows.iter().filter(|(_, m)| *m < 0).map(|(r, _)| r.as_ref())
+    }
+
+    /// Number of row updates in the batch.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the batch carries no updates.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl Database {
+    /// Applies `delta` to this database — the ground truth every
+    /// incremental maintenance path is held to.
+    ///
+    /// Validation happens **before** any mutation, so a rejected delta
+    /// leaves the database untouched:
+    ///
+    /// * the relation must exist ([`DataError::UnknownRelation`]);
+    /// * every row must match the relation's schema (arity and column
+    ///   types — [`DataError::ArityMismatch`] / [`DataError::TypeMismatch`]);
+    /// * every delete must match a row present at its point in the
+    ///   sequence — a base row not already deleted, or an earlier insert
+    ///   of the same batch ([`DataError::Invalid`] otherwise).
+    ///
+    /// Deletes remove one matching row each (multiset semantics); row
+    /// order of the surviving base rows is preserved and inserts append.
+    pub fn apply_delta(&mut self, delta: &Delta) -> Result<()> {
+        let rel = self.get(&delta.relation)?;
+        let schema = rel.schema();
+        let arity = schema.arity();
+        // Schema validation for every row, before touching anything.
+        for (row, _) in delta.rows() {
+            if row.len() != arity {
+                return Err(DataError::ArityMismatch { expected: arity, got: row.len() });
+            }
+            for (c, v) in row.iter().enumerate() {
+                let attr = schema.attr(c);
+                if attr.ty.is_int_backed() != v.is_int() {
+                    return Err(DataError::TypeMismatch {
+                        attribute: attr.name.clone(),
+                        expected: if attr.ty.is_int_backed() { "Int" } else { "F64" },
+                        got: format!("{v:?}"),
+                    });
+                }
+            }
+        }
+        // Sequential resolution: a delete first cancels the latest pending
+        // insert of the same batch, then claims an unclaimed matching base
+        // row. All bookkeeping happens on indices so nothing mutates until
+        // the whole batch is known to apply.
+        let row_eq = |r: usize, row: &[Value]| (0..arity).all(|c| rel.value(r, c) == row[c]);
+        let mut deleted_base: Vec<usize> = Vec::new();
+        let mut pending: Vec<&[Value]> = Vec::new(); // surviving inserts
+        for (row, mult) in delta.rows() {
+            if *mult > 0 {
+                pending.push(row.as_ref());
+                continue;
+            }
+            if let Some(p) = pending.iter().rposition(|r| *r == row.as_ref()) {
+                pending.remove(p);
+                continue;
+            }
+            let base = (0..rel.len()).find(|&r| !deleted_base.contains(&r) && row_eq(r, row));
+            match base {
+                Some(r) => deleted_base.push(r),
+                None => {
+                    return Err(DataError::Invalid(format!(
+                        "delete of a row not present in `{}`",
+                        delta.relation
+                    )))
+                }
+            }
+        }
+        // Mutate: drop claimed base rows (order-preserving), then append
+        // surviving inserts. Validation above makes every push infallible.
+        let pending: Vec<Vec<Value>> = pending.into_iter().map(|r| r.to_vec()).collect();
+        let rel = self.get_mut(&delta.relation)?;
+        if !deleted_base.is_empty() {
+            let keep: Vec<usize> = (0..rel.len()).filter(|r| !deleted_base.contains(r)).collect();
+            *rel = rel.permuted(&keep);
+        }
+        for row in &pending {
+            rel.push_row(row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+    use crate::schema::{AttrType, Schema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add(
+            "R",
+            Relation::from_rows(
+                Schema::of(&[("k", AttrType::Int), ("x", AttrType::Double)]),
+                vec![
+                    vec![Value::Int(1), Value::F64(1.0)],
+                    vec![Value::Int(2), Value::F64(2.0)],
+                    vec![Value::Int(1), Value::F64(1.0)],
+                ],
+            )
+            .unwrap(),
+        );
+        db
+    }
+
+    #[test]
+    fn insert_and_delete_apply_in_order() {
+        let mut db = db();
+        let d = Delta::new("R")
+            .with_insert(vec![Value::Int(3), Value::F64(3.0)])
+            .with_delete(vec![Value::Int(2), Value::F64(2.0)]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.inserts().count(), 1);
+        assert_eq!(d.deletes().count(), 1);
+        db.apply_delta(&d).unwrap();
+        let r = db.get("R").unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.int_col(0), &[1, 1, 3], "delete preserves base order, insert appends");
+    }
+
+    #[test]
+    fn delete_cancels_same_batch_insert() {
+        let mut db = db();
+        let row = vec![Value::Int(9), Value::F64(9.0)];
+        let d = Delta::new("R").with_insert(row.clone()).with_delete(row);
+        db.apply_delta(&d).unwrap();
+        assert_eq!(db.get("R").unwrap().len(), 3, "net no-op");
+    }
+
+    #[test]
+    fn duplicate_rows_delete_one_at_a_time() {
+        let mut db = db();
+        let row = vec![Value::Int(1), Value::F64(1.0)];
+        db.apply_delta(&Delta::delete("R", row.clone())).unwrap();
+        assert_eq!(db.get("R").unwrap().len(), 2, "one of the two copies removed");
+        db.apply_delta(&Delta::delete("R", row.clone())).unwrap();
+        assert_eq!(db.get("R").unwrap().len(), 1);
+        let err = db.apply_delta(&Delta::delete("R", row)).unwrap_err();
+        assert!(matches!(err, DataError::Invalid(_)), "third delete has nothing to match");
+    }
+
+    #[test]
+    fn rejected_deltas_leave_the_database_untouched() {
+        let mut db = db();
+        let id = db.get("R").unwrap().data_id();
+        // Unknown relation.
+        let err = db.apply_delta(&Delta::insert("Nope", vec![Value::Int(1)])).unwrap_err();
+        assert!(matches!(err, DataError::UnknownRelation(_)));
+        // Arity mismatch.
+        let err = db.apply_delta(&Delta::insert("R", vec![Value::Int(1)])).unwrap_err();
+        assert!(matches!(err, DataError::ArityMismatch { expected: 2, got: 1 }));
+        // Type mismatch.
+        let err = db
+            .apply_delta(&Delta::insert("R", vec![Value::F64(1.0), Value::F64(1.0)]))
+            .unwrap_err();
+        assert!(matches!(err, DataError::TypeMismatch { .. }));
+        // A batch whose *second* update is invalid must not half-apply.
+        let d = Delta::new("R")
+            .with_insert(vec![Value::Int(7), Value::F64(7.0)])
+            .with_delete(vec![Value::Int(42), Value::F64(42.0)]);
+        assert!(db.apply_delta(&d).is_err());
+        assert_eq!(db.get("R").unwrap().len(), 3);
+        assert_eq!(db.get("R").unwrap().data_id(), id, "no mutation happened");
+    }
+
+    #[test]
+    fn delta_accessors_roundtrip() {
+        let d = Delta::insert("R", vec![Value::Int(1), Value::F64(1.0)]);
+        assert!(!d.is_empty());
+        assert_eq!(d.rows()[0].1, 1);
+        let d = Delta::delete("R", vec![Value::Int(1), Value::F64(1.0)]);
+        assert_eq!(d.rows()[0].1, -1);
+    }
+}

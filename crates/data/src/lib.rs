@@ -18,6 +18,7 @@
 
 pub mod catalog;
 pub mod csv;
+pub mod delta;
 pub mod dict;
 pub mod error;
 pub mod relation;
@@ -27,6 +28,7 @@ pub mod value;
 
 pub use catalog::Database;
 pub use csv::{read_csv, relation_to_csv, write_csv};
+pub use delta::Delta;
 pub use dict::Dictionary;
 pub use error::DataError;
 pub use relation::{Column, Relation, RowRef};

@@ -28,6 +28,38 @@ impl Update {
     }
 }
 
+/// Validates an update against the maintainer's schema list: the
+/// relation index must be in range, the tuple's arity and per-column
+/// value types must match, and the multiplicity must be `±1`. One
+/// helper shared by every apply path ([`StreamDb::apply`],
+/// `ViewTree::apply`, `FoIvm::apply`) so the checks cannot drift apart.
+pub(crate) fn validate_update(schemas: &[Schema], up: &Update) -> Result<(), DataError> {
+    let Some(schema) = schemas.get(up.rel) else {
+        return Err(DataError::Invalid(format!(
+            "update targets relation index {}, but the maintainer spans {} relations",
+            up.rel,
+            schemas.len()
+        )));
+    };
+    if up.tuple.len() != schema.arity() {
+        return Err(DataError::ArityMismatch { expected: schema.arity(), got: up.tuple.len() });
+    }
+    for (c, v) in up.tuple.iter().enumerate() {
+        let attr = schema.attr(c);
+        if attr.ty.is_int_backed() != v.is_int() {
+            return Err(DataError::TypeMismatch {
+                attribute: attr.name.clone(),
+                expected: if attr.ty.is_int_backed() { "Int" } else { "F64" },
+                got: format!("{v:?}"),
+            });
+        }
+    }
+    if up.mult != 1 && up.mult != -1 {
+        return Err(DataError::Invalid("multiplicity must be +1 or -1".into()));
+    }
+    Ok(())
+}
+
 /// Multiset relations under updates, shared by all maintenance strategies.
 /// Rows are append-only `(tuple, mult)` pairs; hash indices map join-key
 /// values to row positions.
@@ -57,14 +89,11 @@ impl StreamDb {
     }
 
     /// Applies an update: appends the row and maintains the indices.
+    /// Updates naming a relation outside the schema list, rows of the
+    /// wrong arity or value types, and multiplicities other than `±1`
+    /// are rejected before anything is stored.
     pub fn apply(&mut self, up: &Update) -> Result<(), DataError> {
-        let schema = &self.schemas[up.rel];
-        if up.tuple.len() != schema.arity() {
-            return Err(DataError::ArityMismatch { expected: schema.arity(), got: up.tuple.len() });
-        }
-        if up.mult != 1 && up.mult != -1 {
-            return Err(DataError::Invalid("multiplicity must be +1 or -1".into()));
-        }
+        validate_update(&self.schemas, up)?;
         let idx = self.rows[up.rel].len();
         self.rows[up.rel].push((up.tuple.clone(), up.mult));
         for ((rel, cols), index) in self.indices.iter_mut() {

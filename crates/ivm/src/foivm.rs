@@ -117,7 +117,10 @@ impl FoIvm {
 
     /// Applies an update (after it was applied to the [`StreamDb`]):
     /// one delta-query evaluation *per aggregate* (no sharing).
-    pub fn apply(&mut self, db: &StreamDb, up: &Update) {
+    /// Malformed updates (bad relation index, arity, or multiplicity)
+    /// return `Err` before any aggregate is touched.
+    pub fn apply(&mut self, db: &StreamDb, up: &Update) -> Result<(), fdb_data::DataError> {
+        crate::base::validate_update(&self.shape.schemas, up)?;
         let walk = self.walks[up.rel].clone();
         let nrel = self.shape.schemas.len();
         let n = self.n;
@@ -138,6 +141,7 @@ impl FoIvm {
                 self.q[agg - 1 - n] += acc;
             }
         }
+        Ok(())
     }
 
     /// The factor value of aggregate `agg` on feature vector `feat`.
@@ -257,8 +261,8 @@ mod tests {
                 up
             };
             db.apply(&up).unwrap();
-            fo.apply(&db, &up);
-            fi.apply(&db, &up);
+            fo.apply(&db, &up).unwrap();
+            fi.apply(&db, &up).unwrap();
         }
         let (a, b) = (fo.result(), fi.result());
         assert!((a.c - b.c).abs() < 1e-6, "count {} vs {}", a.c, b.c);

@@ -64,11 +64,15 @@ impl HoIvm {
         Self { n, trees }
     }
 
-    /// Applies an update to every per-aggregate tree.
-    pub fn apply(&mut self, db: &StreamDb, up: &Update) {
+    /// Applies an update to every per-aggregate tree. Malformed updates
+    /// are rejected up front (all trees share one shape, so validation
+    /// fails before the first tree mutates — see
+    /// [`ViewTree::apply`]).
+    pub fn apply(&mut self, db: &StreamDb, up: &Update) -> Result<(), fdb_data::DataError> {
         for tree in &mut self.trees {
-            tree.apply(db, up);
+            tree.apply(db, up)?;
         }
+        Ok(())
     }
 
     /// Assembles the maintained values into a covariance triple.
@@ -144,8 +148,8 @@ mod tests {
             };
             let up = Update::insert(rel, tuple);
             db.apply(&up).unwrap();
-            ho.apply(&db, &up);
-            fi.apply(&db, &up);
+            ho.apply(&db, &up).unwrap();
+            fi.apply(&db, &up).unwrap();
         }
         let (a, b) = (ho.result(), fi.result());
         assert!((a.c - b.c).abs() < 1e-6);

@@ -27,10 +27,12 @@ pub mod base;
 pub mod engine;
 pub mod foivm;
 pub mod hoivm;
+pub mod maintain;
 pub mod viewtree;
 
 pub use base::{StreamDb, Update};
 pub use engine::FivmEngine;
 pub use foivm::FoIvm;
 pub use hoivm::HoIvm;
+pub use maintain::{CovMaintainer, IvmStrategy};
 pub use viewtree::{Fivm, TreeShape, ViewTree};

@@ -1,0 +1,263 @@
+//! The unified front door of the IVM strategies: [`Database`] catalogs in,
+//! [`Delta`] batches through, covariance triples out.
+//!
+//! The maintainers themselves ([`FoIvm`], [`HoIvm`], [`Fivm`]) run over
+//! the crate's internal streaming storage ([`StreamDb`]: append-only
+//! `(tuple, mult)` rows with hash indices on join keys — the index
+//! structure delta propagation probes). [`CovMaintainer`] hides that
+//! machinery behind the same data types the batch engines consume: it is
+//! constructed from a `Database` (streaming any rows the catalog already
+//! holds) and fed `Delta`s, so benches, examples, and the
+//! `MaintainableEngine` adapter in [`crate::engine`] never touch the
+//! legacy `StreamDb`/`Update` API.
+
+use crate::base::{StreamDb, Update};
+use crate::foivm::FoIvm;
+use crate::hoivm::HoIvm;
+use crate::viewtree::{Fivm, TreeShape};
+use fdb_data::{DataError, Database, Delta, Schema};
+use fdb_ring::CovTriple;
+use std::sync::Arc;
+
+/// Which maintenance strategy a [`CovMaintainer`] runs (Figure 4 right).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IvmStrategy {
+    /// First-order IVM: per-aggregate delta queries, nothing materialized.
+    FirstOrder,
+    /// Higher-order IVM: one scalar view tree per aggregate.
+    HigherOrder,
+    /// F-IVM: one covariance-ring view tree for the whole triple.
+    Fivm,
+}
+
+impl IvmStrategy {
+    /// Display name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IvmStrategy::FirstOrder => "first-order IVM",
+            IvmStrategy::HigherOrder => "higher-order IVM",
+            IvmStrategy::Fivm => "F-IVM",
+        }
+    }
+}
+
+enum Inner {
+    Fo(FoIvm),
+    Ho(HoIvm),
+    Fi(Fivm),
+}
+
+/// A covariance-triple maintainer over a natural join, maintained under
+/// [`Delta`] batches.
+pub struct CovMaintainer {
+    names: Vec<String>,
+    sdb: StreamDb,
+    inner: Inner,
+}
+
+impl CovMaintainer {
+    /// Builds a maintainer for the natural join of `names` over `db`'s
+    /// schemas, maintaining the covariance triple of the `continuous`
+    /// attributes, and streams every row `db` currently holds (an empty
+    /// catalog starts the stream from zero — the Figure 4 setup). The
+    /// view tree is rooted at relation index `root`.
+    pub fn new(
+        db: &Database,
+        names: &[&str],
+        root: usize,
+        continuous: &[&str],
+        strategy: IvmStrategy,
+    ) -> Result<Self, DataError> {
+        let schemas: Vec<Schema> = names
+            .iter()
+            .map(|n| Ok(db.get(n)?.schema().clone()))
+            .collect::<Result<_, DataError>>()?;
+        let shape = Arc::new(TreeShape::build(schemas.clone(), names, root)?);
+        let mut sdb = StreamDb::new(schemas);
+        shape.register_indices(&mut sdb);
+        if strategy == IvmStrategy::FirstOrder {
+            FoIvm::register_indices(&shape, &mut sdb);
+        }
+        let inner = match strategy {
+            IvmStrategy::FirstOrder => Inner::Fo(FoIvm::new(Arc::clone(&shape), continuous)),
+            IvmStrategy::HigherOrder => Inner::Ho(HoIvm::new(Arc::clone(&shape), continuous)),
+            IvmStrategy::Fivm => Inner::Fi(Fivm::new(Arc::clone(&shape), continuous)?),
+        };
+        let mut this = Self { names: names.iter().map(|s| s.to_string()).collect(), sdb, inner };
+        for (ri, name) in names.iter().enumerate() {
+            let rel = db.get(name)?;
+            for r in 0..rel.len() {
+                this.apply_update(Update::insert(ri, rel.row_vec(r)))?;
+            }
+        }
+        Ok(this)
+    }
+
+    fn apply_update(&mut self, up: Update) -> Result<(), DataError> {
+        self.sdb.apply(&up)?;
+        match &mut self.inner {
+            Inner::Fo(fo) => fo.apply(&self.sdb, &up),
+            Inner::Ho(ho) => ho.apply(&self.sdb, &up),
+            Inner::Fi(fi) => fi.apply(&self.sdb, &up),
+        }
+    }
+
+    /// Folds one delta batch into the maintained triple. The relation
+    /// must be part of the join ([`DataError::UnknownRelation`]
+    /// otherwise). Application is **atomic like
+    /// [`Database::apply_delta`]**: every row of the batch is validated
+    /// against the relation's schema before the first one touches any
+    /// view, so a rejected batch leaves the maintainer exactly where it
+    /// was — it cannot silently diverge from a ground-truth database
+    /// that rejected the same delta.
+    pub fn apply_delta(&mut self, delta: &Delta) -> Result<(), DataError> {
+        let ri = self
+            .names
+            .iter()
+            .position(|n| *n == delta.relation)
+            .ok_or_else(|| DataError::UnknownRelation(delta.relation.clone()))?;
+        let ups: Vec<Update> = delta
+            .rows()
+            .iter()
+            .map(|(row, mult)| Update { rel: ri, tuple: row.clone(), mult: *mult })
+            .collect();
+        for up in &ups {
+            crate::base::validate_update(self.sdb.schemas(), up)?;
+        }
+        for up in ups {
+            self.apply_update(up)?;
+        }
+        Ok(())
+    }
+
+    /// The maintained covariance triple.
+    pub fn triple(&self) -> CovTriple {
+        match &self.inner {
+            Inner::Fo(fo) => fo.result(),
+            Inner::Ho(ho) => ho.result(),
+            Inner::Fi(fi) => fi.result(),
+        }
+    }
+
+    /// Ring operations performed so far (cost proxy; `None` for the
+    /// first-order strategy, which performs no ring operations).
+    pub fn ring_ops(&self) -> Option<u64> {
+        match &self.inner {
+            Inner::Fo(_) => None,
+            Inner::Ho(ho) => Some(ho.ring_ops()),
+            Inner::Fi(fi) => Some(fi.ring_ops()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_data::{AttrType, Relation, Value};
+
+    /// R(a, x) ⋈ S(a, b, y) ⋈ T(b, z).
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add("R", Relation::new(Schema::of(&[("a", AttrType::Int), ("x", AttrType::Double)])));
+        db.add(
+            "S",
+            Relation::new(Schema::of(&[
+                ("a", AttrType::Int),
+                ("b", AttrType::Int),
+                ("y", AttrType::Double),
+            ])),
+        );
+        db.add("T", Relation::new(Schema::of(&[("b", AttrType::Int), ("z", AttrType::Double)])));
+        db
+    }
+
+    #[test]
+    fn strategies_agree_under_delta_stream() {
+        let db = db();
+        let names = ["R", "S", "T"];
+        let cont = ["x", "y", "z"];
+        let mut maints: Vec<CovMaintainer> =
+            [IvmStrategy::FirstOrder, IvmStrategy::HigherOrder, IvmStrategy::Fivm]
+                .into_iter()
+                .map(|s| CovMaintainer::new(&db, &names, 1, &cont, s).unwrap())
+                .collect();
+        let deltas = [
+            Delta::insert("R", vec![Value::Int(0), Value::F64(1.0)]),
+            Delta::insert("S", vec![Value::Int(0), Value::Int(0), Value::F64(2.0)]),
+            Delta::insert("T", vec![Value::Int(0), Value::F64(3.0)]),
+            Delta::new("R")
+                .with_insert(vec![Value::Int(0), Value::F64(4.0)])
+                .with_delete(vec![Value::Int(0), Value::F64(1.0)]),
+        ];
+        for d in &deltas {
+            for m in &mut maints {
+                m.apply_delta(d).unwrap();
+            }
+        }
+        let base = maints[0].triple();
+        assert_eq!(base.c, 1.0, "one join tuple survives");
+        for m in &maints[1..] {
+            let t = m.triple();
+            assert!((t.c - base.c).abs() < 1e-9);
+            for i in 0..3 {
+                assert!((t.s[i] - base.s[i]).abs() < 1e-9);
+            }
+        }
+        assert!(maints[0].ring_ops().is_none());
+        assert!(maints[2].ring_ops().unwrap() > 0);
+    }
+
+    #[test]
+    fn non_empty_catalog_is_streamed_at_construction() {
+        let mut db = db();
+        db.apply_delta(&Delta::insert("R", vec![Value::Int(1), Value::F64(2.0)])).unwrap();
+        db.apply_delta(&Delta::insert("S", vec![Value::Int(1), Value::Int(2), Value::F64(3.0)]))
+            .unwrap();
+        db.apply_delta(&Delta::insert("T", vec![Value::Int(2), Value::F64(4.0)])).unwrap();
+        let m = CovMaintainer::new(&db, &["R", "S", "T"], 1, &["x", "y", "z"], IvmStrategy::Fivm)
+            .unwrap();
+        assert_eq!(m.triple().c, 1.0);
+    }
+
+    #[test]
+    fn malformed_deltas_are_rejected() {
+        let db = db();
+        let mut m =
+            CovMaintainer::new(&db, &["R", "S", "T"], 1, &["x", "y", "z"], IvmStrategy::Fivm)
+                .unwrap();
+        let unknown = Delta::insert("Nope", vec![Value::Int(1)]);
+        assert!(matches!(m.apply_delta(&unknown), Err(DataError::UnknownRelation(_))));
+        let bad_arity = Delta::insert("R", vec![Value::Int(1)]);
+        assert!(matches!(m.apply_delta(&bad_arity), Err(DataError::ArityMismatch { .. })));
+        let bad_type = Delta::insert("R", vec![Value::F64(1.0), Value::F64(1.0)]);
+        assert!(matches!(m.apply_delta(&bad_type), Err(DataError::TypeMismatch { .. })));
+        assert_eq!(m.triple().c, 0.0, "rejected updates never touch the views");
+    }
+
+    #[test]
+    fn batch_rejection_is_atomic() {
+        // A batch whose *second* row is malformed must not half-apply:
+        // the maintainer would otherwise diverge forever from a
+        // ground-truth database that rejected the same delta atomically.
+        let db = db();
+        let mut m =
+            CovMaintainer::new(&db, &["R", "S", "T"], 1, &["x", "y", "z"], IvmStrategy::Fivm)
+                .unwrap();
+        // One valid join tuple to make the triple non-trivial.
+        for d in [
+            Delta::insert("R", vec![Value::Int(0), Value::F64(1.0)]),
+            Delta::insert("S", vec![Value::Int(0), Value::Int(0), Value::F64(2.0)]),
+            Delta::insert("T", vec![Value::Int(0), Value::F64(3.0)]),
+        ] {
+            m.apply_delta(&d).unwrap();
+        }
+        let before = m.triple();
+        let bad = Delta::new("R")
+            .with_insert(vec![Value::Int(1), Value::F64(5.0)])
+            .with_insert(vec![Value::Int(1)]); // arity mismatch
+        assert!(m.apply_delta(&bad).is_err());
+        let after = m.triple();
+        assert_eq!(after.c, before.c, "no row of the rejected batch was applied");
+        assert_eq!(after.s, before.s);
+    }
+}

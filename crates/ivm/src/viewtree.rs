@@ -38,6 +38,21 @@ pub struct TreeShape {
 }
 
 impl TreeShape {
+    /// Builds the shape directly from a [`Database`] catalog — the
+    /// unified-front-door constructor: schemas come from the named
+    /// relations, so the shape matches what the batch engines plan over.
+    pub fn from_database(
+        db: &Database,
+        names: &[&str],
+        root_hint: usize,
+    ) -> Result<Self, DataError> {
+        let schemas: Vec<Schema> = names
+            .iter()
+            .map(|n| Ok(db.get(n)?.schema().clone()))
+            .collect::<Result<_, DataError>>()?;
+        Self::build(schemas, names, root_hint)
+    }
+
     /// Builds the shape from relation schemas: join-key hypergraph, GYO
     /// join tree, rooted at `root_hint` (or edge 0).
     pub fn build(
@@ -123,7 +138,14 @@ impl<R: Ring> ViewTree<R> {
 
     /// Applies an update. The update must already be present in `db`
     /// (apply to [`StreamDb`] first, then to each maintainer).
-    pub fn apply(&mut self, db: &StreamDb, up: &Update) {
+    ///
+    /// Malformed updates — a relation index outside the tree, a tuple
+    /// whose arity or value types disagree with the relation's schema, a
+    /// multiplicity other than `±1` — are rejected with a [`DataError`]
+    /// *before* any view is touched, so a failed apply never leaves the
+    /// tree partially updated.
+    pub fn apply(&mut self, db: &StreamDb, up: &Update) -> Result<(), DataError> {
+        crate::base::validate_update(&self.shape.schemas, up)?;
         let m = up.rel;
         let t = &up.tuple;
         // δV_m = ±lift(t) × Π_c V_c(t[key_c])
@@ -155,7 +177,7 @@ impl<R: Ring> ViewTree<R> {
         let mut cur = m;
         while let Some(p) = self.shape.parent[cur] {
             if deltas.is_empty() {
-                return;
+                return Ok(());
             }
             let cur_pos =
                 self.shape.children[p].iter().position(|&c| c == cur).expect("tree child");
@@ -209,6 +231,7 @@ impl<R: Ring> ViewTree<R> {
             deltas = next;
             cur = p;
         }
+        Ok(())
     }
 
     fn absorb(&mut self, node: usize, deltas: &HashMap<Box<[i64]>, R::Elem>) {
@@ -265,8 +288,10 @@ impl Fivm {
     }
 
     /// Applies an update (after it was applied to the [`StreamDb`]).
-    pub fn apply(&mut self, db: &StreamDb, up: &Update) {
-        self.tree.apply(db, up);
+    /// Malformed updates return `Err` without touching any view
+    /// (see [`ViewTree::apply`]).
+    pub fn apply(&mut self, db: &StreamDb, up: &Update) -> Result<(), DataError> {
+        self.tree.apply(db, up)
     }
 
     /// The maintained covariance triple.
@@ -351,7 +376,7 @@ mod tests {
                 up
             };
             db.apply(&up).unwrap();
-            fivm.apply(&db, &up);
+            fivm.apply(&db, &up).unwrap();
         }
         // Brute force over materialized relations.
         let (r, s, t) = (db.materialize(0), db.materialize(1), db.materialize(2));

@@ -28,6 +28,10 @@
 //! * [`reuse`] — per-training view-cache reuse accounting: iterative
 //!   trainers (CART, BGD retrains, Rk-means grid statistics) report how
 //!   many views the engine served from the cross-batch cache vs rescanned.
+//! * [`online`] — continuous learning over dynamic data: [`OnlineRidge`]
+//!   keeps a ridge model fresh under `Delta` streams by refitting from a
+//!   `MaintainableEngine`'s maintained covariance aggregates — a `d×d`
+//!   solve per update batch, no retraining scan.
 
 pub mod chowliu;
 pub mod fd;
@@ -36,6 +40,7 @@ pub mod kmeans;
 pub mod linalg;
 pub mod linreg;
 pub mod matrix;
+pub mod online;
 pub mod pca;
 pub mod reuse;
 pub mod sgd;
@@ -44,5 +49,6 @@ pub mod tree;
 
 pub use linreg::LinearRegression;
 pub use matrix::DataMatrix;
+pub use online::OnlineRidge;
 pub use reuse::ViewReuse;
 pub use tree::DecisionTree;

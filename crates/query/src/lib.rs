@@ -1,18 +1,20 @@
 //! # fdb-query
 //!
-//! A deliberately *classical* relational engine: binary hash joins over
-//! materialized intermediates and one scan per aggregate query. This is the
-//! structure-agnostic baseline of the paper (§1.2) — the PostgreSQL /
-//! "commercial DBX" stand-in in the Figure 3 and Figure 4 reproductions.
+//! The *classical* join layer: binary hash joins over materialized
+//! intermediates, plus the scalar expression / predicate IR the classical
+//! scan queries are written in. This is the structure-agnostic substrate
+//! of the paper's baselines (§1.2) — the PostgreSQL / "commercial DBX"
+//! stand-in's storage-facing half in the Figure 3 and 4 reproductions.
 //!
-//! It is competent (hash joins, greedy connected join ordering, columnar
-//! storage) but intentionally lacks what LMFAO adds: cross-aggregate
-//! sharing, aggregate pushdown past joins, and factorized evaluation.
+//! Aggregate **evaluation** deliberately does not live here: the one
+//! evaluation stack is `fdb-core` (`fdb_core::classical` for the naive
+//! one-scan-per-aggregate baseline, `fdb_core::FlatEngine` for the shared
+//! scan, `fdb_core::exec` for LMFAO), which consumes this crate's joins
+//! and expressions. Keeping a second evaluation loop here was pure
+//! duplication and is gone.
 
-pub mod agg;
 pub mod exec;
 pub mod expr;
 
-pub use agg::{eval_agg, eval_agg_batch, AggResult, ScanQuery};
 pub use exec::{hash_join, natural_join_all};
 pub use expr::{Predicate, ScalarExpr};

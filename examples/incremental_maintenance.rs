@@ -1,95 +1,50 @@
-//! F-IVM (§3.1, Figure 4 right): maintain the covariance matrix of the
-//! retailer features under a live insert stream and refresh the regression
-//! model continuously — "keeping models fresh" (§1.5).
+//! Incremental view maintenance through the unified delta layer (§3.1,
+//! Figure 4 right; "keeping models fresh", §1.5): stream the retailer
+//! dataset into an initially empty database as [`Delta`] batches and keep
+//! a ridge regression model fresh the whole way — no retraining scan,
+//! ever.
+//!
+//! The model lives in [`fdb::ml::OnlineRidge`], which pairs a
+//! `MaintainableEngine` (here F-IVM: a covariance-ring view tree) with
+//! the covariance aggregate batch: `apply_delta` folds each update bulk
+//! into the maintained ring payloads, and `model()` refits from the
+//! maintained statistics with one `d×d` Cholesky solve.
 //!
 //! ```bash
 //! cargo run --release --example incremental_maintenance
 //! ```
 
 use fdb::datasets::{retailer, RetailerConfig};
-use fdb::ivm::{Fivm, StreamDb, TreeShape, Update};
-use fdb::ml::linalg::cholesky_solve;
-use std::sync::Arc;
+use fdb::ivm::FivmEngine;
+use fdb::ml::linreg::RidgeConfig;
+use fdb::ml::OnlineRidge;
+use fdb::prelude::*;
 use std::time::Instant;
 
 fn main() {
     let ds = retailer(RetailerConfig::scaled(0.3));
     let names: Vec<&str> = ds.relation_refs();
-    let schemas: Vec<_> = names.iter().map(|n| ds.db.get(n).unwrap().schema().clone()).collect();
     let cont: Vec<&str> = ds.features.continuous_with_response_refs();
-    let shape = Arc::new(TreeShape::build(schemas.clone(), &names, 0).unwrap());
-    let mut db = StreamDb::new(schemas);
-    shape.register_indices(&mut db);
-    let mut fivm = Fivm::new(Arc::clone(&shape), &cont).unwrap();
 
-    // Stream all tuples, bulk of 1000 as in the paper; after each bulk,
-    // refresh the model from the maintained triple.
-    let (_, _, stream) = {
-        // Rebuild the stream the bench harness uses.
-        fdb_bench_stream(&ds)
-    };
-    println!("Streaming {} inserts in bulks of 1000...", stream.len());
-    let t0 = Instant::now();
-    let mut refreshes = 0;
-    for bulk in stream.chunks(1000) {
-        for up in bulk {
-            db.apply(up).unwrap();
-            fivm.apply(&db, up);
-        }
-        // Refresh: solve the ridge normal equations from the triple.
-        let triple = fivm.result();
-        if triple.c > 1.0 {
-            let n = cont.len();
-            let d = n; // features (last one is the response)
-            let mut a = vec![0.0; (d - 1 + 1) * (d - 1 + 1)];
-            let dd = d - 1 + 1; // weights + intercept
-            for i in 0..d - 1 {
-                for j in 0..d - 1 {
-                    a[i * dd + j] = triple.q_at(i, j) / triple.c;
-                }
-                a[i * dd + dd - 1] = triple.s[i] / triple.c;
-                a[(dd - 1) * dd + i] = triple.s[i] / triple.c;
-                a[i * dd + i] += 1e-3;
-            }
-            a[(dd - 1) * dd + (dd - 1)] = 1.0;
-            let mut b = vec![0.0; dd];
-            for (i, bi) in b.iter_mut().enumerate().take(d - 1) {
-                *bi = triple.q_at(i, d - 1) / triple.c;
-            }
-            b[dd - 1] = triple.s[d - 1] / triple.c;
-            if cholesky_solve(&a, &b, dd).is_some() {
-                refreshes += 1;
-            }
-        }
+    // Empty catalog with the dataset's schemas: the stream starts at zero.
+    let mut empty = Database::new();
+    for n in &names {
+        empty.add(*n, Relation::new(ds.db.get(n).unwrap().schema().clone()));
     }
-    let secs = t0.elapsed().as_secs_f64();
-    let triple = fivm.result();
-    println!(
-        "maintained covariance over {} features; count = {}, {} model refreshes",
-        cont.len(),
-        triple.c,
-        refreshes
-    );
-    println!(
-        "throughput: {:.0} tuples/sec including a model refresh per 1000 inserts",
-        stream.len() as f64 / secs
-    );
-}
+    let mut online =
+        OnlineRidge::new(&empty, &names, &cont, &[], Box::new(FivmEngine), RidgeConfig::default())
+            .expect("covariance query prepares on the empty catalog");
 
-/// The same round-robin stream the Figure 4 harness uses.
-fn fdb_bench_stream(
-    ds: &fdb::datasets::Dataset,
-) -> (Vec<fdb::data::Schema>, Vec<&str>, Vec<Update>) {
-    let names: Vec<&str> = ds.relation_refs();
-    let schemas: Vec<_> = names.iter().map(|n| ds.db.get(n).unwrap().schema().clone()).collect();
+    // Round-robin single-row deltas (every base relation grows together),
+    // grouped into bulks of 1000 as in the paper's experiment.
+    let mut updates: Vec<Delta> = Vec::new();
     let mut cursors = vec![0usize; names.len()];
-    let mut stream = Vec::new();
     loop {
         let mut progressed = false;
         for (ri, name) in names.iter().enumerate() {
             let rel = ds.db.get(name).unwrap();
             if cursors[ri] < rel.len() {
-                stream.push(Update::insert(ri, rel.row_vec(cursors[ri])));
+                updates.push(Delta::insert(*name, rel.row_vec(cursors[ri])));
                 cursors[ri] += 1;
                 progressed = true;
             }
@@ -98,5 +53,36 @@ fn fdb_bench_stream(
             break;
         }
     }
-    (schemas, names, stream)
+
+    println!("Streaming {} inserts in bulks of 1000...", updates.len());
+    let t0 = Instant::now();
+    let mut refreshes = 0;
+    for bulk in updates.chunks(1000) {
+        for d in bulk {
+            online.apply_delta(d).expect("valid update");
+        }
+        // Refresh the model from the maintained statistics alone.
+        if online.count() > 1.0 && online.model().is_ok() {
+            refreshes += 1;
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "maintained covariance over {} features; count = {}, {} model refreshes",
+        cont.len(),
+        online.count(),
+        refreshes
+    );
+    println!(
+        "throughput: {:.0} tuples/sec including a model refresh per 1000 inserts",
+        updates.len() as f64 / secs
+    );
+    let model = online.model().expect("final model");
+    println!(
+        "final model: {} weights, intercept {:.3} — refit cost is one {}x{} solve",
+        model.weights.len(),
+        model.intercept,
+        model.weights.len() + 1,
+        model.weights.len() + 1,
+    );
 }

@@ -28,8 +28,9 @@ pub use fdb_ring as ring;
 pub mod prelude {
     pub use fdb_core::{
         AggBatch, AggQuery, Aggregate, BatchResult, DispatchEngine, Engine, EngineChoice,
-        EngineConfig, FactorizedEngine, FilterOp, FlatEngine, LmfaoEngine, ShardedEngine,
+        EngineConfig, FactorizedEngine, FilterOp, FlatEngine, LmfaoEngine, MaintState,
+        MaintainableEngine, ShardedEngine,
     };
-    pub use fdb_data::{AttrType, Attribute, Database, Relation, Schema, Value};
+    pub use fdb_data::{AttrType, Attribute, Database, Delta, Relation, Schema, Value};
     pub use fdb_ring::{CovRing, Ring, Semiring};
 }

@@ -59,7 +59,7 @@ fn main() {
     let ivm = (arms == Arms::Both).then(|| perf::ivm_maintenance(scale, ivm_updates));
 
     fdb_bench::print_table(
-        &["bench", "engine", "config", "wall", "groups"],
+        &["bench", "engine", "config", "wall", "groups", "threads", "morsel_rows"],
         &rows
             .iter()
             .map(|r| {
@@ -69,10 +69,24 @@ fn main() {
                     r.config.to_string(),
                     fdb_bench::fmt_secs(r.wall_ns as f64 * 1e-9),
                     r.groups.to_string(),
+                    r.threads.to_string(),
+                    r.morsel_rows.to_string(),
                 ]
             })
             .collect::<Vec<_>>(),
     );
+    // Per-kernel throughput: the dataset label carries the row count.
+    for r in rows.iter().filter(|r| r.bench == "kernel-microbench") {
+        if let Some(n) = r
+            .dataset
+            .strip_prefix("synthetic-")
+            .and_then(|s| s.strip_suffix("rows"))
+            .and_then(|s| s.parse::<f64>().ok())
+        {
+            let rate = n / (r.wall_ns.max(1) as f64 * 1e-9);
+            println!("kernel {}/{}: {:.1}M rows/s", r.engine, r.config, rate * 1e-6);
+        }
+    }
     for (bench, engine, x) in perf::speedups(&rows) {
         println!("speedup {bench}/{engine}: {x:.2}x");
     }

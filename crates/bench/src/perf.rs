@@ -23,7 +23,7 @@ use fdb_core::{
 };
 use fdb_core::{eval_agg_batch, ScanQuery};
 use fdb_data::SortCache;
-use fdb_datasets::{retailer, Dataset, RetailerConfig};
+use fdb_datasets::{retailer, zipf_snowflake, Dataset, RetailerConfig, ZipfConfig};
 use fdb_ml::tree::{DecisionTree, TreeConfig};
 use fdb_query::natural_join_all;
 
@@ -46,6 +46,10 @@ pub struct PerfRow {
     pub wall_ns: u128,
     /// Total groups emitted across the batch (agreement checksum).
     pub groups: usize,
+    /// Worker fan-out of the row (shard/thread count; 1 = sequential).
+    pub threads: usize,
+    /// Morsel size (rows per work unit) in effect for the row.
+    pub morsel_rows: usize,
 }
 
 /// Sort accounting of one CART training run (the "sorts each relation at
@@ -246,29 +250,38 @@ pub fn run_all_with_shards(scale: f64, iters: usize, arms: Arms, shards: usize) 
     {
         // Skipped arms are never timed — `--optimized` exists precisely to
         // avoid paying for the slow baseline configurations at large scale.
-        let runs: Vec<(&'static str, &'static str, Box<dyn Fn() -> (u128, usize) + '_>)> = vec![
-            ("lmfao", "optimized", Box::new(|| time_engine(&ds, &q, &lmfao_opt, iters))),
-            ("lmfao", "baseline-hash", Box::new(|| time_engine(&ds, &q, &lmfao_base, iters))),
+        type Run<'a> = (&'static str, &'static str, usize, Box<dyn Fn() -> (u128, usize) + 'a>);
+        let runs: Vec<Run> = vec![
+            ("lmfao", "optimized", 1, Box::new(|| time_engine(&ds, &q, &lmfao_opt, iters))),
+            ("lmfao", "baseline-hash", 1, Box::new(|| time_engine(&ds, &q, &lmfao_base, iters))),
             (
                 "factorized",
                 "optimized",
+                1,
                 Box::new(|| time_engine(&ds, &q, &FactorizedEngine::new(), iters)),
             ),
             (
                 "factorized",
                 "baseline-hash",
+                1,
                 Box::new(|| time_engine(&ds, &q, &FactorizedEngine::baseline_hash(), iters)),
             ),
-            ("flat", "optimized", Box::new(|| time_engine(&ds, &q, &FlatEngine, iters))),
-            ("flat", "baseline-hash", Box::new(|| time_flat_per_agg(&ds, &q, iters))),
-            ("sharded-lmfao", "sharded", Box::new(|| time_engine(&ds, &q, &sharded, iters))),
+            ("flat", "optimized", 1, Box::new(|| time_engine(&ds, &q, &FlatEngine, iters))),
+            ("flat", "baseline-hash", 1, Box::new(|| time_flat_per_agg(&ds, &q, iters))),
+            (
+                "sharded-lmfao",
+                "sharded",
+                shards.max(1),
+                Box::new(|| time_engine(&ds, &q, &sharded, iters)),
+            ),
             (
                 "sharded-lmfao",
                 "single-shard",
+                1,
                 Box::new(|| time_engine(&ds, &q, &single_shard, iters)),
             ),
         ];
-        for (engine, config, run) in &runs {
+        for (engine, config, threads, run) in &runs {
             if arms.includes(config) {
                 let (wall_ns, groups) = run();
                 rows.push(PerfRow {
@@ -278,9 +291,219 @@ pub fn run_all_with_shards(scale: f64, iters: usize, arms: Arms, shards: usize) 
                     dataset: label.clone(),
                     wall_ns,
                     groups,
+                    threads: *threads,
+                    morsel_rows: fdb_core::DEFAULT_MORSEL_ROWS,
                 });
             }
         }
+    }
+    // Sharded-vs-single-shard on the *clustered* Zipf snowflake. The
+    // retailer draws fact keys i.i.d., so equal-row shards get
+    // statistically identical work; this dataset sorts the fact by its
+    // power-law key, giving contiguous shards very different group
+    // structure — the skew shape the morsel over-partitioning (work units
+    // drained by the stealing loop) exists for.
+    if arms == Arms::Both {
+        let zds = zipf_snowflake(ZipfConfig {
+            fact_rows: ((40_000.0 * scale).ceil() as usize).max(1_000),
+            ..Default::default()
+        });
+        let zq = {
+            let rels: Vec<&str> = zds.relation_refs();
+            AggQuery::new(&rels, covariance_batch(&["a", "b", "v"], &["grp"]))
+        };
+        let zlabel = format!("zipf-snowflake-x{scale}");
+        for (config, engine, threads) in
+            [("sharded", &sharded, shards.max(1)), ("single-shard", &single_shard, 1)]
+        {
+            let (wall_ns, groups) = time_engine(&zds, &zq, engine, iters);
+            rows.push(PerfRow {
+                bench: "grouped-covariance-zipf",
+                engine: "sharded-lmfao",
+                config,
+                dataset: zlabel.clone(),
+                wall_ns,
+                groups,
+                threads,
+                morsel_rows: fdb_core::DEFAULT_MORSEL_ROWS,
+            });
+        }
+    }
+    rows.extend(kernel_microbench(iters, arms));
+    rows
+}
+
+/// Best wall time of `iters` runs of `f`, plus `f`'s last return value.
+fn best_of(iters: usize, mut f: impl FnMut() -> usize) -> (u128, usize) {
+    let mut best = u128::MAX;
+    let mut checksum = 0;
+    for _ in 0..iters.max(1) {
+        let t0 = std::time::Instant::now();
+        checksum = f();
+        best = best.min(t0.elapsed().as_nanos());
+    }
+    (best, checksum)
+}
+
+/// The per-kernel microbench: each of the four hot-loop kernels timed in
+/// its vectorized form (`optimized`) against its scalar twin
+/// (`baseline-hash`) on identical synthetic inputs, one row per arm.
+/// Single-threaded by construction — these isolate instruction-level
+/// parallelism, not the scheduler; the `groups` checksum must agree
+/// between the two arms of each kernel.
+pub fn kernel_microbench(iters: usize, arms: Arms) -> Vec<PerfRow> {
+    use fdb_core::{kernel, GroupIndex, KeySpace};
+    use fdb_factorized::trie::{collect_pair, leapfrog_intersect};
+    use fdb_ring::{CovRing, DenseKeyedRing, F64Ring, Semiring};
+
+    let mut rows = Vec::new();
+    let mut push = |engine, config, n: usize, (wall_ns, groups): (u128, usize)| {
+        rows.push(PerfRow {
+            bench: "kernel-microbench",
+            engine,
+            config,
+            dataset: format!("synthetic-{n}rows"),
+            wall_ns,
+            groups,
+            threads: 1,
+            morsel_rows: fdb_core::DEFAULT_MORSEL_ROWS,
+        });
+    };
+
+    // GroupIndex accumulation: batched code computation + payload add vs
+    // the per-row key/encode/scatter loop. Keys from a cheap LCG over an
+    // 8×8×8×8 dense space — a four-attribute group-by, the shape where
+    // per-row mixed-radix encoding is a real fraction of the loop. The
+    // scatter itself is shared between the arms, so the measured gap is
+    // the encode (and stays modest next to the O(n)-vs-O(n²) kernels).
+    const ACC_ROWS: usize = 1 << 17;
+    let space = KeySpace::new(&[(0, 7); 4], 1 << 20).expect("dense space");
+    let (mut c1, mut c2, mut c3, mut c4, mut vals) =
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    let mut state = 0x243F_6A88_85A3_08D3u64;
+    for i in 0..ACC_ROWS {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        c1.push(((state >> 33) & 7) as i64);
+        c2.push(((state >> 23) & 7) as i64);
+        c3.push(((state >> 13) & 7) as i64);
+        c4.push(((state >> 3) & 7) as i64);
+        vals.push((i % 97) as f64 * 0.5);
+    }
+    if arms.includes("optimized") {
+        let timed = best_of(iters, || {
+            let mut acc = GroupIndex::dense(space.clone(), 1);
+            let (mut codes, mut oob) = (Vec::new(), Vec::new());
+            let mut lo = 0;
+            while lo < ACC_ROWS {
+                let hi = (lo + fdb_core::DEFAULT_MORSEL_ROWS).min(ACC_ROWS);
+                let cols = [&c1[lo..hi], &c2[lo..hi], &c3[lo..hi], &c4[lo..hi]];
+                kernel::encode_codes(&space, &cols, hi - lo, &mut codes, &mut oob);
+                acc.add_codes(&codes, 0, &vals[lo..hi]);
+                lo = hi;
+            }
+            acc.len()
+        });
+        push("group-accumulate", "optimized", ACC_ROWS, timed);
+    }
+    if arms.includes("baseline-hash") {
+        let timed = best_of(iters, || {
+            let mut acc = GroupIndex::dense(space.clone(), 1);
+            let mut key = Vec::with_capacity(4);
+            for r in 0..ACC_ROWS {
+                key.clear();
+                key.push(c1[r]);
+                key.push(c2[r]);
+                key.push(c3[r]);
+                key.push(c4[r]);
+                acc.payload_mut(&key)[0] += vals[r];
+            }
+            acc.len()
+        });
+        push("group-accumulate", "baseline-hash", ACC_ROWS, timed);
+    }
+
+    // DenseKeyedRing merge: the leapfrog-order accumulation shape — many
+    // single-entry elements arriving in ascending (mask, code) order. The
+    // optimized arm is the `add_assign` append fast path (amortized O(n));
+    // the baseline re-merges through `add` every step (O(n²)).
+    const MERGE_PARTS: usize = 4_000;
+    let ring =
+        DenseKeyedRing::new(F64Ring, &[(0, MERGE_PARTS as i64 - 1)]).expect("dense key range");
+    let parts: Vec<_> = (0..MERGE_PARTS).map(|v| ring.tag(0, v as i64, 1.5)).collect();
+    if arms.includes("optimized") {
+        let timed = best_of(iters, || {
+            let mut acc = ring.zero();
+            for p in &parts {
+                ring.add_assign(&mut acc, p);
+            }
+            acc.len()
+        });
+        push("ring-merge", "optimized", MERGE_PARTS, timed);
+    }
+    if arms.includes("baseline-hash") {
+        let timed = best_of(iters, || {
+            let mut acc = ring.zero();
+            for p in &parts {
+                acc = ring.add(&acc, p);
+            }
+            acc.len()
+        });
+        push("ring-merge", "baseline-hash", MERGE_PARTS, timed);
+    }
+
+    // Leapfrog key intersection: the batched two-pointer pair collector vs
+    // the generic callback leapfrog, over sorted columns with short
+    // duplicate runs and a dense overlap.
+    const ISECT_ROWS: usize = 1 << 16;
+    let a: Vec<i64> = (0..ISECT_ROWS).map(|i| (i / 3) as i64 * 2).collect();
+    let b: Vec<i64> = (0..ISECT_ROWS).map(|i| (i / 2) as i64).collect();
+    if arms.includes("optimized") {
+        let timed = best_of(iters, || {
+            let (mut vals, mut runs) = (Vec::new(), Vec::new());
+            collect_pair(&a, 0..ISECT_ROWS, &b, 0..ISECT_ROWS, &mut vals, &mut runs);
+            vals.len()
+        });
+        push("intersect", "optimized", ISECT_ROWS, timed);
+    }
+    if arms.includes("baseline-hash") {
+        let timed = best_of(iters, || {
+            let (mut vals, mut runs) = (Vec::new(), Vec::new());
+            leapfrog_intersect(&[&a, &b], &[0..ISECT_ROWS, 0..ISECT_ROWS], |v, rs| {
+                vals.push(v);
+                runs.extend_from_slice(rs);
+                true
+            });
+            vals.len()
+        });
+        push("intersect", "baseline-hash", ISECT_ROWS, timed);
+    }
+
+    // Covariance payload update: the fused sparse lift-and-add vs
+    // lift-then-add-assign (which allocates two triples per row).
+    const COV_ROWS: usize = 1 << 15;
+    let cov = CovRing::new(16);
+    let idx = [0usize, 5, 9, 14];
+    let row_vals =
+        |r: usize| [(r % 7) as f64, (r % 11) as f64 * 0.25, (r % 5) as f64 - 2.0, (r % 3) as f64];
+    if arms.includes("optimized") {
+        let timed = best_of(iters, || {
+            let mut acc = cov.zero();
+            for r in 0..COV_ROWS {
+                cov.add_lift_sparse(&mut acc, &idx, &row_vals(r));
+            }
+            acc.dim()
+        });
+        push("cov-update", "optimized", COV_ROWS, timed);
+    }
+    if arms.includes("baseline-hash") {
+        let timed = best_of(iters, || {
+            let mut acc = cov.zero();
+            for r in 0..COV_ROWS {
+                cov.add_assign(&mut acc, &cov.lift_sparse(&idx, &row_vals(r)));
+            }
+            acc.dim()
+        });
+        push("cov-update", "baseline-hash", COV_ROWS, timed);
     }
     rows
 }
@@ -545,13 +768,16 @@ pub fn to_json(
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"bench\": \"{}\", \"engine\": \"{}\", \"config\": \"{}\", \
-             \"dataset\": \"{}\", \"wall_ns\": {}, \"groups\": {}}}{}\n",
+             \"dataset\": \"{}\", \"wall_ns\": {}, \"groups\": {}, \
+             \"threads\": {}, \"morsel_rows\": {}}}{}\n",
             r.bench,
             r.engine,
             r.config,
             r.dataset,
             r.wall_ns,
             r.groups,
+            r.threads,
+            r.morsel_rows,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -618,7 +844,12 @@ mod tests {
     fn arms_and_checksums_agree() {
         let _guard = crate::timing_lock();
         let rows = run_all_with_shards(0.02, 1, Arms::Both, 3);
-        assert_eq!(rows.len(), 16, "2 benches × (3 engines × 2 arms + sharded pair)");
+        assert_eq!(
+            rows.len(),
+            26,
+            "2 benches × (3 engines × 2 arms + sharded pair) + zipf pair + 4 kernels × 2 arms"
+        );
+        assert!(rows.iter().all(|r| r.threads >= 1 && r.morsel_rows >= 1));
         // Paired arms must emit identical group counts: optimized vs
         // baseline-hash per engine, and sharded vs single-shard (the
         // merge must reconstruct exactly the unsharded key sets).

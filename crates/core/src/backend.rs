@@ -138,26 +138,77 @@ impl Engine for FlatEngine {
                 .collect::<Result<_, DataError>>()?;
             let ranges: Option<Vec<(i64, i64)>> =
                 gcols.iter().map(|&c| flat.int_min_max(c)).collect();
-            let mut acc = match ranges.and_then(|r| KeySpace::new(&r, DEFAULT_DENSE_GROUPS)) {
+            let space = ranges.and_then(|r| KeySpace::new(&r, DEFAULT_DENSE_GROUPS));
+            // Dense accumulator over integer-backed group columns: scan
+            // batch-at-a-time through the columnar kernels — one mixed-radix
+            // code pass, then per-aggregate factor/filter passes over
+            // contiguous slices, then a gathered payload add.
+            let key_slices: Option<Vec<&[i64]>> = gcols
+                .iter()
+                .map(|&c| match cols[c] {
+                    Col::I(v) => Some(v),
+                    Col::F(_) => None,
+                })
+                .collect();
+            let batched = space.clone().zip(key_slices);
+            let mut acc = match space {
                 Some(space) => GroupIndex::dense(space, idxs.len()),
                 None => GroupIndex::hash(idxs.len()),
             };
-            let mut key: Vec<i64> = Vec::with_capacity(gcols.len());
-            for row in 0..flat.len() {
-                key.clear();
-                key.extend(gcols.iter().map(|&c| cols[c].get_int(row)));
-                let payload = acc.payload_mut(&key);
-                'aggs: for (k, (factors, filter)) in plans.iter().enumerate() {
-                    for (c, op) in filter {
-                        if !filter_pass(op, cols[*c].get(row), cols[*c].get_int(row)) {
-                            continue 'aggs;
+            if let Some((space, kcols)) = batched {
+                let mut codes = Vec::new();
+                let mut oob = Vec::new();
+                let mut vals = Vec::new();
+                let mut lo = 0;
+                while lo < flat.len() {
+                    let hi = (lo + crate::morsel::DEFAULT_MORSEL_ROWS).min(flat.len());
+                    let kslices: Vec<&[i64]> = kcols.iter().map(|v| &v[lo..hi]).collect();
+                    crate::kernel::encode_codes(&space, &kslices, hi - lo, &mut codes, &mut oob);
+                    for (k, (factors, filter)) in plans.iter().enumerate() {
+                        vals.clear();
+                        vals.resize(hi - lo, 1.0);
+                        for &(c, f) in factors {
+                            match cols[c] {
+                                Col::F(v) => {
+                                    crate::kernel::mul_by(&mut vals, &v[lo..hi], |x| f.apply(x))
+                                }
+                                Col::I(v) => crate::kernel::mul_by(&mut vals, &v[lo..hi], |x| {
+                                    f.apply(x as f64)
+                                }),
+                            }
                         }
+                        for (c, op) in filter {
+                            match cols[*c] {
+                                Col::F(v) => crate::kernel::mask_by(&mut vals, &v[lo..hi], |x| {
+                                    filter_pass(op, x, x as i64)
+                                }),
+                                Col::I(v) => crate::kernel::mask_by(&mut vals, &v[lo..hi], |x| {
+                                    filter_pass(op, x as f64, x)
+                                }),
+                            }
+                        }
+                        acc.add_codes(&codes, k, &vals);
                     }
-                    let mut v = 1.0;
-                    for &(c, f) in factors {
-                        v *= f.apply(cols[c].get(row));
+                    lo = hi;
+                }
+            } else {
+                let mut key: Vec<i64> = Vec::with_capacity(gcols.len());
+                for row in 0..flat.len() {
+                    key.clear();
+                    key.extend(gcols.iter().map(|&c| cols[c].get_int(row)));
+                    let payload = acc.payload_mut(&key);
+                    'aggs: for (k, (factors, filter)) in plans.iter().enumerate() {
+                        for (c, op) in filter {
+                            if !filter_pass(op, cols[*c].get(row), cols[*c].get_int(row)) {
+                                continue 'aggs;
+                            }
+                        }
+                        let mut v = 1.0;
+                        for &(c, f) in factors {
+                            v *= f.apply(cols[c].get(row));
+                        }
+                        payload[k] += v;
                     }
-                    payload[k] += v;
                 }
             }
             for (k, &agg_i) in idxs.iter().enumerate() {
@@ -194,11 +245,15 @@ pub struct FactorizedEngine {
     /// Serve sorted relation views from the global
     /// [`SortCache`](fdb_data::SortCache); `false` re-sorts every run.
     pub use_sort_cache: bool,
+    /// Use the batched 1-/2-way intersection collectors of the trie layer
+    /// ([`EvalSpec::set_vectorize`]); `false` pins the generic callback
+    /// leapfrog — the scalar baseline of the kernel microbenches.
+    pub vectorize: bool,
 }
 
 impl Default for FactorizedEngine {
     fn default() -> Self {
-        Self { dense_groups: true, use_sort_cache: true }
+        Self { dense_groups: true, use_sort_cache: true, vectorize: true }
     }
 }
 
@@ -209,9 +264,10 @@ impl FactorizedEngine {
     }
 
     /// The pre-optimization configuration: hash-map keyed ring, fresh
-    /// sorts every run. The `--baseline-hash` arm of the perf harness.
+    /// sorts every run, row-at-a-time leapfrog. The `--baseline-hash`
+    /// arm of the perf harness.
     pub fn baseline_hash() -> Self {
-        Self { dense_groups: false, use_sort_cache: false }
+        Self { dense_groups: false, use_sort_cache: false, vectorize: false }
     }
 }
 
@@ -392,7 +448,8 @@ impl Engine for FactorizedEngine {
                 None => {
                     let grefs: Vec<&str> = gattrs.iter().map(String::as_str).collect();
                     let cache = self.use_sort_cache.then(SortCache::global);
-                    let spec = EvalSpec::new_with_cache(db, &rels, &grefs, cache)?;
+                    let mut spec = EvalSpec::new_with_cache(db, &rels, &grefs, cache)?;
+                    spec.set_vectorize(self.vectorize);
                     let ring = self.dense_ring(&spec, rels.len(), &gattrs);
                     specs.push((gattrs.clone(), spec, ring));
                     specs.len() - 1

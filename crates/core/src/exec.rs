@@ -29,9 +29,17 @@ pub(crate) struct CacheCtx<'a> {
 
 impl<'a> CacheCtx<'a> {
     pub(crate) fn new(cache: &'a ViewCache, plan: &Plan, cfg: &EngineConfig) -> Self {
+        let mut sigs = plan.subtree_signatures(cfg.dense_limit);
+        // Batched and row-wise scans differ in float summation order, so
+        // the baseline arm must never serve views cached by the default.
+        if !cfg.vectorize {
+            for s in &mut sigs {
+                s.push_str("#rowwise");
+            }
+        }
         Self {
             cache,
-            sigs: plan.subtree_signatures(cfg.dense_limit),
+            sigs,
             head_ids: plan.rels.iter().map(|r| r.data_id()).collect(),
             budget: cfg.view_cache_bytes,
         }
@@ -195,6 +203,18 @@ pub(crate) fn compute_node_over(
         .enumerate()
         .map(|(vi, vp)| if scalar_view[vi] { vec![0.0; vp.slots.len()] } else { vec![] })
         .collect();
+    // Leaf nodes (no children to probe) take the batch-at-a-time kernel
+    // path: per-slot factor/filter passes run column-wise over morsel-sized
+    // row batches instead of row-at-a-time.
+    if cfg.specialize && cfg.vectorize && nchildren == 0 {
+        compute_leaf_batched(np, &cols, cfg, rows, &mut out, &scalar_view, &mut scalar_payloads);
+        for (vi, payload) in scalar_payloads.into_iter().enumerate() {
+            if scalar_view[vi] {
+                out[vi].entry_mut(&[], &np.views[vi].spec).add(&[], &payload);
+            }
+        }
+        return out;
+    }
     // Reused per-row buffers: with dense accumulators the hot loop does
     // not allocate at all; the hash fallback allocates only on first
     // insertion of a new key.
@@ -362,6 +382,82 @@ pub(crate) fn compute_node_over(
     out
 }
 
+/// The batch-at-a-time leaf scan: for each morsel-sized row batch, every
+/// view's per-slot values are computed as column-wise passes over the
+/// batch (factor products via [`crate::kernel::mul_by`], filters via
+/// [`crate::kernel::mask_by`] — a select to `0.0`, preserving the row-wise
+/// path's skip semantics exactly), then scattered into the accumulators.
+/// Scalar views reduce each batch with a single deterministic slice sum.
+fn compute_leaf_batched(
+    np: &crate::plan::NodePlan,
+    cols: &[Col<'_>],
+    cfg: &EngineConfig,
+    rows: std::ops::Range<usize>,
+    out: &mut [ViewData],
+    scalar_view: &[bool],
+    scalar_payloads: &mut [Vec<f64>],
+) {
+    let batch_cap = cfg.morsel_rows.clamp(1, crate::morsel::DEFAULT_MORSEL_ROWS);
+    let mut slot_vals: Vec<f64> = Vec::new();
+    let mut key_buf: Vec<i64> = Vec::new();
+    let mut gkey_buf: Vec<i64> = Vec::new();
+    let mut lo = rows.start;
+    while lo < rows.end {
+        let hi = (lo + batch_cap).min(rows.end);
+        let n = hi - lo;
+        for (vi, vp) in np.views.iter().enumerate() {
+            debug_assert_eq!(vp.spec.slots, vp.slots.len(), "plan must be finalized");
+            let nslots = vp.slots.len();
+            slot_vals.clear();
+            slot_vals.resize(nslots * n, 1.0);
+            for (si, slot) in vp.slots.iter().enumerate() {
+                let sv = &mut slot_vals[si * n..(si + 1) * n];
+                for &(c, f) in &slot.factors {
+                    match &cols[c] {
+                        Col::F(v) => crate::kernel::mul_by(sv, &v[lo..hi], |x| f.apply(x)),
+                        Col::I(v) => crate::kernel::mul_by(sv, &v[lo..hi], |x| f.apply(x as f64)),
+                    }
+                }
+                for (c, op) in &slot.filter {
+                    match &cols[*c] {
+                        Col::F(v) => {
+                            crate::kernel::mask_by(sv, &v[lo..hi], |x| filter_pass(op, x, x as i64))
+                        }
+                        Col::I(v) => {
+                            crate::kernel::mask_by(sv, &v[lo..hi], |x| filter_pass(op, x as f64, x))
+                        }
+                    }
+                }
+            }
+            if scalar_view[vi] {
+                let payload = &mut scalar_payloads[vi];
+                for si in 0..nslots {
+                    payload[si] += crate::kernel::sum(&slot_vals[si * n..(si + 1) * n]);
+                }
+            } else {
+                // Keyed views scatter row-wise; the group entry is touched
+                // for every row (even all-zero slots), matching the
+                // row-wise path's touch-before-filter order.
+                for r in 0..n {
+                    let row = lo + r;
+                    key_buf.clear();
+                    key_buf.extend(np.key_cols.iter().map(|&c| cols[c].get_int(row)));
+                    gkey_buf.clear();
+                    gkey_buf.resize(vp.group_attrs.len(), 0);
+                    for &(pos, col) in &vp.local_groups {
+                        gkey_buf[pos] = cols[col].get_int(row);
+                    }
+                    let payload = out[vi].entry_mut(&key_buf, &vp.spec).payload_mut(&gkey_buf);
+                    for si in 0..nslots {
+                        payload[si] += slot_vals[si * n + r];
+                    }
+                }
+            }
+        }
+        lo = hi;
+    }
+}
+
 /// Computes all nodes of `order` sequentially (bottom-up), offering each
 /// computed node to the view cache.
 pub(crate) fn compute_subtree(
@@ -436,12 +532,17 @@ pub(crate) fn run_batch(
         compute_subtree(&plan, &to_compute, &mut data, cfg, ctx.as_ref());
     }
 
-    // Root: domain parallelism over row chunks. The root's cache key
-    // carries the chunk count, since chunk-merge order affects float
-    // rounding.
+    // Root: domain parallelism over morsel-sized row chunks. The root's
+    // cache key carries the chunk count, since chunk-merge order affects
+    // float rounding; `morsel_count` is deterministic in (rows, config),
+    // so warm runs key identically.
     let root_rows = plan.rels[root].len();
-    let chunked = cfg.threads > 1 && root_rows > 4096;
-    let chunks = if chunked { cfg.threads.min(root_rows).max(1) } else { 1 };
+    let chunked = cfg.threads > 1 && root_rows > cfg.morsel_rows;
+    let chunks = if chunked {
+        crate::morsel::morsel_count(root_rows, cfg.morsel_rows, cfg.threads.min(root_rows))
+    } else {
+        1
+    };
     let cached_root = ctx.as_ref().and_then(|ctx| ctx.serve_root(root, chunks));
     let root_data: Arc<Vec<ViewData>> = match cached_root {
         Some(hit) => hit,

@@ -77,6 +77,22 @@ impl KeySpace {
         self.mins.len()
     }
 
+    /// Per-attribute minimum values (the code-zero key).
+    pub fn mins(&self) -> &[i64] {
+        &self.mins
+    }
+
+    /// Per-attribute domain sizes.
+    pub fn dims(&self) -> &[u64] {
+        &self.dims
+    }
+
+    /// Per-attribute mixed-radix strides (first attribute most
+    /// significant). Exposed for the batched encoder in [`crate::kernel`].
+    pub fn strides(&self) -> &[u64] {
+        &self.strides
+    }
+
     /// Approximate heap bytes of this space's metadata.
     pub fn byte_size(&self) -> usize {
         3 * self.mins.len() * 8 + 8
@@ -233,6 +249,61 @@ impl GroupIndex {
         }
     }
 
+    /// The key space of a dense accumulator (`None` for the hash
+    /// fallback) — how batched callers decide whether the code-indexed
+    /// scatter path applies.
+    pub fn key_space(&self) -> Option<&KeySpace> {
+        match self {
+            GroupIndex::Dense { space, .. } => Some(space),
+            GroupIndex::Hash { .. } => None,
+        }
+    }
+
+    /// Batched scatter-add: `payload(codes[r])[slot] += vals[r]` for every
+    /// row, skipping [`crate::kernel::OOB_CODE`] rows. Codes come from
+    /// [`crate::kernel::encode_codes`] over this accumulator's space. Every
+    /// in-range code is touched even when its value is zero, matching the
+    /// row-wise path's touch-before-filter order. Dense accumulators only;
+    /// batched callers gate on [`GroupIndex::key_space`].
+    pub fn add_codes(&mut self, codes: &[u64], slot: usize, vals: &[f64]) {
+        debug_assert_eq!(codes.len(), vals.len());
+        match self {
+            GroupIndex::Dense { space, slots, data, present, touched } => {
+                let (stride, size) = (*slots, space.size);
+                assert!(slot < stride, "slot {slot} out of {stride} payload slots");
+                // One branch-free validation pass over the (cache-hot) codes
+                // so the scatter below can skip per-row bounds checks: every
+                // code is the sentinel or strictly inside the space.
+                let mut bad = false;
+                for &code in codes {
+                    bad |= code != crate::kernel::OOB_CODE && code >= size;
+                }
+                assert!(!bad, "add_codes: code outside the accumulator's space");
+                for (&code, &v) in codes.iter().zip(vals) {
+                    if code == crate::kernel::OOB_CODE {
+                        continue;
+                    }
+                    let c = code as usize;
+                    let (w, b) = (c / 64, 1u64 << (c % 64));
+                    // SAFETY: validated above — `c < size`, so `w <
+                    // present.len() = ceil(size/64)` and `c*stride + slot <
+                    // size*stride = data.len()` with `slot < stride`.
+                    unsafe {
+                        let p = present.get_unchecked_mut(w);
+                        if *p & b == 0 {
+                            *p |= b;
+                            touched.push(code as u32);
+                        }
+                        *data.get_unchecked_mut(c * stride + slot) += v;
+                    }
+                }
+            }
+            GroupIndex::Hash { .. } => {
+                unreachable!("add_codes requires a dense accumulator; gate on key_space()")
+            }
+        }
+    }
+
     /// The payload of `key`, if touched.
     #[inline]
     pub fn get(&self, key: &[i64]) -> Option<&[f64]> {
@@ -355,16 +426,13 @@ impl GroupIndex {
         match self {
             GroupIndex::Dense { slots, data, touched, .. } => {
                 for &code in touched.iter() {
-                    for s in 0..*slots {
-                        data[code as usize * *slots + s] *= factor;
-                    }
+                    let c = code as usize;
+                    crate::kernel::scale_slice(&mut data[c * *slots..(c + 1) * *slots], factor);
                 }
             }
             GroupIndex::Hash { map, .. } => {
                 for payload in map.values_mut() {
-                    for v in payload.iter_mut() {
-                        *v *= factor;
-                    }
+                    crate::kernel::scale_slice(payload, factor);
                 }
             }
         }
@@ -388,9 +456,10 @@ impl GroupIndex {
                         present[w] |= b;
                         touched.push(code);
                     }
-                    for s in 0..*slots {
-                        data[c * *slots + s] += od[c * *os + s];
-                    }
+                    crate::kernel::add_slices(
+                        &mut data[c * *slots..(c + 1) * *slots],
+                        &od[c * *os..(c + 1) * *os],
+                    );
                 }
             }
             _ => other.for_each(|key, payload| self.add(key, payload)),

@@ -26,6 +26,12 @@
 //!   fallback otherwise ([`EngineConfig::dense_limit`]).
 //! * [`exec`] — the shared-scan bottom-up evaluator with typed column
 //!   kernels (specialisation).
+//! * [`kernel`] — batch-at-a-time columnar kernels: mixed-radix code
+//!   batches, payload scatter/merge, factor/filter passes — each with its
+//!   scalar twin kept as the perf-regression baseline.
+//! * [`morsel`] — morsel-driven scheduling: fixed row-range work units
+//!   pulled from a shared queue, used by the root scan and
+//!   [`ShardedEngine`] so skewed partitions no longer pin one worker.
 //! * [`parallel`] — domain/task parallelism and [`EngineConfig`]
 //!   (`threads` defaults to the machine's available parallelism); the
 //!   toggles reproduce the Figure 6 ablation.
@@ -54,7 +60,9 @@ pub mod dispatch;
 pub mod exec;
 pub mod group;
 pub mod ir;
+pub mod kernel;
 pub mod maintain;
+pub mod morsel;
 pub mod parallel;
 pub mod plan;
 pub mod shard;
@@ -69,6 +77,7 @@ pub use dispatch::{query_stats, DispatchEngine, QueryStats};
 pub use group::{GroupIndex, KeySpace};
 pub use ir::{AggQuery, BatchResult};
 pub use maintain::{CustomMaint, MaintState, MaintainableEngine};
+pub use morsel::{MorselStats, DEFAULT_MORSEL_ROWS};
 pub use parallel::{EngineChoice, EngineConfig};
 pub use shard::{ShardedEngine, DEFAULT_MIN_ROWS_PER_SHARD};
 pub use stats::{stats_from_result, sufficient_stats, SufficientStats};

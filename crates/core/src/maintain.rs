@@ -608,7 +608,8 @@ impl DispatchEngine {
             EngineChoice::Flat => f(&FlatEngine),
             EngineChoice::Factorized => f(&FactorizedEngine {
                 dense_groups: self.cfg.dense_limit > 0,
-                use_sort_cache: true,
+                vectorize: self.cfg.vectorize,
+                ..FactorizedEngine::new()
             }),
             EngineChoice::Lmfao | EngineChoice::Auto => f(&LmfaoEngine::with_config(self.cfg)),
         }

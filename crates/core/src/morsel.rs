@@ -1,0 +1,165 @@
+//! Morsel-driven work scheduling.
+//!
+//! One-thread-per-partition parallelism serializes on skew: the worker that
+//! drew the expensive partition finishes last while its peers idle. The fix
+//! (Leis et al.'s morsel-driven model, adopted here for both the root-scan
+//! split and [`crate::ShardedEngine`]) is to cut the work into many more
+//! fixed-size row-range *morsels* than workers and let workers pull the
+//! next unclaimed morsel from a shared counter. No unit is ever pinned to a
+//! thread, so a heavy morsel delays only itself; everything else is stolen
+//! by whoever is free.
+//!
+//! Results are returned **in morsel order**, so downstream merges (which
+//! sum f64 payloads) stay deterministic regardless of which worker ran
+//! which morsel.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default rows per morsel (the [`crate::EngineConfig::morsel_rows`]
+/// default): big enough to amortize per-morsel plan probes, small enough
+/// that a skewed range splits across many work units.
+pub const DEFAULT_MORSEL_ROWS: usize = 4096;
+
+/// Number of morsels for `rows` rows: enough units that every chunk stays
+/// near `morsel_rows` rows, but at least `min_units` (typically the worker
+/// count) so all workers engage, and never more units than rows.
+pub fn morsel_count(rows: usize, morsel_rows: usize, min_units: usize) -> usize {
+    if rows == 0 {
+        return 1;
+    }
+    rows.div_ceil(morsel_rows.max(1)).max(min_units.max(1)).min(rows)
+}
+
+/// Splits `rows` into [`morsel_count`] contiguous, balanced row ranges.
+pub fn plan_morsels(rows: usize, morsel_rows: usize, min_units: usize) -> Vec<Range<usize>> {
+    let m = morsel_count(rows, morsel_rows, min_units);
+    (0..m).map(|k| (rows * k / m)..(rows * (k + 1) / m)).collect()
+}
+
+/// How a [`run_stealing`] call distributed its work — recorded by
+/// [`crate::ShardedEngine`] so tests and benchmarks can confirm the
+/// stealing actually engaged (morsels > workers) on skewed inputs.
+#[derive(Debug, Clone)]
+pub struct MorselStats {
+    /// Worker threads that participated.
+    pub workers: usize,
+    /// Work units dispatched.
+    pub morsels: usize,
+    /// Units completed per worker (sums to `morsels`).
+    pub per_worker: Vec<usize>,
+}
+
+/// Runs `work(i)` for every `i < units` on up to `workers` scoped threads,
+/// each pulling the next unit index from a shared atomic counter — the
+/// degenerate (and contention-free) form of work stealing: there are no
+/// per-worker queues to steal *from* because no unit is ever assigned ahead
+/// of time. Returns results in unit order plus the dispatch stats.
+pub fn run_stealing<T: Send>(
+    units: usize,
+    workers: usize,
+    work: impl Fn(usize) -> T + Sync,
+) -> (Vec<T>, MorselStats) {
+    let w = workers.clamp(1, units.max(1));
+    let mut per_worker = vec![0usize; w];
+    let mut slots: Vec<Option<T>> = (0..units).map(|_| None).collect();
+    if w <= 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(work(i));
+        }
+        per_worker[0] = units;
+    } else {
+        let next = AtomicUsize::new(0);
+        let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..w)
+                .map(|_| {
+                    let (next, work) = (&next, &work);
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= units {
+                                break;
+                            }
+                            mine.push((i, work(i)));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("morsel worker panicked")).collect()
+        });
+        for (wi, part) in parts.into_iter().enumerate() {
+            per_worker[wi] = part.len();
+            for (i, t) in part {
+                slots[i] = Some(t);
+            }
+        }
+    }
+    let out = slots.into_iter().map(|s| s.expect("every unit dispatched")).collect();
+    (out, MorselStats { workers: w, morsels: units, per_worker })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morsel_plan_covers_rows_exactly() {
+        for rows in [0usize, 1, 5, 100, 4096, 10_000] {
+            for (mr, mu) in [(1, 1), (7, 3), (4096, 4), (100_000, 2)] {
+                let plan = plan_morsels(rows, mr, mu);
+                assert_eq!(plan.len(), morsel_count(rows, mr, mu));
+                assert_eq!(plan[0].start, 0);
+                assert_eq!(plan.last().unwrap().end, rows);
+                for w in plan.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "contiguous");
+                }
+                if rows > 0 {
+                    assert!(plan.len() >= mu.min(rows), "workers engaged");
+                    assert!(plan.iter().all(|r| !r.is_empty()), "no empty morsels");
+                }
+            }
+        }
+        // Row-count cap: single-row inputs cannot split further.
+        assert_eq!(plan_morsels(1, 1, 8), vec![0..1]);
+        assert_eq!(plan_morsels(0, 4096, 4), vec![0..0]);
+    }
+
+    #[test]
+    fn stealing_returns_unit_order_and_accounts_all_work() {
+        for workers in [1usize, 2, 3, 8] {
+            let (out, stats) = run_stealing(37, workers, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+            assert_eq!(stats.morsels, 37);
+            assert_eq!(stats.workers, workers.min(37));
+            assert_eq!(stats.per_worker.iter().sum::<usize>(), 37);
+        }
+        // More workers than units: extra workers are not spawned.
+        let (out, stats) = run_stealing(2, 16, |i| i);
+        assert_eq!(out, vec![0, 1]);
+        assert_eq!(stats.workers, 2);
+        // Zero units still terminates.
+        let (out, stats) = run_stealing(0, 4, |i| i);
+        assert!(out.is_empty());
+        assert_eq!(stats.per_worker.iter().sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn a_heavy_unit_does_not_serialize_its_peers() {
+        // With 2 workers and one slow unit, the fast worker must drain the
+        // remaining units: the slow worker completes exactly one.
+        let (_, stats) = run_stealing(8, 2, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(40));
+            }
+            i
+        });
+        assert_eq!(stats.per_worker.iter().sum::<usize>(), 8);
+        // One worker took the heavy unit; on a multi-core host the other
+        // drains the queue meanwhile. Either way nobody deadlocks and all
+        // units are accounted for — the scheduling-shape assertion lives in
+        // the sharded skew regression test.
+        assert_eq!(stats.per_worker.len(), 2);
+    }
+}

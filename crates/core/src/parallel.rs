@@ -57,6 +57,16 @@ pub struct EngineConfig {
     /// relation content) is unchanged — the residual-filter reuse of
     /// iterative trainers. `0` bypasses the cache entirely.
     pub view_cache_bytes: usize,
+    /// Use the batch-at-a-time columnar kernels of [`crate::kernel`] on
+    /// the leaf scans (and, via the engines, the batched ring/trie paths);
+    /// `false` keeps every loop row-at-a-time — the scalar baseline arm of
+    /// the kernel A/B in `perf_regression`.
+    pub vectorize: bool,
+    /// Rows per morsel for domain parallelism: the root scan (and
+    /// [`crate::ShardedEngine`]) is cut into row ranges of roughly this
+    /// many rows, pulled by workers from a shared queue. Also the batch
+    /// size of the vectorized leaf scan. See [`crate::morsel`].
+    pub morsel_rows: usize,
     /// Serve `MaintainableEngine::apply_delta` by **in-place delta
     /// propagation** along the owner→root path of the maintained view
     /// tree (see `crate::maintain`); `false` recomputes the whole batch
@@ -74,6 +84,8 @@ impl Default for EngineConfig {
             dense_limit: crate::group::DEFAULT_DENSE_GROUPS,
             backend: EngineChoice::Auto,
             view_cache_bytes: crate::viewcache::DEFAULT_VIEW_CACHE_BYTES,
+            vectorize: true,
+            morsel_rows: crate::morsel::DEFAULT_MORSEL_ROWS,
             delta_maintain: true,
         }
     }
@@ -149,30 +161,22 @@ pub(crate) fn compute_subtrees_parallel(
 }
 
 /// Domain parallelism: computes the root node over `root_rows` rows split
-/// into `cfg.threads` chunks, merging the partial view data.
+/// into morsel-sized chunks pulled by `cfg.threads` workers from a shared
+/// queue (see [`crate::morsel`]), merging the partial view data in morsel
+/// order so the float summation stays deterministic.
 pub(crate) fn compute_root_chunked(
     plan: &Plan,
     data: &[Option<Arc<Vec<ViewData>>>],
     cfg: &EngineConfig,
     root_rows: usize,
 ) -> Vec<ViewData> {
-    let t = cfg.threads.min(root_rows);
-    let chunk = root_rows.div_ceil(t);
-    let partials: Vec<Vec<ViewData>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..t)
-            .map(|k| {
-                let cfg = *cfg;
-                s.spawn(move || {
-                    let lo = k * chunk;
-                    let hi = ((k + 1) * chunk).min(root_rows);
-                    compute_node(plan, plan.root, data, &cfg, lo..hi)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+    let morsels =
+        crate::morsel::plan_morsels(root_rows, cfg.morsel_rows, cfg.threads.min(root_rows));
+    let (partials, _stats) = crate::morsel::run_stealing(morsels.len(), cfg.threads, |i| {
+        compute_node(plan, plan.root, data, cfg, morsels[i].clone())
     });
     let mut it = partials.into_iter();
-    let mut acc = it.next().expect("at least one chunk");
+    let mut acc = it.next().expect("at least one morsel");
     for p in it {
         merge_view_data(&mut acc, p);
     }

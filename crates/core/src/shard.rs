@@ -12,6 +12,17 @@
 //! engine per shard on scoped worker threads (the same plain-threads
 //! pool discipline as [`crate::parallel`]), and merges.
 //!
+//! **Scheduling.** Execution is morsel-driven (see [`crate::morsel`]): the
+//! fact is over-partitioned into many more morsel-sized shards than worker
+//! threads, and workers pull the next unclaimed shard from a shared queue.
+//! One-thread-per-shard pinning serialized the whole batch on its most
+//! expensive partition (skewed keys cluster in one contiguous row range);
+//! with pulling, a heavy shard delays only itself — every other morsel is
+//! picked up by whichever worker is free, which subsumes any "split shards
+//! over 2× the mean" special case. Per-shard results still merge in shard
+//! order, so the summation stays deterministic, and the partition is still
+//! memoized per database content state.
+//!
 //! **Merge semantics.** Group maps are summed key-wise, then entries whose
 //! merged value is exactly `0.0` are dropped *again*: each shard drops its
 //! own exact zeros, but contributions that cancel only across shards
@@ -33,6 +44,7 @@
 
 use crate::backend::Engine;
 use crate::ir::{AggQuery, BatchResult};
+use crate::morsel::{self, MorselStats, DEFAULT_MORSEL_ROWS};
 use crate::parallel::default_threads;
 use fdb_data::{DataError, Database};
 use std::sync::{Arc, Mutex};
@@ -58,8 +70,9 @@ struct ShardCache {
 /// [`ShardedEngine::with_min_rows_per_shard`].
 pub const DEFAULT_MIN_ROWS_PER_SHARD: usize = 4096;
 
-/// Wraps an inner [`Engine`], partitioning the fact relation into `shards`
-/// chunks and merging the per-shard results.
+/// Wraps an inner [`Engine`], partitioning the fact relation into
+/// morsel-sized chunks pulled by `shards` worker threads and merging the
+/// per-shard results.
 ///
 /// The fact relation defaults to the largest relation of the query (the
 /// usual snowflake shape) and can be pinned with
@@ -77,7 +90,9 @@ pub struct ShardedEngine<E> {
     shards: usize,
     fact: Option<String>,
     min_rows_per_shard: usize,
+    morsel_rows: usize,
     cache: Mutex<Option<ShardCache>>,
+    last_stats: Mutex<Option<MorselStats>>,
 }
 
 /// Cloning keeps the configuration and starts with a cold partition cache
@@ -89,7 +104,9 @@ impl<E: Clone> Clone for ShardedEngine<E> {
             shards: self.shards,
             fact: self.fact.clone(),
             min_rows_per_shard: self.min_rows_per_shard,
+            morsel_rows: self.morsel_rows,
             cache: Mutex::new(None),
+            last_stats: Mutex::new(None),
         }
     }
 }
@@ -100,15 +117,34 @@ impl<E: Engine> ShardedEngine<E> {
         Self::with_shards(inner, default_threads())
     }
 
-    /// Shards into exactly `shards` partitions (clamped to ≥ 1).
+    /// Runs with `shards` worker threads (clamped to ≥ 1). The fact is
+    /// over-partitioned into morsel-sized shards pulled by these workers.
     pub fn with_shards(inner: E, shards: usize) -> Self {
         Self {
             inner,
             shards: shards.max(1),
             fact: None,
             min_rows_per_shard: DEFAULT_MIN_ROWS_PER_SHARD,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
             cache: Mutex::new(None),
+            last_stats: Mutex::new(None),
         }
+    }
+
+    /// Overrides the morsel size: fact partitions target roughly `rows`
+    /// rows each (clamped to ≥ 1). Smaller morsels steal better on skew
+    /// but pay more partition + merge overhead.
+    pub fn with_morsel_rows(mut self, rows: usize) -> Self {
+        self.morsel_rows = rows.max(1);
+        self
+    }
+
+    /// Dispatch statistics of the most recent sharded `run` (`None` until
+    /// one happens, or after a single-shard fallback): how many morsels
+    /// were pulled by how many workers — what the skew regression test
+    /// asserts on to confirm stealing engaged.
+    pub fn last_run_stats(&self) -> Option<MorselStats> {
+        self.last_stats.lock().unwrap_or_else(|p| p.into_inner()).clone()
     }
 
     /// Overrides the small-fact fallback threshold: when the fact would
@@ -131,7 +167,8 @@ impl<E: Engine> ShardedEngine<E> {
         self
     }
 
-    /// Number of partitions this engine fans out to.
+    /// Number of worker threads this engine fans out to (the actual shard
+    /// count is morsel-derived and usually larger; see `run`).
     pub fn shards(&self) -> usize {
         self.shards
     }
@@ -223,21 +260,28 @@ impl<E: Engine + Sync> Engine for ShardedEngine<E> {
         // Small-fact fallback: when shards would each hold fewer than the
         // threshold rows, partition + merge overhead dominates any
         // per-shard saving — run the inner engine unwrapped.
-        let (fact, n) = self.plan_shards(db, q)?;
-        if n == 1 {
+        let (fact, workers) = self.plan_shards(db, q)?;
+        if workers == 1 {
+            *self.last_stats.lock().unwrap_or_else(|p| p.into_inner()) = None;
             return self.inner.run(db, q);
         }
-        let shard_dbs = self.shard_databases(db, &fact, n)?;
-        // One scoped worker per shard — the same plain-threads discipline
-        // as the LMFAO domain parallelism; a worker's engine error is
-        // carried back as a value, never unwound across the scope.
-        let results: Vec<Result<BatchResult, DataError>> = std::thread::scope(|s| {
-            let handles: Vec<_> =
-                shard_dbs.iter().map(|sdb| s.spawn(move || self.inner.run(sdb, q))).collect();
-            handles.into_iter().map(|h| h.join().expect("shard worker does not panic")).collect()
-        });
+        // Over-partition into morsel-sized shards — several per worker, so
+        // a skewed (expensive) shard no longer serializes the batch — and
+        // let the workers pull shards from a shared queue. The partition
+        // count is capped so per-shard dimension-scan overhead stays
+        // bounded when the fact is huge relative to the morsel size.
+        let fact_rows = db.get(&fact)?.len();
+        let m = morsel::morsel_count(fact_rows, self.morsel_rows, workers)
+            .min(workers.saturating_mul(32))
+            .max(workers.min(fact_rows));
+        let shard_dbs = self.shard_databases(db, &fact, m)?;
+        let (results, stats) =
+            morsel::run_stealing(m, workers, |i| self.inner.run(&shard_dbs[i], q));
+        *self.last_stats.lock().unwrap_or_else(|p| p.into_inner()) = Some(stats);
+        // Merge in shard order (deterministic float summation) regardless
+        // of which worker ran which shard.
         let mut iter = results.into_iter();
-        let mut acc = iter.next().expect("n >= 1 shards")?;
+        let mut acc = iter.next().expect("m >= 1 shards")?;
         for r in iter {
             merge_into(&mut acc, r?)?;
         }

@@ -198,7 +198,9 @@ pub fn cov_triple_factorized(
                     idx.push(gi);
                     vals.push(rel.value_f64(r, ci));
                 }
-                ring.add_assign(&mut acc, &ring.lift_sparse(&idx, &vals));
+                // Fused lift + add: updates the triple in place without
+                // materializing a dense intermediate per row.
+                ring.add_lift_sparse(&mut acc, &idx, &vals);
             }
             acc
         },

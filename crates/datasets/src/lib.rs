@@ -11,6 +11,7 @@ pub mod dish;
 pub mod favorita;
 pub mod features;
 pub mod retailer;
+pub mod synthetic;
 pub mod tpcds;
 pub mod util;
 pub mod yelp;
@@ -19,6 +20,7 @@ pub use dish::dish_database;
 pub use favorita::{favorita, FavoritaConfig};
 pub use features::FeatureSet;
 pub use retailer::{retailer, RetailerConfig};
+pub use synthetic::{zipf_snowflake, ZipfConfig};
 pub use tpcds::{tpcds, TpcdsConfig};
 pub use yelp::{yelp, YelpConfig};
 

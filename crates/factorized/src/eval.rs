@@ -40,6 +40,10 @@ pub struct EvalSpec {
     deepest_at: Vec<Vec<usize>>,
     /// Relations with no key variables at all (pure cross product).
     free_rels: Vec<usize>,
+    /// Use the batched 1-/2-way intersection collectors of [`crate::trie`]
+    /// where a node's arity allows; `false` pins the generic callback
+    /// leapfrog — the scalar baseline arm of the kernel A/B.
+    vectorize: bool,
 }
 
 /// Reusable per-variable-order-node buffers of the leapfrog recursion: the
@@ -141,7 +145,14 @@ impl EvalSpec {
             rels.push(sorted);
             key_cols.push(cols);
         }
-        Ok(Self { hg, vo, rels, key_cols, parts_at, deepest_at, free_rels })
+        Ok(Self { hg, vo, rels, key_cols, parts_at, deepest_at, free_rels, vectorize: true })
+    }
+
+    /// Toggles the batched intersection collectors (on by default); see
+    /// the `vectorize` field. The factorized engine's baseline-hash
+    /// configuration switches this off.
+    pub fn set_vectorize(&mut self, on: bool) {
+        self.vectorize = on;
     }
 
     /// Per VO node, the key column slices of its participating relations —
@@ -174,6 +185,22 @@ impl EvalSpec {
         s.vals.clear();
         s.runs.clear();
         let NodeScratch { vals, runs, cur, .. } = s;
+        // The 1- and 2-relation shapes dominate snowflake joins; their
+        // batched collectors fill the buffers directly, skipping the
+        // generic leapfrog's callback dispatch and cursor rotation.
+        if self.vectorize {
+            match cols_at[node].as_slice() {
+                [col] => {
+                    crate::trie::collect_runs(col, cur[0].clone(), vals, runs);
+                    return;
+                }
+                [a, b] => {
+                    crate::trie::collect_pair(a, cur[0].clone(), b, cur[1].clone(), vals, runs);
+                    return;
+                }
+                _ => {}
+            }
+        }
         leapfrog_intersect(&cols_at[node], cur, |v, rs| {
             vals.push(v);
             runs.extend_from_slice(rs);

@@ -97,6 +97,58 @@ pub fn leapfrog_intersect(
     }
 }
 
+/// Batched `k = 1` specialization of [`leapfrog_intersect`]: one linear
+/// pass collecting every `(value, run)` of a single sorted column range
+/// into flat buffers, with no callback dispatch, no cursor rotation, and
+/// no per-match modular arithmetic. This is the leaf shape of a snowflake
+/// join (one relation owns the variable), which dominates the evaluator's
+/// intersections.
+pub fn collect_runs(
+    col: &[i64],
+    range: std::ops::Range<usize>,
+    vals: &mut Vec<i64>,
+    runs: &mut Vec<std::ops::Range<usize>>,
+) {
+    let mut i = range.start;
+    while i < range.end {
+        let e = run_end(col, i, range.end);
+        vals.push(col[i]);
+        runs.push(i..e);
+        i = e;
+    }
+}
+
+/// Batched `k = 2` specialization of [`leapfrog_intersect`]: a two-pointer
+/// merge with galloping skips ([`seek`]) on whichever side is behind,
+/// pushing `(value, run_a, run_b)` per match — `runs` grows by two ranges
+/// per value, matching the generic evaluator's flattened layout.
+pub fn collect_pair(
+    a: &[i64],
+    ra: std::ops::Range<usize>,
+    b: &[i64],
+    rb: std::ops::Range<usize>,
+    vals: &mut Vec<i64>,
+    runs: &mut Vec<std::ops::Range<usize>>,
+) {
+    let (mut i, mut j) = (ra.start, rb.start);
+    while i < ra.end && j < rb.end {
+        let (x, y) = (a[i], b[j]);
+        if x < y {
+            i = seek(a, i, ra.end, y);
+        } else if y < x {
+            j = seek(b, j, rb.end, x);
+        } else {
+            let ea = run_end(a, i, ra.end);
+            let eb = run_end(b, j, rb.end);
+            vals.push(x);
+            runs.push(i..ea);
+            runs.push(j..eb);
+            i = ea;
+            j = eb;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +221,39 @@ mod tests {
     }
 
     proptest! {
+        /// The batched 1- and 2-way collectors fill exactly the buffers the
+        /// generic leapfrog callback would have — values and flattened runs.
+        #[test]
+        fn batched_collectors_match_generic_leapfrog(
+            mut a in proptest::collection::vec(0i64..25, 0..40),
+            mut b in proptest::collection::vec(0i64..25, 0..40),
+        ) {
+            a.sort_unstable();
+            b.sort_unstable();
+            // k = 1 over `a`.
+            let (mut vals, mut runs) = (Vec::new(), Vec::new());
+            collect_runs(&a, 0..a.len(), &mut vals, &mut runs);
+            let (mut gvals, mut gruns) = (Vec::new(), Vec::new());
+            leapfrog_intersect(&[&a], &[0..a.len()], |v, rs| {
+                gvals.push(v);
+                gruns.extend_from_slice(rs);
+                true
+            });
+            prop_assert_eq!(&vals, &gvals);
+            prop_assert_eq!(&runs, &gruns);
+            // k = 2 over `a`, `b`.
+            let (mut vals, mut runs) = (Vec::new(), Vec::new());
+            collect_pair(&a, 0..a.len(), &b, 0..b.len(), &mut vals, &mut runs);
+            let (mut gvals, mut gruns) = (Vec::new(), Vec::new());
+            leapfrog_intersect(&[&a, &b], &[0..a.len(), 0..b.len()], |v, rs| {
+                gvals.push(v);
+                gruns.extend_from_slice(rs);
+                true
+            });
+            prop_assert_eq!(&vals, &gvals);
+            prop_assert_eq!(&runs, &gruns);
+        }
+
         #[test]
         fn intersection_matches_set_semantics(
             mut a in proptest::collection::vec(0i64..30, 0..40),

@@ -113,6 +113,47 @@ impl CovRing {
         }
         CovTriple { c: 1.0, s: s.into(), q: q.into() }
     }
+
+    /// Accumulates the lift of a partial tuple directly into `acc` —
+    /// algebraically `add_assign(acc, lift_sparse(idx, vals))` without
+    /// materializing the triple. The factorized leaf loop calls this once
+    /// per row, so eliding the two `tri_len`-sized allocations per call is
+    /// the covariance payload-update kernel of the batch layer; the
+    /// materializing composition stays as the baseline arm.
+    pub fn add_lift_sparse(&self, acc: &mut CovTriple, idx: &[usize], vals: &[f64]) {
+        debug_assert_eq!(idx.len(), vals.len());
+        acc.c += 1.0;
+        for (&i, &v) in idx.iter().zip(vals) {
+            acc.s[i] += v;
+        }
+        for (a, (&i, &vi)) in idx.iter().zip(vals).enumerate() {
+            for (&j, &vj) in idx[..=a].iter().zip(&vals[..=a]) {
+                let (hi, lo) = if i >= j { (i, j) } else { (j, i) };
+                acc.q[hi * (hi + 1) / 2 + lo] += vi * vj;
+            }
+        }
+    }
+
+    /// The pre-kernel row-at-a-time product: per-entry triangular indexing
+    /// with `k` threading through three arrays. Kept verbatim as the
+    /// scalar baseline the vectorized [`Semiring::mul`] is A/B'd against
+    /// in `perf_regression`.
+    pub fn mul_baseline(&self, a: &CovTriple, b: &CovTriple) -> CovTriple {
+        let n = self.n;
+        let mut s = vec![0.0; n];
+        for i in 0..n {
+            s[i] = b.c * a.s[i] + a.c * b.s[i];
+        }
+        let mut q = vec![0.0; self.tri_len()];
+        let mut k = 0;
+        for i in 0..n {
+            for j in 0..=i {
+                q[k] = b.c * a.q[k] + a.c * b.q[k] + a.s[i] * b.s[j] + b.s[i] * a.s[j];
+                k += 1;
+            }
+        }
+        CovTriple { c: a.c * b.c, s: s.into(), q: q.into() }
+    }
 }
 
 impl Semiring for CovRing {
@@ -143,17 +184,24 @@ impl Semiring for CovRing {
     }
 
     fn mul(&self, a: &CovTriple, b: &CovTriple) -> CovTriple {
+        // Row-sliced form of the paper's product: per triangle row `i`,
+        // the inner `j` pass runs over three contiguous `i+1`-length
+        // slices with the row-invariant scalars hoisted — a fused
+        // multiply-add shape the autovectorizer handles, unlike the
+        // k-threaded scalar loop kept as [`CovRing::mul_baseline`].
         let n = self.n;
         let mut s = vec![0.0; n];
         for i in 0..n {
             s[i] = b.c * a.s[i] + a.c * b.s[i];
         }
         let mut q = vec![0.0; self.tri_len()];
-        let mut k = 0;
         for i in 0..n {
+            let row = i * (i + 1) / 2;
+            let (ai, bi, ac, bc) = (a.s[i], b.s[i], a.c, b.c);
+            let (aq, bq) = (&a.q[row..row + i + 1], &b.q[row..row + i + 1]);
+            let qo = &mut q[row..row + i + 1];
             for j in 0..=i {
-                q[k] = b.c * a.q[k] + a.c * b.q[k] + a.s[i] * b.s[j] + b.s[i] * a.s[j];
-                k += 1;
+                qo[j] = bc * aq[j] + ac * bq[j] + ai * b.s[j] + bi * a.s[j];
             }
         }
         CovTriple { c: a.c * b.c, s: s.into(), q: q.into() }
@@ -263,6 +311,42 @@ mod tests {
             ));
             // additive inverse
             prop_assert!(ring.is_zero(&ring.add(&a, &ring.neg(&a))));
+        }
+
+        /// The row-sliced product is the same arithmetic as the k-threaded
+        /// baseline, term for term — exact equality, not just tolerance.
+        #[test]
+        fn vectorized_mul_matches_baseline(
+            av in proptest::collection::vec(-9i32..9, 4),
+            bv in proptest::collection::vec(-9i32..9, 4),
+        ) {
+            let ring = CovRing::new(4);
+            let a = ring.lift(&av.iter().map(|&x| x as f64).collect::<Vec<_>>());
+            let b = ring.lift(&bv.iter().map(|&x| x as f64).collect::<Vec<_>>());
+            prop_assert!(approx(&ring.mul(&a, &b), &ring.mul_baseline(&a, &b), 0.0));
+        }
+
+        /// Fused accumulate ≡ materialize-then-add, on random sparse rows
+        /// (distinct feature positions, as the evaluator guarantees).
+        #[test]
+        fn add_lift_sparse_matches_composition(
+            rows in proptest::collection::vec(
+                proptest::collection::vec((0usize..5, -9i32..9), 0..5), 0..8),
+        ) {
+            let ring = CovRing::new(5);
+            let mut fused = ring.zero();
+            let mut composed = ring.zero();
+            for row in &rows {
+                // Dedupe positions (last write wins, as in a BTreeMap):
+                // the evaluator only ever lifts distinct feature columns.
+                let dedup: std::collections::BTreeMap<usize, i32> =
+                    row.iter().copied().collect();
+                let idx: Vec<usize> = dedup.keys().copied().collect();
+                let vals: Vec<f64> = dedup.values().map(|&v| v as f64).collect();
+                ring.add_lift_sparse(&mut fused, &idx, &vals);
+                ring.add_assign(&mut composed, &ring.lift_sparse(&idx, &vals));
+            }
+            prop_assert!(approx(&fused, &composed, 0.0));
         }
 
         #[test]

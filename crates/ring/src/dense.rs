@@ -204,6 +204,38 @@ impl<R: Semiring> Semiring for DenseKeyedRing<R> {
         DenseGrouped { entries: out }
     }
 
+    /// In-place batched merge — the optimized twin of [`Semiring::add`]'s
+    /// allocating linear merge, which remains the baseline arm of the
+    /// kernel A/B (fold with `add`). Two fast paths matter in the evaluator:
+    /// an empty side is free, and key-disjoint *appends* (the common case
+    /// when leapfrog emits group codes in ascending order) extend the
+    /// entry vector instead of re-merging it, turning the repeated
+    /// `total += acc` accumulation from quadratic to amortized linear.
+    fn add_assign(&self, a: &mut DenseGrouped<R>, b: &DenseGrouped<R>) {
+        if b.entries.is_empty() {
+            return;
+        }
+        if a.entries.is_empty() {
+            a.entries = b.entries.clone();
+            return;
+        }
+        let a_last = {
+            let e = a.entries.last().expect("non-empty");
+            (e.0, e.1)
+        };
+        let b_first = (b.entries[0].0, b.entries[0].1);
+        if a_last < b_first {
+            a.entries.extend_from_slice(&b.entries);
+            return;
+        }
+        // General case: take the old entries and re-merge. Same zero
+        // pruning as `add`, same key order, no second allocation for the
+        // common grow-in-place pattern.
+        let old = std::mem::take(&mut a.entries);
+        let merged = self.add(&DenseGrouped { entries: old }, b);
+        a.entries = merged.entries;
+    }
+
     fn mul(&self, a: &DenseGrouped<R>, b: &DenseGrouped<R>) -> DenseGrouped<R> {
         let mut out: Vec<(u32, u64, R::Elem)> =
             Vec::with_capacity(a.entries.len() * b.entries.len());
@@ -325,6 +357,36 @@ mod tests {
         let lhs = r.mul(&a, &r.add(&b, &c));
         let rhs = r.add(&r.mul(&a, &b), &r.mul(&a, &c));
         assert_eq!(lhs.entries, rhs.entries);
+    }
+
+    #[test]
+    fn add_assign_matches_add_on_every_merge_shape() {
+        use crate::Ring as _;
+        let r = DenseKeyedRing::new(I64Ring, &[(0, 9)]).unwrap();
+        let elems = [
+            r.zero(),
+            r.tag(0, 1, 3),
+            r.tag(0, 5, -3),
+            r.add(&r.tag(0, 1, 2), &r.tag(0, 7, 4)), // two entries
+            r.neg(&r.tag(0, 1, 3)),                  // cancels elems[1]
+            r.add(&r.tag(0, 0, 1), &r.tag(0, 9, 1)), // brackets everything
+        ];
+        for a in &elems {
+            for b in &elems {
+                let expect = r.add(a, b);
+                let mut got = a.clone();
+                r.add_assign(&mut got, b);
+                assert_eq!(got.entries, expect.entries, "a={a:?} b={b:?}");
+            }
+        }
+        // The append fast path specifically: ascending disjoint keys.
+        let mut acc = r.zero();
+        for v in 0..10 {
+            r.add_assign(&mut acc, &r.tag(0, v, 1));
+        }
+        assert_eq!(acc.len(), 10);
+        let codes: Vec<u64> = acc.iter().map(|(_, c, _)| c).collect();
+        assert!(codes.windows(2).all(|w| w[0] < w[1]), "sorted order preserved");
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Morsel scheduling on a skew-clustered fact table.
+//!
+//! The Zipf snowflake sorts its fact by a power-law key, so equal-row
+//! contiguous shards carry very different group structure — the shape
+//! that left cores idle under the old one-thread-per-shard model. The
+//! regression contract: `ShardedEngine` over-partitions the fact into
+//! more morsels than workers (so finished workers steal the stragglers'
+//! queue), reports that split through `last_run_stats`, and still merges
+//! to exactly the unsharded result.
+
+use fdb::datasets::{zipf_snowflake, ZipfConfig};
+use fdb::lmfao::covariance_batch;
+use fdb::prelude::*;
+
+mod common;
+
+fn zipf_query(ds: &fdb::datasets::Dataset) -> AggQuery {
+    let rels = ds.relation_refs();
+    AggQuery::new(&rels, covariance_batch(&["a", "b", "v"], &["grp"]))
+}
+
+#[test]
+fn skewed_fact_splits_into_morsels_and_agrees() {
+    let ds = zipf_snowflake(ZipfConfig { fact_rows: 20_000, dim_rows: 32, skew: 2.0, seed: 5 });
+    let q = zipf_query(&ds);
+    let seq = EngineConfig::sequential();
+    let base = LmfaoEngine::with_config(seq).run(&ds.db, &q).unwrap();
+
+    let sharded = ShardedEngine::with_shards(LmfaoEngine::with_config(seq), 4);
+    let got = sharded.run(&ds.db, &q).unwrap();
+    common::assert_results_match(&base, &got, "zipf sharded x4", q.batch.len(), 1e-9);
+
+    // The heavy key occupies whole morsels (the fact is clustered), so the
+    // scheduler must have split the fact finer than one chunk per worker.
+    let stats = sharded.last_run_stats().expect("sharded run records its morsel split");
+    assert_eq!(stats.workers, 4, "all requested workers engaged");
+    assert!(
+        stats.morsels > stats.workers,
+        "skew defense: {} morsels for {} workers",
+        stats.morsels,
+        stats.workers
+    );
+    assert_eq!(
+        stats.per_worker.iter().sum::<usize>(),
+        stats.morsels,
+        "every morsel accounted to exactly one worker"
+    );
+}
+
+#[test]
+fn smaller_morsels_split_finer_and_still_agree() {
+    let ds = zipf_snowflake(ZipfConfig { fact_rows: 20_000, dim_rows: 32, skew: 2.0, seed: 5 });
+    let q = zipf_query(&ds);
+    let seq = EngineConfig::sequential();
+    let base = LmfaoEngine::with_config(seq).run(&ds.db, &q).unwrap();
+
+    let coarse = ShardedEngine::with_shards(LmfaoEngine::with_config(seq), 4);
+    coarse.run(&ds.db, &q).unwrap();
+    let coarse_units = coarse.last_run_stats().expect("stats").morsels;
+
+    let fine = ShardedEngine::with_shards(LmfaoEngine::with_config(seq), 4).with_morsel_rows(512);
+    let got = fine.run(&ds.db, &q).unwrap();
+    common::assert_results_match(&base, &got, "zipf fine morsels", q.batch.len(), 1e-9);
+    let fine_units = fine.last_run_stats().expect("stats").morsels;
+    assert!(
+        fine_units > coarse_units,
+        "morsel_rows 512 must over-partition further: {fine_units} vs {coarse_units}"
+    );
+}
+
+#[test]
+fn single_shard_runs_unwrapped_without_stats() {
+    let ds = zipf_snowflake(ZipfConfig::tiny());
+    let q = zipf_query(&ds);
+    let seq = EngineConfig::sequential();
+    let base = LmfaoEngine::with_config(seq).run(&ds.db, &q).unwrap();
+    let single = ShardedEngine::with_shards(LmfaoEngine::with_config(seq), 1);
+    let got = single.run(&ds.db, &q).unwrap();
+    common::assert_results_match(&base, &got, "zipf single shard", q.batch.len(), 1e-9);
+    assert!(single.last_run_stats().is_none(), "unwrapped runs record no morsel split");
+}

@@ -57,6 +57,9 @@ fn main() {
     // The IVM arm scales its update count mildly with the dataset.
     let ivm_updates = ((64.0 * scale.sqrt()) as usize).clamp(16, 512);
     let ivm = (arms == Arms::Both).then(|| perf::ivm_maintenance(scale, ivm_updates));
+    // Fault-site overhead: cheap enough to always measure, and the JSON
+    // records whether the sites were compiled in for this build.
+    let fault = perf::fault_overhead(2_000_000);
 
     fdb_bench::print_table(
         &["bench", "engine", "config", "wall", "groups", "threads", "morsel_rows"],
@@ -122,7 +125,14 @@ fn main() {
         );
     }
 
-    let json = perf::to_json(&rows, cart.as_ref(), views.as_ref(), ivm.as_ref());
+    println!(
+        "fault-injection sites ({}): {:.3} ns/check, {:.4}% of one maintained delta",
+        if fault.sites_compiled_in { "compiled in" } else { "compiled out" },
+        fault.ns_per_check(),
+        fault.overhead_fraction_per_delta() * 100.0
+    );
+
+    let json = perf::to_json(&rows, cart.as_ref(), views.as_ref(), ivm.as_ref(), Some(&fault));
     std::fs::write(&out, json).expect("write BENCH_engines.json");
     println!("wrote {out}");
 }

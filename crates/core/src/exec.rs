@@ -527,7 +527,7 @@ pub(crate) fn run_batch(
     // Missed nodes bottom-up; root children subtrees are independent and
     // can run task-parallel.
     if cfg.threads > 1 && plan.nodes[root].children.len() > 1 {
-        parallel::compute_subtrees_parallel(&plan, &to_compute, &mut data, cfg, ctx.as_ref());
+        parallel::compute_subtrees_parallel(&plan, &to_compute, &mut data, cfg, ctx.as_ref())?;
     } else {
         compute_subtree(&plan, &to_compute, &mut data, cfg, ctx.as_ref());
     }
@@ -548,7 +548,7 @@ pub(crate) fn run_batch(
         Some(hit) => hit,
         None => {
             let computed = if chunked {
-                parallel::compute_root_chunked(&plan, &data, cfg, root_rows)
+                parallel::compute_root_chunked(&plan, &data, cfg, root_rows)?
             } else {
                 compute_node(&plan, root, &data, cfg, 0..root_rows)
             };

@@ -62,7 +62,7 @@ use crate::parallel::{merge_view_data, EngineChoice, EngineConfig};
 use crate::plan::{Plan, ViewData};
 use crate::shard::{drop_exact_zeros, merge_into, ShardedEngine};
 use crate::viewcache::ViewCache;
-use fdb_data::{DataError, Database, Delta, Relation};
+use fdb_data::{fault, DataError, Database, Delta, Relation};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -138,6 +138,21 @@ impl MaintState {
 /// The default implementations recompute via [`Engine::run`], so every
 /// backend is trivially maintainable; overrides replace recomputation
 /// with genuine incremental maintenance while keeping the same contract.
+///
+/// **Transactionality.** [`apply_delta`](MaintainableEngine::apply_delta)
+/// is a provided validate-then-commit wrapper and must not be
+/// overridden; engines override
+/// [`apply_delta_kind`](MaintainableEngine::apply_delta_kind) instead.
+/// The wrapper applies the delta to the maintained database with an undo
+/// token, runs the engine-specific maintenance under panic containment,
+/// and on **any** failure — validation error, internal error, injected
+/// fault, worker panic — restores the pre-delta epoch exactly: database
+/// content and `data_id`s roll back, views the failing maintenance
+/// admitted to the [`ViewCache`] under rolled-back content ids are
+/// invalidated, and the maintained structure is rebuilt from the
+/// restored database (degrading to recompute-per-delta if even the
+/// rebuild fails). Callers see `Err` and a state equivalent to the last
+/// good epoch — never a half-applied one.
 pub trait MaintainableEngine: Engine {
     /// Pays the one-shot evaluation cost and returns the maintained state.
     fn prepare(&self, db: &Database, q: &AggQuery) -> Result<MaintState, DataError> {
@@ -145,9 +160,50 @@ pub trait MaintainableEngine: Engine {
         Ok(MaintState::recompute(db.clone(), q.clone()))
     }
 
-    /// Folds `delta` into the state and returns the updated result.
+    /// Folds `delta` into the state and returns the updated result,
+    /// atomically: on `Err` the state is rolled back to the pre-delta
+    /// epoch (see the trait docs). Do not override — engine-specific
+    /// maintenance belongs in
+    /// [`apply_delta_kind`](MaintainableEngine::apply_delta_kind).
     fn apply_delta(&self, st: &mut MaintState, delta: &Delta) -> Result<BatchResult, DataError> {
-        st.db.apply_delta(delta)?;
+        let undo = st.db.apply_delta_undoable(delta)?;
+        let result = crate::morsel::contain(|| self.apply_delta_kind(st, delta)).and_then(|r| r);
+        match result {
+            Ok(r) => Ok(r),
+            Err(e) => {
+                // Capture the post-delta content id before the rollback
+                // erases it: views the failed maintenance admitted under
+                // it can never be served again and are dropped eagerly.
+                let post_id = st.db.get(&delta.relation).map(Relation::data_id).ok();
+                st.db.undo_delta(undo)?;
+                if let Some(id) = post_id {
+                    ViewCache::global().invalidate_id(id);
+                }
+                // The maintained structure may be half-updated (an
+                // interrupted owner→root walk, a partially routed shard
+                // batch): rebuild it from the restored database. Rare —
+                // genuine (non-injected) maintenance failures past the
+                // database commit are exceptional — so the O(data)
+                // rebuild is the error path's price, not the hot path's.
+                match self.prepare(&st.db, &st.q) {
+                    Ok(fresh) => *st = fresh,
+                    Err(_) => st.kind = MaintKind::Recompute,
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Engine-specific maintenance: `st.db` already reflects `delta`;
+    /// fold it into the maintained structure and return the updated
+    /// result. Implementations may leave the structure half-updated on
+    /// `Err` or panic — the [`apply_delta`](MaintainableEngine::apply_delta)
+    /// wrapper contains and recovers.
+    fn apply_delta_kind(
+        &self,
+        st: &mut MaintState,
+        delta: &Delta,
+    ) -> Result<BatchResult, DataError> {
         match &mut st.kind {
             MaintKind::Custom(c) => c.apply_delta(&st.db, &st.q, delta),
             _ => self.run(&st.db, &st.q),
@@ -303,6 +359,7 @@ fn lmfao_refresh(
     q: &AggQuery,
     m: &mut LmfaoMaint,
 ) -> Result<BatchResult, DataError> {
+    fault::check("maintain-view")?;
     *m = lmfao_build(cfg, db, q, Some(m.plan.root))?;
     Ok(lmfao_extract(m))
 }
@@ -373,6 +430,10 @@ fn lmfao_delta(
     }
     let mut cur_delta = Arc::new(dv);
     for (step, &n) in path.iter().enumerate() {
+        // A fault here interrupts the owner→root walk with ancestors of
+        // `n` still holding pre-delta views — exactly the half-updated
+        // structure the `apply_delta` wrapper must recover from.
+        fault::check("maintain-view")?;
         if step > 0 {
             if cur_delta.iter().all(ViewData::is_empty) {
                 break;
@@ -437,6 +498,12 @@ fn lmfao_delta(
             );
         }
     }
+    // A fault here fires *after* the maintained path was re-admitted to
+    // the view cache under post-delta content ids — the wrapper's
+    // invalidate-on-rollback must drop those entries, or a later cold run
+    // over re-applied identical content would serve views the failed
+    // epoch produced.
+    fault::check("maintain-publish")?;
     Ok(lmfao_extract(m))
 }
 
@@ -447,8 +514,11 @@ impl MaintainableEngine for LmfaoEngine {
         Ok(MaintState { db: db.clone(), q: q.clone(), kind: MaintKind::Lmfao(Box::new(maint)) })
     }
 
-    fn apply_delta(&self, st: &mut MaintState, delta: &Delta) -> Result<BatchResult, DataError> {
-        st.db.apply_delta(delta)?;
+    fn apply_delta_kind(
+        &self,
+        st: &mut MaintState,
+        delta: &Delta,
+    ) -> Result<BatchResult, DataError> {
         let MaintKind::Lmfao(m) = &mut st.kind else {
             // A state prepared by some other engine: recompute.
             return self.run(&st.db, &st.q);
@@ -518,11 +588,15 @@ impl<E: MaintainableEngine + Sync> MaintainableEngine for ShardedEngine<E> {
         })
     }
 
-    fn apply_delta(&self, st: &mut MaintState, delta: &Delta) -> Result<BatchResult, DataError> {
-        st.db.apply_delta(delta)?;
+    fn apply_delta_kind(
+        &self,
+        st: &mut MaintState,
+        delta: &Delta,
+    ) -> Result<BatchResult, DataError> {
         let MaintKind::Sharded(sm) = &mut st.kind else {
             return self.run(&st.db, &st.q);
         };
+        fault::check("maintain-view")?;
         if delta.relation == sm.fact && sm.states.len() > 1 {
             // Fact deltas route row-wise: an insert lands on the last
             // shard; a delete goes to a shard that (still) holds the row,
@@ -628,13 +702,18 @@ impl MaintainableEngine for DispatchEngine {
         })
     }
 
-    fn apply_delta(&self, st: &mut MaintState, delta: &Delta) -> Result<BatchResult, DataError> {
+    fn apply_delta_kind(
+        &self,
+        st: &mut MaintState,
+        delta: &Delta,
+    ) -> Result<BatchResult, DataError> {
         let MaintKind::Dispatch { choice, inner } = &mut st.kind else {
-            st.db.apply_delta(delta)?;
             return self.run(&st.db, &st.q);
         };
-        st.db.apply_delta(delta)?;
         let choice = *choice;
+        // The inner `apply_delta` is itself the transactional wrapper, so
+        // the inner state (and its own database copy) rolls back on
+        // failure; the outer wrapper then restores this level's database.
         self.with_backend(choice, |e| e.apply_delta(inner, delta))
     }
 

@@ -13,8 +13,17 @@
 //! sum f64 payloads) stay deterministic regardless of which worker ran
 //! which morsel.
 
+//! **Panic containment.** Worker closures run under `catch_unwind`: a
+//! panicking unit poisons the queue (peers drain cleanly after their
+//! current unit), the scoped threads all join, and the panic surfaces as
+//! a structured [`fdb_data::DataError::WorkerPanic`] instead of aborting
+//! the process. See [`contain`] for the single-closure form engines use
+//! for degraded retries.
+
+use fdb_data::DataError;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Default rows per morsel (the [`crate::EngineConfig::morsel_rows`]
 /// default): big enough to amortize per-morsel plan probes, small enough
@@ -50,54 +59,104 @@ pub struct MorselStats {
     pub per_worker: Vec<usize>,
 }
 
+/// Stringifies a caught panic payload (the common `&str` / `String`
+/// payloads verbatim, anything else generically).
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f` with panic containment: a panic becomes
+/// [`DataError::WorkerPanic`] instead of unwinding into the caller. The
+/// single-closure form of [`run_stealing`]'s discipline — engines use it
+/// for degraded (unsharded) retries and the maintenance wrapper for the
+/// whole incremental-apply step.
+pub(crate) fn contain<T>(f: impl FnOnce() -> T) -> Result<T, DataError> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|p| DataError::WorkerPanic(panic_message(p)))
+}
+
 /// Runs `work(i)` for every `i < units` on up to `workers` scoped threads,
 /// each pulling the next unit index from a shared atomic counter — the
 /// degenerate (and contention-free) form of work stealing: there are no
 /// per-worker queues to steal *from* because no unit is ever assigned ahead
 /// of time. Returns results in unit order plus the dispatch stats.
+///
+/// Panics inside `work` are contained: the first one poisons the queue
+/// (every other worker finishes its current unit and stops pulling), all
+/// threads join, and the call returns
+/// `Err(`[`DataError::WorkerPanic`]`)` carrying the panic message.
 pub fn run_stealing<T: Send>(
     units: usize,
     workers: usize,
     work: impl Fn(usize) -> T + Sync,
-) -> (Vec<T>, MorselStats) {
+) -> Result<(Vec<T>, MorselStats), DataError> {
     let w = workers.clamp(1, units.max(1));
     let mut per_worker = vec![0usize; w];
     let mut slots: Vec<Option<T>> = (0..units).map(|_| None).collect();
     if w <= 1 {
         for (i, slot) in slots.iter_mut().enumerate() {
-            *slot = Some(work(i));
+            *slot = Some(contain(|| work(i))?);
         }
         per_worker[0] = units;
     } else {
         let next = AtomicUsize::new(0);
-        let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+        let poisoned = AtomicBool::new(false);
+        let parts: Vec<Result<Vec<(usize, T)>, String>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..w)
                 .map(|_| {
-                    let (next, work) = (&next, &work);
+                    let (next, work, poisoned) = (&next, &work, &poisoned);
                     s.spawn(move || {
                         let mut mine = Vec::new();
                         loop {
+                            if poisoned.load(Ordering::Relaxed) {
+                                // A peer panicked: drain cleanly — stop
+                                // pulling, keep what we computed.
+                                break;
+                            }
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= units {
                                 break;
                             }
-                            mine.push((i, work(i)));
+                            match catch_unwind(AssertUnwindSafe(|| work(i))) {
+                                Ok(t) => mine.push((i, t)),
+                                Err(p) => {
+                                    poisoned.store(true, Ordering::Relaxed);
+                                    return Err(panic_message(p));
+                                }
+                            }
                         }
-                        mine
+                        Ok(mine)
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("morsel worker panicked")).collect()
+            // The worker closures contain every `work` panic, so joins
+            // only fail on unwinds the runtime itself raised (OOM aborts
+            // never unwind) — nothing recoverable to translate.
+            handles.into_iter().map(|h| h.join().expect("worker harness panicked")).collect()
         });
+        let mut first_panic = None;
         for (wi, part) in parts.into_iter().enumerate() {
-            per_worker[wi] = part.len();
-            for (i, t) in part {
-                slots[i] = Some(t);
+            match part {
+                Ok(part) => {
+                    per_worker[wi] = part.len();
+                    for (i, t) in part {
+                        slots[i] = Some(t);
+                    }
+                }
+                Err(msg) => first_panic = first_panic.or(Some(msg)),
             }
+        }
+        if let Some(msg) = first_panic {
+            return Err(DataError::WorkerPanic(msg));
         }
     }
     let out = slots.into_iter().map(|s| s.expect("every unit dispatched")).collect();
-    (out, MorselStats { workers: w, morsels: units, per_worker })
+    Ok((out, MorselStats { workers: w, morsels: units, per_worker }))
 }
 
 #[cfg(test)]
@@ -129,20 +188,41 @@ mod tests {
     #[test]
     fn stealing_returns_unit_order_and_accounts_all_work() {
         for workers in [1usize, 2, 3, 8] {
-            let (out, stats) = run_stealing(37, workers, |i| i * i);
+            let (out, stats) = run_stealing(37, workers, |i| i * i).unwrap();
             assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
             assert_eq!(stats.morsels, 37);
             assert_eq!(stats.workers, workers.min(37));
             assert_eq!(stats.per_worker.iter().sum::<usize>(), 37);
         }
         // More workers than units: extra workers are not spawned.
-        let (out, stats) = run_stealing(2, 16, |i| i);
+        let (out, stats) = run_stealing(2, 16, |i| i).unwrap();
         assert_eq!(out, vec![0, 1]);
         assert_eq!(stats.workers, 2);
         // Zero units still terminates.
-        let (out, stats) = run_stealing(0, 4, |i| i);
+        let (out, stats) = run_stealing(0, 4, |i| i).unwrap();
         assert!(out.is_empty());
         assert_eq!(stats.per_worker.iter().sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn a_panicking_unit_surfaces_as_err_not_abort() {
+        // Parallel: the panic is contained, peers drain, the scope joins.
+        for workers in [1usize, 2, 4] {
+            let err = run_stealing(16, workers, |i| {
+                if i == 3 {
+                    panic!("unit {i} exploded");
+                }
+                i
+            })
+            .unwrap_err();
+            let DataError::WorkerPanic(msg) = err else { panic!("expected WorkerPanic") };
+            assert!(msg.contains("unit 3 exploded"), "payload preserved: {msg}");
+        }
+        // `contain` gives the same translation for a single closure.
+        assert!(
+            matches!(contain(|| panic!("boom")), Err(DataError::WorkerPanic(m)) if m == "boom")
+        );
+        assert_eq!(contain(|| 7).unwrap(), 7);
     }
 
     #[test]
@@ -154,7 +234,8 @@ mod tests {
                 std::thread::sleep(std::time::Duration::from_millis(40));
             }
             i
-        });
+        })
+        .unwrap();
         assert_eq!(stats.per_worker.iter().sum::<usize>(), 8);
         // One worker took the heavy unit; on a multi-core host the other
         // drains the queue meanwhile. Either way nobody deadlocks and all

@@ -12,6 +12,9 @@
 
 use crate::exec::{compute_node, CacheCtx};
 use crate::plan::{Plan, ViewData};
+use fdb_data::{fault, DataError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Which backend executes a query — the override knob consulted by
@@ -121,42 +124,70 @@ pub(crate) fn compute_subtrees_parallel(
     data: &mut [Option<Arc<Vec<ViewData>>>],
     cfg: &EngineConfig,
     ctx: Option<&CacheCtx<'_>>,
-) {
+) -> Result<(), DataError> {
     let children = plan.nodes[plan.root].children.clone();
     let mut partitions: Vec<Vec<usize>> = children
         .iter()
         .map(|&c| to_compute.iter().copied().filter(|n| plan.subtree[c].contains(n)).collect())
         .collect();
     let shared: &[Option<Arc<Vec<ViewData>>>] = data;
-    let results: Vec<Vec<(usize, Arc<Vec<ViewData>>)>> = std::thread::scope(|s| {
+    let poisoned = AtomicBool::new(false);
+    type Part = Result<Vec<(usize, Arc<Vec<ViewData>>)>, DataError>;
+    let results: Vec<Part> = std::thread::scope(|s| {
         let handles: Vec<_> = partitions
             .drain(..)
             .map(|part| {
-                let cfg = *cfg;
-                s.spawn(move || {
+                let (cfg, poisoned) = (*cfg, &poisoned);
+                s.spawn(move || -> Part {
                     // Cache-served children arrive through the shared
                     // snapshot; locally computed nodes overlay it.
                     let mut local: Vec<Option<Arc<Vec<ViewData>>>> = shared.to_vec();
                     let mut out = Vec::with_capacity(part.len());
                     for &n in &part {
-                        let views =
-                            Arc::new(compute_node(plan, n, &local, &cfg, 0..plan.rels[n].len()));
+                        if poisoned.load(Ordering::Relaxed) {
+                            // A sibling subtree failed: drain cleanly.
+                            break;
+                        }
+                        let views = catch_unwind(AssertUnwindSafe(|| {
+                            fault::check("morsel-exec")?;
+                            Ok(Arc::new(compute_node(plan, n, &local, &cfg, 0..plan.rels[n].len())))
+                        }))
+                        .unwrap_or_else(|p| {
+                            Err(DataError::WorkerPanic(crate::morsel::panic_message(p)))
+                        });
+                        let views = match views {
+                            Ok(v) => v,
+                            Err(e) => {
+                                poisoned.store(true, Ordering::Relaxed);
+                                return Err(e);
+                            }
+                        };
                         if let Some(ctx) = ctx {
                             ctx.admit(n, &views);
                         }
                         local[n] = Some(Arc::clone(&views));
                         out.push((n, views));
                     }
-                    out
+                    Ok(out)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+        handles.into_iter().map(|h| h.join().expect("worker harness panicked")).collect()
     });
+    let mut first_err = None;
     for part in results {
-        for (n, d) in part {
-            data[n] = Some(d);
+        match part {
+            Ok(part) => {
+                for (n, d) in part {
+                    data[n] = Some(d);
+                }
+            }
+            Err(e) => first_err = first_err.or(Some(e)),
         }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
 }
 
@@ -169,18 +200,20 @@ pub(crate) fn compute_root_chunked(
     data: &[Option<Arc<Vec<ViewData>>>],
     cfg: &EngineConfig,
     root_rows: usize,
-) -> Vec<ViewData> {
+) -> Result<Vec<ViewData>, DataError> {
     let morsels =
         crate::morsel::plan_morsels(root_rows, cfg.morsel_rows, cfg.threads.min(root_rows));
-    let (partials, _stats) = crate::morsel::run_stealing(morsels.len(), cfg.threads, |i| {
-        compute_node(plan, plan.root, data, cfg, morsels[i].clone())
-    });
+    let (partials, _stats) =
+        crate::morsel::run_stealing(morsels.len(), cfg.threads, |i| -> Result<_, DataError> {
+            fault::check("morsel-exec")?;
+            Ok(compute_node(plan, plan.root, data, cfg, morsels[i].clone()))
+        })?;
     let mut it = partials.into_iter();
-    let mut acc = it.next().expect("at least one morsel");
+    let mut acc = it.next().expect("at least one morsel")?;
     for p in it {
-        merge_view_data(&mut acc, p);
+        merge_view_data(&mut acc, p?);
     }
-    acc
+    Ok(acc)
 }
 
 #[cfg(test)]

@@ -275,8 +275,23 @@ impl<E: Engine + Sync> Engine for ShardedEngine<E> {
             .min(workers.saturating_mul(32))
             .max(workers.min(fact_rows));
         let shard_dbs = self.shard_databases(db, &fact, m)?;
-        let (results, stats) =
-            morsel::run_stealing(m, workers, |i| self.inner.run(&shard_dbs[i], q));
+        let stealing = morsel::run_stealing(m, workers, |i| {
+            fdb_data::fault::check("morsel-exec")?;
+            self.inner.run(&shard_dbs[i], q)
+        });
+        let (results, stats) = match stealing {
+            Ok(ok) => ok,
+            Err(DataError::WorkerPanic(_)) => {
+                // Degraded retry: sharding never changes results (the
+                // same discipline as the dense→hash and delta-maintain
+                // fallbacks), so a panicking worker falls back to one
+                // unsharded run — still contained, so a deterministic
+                // panic surfaces as `Err`, not a second unwind.
+                *self.last_stats.lock().unwrap_or_else(|p| p.into_inner()) = None;
+                return morsel::contain(|| self.inner.run(db, q))?;
+            }
+            Err(e) => return Err(e),
+        };
         *self.last_stats.lock().unwrap_or_else(|p| p.into_inner()) = Some(stats);
         // Merge in shard order (deterministic float summation) regardless
         // of which worker ran which shard.

@@ -66,6 +66,10 @@ pub struct ViewCacheStats {
     pub delta_maintained: u64,
     /// Entries dropped to respect a byte budget.
     pub evictions: u64,
+    /// Entries dropped by [`ViewCache::invalidate_id`] — views computed
+    /// from a content state that was rolled back and will never be keyed
+    /// again (the maintenance wrapper's error-path hygiene).
+    pub invalidated: u64,
     /// Node entries currently retained.
     pub entries: usize,
     /// Approximate bytes currently retained.
@@ -91,6 +95,7 @@ struct Inner {
     views_rescanned: u64,
     delta_maintained: u64,
     evictions: u64,
+    invalidated: u64,
     /// Per node-relation `(views reused, views rescanned)`, keyed by the
     /// node relation's `data_id` — lets tests attribute reuse to one
     /// dataset even when other cache users run concurrently (the same
@@ -112,6 +117,7 @@ impl Inner {
             views_rescanned: 0,
             delta_maintained: 0,
             evictions: 0,
+            invalidated: 0,
             per_id: HashMap::new(),
         }
     }
@@ -229,6 +235,21 @@ impl ViewCache {
     /// [`ViewCache::insert_maintained`]: budget high-water update, FIFO
     /// eviction, oversize rejection, per-id map bound.
     fn admit_locked(inner: &mut Inner, key: &str, views: Arc<Vec<ViewData>>, byte_budget: usize) {
+        if fdb_data::fault::trip("cache-admit") {
+            // Injected admission failure: the cache is transparent, so a
+            // refused insert only costs a future rescan — results stay
+            // correct, which is exactly what the chaos suite asserts.
+            return;
+        }
+        if fdb_data::fault::trip("cache-evict") {
+            // Injected eviction pressure: age out the oldest entry.
+            if let Some(oldest) = inner.order.pop_front() {
+                if let Some((_, b)) = inner.entries.remove(&oldest) {
+                    inner.bytes -= b;
+                    inner.evictions += 1;
+                }
+            }
+        }
         let new_bytes: usize =
             views.iter().map(ViewData::byte_size).sum::<usize>() + 2 * key.len() + 96;
         if inner.per_id.len() > 32 * 1024 {
@@ -261,6 +282,7 @@ impl ViewCache {
             views_rescanned: inner.views_rescanned,
             delta_maintained: inner.delta_maintained,
             evictions: inner.evictions,
+            invalidated: inner.invalidated,
             entries: inner.entries.len(),
             bytes: inner.bytes,
         }
@@ -273,6 +295,35 @@ impl ViewCache {
     /// users (distinct datasets have distinct content ids).
     pub fn stats_for_id(&self, data_id: u64) -> (u64, u64) {
         self.lock().per_id.get(&data_id).copied().unwrap_or((0, 0))
+    }
+
+    /// Drops every entry whose key embeds the content id `data_id` —
+    /// **anywhere** in the signature, not just at the head node: subtree
+    /// signatures render every relation as `r{data_id};`, so an ancestor
+    /// view computed over a since-rolled-back owner state matches too.
+    ///
+    /// This is the error-path hygiene of the maintenance wrapper: a
+    /// failed `apply_delta` rolls the database back to the pre-delta
+    /// epoch, but views the failing maintenance already admitted under
+    /// the post-delta id would otherwise linger as dead weight (never
+    /// *served* — the nonce is never reused — but holding budget until
+    /// FIFO ages them out). Returns the number of entries dropped.
+    pub fn invalidate_id(&self, data_id: u64) -> usize {
+        let needle = format!("r{data_id};");
+        let mut inner = self.lock();
+        let doomed: Vec<Box<str>> =
+            inner.entries.keys().filter(|k| k.contains(&*needle)).cloned().collect();
+        for k in &doomed {
+            if let Some((_, b)) = inner.entries.remove(k) {
+                inner.bytes -= b;
+                inner.invalidated += 1;
+            }
+        }
+        if !doomed.is_empty() {
+            let Inner { entries, order, .. } = &mut *inner;
+            order.retain(|k| entries.contains_key(k));
+        }
+        doomed.len()
     }
 
     /// Drops all retained views and per-relation attributions. The global
@@ -349,6 +400,31 @@ mod tests {
         small.insert("huge-key-that-does-not-fit-the-ceiling-at-all", 1, views(2.0), 1);
         assert!(small.get("huge-key-that-does-not-fit-the-ceiling-at-all", 1).is_none());
         assert_eq!(small.stats().entries, 1, "warm entry survived the oversize insert");
+    }
+
+    #[test]
+    fn invalidate_id_drops_embedding_entries_and_keeps_accounting() {
+        let c = ViewCache::new();
+        // Keys in signature syntax: node `r7` alone, an ancestor embedding
+        // `r7` in a child signature, and an unrelated `r70` (whose id must
+        // NOT match the `r7;` needle — the `;` terminator guards that).
+        c.insert("r7;d1000;k[0];", 7, views(1.0), 1 << 20);
+        c.insert("r8;d1000;k[0];C[1][r7;d1000;k[0];]", 8, views(2.0), 1 << 20);
+        c.insert("r70;d1000;k[0];", 70, views(3.0), 1 << 20);
+        let before = c.stats();
+        assert_eq!(before.entries, 3);
+        assert_eq!(c.invalidate_id(7), 2, "head entry and embedding ancestor both dropped");
+        let after = c.stats();
+        assert_eq!(after.entries, 1);
+        assert_eq!(after.invalidated, 2);
+        assert!(c.get("r70;d1000;k[0];", 70).is_some(), "unrelated id survives");
+        assert!(c.get("r7;d1000;k[0];", 7).is_none());
+        // Bytes and FIFO order stay consistent: admitting more entries
+        // still works and evicts cleanly.
+        assert!(after.bytes < before.bytes);
+        c.insert("r9;d1000;k[0];", 9, views(4.0), 1 << 20);
+        assert_eq!(c.stats().entries, 2);
+        assert_eq!(c.invalidate_id(999), 0, "unknown id is a no-op");
     }
 
     #[test]

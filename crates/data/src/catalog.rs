@@ -77,6 +77,15 @@ impl Database {
             .ok_or_else(|| DataError::UnknownRelation(name.to_string()))
     }
 
+    /// Swaps the `Arc` stored under an **existing** `name`, returning the
+    /// previous handle — the delta layer's wholesale-replace commit and
+    /// undo primitive: unlike [`Database::get_mut`] it never detaches
+    /// (copies) the old content, so the caller can keep it as an O(1)
+    /// rollback snapshot. `None` (and no change) if `name` is absent.
+    pub(crate) fn swap_shared(&mut self, name: &str, rel: Arc<Relation>) -> Option<Arc<Relation>> {
+        self.relations.get_mut(name).map(|slot| std::mem::replace(slot, rel))
+    }
+
     /// Relation names in insertion order.
     pub fn names(&self) -> &[String] {
         &self.names

@@ -61,6 +61,11 @@ pub fn read_csv(schema: Schema, bytes: &[u8]) -> Result<Relation> {
         if line.is_empty() {
             continue;
         }
+        // An unwind mid-parse would leak a half-built relation to the
+        // caller's drop path only, but fault plans still demote panics to
+        // `Err` here so an injected ingest failure is always a clean
+        // typed error, mirroring the real parse errors below.
+        crate::fault::check_err("csv-ingest")?;
         row.clear();
         for (c, field) in line.split(|&b| b == b',').enumerate() {
             if c >= arity {

@@ -20,8 +20,11 @@
 
 use crate::catalog::Database;
 use crate::error::DataError;
+use crate::fault;
+use crate::relation::Relation;
 use crate::value::Value;
 use crate::Result;
+use std::sync::Arc;
 
 /// A batch of signed row updates against one relation.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,12 +104,46 @@ impl Delta {
     }
 }
 
+/// How to roll one applied [`Delta`] back — returned by
+/// [`Database::apply_delta_undoable`] so callers that maintain derived
+/// state (the `MaintainableEngine` wrapper in `fdb-core`) can restore the
+/// pre-delta epoch *exactly* (same rows, same [`Relation::data_id`]) when
+/// their own maintenance fails after the database commit succeeded.
+///
+/// The undo is O(delta) for insert-only batches (truncate the appended
+/// rows, restore the id) and O(1) for batches with deletes (the pre-delta
+/// relation `Arc` is swapped back wholesale). It is only valid against
+/// the state the apply left behind: undo immediately, before any further
+/// mutation of the relation.
+#[derive(Debug)]
+pub struct DeltaUndo {
+    relation: String,
+    kind: UndoKind,
+}
+
+#[derive(Debug)]
+enum UndoKind {
+    /// Insert-only commit: drop the appended rows, restore the id.
+    Truncate { nrows: usize, data_id: u64 },
+    /// Delete-path commit: put the pre-delta `Arc` back.
+    Swap(Arc<Relation>),
+}
+
+impl DeltaUndo {
+    /// The updated relation's name.
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+}
+
 impl Database {
     /// Applies `delta` to this database — the ground truth every
     /// incremental maintenance path is held to.
     ///
-    /// Validation happens **before** any mutation, so a rejected delta
-    /// leaves the database untouched:
+    /// Validation happens **before** any mutation, and the commit itself
+    /// is atomic (a mid-commit failure — only reachable via injected
+    /// faults — rolls the relation back), so a delta that returns `Err`
+    /// leaves the database untouched, content and `data_id` both:
     ///
     /// * the relation must exist ([`DataError::UnknownRelation`]);
     /// * every row must match the relation's schema (arity and column
@@ -118,6 +155,13 @@ impl Database {
     /// Deletes remove one matching row each (multiset semantics); row
     /// order of the surviving base rows is preserved and inserts append.
     pub fn apply_delta(&mut self, delta: &Delta) -> Result<()> {
+        self.apply_delta_undoable(delta).map(drop)
+    }
+
+    /// [`Database::apply_delta`], additionally returning the token that
+    /// [`Database::undo_delta`] consumes to restore the pre-delta epoch.
+    pub fn apply_delta_undoable(&mut self, delta: &Delta) -> Result<DeltaUndo> {
+        fault::check_err("delta-validate")?;
         let rel = self.get(&delta.relation)?;
         let schema = rel.schema();
         let arity = schema.arity();
@@ -164,16 +208,61 @@ impl Database {
                 }
             }
         }
-        // Mutate: drop claimed base rows (order-preserving), then append
-        // surviving inserts. Validation above makes every push infallible.
+        // Commit. Validation above makes every push infallible; the only
+        // other failure mode is an injected `delta-commit` fault, and both
+        // paths stay atomic under it.
         let pending: Vec<Vec<Value>> = pending.into_iter().map(|r| r.to_vec()).collect();
-        let rel = self.get_mut(&delta.relation)?;
-        if !deleted_base.is_empty() {
-            let keep: Vec<usize> = (0..rel.len()).filter(|r| !deleted_base.contains(r)).collect();
-            *rel = rel.permuted(&keep);
+        if deleted_base.is_empty() {
+            // Insert-only: append in place, with an O(delta) undo (no
+            // copy-on-write of the whole relation just to keep a
+            // snapshot). A mid-commit failure truncates back.
+            let rel = self.get_mut(&delta.relation)?;
+            let (nrows, data_id) = (rel.len(), rel.data_id());
+            let commit = (|| {
+                for row in &pending {
+                    rel.push_row(row)?;
+                }
+                fault::check_err("delta-commit")
+            })();
+            if let Err(e) = commit {
+                rel.rollback_append(nrows, data_id);
+                return Err(e);
+            }
+            Ok(DeltaUndo {
+                relation: delta.relation.clone(),
+                kind: UndoKind::Truncate { nrows, data_id },
+            })
+        } else {
+            // Deletes rebuild the relation aside and swap it in whole:
+            // nothing mutates until the replacement is fully built, and
+            // the displaced pre-delta `Arc` is the O(1) undo snapshot.
+            let old = self.get_shared(&delta.relation)?;
+            let keep: Vec<usize> = (0..old.len()).filter(|r| !deleted_base.contains(r)).collect();
+            let mut next = old.permuted(&keep);
+            for row in &pending {
+                next.push_row(row)?;
+            }
+            fault::check_err("delta-commit")?;
+            self.swap_shared(&delta.relation, Arc::new(next));
+            Ok(DeltaUndo { relation: delta.relation.clone(), kind: UndoKind::Swap(old) })
         }
-        for row in &pending {
-            rel.push_row(row)?;
+    }
+
+    /// Restores the pre-delta epoch an [`Database::apply_delta_undoable`]
+    /// call committed past: content **and** [`Relation::data_id`] return
+    /// to exactly their pre-delta values, so signature- and id-keyed
+    /// caches warmed before the delta are valid again. Must run before
+    /// any further mutation of the relation.
+    pub fn undo_delta(&mut self, undo: DeltaUndo) -> Result<()> {
+        match undo.kind {
+            UndoKind::Truncate { nrows, data_id } => {
+                self.get_mut(&undo.relation)?.rollback_append(nrows, data_id);
+            }
+            UndoKind::Swap(old) => {
+                if self.swap_shared(&undo.relation, old).is_none() {
+                    return Err(DataError::UnknownRelation(undo.relation));
+                }
+            }
         }
         Ok(())
     }

@@ -21,6 +21,13 @@ pub enum DataError {
     Io(String),
     /// Generic invariant violation with context.
     Invalid(String),
+    /// A worker thread panicked; the panic was contained and the payload
+    /// stringified. The batch that raised it was rolled back or merged
+    /// from a degraded retry — the process never aborts.
+    WorkerPanic(String),
+    /// A fault injected at the named site (`fdb_data::fault`; only raised
+    /// with the `fault-injection` feature on and a plan installed).
+    Injected(String),
 }
 
 impl fmt::Display for DataError {
@@ -38,6 +45,8 @@ impl fmt::Display for DataError {
             DataError::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
             DataError::Io(m) => write!(f, "io error: {m}"),
             DataError::Invalid(m) => write!(f, "invalid: {m}"),
+            DataError::WorkerPanic(m) => write!(f, "worker panicked: {m}"),
+            DataError::Injected(site) => write!(f, "injected fault at `{site}`"),
         }
     }
 }

@@ -21,6 +21,7 @@ pub mod csv;
 pub mod delta;
 pub mod dict;
 pub mod error;
+pub mod fault;
 pub mod relation;
 pub mod schema;
 pub mod sortcache;
@@ -28,9 +29,10 @@ pub mod value;
 
 pub use catalog::Database;
 pub use csv::{read_csv, relation_to_csv, write_csv};
-pub use delta::Delta;
+pub use delta::{Delta, DeltaUndo};
 pub use dict::Dictionary;
 pub use error::DataError;
+pub use fault::{FaultKind, FaultPlan};
 pub use relation::{Column, Relation, RowRef};
 pub use schema::{AttrType, Attribute, Schema};
 pub use sortcache::{CacheCounters, SortCache};

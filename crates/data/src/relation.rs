@@ -92,6 +92,13 @@ impl Column {
         }
     }
 
+    fn truncate(&mut self, len: usize) {
+        match self {
+            Column::Int(v) => v.truncate(len),
+            Column::F64(v) => v.truncate(len),
+        }
+    }
+
     fn slice(&self, range: std::ops::Range<usize>) -> Column {
         match self {
             Column::Int(v) => Column::Int(v[range].to_vec()),
@@ -238,6 +245,20 @@ impl Relation {
         self.nrows += 1;
         self.data_id = next_data_id();
         Ok(())
+    }
+
+    /// Rolls an append-only mutation back: truncates to `nrows` rows and
+    /// restores `data_id` — the id that identified exactly this content
+    /// before rows were pushed, so the `(content, data_id)` pairing every
+    /// cache relies on stays exact. The delta layer's undo path; only
+    /// valid when nothing but `push_row` happened since the snapshot.
+    pub(crate) fn rollback_append(&mut self, nrows: usize, data_id: u64) {
+        debug_assert!(nrows <= self.nrows, "rollback_append only undoes appends");
+        for col in &mut self.cols {
+            col.truncate(nrows);
+        }
+        self.nrows = nrows;
+        self.data_id = data_id;
     }
 
     /// `(min, max)` of the integer-backed attribute `idx`; `None` when the

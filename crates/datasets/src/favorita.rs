@@ -7,7 +7,7 @@
 use crate::features::FeatureSet;
 use crate::util::{gauss, skewed_index, uniform};
 use crate::Dataset;
-use fdb_data::{AttrType, Database, Relation, Schema, Value};
+use fdb_data::{AttrType, DataError, Database, Relation, Schema, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -40,7 +40,17 @@ impl FavoritaConfig {
 }
 
 /// Generates the Favorita-style dataset.
+///
+/// The generator emits schema-conformant rows by construction, so the
+/// fallible [`try_favorita`] cannot actually fail — the single `expect`
+/// here documents that invariant instead of scattering one per row.
 pub fn favorita(cfg: FavoritaConfig) -> Dataset {
+    try_favorita(cfg).expect("generator rows match their declared schemas")
+}
+
+/// Fallible variant of [`favorita`]: surfaces any row/schema mismatch as
+/// a [`DataError`] instead of panicking mid-build.
+pub fn try_favorita(cfg: FavoritaConfig) -> Result<Dataset, DataError> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     let mut stores = Relation::new(Schema::of(&[
@@ -51,15 +61,13 @@ pub fn favorita(cfg: FavoritaConfig) -> Dataset {
         ("cluster", AttrType::Categorical),
     ]));
     for s in 0..cfg.stores as i64 {
-        stores
-            .push_row(&[
-                Value::Int(s),
-                Value::Int(rng.gen_range(0..12)),
-                Value::Int(rng.gen_range(0..6)),
-                Value::Int(rng.gen_range(0..4)),
-                Value::Int(rng.gen_range(0..8)),
-            ])
-            .expect("well-typed");
+        stores.push_row(&[
+            Value::Int(s),
+            Value::Int(rng.gen_range(0..12)),
+            Value::Int(rng.gen_range(0..6)),
+            Value::Int(rng.gen_range(0..4)),
+            Value::Int(rng.gen_range(0..8)),
+        ])?;
     }
 
     let mut items = Relation::new(Schema::of(&[
@@ -69,14 +77,12 @@ pub fn favorita(cfg: FavoritaConfig) -> Dataset {
         ("perishable", AttrType::Categorical),
     ]));
     for i in 0..cfg.items as i64 {
-        items
-            .push_row(&[
-                Value::Int(i),
-                Value::Int(rng.gen_range(0..15)),
-                Value::Int(rng.gen_range(0..30)),
-                Value::Int(i64::from(rng.gen_bool(0.25))),
-            ])
-            .expect("well-typed");
+        items.push_row(&[
+            Value::Int(i),
+            Value::Int(rng.gen_range(0..15)),
+            Value::Int(rng.gen_range(0..30)),
+            Value::Int(i64::from(rng.gen_bool(0.25))),
+        ])?;
     }
 
     let mut oil =
@@ -86,7 +92,7 @@ pub fn favorita(cfg: FavoritaConfig) -> Dataset {
     for d in 0..cfg.dates as i64 {
         p += gauss(&mut rng, 0.0, 0.8);
         oil_prices.push(p);
-        oil.push_row(&[Value::Int(d), Value::F64(p)]).expect("well-typed");
+        oil.push_row(&[Value::Int(d), Value::F64(p)])?;
     }
 
     let mut holiday = Relation::new(Schema::of(&[
@@ -98,13 +104,11 @@ pub fn favorita(cfg: FavoritaConfig) -> Dataset {
     for d in 0..cfg.dates as i64 {
         let h = i64::from(rng.gen_bool(0.1));
         is_holiday[d as usize] = h;
-        holiday
-            .push_row(&[
-                Value::Int(d),
-                Value::Int(if h == 1 { rng.gen_range(1..4) } else { 0 }),
-                Value::Int(i64::from(rng.gen_bool(0.05))),
-            ])
-            .expect("well-typed");
+        holiday.push_row(&[
+            Value::Int(d),
+            Value::Int(if h == 1 { rng.gen_range(1..4) } else { 0 }),
+            Value::Int(i64::from(rng.gen_bool(0.05))),
+        ])?;
     }
 
     let mut transactions = Relation::new(Schema::of(&[
@@ -118,9 +122,7 @@ pub fn favorita(cfg: FavoritaConfig) -> Dataset {
             let t = uniform(&mut rng, 500.0, 3_000.0)
                 * if is_holiday[d as usize] == 1 { 1.4 } else { 1.0 };
             txn_count[d as usize * cfg.stores + s as usize] = t;
-            transactions
-                .push_row(&[Value::Int(d), Value::Int(s), Value::F64(t)])
-                .expect("well-typed");
+            transactions.push_row(&[Value::Int(d), Value::Int(s), Value::F64(t)])?;
         }
     }
 
@@ -141,15 +143,13 @@ pub fn favorita(cfg: FavoritaConfig) -> Dataset {
                     2.0 + 0.002 * txns + 3.0 * promo as f64 + 1.5 * is_holiday[d as usize] as f64
                         - 0.03 * oil_prices[d as usize]
                         + gauss(&mut rng, 0.0, 1.0);
-                sales
-                    .push_row(&[
-                        Value::Int(d),
-                        Value::Int(s),
-                        Value::Int(item),
-                        Value::Int(promo),
-                        Value::F64(units.max(0.0)),
-                    ])
-                    .expect("well-typed");
+                sales.push_row(&[
+                    Value::Int(d),
+                    Value::Int(s),
+                    Value::Int(item),
+                    Value::Int(promo),
+                    Value::F64(units.max(0.0)),
+                ])?;
             }
         }
     }
@@ -162,7 +162,7 @@ pub fn favorita(cfg: FavoritaConfig) -> Dataset {
     db.add("Oil", oil);
     db.add("Holiday", holiday);
 
-    Dataset {
+    Ok(Dataset {
         db,
         relations: ["Sales", "Stores", "Items", "Transactions", "Oil", "Holiday"]
             .iter()
@@ -182,7 +182,7 @@ pub fn favorita(cfg: FavoritaConfig) -> Dataset {
             "unitsales",
         ),
         name: "Favorita",
-    }
+    })
 }
 
 #[cfg(test)]

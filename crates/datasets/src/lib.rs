@@ -17,12 +17,12 @@ pub mod util;
 pub mod yelp;
 
 pub use dish::dish_database;
-pub use favorita::{favorita, FavoritaConfig};
+pub use favorita::{favorita, try_favorita, FavoritaConfig};
 pub use features::FeatureSet;
-pub use retailer::{retailer, RetailerConfig};
+pub use retailer::{retailer, try_retailer, RetailerConfig};
 pub use synthetic::{zipf_snowflake, ZipfConfig};
-pub use tpcds::{tpcds, TpcdsConfig};
-pub use yelp::{yelp, YelpConfig};
+pub use tpcds::{tpcds, try_tpcds, TpcdsConfig};
+pub use yelp::{try_yelp, yelp, YelpConfig};
 
 /// A generated dataset: the database, the relations participating in the
 /// feature extraction query (in join order), and its feature set.

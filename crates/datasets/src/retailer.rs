@@ -8,7 +8,7 @@
 use crate::features::FeatureSet;
 use crate::util::{gauss, skewed_index, uniform};
 use crate::Dataset;
-use fdb_data::{AttrType, Database, Relation, Schema, Value};
+use fdb_data::{AttrType, DataError, Database, Relation, Schema, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -53,7 +53,17 @@ impl RetailerConfig {
 }
 
 /// Generates the retailer dataset.
+///
+/// The generator emits schema-conformant rows by construction, so the
+/// fallible [`try_retailer`] cannot actually fail — the single `expect`
+/// here documents that invariant instead of scattering one per row.
 pub fn retailer(cfg: RetailerConfig) -> Dataset {
+    try_retailer(cfg).expect("generator rows match their declared schemas")
+}
+
+/// Fallible variant of [`retailer`]: surfaces any row/schema mismatch as
+/// a [`DataError`] instead of panicking mid-build.
+pub fn try_retailer(cfg: RetailerConfig) -> Result<Dataset, DataError> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let zips = (cfg.locations / 2).max(1);
 
@@ -73,18 +83,16 @@ pub fn retailer(cfg: RetailerConfig) -> Dataset {
     for locn in 0..cfg.locations as i64 {
         let zip = rng.gen_range(0..zips as i64);
         loc_zip.push(zip);
-        location
-            .push_row(&[
-                Value::Int(locn),
-                Value::Int(zip),
-                Value::Int(rng.gen_range(0..8)),
-                Value::Int(rng.gen_range(0..5)),
-                Value::F64(gauss(&mut rng, 60_000.0, 15_000.0)),
-                Value::F64(uniform(&mut rng, 5_000.0, 50_000.0)),
-                Value::F64(uniform(&mut rng, 0.5, 30.0)),
-                Value::F64(uniform(&mut rng, 0.5, 30.0)),
-            ])
-            .expect("generator rows are well-typed");
+        location.push_row(&[
+            Value::Int(locn),
+            Value::Int(zip),
+            Value::Int(rng.gen_range(0..8)),
+            Value::Int(rng.gen_range(0..5)),
+            Value::F64(gauss(&mut rng, 60_000.0, 15_000.0)),
+            Value::F64(uniform(&mut rng, 5_000.0, 50_000.0)),
+            Value::F64(uniform(&mut rng, 0.5, 30.0)),
+            Value::F64(uniform(&mut rng, 0.5, 30.0)),
+        ])?;
     }
 
     // Census(zip, population, medianage, houseunits, families, males, females)
@@ -101,17 +109,15 @@ pub fn retailer(cfg: RetailerConfig) -> Dataset {
     for zip in 0..zips as i64 {
         let pop = uniform(&mut rng, 5_000.0, 120_000.0);
         zip_pop.push(pop);
-        census
-            .push_row(&[
-                Value::Int(zip),
-                Value::F64(pop),
-                Value::F64(uniform(&mut rng, 25.0, 55.0)),
-                Value::F64(pop * uniform(&mut rng, 0.3, 0.5)),
-                Value::F64(pop * uniform(&mut rng, 0.2, 0.35)),
-                Value::F64(pop * uniform(&mut rng, 0.47, 0.52)),
-                Value::F64(pop * uniform(&mut rng, 0.47, 0.52)),
-            ])
-            .expect("generator rows are well-typed");
+        census.push_row(&[
+            Value::Int(zip),
+            Value::F64(pop),
+            Value::F64(uniform(&mut rng, 25.0, 55.0)),
+            Value::F64(pop * uniform(&mut rng, 0.3, 0.5)),
+            Value::F64(pop * uniform(&mut rng, 0.2, 0.35)),
+            Value::F64(pop * uniform(&mut rng, 0.47, 0.52)),
+            Value::F64(pop * uniform(&mut rng, 0.47, 0.52)),
+        ])?;
     }
 
     // Item(ksn, subcategory, category, categoryCluster, prize)
@@ -132,8 +138,7 @@ pub fn retailer(cfg: RetailerConfig) -> Dataset {
             Value::Int(rng.gen_range(0..12)),
             Value::Int(rng.gen_range(0..4)),
             Value::F64(prize),
-        ])
-        .expect("generator rows are well-typed");
+        ])?;
     }
 
     // Weather(locn, dateid, rain, snow, maxtemp, mintemp, meanwind, thunder)
@@ -153,18 +158,16 @@ pub fn retailer(cfg: RetailerConfig) -> Dataset {
             let maxtemp = gauss(&mut rng, 18.0, 9.0);
             let rain = i64::from(rng.gen_bool(0.3));
             weather_info[locn as usize * cfg.dates + dateid as usize] = (maxtemp, rain);
-            weather
-                .push_row(&[
-                    Value::Int(locn),
-                    Value::Int(dateid),
-                    Value::Int(rain),
-                    Value::Int(i64::from(maxtemp < 2.0)),
-                    Value::F64(maxtemp),
-                    Value::F64(maxtemp - uniform(&mut rng, 3.0, 10.0)),
-                    Value::F64(uniform(&mut rng, 0.0, 25.0)),
-                    Value::Int(i64::from(rng.gen_bool(0.05))),
-                ])
-                .expect("generator rows are well-typed");
+            weather.push_row(&[
+                Value::Int(locn),
+                Value::Int(dateid),
+                Value::Int(rain),
+                Value::Int(i64::from(maxtemp < 2.0)),
+                Value::F64(maxtemp),
+                Value::F64(maxtemp - uniform(&mut rng, 3.0, 10.0)),
+                Value::F64(uniform(&mut rng, 0.0, 25.0)),
+                Value::Int(i64::from(rng.gen_bool(0.05))),
+            ])?;
         }
     }
 
@@ -187,14 +190,12 @@ pub fn retailer(cfg: RetailerConfig) -> Dataset {
                 let units = 25.0 - 0.45 * prize + 0.12 * maxtemp - 2.0 * rain as f64
                     + 0.00005 * pop
                     + gauss(&mut rng, 0.0, 1.5);
-                inventory
-                    .push_row(&[
-                        Value::Int(locn),
-                        Value::Int(dateid),
-                        Value::Int(ksn),
-                        Value::F64(units.max(0.0)),
-                    ])
-                    .expect("generator rows are well-typed");
+                inventory.push_row(&[
+                    Value::Int(locn),
+                    Value::Int(dateid),
+                    Value::Int(ksn),
+                    Value::F64(units.max(0.0)),
+                ])?;
             }
         }
     }
@@ -206,7 +207,7 @@ pub fn retailer(cfg: RetailerConfig) -> Dataset {
     db.add("Item", item);
     db.add("Weather", weather);
 
-    Dataset {
+    Ok(Dataset {
         db,
         relations: ["Inventory", "Location", "Census", "Item", "Weather"]
             .iter()
@@ -230,7 +231,7 @@ pub fn retailer(cfg: RetailerConfig) -> Dataset {
             "inventoryunits",
         ),
         name: "Retailer",
-    }
+    })
 }
 
 #[cfg(test)]

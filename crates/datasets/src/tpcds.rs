@@ -4,7 +4,7 @@
 use crate::features::FeatureSet;
 use crate::util::{gauss, skewed_index, uniform};
 use crate::Dataset;
-use fdb_data::{AttrType, Database, Relation, Schema, Value};
+use fdb_data::{AttrType, DataError, Database, Relation, Schema, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -39,7 +39,17 @@ impl TpcdsConfig {
 }
 
 /// Generates the TPC-DS-style dataset.
+///
+/// The generator emits schema-conformant rows by construction, so the
+/// fallible [`try_tpcds`] cannot actually fail — the single `expect` here
+/// documents that invariant instead of scattering one per row.
 pub fn tpcds(cfg: TpcdsConfig) -> Dataset {
+    try_tpcds(cfg).expect("generator rows match their declared schemas")
+}
+
+/// Fallible variant of [`tpcds`]: surfaces any row/schema mismatch as a
+/// [`DataError`] instead of panicking mid-build.
+pub fn try_tpcds(cfg: TpcdsConfig) -> Result<Dataset, DataError> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     let mut customer = Relation::new(Schema::of(&[
@@ -50,15 +60,13 @@ pub fn tpcds(cfg: TpcdsConfig) -> Dataset {
         ("c_dep_count", AttrType::Double),
     ]));
     for c in 0..cfg.customers as i64 {
-        customer
-            .push_row(&[
-                Value::Int(c),
-                Value::F64(uniform(&mut rng, 1940.0, 2005.0)),
-                Value::F64(gauss(&mut rng, 55_000.0, 20_000.0)),
-                Value::Int(rng.gen_range(0..4)),
-                Value::F64(rng.gen_range(0..6) as f64),
-            ])
-            .expect("well-typed");
+        customer.push_row(&[
+            Value::Int(c),
+            Value::F64(uniform(&mut rng, 1940.0, 2005.0)),
+            Value::F64(gauss(&mut rng, 55_000.0, 20_000.0)),
+            Value::Int(rng.gen_range(0..4)),
+            Value::F64(rng.gen_range(0..6) as f64),
+        ])?;
     }
 
     let mut store = Relation::new(Schema::of(&[
@@ -69,15 +77,13 @@ pub fn tpcds(cfg: TpcdsConfig) -> Dataset {
         ("s_market", AttrType::Categorical),
     ]));
     for s in 0..cfg.stores as i64 {
-        store
-            .push_row(&[
-                Value::Int(s),
-                Value::F64(uniform(&mut rng, 5_000.0, 90_000.0)),
-                Value::F64(uniform(&mut rng, 50.0, 300.0)),
-                Value::F64(uniform(&mut rng, 0.0, 0.11)),
-                Value::Int(rng.gen_range(0..10)),
-            ])
-            .expect("well-typed");
+        store.push_row(&[
+            Value::Int(s),
+            Value::F64(uniform(&mut rng, 5_000.0, 90_000.0)),
+            Value::F64(uniform(&mut rng, 50.0, 300.0)),
+            Value::F64(uniform(&mut rng, 0.0, 0.11)),
+            Value::Int(rng.gen_range(0..10)),
+        ])?;
     }
 
     let mut item = Relation::new(Schema::of(&[
@@ -97,8 +103,7 @@ pub fn tpcds(cfg: TpcdsConfig) -> Dataset {
             Value::F64(p * uniform(&mut rng, 0.4, 0.8)),
             Value::Int(rng.gen_range(0..12)),
             Value::Int(rng.gen_range(0..50)),
-        ])
-        .expect("well-typed");
+        ])?;
     }
 
     let mut date_dim = Relation::new(Schema::of(&[
@@ -108,14 +113,12 @@ pub fn tpcds(cfg: TpcdsConfig) -> Dataset {
         ("d_dow", AttrType::Categorical),
     ]));
     for d in 0..cfg.dates as i64 {
-        date_dim
-            .push_row(&[
-                Value::Int(d),
-                Value::F64(2002.0 + (d / 365) as f64),
-                Value::Int((d / 30) % 12),
-                Value::Int(d % 7),
-            ])
-            .expect("well-typed");
+        date_dim.push_row(&[
+            Value::Int(d),
+            Value::F64(2002.0 + (d / 365) as f64),
+            Value::Int((d / 30) % 12),
+            Value::Int(d % 7),
+        ])?;
     }
 
     let mut sales = Relation::new(Schema::of(&[
@@ -133,16 +136,14 @@ pub fn tpcds(cfg: TpcdsConfig) -> Dataset {
         let s = rng.gen_range(0..cfg.stores as i64);
         let q = rng.gen_range(1..12) as f64;
         let paid = q * price[i as usize] * uniform(&mut rng, 0.8, 1.0);
-        sales
-            .push_row(&[
-                Value::Int(d),
-                Value::Int(i),
-                Value::Int(c),
-                Value::Int(s),
-                Value::F64(q),
-                Value::F64(paid),
-            ])
-            .expect("well-typed");
+        sales.push_row(&[
+            Value::Int(d),
+            Value::Int(i),
+            Value::Int(c),
+            Value::Int(s),
+            Value::F64(q),
+            Value::F64(paid),
+        ])?;
     }
 
     let mut db = Database::new();
@@ -152,7 +153,7 @@ pub fn tpcds(cfg: TpcdsConfig) -> Dataset {
     db.add("Item", item);
     db.add("DateDim", date_dim);
 
-    Dataset {
+    Ok(Dataset {
         db,
         relations: ["StoreSales", "Customer", "Store", "Item", "DateDim"]
             .iter()
@@ -175,7 +176,7 @@ pub fn tpcds(cfg: TpcdsConfig) -> Dataset {
             "ss_net_paid",
         ),
         name: "TPC-DS",
-    }
+    })
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 use crate::features::FeatureSet;
 use crate::util::{gauss, skewed_index, uniform};
 use crate::Dataset;
-use fdb_data::{AttrType, Database, Relation, Schema, Value};
+use fdb_data::{AttrType, DataError, Database, Relation, Schema, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -34,7 +34,17 @@ impl YelpConfig {
 }
 
 /// Generates the Yelp-style dataset.
+///
+/// The generator emits schema-conformant rows by construction, so the
+/// fallible [`try_yelp`] cannot actually fail — the single `expect` here
+/// documents that invariant instead of scattering one per row.
 pub fn yelp(cfg: YelpConfig) -> Dataset {
+    try_yelp(cfg).expect("generator rows match their declared schemas")
+}
+
+/// Fallible variant of [`yelp`]: surfaces any row/schema mismatch as a
+/// [`DataError`] instead of panicking mid-build.
+pub fn try_yelp(cfg: YelpConfig) -> Result<Dataset, DataError> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     let mut users = Relation::new(Schema::of(&[
@@ -48,15 +58,13 @@ pub fn yelp(cfg: YelpConfig) -> Dataset {
     for u in 0..cfg.users as i64 {
         let avg = uniform(&mut rng, 2.0, 4.8);
         user_avg.push(avg);
-        users
-            .push_row(&[
-                Value::Int(u),
-                Value::F64(avg),
-                Value::F64(uniform(&mut rng, 1.0, 300.0)),
-                Value::F64(uniform(&mut rng, 0.0, 50.0)),
-                Value::Int(i64::from(rng.gen_bool(0.1))),
-            ])
-            .expect("well-typed");
+        users.push_row(&[
+            Value::Int(u),
+            Value::F64(avg),
+            Value::F64(uniform(&mut rng, 1.0, 300.0)),
+            Value::F64(uniform(&mut rng, 0.0, 50.0)),
+            Value::Int(i64::from(rng.gen_bool(0.1))),
+        ])?;
     }
 
     let mut businesses = Relation::new(Schema::of(&[
@@ -71,16 +79,14 @@ pub fn yelp(cfg: YelpConfig) -> Dataset {
     for b in 0..cfg.businesses as i64 {
         let avg = uniform(&mut rng, 2.0, 4.8);
         b_avg.push(avg);
-        businesses
-            .push_row(&[
-                Value::Int(b),
-                Value::F64(avg),
-                Value::F64(uniform(&mut rng, 5.0, 2_000.0)),
-                Value::Int(i64::from(rng.gen_bool(0.85))),
-                Value::Int(rng.gen_range(0..20)),
-                Value::Int(rng.gen_range(1..5)),
-            ])
-            .expect("well-typed");
+        businesses.push_row(&[
+            Value::Int(b),
+            Value::F64(avg),
+            Value::F64(uniform(&mut rng, 5.0, 2_000.0)),
+            Value::Int(i64::from(rng.gen_bool(0.85))),
+            Value::Int(rng.gen_range(0..20)),
+            Value::Int(rng.gen_range(1..5)),
+        ])?;
     }
 
     let mut reviews = Relation::new(Schema::of(&[
@@ -94,14 +100,12 @@ pub fn yelp(cfg: YelpConfig) -> Dataset {
         let b = skewed_index(&mut rng, cfg.businesses, 1.5);
         let stars =
             0.5 * user_avg[u as usize] + 0.5 * b_avg[b as usize] + gauss(&mut rng, 0.0, 0.6);
-        reviews
-            .push_row(&[
-                Value::Int(u),
-                Value::Int(b),
-                Value::F64(uniform(&mut rng, 0.0, 30.0)),
-                Value::F64(stars.clamp(1.0, 5.0)),
-            ])
-            .expect("well-typed");
+        reviews.push_row(&[
+            Value::Int(u),
+            Value::Int(b),
+            Value::F64(uniform(&mut rng, 0.0, 30.0)),
+            Value::F64(stars.clamp(1.0, 5.0)),
+        ])?;
     }
 
     let mut db = Database::new();
@@ -109,7 +113,7 @@ pub fn yelp(cfg: YelpConfig) -> Dataset {
     db.add("User", users);
     db.add("Business", businesses);
 
-    Dataset {
+    Ok(Dataset {
         db,
         relations: ["Review", "User", "Business"].iter().map(|s| s.to_string()).collect(),
         features: FeatureSet::new(
@@ -118,7 +122,7 @@ pub fn yelp(cfg: YelpConfig) -> Dataset {
             "stars",
         ),
         name: "Yelp",
-    }
+    })
 }
 
 #[cfg(test)]

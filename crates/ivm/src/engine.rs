@@ -154,6 +154,10 @@ impl CustomMaint for FivmMaint {
         q: &AggQuery,
         delta: &Delta,
     ) -> Result<BatchResult, DataError> {
+        // Before the covariance triple mutates: a fault here leaves the
+        // maintainer untouched, and the `MaintainableEngine::apply_delta`
+        // wrapper rolls the state's database back to match.
+        fdb_data::fault::check("maintain-view")?;
         // Deltas on relations outside the join leave the triple as is.
         if q.relations.contains(&delta.relation) {
             self.maint.apply_delta(delta)?;

@@ -1,0 +1,467 @@
+//! Chaos property suite for the transactional delta pipeline.
+//!
+//! Two layers:
+//!
+//! * **Always compiled** — delta edge cases (empty batches, insert+delete
+//!   of the same row in one batch, mid-batch arity/type mismatches) and
+//!   panic containment (a worker that panics surfaces as a structured
+//!   [`DataError::WorkerPanic`], never a process abort).
+//! * **`--features fault-injection`** — randomized fault schedules
+//!   ([`fdb::data::fault::FaultPlan`]) against random delta streams
+//!   across every engine composition. The invariant, checked after every
+//!   delta: the apply either *succeeds* and agrees with a cold flat-engine
+//!   recompute over an equivalently mutated shadow database, or *fails*
+//!   and leaves the maintained database bit-identical — rows **and**
+//!   [`Relation::data_id`]s — to the last good epoch, with `eval` still
+//!   serving the last good result. Never a half-applied state.
+//!
+//! The fault plan is process-global (worker threads must see it), so
+//! every test that installs one serializes on [`fault_lock`] and clears
+//! the plan before releasing it.
+
+use fdb::data::{AttrType, DataError, Database, Delta, Relation, Schema, Value};
+use fdb::prelude::*;
+
+mod common;
+
+// ---------------------------------------------------------------------------
+// Shared fixture: a small snowflake and a mixed aggregate batch
+// ---------------------------------------------------------------------------
+
+/// F(a, b, c, x) ⋈ D1(a, w, u) ⋈ D2(b, v), sized by `nf` fact rows.
+/// Integer-valued measures so incremental and cold sums are bit-exact.
+fn snowflake(nf: usize) -> Database {
+    let mut db = Database::new();
+    let mut f = Relation::new(Schema::of(&[
+        ("a", AttrType::Int),
+        ("b", AttrType::Int),
+        ("c", AttrType::Categorical),
+        ("x", AttrType::Double),
+    ]));
+    for i in 0..nf as i64 {
+        let (a, b) = (i % 3, i % 2);
+        f.push_row(&[Value::Int(a), Value::Int(b), Value::Int((a + b) % 3), Value::F64(i as f64)])
+            .unwrap();
+    }
+    let mut d1 = Relation::new(Schema::of(&[
+        ("a", AttrType::Int),
+        ("w", AttrType::Categorical),
+        ("u", AttrType::Double),
+    ]));
+    for a in 0..3i64 {
+        d1.push_row(&[Value::Int(a), Value::Int(a % 2), Value::F64((2 - a) as f64)]).unwrap();
+    }
+    let mut d2 = Relation::new(Schema::of(&[("b", AttrType::Int), ("v", AttrType::Double)]));
+    for b in 0..2i64 {
+        d2.push_row(&[Value::Int(b), Value::F64((b + 1) as f64)]).unwrap();
+    }
+    db.add("F", f);
+    db.add("D1", d1);
+    db.add("D2", d2);
+    db
+}
+
+fn query() -> AggQuery {
+    let mut batch = AggBatch::new();
+    batch.push(Aggregate::count());
+    batch.push(Aggregate::sum("x"));
+    batch.push(Aggregate::sum_prod("x", "u"));
+    batch.push(Aggregate::count().by(&["c"]));
+    batch.push(Aggregate::sum("x").by(&["c", "w"]));
+    batch.push(Aggregate::sum("v").filtered("u", FilterOp::Ge(0.0)));
+    AggQuery::new(&["F", "D1", "D2"], batch)
+}
+
+fn frow(a: i64, b: i64, x: f64) -> Vec<Value> {
+    vec![Value::Int(a), Value::Int(b), Value::Int((a + b) % 3), Value::F64(x)]
+}
+
+/// Snapshot of every relation's rows and content id — the "epoch" the
+/// rollback contract is stated in.
+fn epoch(db: &Database) -> Vec<(String, Relation, u64)> {
+    db.names()
+        .iter()
+        .map(|n| (n.clone(), db.get(n).unwrap().clone(), db.get(n).unwrap().data_id()))
+        .collect()
+}
+
+fn assert_epoch(tag: &str, db: &Database, want: &[(String, Relation, u64)]) {
+    assert_eq!(db.len(), want.len(), "{tag}: relation count");
+    for (name, rel, id) in want {
+        let got = db.get(name).unwrap_or_else(|_| panic!("{tag}: `{name}` missing"));
+        assert_eq!(got, rel, "{tag}: `{name}` rows diverged from the last good epoch");
+        assert_eq!(got.data_id(), *id, "{tag}: `{name}` data_id diverged");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Delta edge cases (feature-independent)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn empty_delta_batches_are_clean_no_ops() {
+    let db = snowflake(6);
+    let q = query();
+    let engine = LmfaoEngine::with_config(EngineConfig { threads: 1, ..Default::default() });
+    let mut st = engine.prepare(&db, &q).unwrap();
+    let before = epoch(st.database());
+    let baseline = engine.eval(&mut st).unwrap();
+    let got = engine.apply_delta(&mut st, &Delta::new("F")).unwrap();
+    common::assert_results_match(&baseline, &got, "empty delta", q.batch.len(), 1e-12);
+    assert_epoch("empty delta", st.database(), &before);
+}
+
+#[test]
+fn insert_and_delete_of_the_same_row_cancel_within_a_batch() {
+    let db = snowflake(6);
+    let q = query();
+    let engine = LmfaoEngine::with_config(EngineConfig { threads: 1, ..Default::default() });
+    let mut st = engine.prepare(&db, &q).unwrap();
+    let mut shadow = db.clone();
+    // Delete-of-just-inserted: the row never existed in the base, so the
+    // sequential resolution must cancel it against the pending insert.
+    let fresh = frow(2, 1, 99.0);
+    let d = Delta::new("F").with_insert(fresh.clone()).with_delete(fresh);
+    let got = engine.apply_delta(&mut st, &d).unwrap();
+    shadow.apply_delta(&d).unwrap();
+    let cold = FlatEngine.run(&shadow, &q).unwrap();
+    common::assert_results_match(&cold, &got, "insert+delete cancel", q.batch.len(), 1e-9);
+    assert_eq!(st.database().get("F").unwrap().len(), 6, "net row count unchanged");
+    // Duplicate row: insert a row equal to an existing one, delete one
+    // copy in the same batch — multiset semantics leave exactly one.
+    let dup = st.database().get("F").unwrap().row_vec(0);
+    let d = Delta::new("F").with_insert(dup.clone()).with_delete(dup);
+    let got = engine.apply_delta(&mut st, &d).unwrap();
+    shadow.apply_delta(&d).unwrap();
+    let cold = FlatEngine.run(&shadow, &q).unwrap();
+    common::assert_results_match(&cold, &got, "duplicate insert+delete", q.batch.len(), 1e-9);
+    assert_eq!(st.database().get("F").unwrap().len(), 6);
+}
+
+#[test]
+fn mid_batch_schema_mismatches_roll_back_completely() {
+    let db = snowflake(6);
+    let q = query();
+    let engine = LmfaoEngine::with_config(EngineConfig { threads: 1, ..Default::default() });
+    let mut st = engine.prepare(&db, &q).unwrap();
+    let before = epoch(st.database());
+    let good = engine.eval(&mut st).unwrap();
+    // A valid insert followed by an arity mismatch: the earlier row of
+    // the same batch must not stick.
+    let arity = Delta::new("F").with_insert(frow(1, 1, 8.0)).with_insert(vec![Value::Int(0)]);
+    assert!(matches!(
+        engine.apply_delta(&mut st, &arity),
+        Err(DataError::ArityMismatch { expected: 4, got: 1 })
+    ));
+    assert_epoch("arity mismatch", st.database(), &before);
+    // Type mismatch mid-batch.
+    let ty = Delta::new("F").with_insert(frow(0, 0, 5.0)).with_insert(vec![
+        Value::F64(0.0),
+        Value::Int(0),
+        Value::Int(0),
+        Value::F64(1.0),
+    ]);
+    assert!(matches!(engine.apply_delta(&mut st, &ty), Err(DataError::TypeMismatch { .. })));
+    assert_epoch("type mismatch", st.database(), &before);
+    // Delete of an absent row after a valid insert in the same batch.
+    let del = Delta::new("F").with_insert(frow(1, 0, 3.0)).with_delete(frow(2, 1, -77.0));
+    assert!(matches!(engine.apply_delta(&mut st, &del), Err(DataError::Invalid(_))));
+    assert_epoch("absent delete", st.database(), &before);
+    // The maintained result still serves the last good epoch.
+    common::assert_results_match(
+        &good,
+        &engine.eval(&mut st).unwrap(),
+        "after rejected batches",
+        q.batch.len(),
+        1e-12,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Panic containment (feature-independent)
+// ---------------------------------------------------------------------------
+
+/// An engine whose `run` always panics — stands in for any internal
+/// invariant violation inside worker code.
+struct PanickyEngine;
+
+impl Engine for PanickyEngine {
+    fn name(&self) -> &'static str {
+        "panicky"
+    }
+
+    fn run(&self, _db: &Database, _q: &AggQuery) -> Result<BatchResult, DataError> {
+        panic!("engine invariant violated")
+    }
+}
+
+impl MaintainableEngine for PanickyEngine {}
+
+#[test]
+fn worker_panics_surface_as_structured_errors_not_aborts() {
+    let db = snowflake(8);
+    let q = query();
+    // Sharded execution: the panic fires inside a stealing worker (and
+    // again in the degraded unsharded retry); both are contained.
+    let sharded = ShardedEngine::with_shards(PanickyEngine, 2).with_min_rows_per_shard(1);
+    match sharded.run(&db, &q) {
+        Err(DataError::WorkerPanic(msg)) => {
+            assert!(msg.contains("engine invariant violated"), "payload preserved: {msg}")
+        }
+        other => panic!("expected WorkerPanic, got {other:?}"),
+    }
+    // The maintenance wrapper: a panic mid-maintenance rolls the state's
+    // database back to the pre-delta epoch and returns Err.
+    let mut st = MaintState::recompute(db.clone(), q.clone());
+    let before = epoch(st.database());
+    match PanickyEngine.apply_delta(&mut st, &Delta::insert("F", frow(0, 0, 1.0))) {
+        Err(DataError::WorkerPanic(msg)) => {
+            assert!(msg.contains("engine invariant violated"), "payload preserved: {msg}")
+        }
+        other => panic!("expected WorkerPanic, got {other:?}"),
+    }
+    assert_epoch("after contained panic", st.database(), &before);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized fault schedules (the chaos layer; needs `fault-injection`)
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "fault-injection")]
+mod chaos {
+    use super::*;
+    use fdb::data::fault::{self, FaultPlan};
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Serializes every test that installs a process-global fault plan.
+    fn fault_lock() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// splitmix64 — the same tiny deterministic generator the fault plans
+    /// use, re-derived here so delta streams reproduce from the seed.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut x = self.0;
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n.max(1)
+        }
+    }
+
+    /// Every named site the pipeline checks, across all layers.
+    const SITES: &[&str] = &[
+        "delta-validate",
+        "delta-commit",
+        "maintain-view",
+        "maintain-publish",
+        "morsel-exec",
+        "cache-admit",
+        "cache-evict",
+        "csv-ingest",
+    ];
+
+    /// A random schedule: 1–3 rules over random sites, mixing pinned
+    /// occurrences, probabilistic firing, errors, and panics.
+    fn random_plan(rng: &mut Rng, seed: u64) -> FaultPlan {
+        let mut plan = FaultPlan::new(seed);
+        for _ in 0..1 + rng.below(3) {
+            let site = SITES[rng.below(SITES.len() as u64) as usize];
+            let panic = rng.below(2) == 0;
+            plan = match (rng.below(2) == 0, panic) {
+                (true, false) => plan.fail_at(site, 1 + rng.below(4)),
+                (true, true) => plan.panic_at(site, 1 + rng.below(4)),
+                (false, false) => plan.fail_with_probability(site, 0.25),
+                (false, true) => plan.panic_with_probability(site, 0.25),
+            };
+        }
+        plan
+    }
+
+    /// A random valid delta against the current shadow: inserts stay
+    /// inside the prepare-time ranges, deletes pick existing rows.
+    fn random_delta(rng: &mut Rng, shadow: &Database) -> Delta {
+        match rng.below(4) {
+            // Fact insert (possibly a multi-row batch).
+            0 => {
+                let mut d = Delta::new("F");
+                for _ in 0..1 + rng.below(2) {
+                    d = d.with_insert(frow(
+                        rng.below(3) as i64,
+                        rng.below(2) as i64,
+                        rng.below(9) as f64,
+                    ));
+                }
+                d
+            }
+            // Fact delete of an existing row.
+            1 => {
+                let f = shadow.get("F").unwrap();
+                if f.is_empty() {
+                    return Delta::insert("F", frow(0, 0, 1.0));
+                }
+                Delta::delete("F", f.row_vec(rng.below(f.len() as u64) as usize))
+            }
+            // Mixed fact batch: insert + delete in one delta.
+            2 => {
+                let f = shadow.get("F").unwrap();
+                let ins = frow(rng.below(3) as i64, rng.below(2) as i64, rng.below(9) as f64);
+                if f.is_empty() {
+                    return Delta::insert("F", ins);
+                }
+                Delta::new("F")
+                    .with_insert(ins)
+                    .with_delete(f.row_vec(rng.below(f.len() as u64) as usize))
+            }
+            // Dimension churn: delete + reinsert a D2 row (keeps join
+            // keys covered so cold runs stay comparable).
+            _ => {
+                let d2 = shadow.get("D2").unwrap();
+                let row = d2.row_vec(rng.below(d2.len() as u64) as usize);
+                Delta::new("D2").with_delete(row.clone()).with_insert(row)
+            }
+        }
+    }
+
+    fn chaos_panel() -> Vec<(&'static str, Box<dyn MaintainableEngine>)> {
+        let seq = EngineConfig { threads: 2, ..Default::default() };
+        vec![
+            ("flat", Box::new(FlatEngine)),
+            ("lmfao", Box::new(LmfaoEngine::with_config(seq))),
+            (
+                "sharded-lmfao",
+                Box::new(
+                    ShardedEngine::with_shards(LmfaoEngine::with_config(seq), 2)
+                        .with_min_rows_per_shard(1),
+                ),
+            ),
+            ("dispatch", Box::new(DispatchEngine::new())),
+        ]
+    }
+
+    /// One chaos run: a fresh state, a random fault schedule, a random
+    /// delta stream; after every delta the engine either agrees with the
+    /// cold recompute or has rolled back bit-identically.
+    fn chaos_run(name: &str, engine: &dyn MaintainableEngine, seed: u64) -> (u64, u64) {
+        let mut rng = Rng(seed);
+        let db = snowflake(4 + rng.below(8) as usize);
+        let q = query();
+        fault::mute(true);
+        let mut st = engine.prepare(&db, &q).expect("prepare under mute");
+        fault::mute(false);
+        let mut shadow = db.clone();
+        let mut last_good = epoch(st.database());
+        let (mut oks, mut errs) = (0u64, 0u64);
+        for step in 0..5 {
+            let d = random_delta(&mut rng, &shadow);
+            let tag = format!("{name} seed {seed} step {step}");
+            let applied = engine.apply_delta(&mut st, &d);
+            // Verification runs muted: it must neither fire sites nor
+            // consume scheduled occurrences.
+            fault::mute(true);
+            match applied {
+                Ok(got) => {
+                    oks += 1;
+                    shadow.apply_delta(&d).unwrap_or_else(|e| panic!("{tag}: shadow: {e}"));
+                    let cold = FlatEngine.run(&shadow, &q).expect("cold run");
+                    common::assert_results_match(&cold, &got, &tag, q.batch.len(), 1e-9);
+                    last_good = epoch(st.database());
+                }
+                Err(_) => {
+                    errs += 1;
+                    assert_epoch(&tag, st.database(), &last_good);
+                    // The recovered state still serves the last epoch.
+                    let eval = engine
+                        .eval(&mut st)
+                        .unwrap_or_else(|e| panic!("{tag}: eval after rollback: {e}"));
+                    let cold = FlatEngine.run(&shadow, &q).expect("cold run");
+                    common::assert_results_match(&cold, &eval, &tag, q.batch.len(), 1e-9);
+                }
+            }
+            fault::mute(false);
+        }
+        (oks, errs)
+    }
+
+    /// 200 seeds per engine composition. Every seed reruns exactly from
+    /// its number: the delta stream and the fault schedule both derive
+    /// from splitmix64, nothing ambient.
+    #[test]
+    fn randomized_fault_schedules_never_leave_half_applied_state() {
+        let _guard = fault_lock();
+        for (name, engine) in chaos_panel() {
+            let (mut oks, mut errs) = (0u64, 0u64);
+            for seed in 0..200u64 {
+                let mut rng = Rng(seed ^ 0xC0FFEE);
+                fault::install(random_plan(&mut rng, seed));
+                let (o, e) = chaos_run(name, engine.as_ref(), seed);
+                oks += o;
+                errs += e;
+                fault::clear();
+            }
+            // The schedules must actually exercise both outcomes.
+            assert!(oks > 0, "{name}: no delta ever succeeded across 200 runs");
+            assert!(errs > 0, "{name}: no fault ever fired across 200 runs");
+        }
+    }
+
+    /// A fault *after* the maintained path was re-admitted to the view
+    /// cache must not leave entries keyed by rolled-back content ids: the
+    /// wrapper invalidates them eagerly (cache hygiene, not correctness —
+    /// `data_id`s are never reused, so a stale entry could only waste
+    /// memory, never serve wrong data).
+    #[test]
+    fn rolled_back_deltas_do_not_leave_stale_maintained_views_cached() {
+        let _guard = fault_lock();
+        let db = snowflake(6);
+        let q = query();
+        let engine = LmfaoEngine::with_config(EngineConfig { threads: 1, ..Default::default() });
+        fault::mute(true);
+        let mut st = engine.prepare(&db, &q).unwrap();
+        fault::mute(false);
+        let before = epoch(st.database());
+        let invalidated_before = fdb::lmfao::ViewCache::global().stats().invalidated;
+        fault::install(FaultPlan::new(1).fail_at("maintain-publish", 1));
+        let err = engine.apply_delta(&mut st, &Delta::insert("F", frow(1, 1, 4.0))).unwrap_err();
+        assert!(matches!(err, DataError::Injected(_)), "got {err:?}");
+        fault::clear();
+        assert_epoch("publish fault", st.database(), &before);
+        let invalidated_after = fdb::lmfao::ViewCache::global().stats().invalidated;
+        assert!(
+            invalidated_after > invalidated_before,
+            "entries admitted under the rolled-back id must be dropped \
+             ({invalidated_before} -> {invalidated_after})"
+        );
+        // And the same delta applies cleanly afterwards.
+        let mut shadow = db.clone();
+        let d = Delta::insert("F", frow(1, 1, 4.0));
+        let got = engine.apply_delta(&mut st, &d).unwrap();
+        shadow.apply_delta(&d).unwrap();
+        let cold = FlatEngine.run(&shadow, &q).unwrap();
+        common::assert_results_match(&cold, &got, "post-rollback reapply", q.batch.len(), 1e-9);
+    }
+
+    /// CSV ingest faults surface as clean typed errors (never panics —
+    /// the site demotes), and hit accounting tracks them.
+    #[test]
+    fn csv_ingest_faults_are_clean_typed_errors() {
+        let _guard = fault_lock();
+        let schema = Schema::of(&[("k", AttrType::Int), ("x", AttrType::Double)]);
+        let bytes = b"1,1.5\n2,2.5\n3,3.5\n";
+        fault::install(FaultPlan::new(9).panic_at("csv-ingest", 2));
+        let err = fdb::data::csv::read_csv(schema.clone(), bytes).unwrap_err();
+        assert!(matches!(err, DataError::Injected(_)), "panic demoted: {err:?}");
+        assert_eq!(fault::hit_count("csv-ingest"), 1);
+        fault::clear();
+        let rel = fdb::data::csv::read_csv(schema, bytes).unwrap();
+        assert_eq!(rel.len(), 3);
+    }
+}

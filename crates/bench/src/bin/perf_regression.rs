@@ -4,11 +4,12 @@
 //!
 //! ```text
 //! perf_regression [--scale S] [--iters N] [--shards K] [--out PATH]
-//!                 [--baseline-hash | --optimized]
+//!                 [--serving-readers R] [--baseline-hash | --optimized]
 //! ```
 //!
-//! `--shards` sets the fan-out of the sharded-vs-single-shard arm
-//! (default: one shard per available core).
+//! `--shards` sets the fan-out of the sharded-vs-single-shard arm and
+//! `--serving-readers` the client-thread count of the serving arm's
+//! multi-reader phase (default for both: one per available core).
 
 use fdb_bench::perf::{self, Arms};
 
@@ -19,6 +20,7 @@ fn main() {
     let mut arms = Arms::Both;
     let mut shards = fdb_core::parallel::default_threads();
     let mut shards_given = false;
+    let mut serving_readers = fdb_core::parallel::default_threads().max(2);
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -28,6 +30,10 @@ fn main() {
                 shards = args.next().and_then(|v| v.parse().ok()).expect("--shards K");
                 shards_given = true;
             }
+            "--serving-readers" => {
+                serving_readers =
+                    args.next().and_then(|v| v.parse().ok()).expect("--serving-readers R");
+            }
             "--out" => out = args.next().expect("--out PATH"),
             "--baseline-hash" => arms = Arms::BaselineOnly,
             "--optimized" => arms = Arms::OptimizedOnly,
@@ -35,7 +41,7 @@ fn main() {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: perf_regression [--scale S] [--iters N] [--shards K] [--out PATH] \
-                     [--baseline-hash | --optimized]"
+                     [--serving-readers R] [--baseline-hash | --optimized]"
                 );
                 std::process::exit(2);
             }
@@ -60,6 +66,13 @@ fn main() {
     // Fault-site overhead: cheap enough to always measure, and the JSON
     // records whether the sites were compiled in for this build.
     let fault = perf::fault_overhead(2_000_000);
+    // The serving arm: snapshot-read throughput under a live delta
+    // stream, 1 reader vs `serving_readers`; mild workload scaling so
+    // small `--scale` smoke runs stay quick.
+    let serving_queries = ((48.0 * scale.sqrt()) as usize).clamp(8, 256);
+    let serving_updates = ((32.0 * scale.sqrt()) as usize).clamp(8, 256);
+    let serving = (arms == Arms::Both)
+        .then(|| perf::serving_bench(scale, serving_readers, serving_queries, serving_updates));
 
     fdb_bench::print_table(
         &["bench", "engine", "config", "wall", "groups", "threads", "morsel_rows"],
@@ -132,7 +145,30 @@ fn main() {
         fault.overhead_fraction_per_delta() * 100.0
     );
 
-    let json = perf::to_json(&rows, cart.as_ref(), views.as_ref(), ivm.as_ref(), Some(&fault));
+    if let Some(p) = &serving {
+        println!(
+            "serving: {} readers at {:.0} qps vs {:.0} qps single ({:.2}x), \
+             {} deltas live; stripe waits sort {} view {} ({}+{} stripes)",
+            p.readers,
+            p.qps_multi(),
+            p.qps_single(),
+            p.reader_scaling(),
+            p.deltas_applied,
+            p.sort_contended,
+            p.view_contended,
+            p.sort_stripes,
+            p.view_stripes
+        );
+    }
+
+    let json = perf::to_json(
+        &rows,
+        cart.as_ref(),
+        views.as_ref(),
+        ivm.as_ref(),
+        Some(&fault),
+        serving.as_ref(),
+    );
     std::fs::write(&out, json).expect("write BENCH_engines.json");
     println!("wrote {out}");
 }

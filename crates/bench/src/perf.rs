@@ -807,6 +807,137 @@ pub fn fault_overhead(calls: u64) -> FaultOverhead {
     }
 }
 
+/// The serving arm: sustained query throughput of a
+/// [`fdb_core::ServingEngine`] under a live delta stream — the
+/// epoch/snapshot read path's headline number. Two phases on the same
+/// workload, each over a fresh engine: **one reader**, then **`readers`
+/// readers**, every reader issuing `queries_per_reader` full engine runs
+/// against pinned snapshots while one writer streams `updates` single-row
+/// fact inserts through the transactional maintenance path. The cache
+/// columns record how the global striped sort/view caches behaved during
+/// the multi-reader phase: hit deltas grow with the reader count, and the
+/// `*_contended` counters — stripe-lock acquisitions that found the
+/// stripe held and had to wait — are the number the striping exists to
+/// keep near zero.
+#[derive(Debug, Clone, Default)]
+pub struct ServingPerf {
+    /// Reader threads of the multi-reader phase.
+    pub readers: usize,
+    /// Queries each reader issues per phase.
+    pub queries_per_reader: usize,
+    /// Single-row fact-insert deltas streamed by the writer per phase.
+    pub updates: usize,
+    /// Queries served by the 1-reader phase.
+    pub single_queries: u64,
+    /// Wall time of the 1-reader phase, nanoseconds.
+    pub single_ns: u128,
+    /// Queries served by the `readers`-reader phase.
+    pub multi_queries: u64,
+    /// Wall time of the `readers`-reader phase, nanoseconds.
+    pub multi_ns: u128,
+    /// Deltas committed and published during the multi-reader phase.
+    pub deltas_applied: u64,
+    /// Sort-cache hits during the multi-reader phase.
+    pub sort_hits: u64,
+    /// Sort-cache stripe-lock waits during the multi-reader phase.
+    pub sort_contended: u64,
+    /// Lock stripes of the global sort cache.
+    pub sort_stripes: usize,
+    /// View-cache hits during the multi-reader phase.
+    pub view_hits: u64,
+    /// View-cache stripe-lock waits during the multi-reader phase.
+    pub view_contended: u64,
+    /// Lock stripes of the global view cache.
+    pub view_stripes: usize,
+}
+
+impl ServingPerf {
+    /// Queries per second sustained by the 1-reader phase.
+    pub fn qps_single(&self) -> f64 {
+        self.single_queries as f64 / (self.single_ns.max(1) as f64 * 1e-9)
+    }
+
+    /// Queries per second sustained by the multi-reader phase.
+    pub fn qps_multi(&self) -> f64 {
+        self.multi_queries as f64 / (self.multi_ns.max(1) as f64 * 1e-9)
+    }
+
+    /// Multi-reader over single-reader throughput — the concurrent-read
+    /// scaling of the snapshot path (`readers`× is perfect).
+    pub fn reader_scaling(&self) -> f64 {
+        self.qps_multi() / self.qps_single().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Runs the serving arm: grouped covariance on the retailer instance
+/// through a `ServingEngine` over the single-threaded LMFAO backend (so
+/// the phases isolate *reader* parallelism), 1 reader vs `readers`
+/// readers racing one live writer.
+pub fn serving_bench(
+    scale: f64,
+    readers: usize,
+    queries_per_reader: usize,
+    updates: usize,
+) -> ServingPerf {
+    let ds = perf_dataset(scale);
+    let q = covariance_query(&ds);
+    let rel = ds.db.get("Inventory").expect("fact");
+    let deltas: Vec<fdb_data::Delta> = (0..updates)
+        .map(|i| fdb_data::Delta::insert("Inventory", rel.row_vec(i % rel.len())))
+        .collect();
+    let phase = |nreaders: usize| -> (u64, u128, u64) {
+        let engine = LmfaoEngine::with_config(EngineConfig { threads: 1, ..Default::default() });
+        let serving = fdb_core::ServingEngine::new(engine, &ds.db, &q).expect("serving prepare");
+        let e0 = serving.epoch();
+        let t0 = std::time::Instant::now();
+        std::thread::scope(|s| {
+            let (serving, deltas) = (&serving, &deltas);
+            for _ in 0..nreaders {
+                s.spawn(move || {
+                    for _ in 0..queries_per_reader {
+                        serving.query().expect("serving query");
+                    }
+                });
+            }
+            s.spawn(move || {
+                for d in deltas {
+                    serving.apply_delta(d).expect("serving delta");
+                    std::thread::yield_now();
+                }
+            });
+        });
+        let ns = t0.elapsed().as_nanos();
+        let st = serving.stats();
+        // A qps number over a stream that silently dropped deltas (or
+        // failed to publish) would measure the wrong system.
+        assert_eq!(st.epoch, e0 + updates as u64, "every delta published");
+        assert_eq!(st.deltas_rejected, 0, "no delta may fail in this stream");
+        (st.queries, ns, st.deltas_applied)
+    };
+    let (single_queries, single_ns, _) = phase(1);
+    let sc0 = SortCache::global().counters();
+    let vc0 = ViewCache::global().stats();
+    let (multi_queries, multi_ns, deltas_applied) = phase(readers.max(1));
+    let sc1 = SortCache::global().counters();
+    let vc1 = ViewCache::global().stats();
+    ServingPerf {
+        readers: readers.max(1),
+        queries_per_reader,
+        updates,
+        single_queries,
+        single_ns,
+        multi_queries,
+        multi_ns,
+        deltas_applied,
+        sort_hits: sc1.hits - sc0.hits,
+        sort_contended: sc1.contended - sc0.contended,
+        sort_stripes: sc1.stripes,
+        view_hits: vc1.hits - vc0.hits,
+        view_contended: vc1.contended - vc0.contended,
+        view_stripes: vc1.stripes,
+    }
+}
+
 /// Speedup table: per `(bench, engine)`, `baseline-hash / optimized` —
 /// and for the sharding rows, `single-shard / sharded` (cross-core
 /// scaling of the shard layer).
@@ -836,14 +967,18 @@ fn caches_json() -> String {
     let v = ViewCache::global().stats();
     format!(
         "{{\n    \"sort\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
-         \"entries\": {}, \"bytes\": {}}},\n    \"view\": {{\"hits\": {}, \"misses\": {}, \
+         \"entries\": {}, \"bytes\": {}, \"stripes\": {}, \"contended\": {}}},\n    \
+         \"view\": {{\"hits\": {}, \"misses\": {}, \
          \"views_reused\": {}, \"views_rescanned\": {}, \"delta_maintained\": {}, \
-         \"evictions\": {}, \"entries\": {}, \"bytes\": {}}}\n  }}",
+         \"evictions\": {}, \"entries\": {}, \"bytes\": {}, \"stripes\": {}, \
+         \"contended\": {}}}\n  }}",
         s.hits,
         s.misses,
         s.evictions,
         s.entries,
         s.bytes,
+        s.stripes,
+        s.contended,
         v.hits,
         v.misses,
         v.views_reused,
@@ -851,7 +986,9 @@ fn caches_json() -> String {
         v.delta_maintained,
         v.evictions,
         v.entries,
-        v.bytes
+        v.bytes,
+        v.stripes,
+        v.contended
     )
 }
 
@@ -863,6 +1000,7 @@ pub fn to_json(
     views: Option<&CartViewReuse>,
     ivm: Option<&IvmPerf>,
     fault: Option<&FaultOverhead>,
+    serving: Option<&ServingPerf>,
 ) -> String {
     let mut s = String::from("{\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -945,6 +1083,28 @@ pub fn to_json(
             f.overhead_fraction_per_delta()
         ));
     }
+    if let Some(p) = serving {
+        s.push_str(&format!(
+            ",\n  \"serving\": {{\"bench\": \"serving-retailer\", \"readers\": {}, \
+             \"queries_per_reader\": {}, \"updates\": {}, \"qps_single_reader\": {:.1}, \
+             \"qps_multi_reader\": {:.1}, \"reader_scaling\": {:.3}, \"deltas_applied\": {}, \
+             \"sort_hits\": {}, \"sort_contended\": {}, \"sort_stripes\": {}, \
+             \"view_hits\": {}, \"view_contended\": {}, \"view_stripes\": {}}}",
+            p.readers,
+            p.queries_per_reader,
+            p.updates,
+            p.qps_single(),
+            p.qps_multi(),
+            p.reader_scaling(),
+            p.deltas_applied,
+            p.sort_hits,
+            p.sort_contended,
+            p.sort_stripes,
+            p.view_hits,
+            p.view_contended,
+            p.view_stripes
+        ));
+    }
     s.push_str(&format!(",\n  \"caches\": {}", caches_json()));
     s.push_str("\n}\n");
     s
@@ -995,6 +1155,7 @@ mod tests {
             Some(&CartViewReuse::default()),
             Some(&IvmPerf::default()),
             Some(&FaultOverhead::default()),
+            Some(&ServingPerf::default()),
         );
         assert!(json.contains("\"speedups\""));
         assert!(json.contains("grouped-covariance/lmfao"));
@@ -1005,9 +1166,25 @@ mod tests {
         assert!(json.contains("\"delta_vs_recompute_speedup\""));
         assert!(json.contains("\"caches\""));
         assert!(json.contains("\"sort\"") && json.contains("\"view\""));
+        assert!(json.contains("\"stripes\"") && json.contains("\"contended\""));
         assert!(json.contains("\"delta_maintained\""));
         assert!(json.contains("\"fault_overhead\""));
         assert!(json.contains("\"overhead_fraction_per_delta\""));
+        assert!(json.contains("\"serving\""));
+        assert!(json.contains("\"qps_multi_reader\"") && json.contains("\"reader_scaling\""));
+    }
+
+    #[test]
+    fn serving_arm_sustains_reads_under_a_live_delta_stream() {
+        let _guard = crate::timing_lock();
+        let p = serving_bench(0.02, 2, 6, 8);
+        assert_eq!(p.readers, 2);
+        assert_eq!(p.single_queries, 6, "1 reader × 6 queries");
+        assert_eq!(p.multi_queries, 12, "2 readers × 6 queries");
+        assert_eq!(p.deltas_applied, 8, "the writer's whole stream committed");
+        assert!(p.qps_single() > 0.0 && p.qps_multi() > 0.0);
+        assert!(p.reader_scaling() > 0.0);
+        assert!(p.sort_stripes >= 1 && p.view_stripes >= 1);
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod maintain;
 pub mod morsel;
 pub mod parallel;
 pub mod plan;
+pub mod serve;
 pub mod shard;
 pub mod stats;
 pub mod viewcache;
@@ -79,6 +80,7 @@ pub use ir::{AggQuery, BatchResult};
 pub use maintain::{CustomMaint, MaintState, MaintainableEngine};
 pub use morsel::{MorselStats, DEFAULT_MORSEL_ROWS};
 pub use parallel::{EngineChoice, EngineConfig};
+pub use serve::{EpochDb, ServingEngine, ServingStats};
 pub use shard::{ShardedEngine, DEFAULT_MIN_ROWS_PER_SHARD};
 pub use stats::{stats_from_result, sufficient_stats, SufficientStats};
 pub use viewcache::{ViewCache, ViewCacheStats, DEFAULT_VIEW_CACHE_BYTES};

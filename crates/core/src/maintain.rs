@@ -131,6 +131,13 @@ impl MaintState {
     pub fn query(&self) -> &AggQuery {
         &self.q
     }
+
+    /// The maintained epoch ([`Database::epoch`] of the maintained copy):
+    /// one bump per delta this state has committed since prepare, exact
+    /// rollback on failure.
+    pub fn epoch(&self) -> u64 {
+        self.db.epoch()
+    }
 }
 
 /// An [`Engine`] that can maintain prepared query state under deltas.
@@ -216,6 +223,42 @@ pub trait MaintainableEngine: Engine {
             MaintKind::Custom(c) => c.eval(&st.db, &st.q),
             _ => self.run(&st.db, &st.q),
         }
+    }
+}
+
+/// Boxed engines forward, so heterogeneous panels (tests, benches, the
+/// serving harness) can hand a `Box<dyn MaintainableEngine + Send + Sync>`
+/// to anything expecting a concrete engine — notably
+/// [`ServingEngine`](crate::serve::ServingEngine). The provided
+/// [`apply_delta`](MaintainableEngine::apply_delta) wrapper is inherited
+/// (not forwarded): it applies the delta once and dispatches the
+/// engine-specific part through the boxed
+/// [`apply_delta_kind`](MaintainableEngine::apply_delta_kind).
+impl Engine for Box<dyn MaintainableEngine + Send + Sync> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn run(&self, db: &Database, q: &AggQuery) -> Result<BatchResult, DataError> {
+        (**self).run(db, q)
+    }
+}
+
+impl MaintainableEngine for Box<dyn MaintainableEngine + Send + Sync> {
+    fn prepare(&self, db: &Database, q: &AggQuery) -> Result<MaintState, DataError> {
+        (**self).prepare(db, q)
+    }
+
+    fn apply_delta_kind(
+        &self,
+        st: &mut MaintState,
+        delta: &Delta,
+    ) -> Result<BatchResult, DataError> {
+        (**self).apply_delta_kind(st, delta)
+    }
+
+    fn eval(&self, st: &mut MaintState) -> Result<BatchResult, DataError> {
+        (**self).eval(st)
     }
 }
 

@@ -36,16 +36,29 @@
 //! engine's warm entries; `0` bypasses the cache entirely). Keys are full
 //! canonical strings — no hash truncation — so a hit can never serve
 //! views of a different plan or content state.
+//!
+//! # Striping
+//!
+//! Like [`fdb_data::SortCache`], the table is split into
+//! [`fdb_data::sortcache::stripe_count`] shards, each behind its own
+//! `Mutex`: entries are striped by signature hash, per-relation
+//! attributions by `data_id` hash, so concurrent sessions hitting warm
+//! views of different subtrees never serialize on one global lock. All
+//! counters (and [`ViewCache::stats`]) are lock-free atomics; the byte
+//! ceiling and FIFO eviction order stay **global** via per-entry admission
+//! sequence numbers, preserving the single-lock cache's observable
+//! semantics.
 
 use crate::plan::ViewData;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Default ceiling on the total approximate bytes of retained views
 /// ([`crate::EngineConfig::view_cache_bytes`]).
 pub const DEFAULT_VIEW_CACHE_BYTES: usize = 256 << 20;
 
-/// A monotone snapshot of the cache's counters (monotone across
+/// A lock-free snapshot of the cache's counters (monotone across
 /// [`ViewCache::clear`], which resets contents but not history — deltas
 /// around a workload stay meaningful even if it clears the cache).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -74,58 +87,52 @@ pub struct ViewCacheStats {
     pub entries: usize,
     /// Approximate bytes currently retained.
     pub bytes: usize,
+    /// Lock-stripe acquisitions that found the stripe already held and had
+    /// to wait — the serving-path contention signal.
+    pub contended: u64,
+    /// Number of lock stripes the cache is split across.
+    pub stripes: usize,
 }
 
-struct Inner {
+#[derive(Default)]
+struct Stripe {
+    /// `signature -> (views, charged bytes)`.
     entries: HashMap<Box<str>, (Arc<Vec<ViewData>>, usize)>,
-    /// Insertion order for FIFO eviction (`pop_front` is O(1) — eviction
-    /// runs under the global mutex every engine lookup contends on).
-    order: VecDeque<Box<str>>,
-    bytes: usize,
+    /// Admission order within this stripe with each entry's **global**
+    /// admission sequence number; fronts across stripes locate the
+    /// globally oldest entry, so eviction stays FIFO across the split.
+    order: VecDeque<(Box<str>, u64)>,
+    /// Per node-relation `(views reused, views rescanned)`, keyed by the
+    /// node relation's `data_id` — lets tests attribute reuse to one
+    /// dataset even when other cache users run concurrently (the same
+    /// discipline as [`fdb_data::SortCache::stats_for`]). Striped by id
+    /// hash (independent of the signature striping). Bounded: cleared
+    /// wholesale when it far outgrows the entry map.
+    per_id: HashMap<u64, (u64, u64)>,
+}
+
+/// A bounded memo table for materialized per-node view data.
+pub struct ViewCache {
+    stripes: Vec<Mutex<Stripe>>,
     /// High-water mark of the budgets callers have requested: the cache's
     /// effective ceiling. Without it, one engine configured with a small
     /// `view_cache_bytes` would evict the *shared* global cache down to
     /// its own budget on every insert, destroying other engines' warm
     /// entries; with it, a smaller budget only limits what that engine
     /// admits, never what others retain.
-    budget_hwm: usize,
-    hits: u64,
-    misses: u64,
-    views_reused: u64,
-    views_rescanned: u64,
-    delta_maintained: u64,
-    evictions: u64,
-    invalidated: u64,
-    /// Per node-relation `(views reused, views rescanned)`, keyed by the
-    /// node relation's `data_id` — lets tests attribute reuse to one
-    /// dataset even when other cache users run concurrently (the same
-    /// discipline as [`fdb_data::SortCache::stats_for`]). Bounded:
-    /// cleared wholesale when it far outgrows the entry map.
-    per_id: HashMap<u64, (u64, u64)>,
-}
-
-impl Inner {
-    fn new() -> Self {
-        Self {
-            entries: HashMap::new(),
-            order: VecDeque::new(),
-            bytes: 0,
-            budget_hwm: 0,
-            hits: 0,
-            misses: 0,
-            views_reused: 0,
-            views_rescanned: 0,
-            delta_maintained: 0,
-            evictions: 0,
-            invalidated: 0,
-            per_id: HashMap::new(),
-        }
-    }
-}
-
-/// A bounded memo table for materialized per-node view data.
-pub struct ViewCache {
-    inner: Mutex<Inner>,
+    budget_hwm: AtomicUsize,
+    /// Global admission sequence: orders entries across stripes for FIFO.
+    seq: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    views_reused: AtomicU64,
+    views_rescanned: AtomicU64,
+    delta_maintained: AtomicU64,
+    evictions: AtomicU64,
+    invalidated: AtomicU64,
+    contended: AtomicU64,
+    entries: AtomicUsize,
+    bytes: AtomicUsize,
 }
 
 impl Default for ViewCache {
@@ -139,7 +146,27 @@ impl ViewCache {
     /// ([`crate::EngineConfig::view_cache_bytes`]), so one global cache
     /// serves engines with different budgets.
     pub fn new() -> Self {
-        Self { inner: Mutex::new(Inner::new()) }
+        Self::with_stripes(fdb_data::sortcache::stripe_count())
+    }
+
+    /// An empty cache with an explicit stripe count (tests; the global
+    /// cache uses the `FDB_CACHE_STRIPES` knob).
+    pub fn with_stripes(nstripes: usize) -> Self {
+        Self {
+            stripes: (0..nstripes.max(1)).map(|_| Mutex::new(Stripe::default())).collect(),
+            budget_hwm: AtomicUsize::new(0),
+            seq: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            views_reused: AtomicU64::new(0),
+            views_rescanned: AtomicU64::new(0),
+            delta_maintained: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+            entries: AtomicUsize::new(0),
+            bytes: AtomicUsize::new(0),
+        }
     }
 
     /// The process-wide cache used by the LMFAO execution path.
@@ -166,20 +193,25 @@ impl ViewCache {
         head_id: u64,
         adopt: impl FnOnce(&[ViewData]) -> bool,
     ) -> Option<Arc<Vec<ViewData>>> {
-        let mut inner = self.lock();
-        let hit = match inner.entries.get(key) {
-            Some((views, _)) if adopt(views) => Some(Arc::clone(views)),
-            _ => None,
+        let hit = {
+            let stripe = self.lock(Self::stripe_of_key(key, self.stripes.len()));
+            match stripe.entries.get(key) {
+                Some((views, _)) if adopt(views) => Some(Arc::clone(views)),
+                _ => None,
+            }
         };
         match hit {
             Some(views) => {
-                inner.hits += 1;
-                inner.views_reused += views.len() as u64;
-                inner.per_id.entry(head_id).or_default().0 += views.len() as u64;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.views_reused.fetch_add(views.len() as u64, Ordering::Relaxed);
+                // Attribution lives in the id-hashed stripe; the entry
+                // lock is already released, so no two locks are ever held.
+                self.lock(self.stripe_of_id(head_id)).per_id.entry(head_id).or_default().0 +=
+                    views.len() as u64;
                 Some(views)
             }
             None => {
-                inner.misses += 1;
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -205,10 +237,9 @@ impl ViewCache {
         views: Arc<Vec<ViewData>>,
         byte_budget: usize,
     ) {
-        let mut inner = self.lock();
-        inner.views_rescanned += views.len() as u64;
-        inner.per_id.entry(head_id).or_default().1 += views.len() as u64;
-        Self::admit_locked(&mut inner, key, views, byte_budget);
+        self.views_rescanned.fetch_add(views.len() as u64, Ordering::Relaxed);
+        self.bump_per_id(head_id, false, views.len() as u64);
+        self.admit(key, views, byte_budget);
     }
 
     /// Admits views that were kept current by **in-place delta
@@ -225,16 +256,31 @@ impl ViewCache {
         views: Arc<Vec<ViewData>>,
         byte_budget: usize,
     ) {
-        let mut inner = self.lock();
-        inner.delta_maintained += views.len() as u64;
-        inner.per_id.entry(head_id).or_default().0 += views.len() as u64;
-        Self::admit_locked(&mut inner, key, views, byte_budget);
+        self.delta_maintained.fetch_add(views.len() as u64, Ordering::Relaxed);
+        self.bump_per_id(head_id, true, views.len() as u64);
+        self.admit(key, views, byte_budget);
+    }
+
+    fn bump_per_id(&self, head_id: u64, reused: bool, n: u64) {
+        let mut stripe = self.lock(self.stripe_of_id(head_id));
+        if stripe.per_id.len() > 32 * 1024 {
+            stripe.per_id.clear();
+        }
+        let slot = stripe.per_id.entry(head_id).or_default();
+        if reused {
+            slot.0 += n;
+        } else {
+            slot.1 += n;
+        }
     }
 
     /// Shared storage path of [`ViewCache::insert`] /
-    /// [`ViewCache::insert_maintained`]: budget high-water update, FIFO
-    /// eviction, oversize rejection, per-id map bound.
-    fn admit_locked(inner: &mut Inner, key: &str, views: Arc<Vec<ViewData>>, byte_budget: usize) {
+    /// [`ViewCache::insert_maintained`]: budget high-water update, global
+    /// FIFO eviction, oversize rejection. Holds at most one stripe lock at
+    /// a time (admission into the key's stripe, then eviction scanning),
+    /// so a transient over-budget window is visible only to concurrent
+    /// counter polls, never to lookups.
+    fn admit(&self, key: &str, views: Arc<Vec<ViewData>>, byte_budget: usize) {
         if fdb_data::fault::trip("cache-admit") {
             // Injected admission failure: the cache is transparent, so a
             // refused insert only costs a future rescan — results stay
@@ -243,48 +289,79 @@ impl ViewCache {
         }
         if fdb_data::fault::trip("cache-evict") {
             // Injected eviction pressure: age out the oldest entry.
-            if let Some(oldest) = inner.order.pop_front() {
-                if let Some((_, b)) = inner.entries.remove(&oldest) {
-                    inner.bytes -= b;
-                    inner.evictions += 1;
-                }
-            }
+            self.evict_oldest();
         }
         let new_bytes: usize =
             views.iter().map(ViewData::byte_size).sum::<usize>() + 2 * key.len() + 96;
-        if inner.per_id.len() > 32 * 1024 {
-            inner.per_id.clear();
-        }
-        inner.budget_hwm = inner.budget_hwm.max(byte_budget);
-        let budget = inner.budget_hwm;
-        if inner.entries.contains_key(key) || new_bytes > budget {
+        let budget = self.budget_hwm.fetch_max(byte_budget, Ordering::Relaxed).max(byte_budget);
+        if new_bytes > budget {
             return;
         }
-        while inner.bytes + new_bytes > budget {
-            let Some(oldest) = inner.order.pop_front() else { break };
-            if let Some((_, b)) = inner.entries.remove(&oldest) {
-                inner.bytes -= b;
-                inner.evictions += 1;
+        {
+            let mut stripe = self.lock(Self::stripe_of_key(key, self.stripes.len()));
+            if stripe.entries.contains_key(key) {
+                return;
+            }
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            stripe.order.push_back((key.into(), seq));
+            stripe.entries.insert(key.into(), (views, new_bytes));
+            self.entries.fetch_add(1, Ordering::Relaxed);
+            self.bytes.fetch_add(new_bytes, Ordering::Relaxed);
+        }
+        while self.bytes.load(Ordering::Relaxed) > budget
+            && self.entries.load(Ordering::Relaxed) > 1
+        {
+            if !self.evict_oldest() {
+                break;
             }
         }
-        inner.order.push_back(key.into());
-        inner.bytes += new_bytes;
-        inner.entries.insert(key.into(), (views, new_bytes));
     }
 
-    /// A snapshot of the counters.
+    /// Removes the globally oldest entry (minimum admission sequence across
+    /// stripe fronts). Returns false when the cache is empty. Locks one
+    /// stripe at a time, so it can never deadlock with concurrent inserts.
+    fn evict_oldest(&self) -> bool {
+        loop {
+            let mut best: Option<(usize, u64)> = None;
+            for si in 0..self.stripes.len() {
+                let stripe = self.lock(si);
+                if let Some(&(_, seq)) = stripe.order.front() {
+                    if best.is_none_or(|(_, b)| seq < b) {
+                        best = Some((si, seq));
+                    }
+                }
+            }
+            let Some((si, seq)) = best else { return false };
+            let mut stripe = self.lock(si);
+            match stripe.order.front() {
+                Some(&(_, front)) if front == seq => {
+                    let (key, _) = stripe.order.pop_front().expect("non-empty front");
+                    if let Some((_, b)) = stripe.entries.remove(&key) {
+                        self.entries.fetch_sub(1, Ordering::Relaxed);
+                        self.bytes.fetch_sub(b, Ordering::Relaxed);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return true;
+                }
+                _ => continue, // raced with a concurrent evictor; rescan
+            }
+        }
+    }
+
+    /// A lock-free snapshot of the counters.
     pub fn stats(&self) -> ViewCacheStats {
-        let inner = self.lock();
         ViewCacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            views_reused: inner.views_reused,
-            views_rescanned: inner.views_rescanned,
-            delta_maintained: inner.delta_maintained,
-            evictions: inner.evictions,
-            invalidated: inner.invalidated,
-            entries: inner.entries.len(),
-            bytes: inner.bytes,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            views_reused: self.views_reused.load(Ordering::Relaxed),
+            views_rescanned: self.views_rescanned.load(Ordering::Relaxed),
+            delta_maintained: self.delta_maintained.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+            entries: self.entries.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+            stripes: self.stripes.len(),
         }
     }
 
@@ -294,7 +371,7 @@ impl ViewCache {
     /// repeated trainings rescan nothing, immune to concurrent cache
     /// users (distinct datasets have distinct content ids).
     pub fn stats_for_id(&self, data_id: u64) -> (u64, u64) {
-        self.lock().per_id.get(&data_id).copied().unwrap_or((0, 0))
+        self.lock(self.stripe_of_id(data_id)).per_id.get(&data_id).copied().unwrap_or((0, 0))
     }
 
     /// Drops every entry whose key embeds the content id `data_id` —
@@ -307,37 +384,69 @@ impl ViewCache {
     /// epoch, but views the failing maintenance already admitted under
     /// the post-delta id would otherwise linger as dead weight (never
     /// *served* — the nonce is never reused — but holding budget until
-    /// FIFO ages them out). Returns the number of entries dropped.
+    /// FIFO ages them out). In the serving path this runs strictly
+    /// **before** the failed epoch would have published, so no reader can
+    /// pin a snapshot whose caches still carry the rolled-back state.
+    /// Returns the number of entries dropped.
     pub fn invalidate_id(&self, data_id: u64) -> usize {
         let needle = format!("r{data_id};");
-        let mut inner = self.lock();
-        let doomed: Vec<Box<str>> =
-            inner.entries.keys().filter(|k| k.contains(&*needle)).cloned().collect();
-        for k in &doomed {
-            if let Some((_, b)) = inner.entries.remove(k) {
-                inner.bytes -= b;
-                inner.invalidated += 1;
+        let mut total = 0;
+        for si in 0..self.stripes.len() {
+            let mut stripe = self.lock(si);
+            let doomed: Vec<Box<str>> =
+                stripe.entries.keys().filter(|k| k.contains(&*needle)).cloned().collect();
+            for k in &doomed {
+                if let Some((_, b)) = stripe.entries.remove(k) {
+                    self.entries.fetch_sub(1, Ordering::Relaxed);
+                    self.bytes.fetch_sub(b, Ordering::Relaxed);
+                    self.invalidated.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if !doomed.is_empty() {
+                let Stripe { entries, order, .. } = &mut *stripe;
+                order.retain(|(k, _)| entries.contains_key(k));
+                total += doomed.len();
             }
         }
-        if !doomed.is_empty() {
-            let Inner { entries, order, .. } = &mut *inner;
-            order.retain(|k| entries.contains_key(k));
-        }
-        doomed.len()
+        total
     }
 
     /// Drops all retained views and per-relation attributions. The global
     /// counters stay monotone so surrounding deltas remain meaningful.
     pub fn clear(&self) {
-        let mut inner = self.lock();
-        inner.entries.clear();
-        inner.order.clear();
-        inner.bytes = 0;
-        inner.per_id.clear();
+        for si in 0..self.stripes.len() {
+            let mut stripe = self.lock(si);
+            let (n, b) =
+                (stripe.entries.len(), stripe.entries.values().map(|(_, b)| *b).sum::<usize>());
+            stripe.entries.clear();
+            stripe.order.clear();
+            stripe.per_id.clear();
+            self.entries.fetch_sub(n, Ordering::Relaxed);
+            self.bytes.fetch_sub(b, Ordering::Relaxed);
+        }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    fn stripe_of_key(key: &str, nstripes: usize) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() >> 32) as usize % nstripes
+    }
+
+    fn stripe_of_id(&self, id: u64) -> usize {
+        (id.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize % self.stripes.len()
+    }
+
+    fn lock(&self, si: usize) -> std::sync::MutexGuard<'_, Stripe> {
+        let m = &self.stripes[si];
+        match m.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                m.lock().unwrap_or_else(|p| p.into_inner())
+            }
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+        }
     }
 }
 
@@ -366,6 +475,7 @@ mod tests {
         assert_eq!((s.views_reused, s.views_rescanned), (1, 1));
         assert_eq!(s.entries, 1);
         assert!(s.bytes > 0);
+        assert!(s.stripes >= 1);
         assert_eq!(c.stats_for_id(7), (1, 1));
         assert_eq!(c.stats_for_id(8), (0, 0));
     }
@@ -439,5 +549,48 @@ mod tests {
         assert_eq!(s.bytes, 0);
         assert_eq!(s.hits, 1, "history survives clear");
         assert_eq!(c.stats_for_id(3), (0, 0), "attributions reset with contents");
+    }
+
+    #[test]
+    fn fifo_eviction_holds_across_stripes() {
+        // Keys hash to different stripes, yet the budget still evicts in
+        // global admission order (oldest first), never by stripe accident.
+        let probe = ViewCache::with_stripes(4);
+        probe.insert("k0", 1, views(1.0), 1 << 20);
+        let unit = probe.stats().bytes;
+        let c = ViewCache::with_stripes(4);
+        let budget = 3 * unit;
+        for i in 0..5 {
+            c.insert(&format!("k{i}"), 1, views(i as f64), budget);
+        }
+        assert_eq!(c.stats().entries, 3);
+        assert_eq!(c.stats().evictions, 2);
+        assert!(c.get("k0", 1).is_none() && c.get("k1", 1).is_none(), "oldest two evicted");
+        for i in 2..5 {
+            assert!(c.get(&format!("k{i}"), 1).is_some(), "newest three retained");
+        }
+    }
+
+    #[test]
+    fn concurrent_sessions_do_not_lose_counts() {
+        let c = std::sync::Arc::new(ViewCache::with_stripes(4));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let c = std::sync::Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for round in 0..50u64 {
+                    let key = format!("t{t}-r{}", round % 8);
+                    if c.get(&key, t).is_none() {
+                        c.insert(&key, t, views(round as f64), 1 << 20);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 200, "every lookup counted exactly once");
+        assert_eq!(s.entries, 32, "8 keys per thread, all admitted");
     }
 }

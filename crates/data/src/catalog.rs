@@ -27,6 +27,12 @@ pub struct Database {
     /// a refcount per dictionary instead of copying string tables, and
     /// [`Database::dict_mut`] is copy-on-write.
     dicts: HashMap<String, Arc<Dictionary>>,
+    /// Update-batch epoch: bumped once per successfully committed
+    /// [`Database::apply_delta`] (and restored by
+    /// [`Database::undo_delta`]). Snapshots pin an epoch, so readers can
+    /// tell *which* database state they are serving — the concurrency
+    /// story of `fdb-core`'s `ServingEngine`.
+    epoch: u64,
 }
 
 impl Database {
@@ -84,6 +90,38 @@ impl Database {
     /// rollback snapshot. `None` (and no change) if `name` is absent.
     pub(crate) fn swap_shared(&mut self, name: &str, rel: Arc<Relation>) -> Option<Arc<Relation>> {
         self.relations.get_mut(name).map(|slot| std::mem::replace(slot, rel))
+    }
+
+    /// The update-batch epoch: `0` for a freshly built database, `+1`
+    /// per committed [`Database::apply_delta`]. Clones (and
+    /// [`Database::snapshot`]s) carry the epoch of the state they pin;
+    /// ad-hoc mutation through [`Database::get_mut`] does **not** bump it
+    /// — the epoch counts *delta batches*, the unit of change the serving
+    /// layer publishes.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// A consistent snapshot of the current epoch: an O(#relations)
+    /// clone of the `Arc<Relation>` map (no row data is copied — the
+    /// copy-on-write discipline of [`Database::get_mut`] keeps sharing
+    /// unobservable). Readers holding a snapshot see exactly the rows,
+    /// [`Relation::data_id`]s, and [`Database::epoch`] of the moment it
+    /// was taken, no matter how many deltas a writer applies to the
+    /// original afterwards.
+    pub fn snapshot(&self) -> Database {
+        self.clone()
+    }
+
+    /// Bumps the update-batch epoch — the delta layer's commit marker.
+    pub(crate) fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Restores a pre-delta epoch (the undo path's twin of
+    /// [`Database::bump_epoch`]).
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 
     /// Relation names in insertion order.
@@ -157,6 +195,7 @@ impl Database {
                 names: self.names.clone(),
                 relations: self.relations.clone(),
                 dicts: self.dicts.clone(),
+                epoch: self.epoch,
             };
             db.relations.insert(fact.to_string(), Arc::new(fact_rel.row_range(lo..hi)));
             shards.push(db);
@@ -239,6 +278,30 @@ mod tests {
             assert_eq!(s.names(), db.names());
         }
         assert_eq!(all, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn snapshot_pins_epoch_and_content_against_later_deltas() {
+        use crate::delta::Delta;
+        let mut db = Database::new();
+        db.add("R", int_rel(&[1, 2]));
+        assert_eq!(db.epoch(), 0);
+        let snap = db.snapshot();
+        assert_eq!(snap.epoch(), 0);
+        assert!(Arc::ptr_eq(&snap.get_shared("R").unwrap(), &db.get_shared("R").unwrap()));
+        db.apply_delta(&Delta::insert("R", vec![Value::Int(3)])).unwrap();
+        assert_eq!(db.epoch(), 1, "a committed delta bumps the epoch");
+        assert_eq!(snap.epoch(), 0, "the snapshot stays pinned");
+        assert_eq!(snap.get("R").unwrap().len(), 2, "…content included");
+        assert_eq!(db.get("R").unwrap().len(), 3);
+        // A failed delta does not move the epoch.
+        assert!(db.apply_delta(&Delta::delete("R", vec![Value::Int(99)])).is_err());
+        assert_eq!(db.epoch(), 1);
+        // Ad-hoc mutation does not either: the epoch counts delta batches.
+        db.get_mut("R").unwrap().push_row(&[Value::Int(4)]).unwrap();
+        assert_eq!(db.epoch(), 1);
+        // Shards inherit the epoch of the state they partition.
+        assert_eq!(db.shard("R", 2).unwrap()[0].epoch(), 1);
     }
 
     #[test]

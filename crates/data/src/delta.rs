@@ -107,18 +107,39 @@ impl Delta {
 /// How to roll one applied [`Delta`] back — returned by
 /// [`Database::apply_delta_undoable`] so callers that maintain derived
 /// state (the `MaintainableEngine` wrapper in `fdb-core`) can restore the
-/// pre-delta epoch *exactly* (same rows, same [`Relation::data_id`]) when
-/// their own maintenance fails after the database commit succeeded.
+/// pre-delta epoch *exactly* when their own maintenance fails after the
+/// database commit succeeded.
+///
+/// **Restoration contract.** [`Database::undo_delta`] restores all three
+/// identities of the pre-delta state, not just the rows:
+///
+/// * **content** — the relation holds exactly its pre-delta rows, in the
+///   pre-delta order;
+/// * **`data_id`** — the relation's [`Relation::data_id`] returns to the
+///   exact pre-delta value, so every id-keyed cache entry
+///   ([`crate::sortcache::SortCache`], `fdb-core`'s view cache) warmed
+///   *before* the delta is valid again, and entries admitted under the
+///   rolled-back post-delta id can never be served (that id is a nonce —
+///   it is never issued twice);
+/// * **[`Database::epoch`]** — the epoch counter returns to its
+///   pre-delta value, so epoch-pinned snapshots taken before the failed
+///   delta compare equal to the restored state and a serving layer never
+///   publishes a half-epoch.
 ///
 /// The undo is O(delta) for insert-only batches (truncate the appended
 /// rows, restore the id) and O(1) for batches with deletes (the pre-delta
 /// relation `Arc` is swapped back wholesale). It is only valid against
 /// the state the apply left behind: undo immediately, before any further
 /// mutation of the relation.
+#[must_use = "dropping a DeltaUndo forfeits the only way to restore the \
+              pre-delta epoch; use Database::apply_delta if rollback is \
+              not needed"]
 #[derive(Debug)]
 pub struct DeltaUndo {
     relation: String,
     kind: UndoKind,
+    /// The pre-delta [`Database::epoch`], restored on undo.
+    epoch: u64,
 }
 
 #[derive(Debug)]
@@ -159,7 +180,13 @@ impl Database {
     }
 
     /// [`Database::apply_delta`], additionally returning the token that
-    /// [`Database::undo_delta`] consumes to restore the pre-delta epoch.
+    /// [`Database::undo_delta`] consumes to restore the pre-delta epoch —
+    /// content, [`Relation::data_id`], **and** [`Database::epoch`] (see
+    /// [`DeltaUndo`] for the exact restoration contract). A successful
+    /// apply bumps the epoch by one; a failed one leaves it untouched.
+    #[must_use = "the returned DeltaUndo is the only rollback token for \
+                  this commit; use Database::apply_delta to discard it \
+                  deliberately"]
     pub fn apply_delta_undoable(&mut self, delta: &Delta) -> Result<DeltaUndo> {
         fault::check_err("delta-validate")?;
         let rel = self.get(&delta.relation)?;
@@ -212,6 +239,7 @@ impl Database {
         // other failure mode is an injected `delta-commit` fault, and both
         // paths stay atomic under it.
         let pending: Vec<Vec<Value>> = pending.into_iter().map(|r| r.to_vec()).collect();
+        let epoch = self.epoch();
         if deleted_base.is_empty() {
             // Insert-only: append in place, with an O(delta) undo (no
             // copy-on-write of the whole relation just to keep a
@@ -228,9 +256,11 @@ impl Database {
                 rel.rollback_append(nrows, data_id);
                 return Err(e);
             }
+            self.bump_epoch();
             Ok(DeltaUndo {
                 relation: delta.relation.clone(),
                 kind: UndoKind::Truncate { nrows, data_id },
+                epoch,
             })
         } else {
             // Deletes rebuild the relation aside and swap it in whole:
@@ -244,15 +274,17 @@ impl Database {
             }
             fault::check_err("delta-commit")?;
             self.swap_shared(&delta.relation, Arc::new(next));
-            Ok(DeltaUndo { relation: delta.relation.clone(), kind: UndoKind::Swap(old) })
+            self.bump_epoch();
+            Ok(DeltaUndo { relation: delta.relation.clone(), kind: UndoKind::Swap(old), epoch })
         }
     }
 
     /// Restores the pre-delta epoch an [`Database::apply_delta_undoable`]
-    /// call committed past: content **and** [`Relation::data_id`] return
-    /// to exactly their pre-delta values, so signature- and id-keyed
-    /// caches warmed before the delta are valid again. Must run before
-    /// any further mutation of the relation.
+    /// call committed past: content, [`Relation::data_id`], and
+    /// [`Database::epoch`] return to exactly their pre-delta values, so
+    /// signature- and id-keyed caches warmed before the delta are valid
+    /// again and epoch-pinned snapshots compare equal to the restored
+    /// state. Must run before any further mutation of the relation.
     pub fn undo_delta(&mut self, undo: DeltaUndo) -> Result<()> {
         match undo.kind {
             UndoKind::Truncate { nrows, data_id } => {
@@ -264,6 +296,7 @@ impl Database {
                 }
             }
         }
+        self.set_epoch(undo.epoch);
         Ok(())
     }
 }
@@ -289,6 +322,29 @@ mod tests {
             .unwrap(),
         );
         db
+    }
+
+    #[test]
+    fn undo_restores_epoch_for_both_undo_kinds() {
+        let mut db = db();
+        assert_eq!(db.epoch(), 0);
+
+        // Insert-only path (UndoKind::Truncate).
+        let ins = Delta::new("R").with_insert(vec![Value::Int(7), Value::F64(7.0)]);
+        let undo = db.apply_delta_undoable(&ins).unwrap();
+        assert_eq!(db.epoch(), 1, "committed insert bumps the epoch");
+        db.undo_delta(undo).unwrap();
+        assert_eq!(db.epoch(), 0, "undo restores the pre-delta epoch");
+        assert_eq!(db.get("R").unwrap().len(), 3);
+
+        // Delete path (UndoKind::Swap).
+        let del = Delta::new("R").with_delete(vec![Value::Int(2), Value::F64(2.0)]);
+        let id_before = db.get("R").unwrap().data_id();
+        let undo = db.apply_delta_undoable(&del).unwrap();
+        assert_eq!(db.epoch(), 1);
+        db.undo_delta(undo).unwrap();
+        assert_eq!(db.epoch(), 0);
+        assert_eq!(db.get("R").unwrap().data_id(), id_before, "data_id restored too");
     }
 
     #[test]

@@ -16,9 +16,22 @@
 //! Cached views are shared as `Arc<Relation>`: engines hold them across
 //! `Engine::run` calls without copying, and concurrent queries share one
 //! sorted copy.
+//!
+//! # Striping
+//!
+//! The table is split into [`stripe_count`] shards, each behind its own
+//! `Mutex`, selected by hashing the source relation's `data_id`. Concurrent
+//! readers of *different* relations therefore never serialize on one global
+//! lock, while all views (and per-relation stats) of a single relation stay
+//! colocated in one stripe. The capacity and byte bounds remain **global**:
+//! entry/byte totals live in atomics and eviction always removes the
+//! globally oldest entry (per-entry admission sequence numbers, scanning
+//! stripe fronts one lock at a time), so the observable FIFO semantics are
+//! identical to the former single-lock cache.
 
 use crate::relation::Relation;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Default number of sorted views the global cache retains.
@@ -28,6 +41,24 @@ pub const DEFAULT_CAPACITY: usize = 128;
 /// bounds apply: whichever is hit first evicts (so 128 small dimension
 /// views can coexist, but a handful of fact-table views already rotate).
 pub const DEFAULT_BYTE_BUDGET: usize = 256 << 20;
+
+/// Default number of lock stripes for the global caches (this one and
+/// `fdb-core`'s view cache). Overridable via the `FDB_CACHE_STRIPES`
+/// environment variable, read once at first use.
+pub const DEFAULT_STRIPES: usize = 16;
+
+/// Number of lock stripes the global caches use: `FDB_CACHE_STRIPES` when
+/// set to a positive integer, else [`DEFAULT_STRIPES`]. Read once.
+pub fn stripe_count() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("FDB_CACHE_STRIPES")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_STRIPES)
+    })
+}
 
 type Key = (u64, Vec<usize>);
 
@@ -47,29 +78,43 @@ pub struct CacheCounters {
     pub entries: usize,
     /// Approximate bytes currently retained.
     pub bytes: usize,
+    /// Lock-stripe acquisitions that found the stripe already held and had
+    /// to wait — the serving-path contention signal.
+    pub contended: u64,
+    /// Number of lock stripes the cache is split across.
+    pub stripes: usize,
 }
 
 #[derive(Default)]
-struct Inner {
+struct Stripe {
     entries: HashMap<Key, Arc<Relation>>,
-    /// Insertion order for FIFO eviction.
-    order: Vec<Key>,
-    /// Total approximate bytes of retained views.
-    bytes: usize,
+    /// Admission order within this stripe, with each entry's global
+    /// admission sequence number. Fronts across stripes locate the
+    /// globally oldest entry for FIFO eviction.
+    order: VecDeque<(Key, u64)>,
     /// Per-source-relation `(hits, misses)`, keyed by `data_id`. Bounded:
-    /// cleared wholesale when it outgrows the entry map by a wide margin.
+    /// cleared wholesale when it outgrows the stripe by a wide margin.
     stats: HashMap<u64, (u64, u64)>,
-    /// Global monotone counters (survive [`SortCache::clear`]).
-    hits: u64,
-    misses: u64,
-    evictions: u64,
 }
 
-/// A bounded memo table for [`Relation::sorted_by`] results.
+/// A bounded memo table for [`Relation::sorted_by`] results, striped by
+/// `data_id` hash so concurrent lookups of different relations don't
+/// serialize. Counter reads ([`SortCache::counters`], [`SortCache::len`],
+/// [`SortCache::byte_size`]) are lock-free atomics.
 pub struct SortCache {
-    inner: Mutex<Inner>,
+    stripes: Vec<Mutex<Stripe>>,
     capacity: usize,
     byte_budget: usize,
+    /// Global admission sequence: orders entries across stripes for FIFO.
+    seq: AtomicU64,
+    /// Global monotone counters (survive [`SortCache::clear`]).
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    contended: AtomicU64,
+    /// Current totals across all stripes.
+    entries: AtomicUsize,
+    bytes: AtomicUsize,
 }
 
 impl SortCache {
@@ -82,10 +127,23 @@ impl SortCache {
     /// An empty cache bounded by both an entry count and a total byte
     /// budget (approximate, via [`Relation::byte_size`]).
     pub fn with_byte_budget(capacity: usize, byte_budget: usize) -> Self {
+        Self::with_stripes(capacity, byte_budget, stripe_count())
+    }
+
+    /// An empty cache with an explicit stripe count (tests; the global
+    /// cache uses the `FDB_CACHE_STRIPES` knob).
+    pub fn with_stripes(capacity: usize, byte_budget: usize, nstripes: usize) -> Self {
         Self {
-            inner: Mutex::new(Inner::default()),
+            stripes: (0..nstripes.max(1)).map(|_| Mutex::new(Stripe::default())).collect(),
             capacity: capacity.max(1),
             byte_budget: byte_budget.max(1),
+            seq: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+            entries: AtomicUsize::new(0),
+            bytes: AtomicUsize::new(0),
         }
     }
 
@@ -100,73 +158,113 @@ impl SortCache {
     /// before.
     pub fn sorted_by(&self, rel: &Relation, attrs: &[usize]) -> Arc<Relation> {
         let id = rel.data_id();
+        let si = self.stripe_of(id);
         {
-            let mut inner = self.lock();
-            if let Some(hit) = inner.entries.get(&(id, attrs.to_vec())) {
+            let mut stripe = self.lock(si);
+            if let Some(hit) = stripe.entries.get(&(id, attrs.to_vec())) {
                 let hit = Arc::clone(hit);
-                inner.stats.entry(id).or_default().0 += 1;
-                inner.hits += 1;
+                stripe.stats.entry(id).or_default().0 += 1;
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 return hit;
             }
         }
         // Sort outside the lock: concurrent queries may redundantly sort
         // the same view, but never block each other on a large sort.
         let sorted = Arc::new(rel.sorted_by(attrs));
-        let mut inner = self.lock();
-        inner.stats.entry(id).or_default().1 += 1;
-        inner.misses += 1;
-        if inner.stats.len() > 32 * self.capacity {
-            inner.stats.clear();
-        }
-        let key = (id, attrs.to_vec());
-        if !inner.entries.contains_key(&key) {
-            let new_bytes = sorted.byte_size();
-            // A view that alone exceeds the whole budget is served but not
-            // admitted: caching it would evict every warm entry and still
-            // leave the cache over budget.
-            if new_bytes > self.byte_budget {
-                return sorted;
+        let new_bytes = sorted.byte_size();
+        {
+            let mut stripe = self.lock(si);
+            stripe.stats.entry(id).or_default().1 += 1;
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            if stripe.stats.len() > 32 * self.capacity {
+                stripe.stats.clear();
             }
-            while !inner.order.is_empty()
-                && (inner.entries.len() >= self.capacity
-                    || inner.bytes + new_bytes > self.byte_budget)
-            {
-                let oldest = inner.order.remove(0);
-                if let Some(evicted) = inner.entries.remove(&oldest) {
-                    inner.bytes -= evicted.byte_size();
-                    inner.evictions += 1;
+            let key = (id, attrs.to_vec());
+            if !stripe.entries.contains_key(&key) {
+                // A view that alone exceeds the whole budget is served but
+                // not admitted: caching it would evict every warm entry and
+                // still leave the cache over budget.
+                if new_bytes > self.byte_budget {
+                    return sorted;
                 }
+                let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+                stripe.order.push_back((key.clone(), seq));
+                stripe.entries.insert(key, Arc::clone(&sorted));
+                self.entries.fetch_add(1, Ordering::Relaxed);
+                self.bytes.fetch_add(new_bytes, Ordering::Relaxed);
             }
-            inner.order.push(key.clone());
-            inner.bytes += new_bytes;
-            inner.entries.insert(key, Arc::clone(&sorted));
+        }
+        // Enforce the global bounds after admission (never holding two
+        // stripe locks at once): a transient over-budget window is visible
+        // only to concurrent counter polls, never to lookups.
+        while self.entries.load(Ordering::Relaxed) > self.capacity
+            || self.bytes.load(Ordering::Relaxed) > self.byte_budget
+        {
+            if !self.evict_oldest() {
+                break;
+            }
         }
         sorted
+    }
+
+    /// Removes the globally oldest entry (minimum admission sequence across
+    /// stripe fronts). Returns false when the cache is empty. Locks one
+    /// stripe at a time, so it can never deadlock with concurrent inserts.
+    fn evict_oldest(&self) -> bool {
+        loop {
+            let mut best: Option<(usize, u64)> = None;
+            for si in 0..self.stripes.len() {
+                let stripe = self.lock(si);
+                if let Some(&(_, seq)) = stripe.order.front() {
+                    if best.is_none_or(|(_, b)| seq < b) {
+                        best = Some((si, seq));
+                    }
+                }
+            }
+            let Some((si, seq)) = best else { return false };
+            let mut stripe = self.lock(si);
+            // The front may have changed between the scan and this lock
+            // (a concurrent evictor got there first): rescan if so.
+            match stripe.order.front() {
+                Some(&(_, front)) if front == seq => {
+                    let (key, _) = stripe.order.pop_front().expect("non-empty front");
+                    if let Some(evicted) = stripe.entries.remove(&key) {
+                        self.entries.fetch_sub(1, Ordering::Relaxed);
+                        self.bytes.fetch_sub(evicted.byte_size(), Ordering::Relaxed);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return true;
+                }
+                _ => continue,
+            }
+        }
     }
 
     /// `(hits, misses)` recorded for `rel`'s current content state. A miss
     /// is an actual sort; tests use this to assert that repeated queries
     /// sort each relation at most once.
     pub fn stats_for(&self, rel: &Relation) -> (u64, u64) {
-        self.lock().stats.get(&rel.data_id()).copied().unwrap_or((0, 0))
+        let id = rel.data_id();
+        self.lock(self.stripe_of(id)).stats.get(&id).copied().unwrap_or((0, 0))
     }
 
-    /// A snapshot of the global counters (monotone across
+    /// A lock-free snapshot of the global counters (monotone across
     /// [`SortCache::clear`]).
     pub fn counters(&self) -> CacheCounters {
-        let inner = self.lock();
         CacheCounters {
-            hits: inner.hits,
-            misses: inner.misses,
-            evictions: inner.evictions,
-            entries: inner.entries.len(),
-            bytes: inner.bytes,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.entries.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+            stripes: self.stripes.len(),
         }
     }
 
-    /// Number of sorted views currently retained.
+    /// Number of sorted views currently retained (lock-free).
     pub fn len(&self) -> usize {
-        self.lock().entries.len()
+        self.entries.load(Ordering::Relaxed)
     }
 
     /// True if no views are retained.
@@ -174,22 +272,43 @@ impl SortCache {
         self.len() == 0
     }
 
-    /// Approximate bytes of retained views.
+    /// Approximate bytes of retained views (lock-free).
     pub fn byte_size(&self) -> usize {
-        self.lock().bytes
+        self.bytes.load(Ordering::Relaxed)
     }
 
     /// Drops all retained views and statistics.
     pub fn clear(&self) {
-        let mut inner = self.lock();
-        inner.entries.clear();
-        inner.order.clear();
-        inner.bytes = 0;
-        inner.stats.clear();
+        for si in 0..self.stripes.len() {
+            let mut stripe = self.lock(si);
+            let (n, b) = (
+                stripe.entries.len(),
+                stripe.entries.values().map(|v| v.byte_size()).sum::<usize>(),
+            );
+            stripe.entries.clear();
+            stripe.order.clear();
+            stripe.stats.clear();
+            self.entries.fetch_sub(n, Ordering::Relaxed);
+            self.bytes.fetch_sub(b, Ordering::Relaxed);
+        }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    fn stripe_of(&self, id: u64) -> usize {
+        // data_ids are a monotone nonce; a multiplicative mix spreads
+        // consecutive ids across stripes.
+        (id.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize % self.stripes.len()
+    }
+
+    fn lock(&self, si: usize) -> std::sync::MutexGuard<'_, Stripe> {
+        let m = &self.stripes[si];
+        match m.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                m.lock().unwrap_or_else(|p| p.into_inner())
+            }
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+        }
     }
 }
 
@@ -288,6 +407,7 @@ mod tests {
         assert_eq!((k.hits, k.misses, k.evictions), (1, 3, 1));
         assert_eq!(k.entries, 2);
         assert!(k.bytes > 0);
+        assert!(k.stripes >= 1);
         cache.clear();
         let k = cache.counters();
         assert_eq!(k.hits, 1, "history survives clear");
@@ -306,5 +426,51 @@ mod tests {
         assert_eq!(cache.stats_for(&a), (0, 2), "evicted entry re-sorts");
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn fifo_holds_across_stripes() {
+        // Entries land in different stripes (distinct data_ids), yet the
+        // capacity bound still evicts in global admission order.
+        let cache = SortCache::with_stripes(3, DEFAULT_BYTE_BUDGET, 4);
+        let views: Vec<Relation> = (0..5).map(|k| rel(&[(k, 0.0)])).collect();
+        for v in &views {
+            cache.sorted_by(v, &[0]);
+        }
+        assert_eq!(cache.len(), 3);
+        // Oldest two were evicted; newest three still hit.
+        for v in &views[2..] {
+            cache.sorted_by(v, &[0]);
+            assert_eq!(cache.stats_for(v), (1, 1), "recent view retained");
+        }
+        for v in &views[..2] {
+            cache.sorted_by(v, &[0]);
+            assert_eq!(cache.stats_for(v), (0, 2), "oldest views evicted first");
+        }
+    }
+
+    #[test]
+    fn concurrent_lookups_share_one_cache_consistently() {
+        let cache = std::sync::Arc::new(SortCache::with_stripes(64, DEFAULT_BYTE_BUDGET, 4));
+        let views: std::sync::Arc<Vec<Relation>> =
+            std::sync::Arc::new((0..16).map(|k| rel(&[(k, 0.0), (k - 1, 1.0)])).collect());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let (cache, views) = (std::sync::Arc::clone(&cache), std::sync::Arc::clone(&views));
+            handles.push(std::thread::spawn(move || {
+                for round in 0..50 {
+                    let v = &views[(t * 7 + round) % views.len()];
+                    let sorted = cache.sorted_by(v, &[0]);
+                    assert_eq!(sorted.len(), v.len());
+                    assert!(sorted.int_col(0).windows(2).all(|w| w[0] <= w[1]));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let k = cache.counters();
+        assert_eq!(k.hits + k.misses, 200, "every lookup counted exactly once");
+        assert!(k.entries <= 16 + k.evictions as usize);
     }
 }

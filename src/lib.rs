@@ -28,8 +28,8 @@ pub use fdb_ring as ring;
 pub mod prelude {
     pub use fdb_core::{
         AggBatch, AggQuery, Aggregate, BatchResult, DispatchEngine, Engine, EngineChoice,
-        EngineConfig, FactorizedEngine, FilterOp, FlatEngine, LmfaoEngine, MaintState,
-        MaintainableEngine, ShardedEngine,
+        EngineConfig, EpochDb, FactorizedEngine, FilterOp, FlatEngine, LmfaoEngine, MaintState,
+        MaintainableEngine, ServingEngine, ServingStats, ShardedEngine,
     };
     pub use fdb_data::{AttrType, Attribute, Database, Delta, Relation, Schema, Value};
     pub use fdb_ring::{CovRing, Ring, Semiring};

@@ -73,6 +73,12 @@ fn main() {
     let serving_updates = ((32.0 * scale.sqrt()) as usize).clamp(8, 256);
     let serving = (arms == Arms::Both)
         .then(|| perf::serving_bench(scale, serving_readers, serving_queries, serving_updates));
+    // The front-door arm: sustained overload through the bounded-queue
+    // admission layer — `--serving-readers` producers hammering a
+    // 4-slot queue while 2 readers stream snapshot queries.
+    let fd_per_producer = ((24.0 * scale.sqrt()) as usize).clamp(6, 128);
+    let frontdoor = (arms == Arms::Both)
+        .then(|| perf::frontdoor_bench(scale, serving_readers, 2, fd_per_producer));
 
     fdb_bench::print_table(
         &["bench", "engine", "config", "wall", "groups", "threads", "morsel_rows"],
@@ -161,6 +167,23 @@ fn main() {
         );
     }
 
+    if let Some(p) = &frontdoor {
+        println!(
+            "frontdoor: {} producers vs {}-slot queue at {:.0} submits/s \
+             (p50 {} ns, p99 {} ns), {} batches for {} submits ({:.2}x coalesced), \
+             {:.0} qps read-side",
+            p.producers,
+            p.queue_capacity,
+            p.submit_qps(),
+            p.submit_p50_ns,
+            p.submit_p99_ns,
+            p.batches_committed,
+            p.submitted,
+            p.coalescing_factor(),
+            p.read_qps()
+        );
+    }
+
     let json = perf::to_json(
         &rows,
         cart.as_ref(),
@@ -168,6 +191,7 @@ fn main() {
         ivm.as_ref(),
         Some(&fault),
         serving.as_ref(),
+        frontdoor.as_ref(),
     );
     std::fs::write(&out, json).expect("write BENCH_engines.json");
     println!("wrote {out}");

@@ -938,6 +938,169 @@ pub fn serving_bench(
     }
 }
 
+/// The front-door arm: sustained overload through a
+/// [`fdb_core::FrontDoor`] — `producers` threads racing single-row fact
+/// inserts into a deliberately small bounded queue (Block backpressure)
+/// while `readers` threads query pinned snapshots, the admission layer's
+/// headline numbers. `submit_p99_ns` is the tail a producer waits at the
+/// door when the queue is full, and `coalescing_factor` is how many
+/// submits the writer's group commit folds into one transactional
+/// maintenance pass (1.0 = no coalescing; higher = fewer epochs than
+/// submits).
+#[derive(Debug, Clone, Default)]
+pub struct FrontDoorPerf {
+    /// Producer threads racing submits.
+    pub producers: usize,
+    /// Reader threads querying snapshots for the duration.
+    pub readers: usize,
+    /// Deltas each producer submits.
+    pub per_producer: usize,
+    /// Bounded queue capacity (the overload knob).
+    pub queue_capacity: usize,
+    /// Deltas admitted (all of them — the Block policy is lossless).
+    pub submitted: u64,
+    /// Transactional batches committed and published.
+    pub batches_committed: u64,
+    /// Submits absorbed into an earlier batch by group commit.
+    pub coalesced: u64,
+    /// Snapshot queries served while the producers ran.
+    pub queries: u64,
+    /// Median admission latency of one submit, nanoseconds.
+    pub submit_p50_ns: u64,
+    /// 99th-percentile admission latency of one submit, nanoseconds.
+    pub submit_p99_ns: u64,
+    /// Wall time from first submit to fully drained queue, nanoseconds.
+    pub wall_ns: u128,
+}
+
+impl FrontDoorPerf {
+    /// Submits admitted per second across all producers.
+    pub fn submit_qps(&self) -> f64 {
+        self.submitted as f64 / (self.wall_ns.max(1) as f64 * 1e-9)
+    }
+
+    /// Snapshot queries per second sustained while the door was busy.
+    pub fn read_qps(&self) -> f64 {
+        self.queries as f64 / (self.wall_ns.max(1) as f64 * 1e-9)
+    }
+
+    /// Mean submits folded into one committed batch.
+    pub fn coalescing_factor(&self) -> f64 {
+        self.submitted as f64 / self.batches_committed.max(1) as f64
+    }
+}
+
+/// Runs the front-door arm: grouped covariance on the retailer instance
+/// behind a [`fdb_core::FrontDoor`] over single-threaded LMFAO, with a
+/// queue far smaller than the producers' combined burst so every
+/// producer genuinely hits backpressure and the writer's group commit
+/// genuinely coalesces.
+pub fn frontdoor_bench(
+    scale: f64,
+    producers: usize,
+    readers: usize,
+    per_producer: usize,
+) -> FrontDoorPerf {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let producers = producers.max(1);
+    let ds = perf_dataset(scale);
+    let q = covariance_query(&ds);
+    let rel = ds.db.get("Inventory").expect("fact");
+    let streams: Vec<Vec<fdb_data::Delta>> = (0..producers)
+        .map(|p| {
+            (0..per_producer)
+                .map(|i| {
+                    fdb_data::Delta::insert(
+                        "Inventory",
+                        rel.row_vec((p * per_producer + i) % rel.len()),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let cfg = fdb_core::FrontDoorConfig {
+        // Small enough that a burst of `producers` submits overflows it:
+        // the Block policy parks producers on the not-full condvar, and
+        // the p99 below measures that wait.
+        queue_capacity: 4,
+        backpressure: fdb_core::Backpressure::Block,
+        submit_timeout: std::time::Duration::from_secs(60),
+        ..Default::default()
+    };
+    let queue_capacity = cfg.queue_capacity;
+    let engine = LmfaoEngine::with_config(EngineConfig { threads: 1, ..Default::default() });
+    let fd = fdb_core::FrontDoor::new(engine, &ds.db, &q, cfg).expect("front door prepare");
+    let e0 = fd.epoch();
+    let done = AtomicBool::new(false);
+    let t0 = std::time::Instant::now();
+    let (mut latencies, queries) = std::thread::scope(|s| {
+        let (fd, done) = (&fd, &done);
+        let reader_handles: Vec<_> = (0..readers)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut served = 0u64;
+                    while !done.load(Ordering::Acquire) {
+                        fd.query().expect("snapshot query");
+                        served += 1;
+                    }
+                    served
+                })
+            })
+            .collect();
+        let producer_handles: Vec<_> = streams
+            .iter()
+            .map(|stream| {
+                s.spawn(move || {
+                    let mut lat = Vec::with_capacity(stream.len());
+                    for d in stream {
+                        let t = std::time::Instant::now();
+                        fd.submit(d.clone()).expect("admit");
+                        lat.push(t.elapsed().as_nanos() as u64);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        let mut latencies = Vec::with_capacity(producers * per_producer);
+        for h in producer_handles {
+            latencies.extend(h.join().expect("producer"));
+        }
+        // Every submit is in; wait for the writer to drain and publish
+        // before stopping the clock (and the readers).
+        fd.flush();
+        done.store(true, Ordering::Release);
+        let queries: u64 = reader_handles.into_iter().map(|h| h.join().expect("reader")).sum();
+        (latencies, queries)
+    });
+    let wall_ns = t0.elapsed().as_nanos();
+    latencies.sort_unstable();
+    let pct = |p: usize| latencies[(latencies.len() - 1) * p / 100];
+    let st = fd.stats();
+    // An overload number over a stream that lost or duplicated deltas
+    // would measure the wrong system: Block is lossless, the queue must
+    // be empty after flush, and each committed batch published exactly
+    // one epoch.
+    assert_eq!(st.submitted, (producers * per_producer) as u64, "every submit admitted");
+    assert_eq!(st.rejected + st.timed_out + st.shed, 0, "Block loses nothing");
+    assert_eq!(st.queued, 0, "flush drained the queue");
+    assert_eq!(st.batches_failed, 0, "no batch may fail in this stream");
+    assert_eq!(st.batches_committed + st.coalesced, st.submitted, "group-commit accounting");
+    assert_eq!(fd.epoch(), e0 + st.batches_committed, "one epoch per committed batch");
+    FrontDoorPerf {
+        producers,
+        readers,
+        per_producer,
+        queue_capacity,
+        submitted: st.submitted,
+        batches_committed: st.batches_committed,
+        coalesced: st.coalesced,
+        queries,
+        submit_p50_ns: pct(50),
+        submit_p99_ns: pct(99),
+        wall_ns,
+    }
+}
+
 /// Speedup table: per `(bench, engine)`, `baseline-hash / optimized` —
 /// and for the sharding rows, `single-shard / sharded` (cross-core
 /// scaling of the shard layer).
@@ -1001,6 +1164,7 @@ pub fn to_json(
     ivm: Option<&IvmPerf>,
     fault: Option<&FaultOverhead>,
     serving: Option<&ServingPerf>,
+    frontdoor: Option<&FrontDoorPerf>,
 ) -> String {
     let mut s = String::from("{\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -1105,6 +1269,28 @@ pub fn to_json(
             p.view_stripes
         ));
     }
+    if let Some(p) = frontdoor {
+        s.push_str(&format!(
+            ",\n  \"frontdoor\": {{\"bench\": \"frontdoor-retailer\", \"producers\": {}, \
+             \"readers\": {}, \"per_producer\": {}, \"queue_capacity\": {}, \
+             \"submitted\": {}, \"batches_committed\": {}, \"coalesced\": {}, \
+             \"coalescing_factor\": {:.3}, \"submit_qps\": {:.1}, \"submit_p50_ns\": {}, \
+             \"submit_p99_ns\": {}, \"read_qps\": {:.1}, \"queries\": {}}}",
+            p.producers,
+            p.readers,
+            p.per_producer,
+            p.queue_capacity,
+            p.submitted,
+            p.batches_committed,
+            p.coalesced,
+            p.coalescing_factor(),
+            p.submit_qps(),
+            p.submit_p50_ns,
+            p.submit_p99_ns,
+            p.read_qps(),
+            p.queries
+        ));
+    }
     s.push_str(&format!(",\n  \"caches\": {}", caches_json()));
     s.push_str("\n}\n");
     s
@@ -1156,6 +1342,7 @@ mod tests {
             Some(&IvmPerf::default()),
             Some(&FaultOverhead::default()),
             Some(&ServingPerf::default()),
+            Some(&FrontDoorPerf::default()),
         );
         assert!(json.contains("\"speedups\""));
         assert!(json.contains("grouped-covariance/lmfao"));
@@ -1172,6 +1359,8 @@ mod tests {
         assert!(json.contains("\"overhead_fraction_per_delta\""));
         assert!(json.contains("\"serving\""));
         assert!(json.contains("\"qps_multi_reader\"") && json.contains("\"reader_scaling\""));
+        assert!(json.contains("\"frontdoor\""));
+        assert!(json.contains("\"submit_p99_ns\"") && json.contains("\"coalescing_factor\""));
     }
 
     #[test]
@@ -1185,6 +1374,19 @@ mod tests {
         assert!(p.qps_single() > 0.0 && p.qps_multi() > 0.0);
         assert!(p.reader_scaling() > 0.0);
         assert!(p.sort_stripes >= 1 && p.view_stripes >= 1);
+    }
+
+    #[test]
+    fn frontdoor_arm_survives_overload_without_losing_a_submit() {
+        let _guard = crate::timing_lock();
+        let p = frontdoor_bench(0.02, 3, 2, 6);
+        assert_eq!(p.producers, 3);
+        assert_eq!(p.submitted, 18, "3 producers × 6 submits, all admitted");
+        assert!(p.batches_committed >= 1 && p.batches_committed <= p.submitted);
+        assert_eq!(p.batches_committed + p.coalesced, p.submitted);
+        assert!(p.coalescing_factor() >= 1.0);
+        assert!(p.submit_qps() > 0.0);
+        assert!(p.submit_p99_ns >= p.submit_p50_ns);
     }
 
     #[test]

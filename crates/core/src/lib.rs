@@ -43,6 +43,12 @@
 //! * [`dispatch`] — adaptive backend choice per query from cheap catalog
 //!   statistics ([`DispatchEngine`]), with the [`EngineConfig::backend`]
 //!   override knob.
+//! * [`serve`] + [`frontdoor`] — epoch-based concurrent serving
+//!   ([`ServingEngine`]: snapshot readers under a single transactional
+//!   writer) and the resilient admission layer over it ([`FrontDoor`]:
+//!   bounded write queue with backpressure policies, group-commit
+//!   coalescing, deterministic retry/backoff, and a circuit breaker that
+//!   degrades to recompute mode and probes recovery).
 //! * [`viewcache`] — the cross-batch [`ViewCache`]: materialized per-node
 //!   views memoized across `Engine::run` calls, keyed on canonical
 //!   subtree plan signatures plus relation content ids; iterative
@@ -58,6 +64,7 @@ pub mod batchgen;
 pub mod classical;
 pub mod dispatch;
 pub mod exec;
+pub mod frontdoor;
 pub mod group;
 pub mod ir;
 pub mod kernel;
@@ -75,6 +82,7 @@ pub use batch::{AggBatch, Aggregate, FilterOp, Fn1};
 pub use batchgen::{covariance_batch, decision_node_batch, kmeans_batch, mutual_info_batch};
 pub use classical::{eval_agg, eval_agg_batch, AggResult, ScanQuery};
 pub use dispatch::{query_stats, DispatchEngine, QueryStats};
+pub use frontdoor::{Backpressure, BreakerState, FrontDoor, FrontDoorConfig};
 pub use group::{GroupIndex, KeySpace};
 pub use ir::{AggQuery, BatchResult};
 pub use maintain::{CustomMaint, MaintState, MaintainableEngine};

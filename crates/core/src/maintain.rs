@@ -138,6 +138,16 @@ impl MaintState {
     pub fn epoch(&self) -> u64 {
         self.db.epoch()
     }
+
+    /// True when this state carries no maintained structure and every
+    /// delta recomputes via [`Engine::run`](crate::Engine::run) — i.e. the
+    /// state is degraded (or was prepared degraded). The serving front
+    /// door's circuit breaker uses this to tell the degraded path from
+    /// the incremental one; flaky-engine test doubles use it to fail only
+    /// incremental maintenance while recompute keeps working.
+    pub fn is_recompute(&self) -> bool {
+        matches!(self.kind, MaintKind::Recompute)
+    }
 }
 
 /// An [`Engine`] that can maintain prepared query state under deltas.

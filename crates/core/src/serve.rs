@@ -44,7 +44,7 @@ use crate::ir::{AggQuery, BatchResult};
 use crate::maintain::{MaintState, MaintainableEngine};
 use fdb_data::{DataError, Database, Delta};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 /// An immutable, consistent database snapshot pinned at one epoch.
 ///
@@ -73,6 +73,10 @@ impl EpochDb {
 }
 
 /// A lock-free snapshot of a [`ServingEngine`]'s activity counters.
+///
+/// The front-door fields (everything from [`ServingStats::submitted`]
+/// down) are populated by [`FrontDoor::stats`](crate::frontdoor::FrontDoor::stats)
+/// and stay zero when the engine is driven directly.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServingStats {
     /// Queries evaluated against pinned snapshots.
@@ -84,6 +88,35 @@ pub struct ServingStats {
     pub deltas_rejected: u64,
     /// The currently published epoch.
     pub epoch: u64,
+    /// Deltas accepted into the front door's bounded queue.
+    pub submitted: u64,
+    /// Current queue depth (deltas admitted but not yet drained).
+    pub queued: u64,
+    /// Deltas merged into a predecessor by group-commit coalescing (so
+    /// `submitted - coalesced` bounds the number of published epochs).
+    pub coalesced: u64,
+    /// Merged batches committed and published (one epoch each).
+    pub batches_committed: u64,
+    /// Merged batches dropped after rollback (permanent error, or
+    /// transient retries exhausted with the degraded path failing too).
+    pub batches_failed: u64,
+    /// Submits refused with [`DataError::Overloaded`] (full queue under
+    /// the `Reject` policy, or an injected `queue-admit` fault).
+    pub rejected: u64,
+    /// Submits that hit their deadline ([`DataError::Timeout`]) while
+    /// blocked on a full queue.
+    pub timed_out: u64,
+    /// Queued deltas dropped unapplied by the `ShedOldest` policy.
+    pub shed: u64,
+    /// Retry attempts after transient batch failures.
+    pub retries: u64,
+    /// Circuit-breaker trips (degradations to recompute mode).
+    pub breaker_trips: u64,
+    /// Half-open probes (attempts to re-prepare the incremental state).
+    pub breaker_probes: u64,
+    /// Successful recoveries (probe re-prepared and the next batch
+    /// committed incrementally).
+    pub breaker_recoveries: u64,
 }
 
 /// The concurrent front door: `N` reader threads share one
@@ -209,7 +242,7 @@ impl<E: MaintainableEngine> ServingEngine<E> {
     ///   invalidation happens strictly before this method returns, hence
     ///   strictly before any later successful delta publishes.
     pub fn apply_delta(&self, delta: &Delta) -> Result<BatchResult, DataError> {
-        let mut st = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+        let mut st = self.writer_lock();
         match self.engine.apply_delta(&mut st, delta) {
             Ok(r) => {
                 self.publish(st.database().snapshot());
@@ -227,17 +260,75 @@ impl<E: MaintainableEngine> ServingEngine<E> {
     /// (serialized with [`ServingEngine::apply_delta`] on the writer
     /// lock).
     pub fn maintained(&self) -> Result<BatchResult, DataError> {
-        let mut st = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+        let mut st = self.writer_lock();
         self.engine.eval(&mut st)
     }
 
-    /// Activity counters (lock-free).
+    /// Swaps the writer's maintained state for a recompute-per-delta one
+    /// over the same maintained database — the circuit breaker's
+    /// degradation: subsequent deltas skip the (failing) incremental
+    /// machinery entirely and recompute via [`Engine::run`](crate::Engine::run),
+    /// still transactionally and still publishing one epoch per success.
+    pub fn degrade_to_recompute(&self) {
+        let mut st = self.writer_lock();
+        let (db, q) = (st.database().clone(), st.query().clone());
+        *st = MaintState::recompute(db, q);
+    }
+
+    /// Attempts to re-prepare the full incremental state from the current
+    /// maintained database — the breaker's half-open probe (and the same
+    /// re-prepare path the transactional wrapper uses after a rollback).
+    /// On failure the existing state is kept untouched.
+    pub fn promote(&self) -> Result<(), DataError> {
+        let mut st = self.writer_lock();
+        let fresh = self.engine.prepare(st.database(), &self.q)?;
+        *st = fresh;
+        Ok(())
+    }
+
+    /// True while the writer state is the degraded recompute-per-delta
+    /// one (see [`ServingEngine::degrade_to_recompute`]).
+    pub fn is_degraded(&self) -> bool {
+        self.writer_lock().is_recompute()
+    }
+
+    /// Activity counters (lock-free). The front-door fields stay zero
+    /// here; [`FrontDoor::stats`](crate::frontdoor::FrontDoor::stats)
+    /// fills them in.
     pub fn stats(&self) -> ServingStats {
         ServingStats {
             queries: self.queries.load(Ordering::Relaxed),
             deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
             deltas_rejected: self.deltas_rejected.load(Ordering::Relaxed),
             epoch: self.epoch(),
+            ..ServingStats::default()
+        }
+    }
+
+    /// Locks the writer state, recovering from poisoning instead of
+    /// panicking. A poisoned writer mutex means a panic escaped while the
+    /// maintained state was held mutably — e.g. an engine's `eval`
+    /// panicking outside the contained maintenance path — so the
+    /// incremental structures may be half-updated. Trusting them would
+    /// risk serving wrong results, so this degrades exactly like the
+    /// transactional wrapper does after a failed re-prepare: rebuild the
+    /// state from its own (epoch-consistent) database via `prepare`,
+    /// falling back to recompute-per-delta if even that fails, then clear
+    /// the poison flag. The published snapshot is untouched either way —
+    /// readers never observe the recovery.
+    fn writer_lock(&self) -> MutexGuard<'_, MaintState> {
+        match self.writer.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                let (db, q) = (guard.database().clone(), guard.query().clone());
+                *guard = match self.engine.prepare(&db, &q) {
+                    Ok(fresh) => fresh,
+                    Err(_) => MaintState::recompute(db, q),
+                };
+                self.writer.clear_poison();
+                guard
+            }
         }
     }
 
@@ -326,6 +417,52 @@ mod tests {
         // And the writer's maintained result agrees with a cold run.
         let cold = FlatEngine.run(serving.snapshot().database(), &sum_query()).unwrap();
         assert_eq!(serving.maintained().unwrap().scalar(0), cold.scalar(0));
+    }
+
+    /// An engine whose `eval` panics once, while the writer mutex is held
+    /// mutably — the poisoning scenario `writer_lock` recovers from.
+    struct PanickyEval {
+        armed: std::sync::atomic::AtomicBool,
+    }
+
+    impl Engine for PanickyEval {
+        fn name(&self) -> &'static str {
+            "panicky-eval"
+        }
+        fn run(&self, db: &Database, q: &AggQuery) -> Result<BatchResult, DataError> {
+            FlatEngine.run(db, q)
+        }
+    }
+
+    impl crate::maintain::MaintainableEngine for PanickyEval {
+        fn eval(&self, st: &mut MaintState) -> Result<BatchResult, DataError> {
+            if self.armed.swap(false, Ordering::SeqCst) {
+                panic!("eval panic while holding the writer state");
+            }
+            self.run(st.database(), st.query())
+        }
+    }
+
+    #[test]
+    fn poisoned_writer_mutex_degrades_to_reprepare_instead_of_panicking() {
+        let serving = ServingEngine::new(
+            PanickyEval { armed: std::sync::atomic::AtomicBool::new(true) },
+            &db(),
+            &sum_query(),
+        )
+        .unwrap();
+        let e0 = serving.epoch();
+        let panicked =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| serving.maintained()));
+        assert!(panicked.is_err(), "first eval must escape as a panic");
+
+        // The writer mutex is now poisoned. Every writer-side entry point
+        // must recover (re-prepare from the maintained database) rather
+        // than panic, and the stream must keep its exactness.
+        serving.apply_delta(&Delta::insert("R", vec![Value::Int(4), Value::F64(4.0)])).unwrap();
+        assert_eq!(serving.epoch(), e0 + 1);
+        assert_eq!(serving.query().unwrap().1.scalar(0), 10.0);
+        assert_eq!(serving.maintained().unwrap().scalar(0), 10.0);
     }
 
     #[test]

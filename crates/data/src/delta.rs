@@ -102,6 +102,27 @@ impl Delta {
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
+
+    /// Appends `other`'s updates after this delta's — group-commit
+    /// coalescing for the serving front door. Both deltas must target the
+    /// same relation ([`DataError::Invalid`] otherwise).
+    ///
+    /// Because deltas are *sequential*, the merged batch resolves exactly
+    /// like applying `self` then `other` against the same base: a delete
+    /// in `other` may now cancel a pending insert from `self` instead of
+    /// claiming an already-appended base row, but the resulting multiset —
+    /// and therefore every aggregate — is identical. Only the epoch count
+    /// differs: one publish instead of two.
+    pub fn merge_from(&mut self, other: &Delta) -> Result<()> {
+        if self.relation != other.relation {
+            return Err(DataError::Invalid(format!(
+                "cannot coalesce delta on `{}` into delta on `{}`",
+                other.relation, self.relation
+            )));
+        }
+        self.rows.extend(other.rows.iter().cloned());
+        Ok(())
+    }
 }
 
 /// How to roll one applied [`Delta`] back — returned by
@@ -405,6 +426,42 @@ mod tests {
         assert!(db.apply_delta(&d).is_err());
         assert_eq!(db.get("R").unwrap().len(), 3);
         assert_eq!(db.get("R").unwrap().data_id(), id, "no mutation happened");
+    }
+
+    #[test]
+    fn merged_batch_agrees_with_sequential_application() {
+        let row = |k: i64, x: f64| vec![Value::Int(k), Value::F64(x)];
+        // d2 deletes a row d1 inserted — across the merge boundary the
+        // delete cancels the pending insert instead of claiming base rows.
+        let d1 = Delta::new("R").with_insert(row(7, 7.0)).with_insert(row(8, 8.0));
+        let d2 = Delta::new("R").with_delete(row(7, 7.0)).with_insert(row(9, 9.0));
+
+        let mut sequential = db();
+        sequential.apply_delta(&d1).unwrap();
+        sequential.apply_delta(&d2).unwrap();
+
+        let mut merged = d1.clone();
+        merged.merge_from(&d2).unwrap();
+        assert_eq!(merged.len(), d1.len() + d2.len());
+        let mut grouped = db();
+        grouped.apply_delta(&merged).unwrap();
+
+        let (a, b) = (sequential.get("R").unwrap(), grouped.get("R").unwrap());
+        let mut ka = a.int_col(0).to_vec();
+        let mut kb = b.int_col(0).to_vec();
+        ka.sort_unstable();
+        kb.sort_unstable();
+        assert_eq!(ka, kb, "same multiset either way");
+        assert_eq!(sequential.epoch(), 2);
+        assert_eq!(grouped.epoch(), 1, "group commit publishes one epoch");
+    }
+
+    #[test]
+    fn merge_from_rejects_cross_relation_coalescing() {
+        let mut d = Delta::insert("R", vec![Value::Int(1), Value::F64(1.0)]);
+        let err = d.merge_from(&Delta::insert("S", vec![Value::Int(1)])).unwrap_err();
+        assert!(matches!(err, DataError::Invalid(_)));
+        assert_eq!(d.len(), 1, "failed merge leaves the target untouched");
     }
 
     #[test]

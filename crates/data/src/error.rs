@@ -2,8 +2,14 @@
 
 use std::fmt;
 
-/// Errors raised by schema validation, relation construction, and CSV I/O.
+/// Errors raised by schema validation, relation construction, CSV I/O,
+/// and the serving front door.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must carry a wildcard
+/// arm, so future robustness variants (like `Overloaded` and `Timeout`,
+/// added for the front door) are not breaking changes.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DataError {
     /// A schema lists the same attribute name twice.
     DuplicateAttribute(String),
@@ -28,6 +34,19 @@ pub enum DataError {
     /// A fault injected at the named site (`fdb_data::fault`; only raised
     /// with the `fault-injection` feature on and a plan installed).
     Injected(String),
+    /// The serving front door's bounded delta queue was full and the
+    /// backpressure policy rejects rather than blocks or sheds. The
+    /// submitted delta was **not** enqueued and will never publish.
+    Overloaded {
+        /// The queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// A blocking submit waited past its deadline for queue space. The
+    /// submitted delta was **not** enqueued and will never publish.
+    Timeout {
+        /// How long the submit waited before giving up, in milliseconds.
+        waited_ms: u64,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -47,10 +66,20 @@ impl fmt::Display for DataError {
             DataError::Invalid(m) => write!(f, "invalid: {m}"),
             DataError::WorkerPanic(m) => write!(f, "worker panicked: {m}"),
             DataError::Injected(site) => write!(f, "injected fault at `{site}`"),
+            DataError::Overloaded { capacity } => {
+                write!(f, "overloaded: delta queue full at capacity {capacity}")
+            }
+            DataError::Timeout { waited_ms } => {
+                write!(f, "submit timed out after {waited_ms} ms waiting for queue space")
+            }
         }
     }
 }
 
+// `source()` is intentionally the default `None` for every variant: causes
+// are stringified into the variant payloads (see `Io`, `WorkerPanic`) so
+// the type stays `Clone + PartialEq + Eq` — which the rollback and
+// agreement test machinery rely on.
 impl std::error::Error for DataError {}
 
 impl From<std::io::Error> for DataError {
@@ -73,5 +102,60 @@ mod tests {
         assert!(e.to_string().contains("price"));
         assert!(DataError::UnknownRelation("R".into()).to_string().contains("R"));
         assert!(DataError::Csv { line: 7, message: "bad".into() }.to_string().contains("7"));
+        assert!(DataError::Overloaded { capacity: 8 }.to_string().contains("8"));
+        assert!(DataError::Timeout { waited_ms: 250 }.to_string().contains("250"));
+    }
+
+    /// One witness per variant. A compile-time reminder lives in the match
+    /// below: adding a variant without extending this list fails the test
+    /// via the count check, and `#[non_exhaustive]` does not apply inside
+    /// the defining crate, so the `match` must stay exhaustive here.
+    fn witnesses() -> Vec<DataError> {
+        let all = vec![
+            DataError::DuplicateAttribute("a".into()),
+            DataError::UnknownAttribute("a".into()),
+            DataError::UnknownRelation("R".into()),
+            DataError::TypeMismatch { attribute: "a".into(), expected: "i64", got: "F64".into() },
+            DataError::ArityMismatch { expected: 3, got: 2 },
+            DataError::Csv { line: 1, message: "m".into() },
+            DataError::Io("m".into()),
+            DataError::Invalid("m".into()),
+            DataError::WorkerPanic("m".into()),
+            DataError::Injected("site".into()),
+            DataError::Overloaded { capacity: 4 },
+            DataError::Timeout { waited_ms: 10 },
+        ];
+        for e in &all {
+            match e {
+                DataError::DuplicateAttribute(_)
+                | DataError::UnknownAttribute(_)
+                | DataError::UnknownRelation(_)
+                | DataError::TypeMismatch { .. }
+                | DataError::ArityMismatch { .. }
+                | DataError::Csv { .. }
+                | DataError::Io(_)
+                | DataError::Invalid(_)
+                | DataError::WorkerPanic(_)
+                | DataError::Injected(_)
+                | DataError::Overloaded { .. }
+                | DataError::Timeout { .. } => {}
+            }
+        }
+        all
+    }
+
+    #[test]
+    fn every_variant_renders_a_nonempty_distinct_message() {
+        use std::collections::HashSet;
+        use std::error::Error;
+        let all = witnesses();
+        let messages: Vec<String> = all.iter().map(ToString::to_string).collect();
+        for (e, m) in all.iter().zip(&messages) {
+            assert!(!m.is_empty(), "{e:?} renders empty");
+            // Stringified-cause design: no variant hides a source chain.
+            assert!(e.source().is_none(), "{e:?} should have no source");
+        }
+        let distinct: HashSet<&str> = messages.iter().map(String::as_str).collect();
+        assert_eq!(distinct.len(), messages.len(), "duplicate Display strings: {messages:?}");
     }
 }

@@ -20,6 +20,14 @@
 //! run on worker threads the test did not spawn. Tests that install a
 //! plan must serialize among themselves and [`clear`] when done; the
 //! chaos suite (`tests/fault_agree.rs`) holds a shared mutex for this.
+//!
+//! Live sites, by layer: `delta-validate` / `delta-commit` (this crate's
+//! delta application), `csv-ingest` (CSV import), `cache-admit` /
+//! `cache-evict` (sort cache), `morsel-exec` (parallel workers),
+//! `maintain-view` / `maintain-publish` (incremental maintenance in
+//! `fdb-core`), and the serving front door's `queue-admit` /
+//! `writer-drain` / `breaker-trip` (admission, batch drain, and a forced
+//! circuit-breaker trip).
 
 #[cfg(feature = "fault-injection")]
 use crate::error::DataError;

@@ -27,9 +27,10 @@ pub use fdb_ring as ring;
 /// Commonly used types, one `use` away.
 pub mod prelude {
     pub use fdb_core::{
-        AggBatch, AggQuery, Aggregate, BatchResult, DispatchEngine, Engine, EngineChoice,
-        EngineConfig, EpochDb, FactorizedEngine, FilterOp, FlatEngine, LmfaoEngine, MaintState,
-        MaintainableEngine, ServingEngine, ServingStats, ShardedEngine,
+        AggBatch, AggQuery, Aggregate, Backpressure, BatchResult, BreakerState, DispatchEngine,
+        Engine, EngineChoice, EngineConfig, EpochDb, FactorizedEngine, FilterOp, FlatEngine,
+        FrontDoor, FrontDoorConfig, LmfaoEngine, MaintState, MaintainableEngine, ServingEngine,
+        ServingStats, ShardedEngine,
     };
     pub use fdb_data::{AttrType, Attribute, Database, Delta, Relation, Schema, Value};
     pub use fdb_ring::{CovRing, Ring, Semiring};

@@ -5,11 +5,16 @@
 //! ```text
 //! perf_regression [--scale S] [--iters N] [--shards K] [--out PATH]
 //!                 [--serving-readers R] [--baseline-hash | --optimized]
+//!                 [--check-kernels]
 //! ```
 //!
 //! `--shards` sets the fan-out of the sharded-vs-single-shard arm and
 //! `--serving-readers` the client-thread count of the serving arm's
 //! multi-reader phase (default for both: one per available core).
+//! `--check-kernels` turns the kernel-microbench rows into a gate: exit
+//! non-zero if any optimized kernel arm measures slower than its baseline
+//! twin (beyond a 5% noise margin) — the "optimized path must never lose
+//! to the twin it replaces" regression check CI runs on every push.
 
 use fdb_bench::perf::{self, Arms};
 
@@ -21,6 +26,7 @@ fn main() {
     let mut shards = fdb_core::parallel::default_threads();
     let mut shards_given = false;
     let mut serving_readers = fdb_core::parallel::default_threads().max(2);
+    let mut check_kernels = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -37,11 +43,12 @@ fn main() {
             "--out" => out = args.next().expect("--out PATH"),
             "--baseline-hash" => arms = Arms::BaselineOnly,
             "--optimized" => arms = Arms::OptimizedOnly,
+            "--check-kernels" => check_kernels = true,
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: perf_regression [--scale S] [--iters N] [--shards K] [--out PATH] \
-                     [--serving-readers R] [--baseline-hash | --optimized]"
+                     [--serving-readers R] [--baseline-hash | --optimized] [--check-kernels]"
                 );
                 std::process::exit(2);
             }
@@ -195,4 +202,37 @@ fn main() {
     );
     std::fs::write(&out, json).expect("write BENCH_engines.json");
     println!("wrote {out}");
+
+    // The kernel gate runs after the JSON lands, so a failing run still
+    // leaves the numbers on disk (and in the CI artifact) to diagnose.
+    // A 5% noise margin keeps near-parity pairs from flaking the gate on
+    // loaded runners; real regressions (a fast path silently degrading to
+    // its twin's shape) overshoot it by far more.
+    if check_kernels {
+        const NOISE_MARGIN: f64 = 1.05;
+        let mut losses = 0usize;
+        for opt in rows.iter().filter(|r| r.bench == "kernel-microbench" && r.config == "optimized")
+        {
+            let Some(base) = rows.iter().find(|b| {
+                b.bench == opt.bench && b.engine == opt.engine && b.config == "baseline-hash"
+            }) else {
+                continue;
+            };
+            if opt.wall_ns as f64 > base.wall_ns as f64 * NOISE_MARGIN {
+                eprintln!(
+                    "kernel regression: {} optimized {} ns > baseline {} ns ({:.2}x slower)",
+                    opt.engine,
+                    opt.wall_ns,
+                    base.wall_ns,
+                    opt.wall_ns as f64 / base.wall_ns.max(1) as f64
+                );
+                losses += 1;
+            }
+        }
+        if losses > 0 {
+            eprintln!("--check-kernels: {losses} optimized kernel arm(s) lost to their twin");
+            std::process::exit(1);
+        }
+        println!("--check-kernels: every optimized kernel arm beat its baseline twin");
+    }
 }

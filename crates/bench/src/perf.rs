@@ -50,6 +50,11 @@ pub struct PerfRow {
     pub threads: usize,
     /// Morsel size (rows per work unit) in effect for the row.
     pub morsel_rows: usize,
+    /// Cores available on the measuring host (`default_threads()`): the
+    /// context a row's `threads` and any cross-host comparison of its
+    /// parallel speedups must be read against — a 1-core CI runner cannot
+    /// show shard scaling no matter what the code does.
+    pub available_cores: usize,
 }
 
 /// Sort accounting of one CART training run (the "sorts each relation at
@@ -293,6 +298,7 @@ pub fn run_all_with_shards(scale: f64, iters: usize, arms: Arms, shards: usize) 
                     groups,
                     threads: *threads,
                     morsel_rows: fdb_core::DEFAULT_MORSEL_ROWS,
+                    available_cores: fdb_core::parallel::default_threads(),
                 });
             }
         }
@@ -326,6 +332,7 @@ pub fn run_all_with_shards(scale: f64, iters: usize, arms: Arms, shards: usize) 
                 groups,
                 threads,
                 morsel_rows: fdb_core::DEFAULT_MORSEL_ROWS,
+                available_cores: fdb_core::parallel::default_threads(),
             });
         }
     }
@@ -345,9 +352,10 @@ fn best_of(iters: usize, mut f: impl FnMut() -> usize) -> (u128, usize) {
     (best, checksum)
 }
 
-/// The per-kernel microbench: each of the four hot-loop kernels timed in
-/// its vectorized form (`optimized`) against its scalar twin
-/// (`baseline-hash`) on identical synthetic inputs, one row per arm.
+/// The per-kernel microbench: each of the eight hot-loop kernels timed in
+/// its optimized form (`optimized`) against its row-wise / per-slot /
+/// serial twin (`baseline-hash`) on identical synthetic inputs, one row
+/// per arm.
 /// Single-threaded by construction — these isolate instruction-level
 /// parallelism, not the scheduler; the `groups` checksum must agree
 /// between the two arms of each kernel.
@@ -367,6 +375,7 @@ pub fn kernel_microbench(iters: usize, arms: Arms) -> Vec<PerfRow> {
             groups,
             threads: 1,
             morsel_rows: fdb_core::DEFAULT_MORSEL_ROWS,
+            available_cores: fdb_core::parallel::default_threads(),
         });
     };
 
@@ -504,6 +513,153 @@ pub fn kernel_microbench(iters: usize, arms: Arms) -> Vec<PerfRow> {
             acc.dim()
         });
         push("cov-update", "baseline-hash", COV_ROWS, timed);
+    }
+
+    // Multi-slot scatter: MULTI_SLOTS aggregates per group — the LMFAO
+    // batch shape (a 4-feature covariance batch is 15 slots wide) — over
+    // a code space whose payload matrix (2¹⁸ codes × 16 slots = 32 MiB)
+    // dwarfs L2, so every payload touch is a cache miss. The optimized
+    // arm walks the codes once and lands all 16 slot updates on two
+    // contiguous cache lines per group per row (`add_codes_multi`); the
+    // baseline re-walks the code buffer once per slot (`add_codes` ×
+    // MULTI_SLOTS), re-missing those same lines on every pass.
+    // Accumulators are reused across iterations (rebuilding would time
+    // the 32 MiB zeroing, not the scatter).
+    const MULTI_SLOTS: usize = 16;
+    const MULTI_SPACE: u64 = 1 << 18;
+    let mspace = KeySpace::new(&[(0, MULTI_SPACE as i64 - 1)], MULTI_SPACE).expect("multi space");
+    let mut mcol = Vec::with_capacity(ACC_ROWS);
+    for _ in 0..ACC_ROWS {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        mcol.push(((state >> 20) % MULTI_SPACE) as i64);
+    }
+    let mut mvals = vec![0.0f64; MULTI_SLOTS * ACC_ROWS];
+    for s in 0..MULTI_SLOTS {
+        for r in 0..ACC_ROWS {
+            mvals[s * ACC_ROWS + r] = ((r + s) % 89) as f64 * 0.25;
+        }
+    }
+    let mut macc_multi = GroupIndex::dense(mspace.clone(), MULTI_SLOTS);
+    let mut macc_slot = GroupIndex::dense(mspace.clone(), MULTI_SLOTS);
+    if arms.includes("optimized") {
+        let timed = best_of(iters, || {
+            let (mut codes, mut oob) = (Vec::new(), Vec::new());
+            kernel::encode_codes(&mspace, &[&mcol], ACC_ROWS, &mut codes, &mut oob);
+            macc_multi.add_codes_multi(&codes, &mvals);
+            macc_multi.len()
+        });
+        push("group-accumulate-multi", "optimized", ACC_ROWS, timed);
+    }
+    if arms.includes("baseline-hash") {
+        let timed = best_of(iters, || {
+            let (mut codes, mut oob) = (Vec::new(), Vec::new());
+            kernel::encode_codes(&mspace, &[&mcol], ACC_ROWS, &mut codes, &mut oob);
+            for s in 0..MULTI_SLOTS {
+                macc_slot.add_codes(&codes, s, &mvals[s * ACC_ROWS..(s + 1) * ACC_ROWS]);
+            }
+            macc_slot.len()
+        });
+        push("group-accumulate-multi", "baseline-hash", ACC_ROWS, timed);
+    }
+
+    // Fused encode+scatter: the single-pass leaf-scan kernel that never
+    // materializes the code buffer vs the row-wise twin the engine keeps
+    // behind `vectorize = false` — per-row key assembly, per-row encode,
+    // slot-wise add. (The buffered batched kernel sits between the two;
+    // this pair, like every other, benches the fast path against the
+    // scalar shape it replaces.)
+    if arms.includes("optimized") {
+        let timed = best_of(iters, || {
+            let mut acc = GroupIndex::dense(space.clone(), 2);
+            let cols = [&c1[..], &c2[..], &c3[..], &c4[..]];
+            kernel::encode_scatter(&cols, ACC_ROWS, &mvals[..2 * ACC_ROWS], &mut acc);
+            acc.len()
+        });
+        push("fused-encode-scatter", "optimized", ACC_ROWS, timed);
+    }
+    if arms.includes("baseline-hash") {
+        let timed = best_of(iters, || {
+            let mut acc = GroupIndex::dense(space.clone(), 2);
+            for r in 0..ACC_ROWS {
+                let key = [c1[r], c2[r], c3[r], c4[r]];
+                acc.add(&key, &[mvals[r], mvals[ACC_ROWS + r]]);
+            }
+            acc.len()
+        });
+        push("fused-encode-scatter", "baseline-hash", ACC_ROWS, timed);
+    }
+
+    // Radix-partitioned scatter: a 2²¹-code group space — three orders of
+    // magnitude past the default `dense_limit`, so without this PR these
+    // groups never got a dense accumulator at all and fell back to the
+    // per-row hash path. The optimized arm is the new capability (dense
+    // accumulation with the scatter bucket-sorted into L2-sized code
+    // windows, so the cache footprint stays bounded no matter how wide
+    // the space); the baseline is the hash accumulation that previously
+    // served spaces this size. Both arms reuse accumulators allocated
+    // outside the timed closure (`reset`-by-rebuild would time the 32 MiB
+    // zeroing, not the scatter).
+    const PART_ROWS: usize = 1 << 18;
+    const PART_SPACE: u64 = 1 << 21;
+    const PART_BUCKET: u64 = 1 << 15;
+    let pspace = KeySpace::new(&[(0, PART_SPACE as i64 - 1)], PART_SPACE).expect("large space");
+    let mut pcol = Vec::with_capacity(PART_ROWS);
+    let mut pvals = Vec::with_capacity(2 * PART_ROWS);
+    for _ in 0..PART_ROWS {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        pcol.push(((state >> 20) % PART_SPACE) as i64);
+    }
+    for i in 0..2 * PART_ROWS {
+        pvals.push((i % 101) as f64 * 0.125);
+    }
+    let mut part_acc = GroupIndex::dense(pspace.clone(), 2);
+    let mut hash_acc = GroupIndex::hash(2);
+    let mut pscratch = fdb_core::ScatterScratch::default();
+    if arms.includes("optimized") {
+        let timed = best_of(iters, || {
+            let (mut codes, mut oob) = (Vec::new(), Vec::new());
+            kernel::encode_codes(&pspace, &[&pcol], PART_ROWS, &mut codes, &mut oob);
+            part_acc.add_codes_multi_partitioned(&codes, &pvals, PART_BUCKET, &mut pscratch);
+            part_acc.len()
+        });
+        push("partitioned-scatter", "optimized", PART_ROWS, timed);
+    }
+    if arms.includes("baseline-hash") {
+        let timed = best_of(iters, || {
+            for (r, &k) in pcol.iter().enumerate() {
+                hash_acc.add(&[k], &[pvals[r], pvals[PART_ROWS + r]]);
+            }
+            hash_acc.len()
+        });
+        push("partitioned-scatter", "baseline-hash", PART_ROWS, timed);
+    }
+
+    // Parallel-merge shape: combining K interleaved-key partials (the
+    // shard/morsel merge) by balanced pairwise tree (`tree_sum`) vs the
+    // serial coordinator fold. Keys congruent `i mod K`, so every serial
+    // step re-merges the whole accumulator — O(total·K) — while the tree
+    // touches each entry log₂ K times. Core-count independent: this is
+    // the merge *kernel*, not the scheduler.
+    const MERGE_K: usize = 64;
+    const MERGE_PER_PART: usize = 256;
+    let mring = DenseKeyedRing::new(F64Ring, &[(0, (MERGE_K * MERGE_PER_PART) as i64 - 1)])
+        .expect("dense key range");
+    let mparts: Vec<_> = (0..MERGE_K)
+        .map(|p| {
+            let mut e = mring.zero();
+            for v in 0..MERGE_PER_PART {
+                mring.add_assign(&mut e, &mring.tag(0, (v * MERGE_K + p) as i64, 1.0));
+            }
+            e
+        })
+        .collect();
+    if arms.includes("optimized") {
+        let timed = best_of(iters, || fdb_ring::tree_sum(&mring, mparts.iter().cloned()).len());
+        push("parallel-merge", "optimized", MERGE_K * MERGE_PER_PART, timed);
+    }
+    if arms.includes("baseline-hash") {
+        let timed = best_of(iters, || fdb_ring::sum(&mring, mparts.iter().cloned()).len());
+        push("parallel-merge", "baseline-hash", MERGE_K * MERGE_PER_PART, timed);
     }
     rows
 }
@@ -1171,7 +1327,7 @@ pub fn to_json(
         s.push_str(&format!(
             "    {{\"bench\": \"{}\", \"engine\": \"{}\", \"config\": \"{}\", \
              \"dataset\": \"{}\", \"wall_ns\": {}, \"groups\": {}, \
-             \"threads\": {}, \"morsel_rows\": {}}}{}\n",
+             \"threads\": {}, \"morsel_rows\": {}, \"available_cores\": {}}}{}\n",
             r.bench,
             r.engine,
             r.config,
@@ -1180,6 +1336,7 @@ pub fn to_json(
             r.groups,
             r.threads,
             r.morsel_rows,
+            r.available_cores,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -1306,9 +1463,10 @@ mod tests {
         let rows = run_all_with_shards(0.02, 1, Arms::Both, 3);
         assert_eq!(
             rows.len(),
-            26,
-            "2 benches × (3 engines × 2 arms + sharded pair) + zipf pair + 4 kernels × 2 arms"
+            34,
+            "2 benches × (3 engines × 2 arms + sharded pair) + zipf pair + 8 kernels × 2 arms"
         );
+        assert!(rows.iter().all(|r| r.available_cores >= 1));
         assert!(rows.iter().all(|r| r.threads >= 1 && r.morsel_rows >= 1));
         // Paired arms must emit identical group counts: optimized vs
         // baseline-hash per engine, and sharded vs single-shard (the

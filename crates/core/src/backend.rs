@@ -159,36 +159,40 @@ impl Engine for FlatEngine {
                 let mut codes = Vec::new();
                 let mut oob = Vec::new();
                 let mut vals = Vec::new();
+                let nslots = plans.len();
                 let mut lo = 0;
                 while lo < flat.len() {
                     let hi = (lo + crate::morsel::DEFAULT_MORSEL_ROWS).min(flat.len());
+                    let n = hi - lo;
                     let kslices: Vec<&[i64]> = kcols.iter().map(|v| &v[lo..hi]).collect();
-                    crate::kernel::encode_codes(&space, &kslices, hi - lo, &mut codes, &mut oob);
+                    crate::kernel::encode_codes(&space, &kslices, n, &mut codes, &mut oob);
+                    // Slot-major value matrix: one stripe per aggregate,
+                    // then a single fused multi-slot scatter — the codes
+                    // walk once per batch instead of once per aggregate.
+                    vals.clear();
+                    vals.resize(nslots * n, 1.0);
                     for (k, (factors, filter)) in plans.iter().enumerate() {
-                        vals.clear();
-                        vals.resize(hi - lo, 1.0);
+                        let sv = &mut vals[k * n..(k + 1) * n];
                         for &(c, f) in factors {
                             match cols[c] {
-                                Col::F(v) => {
-                                    crate::kernel::mul_by(&mut vals, &v[lo..hi], |x| f.apply(x))
+                                Col::F(v) => crate::kernel::mul_by(sv, &v[lo..hi], |x| f.apply(x)),
+                                Col::I(v) => {
+                                    crate::kernel::mul_by(sv, &v[lo..hi], |x| f.apply(x as f64))
                                 }
-                                Col::I(v) => crate::kernel::mul_by(&mut vals, &v[lo..hi], |x| {
-                                    f.apply(x as f64)
-                                }),
                             }
                         }
                         for (c, op) in filter {
                             match cols[*c] {
-                                Col::F(v) => crate::kernel::mask_by(&mut vals, &v[lo..hi], |x| {
+                                Col::F(v) => crate::kernel::mask_by(sv, &v[lo..hi], |x| {
                                     filter_pass(op, x, x as i64)
                                 }),
-                                Col::I(v) => crate::kernel::mask_by(&mut vals, &v[lo..hi], |x| {
+                                Col::I(v) => crate::kernel::mask_by(sv, &v[lo..hi], |x| {
                                     filter_pass(op, x as f64, x)
                                 }),
                             }
                         }
-                        acc.add_codes(&codes, k, &vals);
                     }
+                    acc.add_codes_multi(&codes, &vals);
                     lo = hi;
                 }
             } else {

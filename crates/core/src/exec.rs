@@ -382,12 +382,54 @@ pub(crate) fn compute_node_over(
     out
 }
 
+/// Per-worker scratch arena for the batched leaf scan: slot-value
+/// stripes, code buffers, key buffers, and the radix-partition scratch.
+/// Thread-local, so morsel workers stop allocating per (node, morsel)
+/// call after their first — the buffers warm up to the working sizes and
+/// stay.
+#[derive(Default)]
+struct LeafScratch {
+    slot_vals: Vec<f64>,
+    key_codes: Vec<u64>,
+    gcodes: Vec<u64>,
+    oob: Vec<u64>,
+    key_buf: Vec<i64>,
+    gkey_buf: Vec<i64>,
+    scatter: crate::group::ScatterScratch,
+}
+
+thread_local! {
+    static LEAF_SCRATCH: std::cell::RefCell<LeafScratch> = std::cell::RefCell::default();
+}
+
+/// How one view's batch scatters into its accumulators — decided once per
+/// `compute_leaf_batched` call (loop-invariant across batches).
+enum ScatterMode {
+    /// Per-row `entry_mut` + `payload_mut` — the row-wise twin, kept for
+    /// hash-backed levels or float-typed key/group columns.
+    RowWise,
+    /// No join key: one view entry, so the whole batch fuses into a single
+    /// encode+scatter pass ([`crate::kernel::encode_scatter`]) — or, past
+    /// the [`EngineConfig::scatter_partition_groups`] threshold, a
+    /// radix-partitioned scatter. `gcols` is the group column per slot
+    /// position.
+    SingleEntry { gcols: Vec<usize> },
+    /// Dense join-key *and* group spaces: both key levels batch-encode
+    /// ([`crate::kernel::encode_codes`]) and each row resolves its entry
+    /// by code ([`ViewData::entry_mut_by_code`]) then adds its whole
+    /// payload row ([`GroupIndex::add_payload_row`]) — one walk over the
+    /// batch for all slots, no key re-encoding, no `Vec<i64>` key builds.
+    Keyed { gcols: Vec<usize> },
+}
+
 /// The batch-at-a-time leaf scan: for each morsel-sized row batch, every
 /// view's per-slot values are computed as column-wise passes over the
 /// batch (factor products via [`crate::kernel::mul_by`], filters via
 /// [`crate::kernel::mask_by`] — a select to `0.0`, preserving the row-wise
-/// path's skip semantics exactly), then scattered into the accumulators.
-/// Scalar views reduce each batch with a single deterministic slice sum.
+/// path's skip semantics exactly), then scattered into the accumulators
+/// with the fused multi-slot kernels (see [`ScatterMode`]); every fast
+/// path is bit-identical to the row-wise twin, which `vectorize = false`
+/// pins. Scalar views reduce each batch with one deterministic slice sum.
 fn compute_leaf_batched(
     np: &crate::plan::NodePlan,
     cols: &[Col<'_>],
@@ -398,64 +440,163 @@ fn compute_leaf_batched(
     scalar_payloads: &mut [Vec<f64>],
 ) {
     let batch_cap = cfg.morsel_rows.clamp(1, crate::morsel::DEFAULT_MORSEL_ROWS);
-    let mut slot_vals: Vec<f64> = Vec::new();
-    let mut key_buf: Vec<i64> = Vec::new();
-    let mut gkey_buf: Vec<i64> = Vec::new();
-    let mut lo = rows.start;
-    while lo < rows.end {
-        let hi = (lo + batch_cap).min(rows.end);
-        let n = hi - lo;
-        for (vi, vp) in np.views.iter().enumerate() {
-            debug_assert_eq!(vp.spec.slots, vp.slots.len(), "plan must be finalized");
-            let nslots = vp.slots.len();
-            slot_vals.clear();
-            slot_vals.resize(nslots * n, 1.0);
-            for (si, slot) in vp.slots.iter().enumerate() {
-                let sv = &mut slot_vals[si * n..(si + 1) * n];
-                for &(c, f) in &slot.factors {
-                    match &cols[c] {
-                        Col::F(v) => crate::kernel::mul_by(sv, &v[lo..hi], |x| f.apply(x)),
-                        Col::I(v) => crate::kernel::mul_by(sv, &v[lo..hi], |x| f.apply(x as f64)),
-                    }
-                }
-                for (c, op) in &slot.filter {
-                    match &cols[*c] {
-                        Col::F(v) => {
-                            crate::kernel::mask_by(sv, &v[lo..hi], |x| filter_pass(op, x, x as i64))
-                        }
-                        Col::I(v) => {
-                            crate::kernel::mask_by(sv, &v[lo..hi], |x| filter_pass(op, x as f64, x))
-                        }
-                    }
-                }
-            }
+    // Scatter-path selection, once per view: a group level is batchable
+    // when its accumulator is dense and every group column is
+    // integer-backed; the key level additionally needs the node's dense
+    // key space (or no key at all).
+    let modes: Vec<ScatterMode> = np
+        .views
+        .iter()
+        .enumerate()
+        .map(|(vi, vp)| {
             if scalar_view[vi] {
-                let payload = &mut scalar_payloads[vi];
-                for si in 0..nslots {
-                    payload[si] += crate::kernel::sum(&slot_vals[si * n..(si + 1) * n]);
-                }
+                return ScatterMode::RowWise; // unused: scalar views sum, never scatter
+            }
+            if vp.spec.space.is_none() || vp.local_groups.len() != vp.group_attrs.len() {
+                return ScatterMode::RowWise;
+            }
+            let mut gcols = vec![usize::MAX; vp.group_attrs.len()];
+            for &(pos, col) in &vp.local_groups {
+                gcols[pos] = col;
+            }
+            if gcols.iter().any(|&c| c == usize::MAX || !matches!(cols[c], Col::I(_))) {
+                return ScatterMode::RowWise;
+            }
+            if np.key_cols.is_empty() {
+                return ScatterMode::SingleEntry { gcols };
+            }
+            let keys_dense =
+                np.key_space.is_some() && np.key_cols.iter().all(|&c| matches!(cols[c], Col::I(_)));
+            if keys_dense {
+                ScatterMode::Keyed { gcols }
             } else {
-                // Keyed views scatter row-wise; the group entry is touched
-                // for every row (even all-zero slots), matching the
-                // row-wise path's touch-before-filter order.
-                for r in 0..n {
-                    let row = lo + r;
-                    key_buf.clear();
-                    key_buf.extend(np.key_cols.iter().map(|&c| cols[c].get_int(row)));
-                    gkey_buf.clear();
-                    gkey_buf.resize(vp.group_attrs.len(), 0);
-                    for &(pos, col) in &vp.local_groups {
-                        gkey_buf[pos] = cols[col].get_int(row);
+                ScatterMode::RowWise
+            }
+        })
+        .collect();
+    LEAF_SCRATCH.with(|cell| {
+        let s = &mut *cell.borrow_mut();
+        let int_slice = |c: usize, lo: usize, hi: usize| -> &[i64] {
+            match &cols[c] {
+                Col::I(v) => &v[lo..hi],
+                Col::F(_) => unreachable!("mode selection requires integer columns"),
+            }
+        };
+        let mut lo = rows.start;
+        while lo < rows.end {
+            let hi = (lo + batch_cap).min(rows.end);
+            let n = hi - lo;
+            for (vi, vp) in np.views.iter().enumerate() {
+                debug_assert_eq!(vp.spec.slots, vp.slots.len(), "plan must be finalized");
+                let nslots = vp.slots.len();
+                s.slot_vals.clear();
+                s.slot_vals.resize(nslots * n, 1.0);
+                for (si, slot) in vp.slots.iter().enumerate() {
+                    let sv = &mut s.slot_vals[si * n..(si + 1) * n];
+                    for &(c, f) in &slot.factors {
+                        match &cols[c] {
+                            Col::F(v) => crate::kernel::mul_by(sv, &v[lo..hi], |x| f.apply(x)),
+                            Col::I(v) => {
+                                crate::kernel::mul_by(sv, &v[lo..hi], |x| f.apply(x as f64))
+                            }
+                        }
                     }
-                    let payload = out[vi].entry_mut(&key_buf, &vp.spec).payload_mut(&gkey_buf);
+                    for (c, op) in &slot.filter {
+                        match &cols[*c] {
+                            Col::F(v) => crate::kernel::mask_by(sv, &v[lo..hi], |x| {
+                                filter_pass(op, x, x as i64)
+                            }),
+                            Col::I(v) => crate::kernel::mask_by(sv, &v[lo..hi], |x| {
+                                filter_pass(op, x as f64, x)
+                            }),
+                        }
+                    }
+                }
+                if scalar_view[vi] {
+                    let payload = &mut scalar_payloads[vi];
                     for si in 0..nslots {
-                        payload[si] += slot_vals[si * n + r];
+                        payload[si] += crate::kernel::sum(&s.slot_vals[si * n..(si + 1) * n]);
+                    }
+                    continue;
+                }
+                match &modes[vi] {
+                    ScatterMode::SingleEntry { gcols } => {
+                        let gslices: Vec<&[i64]> =
+                            gcols.iter().map(|&c| int_slice(c, lo, hi)).collect();
+                        let entry = out[vi].entry_mut(&[], &vp.spec);
+                        let gspace = vp.spec.space.as_ref().expect("mode requires dense groups");
+                        if gspace.size() > cfg.scatter_partition_groups {
+                            crate::kernel::encode_codes(
+                                gspace,
+                                &gslices,
+                                n,
+                                &mut s.gcodes,
+                                &mut s.oob,
+                            );
+                            entry.add_codes_multi_partitioned(
+                                &s.gcodes,
+                                &s.slot_vals,
+                                cfg.scatter_partition_groups,
+                                &mut s.scatter,
+                            );
+                        } else {
+                            crate::kernel::encode_scatter(&gslices, n, &s.slot_vals, entry);
+                        }
+                    }
+                    ScatterMode::Keyed { gcols } => {
+                        let kslices: Vec<&[i64]> =
+                            np.key_cols.iter().map(|&c| int_slice(c, lo, hi)).collect();
+                        let kspace = np.key_space.as_ref().expect("mode requires dense keys");
+                        crate::kernel::encode_codes(
+                            kspace,
+                            &kslices,
+                            n,
+                            &mut s.key_codes,
+                            &mut s.oob,
+                        );
+                        let gslices: Vec<&[i64]> =
+                            gcols.iter().map(|&c| int_slice(c, lo, hi)).collect();
+                        let gspace = vp.spec.space.as_ref().expect("mode requires dense groups");
+                        crate::kernel::encode_codes(gspace, &gslices, n, &mut s.gcodes, &mut s.oob);
+                        // Both spaces are sized from the min/max of these
+                        // very columns, so no row can be out of range.
+                        debug_assert!(s.key_codes.iter().all(|&c| c != crate::kernel::OOB_CODE));
+                        debug_assert!(s.gcodes.iter().all(|&c| c != crate::kernel::OOB_CODE));
+                        for r in 0..n {
+                            out[vi].entry_mut_by_code(s.key_codes[r], &vp.spec).add_payload_row(
+                                s.gcodes[r],
+                                &s.slot_vals,
+                                r,
+                                n,
+                            );
+                        }
+                    }
+                    ScatterMode::RowWise => {
+                        // Keyed views scatter row-wise; the group entry is
+                        // touched for every row (even all-zero slots),
+                        // matching the row-wise path's touch-before-filter
+                        // order.
+                        for r in 0..n {
+                            let row = lo + r;
+                            s.key_buf.clear();
+                            s.key_buf.extend(np.key_cols.iter().map(|&c| cols[c].get_int(row)));
+                            s.gkey_buf.clear();
+                            s.gkey_buf.resize(vp.group_attrs.len(), 0);
+                            for &(pos, col) in &vp.local_groups {
+                                s.gkey_buf[pos] = cols[col].get_int(row);
+                            }
+                            let payload =
+                                out[vi].entry_mut(&s.key_buf, &vp.spec).payload_mut(&s.gkey_buf);
+                            for si in 0..nslots {
+                                payload[si] += s.slot_vals[si * n + r];
+                            }
+                        }
                     }
                 }
             }
+            lo = hi;
         }
-        lo = hi;
-    }
+    });
 }
 
 /// Computes all nodes of `order` sequentially (bottom-up), offering each

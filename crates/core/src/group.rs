@@ -25,6 +25,20 @@ use std::collections::HashMap;
 /// (the [`crate::EngineConfig::dense_limit`] default).
 pub const DEFAULT_DENSE_GROUPS: u64 = 1024;
 
+/// Reusable buffers for the radix-partitioned scatter
+/// ([`GroupIndex::add_codes_multi_partitioned`]): per-bucket counts plus
+/// the stably bucket-sorted codes and their payload rows. The values are
+/// permuted *with* their codes so the per-bucket accumulate pass reads
+/// everything sequentially — the only non-streaming access left is the
+/// bucket-sized payload window itself. Morsel workers keep one scratch per
+/// thread so the partitioning pass stops allocating after warm-up.
+#[derive(Debug, Default)]
+pub struct ScatterScratch {
+    counts: Vec<usize>,
+    codes: Vec<u32>,
+    vals: Vec<f64>,
+}
+
 /// Ceiling on composite join-key codes per dense view map. Join-key spaces
 /// cost 4 bytes per code (a slot table), so they may be much larger than
 /// group spaces, which cost a full payload vector per code.
@@ -304,6 +318,187 @@ impl GroupIndex {
         }
     }
 
+    /// Fused multi-slot scatter-add: one walk over `codes` updating the
+    /// whole contiguous payload row of each code, instead of one
+    /// [`GroupIndex::add_codes`] pass per slot. `vals` is **slot-major**
+    /// (`vals[s * codes.len() + r]` is slot `s` of row `r`) — exactly the
+    /// stripe layout the batched leaf scan and the flat engine already
+    /// build — so converting a per-slot loop needs no re-layout, only one
+    /// concatenated buffer. Per-cell addition order matches the per-slot
+    /// twin (row order), so results are bit-identical; so is the
+    /// first-touch order (first in-range row wins either way).
+    /// [`crate::kernel::OOB_CODE`] rows are skipped. Dense accumulators
+    /// only; batched callers gate on [`GroupIndex::key_space`].
+    pub fn add_codes_multi(&mut self, codes: &[u64], vals: &[f64]) {
+        match self {
+            GroupIndex::Dense { space, slots, data, present, touched } => {
+                let (stride, size, n) = (*slots, space.size, codes.len());
+                // Hard (not debug) assert: the unchecked slot gathers below
+                // rely on this bound.
+                assert_eq!(vals.len(), n * stride, "add_codes_multi: slot-major vals length");
+                let mut bad = false;
+                for &code in codes {
+                    bad |= code != crate::kernel::OOB_CODE && code >= size;
+                }
+                assert!(!bad, "add_codes_multi: code outside the accumulator's space");
+                for (r, &code) in codes.iter().enumerate() {
+                    if code == crate::kernel::OOB_CODE {
+                        continue;
+                    }
+                    let c = code as usize;
+                    let (w, b) = (c / 64, 1u64 << (c % 64));
+                    // SAFETY: validated above — `c < size` so the bitmap
+                    // word and the payload row are in bounds, and
+                    // `s * n + r < stride * n = vals.len()` for `s <
+                    // stride`, `r < n`.
+                    unsafe {
+                        let p = present.get_unchecked_mut(w);
+                        if *p & b == 0 {
+                            *p |= b;
+                            touched.push(code as u32);
+                        }
+                        let row = data.get_unchecked_mut(c * stride..(c + 1) * stride);
+                        for (s, x) in row.iter_mut().enumerate() {
+                            *x += *vals.get_unchecked(s * n + r);
+                        }
+                    }
+                }
+            }
+            GroupIndex::Hash { .. } => {
+                unreachable!("add_codes_multi requires a dense accumulator; gate on key_space()")
+            }
+        }
+    }
+
+    /// [`GroupIndex::add_codes_multi`] with software write-combining: when
+    /// the code space is much larger than the cache, a direct scatter
+    /// misses on almost every payload write. This variant first
+    /// bucket-sorts the rows into ranges of `bucket_codes` consecutive
+    /// codes (sized so one bucket's payload rows fit in L2 — see
+    /// [`crate::parallel::EngineConfig::scatter_partition_groups`]),
+    /// carrying each row's payload values along with its code, then
+    /// scatters bucket by bucket: the accumulate pass streams codes and
+    /// values sequentially and confines its random writes to one
+    /// cache-sized window of the payload matrix. `bucket_codes` is rounded
+    /// up to a power of two so bucket extraction is a shift, not a per-row
+    /// division. The bucket sort is stable, so per-cell addition order
+    /// (and therefore every float sum) is bit-identical to the
+    /// unpartitioned scatter; only the first-touch *order* of distinct
+    /// codes differs (bucket-major), which no result contract depends on.
+    /// Spaces at or under `bucket_codes` delegate to the direct scatter.
+    pub fn add_codes_multi_partitioned(
+        &mut self,
+        codes: &[u64],
+        vals: &[f64],
+        bucket_codes: u64,
+        scratch: &mut ScatterScratch,
+    ) {
+        let size = match self {
+            GroupIndex::Dense { space, .. } => space.size,
+            GroupIndex::Hash { .. } => unreachable!(
+                "add_codes_multi_partitioned requires a dense accumulator; gate on key_space()"
+            ),
+        };
+        let bucket_codes = bucket_codes.max(1).next_power_of_two();
+        if size <= bucket_codes || codes.len() < 2 {
+            return self.add_codes_multi(codes, vals);
+        }
+        let GroupIndex::Dense { space: _, slots, data, present, touched } = self else {
+            unreachable!("checked above");
+        };
+        let (stride, n) = (*slots, codes.len());
+        assert_eq!(vals.len(), n * stride, "add_codes_multi_partitioned: slot-major vals length");
+        assert!(size <= u64::from(u32::MAX) + 1, "partitioned scatter code fits u32");
+        let mut bad = false;
+        for &code in codes {
+            bad |= code != crate::kernel::OOB_CODE && code >= size;
+        }
+        assert!(!bad, "add_codes_multi_partitioned: code outside the accumulator's space");
+        // Stable counting sort of the in-range rows by bucket; bucket
+        // extraction is a shift (`bucket_codes` is a power of two).
+        let shift = bucket_codes.trailing_zeros();
+        let nbuckets = (size >> shift) as usize + usize::from(size & (bucket_codes - 1) != 0);
+        scratch.counts.clear();
+        scratch.counts.resize(nbuckets + 1, 0);
+        for &code in codes {
+            if code != crate::kernel::OOB_CODE {
+                scratch.counts[(code >> shift) as usize + 1] += 1;
+            }
+        }
+        for i in 1..scratch.counts.len() {
+            scratch.counts[i] += scratch.counts[i - 1];
+        }
+        let total = *scratch.counts.last().expect("nbuckets + 1 entries");
+        scratch.codes.clear();
+        scratch.codes.resize(total, 0);
+        scratch.vals.clear();
+        scratch.vals.resize(total * stride, 0.0);
+        for (r, &code) in codes.iter().enumerate() {
+            if code == crate::kernel::OOB_CODE {
+                continue;
+            }
+            let slot = &mut scratch.counts[(code >> shift) as usize];
+            let dst = *slot;
+            *slot += 1;
+            // SAFETY: `dst < total` (the prefix sums bound each bucket's
+            // cursor) and the slot-major gather index `s * n + r` is in
+            // bounds as in `add_codes_multi`.
+            unsafe {
+                *scratch.codes.get_unchecked_mut(dst) = code as u32;
+                for s in 0..stride {
+                    *scratch.vals.get_unchecked_mut(dst * stride + s) =
+                        *vals.get_unchecked(s * n + r);
+                }
+            }
+        }
+        // Scatter one cache-sized bucket at a time: codes and payload rows
+        // stream sequentially; only the bucket window is written randomly.
+        for (i, &code) in scratch.codes.iter().enumerate() {
+            let c = code as usize;
+            let (w, b) = (c / 64, 1u64 << (c % 64));
+            // SAFETY: same bounds as `add_codes_multi` — validated above;
+            // `i < total` so the permuted payload row is in bounds.
+            unsafe {
+                let p = present.get_unchecked_mut(w);
+                if *p & b == 0 {
+                    *p |= b;
+                    touched.push(code);
+                }
+                let row = data.get_unchecked_mut(c * stride..(c + 1) * stride);
+                for (s, x) in row.iter_mut().enumerate() {
+                    *x += *scratch.vals.get_unchecked(i * stride + s);
+                }
+            }
+        }
+    }
+
+    /// Single-row form of the multi-slot scatter: adds slot stripe values
+    /// `vals[s * n + r]` into the payload row of `code`. The per-row move
+    /// of the batched keyed-view scatter, where consecutive rows land in
+    /// *different* view entries so a whole-batch call cannot apply.
+    #[inline]
+    pub fn add_payload_row(&mut self, code: u64, vals: &[f64], r: usize, n: usize) {
+        match self {
+            GroupIndex::Dense { space, slots, data, present, touched } => {
+                let stride = *slots;
+                assert!(code < space.size, "add_payload_row: code outside the space");
+                debug_assert!(r < n && vals.len() == n * stride);
+                let c = code as usize;
+                let (w, b) = (c / 64, 1u64 << (c % 64));
+                if present[w] & b == 0 {
+                    present[w] |= b;
+                    touched.push(code as u32);
+                }
+                for (s, x) in data[c * stride..(c + 1) * stride].iter_mut().enumerate() {
+                    *x += vals[s * n + r];
+                }
+            }
+            GroupIndex::Hash { .. } => {
+                unreachable!("add_payload_row requires a dense accumulator; gate on key_space()")
+            }
+        }
+    }
+
     /// The payload of `key`, if touched.
     #[inline]
     pub fn get(&self, key: &[i64]) -> Option<&[f64]> {
@@ -319,8 +514,16 @@ impl GroupIndex {
         }
     }
 
-    /// Adds `payload` slot-wise to the entry at `key`.
+    /// Adds `payload` slot-wise to the entry at `key`. `payload` must be
+    /// exactly `slots()` wide — a shorter or longer slice would silently
+    /// truncate the `zip`, dropping slot sums (checked like
+    /// [`GroupIndex::add_codes`] checks its lengths).
     pub fn add(&mut self, key: &[i64], payload: &[f64]) {
+        debug_assert_eq!(
+            payload.len(),
+            self.slots(),
+            "add: payload width must match the accumulator's slot count"
+        );
         for (x, y) in self.payload_mut(key).iter_mut().zip(payload) {
             *x += *y;
         }
@@ -609,6 +812,71 @@ mod tests {
         assert_eq!(pays, vec![&[2.5][..], &[1.0][..]]);
     }
 
+    /// Sorted `(key, payload)` pairs — order-insensitive scatter equality.
+    fn sorted_pairs(gi: &GroupIndex) -> Vec<(Vec<i64>, Vec<f64>)> {
+        let mut out: Vec<(Vec<i64>, Vec<f64>)> =
+            gi.pairs().into_iter().map(|(k, p)| (k, p.to_vec())).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    #[test]
+    fn multi_slot_scatter_matches_per_slot_loop() {
+        let ks = KeySpace::new(&[(0, 7)], 16).unwrap();
+        let codes = [3u64, 0, crate::kernel::OOB_CODE, 3, 7];
+        let n = codes.len();
+        // Slot-major: slot 0 rows then slot 1 rows.
+        let vals = [1.0, 2.0, 4.0, 8.0, 16.0, -1.0, -2.0, -4.0, -8.0, -16.0];
+        let mut per_slot = GroupIndex::dense(ks.clone(), 2);
+        for s in 0..2 {
+            per_slot.add_codes(&codes, s, &vals[s * n..(s + 1) * n]);
+        }
+        let mut multi = GroupIndex::dense(ks.clone(), 2);
+        multi.add_codes_multi(&codes, &vals);
+        assert_eq!(sorted_pairs(&per_slot), sorted_pairs(&multi));
+        // Identical first-touch order too (row order of first occurrence).
+        let (mut a, mut b) = ((vec![], vec![]), (vec![], vec![]));
+        per_slot.flatten_pairs(&mut a.0, &mut a.1);
+        multi.flatten_pairs(&mut b.0, &mut b.1);
+        assert_eq!(a.0, b.0, "touch order");
+        // Per-row form agrees as well.
+        let mut rowed = GroupIndex::dense(ks, 2);
+        for (r, &code) in codes.iter().enumerate() {
+            if code != crate::kernel::OOB_CODE {
+                rowed.add_payload_row(code, &vals, r, n);
+            }
+        }
+        assert_eq!(sorted_pairs(&multi), sorted_pairs(&rowed));
+        // Empty morsel: no-op, no touch.
+        let mut empty = GroupIndex::dense(KeySpace::new(&[(0, 7)], 16).unwrap(), 2);
+        empty.add_codes_multi(&[], &[]);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn partitioned_scatter_is_bit_identical_to_direct() {
+        // Bucket of 4 codes over a 32-code space → 8 buckets engaged.
+        let ks = KeySpace::new(&[(0, 31)], 64).unwrap();
+        let codes: Vec<u64> = (0..200u64)
+            .map(|i| if i % 17 == 0 { crate::kernel::OOB_CODE } else { (i * 11 + i * i) % 32 })
+            .collect();
+        let n = codes.len();
+        let vals: Vec<f64> = (0..3 * n).map(|i| 0.1 + (i % 13) as f64 * 0.7).collect();
+        let mut direct = GroupIndex::dense(ks.clone(), 3);
+        direct.add_codes_multi(&codes, &vals);
+        let mut parted = GroupIndex::dense(ks.clone(), 3);
+        let mut scratch = ScatterScratch::default();
+        parted.add_codes_multi_partitioned(&codes, &vals, 4, &mut scratch);
+        // Bit-identical sums (stable bucket sort preserves per-code row
+        // order), same key set; only touch *order* may differ.
+        assert_eq!(sorted_pairs(&direct), sorted_pairs(&parted));
+        // A bucket covering the whole space delegates to the direct path,
+        // and scratch reuse across calls stays correct.
+        let mut whole = GroupIndex::dense(ks, 3);
+        whole.add_codes_multi_partitioned(&codes, &vals, 1024, &mut scratch);
+        assert_eq!(sorted_pairs(&direct), sorted_pairs(&whole));
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -649,6 +917,48 @@ mod tests {
                     assert_eq!(payload[0], 2.0 * single[0], "key {key:?}");
                     assert_eq!(payload[1], 2.0 * single[1], "key {key:?}");
                 });
+            }
+
+            /// Every scatter fast path — fused multi-slot, per-row, and
+            /// radix-partitioned at several bucket sizes — is bit-identical
+            /// to the per-slot `add_codes` twin, including OOB rows and
+            /// empty batches.
+            #[test]
+            fn scatter_fast_paths_match_per_slot_twin(
+                keys in proptest::collection::vec((-3i64..9, -5i64..7), 0..150),
+                raw_vals in proptest::collection::vec(-8i32..9, 0..600),
+                nslots in 1usize..5,
+                bucket in 1u64..40,
+            ) {
+                // Keys outside [(0,4), (-2,2)] encode to OOB_CODE.
+                let space = KeySpace::new(&[(0, 4), (-2, 2)], 25).unwrap();
+                let n = keys.len();
+                let codes: Vec<u64> = keys
+                    .iter()
+                    .map(|&(a, b)| space.encode(&[a, b]).unwrap_or(crate::kernel::OOB_CODE))
+                    .collect();
+                let vals: Vec<f64> = (0..nslots * n)
+                    .map(|i| raw_vals.get(i % raw_vals.len().max(1)).copied().unwrap_or(0) as f64)
+                    .collect();
+                let mut per_slot = GroupIndex::dense(space.clone(), nslots);
+                for s in 0..nslots {
+                    per_slot.add_codes(&codes, s, &vals[s * n..(s + 1) * n]);
+                }
+                let mut multi = GroupIndex::dense(space.clone(), nslots);
+                multi.add_codes_multi(&codes, &vals);
+                let mut parted = GroupIndex::dense(space.clone(), nslots);
+                let mut scratch = ScatterScratch::default();
+                parted.add_codes_multi_partitioned(&codes, &vals, bucket, &mut scratch);
+                let mut rowed = GroupIndex::dense(space.clone(), nslots);
+                for (r, &code) in codes.iter().enumerate() {
+                    if code != crate::kernel::OOB_CODE {
+                        rowed.add_payload_row(code, &vals, r, n);
+                    }
+                }
+                let want = super::sorted_pairs(&per_slot);
+                prop_assert_eq!(&want, &super::sorted_pairs(&multi), "multi");
+                prop_assert_eq!(&want, &super::sorted_pairs(&parted), "partitioned");
+                prop_assert_eq!(&want, &super::sorted_pairs(&rowed), "per-row");
             }
         }
     }

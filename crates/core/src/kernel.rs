@@ -70,6 +70,81 @@ pub fn encode_codes_scalar(space: &KeySpace, cols: &[&[i64]], rows: usize, out: 
     }
 }
 
+/// Fused encode + multi-slot scatter: the single-pass form of
+/// [`encode_codes`] followed by
+/// [`GroupIndex::add_codes_multi`](crate::group::GroupIndex::add_codes_multi),
+/// with **no heap code buffer** — rows are encoded in L1-resident blocks
+/// (the same branch-free column-wise passes the buffered kernel
+/// vectorizes, but into a small stack array) and each block is scattered
+/// into the accumulator's contiguous payload rows before the next is
+/// encoded. This is the leaf-scan shape: one walk over the batch, one
+/// touch-bitmap probe per row, `slots` adds.
+///
+/// `vals` is slot-major (`vals[s * rows + r]`), like the batched leaf
+/// scan's stripe buffer. Out-of-range rows are skipped (the sentinel
+/// semantics of [`OOB_CODE`], without ever materializing it). Per-cell
+/// addition order is row order, so results are bit-identical to the
+/// buffered twin and to the per-slot row-wise path. `acc` must be dense
+/// over the same space `cols` is encoded against — callers gate on
+/// [`GroupIndex::key_space`](crate::group::GroupIndex::key_space).
+pub fn encode_scatter(cols: &[&[i64]], rows: usize, vals: &[f64], acc: &mut crate::GroupIndex) {
+    let crate::GroupIndex::Dense { space, slots, data, present, touched } = acc else {
+        unreachable!("encode_scatter requires a dense accumulator; gate on key_space()")
+    };
+    let stride = *slots;
+    debug_assert_eq!(cols.len(), space.arity());
+    // Hard asserts: the unchecked accesses below rely on these bounds.
+    assert_eq!(vals.len(), rows * stride, "encode_scatter: slot-major vals length");
+    for col in cols {
+        assert!(col.len() >= rows, "encode_scatter: short key column");
+    }
+    let (mins, dims, strides) = (space.mins(), space.dims(), space.strides());
+    const BLOCK: usize = 512;
+    let mut codes = [0u64; BLOCK];
+    let mut oobs = [0u64; BLOCK];
+    let mut lo = 0;
+    while lo < rows {
+        let len = BLOCK.min(rows - lo);
+        codes[..len].fill(0);
+        oobs[..len].fill(0);
+        // Column-wise branch-free encode of one block — the vectorizable
+        // shape of `encode_codes`, minus the heap buffer.
+        for i in 0..cols.len() {
+            let (min, dim, strd) = (mins[i], dims[i], strides[i]);
+            let col = &cols[i][lo..lo + len];
+            for ((o, ob), &x) in codes[..len].iter_mut().zip(oobs[..len].iter_mut()).zip(col) {
+                let d = x.wrapping_sub(min) as u64;
+                *ob |= (d >= dim) as u64;
+                *o = o.wrapping_add(d.wrapping_mul(strd));
+            }
+        }
+        for (k, (&code, &oob)) in codes[..len].iter().zip(oobs[..len].iter()).enumerate() {
+            if oob != 0 {
+                continue;
+            }
+            // Every attribute was in range, so `code < space.size()` by
+            // the mixed-radix construction — the same invariant
+            // `add_codes` re-validates on buffered codes.
+            let (r, c) = (lo + k, code as usize);
+            let (w, b) = (c / 64, 1u64 << (c % 64));
+            // SAFETY: `c < size` bounds the bitmap word and the payload
+            // row; `s * rows + r < stride * rows = vals.len()`.
+            unsafe {
+                let p = present.get_unchecked_mut(w);
+                if *p & b == 0 {
+                    *p |= b;
+                    touched.push(code as u32);
+                }
+                let row = data.get_unchecked_mut(c * stride..(c + 1) * stride);
+                for (s, x) in row.iter_mut().enumerate() {
+                    *x += *vals.get_unchecked(s * rows + r);
+                }
+            }
+        }
+        lo += len;
+    }
+}
+
 /// Multiplies `acc[r] *= f(col[r])` across a column slice — one factor of a
 /// per-slot product, applied column-wise. Monomorphized per column type and
 /// per unary function, so the loop body is branch-free.
@@ -179,6 +254,36 @@ mod tests {
         assert_eq!(fast, slow);
         assert_eq!(fast[0], 0);
         assert_eq!(fast[2], OOB_CODE, "wrapped probe misses");
+    }
+
+    #[test]
+    fn fused_encode_scatter_matches_buffered_twin() {
+        use crate::group::GroupIndex;
+        let space = KeySpace::new(&[(2, 4), (-1, 0)], 64).unwrap();
+        let a = [2i64, 4, 3, 5, 2, 1]; // rows 3 and 5 out of range
+        let b = [-1i64, 0, 0, -1, -2, 0]; // row 4 out of range
+        let n = a.len();
+        let vals: Vec<f64> = (0..2 * n).map(|i| (i as f64) * 0.5 - 1.0).collect();
+        // Buffered twin: encode, then per-slot scatter.
+        let (mut codes, mut oob) = (Vec::new(), Vec::new());
+        encode_codes(&space, &[&a, &b], n, &mut codes, &mut oob);
+        let mut buffered = GroupIndex::dense(space.clone(), 2);
+        for s in 0..2 {
+            buffered.add_codes(&codes, s, &vals[s * n..(s + 1) * n]);
+        }
+        let mut fused = GroupIndex::dense(space.clone(), 2);
+        encode_scatter(&[&a, &b], n, &vals, &mut fused);
+        let pairs = |gi: &GroupIndex| {
+            let mut out: Vec<(Vec<i64>, Vec<f64>)> =
+                gi.pairs().into_iter().map(|(k, p)| (k, p.to_vec())).collect();
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+            out
+        };
+        assert_eq!(pairs(&buffered), pairs(&fused));
+        assert_eq!(fused.len(), 3, "three in-range rows, distinct keys");
+        // Empty batch: no touch, stale state preserved.
+        encode_scatter(&[&[], &[]], 0, &[], &mut fused);
+        assert_eq!(fused.len(), 3);
     }
 
     #[test]

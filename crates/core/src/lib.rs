@@ -83,7 +83,7 @@ pub use batchgen::{covariance_batch, decision_node_batch, kmeans_batch, mutual_i
 pub use classical::{eval_agg, eval_agg_batch, AggResult, ScanQuery};
 pub use dispatch::{query_stats, DispatchEngine, QueryStats};
 pub use frontdoor::{Backpressure, BreakerState, FrontDoor, FrontDoorConfig};
-pub use group::{GroupIndex, KeySpace};
+pub use group::{GroupIndex, KeySpace, ScatterScratch};
 pub use ir::{AggQuery, BatchResult};
 pub use maintain::{CustomMaint, MaintState, MaintainableEngine};
 pub use morsel::{MorselStats, DEFAULT_MORSEL_ROWS};

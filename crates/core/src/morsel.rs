@@ -159,6 +159,55 @@ pub fn run_stealing<T: Send>(
     Ok((out, MorselStats { workers: w, morsels: units, per_worker }))
 }
 
+/// Pairwise (tree) reduction of per-morsel partials: round by round,
+/// partial `2i+1` merges into partial `2i` (an odd tail carries over), the
+/// pairs of each round running on up to `workers` stolen-work threads via
+/// [`run_stealing`]. Replaces the coordinator's serial left-fold, which
+/// serialized the whole merge on one thread — with `k` partials the
+/// critical path drops from `k − 1` sequential merges to `⌈log₂ k⌉`
+/// rounds.
+///
+/// **Determinism.** The merge *tree* depends only on the partial count and
+/// their unit order — never on `workers` or on which thread ran which pair
+/// — so float summation is reproducible for a given morsel plan (the same
+/// discipline as [`run_stealing`]'s unit-order results). The association
+/// differs from the serial fold's, so sums can differ from it by rounding;
+/// for exactly-representable (integer-valued) payloads the two are
+/// identical — the property `tests` hold the engines to.
+///
+/// Panics inside `merge` are contained per [`run_stealing`]'s discipline
+/// and surface as [`DataError::WorkerPanic`]. Returns `None` for an empty
+/// input.
+pub(crate) fn tree_merge<T: Send>(
+    mut parts: Vec<T>,
+    workers: usize,
+    merge: impl Fn(&mut T, T) -> Result<(), DataError> + Sync,
+) -> Result<Option<T>, DataError> {
+    while parts.len() > 1 {
+        let odd = if parts.len() % 2 == 1 { parts.pop() } else { None };
+        let pairs: Vec<std::sync::Mutex<Option<(T, T)>>> = {
+            let mut it = parts.drain(..);
+            let mut ps = Vec::new();
+            while let (Some(a), Some(b)) = (it.next(), it.next()) {
+                ps.push(std::sync::Mutex::new(Some((a, b))));
+            }
+            ps
+        };
+        let (merged, _stats) = run_stealing(pairs.len(), workers, |i| -> Result<T, DataError> {
+            let (mut a, b) = pairs[i]
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .take()
+                .expect("each pair merged once");
+            merge(&mut a, b)?;
+            Ok(a)
+        })?;
+        parts = merged.into_iter().collect::<Result<Vec<T>, DataError>>()?;
+        parts.extend(odd);
+    }
+    Ok(parts.pop())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +272,50 @@ mod tests {
             matches!(contain(|| panic!("boom")), Err(DataError::WorkerPanic(m)) if m == "boom")
         );
         assert_eq!(contain(|| 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn tree_merge_matches_serial_fold_and_is_worker_independent() {
+        // Integer-valued payloads: f64 addition is exact, so the tree
+        // association must reproduce the serial fold bit for bit.
+        let parts = |k: usize| -> Vec<Vec<f64>> {
+            (0..k).map(|i| vec![i as f64, (i * i % 7) as f64]).collect()
+        };
+        let add = |a: &mut Vec<f64>, b: Vec<f64>| -> Result<(), DataError> {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+            Ok(())
+        };
+        for k in [1usize, 2, 3, 5, 8, 17] {
+            let mut serial = parts(k).into_iter();
+            let mut want = serial.next().unwrap();
+            for p in serial {
+                add(&mut want, p).unwrap();
+            }
+            for workers in [1usize, 2, 4] {
+                let got = tree_merge(parts(k), workers, add).unwrap().unwrap();
+                assert_eq!(got, want, "k={k} workers={workers}");
+            }
+        }
+        assert!(tree_merge(Vec::<i32>::new(), 4, |_, _| Ok(())).unwrap().is_none());
+    }
+
+    #[test]
+    fn tree_merge_contains_errors_and_panics() {
+        let err =
+            tree_merge(vec![1i32, 2, 3], 2, |_, _| Err(DataError::Invalid("merge refused".into())))
+                .unwrap_err();
+        assert!(matches!(err, DataError::Invalid(_)));
+        let err = tree_merge(vec![1i32, 2, 3, 4], 2, |a, _| {
+            if *a == 3 {
+                panic!("pair exploded");
+            }
+            Ok(())
+        })
+        .unwrap_err();
+        let DataError::WorkerPanic(msg) = err else { panic!("expected WorkerPanic") };
+        assert!(msg.contains("pair exploded"), "{msg}");
     }
 
     #[test]

@@ -156,6 +156,29 @@ impl ViewData {
         }
     }
 
+    /// [`ViewData::entry_mut`] by pre-encoded join-key code — the batched
+    /// leaf scan encodes a whole morsel's keys in one column-wise pass
+    /// ([`crate::kernel::encode_codes`]) and resolves entries per row
+    /// without re-encoding. Dense views only; callers gate on the node's
+    /// `key_space` (the same spaces both sides encode against, so codes
+    /// are always in range).
+    #[inline]
+    pub(crate) fn entry_mut_by_code(&mut self, code: u64, spec: &GroupSpec) -> &mut GroupIndex {
+        match self {
+            ViewData::Dense { slot_of, entries, .. } => {
+                let c = code as usize;
+                if slot_of[c] == u32::MAX {
+                    slot_of[c] = entries.len() as u32;
+                    entries.push((code as u32, spec.new_index()));
+                }
+                &mut entries[slot_of[c] as usize].1
+            }
+            ViewData::Hash(_) => {
+                unreachable!("entry_mut_by_code requires a dense view; gate on key_space")
+            }
+        }
+    }
+
     /// Approximate heap bytes of this view — what the cross-batch
     /// [`crate::viewcache::ViewCache`] charges against its byte budget.
     pub(crate) fn byte_size(&self) -> usize {

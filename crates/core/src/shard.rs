@@ -293,13 +293,15 @@ impl<E: Engine + Sync> Engine for ShardedEngine<E> {
             Err(e) => return Err(e),
         };
         *self.last_stats.lock().unwrap_or_else(|p| p.into_inner()) = Some(stats);
-        // Merge in shard order (deterministic float summation) regardless
-        // of which worker ran which shard.
-        let mut iter = results.into_iter();
-        let mut acc = iter.next().expect("m >= 1 shards")?;
-        for r in iter {
-            merge_into(&mut acc, r?)?;
-        }
+        // Pairwise tree merge on the same workers: the serial shard-order
+        // fold made the coordinator the scaling ceiling (every worker's
+        // partial funneled through one thread). The merge tree depends
+        // only on the shard order — never on which worker ran which shard
+        // or pair — so the summation stays deterministic for a given
+        // partition; the association differs from the old serial fold by
+        // float rounding only (exact for integer-valued measures).
+        let results: Vec<BatchResult> = results.into_iter().collect::<Result<_, DataError>>()?;
+        let mut acc = morsel::tree_merge(results, workers, merge_into)?.expect("m >= 1 shards");
         drop_exact_zeros(&mut acc);
         Ok(acc)
     }

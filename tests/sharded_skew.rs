@@ -68,6 +68,59 @@ fn smaller_morsels_split_finer_and_still_agree() {
     );
 }
 
+/// The shard partials now combine by pairwise *tree* merge instead of a
+/// serial coordinator fold. On integer-valued aggregates every float sum
+/// is exact, so any merge association must land on the bit-identical
+/// result — this pins tree merge ≡ serial merge (the single-shard run,
+/// which merges nothing) on the skew-clustered fact across shard counts,
+/// including the odd-tail shapes (3, 5) the pairing must carry through.
+#[test]
+fn tree_merge_matches_serial_on_skewed_integer_data() {
+    // A hand-built clustered-skew snowflake with *integer* measures: the
+    // zipf generator's measures are floats, whose sums depend on merge
+    // association — integer payloads keep every partial sum exact, so any
+    // association must land on the bit-identical result. The fact's first
+    // half is one heavy key (clustered, as a sorted power-law fact would
+    // be), the rest cycles the remaining dimension keys.
+    const FACT_ROWS: usize = 20_000;
+    const DIM_KEYS: i64 = 64;
+    let mut fact = Relation::new(Schema::of(&[("k", AttrType::Int), ("x", AttrType::Int)]));
+    for i in 0..FACT_ROWS {
+        let k = if i < FACT_ROWS / 2 { 0 } else { (i % (DIM_KEYS as usize - 1)) as i64 + 1 };
+        let x = (i % 17) as i64 - 8;
+        fact.push_row(&[Value::Int(k), Value::Int(x)]).unwrap();
+    }
+    let mut dim = Relation::new(Schema::of(&[
+        ("k", AttrType::Int),
+        ("y", AttrType::Int),
+        ("g", AttrType::Categorical),
+    ]));
+    for k in 0..DIM_KEYS {
+        dim.push_row(&[Value::Int(k), Value::Int(k * 3 - 7), Value::Int(k % 5)]).unwrap();
+    }
+    let mut db = Database::new();
+    db.add("F", fact);
+    db.add("D", dim);
+    let batch = {
+        let mut b = AggBatch::new();
+        b.push(Aggregate::count());
+        b.push(Aggregate::count().by(&["g"]));
+        b.push(Aggregate::sum("x").by(&["g"]));
+        b.push(Aggregate::sum_prod("x", "y").by(&["g"]));
+        b
+    };
+    let q = AggQuery::new(&["F", "D"], batch);
+    let seq = EngineConfig::sequential();
+    let base = LmfaoEngine::with_config(seq).run(&db, &q).unwrap();
+    for shards in [2usize, 3, 4, 5] {
+        let sharded = ShardedEngine::with_shards(LmfaoEngine::with_config(seq), shards);
+        let got = sharded.run(&db, &q).unwrap();
+        // Tolerance zero: integer payloads make the merge exact, so the
+        // tree association may not move a single bit.
+        common::assert_results_match(&base, &got, &format!("tree merge x{shards}"), 4, 0.0);
+    }
+}
+
 #[test]
 fn single_shard_runs_unwrapped_without_stats() {
     let ds = zipf_snowflake(ZipfConfig::tiny());
